@@ -1,0 +1,237 @@
+//! Centralized densest-subset baselines.
+//!
+//! * [`charikar_peeling`] — Charikar's greedy peeling: repeatedly remove the
+//!   minimum-degree node and keep the densest prefix; a ½-approximation
+//!   (i.e. 2-approximation in the paper's `γ ≥ 1` convention).
+//! * [`bahmani_densest`] — the Bahmani–Kumar–Vassilvitskii streaming algorithm:
+//!   in each pass remove *all* nodes of degree below `2(1+ε)` times the current
+//!   density; a `2(1+ε)`-approximation in `O(log_{1+ε} n)` passes. This is the
+//!   algorithm whose pass structure inspired the paper's distributed
+//!   elimination analysis.
+
+use dkc_graph::{NodeId, WeightedGraph};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of a peeling-style densest-subset computation.
+#[derive(Clone, Debug)]
+pub struct PeelingResult {
+    /// Density of the best subset found.
+    pub density: f64,
+    /// Indicator of the best subset.
+    pub members: Vec<bool>,
+    /// For multi-pass algorithms, the number of passes executed (1 for
+    /// Charikar's single peeling sweep).
+    pub passes: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, PartialOrd)]
+struct OrderedF64(f64);
+impl Eq for OrderedF64 {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("NaN degree")
+    }
+}
+
+/// Charikar's greedy peeling ½-approximation for the densest subset.
+pub fn charikar_peeling(g: &WeightedGraph) -> PeelingResult {
+    let n = g.num_nodes();
+    if n == 0 {
+        return PeelingResult {
+            density: 0.0,
+            members: Vec::new(),
+            passes: 1,
+        };
+    }
+    let mut degree: Vec<f64> = (0..n).map(|i| g.degree(NodeId::new(i))).collect();
+    let mut removed = vec![false; n];
+    let mut heap: BinaryHeap<Reverse<(OrderedF64, usize)>> = (0..n)
+        .map(|v| Reverse((OrderedF64(degree[v]), v)))
+        .collect();
+
+    // Track the density of every peeling prefix; remember the best.
+    let mut remaining_weight = g.total_edge_weight();
+    let mut remaining_nodes = n;
+    let mut best_density = remaining_weight / remaining_nodes as f64;
+    let mut removal_order = Vec::with_capacity(n);
+    let mut best_prefix = 0usize; // number of removals before the best subset
+
+    while remaining_nodes > 0 {
+        let Reverse((OrderedF64(d), v)) = heap.pop().expect("heap exhausted");
+        if removed[v] || d > degree[v] + 1e-12 {
+            continue;
+        }
+        removed[v] = true;
+        removal_order.push(v);
+        // Removing v removes its incident edges to still-present nodes plus its
+        // self-loop.
+        let mut removed_weight = g.self_loop(NodeId::new(v));
+        for &(u, w) in g.neighbors(NodeId::new(v)) {
+            if !removed[u.index()] {
+                removed_weight += w;
+                degree[u.index()] -= w;
+                heap.push(Reverse((OrderedF64(degree[u.index()]), u.index())));
+            }
+        }
+        remaining_weight -= removed_weight;
+        remaining_nodes -= 1;
+        if remaining_nodes > 0 {
+            let density = remaining_weight / remaining_nodes as f64;
+            if density > best_density {
+                best_density = density;
+                best_prefix = removal_order.len();
+            }
+        }
+    }
+
+    let mut members = vec![true; n];
+    for &v in removal_order.iter().take(best_prefix) {
+        members[v] = false;
+    }
+    PeelingResult {
+        density: best_density,
+        members,
+        passes: 1,
+    }
+}
+
+/// Bahmani et al. streaming-style densest subset: each pass removes every node
+/// whose degree in the surviving subgraph is below `2(1+ε)·ρ(current)`.
+/// Returns the best subset over all passes and the number of passes executed.
+pub fn bahmani_densest(g: &WeightedGraph, epsilon: f64) -> PeelingResult {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    let n = g.num_nodes();
+    if n == 0 {
+        return PeelingResult {
+            density: 0.0,
+            members: Vec::new(),
+            passes: 0,
+        };
+    }
+    let mut alive = vec![true; n];
+    let mut alive_count = n;
+    let mut best_density = g.density();
+    let mut best_members = alive.clone();
+    let mut passes = 0usize;
+
+    while alive_count > 0 {
+        passes += 1;
+        let weight = g.subset_edge_weight(&alive);
+        let density = weight / alive_count as f64;
+        if density > best_density {
+            best_density = density;
+            best_members = alive.clone();
+        }
+        let threshold = 2.0 * (1.0 + epsilon) * density;
+        // Mark removals simultaneously (a "pass" inspects the same subgraph).
+        let mut to_remove = Vec::new();
+        for v in 0..n {
+            if alive[v] && g.degree_within(NodeId::new(v), &alive) < threshold {
+                to_remove.push(v);
+            }
+        }
+        if to_remove.is_empty() {
+            // Everyone meets the threshold; the current subgraph is dense and
+            // further passes would not change it.
+            break;
+        }
+        for v in to_remove {
+            alive[v] = false;
+            alive_count -= 1;
+        }
+    }
+    PeelingResult {
+        density: best_density,
+        members: best_members,
+        passes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkc_graph::generators::{complete_graph, planted_dense_community, star_graph};
+    use dkc_flow::densest_subgraph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn charikar_on_clique_is_exact() {
+        let g = complete_graph(8);
+        let r = charikar_peeling(&g);
+        assert!((r.density - 3.5).abs() < 1e-9);
+        assert_eq!(r.members.iter().filter(|&&b| b).count(), 8);
+    }
+
+    #[test]
+    fn charikar_on_star() {
+        // Densest subset of a star is the whole star: (n-1)/n.
+        let g = star_graph(10);
+        let r = charikar_peeling(&g);
+        assert!((r.density - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn charikar_within_factor_two_of_optimum() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..5 {
+            let planted = planted_dense_community(100, 15, 0.05, 0.8, &mut rng);
+            let exact = densest_subgraph(&planted.graph).density;
+            let approx = charikar_peeling(&planted.graph).density;
+            assert!(approx <= exact + 1e-9);
+            assert!(
+                approx >= exact / 2.0 - 1e-9,
+                "approx {approx} below half of exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn bahmani_within_factor_2_1_plus_eps() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let epsilon = 0.1;
+        for _ in 0..5 {
+            let planted = planted_dense_community(120, 20, 0.04, 0.85, &mut rng);
+            let exact = densest_subgraph(&planted.graph).density;
+            let result = bahmani_densest(&planted.graph, epsilon);
+            assert!(result.density <= exact + 1e-9);
+            assert!(
+                result.density >= exact / (2.0 * (1.0 + epsilon)) - 1e-9,
+                "approx {} below bound for exact {exact}",
+                result.density
+            );
+            // Pass bound: O(log_{1+eps} n).
+            let bound = ((120f64).ln() / (1.0 + epsilon).ln()).ceil() as usize + 2;
+            assert!(
+                result.passes <= bound,
+                "too many passes: {} > {bound}",
+                result.passes
+            );
+        }
+    }
+
+    #[test]
+    fn bahmani_members_match_reported_density() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let planted = planted_dense_community(80, 12, 0.05, 0.9, &mut rng);
+        let result = bahmani_densest(&planted.graph, 0.2);
+        let recomputed = planted.graph.density_of(&result.members).unwrap();
+        assert!((recomputed - result.density).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_baselines() {
+        let g = WeightedGraph::new(0);
+        assert_eq!(charikar_peeling(&g).density, 0.0);
+        assert_eq!(bahmani_densest(&g, 0.5).density, 0.0);
+    }
+
+    #[test]
+    fn edgeless_graph_baselines() {
+        let g = WeightedGraph::new(5);
+        assert_eq!(charikar_peeling(&g).density, 0.0);
+        assert_eq!(bahmani_densest(&g, 0.5).density, 0.0);
+    }
+}

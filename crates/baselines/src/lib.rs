@@ -1,0 +1,33 @@
+//! # dkc-baselines
+//!
+//! Centralized ground-truth algorithms and prior-art comparators used by the
+//! test suite and the experiment harness:
+//!
+//! * [`coreness`] — exact k-core decomposition: the Batagelj–Zaversnik `O(m)`
+//!   bucket algorithm for unit weights and heap-based peeling for weighted
+//!   graphs.
+//! * [`montresor`] — the distributed *exact* coreness protocol of Montresor,
+//!   De Pellegrini and Miorandi (run to convergence; its round complexity is
+//!   **not** diameter-independent, which is the comparison point of
+//!   experiment E8).
+//! * [`densest`] — Charikar's greedy peeling ½-approximation and the
+//!   Bahmani–Kumar–Vassilvitskii streaming-style `2(1+ε)`-approximation for the
+//!   densest subset.
+//! * [`orientation`] — centralized orientation baselines (greedy load
+//!   balancing, peeling-based 2-approximation) and the Barenboim–Elkin-style
+//!   two-phase distributed scheme that achieves `2(2+ε)` given a density
+//!   estimate (the prior art the paper improves on).
+
+pub mod coreness;
+pub mod densest;
+pub mod montresor;
+pub mod orientation;
+pub mod sarma;
+
+pub use coreness::{unweighted_coreness, weighted_coreness};
+pub use densest::{bahmani_densest, charikar_peeling, PeelingResult};
+pub use montresor::{montresor_exact_coreness, MontresorOutcome};
+pub use orientation::{
+    barenboim_elkin_orientation, greedy_orientation, peeling_orientation, OrientationBaseline,
+};
+pub use sarma::{sarma_densest, SarmaOutcome};

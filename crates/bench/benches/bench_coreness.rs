@@ -1,0 +1,48 @@
+//! E2 timing companion: wall-clock cost of the compact elimination procedure
+//! (Theorem I.1) as the graph grows, at the `2(1+ε)` round budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dkc_core::api::rounds_for_epsilon;
+use dkc_core::compact::run_compact_elimination;
+use dkc_core::surviving::surviving_numbers;
+use dkc_core::threshold::ThresholdSet;
+use dkc_distsim::ExecutionMode;
+use dkc_graph::generators::barabasi_albert;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_compact_elimination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coreness/compact_elimination");
+    group.sample_size(10);
+    for &n in &[2_000usize, 10_000, 50_000] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = barabasi_albert(n, 4, &mut rng);
+        let rounds = rounds_for_epsilon(n, 0.1);
+        group.bench_with_input(BenchmarkId::new("distributed", n), &g, |b, g| {
+            b.iter(|| run_compact_elimination(g, rounds, ThresholdSet::Reals, ExecutionMode::Parallel))
+        });
+        group.bench_with_input(BenchmarkId::new("centralized_reference", n), &g, |b, g| {
+            b.iter(|| surviving_numbers(g, rounds))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coreness/exact_baseline");
+    group.sample_size(10);
+    for &n in &[10_000usize, 50_000] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = barabasi_albert(n, 4, &mut rng);
+        group.bench_with_input(BenchmarkId::new("batagelj_zaversnik", n), &g, |b, g| {
+            b.iter(|| dkc_baselines::unweighted_coreness(g))
+        });
+        group.bench_with_input(BenchmarkId::new("weighted_peeling", n), &g, |b, g| {
+            b.iter(|| dkc_baselines::weighted_coreness(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compact_elimination, bench_exact_baseline);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E5 timing companion: the four-phase weak densest-subset protocol
+//! (Theorem I.3) versus the centralized baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dkc_baselines::{bahmani_densest, charikar_peeling};
+use dkc_core::api::rounds_for_epsilon;
+use dkc_core::densest::weak_densest_subsets_with_rounds;
+use dkc_distsim::ExecutionMode;
+use dkc_flow::densest_subgraph;
+use dkc_graph::generators::planted_dense_community;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_weak_densest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("densest");
+    group.sample_size(10);
+    for &n in &[1_000usize, 4_000] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let planted = planted_dense_community(n, 40, 4.0 / n as f64, 0.7, &mut rng);
+        let g = planted.graph;
+        let rounds = rounds_for_epsilon(n, 0.25);
+        group.bench_with_input(BenchmarkId::new("weak_densest_4phase", n), &g, |b, g| {
+            b.iter(|| weak_densest_subsets_with_rounds(g, rounds, ExecutionMode::Parallel))
+        });
+        group.bench_with_input(BenchmarkId::new("charikar_peeling", n), &g, |b, g| {
+            b.iter(|| charikar_peeling(g))
+        });
+        group.bench_with_input(BenchmarkId::new("bahmani_passes", n), &g, |b, g| {
+            b.iter(|| bahmani_densest(g, 0.25))
+        });
+        if n <= 1_000 {
+            group.bench_with_input(BenchmarkId::new("exact_flow", n), &g, |b, g| {
+                b.iter(|| densest_subgraph(g))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_weak_densest);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E1 timing companion: the Figure I.1 gadgets. Measures how expensive it is
+//! to actually distinguish the variants (Ω(n) rounds) versus the `O(log n)`
+//! budget the approximation uses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dkc_core::api::rounds_for_epsilon;
+use dkc_core::surviving::surviving_numbers;
+use dkc_graph::generators::{fig1_gadget, Fig1Variant};
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    for &n in &[512usize, 2_048, 8_192] {
+        let g = fig1_gadget(n, Fig1Variant::B);
+        let log_rounds = rounds_for_epsilon(n, 0.1);
+        group.bench_with_input(BenchmarkId::new("log_rounds_budget", n), &g, |b, g| {
+            b.iter(|| surviving_numbers(g, log_rounds))
+        });
+        // The Ω(n)-round run is only timed on the smaller gadgets to keep the
+        // bench suite's wall-clock reasonable; the asymptotic gap is already
+        // visible there.
+        if n <= 2_048 {
+            group.bench_with_input(
+                BenchmarkId::new("linear_rounds_to_distinguish", n),
+                &g,
+                |b, g| b.iter(|| surviving_numbers(g, n / 2)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

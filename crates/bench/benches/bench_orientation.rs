@@ -1,0 +1,41 @@
+//! E4 timing companion: the augmented elimination + orientation assembly
+//! (Theorem I.2) versus the centralized orientation baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dkc_baselines::{greedy_orientation, peeling_orientation};
+use dkc_core::api::rounds_for_epsilon;
+use dkc_core::compact::run_compact_elimination;
+use dkc_core::orientation::orientation_from_compact;
+use dkc_core::threshold::ThresholdSet;
+use dkc_distsim::ExecutionMode;
+use dkc_graph::generators::{barabasi_albert, with_random_integer_weights};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_orientation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orientation");
+    group.sample_size(10);
+    for &n in &[5_000usize, 20_000] {
+        let mut rng = StdRng::seed_from_u64(4);
+        let base = barabasi_albert(n, 4, &mut rng);
+        let g = with_random_integer_weights(&base, 10, &mut rng);
+        let rounds = rounds_for_epsilon(n, 0.5);
+        group.bench_with_input(BenchmarkId::new("distributed_2(1+eps)", n), &g, |b, g| {
+            b.iter(|| {
+                let outcome =
+                    run_compact_elimination(g, rounds, ThresholdSet::Reals, ExecutionMode::Parallel);
+                orientation_from_compact(g, &outcome)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("peeling_2approx", n), &g, |b, g| {
+            b.iter(|| peeling_orientation(g))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &g, |b, g| {
+            b.iter(|| greedy_orientation(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orientation);
+criterion_main!(benches);

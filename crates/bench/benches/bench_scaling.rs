@@ -1,0 +1,60 @@
+//! E9: simulator scaling — sequential vs rayon-parallel execution of the
+//! compact elimination rounds, and thread-count scaling (the HPC axis of the
+//! harness).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dkc_core::api::rounds_for_epsilon;
+use dkc_core::compact::run_compact_elimination;
+use dkc_core::threshold::ThresholdSet;
+use dkc_distsim::ExecutionMode;
+use dkc_graph::generators::barabasi_albert;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_execution_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/execution_mode");
+    group.sample_size(10);
+    for &n in &[20_000usize, 100_000] {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = barabasi_albert(n, 4, &mut rng);
+        let rounds = rounds_for_epsilon(n, 0.5);
+        group.bench_with_input(BenchmarkId::new("sequential", n), &g, |b, g| {
+            b.iter(|| run_compact_elimination(g, rounds, ThresholdSet::Reals, ExecutionMode::Sequential))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &g, |b, g| {
+            b.iter(|| run_compact_elimination(g, rounds, ThresholdSet::Reals, ExecutionMode::Parallel))
+        });
+    }
+    group.finish();
+}
+
+fn bench_thread_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/threads");
+    group.sample_size(10);
+    let n = 50_000usize;
+    let mut rng = StdRng::seed_from_u64(10);
+    let g = barabasi_albert(n, 4, &mut rng);
+    let rounds = rounds_for_epsilon(n, 0.5);
+    let max_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    let mut threads = vec![1usize, 2, 4, 8];
+    threads.retain(|&t| t <= max_threads.max(1));
+    for t in threads {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .expect("failed to build rayon pool");
+        group.bench_with_input(BenchmarkId::new("compact_elimination", t), &g, |b, g| {
+            b.iter(|| {
+                pool.install(|| {
+                    run_compact_elimination(g, rounds, ThresholdSet::Reals, ExecutionMode::Parallel)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_execution_modes, bench_thread_counts);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Runs every table experiment (E1–E8) in sequence. This is the one-shot
+//! reproduction entry point: `cargo run --release -p dkc-bench --bin exp_all`.
+use dkc_bench::WorkloadScale;
+fn main() {
+    dkc_bench::experiments::exp_fig1(&[16, 64, 256, 1024]).print();
+    dkc_bench::experiments::exp_coreness_ratio(WorkloadScale::Small, &[0.1, 0.25, 0.5, 1.0], 0.1).print();
+    dkc_bench::experiments::exp_rounds_to_target(WorkloadScale::Small, 0.1).print();
+    dkc_bench::experiments::exp_orientation(WorkloadScale::Small, 0.5).print();
+    dkc_bench::experiments::exp_densest(WorkloadScale::Small, 0.25).print();
+    dkc_bench::experiments::exp_lower_bound(&[2, 3], 8).print();
+    dkc_bench::experiments::exp_message_size(WorkloadScale::Small, &[0.01, 0.1, 0.5], 0.2).print();
+    dkc_bench::experiments::exp_vs_exact(WorkloadScale::Small, 0.5).print();
+    dkc_bench::experiments::exp_robustness(WorkloadScale::Small, 0.2, &[0.0, 0.05, 0.2, 0.5]).print();
+}

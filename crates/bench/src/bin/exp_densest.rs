@@ -1,0 +1,7 @@
+//! E5: weak densest subset protocol (Theorem I.3).
+use dkc_bench::WorkloadScale;
+fn main() {
+    for eps in [0.5, 0.25, 0.1] {
+        dkc_bench::experiments::exp_densest(WorkloadScale::Small, eps).print();
+    }
+}

@@ -1,0 +1,4 @@
+//! E1: Figure I.1 gadgets — the factor-2 lower bound.
+fn main() {
+    dkc_bench::experiments::exp_fig1(&[16, 32, 64, 128, 256, 512, 1024]).print();
+}

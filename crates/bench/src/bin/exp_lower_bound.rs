@@ -1,0 +1,6 @@
+//! E6: the Lemma III.13 lower-bound construction.
+fn main() {
+    dkc_bench::experiments::exp_lower_bound(&[2, 3], 8).print();
+    dkc_bench::experiments::exp_lower_bound(&[4], 5).print();
+    dkc_bench::experiments::exp_lower_bound(&[8], 4).print();
+}

@@ -1,0 +1,7 @@
+//! E4: min-max edge orientation (Theorem I.2) vs baselines.
+use dkc_bench::WorkloadScale;
+fn main() {
+    for eps in [1.0, 0.5, 0.1] {
+        dkc_bench::experiments::exp_orientation(WorkloadScale::Small, eps).print();
+    }
+}

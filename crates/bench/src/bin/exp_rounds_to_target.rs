@@ -1,0 +1,6 @@
+//! E3: empirical rounds to reach the target approximation ratio.
+use dkc_bench::WorkloadScale;
+fn main() {
+    dkc_bench::experiments::exp_rounds_to_target(WorkloadScale::Small, 0.1).print();
+    dkc_bench::experiments::exp_rounds_to_target(WorkloadScale::Medium, 0.1).print();
+}

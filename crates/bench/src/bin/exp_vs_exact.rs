@@ -1,0 +1,5 @@
+//! E8: exact distributed k-core (Montresor et al.) vs the approximation.
+use dkc_bench::WorkloadScale;
+fn main() {
+    dkc_bench::experiments::exp_vs_exact(WorkloadScale::Small, 0.5).print();
+}

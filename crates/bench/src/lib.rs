@@ -1,0 +1,19 @@
+//! # dkc-bench
+//!
+//! The experiment harness that regenerates the paper's evaluation (see
+//! `DESIGN.md` §4 and `EXPERIMENTS.md` for the experiment index E1–E9).
+//!
+//! Every experiment is a plain function in [`experiments`] returning structured
+//! rows; the `exp_*` binaries print them as tables, and the Criterion benches
+//! in `benches/` time the underlying protocols. The conference version of the
+//! paper defers raw numbers to its full version, so the reproduced quantities
+//! are the theorem guarantees, the lower-bound constructions, and the stated
+//! empirical observation that the approximation ratio converges to ≈ 2 (and on
+//! real-ish graphs to ≈ 1) much faster than the worst-case round bound.
+
+pub mod experiments;
+pub mod table;
+pub mod workloads;
+
+pub use table::Table;
+pub use workloads::{standard_suite, Workload, WorkloadScale};

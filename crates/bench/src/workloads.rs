@@ -1,0 +1,115 @@
+//! Named synthetic workloads standing in for the real-world graphs of the
+//! paper's full-version experiments.
+
+use dkc_graph::generators::{
+    barabasi_albert, chung_lu_power_law, erdos_renyi, grid_graph, planted_dense_community,
+    watts_strogatz, with_random_integer_weights,
+};
+use dkc_graph::WeightedGraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A named experiment workload.
+pub struct Workload {
+    /// Short name used in table rows.
+    pub name: &'static str,
+    /// The graph instance.
+    pub graph: WeightedGraph,
+    /// Whether the instance carries non-unit edge weights.
+    pub weighted: bool,
+}
+
+/// How large the standard suite should be.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadScale {
+    /// Small instances for which exact ground truth (flow-based) is cheap.
+    /// Roughly 1–2 thousand nodes.
+    Small,
+    /// Medium instances for protocol-only measurements (tens of thousands of
+    /// nodes); exact densest-subgraph ground truth is skipped at this scale.
+    Medium,
+}
+
+impl WorkloadScale {
+    fn factor(self) -> usize {
+        match self {
+            WorkloadScale::Small => 1,
+            WorkloadScale::Medium => 10,
+        }
+    }
+}
+
+/// The standard workload suite used across experiments: two heavy-tailed
+/// models (the social/web-graph stand-ins), a near-regular random graph, a
+/// small-world overlay, a planted dense community, a high-diameter grid, and a
+/// weighted variant.
+pub fn standard_suite(scale: WorkloadScale) -> Vec<Workload> {
+    let f = scale.factor();
+    let mut rng = StdRng::seed_from_u64(0xDCC0);
+    let ba = barabasi_albert(1500 * f, 4, &mut rng);
+    let weighted_ba = with_random_integer_weights(&ba, 10, &mut rng);
+    vec![
+        Workload {
+            name: "ba",
+            graph: ba,
+            weighted: false,
+        },
+        Workload {
+            name: "chung-lu",
+            graph: chung_lu_power_law(1500 * f, 2.5, 8.0, &mut rng),
+            weighted: false,
+        },
+        Workload {
+            name: "erdos-renyi",
+            graph: erdos_renyi(1200 * f, 8.0 / (1200.0 * f as f64), &mut rng),
+            weighted: false,
+        },
+        Workload {
+            name: "small-world",
+            graph: watts_strogatz(1000 * f, 8, 0.1, &mut rng),
+            weighted: false,
+        },
+        Workload {
+            name: "planted",
+            graph: planted_dense_community(1000 * f, 40, 4.0 / (1000.0 * f as f64), 0.7, &mut rng)
+                .graph,
+            weighted: false,
+        },
+        Workload {
+            name: "grid",
+            graph: grid_graph(20, 50 * f),
+            weighted: false,
+        },
+        Workload {
+            name: "weighted-ba",
+            graph: weighted_ba,
+            weighted: true,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_well_formed() {
+        let suite = standard_suite(WorkloadScale::Small);
+        assert_eq!(suite.len(), 7);
+        for w in &suite {
+            assert!(w.graph.num_nodes() >= 1000, "{} too small", w.name);
+            assert!(w.graph.num_edges() > 0, "{} has no edges", w.name);
+            assert_eq!(w.weighted, !w.graph.is_unit_weighted(), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = standard_suite(WorkloadScale::Small);
+        let b = standard_suite(WorkloadScale::Small);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.graph.num_edges(), y.graph.num_edges());
+            assert_eq!(x.graph.total_edge_weight(), y.graph.total_edge_weight());
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Dependency-free argument parsing: a command word, positional arguments, and
+//! `--flag value` pairs (flags without values are treated as boolean switches).
+
+use std::collections::HashMap;
+
+/// A parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Parsed {
+    /// The command word (first argument).
+    pub command: String,
+    /// Positional arguments after the command (excluding flags).
+    pub positional: Vec<String>,
+    /// `--flag value` pairs; boolean switches map to `"true"`.
+    pub flags: HashMap<String, String>,
+}
+
+impl Parsed {
+    /// Parses raw arguments (without the program name).
+    pub fn parse(raw: &[String]) -> Result<Parsed, String> {
+        let mut iter = raw.iter().peekable();
+        let command = iter
+            .next()
+            .cloned()
+            .ok_or_else(|| format!("missing command\n{}", crate::USAGE))?;
+        let mut positional = Vec::new();
+        let mut flags = HashMap::new();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if name.is_empty() {
+                    return Err("empty flag name".to_string());
+                }
+                // A flag takes a value unless the next token is another flag or
+                // the end of the arguments.
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        flags.insert(name.to_string(), iter.next().unwrap().clone());
+                    }
+                    _ => {
+                        flags.insert(name.to_string(), "true".to_string());
+                    }
+                }
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Ok(Parsed {
+            command,
+            positional,
+            flags,
+        })
+    }
+
+    /// A required positional argument.
+    pub fn positional(&self, index: usize, what: &str) -> Result<&str, String> {
+        self.positional
+            .get(index)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing {what}\n{}", crate::USAGE))
+    }
+
+    /// A string flag with a default.
+    pub fn flag_str(&self, name: &str, default: &str) -> String {
+        self.flags
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// A numeric flag with a default; errors on malformed values.
+    pub fn flag_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<T>()
+                .map_err(|_| format!("invalid value for --{name}: {v:?}")),
+        }
+    }
+
+    /// Whether a boolean switch is present.
+    pub fn switch(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_positionals_and_flags() {
+        let p = Parsed::parse(&s(&[
+            "coreness", "graph.edges", "--epsilon", "0.1", "--exact", "--top", "5",
+        ]))
+        .unwrap();
+        assert_eq!(p.command, "coreness");
+        assert_eq!(p.positional, vec!["graph.edges"]);
+        assert_eq!(p.flag_str("epsilon", "1.0"), "0.1");
+        assert_eq!(p.flag_num::<f64>("epsilon", 1.0).unwrap(), 0.1);
+        assert_eq!(p.flag_num::<usize>("top", 0).unwrap(), 5);
+        assert!(p.switch("exact"));
+        assert!(!p.switch("compare"));
+    }
+
+    #[test]
+    fn defaults_and_errors() {
+        let p = Parsed::parse(&s(&["stats", "f"])).unwrap();
+        assert_eq!(p.flag_num::<f64>("epsilon", 0.25).unwrap(), 0.25);
+        assert_eq!(p.positional(0, "file").unwrap(), "f");
+        assert!(p.positional(1, "other").is_err());
+
+        assert!(Parsed::parse(&[]).is_err());
+        let bad = Parsed::parse(&s(&["x", "--epsilon", "abc"])).unwrap();
+        assert!(bad.flag_num::<f64>("epsilon", 1.0).is_err());
+    }
+
+    #[test]
+    fn trailing_switch_is_boolean() {
+        let p = Parsed::parse(&s(&["coreness", "f", "--exact"])).unwrap();
+        assert!(p.switch("exact"));
+    }
+}

@@ -1,0 +1,280 @@
+//! Command implementations. Every command returns its full output as a
+//! `String` so the logic is unit-testable without capturing stdout.
+
+use crate::args::Parsed;
+use dkc_baselines::{greedy_orientation, peeling_orientation, weighted_coreness};
+use dkc_core::api::{
+    approximate_coreness_with_rounds, approximate_orientation, rounds_for_epsilon,
+    weak_densest_subsets,
+};
+use dkc_core::ratio::ApproxRatio;
+use dkc_core::threshold::ThresholdSet;
+use dkc_distsim::ExecutionMode;
+use dkc_flow::{densest_subgraph, fractional_orientation_lower_bound};
+use dkc_graph::generators as gen;
+use dkc_graph::io::{read_edge_list, write_edge_list};
+use dkc_graph::properties::{degree_stats, diameter_double_sweep};
+use dkc_graph::{CsrGraph, NodeId, WeightedGraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+/// Dispatches a parsed command line.
+pub fn dispatch(parsed: &Parsed) -> Result<String, String> {
+    match parsed.command.as_str() {
+        "help" | "--help" | "-h" => Ok(crate::USAGE.to_string()),
+        "generate" => generate(parsed),
+        "stats" => stats(parsed),
+        "coreness" => coreness(parsed),
+        "orientation" => orientation(parsed),
+        "densest" => densest(parsed),
+        other => Err(format!("unknown command {other:?}\n{}", crate::USAGE)),
+    }
+}
+
+fn load(parsed: &Parsed) -> Result<WeightedGraph, String> {
+    let path = parsed.positional(0, "input edge-list file")?;
+    read_edge_list(path).map_err(|e| format!("failed to read {path}: {e}"))
+}
+
+fn generate(parsed: &Parsed) -> Result<String, String> {
+    let model = parsed.positional(0, "generator model")?;
+    let n: usize = parsed.flag_num("nodes", 1000)?;
+    let seed: u64 = parsed.flag_num("seed", 42)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = match model {
+        "ba" => {
+            let attach: usize = parsed.flag_num("attach", 3)?;
+            gen::barabasi_albert(n, attach, &mut rng)
+        }
+        "er" => {
+            let p: f64 = parsed.flag_num("prob", 0.01)?;
+            gen::erdos_renyi(n, p, &mut rng)
+        }
+        "chung-lu" => {
+            let alpha: f64 = parsed.flag_num("alpha", 2.5)?;
+            let avg: f64 = parsed.flag_num("avg-degree", 8.0)?;
+            gen::chung_lu_power_law(n, alpha, avg, &mut rng)
+        }
+        "ws" => {
+            let k: usize = parsed.flag_num("k", 6)?;
+            let beta: f64 = parsed.flag_num("beta", 0.1)?;
+            gen::watts_strogatz(n, k, beta, &mut rng)
+        }
+        "grid" => {
+            let rows: usize = parsed.flag_num("rows", 10)?;
+            let cols: usize = parsed.flag_num("cols", n / 10)?;
+            gen::grid_graph(rows, cols)
+        }
+        "path" => gen::path_graph(n),
+        "cycle" => gen::cycle_graph(n),
+        "complete" => gen::complete_graph(n),
+        other => return Err(format!("unknown generator model {other:?}\n{}", crate::USAGE)),
+    };
+    let max_weight: u32 = parsed.flag_num("weights", 1)?;
+    if max_weight > 1 {
+        g = gen::with_random_integer_weights(&g, max_weight, &mut rng);
+    }
+    let mut out = format!(
+        "generated {model}: {} nodes, {} edges, total weight {:.1}\n",
+        g.num_nodes(),
+        g.num_edges(),
+        g.total_edge_weight()
+    );
+    let target = parsed.flag_str("out", "");
+    if !target.is_empty() {
+        write_edge_list(&g, &target).map_err(|e| format!("failed to write {target}: {e}"))?;
+        let _ = writeln!(out, "written to {target}");
+    } else {
+        out.push_str(&dkc_graph::io::to_edge_list(&g));
+    }
+    Ok(out)
+}
+
+fn stats(parsed: &Parsed) -> Result<String, String> {
+    let g = load(parsed)?;
+    let csr = CsrGraph::from(&g);
+    let deg = degree_stats(&g);
+    let diameter = diameter_double_sweep(&csr, NodeId(0));
+    let mut out = String::new();
+    let _ = writeln!(out, "nodes: {}", g.num_nodes());
+    let _ = writeln!(out, "edges: {}", g.num_edges());
+    let _ = writeln!(out, "total edge weight: {:.2}", g.total_edge_weight());
+    let _ = writeln!(out, "density w(E)/n: {:.3}", g.density());
+    let _ = writeln!(
+        out,
+        "weighted degree: min {:.2} / mean {:.2} / max {:.2}",
+        deg.min, deg.mean, deg.max
+    );
+    let _ = writeln!(out, "hop diameter (double-sweep lower bound): {diameter}");
+    let _ = writeln!(out, "unit weights: {}", g.is_unit_weighted());
+    Ok(out)
+}
+
+fn coreness(parsed: &Parsed) -> Result<String, String> {
+    let g = load(parsed)?;
+    let epsilon: f64 = parsed.flag_num("epsilon", 0.25)?;
+    let default_rounds = rounds_for_epsilon(g.num_nodes(), epsilon);
+    let rounds: usize = parsed.flag_num("rounds", default_rounds)?;
+    let lambda: f64 = parsed.flag_num("lambda", 0.0)?;
+    let threshold_set = if lambda > 0.0 {
+        ThresholdSet::power_grid(lambda)
+    } else {
+        ThresholdSet::Reals
+    };
+    let approx = approximate_coreness_with_rounds(&g, rounds, threshold_set, ExecutionMode::Parallel);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "compact elimination: {} rounds, guaranteed factor {:.3}, {} messages, max message {} bits",
+        approx.rounds,
+        approx.guaranteed_factor,
+        approx.metrics.total_messages(),
+        approx.metrics.max_message_bits()
+    );
+    let top: usize = parsed.flag_num("top", 5)?;
+    let mut ranked: Vec<usize> = (0..g.num_nodes()).collect();
+    ranked.sort_by(|&a, &b| approx.values[b].partial_cmp(&approx.values[a]).unwrap());
+    let _ = writeln!(out, "top {top} nodes by approximate coreness:");
+    for &v in ranked.iter().take(top) {
+        let _ = writeln!(out, "  node {v}: beta = {:.3}", approx.values[v]);
+    }
+    if parsed.switch("exact") {
+        let exact = weighted_coreness(&g);
+        let ratio = ApproxRatio::compute(&approx.values, &exact);
+        let _ = writeln!(
+            out,
+            "vs exact coreness: max ratio {:.3}, mean ratio {:.3}, degeneracy {:.2}",
+            ratio.max,
+            ratio.mean,
+            exact.iter().fold(0.0f64, |a, &b| a.max(b))
+        );
+    }
+    Ok(out)
+}
+
+fn orientation(parsed: &Parsed) -> Result<String, String> {
+    let g = load(parsed)?;
+    let epsilon: f64 = parsed.flag_num("epsilon", 0.25)?;
+    let approx = approximate_orientation(&g, epsilon, ExecutionMode::Parallel);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "distributed orientation: {} rounds, max in-degree {:.3} (guaranteed factor {:.3})",
+        approx.rounds, approx.max_in_degree, approx.guaranteed_factor
+    );
+    if parsed.switch("compare") {
+        let rho = fractional_orientation_lower_bound(&g);
+        let peel = peeling_orientation(&g);
+        let greedy = greedy_orientation(&g);
+        let _ = writeln!(out, "LP lower bound rho*: {rho:.3}");
+        let _ = writeln!(
+            out,
+            "ratios vs rho*: distributed {:.3}, peeling {:.3}, greedy {:.3}",
+            approx.max_in_degree / rho.max(1e-12),
+            peel.max_in_degree / rho.max(1e-12),
+            greedy.max_in_degree / rho.max(1e-12)
+        );
+    }
+    Ok(out)
+}
+
+fn densest(parsed: &Parsed) -> Result<String, String> {
+    let g = load(parsed)?;
+    let epsilon: f64 = parsed.flag_num("epsilon", 0.25)?;
+    let result = weak_densest_subsets(&g, epsilon, ExecutionMode::Parallel);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "weak densest subsets: {} clusters, {} total rounds (phases {:?})",
+        result.clusters.len(),
+        result.rounds_total,
+        result.phase_rounds
+    );
+    let _ = writeln!(out, "best cluster density: {:.3}", result.best_density);
+    let mut clusters = result.clusters.clone();
+    clusters.sort_by(|a, b| b.actual_density.partial_cmp(&a.actual_density).unwrap());
+    for c in clusters.iter().take(5) {
+        let _ = writeln!(
+            out,
+            "  leader {} : size {}, density {:.3}",
+            c.leader, c.size, c.actual_density
+        );
+    }
+    if parsed.switch("exact") {
+        let exact = densest_subgraph(&g);
+        let _ = writeln!(
+            out,
+            "exact densest subset: density {:.3}, size {} (ratio {:.3})",
+            exact.density,
+            exact.size(),
+            exact.density / result.best_density.max(1e-12)
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Parsed {
+        Parsed::parse(&v.iter().map(|x| x.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn temp_graph() -> String {
+        let dir = std::env::temp_dir().join("dkc_cli_cmd_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("small.edges");
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = gen::barabasi_albert(80, 3, &mut rng);
+        write_edge_list(&g, &path).unwrap();
+        path.to_string_lossy().to_string()
+    }
+
+    #[test]
+    fn generate_inline_output_without_file() {
+        let out = dispatch(&parse(&["generate", "path", "--nodes", "5"])).unwrap();
+        assert!(out.contains("5 nodes"));
+        assert!(out.contains("0 1 1"));
+    }
+
+    #[test]
+    fn generate_rejects_unknown_model() {
+        assert!(dispatch(&parse(&["generate", "hypercube", "--nodes", "8"])).is_err());
+    }
+
+    #[test]
+    fn stats_reports_basic_quantities() {
+        let path = temp_graph();
+        let out = dispatch(&parse(&["stats", &path])).unwrap();
+        assert!(out.contains("nodes: 80"));
+        assert!(out.contains("hop diameter"));
+    }
+
+    #[test]
+    fn coreness_with_quantization_and_exact() {
+        let path = temp_graph();
+        let out = dispatch(&parse(&[
+            "coreness", &path, "--epsilon", "0.5", "--lambda", "0.1", "--exact", "--top", "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("max ratio"));
+        assert!(out.contains("top 2 nodes"));
+    }
+
+    #[test]
+    fn orientation_and_densest_commands() {
+        let path = temp_graph();
+        let o = dispatch(&parse(&["orientation", &path, "--compare"])).unwrap();
+        assert!(o.contains("rho*"));
+        let d = dispatch(&parse(&["densest", &path, "--exact"])).unwrap();
+        assert!(d.contains("exact densest subset"));
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let err = dispatch(&parse(&["stats", "/nonexistent/nowhere.edges"])).unwrap_err();
+        assert!(err.contains("failed to read"));
+    }
+}

@@ -1,0 +1,83 @@
+//! # dkc-cli
+//!
+//! A small command-line front end over the library: generate synthetic graphs,
+//! inspect them, and run the paper's distributed approximation algorithms (or
+//! the exact baselines) on edge-list files.
+//!
+//! ```text
+//! dkc generate ba --nodes 10000 --attach 4 --out graph.edges
+//! dkc stats graph.edges
+//! dkc coreness graph.edges --epsilon 0.1 --exact --top 10
+//! dkc orientation graph.edges --epsilon 0.5
+//! dkc densest graph.edges --epsilon 0.25
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free (`--flag value` pairs plus
+//! positional arguments); see [`args`].
+
+pub mod args;
+pub mod commands;
+
+/// Entry point used by the `dkc` binary: parses the raw arguments, dispatches
+/// the command, and returns the output text (or a usage/error message).
+pub fn run(raw_args: &[String]) -> Result<String, String> {
+    let parsed = args::Parsed::parse(raw_args)?;
+    commands::dispatch(&parsed)
+}
+
+/// The usage string printed on `--help` or on errors.
+pub const USAGE: &str = "\
+dkc — distributed approximate k-core / min-max orientation / densest subsets
+
+USAGE:
+  dkc generate <model> --nodes N [--out FILE] [--seed S] [model options]
+      models: ba (--attach M), er (--prob P), chung-lu (--alpha A --avg-degree D),
+              ws (--k K --beta B), grid (--rows R --cols C), path, cycle, complete
+      common: --weights W   give edges random integer weights in 1..=W
+  dkc stats <file>
+  dkc coreness <file> [--epsilon E] [--rounds T] [--lambda L] [--exact] [--top K]
+  dkc orientation <file> [--epsilon E] [--compare]
+  dkc densest <file> [--epsilon E] [--exact]
+  dkc help
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_errors() {
+        assert!(run(&s(&["help"])).unwrap().contains("USAGE"));
+        assert!(run(&s(&[])).is_err());
+        assert!(run(&s(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn generate_stats_coreness_roundtrip() {
+        let dir = std::env::temp_dir().join("dkc_cli_lib_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.edges");
+        let path_str = path.to_string_lossy().to_string();
+        let out = run(&s(&[
+            "generate", "ba", "--nodes", "200", "--attach", "3", "--seed", "7", "--out", &path_str,
+        ]))
+        .unwrap();
+        assert!(out.contains("200 nodes"));
+
+        let stats = run(&s(&["stats", &path_str])).unwrap();
+        assert!(stats.contains("nodes: 200"));
+
+        let core = run(&s(&["coreness", &path_str, "--epsilon", "0.5", "--exact", "--top", "3"])).unwrap();
+        assert!(core.contains("max ratio"));
+
+        let orient = run(&s(&["orientation", &path_str, "--epsilon", "0.5", "--compare"])).unwrap();
+        assert!(orient.contains("max in-degree"));
+
+        let densest = run(&s(&["densest", &path_str, "--epsilon", "0.5", "--exact"])).unwrap();
+        assert!(densest.contains("best cluster density"));
+    }
+}

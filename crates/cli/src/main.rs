@@ -1,0 +1,18 @@
+//! The `dkc` command-line binary. All logic lives in the library (`dkc_cli`)
+//! so it can be unit-tested; this file only wires up `std::env::args`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dkc_cli::run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

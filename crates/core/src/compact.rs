@@ -1,0 +1,437 @@
+//! Algorithm 2: the compact elimination procedure.
+//!
+//! Instead of running Algorithm 1 for every threshold in parallel, each node
+//! only remembers the largest threshold for which it still survives — its
+//! *surviving number* `b_v` — and broadcasts it each round. After receiving its
+//! neighbours' numbers, a node recomputes `b_v` with the `Update` subroutine
+//! (Algorithm 3), optionally rounding down to the threshold set Λ, and (for
+//! Λ = ℝ) maintains the auxiliary in-neighbour set `N_v` used by the min-max
+//! orientation (Theorem I.2).
+
+use crate::threshold::ThresholdSet;
+use crate::update::UpdateState;
+use dkc_distsim::message::QuantizedValue;
+use dkc_distsim::{ExecutionMode, Network, NodeContext, NodeProgram, Outgoing, RunMetrics};
+use dkc_graph::{NodeId, WeightedGraph};
+
+/// Per-node program for the compact elimination procedure.
+#[derive(Clone, Debug)]
+pub struct CompactNode {
+    /// Current surviving number (starts at +∞, as in Algorithm 2).
+    b: f64,
+    /// Latest surviving numbers heard from each neighbour (by adjacency
+    /// position), initialized to +∞.
+    neighbor_values: Vec<f64>,
+    /// Persistent `Update` state (history-encoding neighbour order).
+    update: UpdateState,
+    /// Current auxiliary in-neighbour flags `N_v` (by adjacency position).
+    in_neighbors: Vec<bool>,
+    /// The threshold set Λ.
+    threshold_set: ThresholdSet,
+    /// Bits charged per transmitted surviving number (fixed per node; see
+    /// [`ThresholdSet::message_bits`]).
+    message_bits: usize,
+}
+
+impl CompactNode {
+    /// Builds the initial state for a node with the given local view.
+    pub fn new(ctx: &NodeContext<'_>, threshold_set: ThresholdSet) -> Self {
+        let neighbor_ids = ctx.neighbors();
+        CompactNode {
+            b: f64::INFINITY,
+            neighbor_values: vec![f64::INFINITY; neighbor_ids.len()],
+            update: UpdateState::new(neighbor_ids),
+            in_neighbors: vec![true; neighbor_ids.len()],
+            threshold_set,
+            message_bits: threshold_set.message_bits(ctx.degree().max(1.0)),
+        }
+    }
+
+    /// The node's current surviving number.
+    pub fn surviving_number(&self) -> f64 {
+        self.b
+    }
+
+    /// The auxiliary in-neighbour flags (by adjacency position).
+    pub fn in_neighbor_flags(&self) -> &[bool] {
+        &self.in_neighbors
+    }
+}
+
+impl NodeProgram for CompactNode {
+    type Message = QuantizedValue;
+
+    fn broadcast(&mut self, _ctx: &NodeContext<'_>) -> Outgoing<QuantizedValue> {
+        Outgoing::Broadcast(QuantizedValue {
+            value: self.b,
+            bits: self.message_bits,
+        })
+    }
+
+    fn receive(&mut self, ctx: &NodeContext<'_>, inbox: &[(NodeId, QuantizedValue)]) -> bool {
+        // Merge the received numbers into the per-neighbour cache. Every
+        // neighbour broadcasts every round, so the inbox is aligned with the
+        // neighbour list; the merge also tolerates missing entries.
+        let neighbors = ctx.neighbors();
+        let mut inbox_iter = inbox.iter().peekable();
+        for (idx, &u) in neighbors.iter().enumerate() {
+            if let Some(&&(sender, msg)) = inbox_iter.peek() {
+                if sender == u {
+                    self.neighbor_values[idx] = msg.value;
+                    inbox_iter.next();
+                }
+            }
+        }
+        let result = self.update.update(
+            &self.neighbor_values,
+            ctx.neighbor_weights(),
+            ctx.self_loop(),
+        );
+        let rounded = self.threshold_set.round_down(result.b);
+        debug_assert!(
+            rounded <= self.b + 1e-9,
+            "surviving number increased: {} -> {rounded}",
+            self.b
+        );
+        let changed = (rounded - self.b).abs() > 1e-12 || self.b.is_infinite();
+        self.b = rounded;
+        self.in_neighbors = result.in_neighbors;
+        changed
+    }
+}
+
+/// The output of the compact elimination procedure.
+#[derive(Clone, Debug)]
+pub struct CompactOutcome {
+    /// `surviving[v]` = the surviving number `b_v` after the requested number
+    /// of rounds (equal to `β^T(v)` for Λ = ℝ, Fact III.9).
+    pub surviving: Vec<f64>,
+    /// `in_neighbors[v]` = the auxiliary subset `N_v` (neighbours whose shared
+    /// edge is assigned to `v`). Meaningful for Λ = ℝ (Definition III.7).
+    pub in_neighbors: Vec<Vec<NodeId>>,
+    /// Number of rounds executed.
+    pub rounds: usize,
+    /// Communication metrics of the run.
+    pub metrics: RunMetrics,
+}
+
+impl CompactOutcome {
+    /// The largest surviving number in the network (an upper bound on the
+    /// maximum density / coreness; used e.g. to feed the Barenboim–Elkin
+    /// baseline).
+    pub fn max_surviving(&self) -> f64 {
+        self.surviving.iter().fold(0.0, |a, &b| a.max(b))
+    }
+}
+
+/// Runs Algorithm 2 for `rounds` rounds over `g` with threshold set Λ.
+pub fn run_compact_elimination(
+    g: &WeightedGraph,
+    rounds: usize,
+    threshold_set: ThresholdSet,
+    mode: ExecutionMode,
+) -> CompactOutcome {
+    run_compact_elimination_with_loss(g, rounds, threshold_set, mode, None)
+}
+
+/// Runs Algorithm 2 under (optional) message-loss fault injection.
+///
+/// Lost messages leave the receiver's cached neighbour value at its previous
+/// (higher) level, so the computed surviving numbers can only be **larger**
+/// than in a fault-free run — the output therefore remains a valid upper bound
+/// on the coreness (Lemma III.2 is unaffected) and only the convergence slows
+/// down gracefully. The robustness experiment E10 quantifies this.
+pub fn run_compact_elimination_with_loss(
+    g: &WeightedGraph,
+    rounds: usize,
+    threshold_set: ThresholdSet,
+    mode: ExecutionMode,
+    loss: Option<dkc_distsim::LossModel>,
+) -> CompactOutcome {
+    let mut net = Network::new(g, |ctx| CompactNode::new(ctx, threshold_set)).with_mode(mode);
+    if let Some(model) = loss {
+        net = net.with_message_loss(model);
+    }
+    net.run(rounds);
+    let graph = net.graph().clone();
+    let (programs, metrics) = net.into_parts();
+    let surviving: Vec<f64> = programs.iter().map(|p| p.b).collect();
+    let in_neighbors: Vec<Vec<NodeId>> = programs
+        .iter()
+        .enumerate()
+        .map(|(v, p)| {
+            let nbrs = graph.neighbors(NodeId::new(v));
+            p.in_neighbors
+                .iter()
+                .enumerate()
+                .filter(|&(_, &flag)| flag)
+                .map(|(pos, _)| nbrs[pos])
+                .collect()
+        })
+        .collect();
+    CompactOutcome {
+        surviving,
+        in_neighbors,
+        rounds,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::surviving::surviving_numbers;
+    use dkc_baselines::weighted_coreness;
+    use dkc_flow::dense_decomposition;
+    use dkc_graph::generators::{
+        barabasi_albert, complete_graph, erdos_renyi, path_graph, with_random_integer_weights,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distributed_matches_centralized_reference() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..3 {
+            let g = erdos_renyi(50, 0.1, &mut rng);
+            for rounds in [1usize, 2, 4, 7] {
+                let outcome = run_compact_elimination(
+                    &g,
+                    rounds,
+                    ThresholdSet::Reals,
+                    ExecutionMode::Sequential,
+                );
+                let reference = surviving_numbers(&g, rounds);
+                for v in 0..50 {
+                    assert!(
+                        (outcome.surviving[v] - reference[v]).abs() < 1e-9,
+                        "rounds {rounds}, node {v}: {} vs {}",
+                        outcome.surviving[v],
+                        reference[v]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let g = barabasi_albert(120, 3, &mut rng);
+        let seq = run_compact_elimination(&g, 5, ThresholdSet::Reals, ExecutionMode::Sequential);
+        let par = run_compact_elimination(&g, 5, ThresholdSet::Reals, ExecutionMode::Parallel);
+        assert_eq!(seq.surviving, par.surviving);
+        assert_eq!(seq.in_neighbors, par.in_neighbors);
+    }
+
+    /// Theorem III.5: r(v) <= c(v) <= β^T(v) <= γ·r(v) <= γ·c(v) with
+    /// γ = 2 n^{1/T}.
+    #[test]
+    fn theorem_iii_5_sandwich() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let base = erdos_renyi(40, 0.15, &mut rng);
+        let g = with_random_integer_weights(&base, 3, &mut rng);
+        let core = weighted_coreness(&g);
+        let decomposition = dense_decomposition(&g);
+        let n = 40f64;
+        for rounds in [1usize, 2, 4, 6, 10] {
+            let outcome =
+                run_compact_elimination(&g, rounds, ThresholdSet::Reals, ExecutionMode::Sequential);
+            let gamma = 2.0 * n.powf(1.0 / rounds as f64);
+            for v in 0..40 {
+                let beta = outcome.surviving[v];
+                let r = decomposition.maximal_density[v];
+                let c = core[v];
+                assert!(r <= c + 1e-6, "r > c at node {v}");
+                assert!(c <= beta + 1e-6, "c > beta at node {v} (rounds {rounds})");
+                assert!(
+                    beta <= gamma * r + 1e-6,
+                    "beta {beta} > gamma*r = {} at node {v} (rounds {rounds})",
+                    gamma * r
+                );
+            }
+        }
+    }
+
+    /// Definition III.7, second invariant: every edge is covered by at least
+    /// one endpoint's auxiliary set.
+    #[test]
+    fn every_edge_is_covered() {
+        let mut rng = StdRng::seed_from_u64(24);
+        for trial in 0..4 {
+            let base = barabasi_albert(80, 3, &mut rng);
+            let g = if trial % 2 == 0 {
+                base
+            } else {
+                with_random_integer_weights(&base, 10, &mut rng)
+            };
+            for rounds in [1usize, 3, 6] {
+                let outcome = run_compact_elimination(
+                    &g,
+                    rounds,
+                    ThresholdSet::Reals,
+                    ExecutionMode::Sequential,
+                );
+                for (u, v, _) in g.edges() {
+                    if u == v {
+                        continue;
+                    }
+                    let covered = outcome.in_neighbors[v.index()].contains(&u)
+                        || outcome.in_neighbors[u.index()].contains(&v);
+                    assert!(
+                        covered,
+                        "edge {{{u}, {v}}} uncovered after {rounds} rounds (trial {trial})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Definition III.7, first invariant: Σ_{u ∈ N_v} w_uv <= b_v.
+    #[test]
+    fn in_neighbor_weight_bounded_by_surviving_number() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let base = barabasi_albert(100, 4, &mut rng);
+        let g = with_random_integer_weights(&base, 7, &mut rng);
+        let outcome = run_compact_elimination(&g, 5, ThresholdSet::Reals, ExecutionMode::Sequential);
+        for v in g.nodes() {
+            let total: f64 = outcome.in_neighbors[v.index()]
+                .iter()
+                .map(|&u| {
+                    g.neighbors(v)
+                        .iter()
+                        .find(|&&(x, _)| x == u)
+                        .map(|&(_, w)| w)
+                        .unwrap()
+                })
+                .sum();
+            assert!(
+                total <= outcome.surviving[v.index()] + 1e-9,
+                "node {v}: N weight {total} > b {}",
+                outcome.surviving[v.index()]
+            );
+        }
+    }
+
+    /// Corollary III.10: with Λ = powers of (1+λ), the output is within a
+    /// (1+λ) factor below the exact surviving number.
+    #[test]
+    fn quantization_loses_at_most_one_grid_step() {
+        let mut rng = StdRng::seed_from_u64(26);
+        let g = erdos_renyi(60, 0.1, &mut rng);
+        let rounds = 6;
+        let exact = run_compact_elimination(&g, rounds, ThresholdSet::Reals, ExecutionMode::Sequential);
+        for &lambda in &[0.01, 0.1, 0.5] {
+            let quantized = run_compact_elimination(
+                &g,
+                rounds,
+                ThresholdSet::power_grid(lambda),
+                ExecutionMode::Sequential,
+            );
+            for v in 0..60 {
+                let e = exact.surviving[v];
+                let q = quantized.surviving[v];
+                assert!(q <= e + 1e-9, "quantized above exact at node {v}");
+                assert!(
+                    q * (1.0 + lambda) * (1.0 + lambda) >= e - 1e-9,
+                    "node {v}: quantized {q} more than (1+λ)^2 below exact {e} (λ={lambda})"
+                );
+            }
+            // Quantized messages must be smaller than full words.
+            assert!(quantized.metrics.max_message_bits() < exact.metrics.max_message_bits());
+        }
+    }
+
+    #[test]
+    fn clique_values_equal_degree() {
+        let g = complete_graph(8);
+        let outcome = run_compact_elimination(&g, 3, ThresholdSet::Reals, ExecutionMode::Sequential);
+        // K_8: coreness = density-ish = 7; β stays at 7 from round 1 on.
+        for v in 0..8 {
+            assert_eq!(outcome.surviving[v], 7.0);
+        }
+    }
+
+    #[test]
+    fn path_converges_to_coreness_one() {
+        let g = path_graph(10);
+        // After enough rounds, β = coreness = 1 everywhere.
+        let outcome =
+            run_compact_elimination(&g, 20, ThresholdSet::Reals, ExecutionMode::Sequential);
+        for v in 0..10 {
+            assert_eq!(outcome.surviving[v], 1.0);
+        }
+        // After a single round, β = degree.
+        let one = run_compact_elimination(&g, 1, ThresholdSet::Reals, ExecutionMode::Sequential);
+        assert_eq!(one.surviving[0], 1.0);
+        assert_eq!(one.surviving[5], 2.0);
+    }
+
+    #[test]
+    fn empty_graph_and_isolated_nodes() {
+        let g = WeightedGraph::new(3);
+        let outcome = run_compact_elimination(&g, 2, ThresholdSet::Reals, ExecutionMode::Sequential);
+        assert_eq!(outcome.surviving, vec![0.0; 3]);
+        assert!(outcome.in_neighbors.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn message_loss_degrades_gracefully() {
+        use dkc_distsim::LossModel;
+        let mut rng = StdRng::seed_from_u64(27);
+        let g = barabasi_albert(100, 3, &mut rng);
+        let rounds = 8;
+        let clean = run_compact_elimination(&g, rounds, ThresholdSet::Reals, ExecutionMode::Sequential);
+        let core = weighted_coreness(&g);
+
+        // Zero loss is exactly the clean run.
+        let zero = run_compact_elimination_with_loss(
+            &g,
+            rounds,
+            ThresholdSet::Reals,
+            ExecutionMode::Sequential,
+            Some(LossModel::new(0.0, 1)),
+        );
+        assert_eq!(zero.surviving, clean.surviving);
+
+        for &p in &[0.1, 0.3, 0.8] {
+            let lossy = run_compact_elimination_with_loss(
+                &g,
+                rounds,
+                ThresholdSet::Reals,
+                ExecutionMode::Sequential,
+                Some(LossModel::new(p, 99)),
+            );
+            for v in 0..100 {
+                // Still a valid upper bound on the coreness …
+                assert!(lossy.surviving[v] >= core[v] - 1e-9, "p={p}, node {v}");
+                // … and never better-informed than the fault-free run.
+                assert!(
+                    lossy.surviving[v] >= clean.surviving[v] - 1e-9,
+                    "p={p}, node {v}: lossy {} below clean {}",
+                    lossy.surviving[v],
+                    clean.surviving[v]
+                );
+            }
+            // Parallel and sequential agree even under loss (deterministic drops).
+            let lossy_par = run_compact_elimination_with_loss(
+                &g,
+                rounds,
+                ThresholdSet::Reals,
+                ExecutionMode::Parallel,
+                Some(LossModel::new(p, 99)),
+            );
+            assert_eq!(lossy.surviving, lossy_par.surviving);
+        }
+    }
+
+    #[test]
+    fn round_metrics_are_recorded() {
+        let g = complete_graph(5);
+        let outcome = run_compact_elimination(&g, 4, ThresholdSet::Reals, ExecutionMode::Sequential);
+        assert_eq!(outcome.metrics.num_rounds(), 4);
+        assert_eq!(outcome.rounds, 4);
+        // Every node broadcasts a number to 4 neighbours in every round.
+        assert_eq!(outcome.metrics.rounds()[0].messages, 20);
+    }
+}

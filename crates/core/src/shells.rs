@@ -1,0 +1,155 @@
+//! Core-shell grouping of approximate coreness values.
+//!
+//! Applications of k-core decomposition (influential-spreader selection,
+//! visualization, community filtering) usually consume the values as *shells*:
+//! groups of nodes with (approximately) the same coreness. Exact coreness
+//! values are integers on unit-weight graphs, but the surviving numbers
+//! produced by the approximation are reals within a `2(1+ε)` factor, so shells
+//! are formed by bucketing values into powers of a chosen base — the same
+//! `(1+λ)`-grid idea used for the CONGEST message quantization.
+
+use dkc_graph::NodeId;
+
+/// A shell: the set of nodes whose value falls into one bucket.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Shell {
+    /// Lower edge of the bucket (inclusive).
+    pub lower: f64,
+    /// Upper edge of the bucket (exclusive), or `f64::INFINITY` for the top.
+    pub upper: f64,
+    /// Member nodes, sorted by id.
+    pub members: Vec<NodeId>,
+}
+
+/// Groups nodes into shells by bucketing `values` into powers of `base`
+/// (`base > 1`), from the largest bucket downwards. Nodes with value 0 form the
+/// final shell `[0, smallest bucket)`. Empty buckets are skipped.
+pub fn shells_by_factor(values: &[f64], base: f64) -> Vec<Shell> {
+    assert!(base > 1.0, "bucket base must exceed 1");
+    let max = values.iter().copied().fold(0.0f64, f64::max);
+    if values.is_empty() || max <= 0.0 {
+        return if values.is_empty() {
+            Vec::new()
+        } else {
+            vec![Shell {
+                lower: 0.0,
+                upper: f64::INFINITY,
+                members: (0..values.len()).map(NodeId::new).collect(),
+            }]
+        };
+    }
+    // Bucket k covers [base^k, base^{k+1}); choose k_max so max fits.
+    let k_max = max.ln() / base.ln();
+    let k_max = k_max.floor() as i32;
+    let mut shells = Vec::new();
+    let mut assigned = vec![false; values.len()];
+    let mut k = k_max;
+    loop {
+        let lower = base.powi(k);
+        let upper = if k == k_max { f64::INFINITY } else { base.powi(k + 1) };
+        let mut members = Vec::new();
+        for (i, &v) in values.iter().enumerate() {
+            if !assigned[i] && v >= lower {
+                assigned[i] = true;
+                members.push(NodeId::new(i));
+            }
+        }
+        if !members.is_empty() {
+            shells.push(Shell {
+                lower,
+                upper,
+                members,
+            });
+        }
+        // Stop once everything above zero is assigned or buckets go below the
+        // smallest positive value.
+        let smallest_positive = values
+            .iter()
+            .copied()
+            .filter(|&v| v > 0.0)
+            .fold(f64::INFINITY, f64::min);
+        if lower <= smallest_positive {
+            break;
+        }
+        k -= 1;
+    }
+    let rest: Vec<NodeId> = (0..values.len())
+        .filter(|&i| !assigned[i])
+        .map(NodeId::new)
+        .collect();
+    if !rest.is_empty() {
+        shells.push(Shell {
+            lower: 0.0,
+            upper: base.powi(k),
+            members: rest,
+        });
+    }
+    shells
+}
+
+/// Returns the top `k` nodes by value (ties broken by node id), the typical
+/// "pick the most influential spreaders" query.
+pub fn top_k(values: &[f64], k: usize) -> Vec<NodeId> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| {
+        values[b]
+            .partial_cmp(&values[a])
+            .expect("NaN value")
+            .then(a.cmp(&b))
+    });
+    order.into_iter().take(k).map(NodeId::new).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shells_cover_every_node_exactly_once() {
+        let values = vec![0.0, 1.0, 1.5, 3.0, 9.0, 8.0, 0.5];
+        let shells = shells_by_factor(&values, 2.0);
+        let mut seen = vec![0usize; values.len()];
+        for shell in &shells {
+            assert!(shell.lower < shell.upper);
+            for &v in &shell.members {
+                seen[v.index()] += 1;
+                assert!(values[v.index()] >= shell.lower || shell.lower == 0.0);
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "coverage: {seen:?}");
+        // Shells are ordered from high to low.
+        for w in shells.windows(2) {
+            assert!(w[0].lower >= w[1].lower);
+        }
+    }
+
+    #[test]
+    fn top_shell_contains_the_maximum() {
+        let values = vec![2.0, 7.0, 7.0, 1.0];
+        let shells = shells_by_factor(&values, 1.5);
+        assert!(shells[0].members.contains(&NodeId(1)));
+        assert!(shells[0].members.contains(&NodeId(2)));
+    }
+
+    #[test]
+    fn zero_and_empty_inputs() {
+        assert!(shells_by_factor(&[], 2.0).is_empty());
+        let shells = shells_by_factor(&[0.0, 0.0], 2.0);
+        assert_eq!(shells.len(), 1);
+        assert_eq!(shells[0].members.len(), 2);
+    }
+
+    #[test]
+    fn top_k_ranking() {
+        let values = vec![1.0, 5.0, 3.0, 5.0];
+        assert_eq!(top_k(&values, 2), vec![NodeId(1), NodeId(3)]);
+        assert_eq!(top_k(&values, 10).len(), 4);
+        assert!(top_k(&[], 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn base_must_exceed_one() {
+        let _ = shells_by_factor(&[1.0], 1.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Algorithm 1: the elimination procedure for a single threshold `b`.
+//!
+//! Each node keeps a state `σ_v ∈ {0, 1}`; in every round the surviving nodes
+//! announce themselves, and a node whose weighted degree towards surviving
+//! neighbours drops below `b` is removed at the end of the round. After `n`
+//! rounds all surviving nodes have coreness at least `b`; the paper's insight
+//! is that `O(log n)` rounds already give constant-factor information.
+
+use dkc_distsim::{ExecutionMode, Network, NodeContext, NodeProgram, Outgoing, RunMetrics};
+use dkc_graph::{NodeId, WeightedGraph};
+
+/// Per-node program for Algorithm 1.
+#[derive(Clone, Debug)]
+pub struct SingleThresholdNode {
+    threshold: f64,
+    alive: bool,
+}
+
+impl SingleThresholdNode {
+    /// Creates a node with the given global threshold.
+    pub fn new(threshold: f64) -> Self {
+        SingleThresholdNode {
+            threshold,
+            alive: true,
+        }
+    }
+
+    /// Whether the node is still surviving.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+}
+
+impl NodeProgram for SingleThresholdNode {
+    /// "I am still present" — no payload needed beyond the sender id.
+    type Message = ();
+
+    fn broadcast(&mut self, _ctx: &NodeContext<'_>) -> Outgoing<()> {
+        if self.alive {
+            Outgoing::Broadcast(())
+        } else {
+            Outgoing::Silent
+        }
+    }
+
+    fn receive(&mut self, ctx: &NodeContext<'_>, inbox: &[(NodeId, ())]) -> bool {
+        if !self.alive {
+            return false;
+        }
+        // Weighted degree towards neighbours that announced themselves this
+        // round. The inbox is ordered by the neighbour list, so a linear merge
+        // recovers the edge weights.
+        let neighbors = ctx.neighbors();
+        let weights = ctx.neighbor_weights();
+        let mut degree = ctx.self_loop();
+        let mut inbox_iter = inbox.iter().peekable();
+        for (idx, &u) in neighbors.iter().enumerate() {
+            if let Some(&&(sender, ())) = inbox_iter.peek() {
+                if sender == u {
+                    degree += weights[idx];
+                    inbox_iter.next();
+                }
+            }
+        }
+        if degree < self.threshold {
+            self.alive = false;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Result of running Algorithm 1.
+#[derive(Clone, Debug)]
+pub struct SingleThresholdOutcome {
+    /// Which nodes survive after the requested number of rounds.
+    pub survivors: Vec<bool>,
+    /// Communication metrics.
+    pub metrics: RunMetrics,
+}
+
+/// Runs the elimination procedure with threshold `b` for `rounds` rounds.
+pub fn run_single_threshold(
+    g: &WeightedGraph,
+    b: f64,
+    rounds: usize,
+    mode: ExecutionMode,
+) -> SingleThresholdOutcome {
+    let mut net = Network::new(g, |_| SingleThresholdNode::new(b)).with_mode(mode);
+    net.run(rounds);
+    let (programs, metrics) = net.into_parts();
+    SingleThresholdOutcome {
+        survivors: programs.iter().map(|p| p.alive).collect(),
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::surviving::survivors_for_threshold;
+    use dkc_graph::generators::{complete_graph, erdos_renyi, path_graph, star_graph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clique_survives_thresholds_up_to_degree() {
+        let g = complete_graph(6);
+        let low = run_single_threshold(&g, 5.0, 10, ExecutionMode::Sequential);
+        assert!(low.survivors.iter().all(|&s| s));
+        let high = run_single_threshold(&g, 5.5, 10, ExecutionMode::Sequential);
+        assert!(high.survivors.iter().all(|&s| !s));
+    }
+
+    #[test]
+    fn path_cascades_from_the_ends() {
+        // Threshold 2 on a path: endpoints die in round 1, then the cascade
+        // moves inwards one node per round.
+        let g = path_graph(9);
+        let after2 = run_single_threshold(&g, 2.0, 2, ExecutionMode::Sequential);
+        assert_eq!(
+            after2.survivors,
+            vec![false, false, true, true, true, true, true, false, false]
+        );
+        let after5 = run_single_threshold(&g, 2.0, 5, ExecutionMode::Sequential);
+        assert!(after5.survivors.iter().all(|&s| !s));
+    }
+
+    #[test]
+    fn star_hub_dies_after_leaves() {
+        let g = star_graph(6);
+        let r1 = run_single_threshold(&g, 1.5, 1, ExecutionMode::Sequential);
+        // Leaves (degree 1) die in round 1, hub (degree 5) survives round 1.
+        assert!(r1.survivors[0]);
+        assert!(r1.survivors[1..].iter().all(|&s| !s));
+        let r2 = run_single_threshold(&g, 1.5, 2, ExecutionMode::Sequential);
+        assert!(!r2.survivors[0]);
+    }
+
+    #[test]
+    fn matches_centralized_reference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = erdos_renyi(60, 0.08, &mut rng);
+        for &b in &[1.0, 2.0, 3.0, 4.5] {
+            for rounds in [1usize, 2, 5] {
+                let distributed = run_single_threshold(&g, b, rounds, ExecutionMode::Sequential);
+                let reference = survivors_for_threshold(&g, b, rounds);
+                assert_eq!(
+                    distributed.survivors, reference,
+                    "mismatch at threshold {b}, rounds {rounds}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn message_volume_shrinks_as_nodes_die() {
+        let g = star_graph(20);
+        let outcome = run_single_threshold(&g, 1.5, 3, ExecutionMode::Sequential);
+        let rounds = outcome.metrics.rounds();
+        assert!(rounds[0].messages > rounds[2].messages);
+    }
+
+    #[test]
+    fn zero_threshold_keeps_everyone() {
+        let g = path_graph(5);
+        let outcome = run_single_threshold(&g, 0.0, 10, ExecutionMode::Sequential);
+        assert!(outcome.survivors.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,218 @@
+//! Centralized reference computation of surviving numbers (Definition III.1).
+//!
+//! `β^T(v)` is the largest threshold `b` for which node `v` survives `T` rounds
+//! of the elimination procedure (Algorithm 1). The compact procedure computes
+//! exactly these values (Fact III.9 with Λ = ℝ); this module provides a plain
+//! sequential implementation used to validate the distributed protocol and to
+//! drive the experiment harness on large graphs without simulation overhead.
+
+use crate::update::surviving_number_update;
+use dkc_graph::{CsrGraph, NodeId, WeightedGraph};
+
+/// Computes `β^t(v)` for every node and every `t ∈ [1..T]`, returning a vector
+/// of per-round snapshots (`result[t-1][v] = β^t(v)`).
+pub fn surviving_numbers_per_round(g: &WeightedGraph, rounds: usize) -> Vec<Vec<f64>> {
+    let csr = CsrGraph::from_graph(g);
+    let n = csr.num_nodes();
+    let mut current = vec![f64::INFINITY; n];
+    let mut history = Vec::with_capacity(rounds);
+    let mut scratch_values: Vec<f64> = Vec::new();
+    for _ in 0..rounds {
+        let mut next = vec![0.0f64; n];
+        for v in 0..n {
+            let vid = NodeId::new(v);
+            scratch_values.clear();
+            scratch_values.extend(csr.neighbors(vid).iter().map(|u| current[u.index()]));
+            let b = surviving_number_update(
+                &scratch_values,
+                csr.neighbor_weights(vid),
+                csr.self_loop(vid),
+            );
+            debug_assert!(
+                b <= current[v] + 1e-9,
+                "surviving numbers must be non-increasing"
+            );
+            next[v] = b;
+        }
+        history.push(next.clone());
+        current = next;
+    }
+    history
+}
+
+/// Computes `β^T(v)` for every node (the last snapshot of
+/// [`surviving_numbers_per_round`]).
+pub fn surviving_numbers(g: &WeightedGraph, rounds: usize) -> Vec<f64> {
+    surviving_numbers_per_round(g, rounds)
+        .pop()
+        .unwrap_or_else(|| vec![f64::INFINITY; g.num_nodes()])
+}
+
+/// Checks Definition III.1 directly for a *single* threshold `b`: simulates the
+/// elimination procedure (Algorithm 1 semantics, centralized) and returns which
+/// nodes survive after `rounds` rounds. Used by tests to cross-validate the
+/// compact representation.
+pub fn survivors_for_threshold(g: &WeightedGraph, b: f64, rounds: usize) -> Vec<bool> {
+    let csr = CsrGraph::from_graph(g);
+    let n = csr.num_nodes();
+    let mut alive = vec![true; n];
+    for _ in 0..rounds {
+        let mut next = alive.clone();
+        let mut changed = false;
+        for v in 0..n {
+            if !alive[v] {
+                continue;
+            }
+            let vid = NodeId::new(v);
+            let deg: f64 = csr
+                .neighbors_with_weights(vid)
+                .filter(|(u, _)| alive[u.index()])
+                .map(|(_, w)| w)
+                .sum::<f64>()
+                + csr.self_loop(vid);
+            if deg < b {
+                next[v] = false;
+                changed = true;
+            }
+        }
+        alive = next;
+        if !changed {
+            break;
+        }
+    }
+    alive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkc_baselines::weighted_coreness;
+    use dkc_flow::dense_decomposition;
+    use dkc_graph::generators::{
+        barabasi_albert, complete_graph, cycle_graph, erdos_renyi, path_graph, star_graph,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn first_round_is_weighted_degree() {
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 2.0);
+        g.add_edge(NodeId(1), NodeId(2), 3.0);
+        let per_round = surviving_numbers_per_round(&g, 1);
+        assert_eq!(per_round[0], vec![2.0, 5.0, 3.0]);
+    }
+
+    #[test]
+    fn surviving_numbers_are_monotone_in_rounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = erdos_renyi(60, 0.08, &mut rng);
+        let per_round = surviving_numbers_per_round(&g, 8);
+        for t in 1..per_round.len() {
+            for v in 0..60 {
+                assert!(per_round[t][v] <= per_round[t - 1][v] + 1e-9);
+            }
+        }
+    }
+
+    /// Lemma III.2: β^t(v) >= c(v) for every t.
+    #[test]
+    fn lower_bounded_by_coreness() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = barabasi_albert(150, 3, &mut rng);
+        let core = weighted_coreness(&g);
+        for rounds in [1, 2, 4, 8] {
+            let beta = surviving_numbers(&g, rounds);
+            for v in 0..150 {
+                assert!(
+                    beta[v] >= core[v] - 1e-9,
+                    "round {rounds}, node {v}: beta {} < coreness {}",
+                    beta[v],
+                    core[v]
+                );
+            }
+        }
+    }
+
+    /// Lemma III.3 / Theorem III.5: β^T(v) <= 2 n^{1/T} r(v).
+    #[test]
+    fn upper_bounded_by_graceful_degradation() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = erdos_renyi(50, 0.15, &mut rng);
+        let decomposition = dense_decomposition(&g);
+        let n = 50f64;
+        for rounds in [1usize, 2, 3, 5, 8, 12] {
+            let beta = surviving_numbers(&g, rounds);
+            let factor = 2.0 * n.powf(1.0 / rounds as f64);
+            for v in 0..50 {
+                let r = decomposition.maximal_density[v];
+                assert!(
+                    beta[v] <= factor * r + 1e-6,
+                    "round {rounds}, node {v}: beta {} > {factor} * r {}",
+                    beta[v],
+                    r
+                );
+            }
+        }
+    }
+
+    /// After n rounds the surviving number equals the exact coreness
+    /// (Montresor et al.; stated before Definition III.1).
+    #[test]
+    fn converges_to_exact_coreness() {
+        let graphs: Vec<WeightedGraph> = vec![
+            path_graph(10),
+            cycle_graph(8),
+            star_graph(9),
+            complete_graph(6),
+        ];
+        for g in &graphs {
+            let n = g.num_nodes();
+            let beta = surviving_numbers(g, 2 * n);
+            let core = weighted_coreness(g);
+            for v in 0..n {
+                assert!(
+                    (beta[v] - core[v]).abs() < 1e-9,
+                    "node {v}: beta {} vs coreness {}",
+                    beta[v],
+                    core[v]
+                );
+            }
+        }
+    }
+
+    /// Cross-validation of the compact representation against the explicit
+    /// single-threshold elimination (Definition III.1): v survives T rounds at
+    /// threshold b iff b <= β^T(v).
+    #[test]
+    fn compact_representation_matches_single_threshold_runs() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = erdos_renyi(40, 0.12, &mut rng);
+        for rounds in [1usize, 2, 4] {
+            let beta = surviving_numbers(&g, rounds);
+            // Sample thresholds around the observed values.
+            let mut thresholds: Vec<f64> = beta.to_vec();
+            thresholds.push(0.5);
+            thresholds.push(100.0);
+            for &b in thresholds.iter().take(12) {
+                let survivors = survivors_for_threshold(&g, b, rounds);
+                for v in 0..40 {
+                    let should_survive = b <= beta[v] + 1e-9;
+                    assert_eq!(
+                        survivors[v], should_survive,
+                        "threshold {b}, rounds {rounds}, node {v}: beta = {}",
+                        beta[v]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_isolated_graphs() {
+        let g = WeightedGraph::new(0);
+        assert!(surviving_numbers(&g, 3).is_empty());
+        let g = WeightedGraph::new(4);
+        assert_eq!(surviving_numbers(&g, 2), vec![0.0; 4]);
+    }
+}

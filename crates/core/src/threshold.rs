@@ -1,0 +1,143 @@
+//! Threshold sets Λ (Section III-C, "Message Size").
+//!
+//! The compact elimination procedure may round surviving numbers down to a
+//! restricted set Λ of threshold values so that each message needs only
+//! `log₂ |Λ|` bits. The paper uses Λ = ℝ (no rounding; needed for the
+//! orientation invariants) or Λ = powers of `(1 + λ)`.
+
+use dkc_distsim::message::WORD_BITS;
+
+/// The set Λ of allowed surviving-number values.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Default)]
+pub enum ThresholdSet {
+    /// Λ = ℝ: values are kept exact. Required for the min-max orientation
+    /// guarantee (Definition III.7 needs the exact upper bound).
+    #[default]
+    Reals,
+    /// Λ = {0} ∪ { (1+λ)^k : k ∈ ℤ }: every value is rounded **down** to the
+    /// nearest power of `(1 + λ)`, so each transmitted value loses at most a
+    /// `(1+λ)` factor (Corollary III.10) and fits in `O(log log_{1+λ} n)` bits
+    /// relative to the value range.
+    PowerGrid {
+        /// The quantization parameter λ > 0.
+        lambda: f64,
+    },
+}
+
+impl ThresholdSet {
+    /// Creates a power-grid threshold set, validating λ.
+    pub fn power_grid(lambda: f64) -> Self {
+        assert!(lambda > 0.0 && lambda.is_finite(), "lambda must be positive");
+        ThresholdSet::PowerGrid { lambda }
+    }
+
+    /// Rounds `x` down to the next value in Λ. Non-positive and non-finite
+    /// inputs are passed through unchanged (0 is a member of every Λ; `+∞` is
+    /// the initial surviving number and is never transmitted after the first
+    /// update).
+    pub fn round_down(&self, x: f64) -> f64 {
+        match *self {
+            ThresholdSet::Reals => x,
+            ThresholdSet::PowerGrid { lambda } => {
+                if x <= 0.0 || !x.is_finite() {
+                    return x;
+                }
+                let base = 1.0 + lambda;
+                let k = (x.ln() / base.ln()).floor();
+                let mut val = base.powf(k);
+                // Guard against floating-point error placing us above x.
+                while val > x * (1.0 + 1e-12) {
+                    val /= base;
+                }
+                // ... or more than one grid step below x.
+                while val * base <= x * (1.0 + 1e-12) {
+                    val *= base;
+                }
+                val
+            }
+        }
+    }
+
+    /// Number of bits a transmitted surviving number needs under this Λ, for
+    /// values known to lie in `[1, max_value]` (plus one code point each for 0
+    /// and for values below 1). `Reals` charges a full word.
+    pub fn message_bits(&self, max_value: f64) -> usize {
+        match *self {
+            ThresholdSet::Reals => WORD_BITS,
+            ThresholdSet::PowerGrid { lambda } => {
+                let max_value = max_value.max(1.0);
+                let levels = (max_value.ln() / (1.0 + lambda).ln()).ceil().max(1.0) as usize + 2;
+                (usize::BITS - (levels - 1).leading_zeros()) as usize
+            }
+        }
+    }
+
+    /// The multiplicative loss introduced by rounding: 1 for `Reals`,
+    /// `1 + λ` for a power grid.
+    pub fn rounding_loss(&self) -> f64 {
+        match *self {
+            ThresholdSet::Reals => 1.0,
+            ThresholdSet::PowerGrid { lambda } => 1.0 + lambda,
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reals_are_identity() {
+        let l = ThresholdSet::Reals;
+        assert_eq!(l.round_down(3.7), 3.7);
+        assert_eq!(l.round_down(0.0), 0.0);
+        assert_eq!(l.rounding_loss(), 1.0);
+        assert_eq!(l.message_bits(1e9), WORD_BITS);
+    }
+
+    #[test]
+    fn power_grid_rounds_down_within_factor() {
+        let l = ThresholdSet::power_grid(0.1);
+        for &x in &[0.5, 1.0, 1.05, 2.0, 3.7, 10.0, 123.456, 1e6] {
+            let r = l.round_down(x);
+            assert!(r <= x * (1.0 + 1e-9), "rounded {r} above {x}");
+            assert!(
+                r * 1.1 >= x * (1.0 - 1e-9),
+                "rounded {r} more than a grid step below {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn power_grid_members_are_fixed_points() {
+        let l = ThresholdSet::power_grid(0.5);
+        let member = 1.5f64.powi(7);
+        let r = l.round_down(member);
+        assert!((r - member).abs() < 1e-9 * member);
+    }
+
+    #[test]
+    fn power_grid_edge_cases() {
+        let l = ThresholdSet::power_grid(0.25);
+        assert_eq!(l.round_down(0.0), 0.0);
+        assert_eq!(l.round_down(f64::INFINITY), f64::INFINITY);
+        assert_eq!(l.round_down(1.0), 1.0);
+    }
+
+    #[test]
+    fn message_bits_shrink_with_coarser_grids() {
+        let fine = ThresholdSet::power_grid(0.01);
+        let coarse = ThresholdSet::power_grid(0.5);
+        assert!(fine.message_bits(1e6) > coarse.message_bits(1e6));
+        assert!(coarse.message_bits(1e6) < WORD_BITS);
+        assert!(fine.message_bits(1e6) >= 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_lambda_rejected() {
+        let _ = ThresholdSet::power_grid(0.0);
+    }
+}

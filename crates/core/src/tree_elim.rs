@@ -1,0 +1,287 @@
+//! Algorithm 5: the augmented elimination procedure within each BFS tree.
+//!
+//! Every node that joined a tree runs the single-threshold elimination with the
+//! threshold `b_u` carried by its leader key, for `T` rounds, and records for
+//! each round whether it was still active (`num_v[t]`) and its weighted degree
+//! towards active nodes of the **same tree** (`deg_v[t]`). These per-round
+//! records are what Phase 4 aggregates to locate an approximate densest subset
+//! (Lemma IV.4).
+//!
+//! Faithfulness note (also recorded in DESIGN.md): the paper's pseudocode says
+//! nodes communicate only with their BFS parent and children in this phase, but
+//! the density argument of Lemma IV.4 requires degrees to be counted over *all*
+//! graph edges between same-tree active nodes (and the survival of the root
+//! requires exactly the elimination it would experience on the whole graph).
+//! We therefore broadcast the (leader, active) pair over every incident edge —
+//! still a single `O(log n)`-bit message per edge per round — and count edges
+//! towards active neighbours with the same leader.
+
+use crate::bfs::BfsForest;
+use dkc_distsim::message::MessageSize;
+use dkc_distsim::{ExecutionMode, Network, NodeContext, NodeProgram, Outgoing, RunMetrics};
+use dkc_graph::{NodeId, WeightedGraph};
+
+/// Message of the per-tree elimination: the sender's leader id (the sender is
+/// implicitly "still active", otherwise it would be silent).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ActiveMsg {
+    /// Identity of the sender's leader.
+    pub leader: NodeId,
+}
+
+impl MessageSize for ActiveMsg {
+    fn size_bits(&self) -> usize {
+        32
+    }
+}
+
+/// Per-node program for Algorithm 5.
+#[derive(Clone, Debug)]
+pub struct TreeElimNode {
+    /// The elimination threshold (the leader's surviving number).
+    threshold: f64,
+    /// This node's leader id.
+    leader: NodeId,
+    /// Whether the node participates at all (it joined a tree).
+    participates: bool,
+    /// Whether the node is still active in the elimination.
+    active: bool,
+    /// `num[t]` — 1 if the node was active at the start of round `t+1`.
+    num: Vec<bool>,
+    /// `deg[t]` — the node's weighted degree towards same-tree active nodes at
+    /// the start of round `t+1` (only meaningful where `num[t]` is set).
+    deg: Vec<f64>,
+    /// Total number of elimination rounds.
+    rounds: usize,
+}
+
+impl TreeElimNode {
+    /// The per-round activity indicators.
+    pub fn num(&self) -> &[bool] {
+        &self.num
+    }
+
+    /// The per-round degrees.
+    pub fn deg(&self) -> &[f64] {
+        &self.deg
+    }
+}
+
+impl NodeProgram for TreeElimNode {
+    type Message = ActiveMsg;
+
+    fn broadcast(&mut self, _ctx: &NodeContext<'_>) -> Outgoing<ActiveMsg> {
+        if self.participates && self.active {
+            Outgoing::Broadcast(ActiveMsg {
+                leader: self.leader,
+            })
+        } else {
+            Outgoing::Silent
+        }
+    }
+
+    fn receive(&mut self, ctx: &NodeContext<'_>, inbox: &[(NodeId, ActiveMsg)]) -> bool {
+        if !self.participates || !self.active {
+            return false;
+        }
+        let t = ctx.round() - 1;
+        if t >= self.rounds {
+            return false;
+        }
+        // Weighted degree towards active same-tree neighbours.
+        let neighbors = ctx.neighbors();
+        let weights = ctx.neighbor_weights();
+        let mut degree = ctx.self_loop();
+        let mut inbox_iter = inbox.iter().peekable();
+        for (idx, &u) in neighbors.iter().enumerate() {
+            if let Some(&&(sender, msg)) = inbox_iter.peek() {
+                if sender == u {
+                    if msg.leader == self.leader {
+                        degree += weights[idx];
+                    }
+                    inbox_iter.next();
+                }
+            }
+        }
+        self.num[t] = true;
+        self.deg[t] = degree;
+        if degree < self.threshold {
+            self.active = false;
+        }
+        true
+    }
+}
+
+/// The records produced by Algorithm 5 for all nodes.
+#[derive(Clone, Debug)]
+pub struct TreeElimOutcome {
+    /// `num[v][t]` — whether node `v` was active at the start of round `t+1`.
+    pub num: Vec<Vec<bool>>,
+    /// `deg[v][t]` — the corresponding weighted degree (0 where inactive).
+    pub deg: Vec<Vec<f64>>,
+    /// Which nodes were still active after the final round.
+    pub final_active: Vec<bool>,
+    /// Number of rounds executed.
+    pub rounds: usize,
+    /// Communication metrics.
+    pub metrics: RunMetrics,
+}
+
+/// Runs Algorithm 5 for `rounds` rounds, using the leaders and tree membership
+/// from `forest` and the per-node surviving numbers `b` (the leader's value is
+/// the threshold of its whole tree).
+pub fn run_tree_elimination(
+    g: &WeightedGraph,
+    forest: &BfsForest,
+    rounds: usize,
+    mode: ExecutionMode,
+) -> TreeElimOutcome {
+    let mut net = Network::new(g, |ctx| {
+        let v = ctx.node();
+        let leader_key = forest.leader[v.index()];
+        TreeElimNode {
+            threshold: leader_key.b,
+            leader: leader_key.id,
+            participates: forest.in_tree(v),
+            active: forest.in_tree(v),
+            num: vec![false; rounds],
+            deg: vec![0.0; rounds],
+            rounds,
+        }
+    })
+    .with_mode(mode);
+    net.run(rounds);
+    let (programs, metrics) = net.into_parts();
+    TreeElimOutcome {
+        num: programs.iter().map(|p| p.num.clone()).collect(),
+        deg: programs.iter().map(|p| p.deg.clone()).collect(),
+        final_active: programs.iter().map(|p| p.participates && p.active).collect(),
+        rounds,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::run_bfs_construction;
+    use crate::compact::run_compact_elimination;
+    use crate::threshold::ThresholdSet;
+    use dkc_graph::generators::{complete_graph, path_graph, planted_dense_community};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pipeline_through_phase3(
+        g: &WeightedGraph,
+        rounds: usize,
+    ) -> (Vec<f64>, BfsForest, TreeElimOutcome) {
+        let compact =
+            run_compact_elimination(g, rounds, ThresholdSet::Reals, ExecutionMode::Sequential);
+        let forest = run_bfs_construction(g, &compact.surviving, rounds, ExecutionMode::Sequential);
+        let elim = run_tree_elimination(g, &forest, rounds, ExecutionMode::Sequential);
+        (compact.surviving, forest, elim)
+    }
+
+    #[test]
+    fn root_with_max_value_survives_all_rounds() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let planted = planted_dense_community(60, 12, 0.05, 0.9, &mut rng);
+        let rounds = 6;
+        let (surviving, forest, elim) = pipeline_through_phase3(&planted.graph, rounds);
+        // The node with the global maximum surviving number is a root …
+        let (best, _) = surviving
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
+            .unwrap();
+        assert!(forest.roots().contains(&NodeId::new(best)));
+        // … and it survives every elimination round with its own threshold
+        // (Lemma IV.4: |A_T| >= 1).
+        assert!(
+            elim.num[best].iter().all(|&x| x),
+            "the top root was eliminated: {:?}",
+            elim.num[best]
+        );
+        assert!(elim.final_active[best]);
+    }
+
+    #[test]
+    fn clique_everyone_survives() {
+        let g = complete_graph(8);
+        let (_, _, elim) = pipeline_through_phase3(&g, 4);
+        for v in 0..8 {
+            assert!(elim.num[v].iter().all(|&x| x));
+            for t in 0..4 {
+                assert_eq!(elim.deg[v][t], 7.0);
+            }
+        }
+    }
+
+    #[test]
+    fn recorded_degrees_match_active_sets() {
+        // Recompute deg[v][t] centrally from num[.][t] and verify.
+        let mut rng = StdRng::seed_from_u64(52);
+        let planted = planted_dense_community(50, 10, 0.06, 0.85, &mut rng);
+        let g = &planted.graph;
+        let rounds = 5;
+        let (_, forest, elim) = pipeline_through_phase3(g, rounds);
+        for t in 0..rounds {
+            for v in 0..g.num_nodes() {
+                if !elim.num[v][t] {
+                    continue;
+                }
+                let vid = NodeId::new(v);
+                let expected: f64 = g
+                    .neighbors(vid)
+                    .iter()
+                    .filter(|&&(u, _)| {
+                        elim.num[u.index()][t]
+                            && forest.leader[u.index()].id == forest.leader[v].id
+                    })
+                    .map(|&(_, w)| w)
+                    .sum();
+                assert!(
+                    (elim.deg[v][t] - expected).abs() < 1e-9,
+                    "deg mismatch at node {v}, round {t}: {} vs {expected}",
+                    elim.deg[v][t]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inactive_nodes_stop_participating() {
+        // On a path with threshold = 2 (the surviving numbers converge to 1 for
+        // long runs but are 2 in the middle for short ones), ends get
+        // eliminated and stop counting.
+        let g = path_graph(8);
+        let (_, _, elim) = pipeline_through_phase3(&g, 3);
+        // Endpoint 0: its leader's threshold is >= 1; it records round 0 and
+        // possibly dies later. All records after deactivation stay false.
+        for v in 0..8 {
+            let mut seen_inactive = false;
+            for t in 0..3 {
+                if !elim.num[v][t] {
+                    seen_inactive = true;
+                } else {
+                    assert!(!seen_inactive, "node {v} became active again at {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_tree_nodes_do_not_participate() {
+        // With zero flood rounds every node is its own root, so everyone
+        // participates with its own threshold — sanity-check participation flag
+        // wiring via a manual forest instead.
+        let g = path_graph(4);
+        let compact = run_compact_elimination(&g, 2, ThresholdSet::Reals, ExecutionMode::Sequential);
+        let mut forest = run_bfs_construction(&g, &compact.surviving, 2, ExecutionMode::Sequential);
+        // Artificially orphan node 3.
+        forest.parent[3] = None;
+        let elim = run_tree_elimination(&g, &forest, 2, ExecutionMode::Sequential);
+        assert!(elim.num[3].iter().all(|&x| !x));
+        assert!(!elim.final_active[3]);
+    }
+}

@@ -1,0 +1,48 @@
+//! CONGEST-model message-size budgets.
+//!
+//! In the CONGEST model every message is limited to `O(log n)` bits. The
+//! paper's protocols meet this budget when edge weights are integers of
+//! polynomial magnitude, or when surviving numbers are quantized to powers of
+//! `(1 + λ)` (Section III-C, "Message Size").
+
+/// Returns a CONGEST message budget in bits for an `n`-node network:
+/// `words · ⌈log₂(max(n, 2))⌉`. The paper's messages contain a constant number
+/// of numbers; `words` is that constant (use 1 for the compact elimination
+/// procedure, 2 for leader-election pairs, etc.).
+pub fn congest_budget_bits(n: usize, words: usize) -> usize {
+    let n = n.max(2);
+    let log = usize::BITS as usize - (n - 1).leading_zeros() as usize;
+    words * log.max(1)
+}
+
+/// Checks whether an observed maximum message size satisfies a CONGEST budget
+/// with a constant-factor allowance `c` (i.e. `max_bits ≤ c · budget`).
+pub fn satisfies_congest(max_message_bits: usize, n: usize, words: usize, c: usize) -> bool {
+    max_message_bits <= c * congest_budget_bits(n, words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_is_log_n() {
+        assert_eq!(congest_budget_bits(2, 1), 1);
+        assert_eq!(congest_budget_bits(1024, 1), 10);
+        assert_eq!(congest_budget_bits(1025, 1), 11);
+        assert_eq!(congest_budget_bits(1_000_000, 2), 40);
+    }
+
+    #[test]
+    fn budget_handles_tiny_networks() {
+        assert!(congest_budget_bits(0, 1) >= 1);
+        assert!(congest_budget_bits(1, 1) >= 1);
+    }
+
+    #[test]
+    fn satisfaction_check() {
+        // 64-bit doubles in a 1M-node network: 64 <= 4 * 20.
+        assert!(satisfies_congest(64, 1_000_000, 1, 4));
+        assert!(!satisfies_congest(64, 16, 1, 4));
+    }
+}

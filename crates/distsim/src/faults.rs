@@ -1,0 +1,104 @@
+//! Message-loss fault injection.
+//!
+//! The paper's protocols are synchronous and fault-free; related work (Gillet &
+//! Hanusse) studies asynchronous, faulty settings. To let the experiment
+//! harness probe robustness, the simulator can drop each delivered message
+//! independently with a fixed probability. Drops are decided by a deterministic
+//! hash of `(seed, round, sender, receiver)`, so runs are reproducible and the
+//! sequential and parallel executors still agree bit-for-bit.
+
+use dkc_graph::NodeId;
+
+/// A deterministic per-message loss model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LossModel {
+    /// Probability in `[0, 1]` that any single delivered message is dropped.
+    pub probability: f64,
+    /// Seed making the drop pattern reproducible.
+    pub seed: u64,
+}
+
+impl LossModel {
+    /// Creates a loss model; panics if the probability is outside `[0, 1]`.
+    pub fn new(probability: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "loss probability must be in [0, 1]"
+        );
+        LossModel { probability, seed }
+    }
+
+    /// Whether the message sent by `from` to `to` in `round` is dropped.
+    pub fn drops(&self, round: usize, from: NodeId, to: NodeId) -> bool {
+        if self.probability <= 0.0 {
+            return false;
+        }
+        if self.probability >= 1.0 {
+            return true;
+        }
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(round as u64)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            .wrapping_add(u64::from(from.0) << 32 | u64::from(to.0));
+        // splitmix64 finalizer.
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        let unit = (x >> 11) as f64 / (1u64 << 53) as f64;
+        unit < self.probability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extreme_probabilities() {
+        let never = LossModel::new(0.0, 1);
+        let always = LossModel::new(1.0, 1);
+        for r in 0..5 {
+            assert!(!never.drops(r, NodeId(1), NodeId(2)));
+            assert!(always.drops(r, NodeId(1), NodeId(2)));
+        }
+    }
+
+    #[test]
+    fn drop_rate_is_close_to_probability() {
+        let model = LossModel::new(0.3, 42);
+        let mut dropped = 0usize;
+        let total = 20_000usize;
+        for i in 0..total {
+            if model.drops(i % 17, NodeId((i % 251) as u32), NodeId((i % 127) as u32)) {
+                dropped += 1;
+            }
+        }
+        let rate = dropped as f64 / total as f64;
+        assert!((rate - 0.3).abs() < 0.03, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = LossModel::new(0.5, 7);
+        let b = LossModel::new(0.5, 7);
+        let c = LossModel::new(0.5, 8);
+        let mut differs = false;
+        for r in 0..50 {
+            assert_eq!(a.drops(r, NodeId(3), NodeId(9)), b.drops(r, NodeId(3), NodeId(9)));
+            if a.drops(r, NodeId(3), NodeId(9)) != c.drops(r, NodeId(3), NodeId(9)) {
+                differs = true;
+            }
+        }
+        assert!(differs, "different seeds should give different patterns");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_probability_rejected() {
+        let _ = LossModel::new(1.5, 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # dkc-distsim
+//!
+//! A simulator for the **synchronous LOCAL / CONGEST model** used by the paper:
+//! every node is a processor that knows only its incident edges (and their
+//! weights) and, in each synchronous round, sends a message to (a subset of)
+//! its neighbours, then updates its state from the messages it received.
+//!
+//! The simulator is the substrate substitution for an actual distributed
+//! deployment: all of the paper's claims are about *round complexity* and
+//! *message size*, and both are measured exactly here (see [`metrics`] and
+//! [`congest`]).
+//!
+//! ## Structure
+//!
+//! * [`program::NodeProgram`] — the per-node state machine interface
+//!   (broadcast phase + receive phase per round).
+//! * [`network::Network`] — the synchronous executor; runs rounds either
+//!   sequentially or data-parallel across nodes (rayon) — rounds are barriers,
+//!   so both modes produce identical results.
+//! * [`metrics`] — per-round and cumulative message/bit accounting.
+//! * [`congest`] — CONGEST-model message-size budgets and checks.
+//! * [`message::MessageSize`] — payload size accounting used by the metrics.
+
+pub mod congest;
+pub mod faults;
+pub mod message;
+pub mod metrics;
+pub mod network;
+pub mod program;
+
+pub use congest::congest_budget_bits;
+pub use faults::LossModel;
+pub use message::MessageSize;
+pub use metrics::{RoundStats, RunMetrics};
+pub use network::{ExecutionMode, Network};
+pub use program::{NodeContext, NodeProgram, Outgoing};

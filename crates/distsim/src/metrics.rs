@@ -1,0 +1,114 @@
+//! Round-by-round message and bit accounting.
+
+/// Statistics for one synchronous round.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RoundStats {
+    /// The round number (1-based).
+    pub round: usize,
+    /// Number of (point-to-point) messages delivered this round. A broadcast
+    /// from a node of degree `d` counts as `d` messages, matching the way the
+    /// LOCAL/CONGEST literature counts per-edge communication.
+    pub messages: usize,
+    /// Total payload bits delivered this round.
+    pub payload_bits: usize,
+    /// Largest single message payload (bits) this round — the quantity bounded
+    /// by the CONGEST model.
+    pub max_message_bits: usize,
+    /// Number of nodes that sent at least one message.
+    pub sending_nodes: usize,
+    /// Number of nodes whose observable state changed in the receive phase.
+    pub changed_nodes: usize,
+}
+
+/// Accumulated statistics for a full protocol run.
+#[derive(Clone, Debug, Default)]
+pub struct RunMetrics {
+    rounds: Vec<RoundStats>,
+}
+
+impl RunMetrics {
+    /// Creates an empty metrics accumulator.
+    pub fn new() -> Self {
+        RunMetrics { rounds: Vec::new() }
+    }
+
+    /// Records one round.
+    pub fn push(&mut self, stats: RoundStats) {
+        self.rounds.push(stats);
+    }
+
+    /// Per-round statistics, in execution order.
+    pub fn rounds(&self) -> &[RoundStats] {
+        &self.rounds
+    }
+
+    /// Number of rounds executed.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Total number of messages across all rounds.
+    pub fn total_messages(&self) -> usize {
+        self.rounds.iter().map(|r| r.messages).sum()
+    }
+
+    /// Total payload bits across all rounds.
+    pub fn total_payload_bits(&self) -> usize {
+        self.rounds.iter().map(|r| r.payload_bits).sum()
+    }
+
+    /// The largest single message payload observed in any round.
+    pub fn max_message_bits(&self) -> usize {
+        self.rounds.iter().map(|r| r.max_message_bits).max().unwrap_or(0)
+    }
+
+    /// The last round in which any node's state changed (`None` if no round
+    /// changed anything).
+    pub fn last_active_round(&self) -> Option<usize> {
+        self.rounds
+            .iter()
+            .rev()
+            .find(|r| r.changed_nodes > 0)
+            .map(|r| r.round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_totals() {
+        let mut m = RunMetrics::new();
+        m.push(RoundStats {
+            round: 1,
+            messages: 10,
+            payload_bits: 640,
+            max_message_bits: 64,
+            sending_nodes: 5,
+            changed_nodes: 5,
+        });
+        m.push(RoundStats {
+            round: 2,
+            messages: 4,
+            payload_bits: 256,
+            max_message_bits: 128,
+            sending_nodes: 2,
+            changed_nodes: 0,
+        });
+        assert_eq!(m.num_rounds(), 2);
+        assert_eq!(m.total_messages(), 14);
+        assert_eq!(m.total_payload_bits(), 896);
+        assert_eq!(m.max_message_bits(), 128);
+        assert_eq!(m.last_active_round(), Some(1));
+    }
+
+    #[test]
+    fn empty_metrics() {
+        let m = RunMetrics::new();
+        assert_eq!(m.num_rounds(), 0);
+        assert_eq!(m.total_messages(), 0);
+        assert_eq!(m.max_message_bits(), 0);
+        assert_eq!(m.last_active_round(), None);
+    }
+}

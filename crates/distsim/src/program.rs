@@ -1,0 +1,169 @@
+//! The per-node program interface.
+
+use dkc_graph::{CsrGraph, NodeId};
+
+/// Read-only view a node has of its own surroundings, matching the LOCAL
+/// model: its identity, the total number of nodes `n` (the paper assumes every
+/// node knows `n` or an upper bound), its incident edges with weights, and the
+/// current round number.
+#[derive(Clone, Copy)]
+pub struct NodeContext<'a> {
+    graph: &'a CsrGraph,
+    node: NodeId,
+    round: usize,
+}
+
+impl<'a> NodeContext<'a> {
+    /// Creates a context for `node` at `round`.
+    pub fn new(graph: &'a CsrGraph, node: NodeId, round: usize) -> Self {
+        NodeContext { graph, node, round }
+    }
+
+    /// This node's identity.
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Total number of nodes in the network (known to every node).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Current round, starting at 1 for the first communication round
+    /// (round 0 denotes initialization).
+    #[inline]
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Ids of this node's neighbours (parallel edges appear individually).
+    #[inline]
+    pub fn neighbors(&self) -> &'a [NodeId] {
+        self.graph.neighbors(self.node)
+    }
+
+    /// Weights of the incident edges, aligned with [`NodeContext::neighbors`].
+    #[inline]
+    pub fn neighbor_weights(&self) -> &'a [f64] {
+        self.graph.neighbor_weights(self.node)
+    }
+
+    /// Iterates `(neighbour, edge weight)` pairs.
+    #[inline]
+    pub fn incident_edges(&self) -> impl Iterator<Item = (NodeId, f64)> + 'a {
+        self.graph.neighbors_with_weights(self.node)
+    }
+
+    /// This node's weighted degree (self-loop counted once).
+    #[inline]
+    pub fn degree(&self) -> f64 {
+        self.graph.degree(self.node)
+    }
+
+    /// This node's self-loop weight (non-zero only in quotient-graph inputs).
+    #[inline]
+    pub fn self_loop(&self) -> f64 {
+        self.graph.self_loop(self.node)
+    }
+
+    /// Number of incident (non-loop) edges.
+    #[inline]
+    pub fn num_neighbors(&self) -> usize {
+        self.graph.unweighted_degree(self.node)
+    }
+}
+
+/// What a node sends in the broadcast phase of a round.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outgoing<M> {
+    /// Send nothing this round.
+    Silent,
+    /// Send the same message to every neighbour (the paper's broadcast model).
+    Broadcast(M),
+    /// Send the same message to the listed subset of neighbours (still within
+    /// the broadcast model: "a node sends the same message to (a subset of) its
+    /// neighbors").
+    Multicast(M, Vec<NodeId>),
+    /// Point-to-point messages (used by the convergecast of Algorithm 6, where
+    /// a node talks only to its BFS parent/children).
+    Unicast(Vec<(NodeId, M)>),
+}
+
+impl<M> Outgoing<M> {
+    /// Returns `true` if nothing is sent.
+    pub fn is_silent(&self) -> bool {
+        match self {
+            Outgoing::Silent => true,
+            Outgoing::Multicast(_, targets) => targets.is_empty(),
+            Outgoing::Unicast(msgs) => msgs.is_empty(),
+            Outgoing::Broadcast(_) => false,
+        }
+    }
+}
+
+/// A per-node state machine executed by the [`crate::Network`].
+///
+/// Each synchronous round has two phases, mirroring the paper's pseudocode
+/// ("each node broadcasts its current number to all its neighbors"; "after
+/// receiving the updated numbers from its neighbours, the node performs ..."):
+///
+/// 1. [`NodeProgram::broadcast`] — produce this round's outgoing message(s)
+///    from the current state.
+/// 2. [`NodeProgram::receive`] — consume the messages delivered this round
+///    (from neighbours that sent to this node) and update local state. The
+///    return value reports whether observable state changed, which the
+///    executor uses for quiescence detection.
+///
+/// A node that has locally terminated returns `true` from
+/// [`NodeProgram::halted`]; the executor then skips both phases for it.
+pub trait NodeProgram: Send {
+    /// The message payload type.
+    type Message: Clone + Send + Sync + crate::message::MessageSize;
+
+    /// Phase 1: produce the messages to send this round.
+    fn broadcast(&mut self, ctx: &NodeContext<'_>) -> Outgoing<Self::Message>;
+
+    /// Phase 2: process messages received this round. `inbox` contains one
+    /// entry per neighbour that addressed this node, tagged with the sender id,
+    /// ordered consistently with this node's neighbour list.
+    /// Returns `true` if the node's observable state changed.
+    fn receive(&mut self, ctx: &NodeContext<'_>, inbox: &[(NodeId, Self::Message)]) -> bool;
+
+    /// Whether the node has locally terminated.
+    fn halted(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkc_graph::{NodeId, WeightedGraph};
+
+    #[test]
+    fn context_exposes_local_view() {
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 2.0);
+        g.add_edge(NodeId(0), NodeId(2), 3.0);
+        let csr = CsrGraph::from(&g);
+        let ctx = NodeContext::new(&csr, NodeId(0), 4);
+        assert_eq!(ctx.node(), NodeId(0));
+        assert_eq!(ctx.num_nodes(), 3);
+        assert_eq!(ctx.round(), 4);
+        assert_eq!(ctx.num_neighbors(), 2);
+        assert_eq!(ctx.degree(), 5.0);
+        let edges: Vec<_> = ctx.incident_edges().collect();
+        assert_eq!(edges.len(), 2);
+    }
+
+    #[test]
+    fn outgoing_silence_detection() {
+        assert!(Outgoing::<f64>::Silent.is_silent());
+        assert!(Outgoing::Multicast(1.0, vec![]).is_silent());
+        assert!(Outgoing::<f64>::Unicast(vec![]).is_silent());
+        assert!(!Outgoing::Broadcast(1.0).is_silent());
+        assert!(!Outgoing::Multicast(1.0, vec![NodeId(1)]).is_silent());
+    }
+}

@@ -1,0 +1,287 @@
+//! Dinic's maximum-flow algorithm with `f64` capacities.
+
+use std::collections::VecDeque;
+
+/// Tolerance below which a residual capacity is treated as zero.
+const FLOW_EPS: f64 = 1e-12;
+
+#[derive(Clone, Debug)]
+struct Edge {
+    to: usize,
+    cap: f64,
+}
+
+/// A max-flow problem instance / solver (Dinic's algorithm).
+///
+/// Capacities are `f64`; a relative tolerance of `1e-12` is used to decide
+/// saturation, which is ample for the integer-ish weights used throughout the
+/// experiments.
+#[derive(Clone, Debug)]
+pub struct Dinic {
+    /// Forward and backward edges interleaved: edge `i` and `i ^ 1` are a pair.
+    edges: Vec<Edge>,
+    /// Adjacency: indices into `edges` per node.
+    adj: Vec<Vec<usize>>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl Dinic {
+    /// Creates a flow network with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Dinic {
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+            level: vec![0; n],
+            iter: vec![0; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adds a directed edge `from → to` with capacity `cap` (and a residual
+    /// reverse edge of capacity 0). Returns the edge index, usable with
+    /// [`Dinic::flow_on`] after solving.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: f64) -> usize {
+        assert!(cap >= 0.0 && cap.is_finite() || cap == f64::INFINITY);
+        let id = self.edges.len();
+        self.edges.push(Edge { to, cap });
+        self.edges.push(Edge { to: from, cap: 0.0 });
+        self.adj[from].push(id);
+        self.adj[to].push(id + 1);
+        id
+    }
+
+    /// The flow currently routed through the edge returned by
+    /// [`Dinic::add_edge`] (equal to the reverse edge's residual capacity).
+    pub fn flow_on(&self, edge_id: usize) -> f64 {
+        self.edges[edge_id ^ 1].cap
+    }
+
+    fn bfs(&mut self, s: usize, t: usize) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut queue = VecDeque::new();
+        self.level[s] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for &eid in &self.adj[v] {
+                let e = &self.edges[eid];
+                if e.cap > FLOW_EPS && self.level[e.to] < 0 {
+                    self.level[e.to] = self.level[v] + 1;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    fn dfs(&mut self, v: usize, t: usize, pushed: f64) -> f64 {
+        if v == t {
+            return pushed;
+        }
+        while self.iter[v] < self.adj[v].len() {
+            let eid = self.adj[v][self.iter[v]];
+            let (to, cap) = {
+                let e = &self.edges[eid];
+                (e.to, e.cap)
+            };
+            if cap > FLOW_EPS && self.level[v] < self.level[to] {
+                let d = self.dfs(to, t, pushed.min(cap));
+                if d > FLOW_EPS {
+                    self.edges[eid].cap -= d;
+                    self.edges[eid ^ 1].cap += d;
+                    return d;
+                }
+            }
+            self.iter[v] += 1;
+        }
+        0.0
+    }
+
+    /// Computes the maximum flow from `s` to `t`, mutating the residual
+    /// network in place. May be called once per instance.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
+        assert_ne!(s, t);
+        let mut flow = 0.0;
+        while self.bfs(s, t) {
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let f = self.dfs(s, t, f64::INFINITY);
+                if f <= FLOW_EPS {
+                    break;
+                }
+                flow += f;
+            }
+        }
+        flow
+    }
+
+    /// After [`Dinic::max_flow`], returns the set of nodes reachable from `s`
+    /// in the residual network — the source side of a minimum cut (the
+    /// *minimal* such side).
+    pub fn min_cut_source_side(&self, s: usize) -> Vec<bool> {
+        let n = self.num_nodes();
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::new();
+        seen[s] = true;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for &eid in &self.adj[v] {
+                let e = &self.edges[eid];
+                if e.cap > FLOW_EPS && !seen[e.to] {
+                    seen[e.to] = true;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        seen
+    }
+
+    /// After [`Dinic::max_flow`], returns the complement of the set of nodes
+    /// that can reach `t` in the residual network — the source side of the
+    /// *maximal* minimum cut. Useful for extracting the unique **maximal**
+    /// optimizer in the densest-subgraph reduction (Fact II.1).
+    pub fn max_cut_source_side(&self, t: usize) -> Vec<bool> {
+        let n = self.num_nodes();
+        // Backward reachability to t over residual edges: u reaches t if there
+        // is an edge u -> x with residual capacity and x reaches t.
+        let mut reaches_t = vec![false; n];
+        let mut queue = VecDeque::new();
+        reaches_t[t] = true;
+        queue.push_back(t);
+        // Need reverse adjacency over residual arcs: arc u->x exists if
+        // edges[eid] from u has cap > 0. We scan x's incident pair edges: for
+        // edge pair (e, e^1), e: u->x with cap, e^1: x->u. From x we can find u
+        // via e^1.to when edges[e].cap > 0.
+        while let Some(x) = queue.pop_front() {
+            for &eid in &self.adj[x] {
+                // eid is an arc x -> y; its pair eid^1 is y -> x.
+                let pair = eid ^ 1;
+                let y = self.edges[eid].to;
+                // Arc y -> x is `pair`; it has residual capacity edges[pair].cap.
+                if self.edges[pair].cap > FLOW_EPS && !reaches_t[y] {
+                    reaches_t[y] = true;
+                    queue.push_back(y);
+                }
+            }
+        }
+        reaches_t.iter().map(|&r| !r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_two_path_network() {
+        // s=0, t=3; two disjoint paths of capacity 3 and 2.
+        let mut d = Dinic::new(4);
+        d.add_edge(0, 1, 3.0);
+        d.add_edge(1, 3, 3.0);
+        d.add_edge(0, 2, 2.0);
+        d.add_edge(2, 3, 2.0);
+        assert_eq!(d.max_flow(0, 3), 5.0);
+    }
+
+    #[test]
+    fn bottleneck_network() {
+        // Classic diamond with a cross edge.
+        let mut d = Dinic::new(4);
+        d.add_edge(0, 1, 10.0);
+        d.add_edge(0, 2, 10.0);
+        d.add_edge(1, 2, 1.0);
+        d.add_edge(1, 3, 4.0);
+        d.add_edge(2, 3, 9.0);
+        assert_eq!(d.max_flow(0, 3), 13.0);
+    }
+
+    #[test]
+    fn min_cut_side_is_consistent() {
+        let mut d = Dinic::new(4);
+        let e1 = d.add_edge(0, 1, 1.0);
+        d.add_edge(1, 2, 5.0);
+        d.add_edge(2, 3, 1.0);
+        let flow = d.max_flow(0, 3);
+        assert_eq!(flow, 1.0);
+        assert_eq!(d.flow_on(e1), 1.0);
+        let side = d.min_cut_source_side(0);
+        assert!(side[0]);
+        assert!(!side[3]);
+        // Cut capacity across the partition equals the flow value.
+    }
+
+    #[test]
+    fn min_and_max_cut_sides_bracket_all_min_cuts() {
+        // Two saturated edges in series: both {0} and {0,1} are min cuts.
+        let mut d = Dinic::new(3);
+        d.add_edge(0, 1, 1.0);
+        d.add_edge(1, 2, 1.0);
+        let f = d.max_flow(0, 2);
+        assert_eq!(f, 1.0);
+        let small = d.min_cut_source_side(0);
+        let large = d.max_cut_source_side(2);
+        assert_eq!(small, vec![true, false, false]);
+        assert_eq!(large, vec![true, true, false]);
+    }
+
+    #[test]
+    fn fractional_capacities() {
+        let mut d = Dinic::new(3);
+        d.add_edge(0, 1, 0.5);
+        d.add_edge(0, 1, 0.25);
+        d.add_edge(1, 2, 1.0);
+        let f = d.max_flow(0, 2);
+        assert!((f - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_source_and_sink() {
+        let mut d = Dinic::new(4);
+        d.add_edge(0, 1, 1.0);
+        d.add_edge(2, 3, 1.0);
+        assert_eq!(d.max_flow(0, 3), 0.0);
+    }
+
+    #[test]
+    fn infinite_capacity_edges() {
+        let mut d = Dinic::new(3);
+        d.add_edge(0, 1, f64::INFINITY);
+        d.add_edge(1, 2, 2.5);
+        assert_eq!(d.max_flow(0, 2), 2.5);
+    }
+
+    #[test]
+    fn larger_random_network_conservation() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 40;
+        let mut d = Dinic::new(n);
+        let mut ids = Vec::new();
+        for _ in 0..300 {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                ids.push((u, v, d.add_edge(u, v, rng.gen_range(0.0..5.0))));
+            }
+        }
+        let flow = d.max_flow(0, n - 1);
+        assert!(flow >= 0.0);
+        // Flow conservation at intermediate nodes.
+        let mut net = vec![0.0f64; n];
+        for &(u, v, id) in &ids {
+            let f = d.flow_on(id);
+            net[u] -= f;
+            net[v] += f;
+        }
+        for v in 1..n - 1 {
+            assert!(net[v].abs() < 1e-6, "conservation violated at {v}: {}", net[v]);
+        }
+        assert!((net[n - 1] - flow).abs() < 1e-6);
+        assert!((net[0] + flow).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,30 @@
+//! # dkc-flow
+//!
+//! Exact (centralized) ground-truth algorithms used to *evaluate* the
+//! distributed protocols:
+//!
+//! * [`dinic`] — Dinic's max-flow / min-cut on floating-point capacities.
+//! * [`densest`] — Goldberg-style exact maximum-density subgraph via
+//!   Dinkelbach iteration over min-cuts (handles weights and self-loops, which
+//!   quotient graphs require).
+//! * [`decomposition`] — the exact diminishingly-dense decomposition
+//!   (Definition II.3): repeatedly extract the maximal densest subset, form the
+//!   quotient graph, and recurse; yields the maximal density `r(v)` of every
+//!   node.
+//! * [`orientation`] — exact min-max edge orientation for unit-weight graphs
+//!   (flow feasibility + orientation extraction) and the fractional LP lower
+//!   bound `ρ*` for the weighted case.
+//!
+//! None of this is part of the paper's *distributed* contribution — it is the
+//! measurement substrate for approximation ratios in the test suite and the
+//! experiment harness.
+
+pub mod decomposition;
+pub mod densest;
+pub mod dinic;
+pub mod orientation;
+
+pub use decomposition::{dense_decomposition, DenseDecomposition};
+pub use densest::{densest_subgraph, DensestSubgraph};
+pub use dinic::Dinic;
+pub use orientation::{exact_unit_orientation, fractional_orientation_lower_bound, ExactOrientation};

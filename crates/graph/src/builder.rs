@@ -1,0 +1,145 @@
+//! Incremental graph construction with parallel-edge merging.
+
+use crate::node::NodeId;
+use crate::weighted::WeightedGraph;
+use std::collections::HashMap;
+
+/// Builds a [`WeightedGraph`] from a stream of (possibly duplicated) weighted
+/// edges. Parallel edges are merged by **summing** their weights, which is the
+/// semantics used throughout the paper (a multigraph and its weight-summed
+/// simple graph have identical degrees, densities, coreness values and
+/// orientations).
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: HashMap<(NodeId, NodeId), f64>,
+    self_loops: HashMap<NodeId, f64>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with at least `n` nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: HashMap::new(),
+            self_loops: HashMap::new(),
+        }
+    }
+
+    /// Current number of nodes (grows automatically when edges mention new ids).
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of distinct non-loop edges added so far.
+    pub fn num_distinct_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Ensures the node range covers `v`.
+    pub fn ensure_node(&mut self, v: NodeId) {
+        if v.index() >= self.n {
+            self.n = v.index() + 1;
+        }
+    }
+
+    /// Adds an edge, merging with any existing parallel edge by summing weights.
+    /// Endpoints outside the current node range grow the graph.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: f64) -> &mut Self {
+        assert!(w.is_finite() && w >= 0.0, "edge weight must be finite and non-negative");
+        self.ensure_node(u);
+        self.ensure_node(v);
+        if u == v {
+            *self.self_loops.entry(u).or_insert(0.0) += w;
+        } else {
+            let key = if u < v { (u, v) } else { (v, u) };
+            *self.edges.entry(key).or_insert(0.0) += w;
+        }
+        self
+    }
+
+    /// Adds a unit-weight edge.
+    pub fn add_unit_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        self.add_edge(u, v, 1.0)
+    }
+
+    /// Returns `true` if a (non-loop) edge between `u` and `v` has been added.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.edges.contains_key(&key)
+    }
+
+    /// Finalizes the builder into a [`WeightedGraph`].
+    ///
+    /// Edges are inserted in sorted key order so that the resulting adjacency
+    /// lists are deterministic regardless of insertion order.
+    pub fn build(self) -> WeightedGraph {
+        let mut g = WeightedGraph::new(self.n);
+        let mut edges: Vec<_> = self.edges.into_iter().collect();
+        edges.sort_by_key(|&((u, v), _)| (u, v));
+        for ((u, v), w) in edges {
+            g.add_edge(u, v, w);
+        }
+        let mut loops: Vec<_> = self.self_loops.into_iter().collect();
+        loops.sort_by_key(|&(v, _)| v);
+        for (v, w) in loops {
+            g.add_self_loop(v, w);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_parallel_edges() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1.0);
+        b.add_edge(NodeId(1), NodeId(0), 2.5);
+        b.add_unit_edge(NodeId(1), NodeId(2));
+        assert_eq!(b.num_distinct_edges(), 2);
+        assert!(b.has_edge(NodeId(0), NodeId(1)));
+        assert!(!b.has_edge(NodeId(0), NodeId(2)));
+        let g = b.build();
+        g.check_consistency();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(NodeId(0)), 3.5);
+        assert_eq!(g.degree(NodeId(1)), 4.5);
+    }
+
+    #[test]
+    fn grows_node_range() {
+        let mut b = GraphBuilder::new(0);
+        b.add_edge(NodeId(5), NodeId(2), 1.0);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.degree(NodeId(5)), 1.0);
+    }
+
+    #[test]
+    fn merges_self_loops() {
+        let mut b = GraphBuilder::new(1);
+        b.add_edge(NodeId(0), NodeId(0), 1.0);
+        b.add_edge(NodeId(0), NodeId(0), 2.0);
+        let g = b.build();
+        assert_eq!(g.self_loop(NodeId(0)), 3.0);
+        assert_eq!(g.degree(NodeId(0)), 3.0);
+    }
+
+    #[test]
+    fn deterministic_output_regardless_of_insertion_order() {
+        let mut b1 = GraphBuilder::new(4);
+        b1.add_edge(NodeId(0), NodeId(1), 1.0);
+        b1.add_edge(NodeId(2), NodeId(3), 2.0);
+        let mut b2 = GraphBuilder::new(4);
+        b2.add_edge(NodeId(3), NodeId(2), 2.0);
+        b2.add_edge(NodeId(1), NodeId(0), 1.0);
+        let g1 = b1.build();
+        let g2 = b2.build();
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+}

@@ -1,0 +1,174 @@
+//! Immutable compressed sparse-row (CSR) snapshot of a [`WeightedGraph`].
+//!
+//! The distributed simulator and the hot analysis loops iterate neighbourhoods
+//! millions of times per run; CSR gives contiguous, cache-friendly neighbour
+//! slices (see the heap-allocation and iteration guidance in the Rust
+//! Performance Book).
+
+use crate::node::NodeId;
+use crate::weighted::WeightedGraph;
+
+/// Compressed sparse-row view of an undirected weighted graph.
+///
+/// Every undirected edge `{u, v}` appears as a directed arc in both `u`'s and
+/// `v`'s neighbour slice. Self-loops are kept out of the adjacency arrays and
+/// exposed via [`CsrGraph::self_loop`].
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    targets: Vec<NodeId>,
+    weights: Vec<f64>,
+    self_loops: Vec<f64>,
+    total_edge_weight: f64,
+    num_plain_edges: usize,
+}
+
+impl CsrGraph {
+    /// Builds a CSR snapshot from a [`WeightedGraph`].
+    pub fn from_graph(g: &WeightedGraph) -> Self {
+        let n = g.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut targets = Vec::new();
+        let mut weights = Vec::new();
+        for v in g.nodes() {
+            for &(u, w) in g.neighbors(v) {
+                targets.push(u);
+                weights.push(w);
+            }
+            offsets.push(targets.len());
+        }
+        let self_loops = (0..n).map(|i| g.self_loop(NodeId::new(i))).collect();
+        CsrGraph {
+            offsets,
+            targets,
+            weights,
+            self_loops,
+            total_edge_weight: g.total_edge_weight(),
+            num_plain_edges: g.num_plain_edges(),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of non-loop undirected edges.
+    #[inline]
+    pub fn num_plain_edges(&self) -> usize {
+        self.num_plain_edges
+    }
+
+    /// Sum of all edge weights (undirected edges once, self-loops once).
+    #[inline]
+    pub fn total_edge_weight(&self) -> f64 {
+        self.total_edge_weight
+    }
+
+    /// Neighbour ids of `v` (no self-loops; parallel edges appear individually).
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.targets[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// Weights aligned with [`CsrGraph::neighbors`].
+    #[inline]
+    pub fn neighbor_weights(&self, v: NodeId) -> &[f64] {
+        &self.weights[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// Iterates `(neighbor, weight)` pairs of `v`.
+    #[inline]
+    pub fn neighbors_with_weights(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.neighbor_weights(v).iter().copied())
+    }
+
+    /// Self-loop weight at `v`.
+    #[inline]
+    pub fn self_loop(&self, v: NodeId) -> f64 {
+        self.self_loops[v.index()]
+    }
+
+    /// Number of incident non-loop arcs of `v`.
+    #[inline]
+    pub fn unweighted_degree(&self, v: NodeId) -> usize {
+        self.offsets[v.index() + 1] - self.offsets[v.index()]
+    }
+
+    /// Weighted degree of `v` (self-loop counted once).
+    pub fn degree(&self, v: NodeId) -> f64 {
+        self.neighbor_weights(v).iter().sum::<f64>() + self.self_loops[v.index()]
+    }
+
+    /// Maximum weighted degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> f64 {
+        (0..self.num_nodes())
+            .map(|i| self.degree(NodeId::new(i)))
+            .fold(0.0, f64::max)
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes()).map(NodeId::new)
+    }
+}
+
+impl From<&WeightedGraph> for CsrGraph {
+    fn from(g: &WeightedGraph) -> Self {
+        CsrGraph::from_graph(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WeightedGraph {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(2), 2.0);
+        g.add_edge(NodeId(2), NodeId(3), 3.0);
+        g.add_edge(NodeId(0), NodeId(3), 4.0);
+        g.add_self_loop(NodeId(2), 0.5);
+        g
+    }
+
+    #[test]
+    fn matches_weighted_graph() {
+        let g = sample();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.num_nodes(), 4);
+        assert_eq!(csr.num_plain_edges(), 4);
+        assert_eq!(csr.total_edge_weight(), 10.5);
+        for v in g.nodes() {
+            assert_eq!(csr.degree(v), g.degree(v));
+            assert_eq!(csr.unweighted_degree(v), g.unweighted_degree(v));
+            assert_eq!(csr.self_loop(v), g.self_loop(v));
+            let mut a: Vec<_> = csr.neighbors_with_weights(v).collect();
+            let mut b: Vec<_> = g.neighbors(v).to_vec();
+            a.sort_by_key(|&(u, _)| u);
+            b.sort_by_key(|&(u, _)| u);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn max_degree() {
+        let g = sample();
+        let csr = CsrGraph::from(&g);
+        assert_eq!(csr.max_degree(), 7.0); // node 3: 3 + 4
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = WeightedGraph::new(0);
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.num_nodes(), 0);
+        assert_eq!(csr.max_degree(), 0.0);
+    }
+}

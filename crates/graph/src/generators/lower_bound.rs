@@ -1,0 +1,244 @@
+//! The paper's adversarial lower-bound constructions.
+//!
+//! * [`gamma_ary_tree`] / [`tree_with_leaf_clique`] — the Lemma III.13
+//!   construction: a complete γ-ary tree `G` (root has coreness 1) versus the
+//!   same tree with a clique planted on its leaves `G'` (root has coreness ≥ γ).
+//!   A distributed algorithm with approximation ratio `< γ` must let the root
+//!   distinguish the two, which requires a number of rounds at least the tree
+//!   depth `Θ(log n / log γ)`.
+//! * [`fig1_gadget`] — the Figure I.1 family: three graphs whose `T`-hop
+//!   neighbourhood around the distinguished node `v` (node 0) is identical for
+//!   all `T` smaller than ~`n/2`, while the coreness of `v` is 2 in variant
+//!   [`Fig1Variant::A`] and 1 in variants [`Fig1Variant::B`] / [`Fig1Variant::C`].
+//!   Hence no algorithm with `o(n)` rounds can approximate the coreness of `v`
+//!   (or decide its optimal orientation) within a factor strictly better than 2.
+
+use crate::node::NodeId;
+use crate::weighted::WeightedGraph;
+
+/// Builds a complete γ-ary tree of the given `depth` (depth 0 = a single root).
+/// Node 0 is the root; children are laid out in BFS order. All edges have unit
+/// weight. Returns the graph and the list of leaf node ids.
+pub fn gamma_ary_tree(gamma: usize, depth: usize) -> (WeightedGraph, Vec<NodeId>) {
+    assert!(gamma >= 2, "gamma must be at least 2");
+    // Number of nodes: (gamma^(depth+1) - 1) / (gamma - 1).
+    let mut level_sizes = Vec::with_capacity(depth + 1);
+    let mut size = 1usize;
+    for _ in 0..=depth {
+        level_sizes.push(size);
+        size = size
+            .checked_mul(gamma)
+            .expect("gamma-ary tree too large for usize");
+    }
+    let n: usize = level_sizes.iter().sum();
+    let mut g = WeightedGraph::new(n);
+    // BFS layout: node at index i has children gamma*i + 1 ... gamma*i + gamma.
+    let mut leaves = Vec::new();
+    let internal_count = n - level_sizes[depth];
+    for i in 0..n {
+        if i < internal_count {
+            for c in 1..=gamma {
+                let child = gamma * i + c;
+                if child < n {
+                    g.add_unit_edge(NodeId::new(i), NodeId::new(child));
+                }
+            }
+        } else {
+            leaves.push(NodeId::new(i));
+        }
+    }
+    (g, leaves)
+}
+
+/// Builds the γ-ary tree of [`gamma_ary_tree`] and, if `with_clique` is true,
+/// plants a clique on its leaves (the graph `G'` of Lemma III.13).
+///
+/// Returns `(graph, root, leaves)`. In `G` the root has coreness 1; in `G'`
+/// every node has degree ≥ γ so the root has coreness ≥ γ (the tree must have
+/// at least `2γ + 1` leaves for the paper's argument, which holds whenever
+/// `depth ≥ 2` or `gamma ≥ 3`, and is asserted here).
+pub fn tree_with_leaf_clique(
+    gamma: usize,
+    depth: usize,
+    with_clique: bool,
+) -> (WeightedGraph, NodeId, Vec<NodeId>) {
+    let (mut g, leaves) = gamma_ary_tree(gamma, depth);
+    if with_clique {
+        assert!(
+            leaves.len() > 2 * gamma,
+            "Lemma III.13 needs at least 2*gamma+1 = {} leaves, got {}",
+            2 * gamma + 1,
+            leaves.len()
+        );
+        for i in 0..leaves.len() {
+            for j in (i + 1)..leaves.len() {
+                g.add_unit_edge(leaves[i], leaves[j]);
+            }
+        }
+    }
+    (g, NodeId::new(0), leaves)
+}
+
+/// Which Figure I.1 gadget to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fig1Variant {
+    /// A cycle through `v`: the coreness of `v` (node 0) is 2.
+    A,
+    /// The cycle is broken at the edge antipodal to `v` and a triangle is
+    /// attached at the left break point: the coreness of `v` is 1, yet the
+    /// `T`-hop view of `v` is identical to variant A for `T < ~n/2`.
+    B,
+    /// Mirror of B: the triangle is attached at the right break point, which
+    /// forces the opposite optimal orientation of the edges incident to `v`.
+    C,
+}
+
+/// Builds one of the Figure I.1 gadgets on (roughly) `n` nodes with unit edge
+/// weights. The distinguished node `v` is node 0. Returns the graph.
+///
+/// Shared structure: nodes `0..n` arranged on a ring, `v = 0`. In variant A the
+/// ring is closed. In variants B and C the ring edge between the two nodes
+/// antipodal to `v` is removed (so `v` lies on a path, coreness 1) and a
+/// 2-node pendant triangle is attached to the left (B) or right (C) antipodal
+/// node, keeping the total node count at `n + 2` and planting a small
+/// coreness-2 region far from `v`.
+pub fn fig1_gadget(n: usize, variant: Fig1Variant) -> WeightedGraph {
+    assert!(n >= 8, "Figure I.1 gadgets need at least 8 ring nodes");
+    let extra = match variant {
+        Fig1Variant::A => 0,
+        _ => 2,
+    };
+    let mut g = WeightedGraph::new(n + extra);
+    let ring_edge = |g: &mut WeightedGraph, i: usize, j: usize| {
+        g.add_unit_edge(NodeId::new(i), NodeId::new(j));
+    };
+    // Antipodal pair: (half, half+1) viewed from node 0 around the ring.
+    let half = n / 2;
+    for i in 0..n {
+        let j = (i + 1) % n;
+        let is_antipodal_edge = i == half;
+        match variant {
+            Fig1Variant::A => ring_edge(&mut g, i, j),
+            Fig1Variant::B | Fig1Variant::C => {
+                if !is_antipodal_edge {
+                    ring_edge(&mut g, i, j);
+                }
+            }
+        }
+    }
+    match variant {
+        Fig1Variant::A => {}
+        Fig1Variant::B => {
+            // Triangle on {half, n, n+1}: the far *left* endpoint of the break.
+            g.add_unit_edge(NodeId::new(half), NodeId::new(n));
+            g.add_unit_edge(NodeId::new(half), NodeId::new(n + 1));
+            g.add_unit_edge(NodeId::new(n), NodeId::new(n + 1));
+        }
+        Fig1Variant::C => {
+            // Triangle on {half + 1, n, n + 1}: the far *right* endpoint.
+            g.add_unit_edge(NodeId::new(half + 1), NodeId::new(n));
+            g.add_unit_edge(NodeId::new(half + 1), NodeId::new(n + 1));
+            g.add_unit_edge(NodeId::new(n), NodeId::new(n + 1));
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_ary_tree_counts() {
+        let (g, leaves) = gamma_ary_tree(3, 2);
+        g.check_consistency();
+        assert_eq!(g.num_nodes(), 1 + 3 + 9);
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(leaves.len(), 9);
+        // Root has gamma children.
+        assert_eq!(g.unweighted_degree(NodeId(0)), 3);
+        // Leaves have degree 1.
+        for &l in &leaves {
+            assert_eq!(g.unweighted_degree(l), 1);
+        }
+    }
+
+    #[test]
+    fn leaf_clique_raises_min_degree_to_gamma() {
+        let gamma = 3;
+        let (g, root, leaves) = tree_with_leaf_clique(gamma, 2, true);
+        g.check_consistency();
+        assert_eq!(root, NodeId(0));
+        for v in g.nodes() {
+            assert!(
+                g.unweighted_degree(v) >= gamma,
+                "node {v} has degree {} < gamma",
+                g.unweighted_degree(v)
+            );
+        }
+        // Leaves now have degree 1 (parent) + (#leaves - 1).
+        assert_eq!(g.unweighted_degree(leaves[0]), 1 + leaves.len() - 1);
+    }
+
+    #[test]
+    fn tree_without_clique_is_a_tree() {
+        let (g, _root, _leaves) = tree_with_leaf_clique(2, 3, false);
+        assert_eq!(g.num_edges(), g.num_nodes() - 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn leaf_clique_requires_enough_leaves() {
+        // gamma=4, depth=1 gives only 4 leaves < 2*4+1 = 9.
+        let _ = tree_with_leaf_clique(4, 1, true);
+    }
+
+    #[test]
+    fn fig1_variant_a_is_a_cycle() {
+        let g = fig1_gadget(20, Fig1Variant::A);
+        g.check_consistency();
+        assert_eq!(g.num_nodes(), 20);
+        assert_eq!(g.num_edges(), 20);
+        for v in g.nodes() {
+            assert_eq!(g.unweighted_degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn fig1_variants_b_c_break_the_cycle_far_from_v() {
+        for variant in [Fig1Variant::B, Fig1Variant::C] {
+            let g = fig1_gadget(20, variant);
+            g.check_consistency();
+            assert_eq!(g.num_nodes(), 22);
+            // 19 ring edges (one removed) + 3 triangle edges.
+            assert_eq!(g.num_edges(), 22);
+            // v still has degree 2 — its local view matches variant A.
+            assert_eq!(g.unweighted_degree(NodeId(0)), 2);
+        }
+    }
+
+    #[test]
+    fn fig1_local_views_agree_near_v() {
+        // The 3-hop ball around node 0 must be identical across all variants
+        // (for n = 20 the break is 10 hops away).
+        let a = fig1_gadget(20, Fig1Variant::A);
+        let b = fig1_gadget(20, Fig1Variant::B);
+        let c = fig1_gadget(20, Fig1Variant::C);
+        for dist in 0..3usize {
+            for &g in &[&b, &c] {
+                // Walk `dist` steps clockwise and counter-clockwise from 0 and
+                // compare degrees — a proxy for local-view equality.
+                let cw = dist % 20;
+                let ccw = (20 - dist) % 20;
+                assert_eq!(
+                    a.unweighted_degree(NodeId::new(cw)),
+                    g.unweighted_degree(NodeId::new(cw))
+                );
+                assert_eq!(
+                    a.unweighted_degree(NodeId::new(ccw)),
+                    g.unweighted_degree(NodeId::new(ccw))
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Synthetic graph generators.
+//!
+//! These serve two purposes in the reproduction:
+//!
+//! 1. **Workload substitutes** for the real-world graphs used in the full
+//!    version's experiments (Barabási–Albert and Chung-Lu graphs have the same
+//!    heavy-tailed degree/coreness structure as social/web graphs; planted dense
+//!    communities give a known densest subset).
+//! 2. **Adversarial constructions** from the paper itself: the γ-ary tree with a
+//!    clique planted on its leaves (Lemma III.13 lower bound) and the three
+//!    Figure I.1 gadgets showing that beating a factor-2 approximation requires
+//!    `Ω(n)` rounds.
+
+mod lower_bound;
+mod planted;
+mod random;
+mod structured;
+
+pub use lower_bound::{fig1_gadget, gamma_ary_tree, tree_with_leaf_clique, Fig1Variant};
+pub use planted::{planted_dense_community, PlantedCommunity};
+pub use random::{
+    barabasi_albert, chung_lu_power_law, erdos_renyi, random_regular, watts_strogatz,
+};
+pub use structured::{complete_graph, cycle_graph, grid_graph, path_graph, star_graph};
+
+use crate::weighted::WeightedGraph;
+use rand::Rng;
+
+/// Assigns independent uniform random integer weights in `[1, max_weight]` to
+/// every (non-loop) edge of `g`, returning a new graph with the same topology.
+///
+/// This is how the weighted experiment instances are derived from unweighted
+/// topologies (the paper's weighted case has arbitrary non-negative weights; the
+/// integer range keeps the CONGEST `O(log n)`-bit message claim meaningful).
+pub fn with_random_integer_weights<R: Rng>(
+    g: &WeightedGraph,
+    max_weight: u32,
+    rng: &mut R,
+) -> WeightedGraph {
+    assert!(max_weight >= 1);
+    let mut out = WeightedGraph::new(g.num_nodes());
+    for (u, v, w) in g.edges() {
+        if u == v {
+            out.add_self_loop(u, w);
+        } else {
+            let new_w = rng.gen_range(1..=max_weight) as f64;
+            out.add_edge(u, v, new_w);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_integer_weights_preserve_topology() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = erdos_renyi(50, 0.1, &mut rng);
+        let wg = with_random_integer_weights(&g, 10, &mut rng);
+        assert_eq!(wg.num_nodes(), g.num_nodes());
+        assert_eq!(wg.num_edges(), g.num_edges());
+        for v in g.nodes() {
+            assert_eq!(
+                wg.unweighted_degree(v),
+                g.unweighted_degree(v),
+                "topology changed at {v}"
+            );
+        }
+        for (u, v, w) in wg.edges() {
+            assert_ne!(u, v);
+            assert!((1.0..=10.0).contains(&w));
+            assert_eq!(w.fract(), 0.0);
+            let _ = NodeId::new(u.index());
+        }
+    }
+}

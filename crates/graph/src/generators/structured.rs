@@ -1,0 +1,124 @@
+//! Deterministic structured topologies: paths, cycles, stars, cliques, grids.
+
+use crate::node::NodeId;
+use crate::weighted::WeightedGraph;
+
+/// Path graph on `n` nodes (`n-1` unit edges). The hop diameter is `n-1`, which
+/// makes paths the canonical high-diameter workload for the
+/// diameter-independence experiments (E8).
+pub fn path_graph(n: usize) -> WeightedGraph {
+    let mut g = WeightedGraph::new(n);
+    for i in 1..n {
+        g.add_unit_edge(NodeId::new(i - 1), NodeId::new(i));
+    }
+    g
+}
+
+/// Cycle graph on `n ≥ 3` nodes.
+pub fn cycle_graph(n: usize) -> WeightedGraph {
+    assert!(n >= 3, "cycle needs at least 3 nodes");
+    let mut g = path_graph(n);
+    g.add_unit_edge(NodeId::new(n - 1), NodeId::new(0));
+    g
+}
+
+/// Star graph: node 0 is the hub connected to nodes `1..n`.
+pub fn star_graph(n: usize) -> WeightedGraph {
+    assert!(n >= 1);
+    let mut g = WeightedGraph::new(n);
+    for i in 1..n {
+        g.add_unit_edge(NodeId::new(0), NodeId::new(i));
+    }
+    g
+}
+
+/// Complete graph `K_n` with unit weights.
+pub fn complete_graph(n: usize) -> WeightedGraph {
+    let mut g = WeightedGraph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_unit_edge(NodeId::new(i), NodeId::new(j));
+        }
+    }
+    g
+}
+
+/// Two-dimensional grid graph with `rows × cols` nodes and unit weights.
+/// Hop diameter is `rows + cols - 2`.
+pub fn grid_graph(rows: usize, cols: usize) -> WeightedGraph {
+    let mut g = WeightedGraph::new(rows * cols);
+    let id = |r: usize, c: usize| NodeId::new(r * cols + c);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_unit_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.add_unit_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_counts() {
+        let g = path_graph(10);
+        g.check_consistency();
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.num_edges(), 9);
+        assert_eq!(g.degree(NodeId(0)), 1.0);
+        assert_eq!(g.degree(NodeId(5)), 2.0);
+    }
+
+    #[test]
+    fn path_of_one_node_has_no_edges() {
+        let g = path_graph(1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_counts() {
+        let g = cycle_graph(5);
+        assert_eq!(g.num_edges(), 5);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2.0);
+        }
+    }
+
+    #[test]
+    fn star_counts() {
+        let g = star_graph(6);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.degree(NodeId(0)), 5.0);
+        assert_eq!(g.degree(NodeId(3)), 1.0);
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = complete_graph(6);
+        g.check_consistency();
+        assert_eq!(g.num_edges(), 15);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 5.0);
+        }
+        // density of K_n is (n-1)/2
+        assert_eq!(g.density(), 2.5);
+    }
+
+    #[test]
+    fn grid_counts() {
+        let g = grid_graph(3, 4);
+        g.check_consistency();
+        assert_eq!(g.num_nodes(), 12);
+        // edges: rows*(cols-1) + (rows-1)*cols = 9 + 8
+        assert_eq!(g.num_edges(), 17);
+        // corner has degree 2, interior 4
+        assert_eq!(g.degree(NodeId(0)), 2.0);
+        assert_eq!(g.degree(NodeId(5)), 4.0);
+    }
+}

