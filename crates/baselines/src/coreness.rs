@@ -25,7 +25,9 @@ pub fn unweighted_coreness(g: &WeightedGraph) -> Vec<usize> {
     if n == 0 {
         return Vec::new();
     }
-    let mut degree: Vec<usize> = (0..n).map(|i| g.unweighted_degree(NodeId::new(i))).collect();
+    let mut degree: Vec<usize> = (0..n)
+        .map(|i| g.unweighted_degree(NodeId::new(i)))
+        .collect();
     let max_degree = degree.iter().copied().max().unwrap_or(0);
 
     // Bucket sort nodes by degree.
@@ -80,8 +82,7 @@ pub fn unweighted_coreness(g: &WeightedGraph) -> Vec<usize> {
     // (The bucket algorithm already guarantees monotonicity of `core` along the
     // removal order, but enforce it for robustness.)
     let mut running = 0usize;
-    for i in 0..n {
-        let v = order[i];
+    for &v in &order {
         running = running.max(core[v]);
         core[v] = running;
     }

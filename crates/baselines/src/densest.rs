@@ -152,8 +152,8 @@ pub fn bahmani_densest(g: &WeightedGraph, epsilon: f64) -> PeelingResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dkc_graph::generators::{complete_graph, planted_dense_community, star_graph};
     use dkc_flow::densest_subgraph;
+    use dkc_graph::generators::{complete_graph, planted_dense_community, star_graph};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -149,7 +149,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn converges_to_exact(g: &WeightedGraph) {
-        let outcome = montresor_exact_coreness(g, 4 * g.num_nodes() + 10, ExecutionMode::Sequential);
+        let outcome =
+            montresor_exact_coreness(g, 4 * g.num_nodes() + 10, ExecutionMode::Sequential);
         assert!(outcome.converged, "did not converge");
         let exact = weighted_coreness(g);
         for v in 0..g.num_nodes() {

@@ -36,7 +36,11 @@ pub struct OrientationBaseline {
     pub complete: bool,
 }
 
-fn loads_from_assignment(n: usize, assignment: &[(NodeId, NodeId, NodeId)], g: &WeightedGraph) -> Vec<f64> {
+fn loads_from_assignment(
+    n: usize,
+    assignment: &[(NodeId, NodeId, NodeId)],
+    g: &WeightedGraph,
+) -> Vec<f64> {
     let mut load = vec![0.0f64; n];
     for &(u, v, owner) in assignment {
         let w = g
@@ -64,7 +68,11 @@ pub fn greedy_orientation(g: &WeightedGraph) -> OrientationBaseline {
     edges.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("NaN weight"));
     let mut assignment = Vec::with_capacity(edges.len());
     for (u, v, w) in edges {
-        let owner = if load[u.index()] <= load[v.index()] { u } else { v };
+        let owner = if load[u.index()] <= load[v.index()] {
+            u
+        } else {
+            v
+        };
         load[owner.index()] += w;
         assignment.push((u, v, owner));
     }
@@ -205,7 +213,10 @@ pub fn barenboim_elkin_orientation(
 }
 
 /// Checks that an assignment covers every non-loop edge of `g` exactly once.
-pub fn assignment_covers_all_edges(g: &WeightedGraph, assignment: &[(NodeId, NodeId, NodeId)]) -> bool {
+pub fn assignment_covers_all_edges(
+    g: &WeightedGraph,
+    assignment: &[(NodeId, NodeId, NodeId)],
+) -> bool {
     let expected = g.edges().filter(|(u, v, _)| u != v).count();
     if assignment.len() != expected {
         return false;
@@ -284,7 +295,10 @@ mod tests {
         let rho = densest_subgraph(&g).density;
         let epsilon = 0.5;
         let r = barenboim_elkin_orientation(&g, rho, epsilon, 200);
-        assert!(r.complete, "peeling must finish when the estimate is >= rho*");
+        assert!(
+            r.complete,
+            "peeling must finish when the estimate is >= rho*"
+        );
         assert!(assignment_covers_all_edges(&g, &r.assignment));
         assert!(
             r.max_in_degree <= (2.0 + epsilon) * rho + 1e-6,

@@ -19,7 +19,9 @@ fn bench_compact_elimination(c: &mut Criterion) {
         let g = barabasi_albert(n, 4, &mut rng);
         let rounds = rounds_for_epsilon(n, 0.1);
         group.bench_with_input(BenchmarkId::new("distributed", n), &g, |b, g| {
-            b.iter(|| run_compact_elimination(g, rounds, ThresholdSet::Reals, ExecutionMode::Parallel))
+            b.iter(|| {
+                run_compact_elimination(g, rounds, ThresholdSet::Reals, ExecutionMode::Parallel)
+            })
         });
         group.bench_with_input(BenchmarkId::new("centralized_reference", n), &g, |b, g| {
             b.iter(|| surviving_numbers(g, rounds))

@@ -22,8 +22,12 @@ fn bench_orientation(c: &mut Criterion) {
         let rounds = rounds_for_epsilon(n, 0.5);
         group.bench_with_input(BenchmarkId::new("distributed_2(1+eps)", n), &g, |b, g| {
             b.iter(|| {
-                let outcome =
-                    run_compact_elimination(g, rounds, ThresholdSet::Reals, ExecutionMode::Parallel);
+                let outcome = run_compact_elimination(
+                    g,
+                    rounds,
+                    ThresholdSet::Reals,
+                    ExecutionMode::Parallel,
+                );
                 orientation_from_compact(g, &outcome)
             })
         });

@@ -19,10 +19,14 @@ fn bench_execution_modes(c: &mut Criterion) {
         let g = barabasi_albert(n, 4, &mut rng);
         let rounds = rounds_for_epsilon(n, 0.5);
         group.bench_with_input(BenchmarkId::new("sequential", n), &g, |b, g| {
-            b.iter(|| run_compact_elimination(g, rounds, ThresholdSet::Reals, ExecutionMode::Sequential))
+            b.iter(|| {
+                run_compact_elimination(g, rounds, ThresholdSet::Reals, ExecutionMode::Sequential)
+            })
         });
         group.bench_with_input(BenchmarkId::new("parallel", n), &g, |b, g| {
-            b.iter(|| run_compact_elimination(g, rounds, ThresholdSet::Reals, ExecutionMode::Parallel))
+            b.iter(|| {
+                run_compact_elimination(g, rounds, ThresholdSet::Reals, ExecutionMode::Parallel)
+            })
         });
     }
     group.finish();

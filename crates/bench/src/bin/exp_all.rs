@@ -1,14 +1,20 @@
 //! Runs every table experiment (E1–E8) in sequence. This is the one-shot
 //! reproduction entry point: `cargo run --release -p dkc-bench --bin exp_all`.
+//! Pass `--scale tiny` for a fast smoke run of the whole suite.
+use dkc_bench::experiments::{fig1_sizes, lower_bound_runs};
 use dkc_bench::WorkloadScale;
+
 fn main() {
-    dkc_bench::experiments::exp_fig1(&[16, 64, 256, 1024]).print();
-    dkc_bench::experiments::exp_coreness_ratio(WorkloadScale::Small, &[0.1, 0.25, 0.5, 1.0], 0.1).print();
-    dkc_bench::experiments::exp_rounds_to_target(WorkloadScale::Small, 0.1).print();
-    dkc_bench::experiments::exp_orientation(WorkloadScale::Small, 0.5).print();
-    dkc_bench::experiments::exp_densest(WorkloadScale::Small, 0.25).print();
-    dkc_bench::experiments::exp_lower_bound(&[2, 3], 8).print();
-    dkc_bench::experiments::exp_message_size(WorkloadScale::Small, &[0.01, 0.1, 0.5], 0.2).print();
-    dkc_bench::experiments::exp_vs_exact(WorkloadScale::Small, 0.5).print();
-    dkc_bench::experiments::exp_robustness(WorkloadScale::Small, 0.2, &[0.0, 0.05, 0.2, 0.5]).print();
+    let scale = WorkloadScale::from_args();
+    dkc_bench::experiments::exp_fig1(fig1_sizes(scale)).print();
+    dkc_bench::experiments::exp_coreness_ratio(scale, &[0.1, 0.25, 0.5, 1.0], 0.1).print();
+    dkc_bench::experiments::exp_rounds_to_target(scale, 0.1).print();
+    dkc_bench::experiments::exp_orientation(scale, 0.5).print();
+    dkc_bench::experiments::exp_densest(scale, 0.25).print();
+    for &(gammas, depth) in lower_bound_runs(scale) {
+        dkc_bench::experiments::exp_lower_bound(gammas, depth).print();
+    }
+    dkc_bench::experiments::exp_message_size(scale, &[0.01, 0.1, 0.5], 0.2).print();
+    dkc_bench::experiments::exp_vs_exact(scale, 0.5).print();
+    dkc_bench::experiments::exp_robustness(scale, 0.2, &[0.0, 0.05, 0.2, 0.5]).print();
 }

@@ -1,8 +1,9 @@
 //! E2: coreness approximation ratio vs rounds (Theorem I.1).
 use dkc_bench::WorkloadScale;
+
 fn main() {
+    let scale = WorkloadScale::from_args();
     for eps in [0.5, 0.1] {
-        dkc_bench::experiments::exp_coreness_ratio(WorkloadScale::Small, &[0.1, 0.25, 0.5, 1.0], eps)
-            .print();
+        dkc_bench::experiments::exp_coreness_ratio(scale, &[0.1, 0.25, 0.5, 1.0], eps).print();
     }
 }

@@ -1,7 +1,9 @@
 //! E5: weak densest subset protocol (Theorem I.3).
 use dkc_bench::WorkloadScale;
+
 fn main() {
+    let scale = WorkloadScale::from_args();
     for eps in [0.5, 0.25, 0.1] {
-        dkc_bench::experiments::exp_densest(WorkloadScale::Small, eps).print();
+        dkc_bench::experiments::exp_densest(scale, eps).print();
     }
 }

@@ -1,4 +1,8 @@
 //! E1: Figure I.1 gadgets — the factor-2 lower bound.
+use dkc_bench::experiments::fig1_sizes;
+use dkc_bench::WorkloadScale;
+
 fn main() {
-    dkc_bench::experiments::exp_fig1(&[16, 32, 64, 128, 256, 512, 1024]).print();
+    let scale = WorkloadScale::from_args();
+    dkc_bench::experiments::exp_fig1(fig1_sizes(scale)).print();
 }

@@ -1,6 +1,10 @@
 //! E6: the Lemma III.13 lower-bound construction.
+use dkc_bench::experiments::lower_bound_runs;
+use dkc_bench::WorkloadScale;
+
 fn main() {
-    dkc_bench::experiments::exp_lower_bound(&[2, 3], 8).print();
-    dkc_bench::experiments::exp_lower_bound(&[4], 5).print();
-    dkc_bench::experiments::exp_lower_bound(&[8], 4).print();
+    let scale = WorkloadScale::from_args();
+    for &(gammas, depth) in lower_bound_runs(scale) {
+        dkc_bench::experiments::exp_lower_bound(gammas, depth).print();
+    }
 }

@@ -1,5 +1,7 @@
 //! E7: CONGEST message sizes under (1+lambda)-quantization.
 use dkc_bench::WorkloadScale;
+
 fn main() {
-    dkc_bench::experiments::exp_message_size(WorkloadScale::Small, &[0.01, 0.1, 0.5], 0.2).print();
+    let scale = WorkloadScale::from_args();
+    dkc_bench::experiments::exp_message_size(scale, &[0.01, 0.1, 0.5], 0.2).print();
 }

@@ -1,7 +1,9 @@
 //! E4: min-max edge orientation (Theorem I.2) vs baselines.
 use dkc_bench::WorkloadScale;
+
 fn main() {
+    let scale = WorkloadScale::from_args();
     for eps in [1.0, 0.5, 0.1] {
-        dkc_bench::experiments::exp_orientation(WorkloadScale::Small, eps).print();
+        dkc_bench::experiments::exp_orientation(scale, eps).print();
     }
 }

@@ -1,5 +1,7 @@
 //! E10 (extension): behaviour of the compact elimination under message loss.
 use dkc_bench::WorkloadScale;
+
 fn main() {
-    dkc_bench::experiments::exp_robustness(WorkloadScale::Small, 0.2, &[0.0, 0.05, 0.2, 0.5]).print();
+    let scale = WorkloadScale::from_args();
+    dkc_bench::experiments::exp_robustness(scale, 0.2, &[0.0, 0.05, 0.2, 0.5]).print();
 }

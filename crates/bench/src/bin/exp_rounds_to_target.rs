@@ -1,6 +1,12 @@
 //! E3: empirical rounds to reach the target approximation ratio.
 use dkc_bench::WorkloadScale;
+
 fn main() {
-    dkc_bench::experiments::exp_rounds_to_target(WorkloadScale::Small, 0.1).print();
-    dkc_bench::experiments::exp_rounds_to_target(WorkloadScale::Medium, 0.1).print();
+    let scale = WorkloadScale::from_args();
+    dkc_bench::experiments::exp_rounds_to_target(scale, 0.1).print();
+    // The default run also covers the medium scale, where exact ground truth
+    // is skipped; an explicit --scale pins the suite to that scale only.
+    if scale == WorkloadScale::Small && !std::env::args().any(|a| a == "--scale") {
+        dkc_bench::experiments::exp_rounds_to_target(WorkloadScale::Medium, 0.1).print();
+    }
 }

@@ -1,5 +1,7 @@
 //! E8: exact distributed k-core (Montresor et al.) vs the approximation.
 use dkc_bench::WorkloadScale;
+
 fn main() {
-    dkc_bench::experiments::exp_vs_exact(WorkloadScale::Small, 0.5).print();
+    let scale = WorkloadScale::from_args();
+    dkc_bench::experiments::exp_vs_exact(scale, 0.5).print();
 }

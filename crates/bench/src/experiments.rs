@@ -22,6 +22,24 @@ use dkc_graph::{CsrGraph, NodeId};
 
 const MODE: ExecutionMode = ExecutionMode::Parallel;
 
+/// Canonical E1 ring sizes per scale — the single source of truth shared by
+/// `exp_fig1` and `exp_all` so their tiny/full runs agree.
+pub fn fig1_sizes(scale: WorkloadScale) -> &'static [usize] {
+    match scale {
+        WorkloadScale::Tiny => &[16, 32, 64],
+        _ => &[16, 32, 64, 128, 256, 512, 1024],
+    }
+}
+
+/// Canonical E6 runs (`(gammas, depth)` pairs) per scale — shared by
+/// `exp_lower_bound` and `exp_all`.
+pub fn lower_bound_runs(scale: WorkloadScale) -> &'static [(&'static [usize], usize)] {
+    match scale {
+        WorkloadScale::Tiny => &[(&[2], 4)],
+        _ => &[(&[2, 3], 8), (&[4], 5), (&[8], 4)],
+    }
+}
+
 /// E1 / Figure I.1: the factor-2 lower-bound gadgets. For each ring size the
 /// table reports the coreness of the distinguished node `v` in each variant
 /// and its surviving number after `T ≪ n/2` rounds — identical across
@@ -30,7 +48,14 @@ pub fn exp_fig1(ring_sizes: &[usize]) -> Table {
     let mut t = Table::new(
         "E1 (Figure I.1): 2-approximation barrier gadgets",
         &[
-            "n", "T", "c(v) A", "c(v) B", "c(v) C", "beta(v) A", "beta(v) B", "beta(v) C",
+            "n",
+            "T",
+            "c(v) A",
+            "c(v) B",
+            "c(v) C",
+            "beta(v) A",
+            "beta(v) B",
+            "beta(v) C",
             "identical",
         ],
     );
@@ -67,7 +92,14 @@ pub fn exp_coreness_ratio(scale: WorkloadScale, round_fractions: &[f64], epsilon
     let mut t = Table::new(
         format!("E2 (Theorem I.1): coreness approximation ratio vs rounds (eps = {epsilon})"),
         &[
-            "graph", "n", "T", "bound 2n^(1/T)", "max b/c", "mean b/c", "max b/r", "mean b/r",
+            "graph",
+            "n",
+            "T",
+            "bound 2n^(1/T)",
+            "max b/c",
+            "mean b/c",
+            "max b/r",
+            "mean b/r",
         ],
     );
     for workload in standard_suite(scale) {
@@ -156,7 +188,13 @@ pub fn exp_orientation(scale: WorkloadScale, epsilon: f64) -> Table {
     let mut t = Table::new(
         format!("E4 (Theorem I.2): min-max orientation, load / rho* (eps = {epsilon})"),
         &[
-            "graph", "rho*", "opt (unit)", "distributed", "peeling", "greedy", "BE 2-phase",
+            "graph",
+            "rho*",
+            "opt (unit)",
+            "distributed",
+            "peeling",
+            "greedy",
+            "BE 2-phase",
             "bound",
         ],
     );
@@ -244,13 +282,28 @@ pub fn exp_densest(scale: WorkloadScale, epsilon: f64) -> Table {
 pub fn exp_lower_bound(gammas: &[usize], depth: usize) -> Table {
     let mut t = Table::new(
         "E6 (Lemma III.13): gamma-ary tree with leaf clique — root's view vs rounds",
-        &["gamma", "n", "depth", "T", "beta tree", "beta clique", "distinguishable"],
+        &[
+            "gamma",
+            "n",
+            "depth",
+            "T",
+            "beta tree",
+            "beta clique",
+            "distinguishable",
+        ],
     );
     for &gamma in gammas {
         let (tree, root, _) = tree_with_leaf_clique(gamma, depth, false);
         let (clique, _, _) = tree_with_leaf_clique(gamma, depth, true);
         let n = clique.num_nodes();
-        for rounds in [1, depth / 2, depth.saturating_sub(1), depth, depth + 2, 3 * depth] {
+        for rounds in [
+            1,
+            depth / 2,
+            depth.saturating_sub(1),
+            depth,
+            depth + 2,
+            3 * depth,
+        ] {
             let rounds = rounds.max(1);
             let bt = surviving_numbers(&tree, rounds)[root.index()];
             let bc = surviving_numbers(&clique, rounds)[root.index()];

@@ -22,6 +22,10 @@ pub struct Workload {
 /// How large the standard suite should be.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WorkloadScale {
+    /// Instances of a few hundred nodes, for smoke tests and CI: every
+    /// experiment (including flow-based exact ground truth) finishes in
+    /// seconds.
+    Tiny,
     /// Small instances for which exact ground truth (flow-based) is cheap.
     /// Roughly 1–2 thousand nodes.
     Small,
@@ -31,11 +35,59 @@ pub enum WorkloadScale {
 }
 
 impl WorkloadScale {
-    fn factor(self) -> usize {
+    /// Scales a `Small`-calibrated instance size to this scale.
+    pub fn scaled(self, base: usize) -> usize {
         match self {
-            WorkloadScale::Small => 1,
-            WorkloadScale::Medium => 10,
+            WorkloadScale::Tiny => (base / 10).max(10),
+            WorkloadScale::Small => base,
+            WorkloadScale::Medium => base * 10,
         }
+    }
+
+    /// Parses a `--scale` flag value (`tiny` / `small` / `medium`).
+    pub fn from_flag(flag: &str) -> Option<Self> {
+        match flag {
+            "tiny" => Some(WorkloadScale::Tiny),
+            "small" => Some(WorkloadScale::Small),
+            "medium" => Some(WorkloadScale::Medium),
+            _ => None,
+        }
+    }
+
+    /// Parses `--scale <tiny|small|medium>` (also the `--scale=…` form) from
+    /// the process arguments, defaulting to [`WorkloadScale::Small`]. Any
+    /// other argument is rejected so typos cannot silently fall back to a
+    /// minutes-long full-scale run. Used by every `exp_*` binary so the whole
+    /// experiment suite can be smoke-run on tiny graphs.
+    pub fn from_args() -> Self {
+        fn bail(msg: String) -> ! {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+        let parse = |value: &str| {
+            WorkloadScale::from_flag(value).unwrap_or_else(|| {
+                bail(format!(
+                    "unknown --scale {value:?}; expected tiny|small|medium"
+                ))
+            })
+        };
+        let mut scale = WorkloadScale::Small;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg == "--scale" {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| bail("--scale requires a value: tiny|small|medium".into()));
+                scale = parse(&value);
+            } else if let Some(value) = arg.strip_prefix("--scale=") {
+                scale = parse(value);
+            } else {
+                bail(format!(
+                    "unrecognized argument {arg:?}; the only supported flag is --scale <tiny|small|medium>"
+                ));
+            }
+        }
+        scale
     }
 }
 
@@ -44,9 +96,13 @@ impl WorkloadScale {
 /// small-world overlay, a planted dense community, a high-diameter grid, and a
 /// weighted variant.
 pub fn standard_suite(scale: WorkloadScale) -> Vec<Workload> {
-    let f = scale.factor();
     let mut rng = StdRng::seed_from_u64(0xDCC0);
-    let ba = barabasi_albert(1500 * f, 4, &mut rng);
+    let ba_n = scale.scaled(1500);
+    let er_n = scale.scaled(1200);
+    let ws_n = scale.scaled(1000);
+    let planted_n = scale.scaled(1000);
+    let community = 40.min(planted_n / 4).max(5);
+    let ba = barabasi_albert(ba_n, 4, &mut rng);
     let weighted_ba = with_random_integer_weights(&ba, 10, &mut rng);
     vec![
         Workload {
@@ -56,28 +112,34 @@ pub fn standard_suite(scale: WorkloadScale) -> Vec<Workload> {
         },
         Workload {
             name: "chung-lu",
-            graph: chung_lu_power_law(1500 * f, 2.5, 8.0, &mut rng),
+            graph: chung_lu_power_law(ba_n, 2.5, 8.0, &mut rng),
             weighted: false,
         },
         Workload {
             name: "erdos-renyi",
-            graph: erdos_renyi(1200 * f, 8.0 / (1200.0 * f as f64), &mut rng),
+            graph: erdos_renyi(er_n, 8.0 / er_n as f64, &mut rng),
             weighted: false,
         },
         Workload {
             name: "small-world",
-            graph: watts_strogatz(1000 * f, 8, 0.1, &mut rng),
+            graph: watts_strogatz(ws_n, 8, 0.1, &mut rng),
             weighted: false,
         },
         Workload {
             name: "planted",
-            graph: planted_dense_community(1000 * f, 40, 4.0 / (1000.0 * f as f64), 0.7, &mut rng)
-                .graph,
+            graph: planted_dense_community(
+                planted_n,
+                community,
+                4.0 / planted_n as f64,
+                0.7,
+                &mut rng,
+            )
+            .graph,
             weighted: false,
         },
         Workload {
             name: "grid",
-            graph: grid_graph(20, 50 * f),
+            graph: grid_graph(20, scale.scaled(50)),
             weighted: false,
         },
         Workload {
@@ -101,6 +163,30 @@ mod tests {
             assert!(w.graph.num_edges() > 0, "{} has no edges", w.name);
             assert_eq!(w.weighted, !w.graph.is_unit_weighted(), "{}", w.name);
         }
+    }
+
+    #[test]
+    fn tiny_suite_is_actually_tiny() {
+        let suite = standard_suite(WorkloadScale::Tiny);
+        assert_eq!(suite.len(), 7);
+        for w in &suite {
+            assert!(w.graph.num_nodes() <= 500, "{} too large for tiny", w.name);
+            assert!(w.graph.num_edges() > 0, "{} has no edges", w.name);
+        }
+    }
+
+    #[test]
+    fn scale_flag_round_trips() {
+        assert_eq!(WorkloadScale::from_flag("tiny"), Some(WorkloadScale::Tiny));
+        assert_eq!(
+            WorkloadScale::from_flag("small"),
+            Some(WorkloadScale::Small)
+        );
+        assert_eq!(
+            WorkloadScale::from_flag("medium"),
+            Some(WorkloadScale::Medium)
+        );
+        assert_eq!(WorkloadScale::from_flag("huge"), None);
     }
 
     #[test]

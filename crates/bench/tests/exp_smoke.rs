@@ -1,0 +1,85 @@
+//! Smoke tests: every `exp_*` binary must parse its arguments and complete a
+//! run on tiny graphs. This keeps the experiment harness from silently
+//! rotting — the binaries are compiled and *executed* by `cargo test`.
+
+use std::process::Command;
+
+/// Runs a compiled workspace binary with `--scale tiny` and asserts it
+/// succeeds and produces table output.
+fn smoke(bin_path: &str, name: &str) {
+    let output = Command::new(bin_path)
+        .args(["--scale", "tiny"])
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "{name} --scale tiny exited with {:?}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        !stdout.trim().is_empty(),
+        "{name} --scale tiny printed nothing"
+    );
+}
+
+macro_rules! smoke_tests {
+    ($($test_name:ident => $bin:literal),+ $(,)?) => {$(
+        #[test]
+        fn $test_name() {
+            smoke(env!(concat!("CARGO_BIN_EXE_", $bin)), $bin);
+        }
+    )+};
+}
+
+smoke_tests! {
+    exp_fig1_runs_tiny => "exp_fig1",
+    exp_coreness_ratio_runs_tiny => "exp_coreness_ratio",
+    exp_rounds_to_target_runs_tiny => "exp_rounds_to_target",
+    exp_orientation_runs_tiny => "exp_orientation",
+    exp_densest_runs_tiny => "exp_densest",
+    exp_lower_bound_runs_tiny => "exp_lower_bound",
+    exp_message_size_runs_tiny => "exp_message_size",
+    exp_vs_exact_runs_tiny => "exp_vs_exact",
+    exp_robustness_runs_tiny => "exp_robustness",
+    exp_all_runs_tiny => "exp_all",
+}
+
+#[test]
+fn exp_binaries_accept_equals_form() {
+    let output = Command::new(env!("CARGO_BIN_EXE_exp_fig1"))
+        .arg("--scale=tiny")
+        .output()
+        .expect("failed to spawn exp_fig1");
+    assert!(output.status.success(), "--scale=tiny must be accepted");
+}
+
+#[test]
+fn exp_binaries_reject_unrecognized_args() {
+    let output = Command::new(env!("CARGO_BIN_EXE_exp_fig1"))
+        .arg("--sclae=tiny")
+        .output()
+        .expect("failed to spawn exp_fig1");
+    assert!(
+        !output.status.success(),
+        "a typo'd flag must not silently run the full-scale suite"
+    );
+    assert!(String::from_utf8_lossy(&output.stderr).contains("unrecognized argument"));
+}
+
+#[test]
+fn exp_binaries_reject_bad_scale() {
+    let output = Command::new(env!("CARGO_BIN_EXE_exp_fig1"))
+        .args(["--scale", "galactic"])
+        .output()
+        .expect("failed to spawn exp_fig1");
+    assert!(
+        !output.status.success(),
+        "an unknown --scale value must be rejected"
+    );
+    assert!(
+        String::from_utf8_lossy(&output.stderr).contains("unknown --scale"),
+        "rejection should explain the accepted values"
+    );
+}

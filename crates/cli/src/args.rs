@@ -93,7 +93,13 @@ mod tests {
     #[test]
     fn parses_command_positionals_and_flags() {
         let p = Parsed::parse(&s(&[
-            "coreness", "graph.edges", "--epsilon", "0.1", "--exact", "--top", "5",
+            "coreness",
+            "graph.edges",
+            "--epsilon",
+            "0.1",
+            "--exact",
+            "--top",
+            "5",
         ]))
         .unwrap();
         assert_eq!(p.command, "coreness");

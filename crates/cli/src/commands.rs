@@ -69,7 +69,12 @@ fn generate(parsed: &Parsed) -> Result<String, String> {
         "path" => gen::path_graph(n),
         "cycle" => gen::cycle_graph(n),
         "complete" => gen::complete_graph(n),
-        other => return Err(format!("unknown generator model {other:?}\n{}", crate::USAGE)),
+        other => {
+            return Err(format!(
+                "unknown generator model {other:?}\n{}",
+                crate::USAGE
+            ))
+        }
     };
     let max_weight: u32 = parsed.flag_num("weights", 1)?;
     if max_weight > 1 {
@@ -122,7 +127,8 @@ fn coreness(parsed: &Parsed) -> Result<String, String> {
     } else {
         ThresholdSet::Reals
     };
-    let approx = approximate_coreness_with_rounds(&g, rounds, threshold_set, ExecutionMode::Parallel);
+    let approx =
+        approximate_coreness_with_rounds(&g, rounds, threshold_set, ExecutionMode::Parallel);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -256,7 +262,15 @@ mod tests {
     fn coreness_with_quantization_and_exact() {
         let path = temp_graph();
         let out = dispatch(&parse(&[
-            "coreness", &path, "--epsilon", "0.5", "--lambda", "0.1", "--exact", "--top", "2",
+            "coreness",
+            &path,
+            "--epsilon",
+            "0.5",
+            "--lambda",
+            "0.1",
+            "--exact",
+            "--top",
+            "2",
         ]))
         .unwrap();
         assert!(out.contains("max ratio"));

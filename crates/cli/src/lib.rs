@@ -71,10 +71,26 @@ mod tests {
         let stats = run(&s(&["stats", &path_str])).unwrap();
         assert!(stats.contains("nodes: 200"));
 
-        let core = run(&s(&["coreness", &path_str, "--epsilon", "0.5", "--exact", "--top", "3"])).unwrap();
+        let core = run(&s(&[
+            "coreness",
+            &path_str,
+            "--epsilon",
+            "0.5",
+            "--exact",
+            "--top",
+            "3",
+        ]))
+        .unwrap();
         assert!(core.contains("max ratio"));
 
-        let orient = run(&s(&["orientation", &path_str, "--epsilon", "0.5", "--compare"])).unwrap();
+        let orient = run(&s(&[
+            "orientation",
+            &path_str,
+            "--epsilon",
+            "0.5",
+            "--compare",
+        ]))
+        .unwrap();
         assert!(orient.contains("max in-degree"));
 
         let densest = run(&s(&["densest", &path_str, "--epsilon", "0.5", "--exact"])).unwrap();

@@ -71,8 +71,7 @@ pub fn approximate_coreness_with_rounds(
 ) -> CorenessApproximation {
     let outcome = run_compact_elimination(g, rounds, threshold_set, mode);
     CorenessApproximation {
-        guaranteed_factor: guaranteed_factor(g.num_nodes(), rounds)
-            * threshold_set.rounding_loss(),
+        guaranteed_factor: guaranteed_factor(g.num_nodes(), rounds) * threshold_set.rounding_loss(),
         values: outcome.surviving,
         rounds,
         metrics: outcome.metrics,

@@ -257,9 +257,18 @@ mod tests {
 
     #[test]
     fn leader_key_ordering() {
-        let a = LeaderKey { b: 5.0, id: NodeId(3) };
-        let b = LeaderKey { b: 4.0, id: NodeId(1) };
-        let c = LeaderKey { b: 5.0, id: NodeId(1) };
+        let a = LeaderKey {
+            b: 5.0,
+            id: NodeId(3),
+        };
+        let b = LeaderKey {
+            b: 4.0,
+            id: NodeId(1),
+        };
+        let c = LeaderKey {
+            b: 5.0,
+            id: NodeId(1),
+        };
         assert!(a.beats(&b));
         assert!(c.beats(&a));
         assert!(!a.beats(&a));

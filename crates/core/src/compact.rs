@@ -293,7 +293,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(25);
         let base = barabasi_albert(100, 4, &mut rng);
         let g = with_random_integer_weights(&base, 7, &mut rng);
-        let outcome = run_compact_elimination(&g, 5, ThresholdSet::Reals, ExecutionMode::Sequential);
+        let outcome =
+            run_compact_elimination(&g, 5, ThresholdSet::Reals, ExecutionMode::Sequential);
         for v in g.nodes() {
             let total: f64 = outcome.in_neighbors[v.index()]
                 .iter()
@@ -320,7 +321,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(26);
         let g = erdos_renyi(60, 0.1, &mut rng);
         let rounds = 6;
-        let exact = run_compact_elimination(&g, rounds, ThresholdSet::Reals, ExecutionMode::Sequential);
+        let exact =
+            run_compact_elimination(&g, rounds, ThresholdSet::Reals, ExecutionMode::Sequential);
         for &lambda in &[0.01, 0.1, 0.5] {
             let quantized = run_compact_elimination(
                 &g,
@@ -345,7 +347,8 @@ mod tests {
     #[test]
     fn clique_values_equal_degree() {
         let g = complete_graph(8);
-        let outcome = run_compact_elimination(&g, 3, ThresholdSet::Reals, ExecutionMode::Sequential);
+        let outcome =
+            run_compact_elimination(&g, 3, ThresholdSet::Reals, ExecutionMode::Sequential);
         // K_8: coreness = density-ish = 7; β stays at 7 from round 1 on.
         for v in 0..8 {
             assert_eq!(outcome.surviving[v], 7.0);
@@ -370,7 +373,8 @@ mod tests {
     #[test]
     fn empty_graph_and_isolated_nodes() {
         let g = WeightedGraph::new(3);
-        let outcome = run_compact_elimination(&g, 2, ThresholdSet::Reals, ExecutionMode::Sequential);
+        let outcome =
+            run_compact_elimination(&g, 2, ThresholdSet::Reals, ExecutionMode::Sequential);
         assert_eq!(outcome.surviving, vec![0.0; 3]);
         assert!(outcome.in_neighbors.iter().all(Vec::is_empty));
     }
@@ -381,7 +385,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(27);
         let g = barabasi_albert(100, 3, &mut rng);
         let rounds = 8;
-        let clean = run_compact_elimination(&g, rounds, ThresholdSet::Reals, ExecutionMode::Sequential);
+        let clean =
+            run_compact_elimination(&g, rounds, ThresholdSet::Reals, ExecutionMode::Sequential);
         let core = weighted_coreness(&g);
 
         // Zero loss is exactly the clean run.
@@ -428,7 +433,8 @@ mod tests {
     #[test]
     fn round_metrics_are_recorded() {
         let g = complete_graph(5);
-        let outcome = run_compact_elimination(&g, 4, ThresholdSet::Reals, ExecutionMode::Sequential);
+        let outcome =
+            run_compact_elimination(&g, 4, ThresholdSet::Reals, ExecutionMode::Sequential);
         assert_eq!(outcome.metrics.num_rounds(), 4);
         assert_eq!(outcome.rounds, 4);
         // Every node broadcasts a number to 4 neighbours in every round.

@@ -82,11 +82,7 @@ impl AggregationNode {
             }
         }
         self.decision = Some((best_t, best_density));
-        self.selected = self
-            .own_num
-            .get(best_t as usize)
-            .copied()
-            .unwrap_or(false);
+        self.selected = self.own_num.get(best_t as usize).copied().unwrap_or(false);
     }
 }
 
@@ -158,11 +154,8 @@ impl NodeProgram for AggregationNode {
                 AggMessage::Down(t_star, density) => {
                     if Some(*sender) == self.parent && !self.is_root(v) && self.decision.is_none() {
                         self.decision = Some((*t_star, *density));
-                        self.selected = self
-                            .own_num
-                            .get(*t_star as usize)
-                            .copied()
-                            .unwrap_or(false);
+                        self.selected =
+                            self.own_num.get(*t_star as usize).copied().unwrap_or(false);
                         changed = true;
                     }
                 }
@@ -305,9 +298,7 @@ pub fn weak_densest_subsets_with_rounds(
     let mut best_density = 0.0f64;
     for root in forest.roots() {
         if let Some(Some((t_star, est))) = agg.decisions.get(root.index()).copied() {
-            let members: Vec<bool> = (0..n)
-                .map(|v| membership[v] == Some(root))
-                .collect();
+            let members: Vec<bool> = (0..n).map(|v| membership[v] == Some(root)).collect();
             let size = members.iter().filter(|&&b| b).count();
             if size == 0 {
                 continue;
@@ -342,9 +333,7 @@ pub fn weak_densest_subsets_with_rounds(
 mod tests {
     use super::*;
     use dkc_flow::densest_subgraph;
-    use dkc_graph::generators::{
-        complete_graph, erdos_renyi, path_graph, planted_dense_community,
-    };
+    use dkc_graph::generators::{complete_graph, erdos_renyi, path_graph, planted_dense_community};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

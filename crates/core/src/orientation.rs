@@ -96,7 +96,8 @@ mod tests {
     }
 
     fn orientation_of(g: &WeightedGraph, rounds: usize) -> OrientationResult {
-        let outcome = run_compact_elimination(g, rounds, ThresholdSet::Reals, ExecutionMode::Sequential);
+        let outcome =
+            run_compact_elimination(g, rounds, ThresholdSet::Reals, ExecutionMode::Sequential);
         orientation_from_compact(g, &outcome)
     }
 

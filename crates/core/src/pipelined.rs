@@ -147,11 +147,7 @@ impl NodeProgram for PipelinedNode {
                 PipelinedMessage::Down(t_star, density) => {
                     if Some(sender) == self.parent && !self.is_root(v) && self.decision.is_none() {
                         self.decision = Some((t_star, density));
-                        self.selected = self
-                            .own_num
-                            .get(t_star as usize)
-                            .copied()
-                            .unwrap_or(false);
+                        self.selected = self.own_num.get(t_star as usize).copied().unwrap_or(false);
                         changed = true;
                     }
                 }
@@ -223,10 +219,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn phases_through_3(
-        g: &WeightedGraph,
-        rounds: usize,
-    ) -> (BfsForest, TreeElimOutcome) {
+    fn phases_through_3(g: &WeightedGraph, rounds: usize) -> (BfsForest, TreeElimOutcome) {
         let compact =
             run_compact_elimination(g, rounds, ThresholdSet::Reals, ExecutionMode::Sequential);
         let forest = run_bfs_construction(g, &compact.surviving, rounds, ExecutionMode::Sequential);

@@ -46,7 +46,11 @@ pub fn shells_by_factor(values: &[f64], base: f64) -> Vec<Shell> {
     let mut k = k_max;
     loop {
         let lower = base.powi(k);
-        let upper = if k == k_max { f64::INFINITY } else { base.powi(k + 1) };
+        let upper = if k == k_max {
+            f64::INFINITY
+        } else {
+            base.powi(k + 1)
+        };
         let mut members = Vec::new();
         for (i, &v) in values.iter().enumerate() {
             if !assigned[i] && v >= lower {

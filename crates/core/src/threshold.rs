@@ -8,8 +8,7 @@
 use dkc_distsim::message::WORD_BITS;
 
 /// The set Λ of allowed surviving-number values.
-#[derive(Clone, Copy, Debug, PartialEq)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub enum ThresholdSet {
     /// Λ = ℝ: values are kept exact. Required for the min-max orientation
     /// guarantee (Definition III.7 needs the exact upper bound).
@@ -28,7 +27,10 @@ pub enum ThresholdSet {
 impl ThresholdSet {
     /// Creates a power-grid threshold set, validating λ.
     pub fn power_grid(lambda: f64) -> Self {
-        assert!(lambda > 0.0 && lambda.is_finite(), "lambda must be positive");
+        assert!(
+            lambda > 0.0 && lambda.is_finite(),
+            "lambda must be positive"
+        );
         ThresholdSet::PowerGrid { lambda }
     }
 
@@ -82,7 +84,6 @@ impl ThresholdSet {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -155,7 +155,10 @@ pub fn run_tree_elimination(
     TreeElimOutcome {
         num: programs.iter().map(|p| p.num.clone()).collect(),
         deg: programs.iter().map(|p| p.deg.clone()).collect(),
-        final_active: programs.iter().map(|p| p.participates && p.active).collect(),
+        final_active: programs
+            .iter()
+            .map(|p| p.participates && p.active)
+            .collect(),
         rounds,
         metrics,
     }
@@ -235,8 +238,7 @@ mod tests {
                     .neighbors(vid)
                     .iter()
                     .filter(|&&(u, _)| {
-                        elim.num[u.index()][t]
-                            && forest.leader[u.index()].id == forest.leader[v].id
+                        elim.num[u.index()][t] && forest.leader[u.index()].id == forest.leader[v].id
                     })
                     .map(|&(_, w)| w)
                     .sum();
@@ -276,7 +278,8 @@ mod tests {
         // participates with its own threshold — sanity-check participation flag
         // wiring via a manual forest instead.
         let g = path_graph(4);
-        let compact = run_compact_elimination(&g, 2, ThresholdSet::Reals, ExecutionMode::Sequential);
+        let compact =
+            run_compact_elimination(&g, 2, ThresholdSet::Reals, ExecutionMode::Sequential);
         let mut forest = run_bfs_construction(&g, &compact.surviving, 2, ExecutionMode::Sequential);
         // Artificially orphan node 3.
         forest.parent[3] = None;

@@ -76,8 +76,11 @@ impl UpdateState {
         assert_eq!(weights.len(), d, "one weight per neighbour required");
 
         // Stable sort by the current values: history-lexicographic tie-breaking.
-        self.order
-            .sort_by(|&a, &b| values[a as usize].partial_cmp(&values[b as usize]).expect("NaN surviving number"));
+        self.order.sort_by(|&a, &b| {
+            values[a as usize]
+                .partial_cmp(&values[b as usize])
+                .expect("NaN surviving number")
+        });
 
         let mut in_neighbors = vec![false; d];
         if d == 0 {
@@ -359,7 +362,7 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(11);
         for _ in 0..100 {
-            let d = rng.gen_range(1..8);
+            let d = rng.gen_range(1usize..8);
             let values: Vec<f64> = (0..d).map(|_| rng.gen_range(0.0..10.0)).collect();
             let weights: Vec<f64> = (0..d).map(|_| rng.gen_range(0.1..3.0)).collect();
             let b1 = surviving_number_update(&values, &weights, 0.0);
@@ -367,7 +370,10 @@ mod tests {
             let k = rng.gen_range(0..d);
             lowered[k] *= rng.gen_range(0.0..1.0);
             let b2 = surviving_number_update(&lowered, &weights, 0.0);
-            assert!(b2 <= b1 + 1e-9, "lowering a value increased b: {b1} -> {b2}");
+            assert!(
+                b2 <= b1 + 1e-9,
+                "lowering a value increased b: {b1} -> {b2}"
+            );
         }
     }
 }

@@ -88,7 +88,10 @@ mod tests {
         let c = LossModel::new(0.5, 8);
         let mut differs = false;
         for r in 0..50 {
-            assert_eq!(a.drops(r, NodeId(3), NodeId(9)), b.drops(r, NodeId(3), NodeId(9)));
+            assert_eq!(
+                a.drops(r, NodeId(3), NodeId(9)),
+                b.drops(r, NodeId(3), NodeId(9))
+            );
             if a.drops(r, NodeId(3), NodeId(9)) != c.drops(r, NodeId(3), NodeId(9)) {
                 differs = true;
             }

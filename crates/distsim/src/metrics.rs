@@ -59,7 +59,11 @@ impl RunMetrics {
 
     /// The largest single message payload observed in any round.
     pub fn max_message_bits(&self) -> usize {
-        self.rounds.iter().map(|r| r.max_message_bits).max().unwrap_or(0)
+        self.rounds
+            .iter()
+            .map(|r| r.max_message_bits)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The last round in which any node's state changed (`None` if no round

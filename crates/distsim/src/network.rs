@@ -60,7 +60,11 @@ impl<P: NodeProgram> Network<P> {
     /// Builds a network from an existing CSR topology and explicit programs
     /// (one per node, in node order).
     pub fn from_parts(graph: CsrGraph, programs: Vec<P>) -> Self {
-        assert_eq!(graph.num_nodes(), programs.len(), "one program per node required");
+        assert_eq!(
+            graph.num_nodes(),
+            programs.len(),
+            "one program per node required"
+        );
         Network {
             graph,
             programs,
@@ -213,9 +217,8 @@ impl<P: NodeProgram> Network<P> {
         let loss = self.loss;
         let deliver_to = |v: NodeId| -> Vec<(NodeId, P::Message)> {
             let mut inbox = Vec::new();
-            let dropped = |from: NodeId| -> bool {
-                loss.map(|m| m.drops(round, from, v)).unwrap_or(false)
-            };
+            let dropped =
+                |from: NodeId| -> bool { loss.map(|m| m.drops(round, from, v)).unwrap_or(false) };
             for &u in graph.neighbors(v) {
                 if dropped(u) {
                     continue;
@@ -335,10 +338,7 @@ mod tests {
     }
 
     fn min_id_network(g: &WeightedGraph, mode: ExecutionMode) -> Network<MinIdFlood> {
-        Network::new(g, |ctx| MinIdFlood {
-            best: ctx.node().0,
-        })
-        .with_mode(mode)
+        Network::new(g, |ctx| MinIdFlood { best: ctx.node().0 }).with_mode(mode)
     }
 
     use dkc_graph::WeightedGraph;

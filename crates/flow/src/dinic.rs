@@ -279,7 +279,11 @@ mod tests {
             net[v] += f;
         }
         for v in 1..n - 1 {
-            assert!(net[v].abs() < 1e-6, "conservation violated at {v}: {}", net[v]);
+            assert!(
+                net[v].abs() < 1e-6,
+                "conservation violated at {v}: {}",
+                net[v]
+            );
         }
         assert!((net[n - 1] - flow).abs() < 1e-6);
         assert!((net[0] + flow).abs() < 1e-6);

@@ -27,4 +27,6 @@ pub mod orientation;
 pub use decomposition::{dense_decomposition, DenseDecomposition};
 pub use densest::{densest_subgraph, DensestSubgraph};
 pub use dinic::Dinic;
-pub use orientation::{exact_unit_orientation, fractional_orientation_lower_bound, ExactOrientation};
+pub use orientation::{
+    exact_unit_orientation, fractional_orientation_lower_bound, ExactOrientation,
+};

@@ -46,7 +46,10 @@ impl GraphBuilder {
     /// Adds an edge, merging with any existing parallel edge by summing weights.
     /// Endpoints outside the current node range grow the graph.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: f64) -> &mut Self {
-        assert!(w.is_finite() && w >= 0.0, "edge weight must be finite and non-negative");
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "edge weight must be finite and non-negative"
+        );
         self.ensure_node(u);
         self.ensure_node(v);
         if u == v {

@@ -18,7 +18,10 @@ impl NodeId {
     /// Panics if `idx` does not fit in a `u32`.
     #[inline]
     pub fn new(idx: usize) -> Self {
-        debug_assert!(idx <= u32::MAX as usize, "node index {idx} exceeds u32 range");
+        debug_assert!(
+            idx <= u32::MAX as usize,
+            "node index {idx} exceeds u32 range"
+        );
         NodeId(idx as u32)
     }
 

@@ -93,7 +93,11 @@ pub fn diameter_double_sweep(g: &CsrGraph, start: NodeId) -> usize {
         .map(|(i, _)| NodeId::new(i))
         .unwrap_or(start);
     let d2 = bfs_distances(g, far);
-    d2.iter().filter(|&&d| d != usize::MAX).copied().max().unwrap_or(0)
+    d2.iter()
+        .filter(|&&d| d != usize::MAX)
+        .copied()
+        .max()
+        .unwrap_or(0)
 }
 
 /// Summary degree statistics of a graph.

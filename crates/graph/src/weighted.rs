@@ -76,7 +76,10 @@ impl WeightedGraph {
     /// Panics if either endpoint is out of range or if `w` is negative or not
     /// finite.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: f64) {
-        assert!(w.is_finite() && w >= 0.0, "edge weight must be finite and non-negative, got {w}");
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "edge weight must be finite and non-negative, got {w}"
+        );
         assert!(u.index() < self.adj.len(), "node {u} out of range");
         assert!(v.index() < self.adj.len(), "node {v} out of range");
         if u == v {
@@ -137,16 +140,12 @@ impl WeightedGraph {
     /// parallel edges are yielded individually) followed by the positive
     /// self-loops (as `(v, v, w)`).
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
-        let plain = self
-            .adj
-            .iter()
-            .enumerate()
-            .flat_map(move |(ui, nbrs)| {
-                let u = NodeId::new(ui);
-                nbrs.iter()
-                    .filter(move |&&(v, _)| u < v)
-                    .map(move |&(v, w)| (u, v, w))
-            });
+        let plain = self.adj.iter().enumerate().flat_map(move |(ui, nbrs)| {
+            let u = NodeId::new(ui);
+            nbrs.iter()
+                .filter(move |&&(v, _)| u < v)
+                .map(move |&(v, w)| (u, v, w))
+        });
         let loops = self
             .self_loops
             .iter()

@@ -33,9 +33,13 @@ fn main() {
 
     println!("\n        Λ         | max msg bits | total Mbits | max ratio | mean ratio");
     println!(" -----------------+--------------+-------------+-----------+-----------");
-    let mut configs: Vec<(String, ThresholdSet)> = vec![("reals (exact)".into(), ThresholdSet::Reals)];
+    let mut configs: Vec<(String, ThresholdSet)> =
+        vec![("reals (exact)".into(), ThresholdSet::Reals)];
     for &lambda in &[0.01, 0.1, 0.5] {
-        configs.push((format!("powers of {:.2}", 1.0 + lambda), ThresholdSet::power_grid(lambda)));
+        configs.push((
+            format!("powers of {:.2}", 1.0 + lambda),
+            ThresholdSet::power_grid(lambda),
+        ));
     }
     for (name, lambda_set) in configs {
         let approx =
@@ -51,8 +55,6 @@ fn main() {
         );
     }
 
-    println!(
-        "\nquantized messages fit comfortably in the O(log n) CONGEST budget while the"
-    );
+    println!("\nquantized messages fit comfortably in the O(log n) CONGEST budget while the");
     println!("approximation quality degrades only by the promised (1+λ) factor.");
 }

@@ -13,7 +13,7 @@
 
 use dkc::baselines::{barenboim_elkin_orientation, greedy_orientation, peeling_orientation};
 use dkc::flow::fractional_orientation_lower_bound;
-use dkc::graph::generators::{with_random_integer_weights, watts_strogatz};
+use dkc::graph::generators::{watts_strogatz, with_random_integer_weights};
 use dkc::prelude::*;
 
 fn main() {
@@ -68,10 +68,7 @@ fn main() {
     // 2(2+ε).
     let epsilon = 0.5;
     let phase1 = approximate_coreness(&g, epsilon, ExecutionMode::Parallel);
-    let estimate = phase1
-        .values
-        .iter()
-        .fold(0.0f64, |a, &b| a.max(b));
+    let estimate = phase1.values.iter().fold(0.0f64, |a, &b| a.max(b));
     let be = barenboim_elkin_orientation(&g, estimate, epsilon, 10 * phase1.rounds);
     println!(
         " Barenboim–Elkin 2-ph | {:>6} | {:>8.1} | {:>4.2}",

@@ -11,7 +11,7 @@
 //! Run with: `cargo run --release --example social_spreaders`
 
 use dkc::graph::generators::barabasi_albert;
-use dkc::graph::properties::{diameter_double_sweep, degree_stats};
+use dkc::graph::properties::{degree_stats, diameter_double_sweep};
 use dkc::graph::CsrGraph;
 use dkc::prelude::*;
 

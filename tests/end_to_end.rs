@@ -9,7 +9,7 @@ use dkc::graph::generators::{
     barabasi_albert, chung_lu_power_law, erdos_renyi, fig1_gadget, grid_graph,
     planted_dense_community, tree_with_leaf_clique, with_random_integer_weights, Fig1Variant,
 };
-use dkc::graph::properties::{diameter_exact, diameter_double_sweep};
+use dkc::graph::properties::{diameter_double_sweep, diameter_exact};
 use dkc::graph::CsrGraph;
 use dkc::prelude::*;
 
@@ -52,7 +52,10 @@ fn coreness_guarantee_across_workloads() {
             );
             // Corollary III.6: r(v) <= c(v) <= 2 r(v).
             assert!(decomposition.maximal_density[v] <= core[v] + 1e-6, "{name}");
-            assert!(core[v] <= 2.0 * decomposition.maximal_density[v] + 1e-6, "{name}");
+            assert!(
+                core[v] <= 2.0 * decomposition.maximal_density[v] + 1e-6,
+                "{name}"
+            );
         }
     }
 }

@@ -1,0 +1,272 @@
+//! Offline stand-in for `rayon`, implementing the subset this workspace uses:
+//! `slice.par_iter_mut().enumerate().map(f).collect::<Vec<_>>()` plus
+//! [`ThreadPoolBuilder`] / [`ThreadPool::install`] / [`current_num_threads`].
+//!
+//! Parallelism is real (scoped OS threads over contiguous chunks), not a
+//! sequential fake: the simulator's rounds are barriers, so chunk-parallel
+//! execution with order-preserving collection matches rayon's semantics for
+//! this pipeline. There is no work stealing; for the near-uniform per-node
+//! work in the simulator, even chunking is a good fit.
+//!
+//! Known limitation vs real rayon: threads are spawned per [`collect`] call
+//! rather than kept in a persistent pool, so each simulator round pays a
+//! thread-spawn cost. On small graphs that overhead can dominate and make
+//! "parallel" benchmark numbers (E9) pessimistic relative to a real pool;
+//! treat cross-mode timings on tiny inputs with suspicion. Correctness is
+//! unaffected.
+//!
+//! [`collect`]: MapParIter::collect
+
+use std::cell::Cell;
+use std::fmt;
+
+pub mod prelude {
+    pub use crate::IntoParallelRefMutIterator;
+}
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static CURRENT_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Number of threads parallel pipelines on this thread will use.
+pub fn current_num_threads() -> usize {
+    CURRENT_THREADS
+        .with(|c| c.get())
+        .unwrap_or_else(default_num_threads)
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type mirroring `rayon::ThreadPoolBuildError` (construction here is
+/// infallible, the type exists for signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(0) | None => default_num_threads(),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A "pool" is just a thread-count policy: work is executed on scoped threads
+/// spawned per pipeline, bounded by this count while inside [`install`].
+///
+/// [`install`]: ThreadPool::install
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count as the current parallelism.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        CURRENT_THREADS.with(|c| {
+            let prev = c.replace(Some(self.num_threads));
+            let out = op();
+            c.set(prev);
+            out
+        })
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Entry point mirroring `rayon::iter::IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: Send + 'a;
+
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut {
+            slice: self.as_mut_slice(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+/// Parallel iterator over `&mut T` items.
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    pub fn enumerate(self) -> EnumerateParIterMut<'a, T> {
+        EnumerateParIterMut { slice: self.slice }
+    }
+
+    pub fn map<R, F>(self, f: F) -> MapParIter<'a, T, impl Fn((usize, &'a mut T)) -> R + Sync, R>
+    where
+        F: Fn(&'a mut T) -> R + Sync,
+        R: Send,
+    {
+        MapParIter {
+            slice: self.slice,
+            f: move |(_, item)| f(item),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut T) + Sync,
+    {
+        self.map(f).collect::<Vec<()>>();
+    }
+}
+
+/// `par_iter_mut().enumerate()` — items tagged with their index.
+pub struct EnumerateParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> EnumerateParIterMut<'a, T> {
+    pub fn map<R, F>(self, f: F) -> MapParIter<'a, T, F, R>
+    where
+        F: Fn((usize, &'a mut T)) -> R + Sync,
+        R: Send,
+    {
+        MapParIter {
+            slice: self.slice,
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A mapped pipeline, ready to collect.
+pub struct MapParIter<'a, T, F, R> {
+    slice: &'a mut [T],
+    f: F,
+    _marker: std::marker::PhantomData<R>,
+}
+
+impl<'a, T, F, R> MapParIter<'a, T, F, R>
+where
+    T: Send,
+    F: Fn((usize, &'a mut T)) -> R + Sync,
+    R: Send,
+{
+    /// Executes the pipeline and collects results in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let n = self.slice.len();
+        let threads = current_num_threads().clamp(1, n.max(1));
+        let f = &self.f;
+        if threads <= 1 || n <= 1 {
+            let out: Vec<R> = self
+                .slice
+                .iter_mut()
+                .enumerate()
+                .map(|(i, item)| f((i, item)))
+                .collect();
+            return C::from(out);
+        }
+        let chunk_len = n.div_ceil(threads);
+        let out: Vec<R> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .slice
+                .chunks_mut(chunk_len)
+                .enumerate()
+                .map(|(chunk_idx, chunk)| {
+                    scope.spawn(move || {
+                        let base = chunk_idx * chunk_len;
+                        chunk
+                            .iter_mut()
+                            .enumerate()
+                            .map(|(i, item)| f((base + i, item)))
+                            .collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        C::from(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn enumerate_map_collect_preserves_order() {
+        let mut v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v
+            .par_iter_mut()
+            .enumerate()
+            .map(|(i, x)| {
+                *x += 1;
+                *x + i as u64
+            })
+            .collect();
+        for (i, val) in out.iter().enumerate() {
+            assert_eq!(*val, 2 * i as u64 + 1);
+        }
+        assert_eq!(v[999], 1000);
+    }
+
+    #[test]
+    fn pool_install_overrides_thread_count() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 2);
+        pool.install(|| assert_eq!(super::current_num_threads(), 2));
+        let single = super::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let mut v: Vec<u32> = (0..10).collect();
+        let out: Vec<u32> =
+            single.install(|| v.par_iter_mut().enumerate().map(|(_, x)| *x * 2).collect());
+        assert_eq!(out, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+    }
+}

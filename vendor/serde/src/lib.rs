@@ -1,0 +1,11 @@
+//! Offline stand-in for `serde`: marker traits plus the no-op derives from
+//! `vendor/serde_derive`. The `derive` cargo feature is accepted (and is a
+//! no-op) so dependant manifests read identically to the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no data formats in-tree).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no data formats in-tree).
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,19 @@
+//! Offline no-op stand-ins for serde's derive macros.
+//!
+//! `#[derive(Serialize, Deserialize)]` must resolve to *something* for the
+//! annotated types to compile; nothing in this workspace actually serializes
+//! (there is no serde_json or bincode in the tree), so the derives expand to
+//! nothing. When real serialization lands, swap `vendor/serde*` for the real
+//! crates and every annotation starts working unchanged.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
