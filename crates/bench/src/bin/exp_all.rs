@@ -1,20 +1,38 @@
-//! Runs every table experiment (E1–E8) in sequence. This is the one-shot
+//! Runs every table experiment (E1–E10) in sequence. This is the one-shot
 //! reproduction entry point: `cargo run --release -p dkc-bench --bin exp_all`.
-//! Pass `--scale tiny` for a fast smoke run of the whole suite.
-use dkc_bench::experiments::{fig1_sizes, lower_bound_runs};
-use dkc_bench::WorkloadScale;
+//! Pass `--scale tiny` for a fast smoke run of the whole suite, and
+//! `--json <path>` to aggregate every experiment's records into one report
+//! (this is what CI's perf-smoke job diffs against the committed baseline).
+use dkc_bench::experiments::{self, fig1_sizes, lower_bound_runs};
+use dkc_bench::{ExpArgs, Report};
 
 fn main() {
-    let scale = WorkloadScale::from_args();
-    dkc_bench::experiments::exp_fig1(fig1_sizes(scale)).print();
-    dkc_bench::experiments::exp_coreness_ratio(scale, &[0.1, 0.25, 0.5, 1.0], 0.1).print();
-    dkc_bench::experiments::exp_rounds_to_target(scale, 0.1).print();
-    dkc_bench::experiments::exp_orientation(scale, 0.5).print();
-    dkc_bench::experiments::exp_densest(scale, 0.25).print();
+    let args = ExpArgs::parse();
+    let scale = args.scale;
+    let mut report = Report::new("exp_all", scale);
+    let mut run = |out: experiments::ExperimentOutput| {
+        out.print();
+        report.extend(out.records);
+    };
+    run(experiments::exp_fig1(fig1_sizes(scale)));
+    run(experiments::exp_coreness_ratio(
+        scale,
+        &[0.1, 0.25, 0.5, 1.0],
+        0.1,
+    ));
+    run(experiments::exp_rounds_to_target(scale, 0.1));
+    run(experiments::exp_orientation(scale, 0.5));
+    run(experiments::exp_densest(scale, 0.25));
     for &(gammas, depth) in lower_bound_runs(scale) {
-        dkc_bench::experiments::exp_lower_bound(gammas, depth).print();
+        run(experiments::exp_lower_bound(gammas, depth));
     }
-    dkc_bench::experiments::exp_message_size(scale, &[0.01, 0.1, 0.5], 0.2).print();
-    dkc_bench::experiments::exp_vs_exact(scale, 0.5).print();
-    dkc_bench::experiments::exp_robustness(scale, 0.2, &[0.0, 0.05, 0.2, 0.5]).print();
+    run(experiments::exp_message_size(scale, &[0.01, 0.1, 0.5], 0.2));
+    run(experiments::exp_vs_exact(scale, 0.5));
+    run(experiments::exp_scaling(scale));
+    run(experiments::exp_robustness(
+        scale,
+        0.2,
+        &[0.0, 0.05, 0.2, 0.5],
+    ));
+    args.write_report(&report);
 }

@@ -1,9 +1,14 @@
 //! E2: coreness approximation ratio vs rounds (Theorem I.1).
-use dkc_bench::WorkloadScale;
+use dkc_bench::{ExpArgs, Report};
 
 fn main() {
-    let scale = WorkloadScale::from_args();
+    let args = ExpArgs::parse();
+    let mut report = Report::new("exp_coreness_ratio", args.scale);
     for eps in [0.5, 0.1] {
-        dkc_bench::experiments::exp_coreness_ratio(scale, &[0.1, 0.25, 0.5, 1.0], eps).print();
+        let out =
+            dkc_bench::experiments::exp_coreness_ratio(args.scale, &[0.1, 0.25, 0.5, 1.0], eps);
+        out.print();
+        report.extend(out.records);
     }
+    args.write_report(&report);
 }

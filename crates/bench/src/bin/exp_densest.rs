@@ -1,9 +1,13 @@
 //! E5: weak densest subset protocol (Theorem I.3).
-use dkc_bench::WorkloadScale;
+use dkc_bench::{ExpArgs, Report};
 
 fn main() {
-    let scale = WorkloadScale::from_args();
+    let args = ExpArgs::parse();
+    let mut report = Report::new("exp_densest", args.scale);
     for eps in [0.5, 0.25, 0.1] {
-        dkc_bench::experiments::exp_densest(scale, eps).print();
+        let out = dkc_bench::experiments::exp_densest(args.scale, eps);
+        out.print();
+        report.extend(out.records);
     }
+    args.write_report(&report);
 }

@@ -1,8 +1,12 @@
 //! E1: Figure I.1 gadgets — the factor-2 lower bound.
 use dkc_bench::experiments::fig1_sizes;
-use dkc_bench::WorkloadScale;
+use dkc_bench::{ExpArgs, Report};
 
 fn main() {
-    let scale = WorkloadScale::from_args();
-    dkc_bench::experiments::exp_fig1(fig1_sizes(scale)).print();
+    let args = ExpArgs::parse();
+    let mut report = Report::new("exp_fig1", args.scale);
+    let out = dkc_bench::experiments::exp_fig1(fig1_sizes(args.scale));
+    out.print();
+    report.extend(out.records);
+    args.write_report(&report);
 }

@@ -1,10 +1,14 @@
 //! E6: the Lemma III.13 lower-bound construction.
 use dkc_bench::experiments::lower_bound_runs;
-use dkc_bench::WorkloadScale;
+use dkc_bench::{ExpArgs, Report};
 
 fn main() {
-    let scale = WorkloadScale::from_args();
-    for &(gammas, depth) in lower_bound_runs(scale) {
-        dkc_bench::experiments::exp_lower_bound(gammas, depth).print();
+    let args = ExpArgs::parse();
+    let mut report = Report::new("exp_lower_bound", args.scale);
+    for &(gammas, depth) in lower_bound_runs(args.scale) {
+        let out = dkc_bench::experiments::exp_lower_bound(gammas, depth);
+        out.print();
+        report.extend(out.records);
     }
+    args.write_report(&report);
 }

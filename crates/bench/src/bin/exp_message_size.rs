@@ -1,7 +1,11 @@
 //! E7: CONGEST message sizes under (1+lambda)-quantization.
-use dkc_bench::WorkloadScale;
+use dkc_bench::{ExpArgs, Report};
 
 fn main() {
-    let scale = WorkloadScale::from_args();
-    dkc_bench::experiments::exp_message_size(scale, &[0.01, 0.1, 0.5], 0.2).print();
+    let args = ExpArgs::parse();
+    let mut report = Report::new("exp_message_size", args.scale);
+    let out = dkc_bench::experiments::exp_message_size(args.scale, &[0.01, 0.1, 0.5], 0.2);
+    out.print();
+    report.extend(out.records);
+    args.write_report(&report);
 }

@@ -1,9 +1,13 @@
 //! E4: min-max edge orientation (Theorem I.2) vs baselines.
-use dkc_bench::WorkloadScale;
+use dkc_bench::{ExpArgs, Report};
 
 fn main() {
-    let scale = WorkloadScale::from_args();
+    let args = ExpArgs::parse();
+    let mut report = Report::new("exp_orientation", args.scale);
     for eps in [1.0, 0.5, 0.1] {
-        dkc_bench::experiments::exp_orientation(scale, eps).print();
+        let out = dkc_bench::experiments::exp_orientation(args.scale, eps);
+        out.print();
+        report.extend(out.records);
     }
+    args.write_report(&report);
 }

@@ -1,7 +1,11 @@
 //! E10 (extension): behaviour of the compact elimination under message loss.
-use dkc_bench::WorkloadScale;
+use dkc_bench::{ExpArgs, Report};
 
 fn main() {
-    let scale = WorkloadScale::from_args();
-    dkc_bench::experiments::exp_robustness(scale, 0.2, &[0.0, 0.05, 0.2, 0.5]).print();
+    let args = ExpArgs::parse();
+    let mut report = Report::new("exp_robustness", args.scale);
+    let out = dkc_bench::experiments::exp_robustness(args.scale, 0.2, &[0.0, 0.05, 0.2, 0.5]);
+    out.print();
+    report.extend(out.records);
+    args.write_report(&report);
 }

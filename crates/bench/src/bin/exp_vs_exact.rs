@@ -1,7 +1,11 @@
 //! E8: exact distributed k-core (Montresor et al.) vs the approximation.
-use dkc_bench::WorkloadScale;
+use dkc_bench::{ExpArgs, Report};
 
 fn main() {
-    let scale = WorkloadScale::from_args();
-    dkc_bench::experiments::exp_vs_exact(scale, 0.5).print();
+    let args = ExpArgs::parse();
+    let mut report = Report::new("exp_vs_exact", args.scale);
+    let out = dkc_bench::experiments::exp_vs_exact(args.scale, 0.5);
+    out.print();
+    report.extend(out.records);
+    args.write_report(&report);
 }

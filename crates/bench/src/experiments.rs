@@ -1,6 +1,9 @@
-//! Experiment implementations E1–E8 (see DESIGN.md §4). Each returns a
-//! [`Table`] so binaries can print it and tests can inspect it.
+//! Experiment implementations E1–E10 (see DESIGN.md §4). Each returns an
+//! [`ExperimentOutput`]: a [`Table`] for human consumption plus the
+//! [`ExperimentRecord`]s feeding the machine-readable report pipeline
+//! (`--json`, see [`crate::report`]).
 
+use crate::report::ExperimentRecord;
 use crate::table::{f1, f3, Table};
 use crate::workloads::{standard_suite, WorkloadScale};
 use dkc_baselines::{
@@ -16,11 +19,38 @@ use dkc_core::surviving::surviving_numbers;
 use dkc_core::threshold::ThresholdSet;
 use dkc_distsim::ExecutionMode;
 use dkc_flow::{dense_decomposition, densest_subgraph, exact_unit_orientation};
-use dkc_graph::generators::{fig1_gadget, tree_with_leaf_clique, Fig1Variant};
+use dkc_graph::generators::{complete_graph, fig1_gadget, tree_with_leaf_clique, Fig1Variant};
 use dkc_graph::properties::diameter_double_sweep;
 use dkc_graph::{CsrGraph, NodeId};
+use std::time::Instant;
 
 const MODE: ExecutionMode = ExecutionMode::Parallel;
+
+/// The result of one experiment: the rendered table plus the structured
+/// measurement records behind it.
+pub struct ExperimentOutput {
+    /// Human-readable rows (what the binaries print).
+    pub table: Table,
+    /// Machine-readable per-run records (what `--json` serializes). Records
+    /// from scale-parameterized experiments carry their scale; records from
+    /// scale-agnostic gadget experiments leave it empty for
+    /// [`crate::report::Report::extend`] to stamp.
+    pub records: Vec<ExperimentRecord>,
+}
+
+impl ExperimentOutput {
+    fn new(table: Table) -> Self {
+        ExperimentOutput {
+            table,
+            records: Vec::new(),
+        }
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        self.table.print();
+    }
+}
 
 /// Canonical E1 ring sizes per scale — the single source of truth shared by
 /// `exp_fig1` and `exp_all` so their tiny/full runs agree.
@@ -40,12 +70,21 @@ pub fn lower_bound_runs(scale: WorkloadScale) -> &'static [(&'static [usize], us
     }
 }
 
+/// Canonical E9 scaling sizes (Barabási–Albert node counts) per scale.
+pub fn scaling_sizes(scale: WorkloadScale) -> &'static [usize] {
+    match scale {
+        WorkloadScale::Tiny => &[2_000],
+        WorkloadScale::Small => &[20_000],
+        WorkloadScale::Medium => &[20_000, 100_000],
+    }
+}
+
 /// E1 / Figure I.1: the factor-2 lower-bound gadgets. For each ring size the
 /// table reports the coreness of the distinguished node `v` in each variant
 /// and its surviving number after `T ≪ n/2` rounds — identical across
 /// variants, certifying that no `o(n)`-round protocol can beat factor 2.
-pub fn exp_fig1(ring_sizes: &[usize]) -> Table {
-    let mut t = Table::new(
+pub fn exp_fig1(ring_sizes: &[usize]) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(Table::new(
         "E1 (Figure I.1): 2-approximation barrier gadgets",
         &[
             "n",
@@ -58,7 +97,7 @@ pub fn exp_fig1(ring_sizes: &[usize]) -> Table {
             "beta(v) C",
             "identical",
         ],
-    );
+    ));
     for &n in ring_sizes {
         let a = fig1_gadget(n, Fig1Variant::A);
         let b = fig1_gadget(n, Fig1Variant::B);
@@ -70,7 +109,16 @@ pub fn exp_fig1(ring_sizes: &[usize]) -> Table {
         let ba = surviving_numbers(&a, rounds)[0];
         let bb = surviving_numbers(&b, rounds)[0];
         let bc = surviving_numbers(&c, rounds)[0];
-        t.row(vec![
+        // Record the distributed counterpart on variant A: the simulator run
+        // gives the real message/bit counters behind the beta column.
+        let run = run_compact_elimination(&a, rounds, ThresholdSet::Reals, MODE);
+        out.records.push(ExperimentRecord::from_metrics(
+            "E1",
+            format!("fig1-ring-{n}"),
+            "",
+            &run.metrics,
+        ));
+        out.table.row(vec![
             n.to_string(),
             rounds.to_string(),
             f1(ca),
@@ -82,14 +130,18 @@ pub fn exp_fig1(ring_sizes: &[usize]) -> Table {
             (ba == bb && bb == bc).to_string(),
         ]);
     }
-    t
+    out
 }
 
 /// E2 / Theorem I.1: approximation ratio of the surviving numbers against the
 /// exact coreness (and maximal density on small instances) as a function of
 /// the number of rounds.
-pub fn exp_coreness_ratio(scale: WorkloadScale, round_fractions: &[f64], epsilon: f64) -> Table {
-    let mut t = Table::new(
+pub fn exp_coreness_ratio(
+    scale: WorkloadScale,
+    round_fractions: &[f64],
+    epsilon: f64,
+) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(Table::new(
         format!("E2 (Theorem I.1): coreness approximation ratio vs rounds (eps = {epsilon})"),
         &[
             "graph",
@@ -101,11 +153,12 @@ pub fn exp_coreness_ratio(scale: WorkloadScale, round_fractions: &[f64], epsilon
             "max b/r",
             "mean b/r",
         ],
-    );
+    ));
     for workload in standard_suite(scale) {
         let g = &workload.graph;
         let n = g.num_nodes();
         let t_full = rounds_for_epsilon(n, epsilon);
+        let started = Instant::now();
         let exact_core = weighted_coreness(g);
         // Exact maximal densities are flow-based and only computed at small scale.
         let maximal_density = if n <= 2500 {
@@ -124,7 +177,7 @@ pub fn exp_coreness_ratio(scale: WorkloadScale, round_fractions: &[f64], epsilon
                 }
                 None => ("-".into(), "-".into()),
             };
-            t.row(vec![
+            out.table.row(vec![
                 workload.name.into(),
                 n.to_string(),
                 rounds.to_string(),
@@ -135,14 +188,23 @@ pub fn exp_coreness_ratio(scale: WorkloadScale, round_fractions: &[f64], epsilon
                 mean_r,
             ]);
         }
+        // The reference computations are centralized: real wall-clock and
+        // round budget, no simulated communication.
+        out.records.push(ExperimentRecord::centralized(
+            "E2",
+            format!("{}-eps{epsilon}", workload.name),
+            scale.name(),
+            started.elapsed(),
+            t_full,
+        ));
     }
-    t
+    out
 }
 
 /// E3 / Theorem I.1: empirical rounds needed to reach a 2(1+ε) (and plain 2)
 /// worst-node approximation, versus the theoretical bound and the diameter.
-pub fn exp_rounds_to_target(scale: WorkloadScale, epsilon: f64) -> Table {
-    let mut t = Table::new(
+pub fn exp_rounds_to_target(scale: WorkloadScale, epsilon: f64) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(Table::new(
         format!("E3: rounds to reach the target ratio (eps = {epsilon})"),
         &[
             "graph",
@@ -153,14 +215,16 @@ pub fn exp_rounds_to_target(scale: WorkloadScale, epsilon: f64) -> Table {
             "T to 2.0",
             "T to 1.1",
         ],
-    );
+    ));
     for workload in standard_suite(scale) {
         let g = &workload.graph;
         let n = g.num_nodes();
         let t_theory = rounds_for_epsilon(n, epsilon);
+        let started = Instant::now();
         let exact_core = weighted_coreness(g);
         let diameter = diameter_double_sweep(&CsrGraph::from(g), NodeId(0));
-        let per_round = dkc_core::surviving::surviving_numbers_per_round(g, t_theory.max(24));
+        let budget = t_theory.max(24);
+        let per_round = dkc_core::surviving::surviving_numbers_per_round(g, budget);
         let first_round_below = |target: f64| -> String {
             per_round
                 .iter()
@@ -168,7 +232,7 @@ pub fn exp_rounds_to_target(scale: WorkloadScale, epsilon: f64) -> Table {
                 .map(|i| (i + 1).to_string())
                 .unwrap_or_else(|| format!(">{}", per_round.len()))
         };
-        t.row(vec![
+        out.table.row(vec![
             workload.name.into(),
             n.to_string(),
             diameter.to_string(),
@@ -177,15 +241,22 @@ pub fn exp_rounds_to_target(scale: WorkloadScale, epsilon: f64) -> Table {
             first_round_below(2.0),
             first_round_below(1.1),
         ]);
+        out.records.push(ExperimentRecord::centralized(
+            "E3",
+            workload.name,
+            scale.name(),
+            started.elapsed(),
+            budget,
+        ));
     }
-    t
+    out
 }
 
 /// E4 / Theorem I.2: min-max orientation quality of the distributed algorithm
 /// versus the LP lower bound ρ*, the exact optimum (unit-weight instances),
 /// and the baselines.
-pub fn exp_orientation(scale: WorkloadScale, epsilon: f64) -> Table {
-    let mut t = Table::new(
+pub fn exp_orientation(scale: WorkloadScale, epsilon: f64) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(Table::new(
         format!("E4 (Theorem I.2): min-max orientation, load / rho* (eps = {epsilon})"),
         &[
             "graph",
@@ -197,7 +268,7 @@ pub fn exp_orientation(scale: WorkloadScale, epsilon: f64) -> Table {
             "BE 2-phase",
             "bound",
         ],
-    );
+    ));
     for workload in standard_suite(scale) {
         let g = &workload.graph;
         let n = g.num_nodes();
@@ -210,6 +281,12 @@ pub fn exp_orientation(scale: WorkloadScale, epsilon: f64) -> Table {
         }
         let rounds = rounds_for_epsilon(n, epsilon);
         let compact = run_compact_elimination(g, rounds, ThresholdSet::Reals, MODE);
+        out.records.push(ExperimentRecord::from_metrics(
+            "E4",
+            format!("{}-eps{epsilon}", workload.name),
+            scale.name(),
+            &compact.metrics,
+        ));
         let distributed = orientation_from_compact(g, &compact);
         let opt = if workload.weighted {
             "-".to_string()
@@ -219,7 +296,7 @@ pub fn exp_orientation(scale: WorkloadScale, epsilon: f64) -> Table {
         let peel = peeling_orientation(g);
         let greedy = greedy_orientation(g);
         let be = barenboim_elkin_orientation(g, compact.max_surviving(), epsilon, 20 * rounds);
-        t.row(vec![
+        out.table.row(vec![
             workload.name.into(),
             f3(rho),
             opt,
@@ -234,12 +311,12 @@ pub fn exp_orientation(scale: WorkloadScale, epsilon: f64) -> Table {
             f3(guaranteed_factor(n, rounds)),
         ]);
     }
-    t
+    out
 }
 
 /// E5 / Theorem I.3: quality of the weak densest-subset protocol.
-pub fn exp_densest(scale: WorkloadScale, epsilon: f64) -> Table {
-    let mut t = Table::new(
+pub fn exp_densest(scale: WorkloadScale, epsilon: f64) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(Table::new(
         format!("E5 (Theorem I.3): weak densest subset (eps = {epsilon})"),
         &[
             "graph",
@@ -250,7 +327,7 @@ pub fn exp_densest(scale: WorkloadScale, epsilon: f64) -> Table {
             "rounds",
             "guarantee",
         ],
-    );
+    ));
     for workload in standard_suite(scale) {
         let g = &workload.graph;
         let n = g.num_nodes();
@@ -262,8 +339,19 @@ pub fn exp_densest(scale: WorkloadScale, epsilon: f64) -> Table {
             continue;
         }
         let rounds = rounds_for_epsilon(n, epsilon);
+        let started = Instant::now();
         let result = weak_densest_subsets_with_rounds(g, rounds, MODE);
-        t.row(vec![
+        // The four-phase protocol exposes round and message totals but not
+        // bit-level counters; those fields stay zero.
+        out.records.push(ExperimentRecord::from_counts(
+            "E5",
+            format!("{}-eps{epsilon}", workload.name),
+            scale.name(),
+            started.elapsed(),
+            result.rounds_total,
+            result.total_messages,
+        ));
+        out.table.row(vec![
             workload.name.into(),
             f3(rho),
             f3(result.best_density),
@@ -273,14 +361,14 @@ pub fn exp_densest(scale: WorkloadScale, epsilon: f64) -> Table {
             f3(guaranteed_factor(n, rounds)),
         ]);
     }
-    t
+    out
 }
 
 /// E6 / Lemma III.13: the γ-ary tree with a leaf clique. The root's surviving
 /// number only reflects the clique once the round budget reaches the tree
 /// depth, matching the Ω(log n / log γ) lower bound.
-pub fn exp_lower_bound(gammas: &[usize], depth: usize) -> Table {
-    let mut t = Table::new(
+pub fn exp_lower_bound(gammas: &[usize], depth: usize) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(Table::new(
         "E6 (Lemma III.13): gamma-ary tree with leaf clique — root's view vs rounds",
         &[
             "gamma",
@@ -291,7 +379,7 @@ pub fn exp_lower_bound(gammas: &[usize], depth: usize) -> Table {
             "beta clique",
             "distinguishable",
         ],
-    );
+    ));
     for &gamma in gammas {
         let (tree, root, _) = tree_with_leaf_clique(gamma, depth, false);
         let (clique, _, _) = tree_with_leaf_clique(gamma, depth, true);
@@ -307,7 +395,7 @@ pub fn exp_lower_bound(gammas: &[usize], depth: usize) -> Table {
             let rounds = rounds.max(1);
             let bt = surviving_numbers(&tree, rounds)[root.index()];
             let bc = surviving_numbers(&clique, rounds)[root.index()];
-            t.row(vec![
+            out.table.row(vec![
                 gamma.to_string(),
                 n.to_string(),
                 depth.to_string(),
@@ -317,13 +405,22 @@ pub fn exp_lower_bound(gammas: &[usize], depth: usize) -> Table {
                 (bt != bc).to_string(),
             ]);
         }
+        // Record a simulator run on the clique variant at the critical round
+        // budget (the tree depth).
+        let run = run_compact_elimination(&clique, depth, ThresholdSet::Reals, MODE);
+        out.records.push(ExperimentRecord::from_metrics(
+            "E6",
+            format!("tree-g{gamma}-d{depth}"),
+            "",
+            &run.metrics,
+        ));
     }
-    t
+    out
 }
 
 /// E7 / Corollary III.10: message size and accuracy under (1+λ)-quantization.
-pub fn exp_message_size(scale: WorkloadScale, lambdas: &[f64], epsilon: f64) -> Table {
-    let mut t = Table::new(
+pub fn exp_message_size(scale: WorkloadScale, lambdas: &[f64], epsilon: f64) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(Table::new(
         format!("E7 (Cor. III.10): CONGEST message size under quantization (eps = {epsilon})"),
         &[
             "graph",
@@ -333,7 +430,7 @@ pub fn exp_message_size(scale: WorkloadScale, lambdas: &[f64], epsilon: f64) -> 
             "max ratio vs exact-run",
             "congest budget",
         ],
-    );
+    ));
     for workload in standard_suite(scale) {
         let g = &workload.graph;
         if !workload.weighted && workload.name != "ba" {
@@ -342,8 +439,14 @@ pub fn exp_message_size(scale: WorkloadScale, lambdas: &[f64], epsilon: f64) -> 
         let n = g.num_nodes();
         let rounds = rounds_for_epsilon(n, epsilon);
         let exact = run_compact_elimination(g, rounds, ThresholdSet::Reals, MODE);
+        out.records.push(ExperimentRecord::from_metrics(
+            "E7",
+            format!("{}-reals", workload.name),
+            scale.name(),
+            &exact.metrics,
+        ));
         let budget = dkc_distsim::congest_budget_bits(n, 1);
-        t.row(vec![
+        out.table.row(vec![
             workload.name.into(),
             "0 (reals)".into(),
             exact.metrics.max_message_bits().to_string(),
@@ -354,8 +457,14 @@ pub fn exp_message_size(scale: WorkloadScale, lambdas: &[f64], epsilon: f64) -> 
         for &lambda in lambdas {
             let quantized =
                 run_compact_elimination(g, rounds, ThresholdSet::power_grid(lambda), MODE);
+            out.records.push(ExperimentRecord::from_metrics(
+                "E7",
+                format!("{}-lam{lambda}", workload.name),
+                scale.name(),
+                &quantized.metrics,
+            ));
             let ratio = ApproxRatio::compute(&exact.surviving, &quantized.surviving);
-            t.row(vec![
+            out.table.row(vec![
                 workload.name.into(),
                 format!("{lambda}"),
                 quantized.metrics.max_message_bits().to_string(),
@@ -365,14 +474,14 @@ pub fn exp_message_size(scale: WorkloadScale, lambdas: &[f64], epsilon: f64) -> 
             ]);
         }
     }
-    t
+    out
 }
 
 /// E8: rounds to convergence of the exact distributed protocol (Montresor et
 /// al.) versus the rounds of the 2(1+ε)-approximation, on low- and
 /// high-diameter graphs.
-pub fn exp_vs_exact(scale: WorkloadScale, epsilon: f64) -> Table {
-    let mut t = Table::new(
+pub fn exp_vs_exact(scale: WorkloadScale, epsilon: f64) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(Table::new(
         format!("E8: exact distributed k-core vs diameter-free approximation (eps = {epsilon})"),
         &[
             "graph",
@@ -382,17 +491,29 @@ pub fn exp_vs_exact(scale: WorkloadScale, epsilon: f64) -> Table {
             "approx rounds",
             "approx max ratio",
         ],
-    );
+    ));
     for workload in standard_suite(scale) {
         let g = &workload.graph;
         let n = g.num_nodes();
         let diameter = diameter_double_sweep(&CsrGraph::from(g), NodeId(0));
         let exact_core = weighted_coreness(g);
         let exact_run = montresor_exact_coreness(g, 20 * n, MODE);
+        out.records.push(ExperimentRecord::from_metrics(
+            "E8",
+            format!("{}-exact", workload.name),
+            scale.name(),
+            &exact_run.metrics,
+        ));
         let rounds = rounds_for_epsilon(n, epsilon);
         let approx = run_compact_elimination(g, rounds, ThresholdSet::Reals, MODE);
+        out.records.push(ExperimentRecord::from_metrics(
+            "E8",
+            format!("{}-approx", workload.name),
+            scale.name(),
+            &approx.metrics,
+        ));
         let ratio = ApproxRatio::compute(&approx.surviving, &exact_core);
-        t.row(vec![
+        out.table.row(vec![
             workload.name.into(),
             n.to_string(),
             diameter.to_string(),
@@ -401,7 +522,117 @@ pub fn exp_vs_exact(scale: WorkloadScale, epsilon: f64) -> Table {
             f3(ratio.max),
         ]);
     }
-    t
+    out
+}
+
+/// E9: simulator scaling — the same protocol run sequentially and
+/// data-parallel, on (a) the compact elimination over a Barabási–Albert graph
+/// (broadcast-heavy; the paper's main protocol) and (b) a dense multicast
+/// stress where every node of a complete graph multicasts to every second
+/// neighbour (exercising the CSR-position-indexed scatter). Counters are
+/// identical across modes by construction; the timing columns are the
+/// measurement.
+pub fn exp_scaling(scale: WorkloadScale) -> ExperimentOutput {
+    use dkc_graph::generators::barabasi_albert;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut out = ExperimentOutput::new(Table::new(
+        "E9: round executor scaling (sequential vs parallel)",
+        &[
+            "workload",
+            "n",
+            "rounds",
+            "messages",
+            "seq ms",
+            "par ms",
+            "seq Mmsg/s",
+            "par Mmsg/s",
+        ],
+    ));
+    let modes = [
+        ("seq", ExecutionMode::Sequential),
+        ("par", ExecutionMode::Parallel),
+    ];
+
+    for &n in scaling_sizes(scale) {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = barabasi_albert(n, 4, &mut rng);
+        let rounds = rounds_for_epsilon(n, 0.5);
+        for (label, mode) in modes {
+            let run = run_compact_elimination(&g, rounds, ThresholdSet::Reals, mode);
+            out.records.push(ExperimentRecord::from_metrics(
+                "E9",
+                format!("ba-{n}-{label}"),
+                scale.name(),
+                &run.metrics,
+            ));
+        }
+        push_scaling_row(&mut out, "ba-compact", n);
+    }
+
+    // Multicast stress: small complete graph, five rounds of half-degree
+    // multicasts.
+    let stress_n = match scale {
+        WorkloadScale::Tiny => 200,
+        WorkloadScale::Small => 1_000,
+        WorkloadScale::Medium => 2_000,
+    };
+    let g = complete_graph(stress_n);
+    let stress_rounds = 5usize;
+    for (label, mode) in modes {
+        let mut net = dkc_distsim::Network::new(&g, |_| HalfMulticast).with_mode(mode);
+        net.run(stress_rounds);
+        out.records.push(ExperimentRecord::from_metrics(
+            "E9",
+            format!("multicast-stress-{stress_n}-{label}"),
+            scale.name(),
+            net.metrics(),
+        ));
+    }
+    push_scaling_row(&mut out, "multicast-stress", stress_n);
+    out
+}
+
+/// Renders one E9 table row from the last two (seq, par) records pushed.
+fn push_scaling_row(out: &mut ExperimentOutput, workload: &str, n: usize) {
+    let [seq, par] = &out.records[out.records.len() - 2..] else {
+        unreachable!("a scaling row always follows a seq/par record pair");
+    };
+    let mmsg = |r: &ExperimentRecord| {
+        if r.messages_per_sec > 0.0 {
+            f3(r.messages_per_sec / 1e6)
+        } else {
+            "-".into()
+        }
+    };
+    out.table.row(vec![
+        workload.into(),
+        n.to_string(),
+        seq.rounds.to_string(),
+        seq.total_messages.to_string(),
+        format!("{:.1}", seq.wall_clock_ms),
+        format!("{:.1}", par.wall_clock_ms),
+        mmsg(seq),
+        mmsg(par),
+    ]);
+}
+
+/// The E9 stress program: every node multicasts its id to every second
+/// neighbour, every round.
+struct HalfMulticast;
+
+impl dkc_distsim::NodeProgram for HalfMulticast {
+    type Message = u32;
+
+    fn broadcast(&mut self, ctx: &dkc_distsim::NodeContext<'_>) -> dkc_distsim::Outgoing<u32> {
+        let targets: Vec<NodeId> = ctx.neighbors().iter().copied().step_by(2).collect();
+        dkc_distsim::Outgoing::Multicast(ctx.node().0, targets)
+    }
+
+    fn receive(&mut self, _ctx: &dkc_distsim::NodeContext<'_>, inbox: &[(NodeId, u32)]) -> bool {
+        !inbox.is_empty()
+    }
 }
 
 /// E10 (extension): robustness of the compact elimination under message loss.
@@ -409,10 +640,10 @@ pub fn exp_vs_exact(scale: WorkloadScale, epsilon: f64) -> Table {
 /// the table reports how the worst-node ratio degrades with the loss rate at a
 /// fixed round budget, and how many extra rounds restore the fault-free
 /// quality.
-pub fn exp_robustness(scale: WorkloadScale, epsilon: f64, loss_rates: &[f64]) -> Table {
+pub fn exp_robustness(scale: WorkloadScale, epsilon: f64, loss_rates: &[f64]) -> ExperimentOutput {
     use dkc_core::compact::run_compact_elimination_with_loss;
     use dkc_distsim::LossModel;
-    let mut t = Table::new(
+    let mut out = ExperimentOutput::new(Table::new(
         format!("E10 (extension): compact elimination under message loss (eps = {epsilon})"),
         &[
             "graph",
@@ -422,7 +653,7 @@ pub fn exp_robustness(scale: WorkloadScale, epsilon: f64, loss_rates: &[f64]) ->
             "mean ratio",
             "max ratio @2T",
         ],
-    );
+    ));
     for workload in standard_suite(scale) {
         let g = &workload.graph;
         if workload.name != "ba" && workload.name != "grid" {
@@ -438,11 +669,17 @@ pub fn exp_robustness(scale: WorkloadScale, epsilon: f64, loss_rates: &[f64]) ->
                 None
             };
             let run = run_compact_elimination_with_loss(g, rounds, ThresholdSet::Reals, MODE, loss);
+            out.records.push(ExperimentRecord::from_metrics(
+                "E10",
+                format!("{}-loss{p:.2}", workload.name),
+                scale.name(),
+                &run.metrics,
+            ));
             let run2 =
                 run_compact_elimination_with_loss(g, 2 * rounds, ThresholdSet::Reals, MODE, loss);
             let ratio = ApproxRatio::compute(&run.surviving, &exact_core);
             let ratio2 = ApproxRatio::compute(&run2.surviving, &exact_core);
-            t.row(vec![
+            out.table.row(vec![
                 workload.name.into(),
                 format!("{p:.2}"),
                 rounds.to_string(),
@@ -452,7 +689,7 @@ pub fn exp_robustness(scale: WorkloadScale, epsilon: f64, loss_rates: &[f64]) ->
             ]);
         }
     }
-    t
+    out
 }
 
 #[cfg(test)]
@@ -461,22 +698,47 @@ mod tests {
 
     #[test]
     fn fig1_rows_report_identical_views() {
-        let t = exp_fig1(&[24, 40]);
-        assert_eq!(t.len(), 2);
-        assert!(t.render().contains("true"));
+        let out = exp_fig1(&[24, 40]);
+        assert_eq!(out.table.len(), 2);
+        assert!(out.table.render().contains("true"));
+        assert_eq!(out.records.len(), 2, "one record per ring size");
+        for r in &out.records {
+            assert_eq!(r.experiment, "E1");
+            assert!(r.total_messages > 0, "simulated run must count messages");
+            assert!(r.scale.is_empty(), "gadget runs are scale-agnostic");
+        }
     }
 
     #[test]
     fn lower_bound_table_has_distinguishable_and_indistinguishable_rows() {
-        let t = exp_lower_bound(&[2], 4);
-        let rendered = t.render();
+        let out = exp_lower_bound(&[2], 4);
+        let rendered = out.table.render();
         assert!(rendered.contains("true"));
         assert!(rendered.contains("false"));
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.records[0].rounds, 4);
     }
 
     #[test]
     fn coreness_ratio_small_scale_runs() {
-        let t = exp_coreness_ratio(WorkloadScale::Small, &[0.25, 1.0], 0.5);
-        assert!(t.len() >= 7);
+        let out = exp_coreness_ratio(WorkloadScale::Small, &[0.25, 1.0], 0.5);
+        assert!(out.table.len() >= 7);
+        assert_eq!(out.records.len(), 7, "one centralized record per workload");
+        assert!(out.records.iter().all(|r| r.scale == "small"));
+    }
+
+    #[test]
+    fn scaling_records_are_mode_identical() {
+        let out = exp_scaling(WorkloadScale::Tiny);
+        assert_eq!(out.records.len(), 4, "2 workloads x 2 modes");
+        for pair in out.records.chunks(2) {
+            let (seq, par) = (&pair[0], &pair[1]);
+            assert!(seq.workload.ends_with("-seq"));
+            assert!(par.workload.ends_with("-par"));
+            assert_eq!(seq.rounds, par.rounds);
+            assert_eq!(seq.total_messages, par.total_messages);
+            assert_eq!(seq.payload_bits, par.payload_bits);
+            assert_eq!(seq.max_message_bits, par.max_message_bits);
+        }
     }
 }

@@ -12,8 +12,11 @@
 //! real-ish graphs to ≈ 1) much faster than the worst-case round bound.
 
 pub mod experiments;
+pub mod report;
 pub mod table;
 pub mod workloads;
 
+pub use experiments::ExperimentOutput;
+pub use report::{ExperimentRecord, Report};
 pub use table::Table;
-pub use workloads::{standard_suite, Workload, WorkloadScale};
+pub use workloads::{standard_suite, ExpArgs, Workload, WorkloadScale};

@@ -1,0 +1,461 @@
+//! Machine-readable experiment reports.
+//!
+//! Every `exp_*` binary accepts `--json <path>` and serializes its
+//! measurements as a [`Report`]: one [`ExperimentRecord`] per protocol (or
+//! reference) run, carrying the **deterministic counters** CI gates on
+//! (rounds, delivered messages, payload bits, max message bits) plus the
+//! non-deterministic timing columns (wall-clock, derived messages/sec) that
+//! make regressions visible without failing builds.
+//!
+//! Schema (version 1):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "suite": "exp_all",
+//!   "scale": "tiny",
+//!   "records": [
+//!     {
+//!       "experiment": "E9",
+//!       "workload": "ba-2000-par",
+//!       "scale": "tiny",
+//!       "wall_clock_ms": 12.5,
+//!       "rounds": 21,
+//!       "total_messages": 399900,
+//!       "payload_bits": 25593600,
+//!       "max_message_bits": 64,
+//!       "messages_per_sec": 31992000.0
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! Serialization goes through the vendored `serde` data model into
+//! `serde_json`; parsing uses `serde_json::Value` accessors so malformed
+//! reports produce field-level error messages.
+
+use crate::workloads::WorkloadScale;
+use dkc_distsim::RunMetrics;
+use serde::{Serialize, SerializeStruct, Serializer};
+use serde_json::Value;
+use std::path::Path;
+use std::time::Duration;
+
+/// Version stamp written into every report; bump when the schema changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One measured run: the deterministic protocol counters plus timing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExperimentRecord {
+    /// Experiment id (`"E1"`–`"E10"`).
+    pub experiment: String,
+    /// Workload / instance label (e.g. `"ba"`, `"fig1-ring-64"`).
+    pub workload: String,
+    /// Scale the run executed at (`"tiny"` / `"small"` / `"medium"`, or `""`
+    /// until stamped by [`Report::extend`] for scale-agnostic experiments).
+    pub scale: String,
+    /// Wall-clock of the run in milliseconds (non-deterministic).
+    pub wall_clock_ms: f64,
+    /// Rounds executed (deterministic).
+    pub rounds: usize,
+    /// Total delivered messages (deterministic).
+    pub total_messages: usize,
+    /// Total delivered payload bits (deterministic).
+    pub payload_bits: usize,
+    /// Largest delivered message, in bits (deterministic).
+    pub max_message_bits: usize,
+    /// Derived throughput: `total_messages / wall_clock` (non-deterministic,
+    /// 0 when no messages or no measurable time).
+    pub messages_per_sec: f64,
+}
+
+impl ExperimentRecord {
+    /// Builds a record from a simulator run's metrics. The wall-clock and
+    /// derived throughput come from the executor's own accumulated timing
+    /// ([`RunMetrics::elapsed`]), so they measure the protocol rounds and
+    /// exclude graph construction / centralized post-processing.
+    pub fn from_metrics(
+        experiment: impl Into<String>,
+        workload: impl Into<String>,
+        scale: impl Into<String>,
+        metrics: &RunMetrics,
+    ) -> Self {
+        ExperimentRecord {
+            experiment: experiment.into(),
+            workload: workload.into(),
+            scale: scale.into(),
+            wall_clock_ms: metrics.elapsed().as_secs_f64() * 1e3,
+            rounds: metrics.num_rounds(),
+            total_messages: metrics.total_messages(),
+            payload_bits: metrics.total_payload_bits(),
+            max_message_bits: metrics.max_message_bits(),
+            messages_per_sec: metrics.messages_per_sec(),
+        }
+    }
+
+    /// Builds a record from bare round/message totals (for protocols that
+    /// expose counts but not full metrics, e.g. the four-phase weak-densest
+    /// pipeline); bit counters stay zero.
+    pub fn from_counts(
+        experiment: impl Into<String>,
+        workload: impl Into<String>,
+        scale: impl Into<String>,
+        wall: Duration,
+        rounds: usize,
+        total_messages: usize,
+    ) -> Self {
+        ExperimentRecord {
+            experiment: experiment.into(),
+            workload: workload.into(),
+            scale: scale.into(),
+            wall_clock_ms: wall.as_secs_f64() * 1e3,
+            rounds,
+            total_messages,
+            payload_bits: 0,
+            max_message_bits: 0,
+            messages_per_sec: derive_throughput(total_messages, wall),
+        }
+    }
+
+    /// Builds a record for a centralized (non-simulated) computation: real
+    /// wall-clock and round budget, zero communication counters.
+    pub fn centralized(
+        experiment: impl Into<String>,
+        workload: impl Into<String>,
+        scale: impl Into<String>,
+        wall: Duration,
+        rounds: usize,
+    ) -> Self {
+        ExperimentRecord {
+            experiment: experiment.into(),
+            workload: workload.into(),
+            scale: scale.into(),
+            wall_clock_ms: wall.as_secs_f64() * 1e3,
+            rounds,
+            total_messages: 0,
+            payload_bits: 0,
+            max_message_bits: 0,
+            messages_per_sec: 0.0,
+        }
+    }
+
+    /// Field-level validity check used by the smoke tests.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.experiment.is_empty() {
+            return Err("record has an empty experiment id".into());
+        }
+        if self.workload.is_empty() {
+            return Err(format!("{}: empty workload label", self.experiment));
+        }
+        if !self.wall_clock_ms.is_finite() || self.wall_clock_ms < 0.0 {
+            return Err(format!("{}: bad wall_clock_ms", self.experiment));
+        }
+        if !self.messages_per_sec.is_finite() || self.messages_per_sec < 0.0 {
+            return Err(format!("{}: bad messages_per_sec", self.experiment));
+        }
+        Ok(())
+    }
+}
+
+fn derive_throughput(total_messages: usize, wall: Duration) -> f64 {
+    let secs = wall.as_secs_f64();
+    if secs > 0.0 && total_messages > 0 {
+        total_messages as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+impl Serialize for ExperimentRecord {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("ExperimentRecord", 9)?;
+        s.serialize_field("experiment", &self.experiment)?;
+        s.serialize_field("workload", &self.workload)?;
+        s.serialize_field("scale", &self.scale)?;
+        s.serialize_field("wall_clock_ms", &self.wall_clock_ms)?;
+        s.serialize_field("rounds", &self.rounds)?;
+        s.serialize_field("total_messages", &self.total_messages)?;
+        s.serialize_field("payload_bits", &self.payload_bits)?;
+        s.serialize_field("max_message_bits", &self.max_message_bits)?;
+        s.serialize_field("messages_per_sec", &self.messages_per_sec)?;
+        s.end()
+    }
+}
+
+/// A full report: header plus the records of every experiment that ran.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Report {
+    /// [`SCHEMA_VERSION`] at write time.
+    pub schema_version: u64,
+    /// The producing binary (`"exp_all"`, `"exp_fig1"`, …).
+    pub suite: String,
+    /// The `--scale` the suite ran at.
+    pub scale: String,
+    /// All measured runs, in execution order.
+    pub records: Vec<ExperimentRecord>,
+}
+
+impl Report {
+    /// Creates an empty report for a suite at a scale.
+    pub fn new(suite: impl Into<String>, scale: WorkloadScale) -> Self {
+        Self::with_scale_name(suite, scale.name())
+    }
+
+    /// Creates an empty report with a free-form scale label (for producers
+    /// outside the tiny/small/medium suite, e.g. the CLI's ad-hoc graphs).
+    pub fn with_scale_name(suite: impl Into<String>, scale: impl Into<String>) -> Self {
+        Report {
+            schema_version: SCHEMA_VERSION,
+            suite: suite.into(),
+            scale: scale.into(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends records, stamping this report's scale onto records that did
+    /// not know theirs (scale-agnostic experiments leave it empty).
+    pub fn extend(&mut self, records: Vec<ExperimentRecord>) {
+        for mut r in records {
+            if r.scale.is_empty() {
+                r.scale = self.scale.clone();
+            }
+            self.records.push(r);
+        }
+    }
+
+    /// Validates the header and every record.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {} (expected {SCHEMA_VERSION})",
+                self.schema_version
+            ));
+        }
+        if self.suite.is_empty() {
+            return Err("empty suite name".into());
+        }
+        let mut keys = std::collections::HashSet::new();
+        for r in &self.records {
+            r.validate()?;
+            if !keys.insert((r.experiment.as_str(), r.workload.as_str(), r.scale.as_str())) {
+                return Err(format!(
+                    "duplicate record key ({}, {}, {}) — workload labels must disambiguate \
+                     repeated runs (e.g. include the epsilon)",
+                    r.experiment, r.workload, r.scale
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Pretty-printed JSON (trailing newline included: the file is meant to
+    /// be committed as a baseline).
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("report serialization is total");
+        s.push('\n');
+        s
+    }
+
+    /// Parses and validates a JSON report.
+    pub fn from_json(text: &str) -> Result<Report, String> {
+        let value = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        let report = Report {
+            schema_version: field_u64(&value, "schema_version")?,
+            suite: field_str(&value, "suite")?,
+            scale: field_str(&value, "scale")?,
+            records: value
+                .get("records")
+                .and_then(Value::as_array)
+                .ok_or("missing records array")?
+                .iter()
+                .enumerate()
+                .map(|(i, v)| record_from_value(v).map_err(|e| format!("record {i}: {e}")))
+                .collect::<Result<_, _>>()?,
+        };
+        report.validate()?;
+        Ok(report)
+    }
+
+    /// Writes the pretty JSON to `path`.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads and validates a report file.
+    pub fn read_from(path: impl AsRef<Path>) -> Result<Report, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Report::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+impl Serialize for Report {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("Report", 4)?;
+        s.serialize_field("schema_version", &self.schema_version)?;
+        s.serialize_field("suite", &self.suite)?;
+        s.serialize_field("scale", &self.scale)?;
+        s.serialize_field("records", &self.records)?;
+        s.end()
+    }
+}
+
+fn field_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+}
+
+fn field_usize(v: &Value, key: &str) -> Result<usize, String> {
+    field_u64(v, key).map(|x| x as usize)
+}
+
+fn field_f64(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field {key:?}"))
+}
+
+fn field_str(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string field {key:?}"))
+}
+
+fn record_from_value(v: &Value) -> Result<ExperimentRecord, String> {
+    Ok(ExperimentRecord {
+        experiment: field_str(v, "experiment")?,
+        workload: field_str(v, "workload")?,
+        scale: field_str(v, "scale")?,
+        wall_clock_ms: field_f64(v, "wall_clock_ms")?,
+        rounds: field_usize(v, "rounds")?,
+        total_messages: field_usize(v, "total_messages")?,
+        payload_bits: field_usize(v, "payload_bits")?,
+        max_message_bits: field_usize(v, "max_message_bits")?,
+        messages_per_sec: field_f64(v, "messages_per_sec")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_report() -> Report {
+        let mut report = Report::new("exp_demo", WorkloadScale::Tiny);
+        report.extend(vec![
+            ExperimentRecord {
+                experiment: "E9".into(),
+                workload: "ba-2000-seq".into(),
+                scale: "".into(), // stamped by extend
+                wall_clock_ms: 12.25,
+                rounds: 21,
+                total_messages: 399_900,
+                payload_bits: 25_593_600,
+                max_message_bits: 64,
+                messages_per_sec: 3.2e7,
+            },
+            ExperimentRecord::centralized("E2", "grid", "tiny", Duration::from_micros(1500), 17),
+        ]);
+        report
+    }
+
+    #[test]
+    fn extend_stamps_missing_scales_only() {
+        let report = sample_report();
+        assert_eq!(report.records[0].scale, "tiny");
+        assert_eq!(report.records[1].scale, "tiny");
+        assert!(report.validate().is_ok());
+    }
+
+    #[test]
+    fn json_round_trip_is_identity() {
+        let report = sample_report();
+        let parsed = Report::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn counters_survive_round_trip_exactly() {
+        let mut report = sample_report();
+        report.records[0].total_messages = usize::MAX / 2;
+        report.records[0].payload_bits = (1usize << 53) + 1; // beyond f64 exactness
+        let parsed = Report::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed.records[0].total_messages, usize::MAX / 2);
+        assert_eq!(parsed.records[0].payload_bits, (1usize << 53) + 1);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_reports() {
+        assert!(Report::from_json("not json").is_err());
+        assert!(Report::from_json("{}").is_err());
+        let wrong_version = sample_report()
+            .to_json()
+            .replace("\"schema_version\": 1", "\"schema_version\": 999");
+        let err = Report::from_json(&wrong_version).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+        let missing_field = sample_report()
+            .to_json()
+            .replace("\"rounds\"", "\"wrongs\"");
+        let err = Report::from_json(&missing_field).unwrap_err();
+        assert!(err.contains("rounds"), "{err}");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("dkc_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        let report = sample_report();
+        report.write_to(&path).unwrap();
+        assert_eq!(Report::read_from(&path).unwrap(), report);
+    }
+
+    #[test]
+    fn from_metrics_uses_executor_timing() {
+        use dkc_distsim::RoundStats;
+        let mut metrics = RunMetrics::new();
+        metrics.push(RoundStats {
+            round: 1,
+            messages: 1000,
+            payload_bits: 64_000,
+            max_message_bits: 64,
+            sending_nodes: 10,
+            changed_nodes: 10,
+        });
+        metrics.add_elapsed(Duration::from_millis(100));
+        let rec = ExperimentRecord::from_metrics("E9", "ba-10", "tiny", &metrics);
+        assert_eq!(rec.rounds, 1);
+        assert_eq!(rec.total_messages, 1000);
+        assert_eq!(rec.payload_bits, 64_000);
+        assert!((rec.messages_per_sec - 10_000.0).abs() < 1e-9);
+        assert!((rec.wall_clock_ms - 100.0).abs() < 1e-9);
+        assert!(rec.validate().is_ok());
+    }
+
+    #[test]
+    fn from_counts_derives_throughput() {
+        let rec = ExperimentRecord::from_counts(
+            "E5",
+            "ba-eps0.5",
+            "tiny",
+            Duration::from_secs(2),
+            54,
+            500,
+        );
+        assert_eq!(rec.rounds, 54);
+        assert_eq!(rec.total_messages, 500);
+        assert_eq!(rec.payload_bits, 0);
+        assert!((rec.messages_per_sec - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_record_keys() {
+        let mut report = sample_report();
+        let dup = report.records[0].clone();
+        report.records.push(dup);
+        let err = report.validate().unwrap_err();
+        assert!(err.contains("duplicate record key"), "{err}");
+    }
+}

@@ -20,7 +20,7 @@ pub struct Workload {
 }
 
 /// How large the standard suite should be.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum WorkloadScale {
     /// Instances of a few hundred nodes, for smoke tests and CI: every
     /// experiment (including flow-based exact ground truth) finishes in
@@ -28,6 +28,7 @@ pub enum WorkloadScale {
     Tiny,
     /// Small instances for which exact ground truth (flow-based) is cheap.
     /// Roughly 1–2 thousand nodes.
+    #[default]
     Small,
     /// Medium instances for protocol-only measurements (tens of thousands of
     /// nodes); exact densest-subgraph ground truth is skipped at this scale.
@@ -44,6 +45,16 @@ impl WorkloadScale {
         }
     }
 
+    /// The flag spelling of this scale (inverse of
+    /// [`WorkloadScale::from_flag`]); used to stamp report records.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadScale::Tiny => "tiny",
+            WorkloadScale::Small => "small",
+            WorkloadScale::Medium => "medium",
+        }
+    }
+
     /// Parses a `--scale` flag value (`tiny` / `small` / `medium`).
     pub fn from_flag(flag: &str) -> Option<Self> {
         match flag {
@@ -53,41 +64,79 @@ impl WorkloadScale {
             _ => None,
         }
     }
+}
 
-    /// Parses `--scale <tiny|small|medium>` (also the `--scale=…` form) from
-    /// the process arguments, defaulting to [`WorkloadScale::Small`]. Any
-    /// other argument is rejected so typos cannot silently fall back to a
-    /// minutes-long full-scale run. Used by every `exp_*` binary so the whole
-    /// experiment suite can be smoke-run on tiny graphs.
-    pub fn from_args() -> Self {
+/// The common command line of every `exp_*` binary:
+/// `--scale <tiny|small|medium>` (default `small`) plus `--json <path>` to
+/// additionally write the run's [`crate::report::Report`]. Both flags accept
+/// the `--flag=value` form. Any other argument is rejected so typos cannot
+/// silently fall back to a minutes-long full-scale run.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ExpArgs {
+    /// The workload scale to run at.
+    pub scale: WorkloadScale,
+    /// Where to write the JSON report (`None` = tables only).
+    pub json: Option<std::path::PathBuf>,
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args`, exiting with status 2 on any unknown flag.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    fn parse_from(args: impl Iterator<Item = String>) -> Self {
         fn bail(msg: String) -> ! {
             eprintln!("{msg}");
             std::process::exit(2);
         }
-        let parse = |value: &str| {
+        let parse_scale = |value: &str| {
             WorkloadScale::from_flag(value).unwrap_or_else(|| {
                 bail(format!(
                     "unknown --scale {value:?}; expected tiny|small|medium"
                 ))
             })
         };
-        let mut scale = WorkloadScale::Small;
-        let mut args = std::env::args().skip(1);
+        let mut parsed = ExpArgs::default();
+        let mut args = args;
         while let Some(arg) = args.next() {
             if arg == "--scale" {
                 let value = args
                     .next()
                     .unwrap_or_else(|| bail("--scale requires a value: tiny|small|medium".into()));
-                scale = parse(&value);
+                parsed.scale = parse_scale(&value);
             } else if let Some(value) = arg.strip_prefix("--scale=") {
-                scale = parse(value);
+                parsed.scale = parse_scale(value);
+            } else if arg == "--json" {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| bail("--json requires a file path".into()));
+                parsed.json = Some(value.into());
+            } else if let Some(value) = arg.strip_prefix("--json=") {
+                parsed.json = Some(value.into());
             } else {
                 bail(format!(
-                    "unrecognized argument {arg:?}; the only supported flag is --scale <tiny|small|medium>"
+                    "unrecognized argument {arg:?}; supported flags: --scale <tiny|small|medium>, --json <path>"
                 ));
             }
         }
-        scale
+        parsed
+    }
+
+    /// Writes `report` to the `--json` path (no-op without the flag), exiting
+    /// with status 1 on I/O failure. The notice goes to stderr so stdout
+    /// stays pure table output.
+    pub fn write_report(&self, report: &crate::report::Report) {
+        let Some(path) = &self.json else { return };
+        if let Err(e) = report.write_to(path) {
+            eprintln!("failed to write report {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote {} records to {}",
+            report.records.len(),
+            path.display()
+        );
     }
 }
 
@@ -187,6 +236,43 @@ mod tests {
             Some(WorkloadScale::Medium)
         );
         assert_eq!(WorkloadScale::from_flag("huge"), None);
+    }
+
+    #[test]
+    fn exp_args_parse_scale_and_json() {
+        let s = |v: &[&str]| v.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            ExpArgs::parse_from(s(&[]).into_iter()),
+            ExpArgs {
+                scale: WorkloadScale::Small,
+                json: None
+            }
+        );
+        assert_eq!(
+            ExpArgs::parse_from(s(&["--scale", "tiny", "--json", "out.json"]).into_iter()),
+            ExpArgs {
+                scale: WorkloadScale::Tiny,
+                json: Some("out.json".into())
+            }
+        );
+        assert_eq!(
+            ExpArgs::parse_from(s(&["--json=r.json", "--scale=medium"]).into_iter()),
+            ExpArgs {
+                scale: WorkloadScale::Medium,
+                json: Some("r.json".into())
+            }
+        );
+    }
+
+    #[test]
+    fn scale_names_round_trip() {
+        for scale in [
+            WorkloadScale::Tiny,
+            WorkloadScale::Small,
+            WorkloadScale::Medium,
+        ] {
+            assert_eq!(WorkloadScale::from_flag(scale.name()), Some(scale));
+        }
     }
 
     #[test]

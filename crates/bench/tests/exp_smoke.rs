@@ -42,8 +42,126 @@ smoke_tests! {
     exp_lower_bound_runs_tiny => "exp_lower_bound",
     exp_message_size_runs_tiny => "exp_message_size",
     exp_vs_exact_runs_tiny => "exp_vs_exact",
+    exp_scaling_runs_tiny => "exp_scaling",
     exp_robustness_runs_tiny => "exp_robustness",
     exp_all_runs_tiny => "exp_all",
+}
+
+/// Runs a binary with `--scale tiny --json <tmp>` and validates the emitted
+/// report: parseable, schema-valid, non-empty, and suite-stamped.
+fn smoke_json(bin_path: &str, name: &str) {
+    let dir = std::env::temp_dir().join("dkc_exp_smoke_json");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{name}.json"));
+    let _ = std::fs::remove_file(&path);
+    let output = Command::new(bin_path)
+        .args(["--scale", "tiny", "--json"])
+        .arg(&path)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "{name} --scale tiny --json exited with {:?}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let report = dkc_bench::Report::read_from(&path)
+        .unwrap_or_else(|e| panic!("{name} wrote an invalid report: {e}"));
+    assert_eq!(report.suite, name);
+    assert_eq!(report.scale, "tiny");
+    assert!(!report.records.is_empty(), "{name} wrote zero records");
+    for r in &report.records {
+        r.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(!r.scale.is_empty(), "{name}: record missing scale stamp");
+    }
+}
+
+macro_rules! smoke_json_tests {
+    ($($test_name:ident => $bin:literal),+ $(,)?) => {$(
+        #[test]
+        fn $test_name() {
+            smoke_json(env!(concat!("CARGO_BIN_EXE_", $bin)), $bin);
+        }
+    )+};
+}
+
+smoke_json_tests! {
+    exp_fig1_honors_json => "exp_fig1",
+    exp_coreness_ratio_honors_json => "exp_coreness_ratio",
+    exp_rounds_to_target_honors_json => "exp_rounds_to_target",
+    exp_orientation_honors_json => "exp_orientation",
+    exp_densest_honors_json => "exp_densest",
+    exp_lower_bound_honors_json => "exp_lower_bound",
+    exp_message_size_honors_json => "exp_message_size",
+    exp_vs_exact_honors_json => "exp_vs_exact",
+    exp_scaling_honors_json => "exp_scaling",
+    exp_robustness_honors_json => "exp_robustness",
+    exp_all_honors_json => "exp_all",
+}
+
+#[test]
+fn exp_all_aggregates_every_experiment() {
+    let dir = std::env::temp_dir().join("dkc_exp_smoke_json");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("exp_all_aggregate.json");
+    let output = Command::new(env!("CARGO_BIN_EXE_exp_all"))
+        .args(["--scale", "tiny", "--json"])
+        .arg(&path)
+        .output()
+        .expect("failed to spawn exp_all");
+    assert!(output.status.success());
+    let report = dkc_bench::Report::read_from(&path).unwrap();
+    let mut ids: Vec<&str> = report
+        .records
+        .iter()
+        .map(|r| r.experiment.as_str())
+        .collect();
+    ids.dedup();
+    for expected in ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"] {
+        assert!(
+            ids.contains(&expected),
+            "exp_all report is missing {expected} records"
+        );
+    }
+}
+
+#[test]
+fn json_reports_are_deterministic_in_counters() {
+    let dir = std::env::temp_dir().join("dkc_exp_smoke_json");
+    std::fs::create_dir_all(&dir).unwrap();
+    let counters = |path: &std::path::Path| {
+        let report = dkc_bench::Report::read_from(path).unwrap();
+        report
+            .records
+            .into_iter()
+            .map(|r| {
+                (
+                    r.experiment,
+                    r.workload,
+                    r.scale,
+                    r.rounds,
+                    r.total_messages,
+                    r.payload_bits,
+                    r.max_message_bits,
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let mut runs = Vec::new();
+    for i in 0..2 {
+        let path = dir.join(format!("exp_scaling_det_{i}.json"));
+        let output = Command::new(env!("CARGO_BIN_EXE_exp_scaling"))
+            .args(["--scale", "tiny", "--json"])
+            .arg(&path)
+            .output()
+            .expect("failed to spawn exp_scaling");
+        assert!(output.status.success());
+        runs.push(counters(&path));
+    }
+    assert_eq!(
+        runs[0], runs[1],
+        "deterministic counters drifted between identical runs"
+    );
 }
 
 #[test]

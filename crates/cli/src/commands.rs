@@ -156,6 +156,20 @@ fn coreness(parsed: &Parsed) -> Result<String, String> {
             exact.iter().fold(0.0f64, |a, &b| a.max(b))
         );
     }
+    let json_path = parsed.flag_str("json", "");
+    if !json_path.is_empty() {
+        let mut report = dkc_bench::Report::with_scale_name("cli-coreness", "custom");
+        report.extend(vec![dkc_bench::ExperimentRecord::from_metrics(
+            "cli",
+            parsed.positional(0, "input edge-list file")?,
+            "custom",
+            &approx.metrics,
+        )]);
+        report
+            .write_to(&json_path)
+            .map_err(|e| format!("failed to write report {json_path}: {e}"))?;
+        let _ = writeln!(out, "benchmark report written to {json_path}");
+    }
     Ok(out)
 }
 
@@ -290,5 +304,29 @@ mod tests {
     fn missing_file_is_reported() {
         let err = dispatch(&parse(&["stats", "/nonexistent/nowhere.edges"])).unwrap_err();
         assert!(err.contains("failed to read"));
+    }
+
+    #[test]
+    fn coreness_json_writes_a_valid_report() {
+        let path = temp_graph();
+        let report_path = std::env::temp_dir()
+            .join("dkc_cli_cmd_test")
+            .join("coreness_report.json");
+        let report_str = report_path.to_string_lossy().to_string();
+        let out = dispatch(&parse(&[
+            "coreness",
+            &path,
+            "--epsilon",
+            "0.5",
+            "--json",
+            &report_str,
+        ]))
+        .unwrap();
+        assert!(out.contains("benchmark report written"));
+        let report = dkc_bench::Report::read_from(&report_path).unwrap();
+        assert_eq!(report.suite, "cli-coreness");
+        assert_eq!(report.records.len(), 1);
+        assert!(report.records[0].total_messages > 0);
+        assert_eq!(report.records[0].scale, "custom");
     }
 }

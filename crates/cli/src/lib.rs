@@ -36,6 +36,7 @@ USAGE:
       common: --weights W   give edges random integer weights in 1..=W
   dkc stats <file>
   dkc coreness <file> [--epsilon E] [--rounds T] [--lambda L] [--exact] [--top K]
+               [--json FILE]   write the run's metrics as a benchmark report
   dkc orientation <file> [--epsilon E] [--compare]
   dkc densest <file> [--epsilon E] [--exact]
   dkc help

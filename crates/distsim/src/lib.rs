@@ -32,5 +32,5 @@ pub use congest::congest_budget_bits;
 pub use faults::LossModel;
 pub use message::MessageSize;
 pub use metrics::{RoundStats, RunMetrics};
-pub use network::{ExecutionMode, Network};
+pub use network::{ExecutionMode, ExecutorBufferStats, Network};
 pub use program::{NodeContext, NodeProgram, Outgoing};

@@ -1,6 +1,13 @@
 //! Round-by-round message and bit accounting.
 
+use std::time::Duration;
+
 /// Statistics for one synchronous round.
+///
+/// All counters reflect **delivered** communication: under a
+/// [`crate::faults::LossModel`], dropped copies are not counted (the receiver
+/// never saw them, and the round/bit budgets of the paper are statements about
+/// successful communication).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct RoundStats {
     /// The round number (1-based).
@@ -11,10 +18,10 @@ pub struct RoundStats {
     pub messages: usize,
     /// Total payload bits delivered this round.
     pub payload_bits: usize,
-    /// Largest single message payload (bits) this round — the quantity bounded
-    /// by the CONGEST model.
+    /// Largest single delivered message payload (bits) this round — the
+    /// quantity bounded by the CONGEST model.
     pub max_message_bits: usize,
-    /// Number of nodes that sent at least one message.
+    /// Number of nodes that had at least one message delivered.
     pub sending_nodes: usize,
     /// Number of nodes whose observable state changed in the receive phase.
     pub changed_nodes: usize,
@@ -24,17 +31,41 @@ pub struct RoundStats {
 #[derive(Clone, Debug, Default)]
 pub struct RunMetrics {
     rounds: Vec<RoundStats>,
+    elapsed: Duration,
 }
 
 impl RunMetrics {
     /// Creates an empty metrics accumulator.
     pub fn new() -> Self {
-        RunMetrics { rounds: Vec::new() }
+        RunMetrics::default()
     }
 
     /// Records one round.
     pub fn push(&mut self, stats: RoundStats) {
         self.rounds.push(stats);
+    }
+
+    /// Adds executor wall-clock time (accumulated by
+    /// [`crate::Network::run_round`]).
+    pub fn add_elapsed(&mut self, elapsed: Duration) {
+        self.elapsed += elapsed;
+    }
+
+    /// Total executor wall-clock time across all recorded rounds. Timing is
+    /// *not* part of the deterministic counters: two result-identical runs
+    /// (e.g. sequential vs parallel mode) report different elapsed times.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// Delivered messages per wall-clock second (0 when no time was recorded).
+    pub fn messages_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.total_messages() as f64 / secs
+        } else {
+            0.0
+        }
     }
 
     /// Per-round statistics, in execution order.
@@ -114,5 +145,24 @@ mod tests {
         assert_eq!(m.total_messages(), 0);
         assert_eq!(m.max_message_bits(), 0);
         assert_eq!(m.last_active_round(), None);
+        assert_eq!(m.elapsed(), Duration::ZERO);
+        assert_eq!(m.messages_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn elapsed_accumulates_and_derives_throughput() {
+        let mut m = RunMetrics::new();
+        m.push(RoundStats {
+            round: 1,
+            messages: 500,
+            payload_bits: 16_000,
+            max_message_bits: 32,
+            sending_nodes: 10,
+            changed_nodes: 10,
+        });
+        m.add_elapsed(Duration::from_millis(200));
+        m.add_elapsed(Duration::from_millis(300));
+        assert_eq!(m.elapsed(), Duration::from_millis(500));
+        assert!((m.messages_per_sec() - 1000.0).abs() < 1e-9);
     }
 }

@@ -21,6 +21,17 @@ pub struct CsrGraph {
     self_loops: Vec<f64>,
     total_edge_weight: f64,
     num_plain_edges: usize,
+    /// Per-node permutation of local arc positions sorted by target id — the
+    /// neighbour-rank map. `rank_by_target[offsets[v]..offsets[v+1]]` lists
+    /// `v`'s local positions ordered so the targets are ascending (ties by
+    /// position), enabling O(log deg) membership / position lookup of a
+    /// neighbour id ([`CsrGraph::neighbor_positions`]). The simulator's
+    /// multicast scatter is indexed through this map.
+    rank_by_target: Vec<u32>,
+    /// Cross index: `reverse_arc[p]` is the global position of the arc
+    /// `v → u` matching arc `p = (u → v)`. Parallel edges pair the k-th
+    /// occurrence on each side, so the map is an involution.
+    reverse_arc: Vec<u32>,
 }
 
 impl CsrGraph {
@@ -39,14 +50,53 @@ impl CsrGraph {
             offsets.push(targets.len());
         }
         let self_loops = (0..n).map(|i| g.self_loop(NodeId::new(i))).collect();
-        CsrGraph {
+        assert!(
+            targets.len() <= u32::MAX as usize,
+            "arc count exceeds u32 range"
+        );
+        let mut rank_by_target = vec![0u32; targets.len()];
+        for v in 0..n {
+            let (lo, hi) = (offsets[v], offsets[v + 1]);
+            let perm = &mut rank_by_target[lo..hi];
+            for (i, r) in perm.iter_mut().enumerate() {
+                *r = i as u32;
+            }
+            // Ties (parallel edges) stay in position order so
+            // `neighbor_positions` yields ascending positions.
+            perm.sort_unstable_by_key(|&i| (targets[lo + i as usize], i));
+        }
+        let mut graph = CsrGraph {
             offsets,
             targets,
             weights,
             self_loops,
             total_edge_weight: g.total_edge_weight(),
             num_plain_edges: g.num_plain_edges(),
+            rank_by_target,
+            reverse_arc: Vec::new(),
+        };
+        let mut reverse_arc = vec![0u32; graph.targets.len()];
+        for v in 0..n {
+            let vid = NodeId::new(v);
+            let base = graph.offsets[v];
+            for q in 0..graph.offsets[v + 1] - base {
+                let t = graph.targets[base + q];
+                // k = occurrence index of this arc among v's (possibly
+                // parallel) arcs to t; the k-th `v → t` pairs with the k-th
+                // `t → v`.
+                let k = graph
+                    .neighbor_positions(vid, t)
+                    .position(|pos| pos == q)
+                    .expect("arc position must appear in its own rank map");
+                let rq = graph
+                    .neighbor_positions(t, vid)
+                    .nth(k)
+                    .expect("undirected arcs come in matched pairs");
+                reverse_arc[base + q] = (graph.offsets[t.index()] + rq) as u32;
+            }
         }
+        graph.reverse_arc = reverse_arc;
+        graph
     }
 
     /// Number of nodes.
@@ -116,6 +166,46 @@ impl CsrGraph {
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         (0..self.num_nodes()).map(NodeId::new)
     }
+
+    /// Total number of directed arcs (2× the plain edge count, parallel edges
+    /// counted individually). Arc-indexed scratch arrays size themselves here.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The global arc index of `v`'s first incident arc: `v`'s local position
+    /// `q` maps to global arc `arc_offset(v) + q`.
+    #[inline]
+    pub fn arc_offset(&self, v: NodeId) -> usize {
+        self.offsets[v.index()]
+    }
+
+    /// The local positions (indices into [`CsrGraph::neighbors`] of `v`) at
+    /// which `u` appears, ascending — one entry per parallel edge, empty when
+    /// `u` is not a neighbour of `v`. Backed by the precomputed neighbour-rank
+    /// map: two binary searches, O(log deg(v)) plus the output length, instead
+    /// of a linear scan of the neighbour slice.
+    pub fn neighbor_positions(&self, v: NodeId, u: NodeId) -> impl Iterator<Item = usize> + '_ {
+        let base = self.offsets[v.index()];
+        let perm = &self.rank_by_target[base..self.offsets[v.index() + 1]];
+        let lo = perm.partition_point(|&i| self.targets[base + i as usize] < u);
+        let hi = lo + perm[lo..].partition_point(|&i| self.targets[base + i as usize] == u);
+        perm[lo..hi].iter().map(|&i| i as usize)
+    }
+
+    /// Whether `u` is a neighbour of `v`, in O(log deg(v)).
+    pub fn has_neighbor(&self, v: NodeId, u: NodeId) -> bool {
+        self.neighbor_positions(v, u).next().is_some()
+    }
+
+    /// The global position of the arc matching global arc `p`: for
+    /// `p = (u → v)`, the position of the paired `v → u` arc. An involution;
+    /// parallel edges pair k-th occurrence with k-th occurrence. O(1).
+    #[inline]
+    pub fn reverse_arc(&self, p: usize) -> usize {
+        self.reverse_arc[p] as usize
+    }
 }
 
 impl From<&WeightedGraph> for CsrGraph {
@@ -170,5 +260,91 @@ mod tests {
         let csr = CsrGraph::from_graph(&g);
         assert_eq!(csr.num_nodes(), 0);
         assert_eq!(csr.max_degree(), 0.0);
+        assert_eq!(csr.num_arcs(), 0);
+    }
+
+    #[test]
+    fn neighbor_positions_match_linear_scan() {
+        let g = sample();
+        let csr = CsrGraph::from_graph(&g);
+        for v in csr.nodes() {
+            for u in csr.nodes() {
+                let expected: Vec<usize> = csr
+                    .neighbors(v)
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &t)| t == u)
+                    .map(|(q, _)| q)
+                    .collect();
+                let got: Vec<usize> = csr.neighbor_positions(v, u).collect();
+                assert_eq!(got, expected, "positions of {u} in {v}'s list");
+                assert_eq!(csr.has_neighbor(v, u), !expected.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_positions_list_every_parallel_edge() {
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(0), NodeId(1), 2.0);
+        g.add_edge(NodeId(0), NodeId(2), 3.0);
+        let csr = CsrGraph::from_graph(&g);
+        let positions: Vec<usize> = csr.neighbor_positions(NodeId(0), NodeId(1)).collect();
+        assert_eq!(positions.len(), 2);
+        for &q in &positions {
+            assert_eq!(csr.neighbors(NodeId(0))[q], NodeId(1));
+        }
+        assert!(csr
+            .neighbor_positions(NodeId(1), NodeId(2))
+            .next()
+            .is_none());
+        assert_eq!(csr.arc_offset(NodeId(1)) - csr.arc_offset(NodeId(0)), 3);
+    }
+
+    #[test]
+    fn reverse_arc_is_a_matching_involution() {
+        // Includes parallel edges to exercise occurrence pairing.
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(0), NodeId(1), 2.0);
+        g.add_edge(NodeId(1), NodeId(2), 1.0);
+        g.add_edge(NodeId(2), NodeId(3), 1.0);
+        g.add_edge(NodeId(0), NodeId(3), 1.0);
+        let csr = CsrGraph::from_graph(&g);
+        let mut seen = vec![false; csr.num_arcs()];
+        for v in csr.nodes() {
+            let base = csr.arc_offset(v);
+            for (q, &u) in csr.neighbors(v).iter().enumerate() {
+                let p = base + q;
+                let rp = csr.reverse_arc(p);
+                // The reverse arc belongs to u and points back at v.
+                let ru = csr
+                    .nodes()
+                    .find(|&w| {
+                        csr.arc_offset(w) <= rp && rp < csr.arc_offset(w) + csr.unweighted_degree(w)
+                    })
+                    .unwrap();
+                assert_eq!(ru, u, "reverse of {p} must be owned by {u}");
+                assert_eq!(csr.neighbors(u)[rp - csr.arc_offset(u)], v);
+                assert_eq!(csr.reverse_arc(rp), p, "involution");
+                assert!(!seen[rp], "each arc matched exactly once");
+                seen[rp] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn arc_offsets_partition_the_arc_array() {
+        let g = sample();
+        let csr = CsrGraph::from_graph(&g);
+        let mut total = 0usize;
+        for v in csr.nodes() {
+            assert_eq!(csr.arc_offset(v), total);
+            total += csr.unweighted_degree(v);
+        }
+        assert_eq!(total, csr.num_arcs());
+        assert_eq!(csr.num_arcs(), 2 * csr.num_plain_edges());
     }
 }

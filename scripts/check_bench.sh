@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Gate a freshly produced benchmark report against a committed baseline.
+#
+#   scripts/check_bench.sh <report.json> <baseline.json>
+#
+# Compares only the DETERMINISTIC counters of each record — (experiment,
+# workload, scale, rounds, total_messages, payload_bits, max_message_bits) —
+# and fails on any drift: a changed counter, a missing record, or an
+# unexpected extra record. Timing fields (wall_clock_ms, messages_per_sec)
+# are machine-dependent and deliberately ignored.
+#
+# To update the baseline intentionally (e.g. a protocol change that alters
+# message counts), regenerate it and commit the diff:
+#
+#   scripts/update_baseline.sh
+set -euo pipefail
+
+if [[ $# -ne 2 ]]; then
+    echo "usage: $0 <report.json> <baseline.json>" >&2
+    exit 2
+fi
+
+report="$1"
+baseline="$2"
+
+for f in "$report" "$baseline"; do
+    if [[ ! -f "$f" ]]; then
+        echo "check_bench: no such file: $f" >&2
+        exit 2
+    fi
+done
+
+python3 - "$report" "$baseline" <<'PY'
+import json
+import sys
+
+report_path, baseline_path = sys.argv[1], sys.argv[2]
+COUNTERS = ("rounds", "total_messages", "payload_bits", "max_message_bits")
+
+
+def load(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema_version") != 1:
+        sys.exit(f"check_bench: {path}: unsupported schema_version "
+                 f"{doc.get('schema_version')!r}")
+    records = {}
+    for rec in doc["records"]:
+        key = (rec["experiment"], rec["workload"], rec["scale"])
+        if key in records:
+            sys.exit(f"check_bench: {path}: duplicate record {key}")
+        records[key] = tuple(rec[c] for c in COUNTERS)
+    return records
+
+
+report = load(report_path)
+baseline = load(baseline_path)
+
+failures = []
+for key, expected in baseline.items():
+    got = report.get(key)
+    if got is None:
+        failures.append(f"missing record {key} (baseline has it)")
+    elif got != expected:
+        detail = ", ".join(
+            f"{name}: {e} -> {g}"
+            for name, e, g in zip(COUNTERS, expected, got)
+            if e != g
+        )
+        failures.append(f"counter drift in {key}: {detail}")
+for key in report:
+    if key not in baseline:
+        failures.append(f"unexpected new record {key} (update the baseline)")
+
+if failures:
+    print(f"check_bench: {len(failures)} deterministic-counter failure(s) "
+          f"comparing {report_path} against {baseline_path}:")
+    for f in failures:
+        print(f"  - {f}")
+    print("If this change is intentional, regenerate the baseline (see the "
+          "header of scripts/check_bench.sh) and commit it.")
+    sys.exit(1)
+
+print(f"check_bench: OK — {len(report)} records match the baseline "
+      f"({baseline_path})")
+PY

@@ -185,12 +185,76 @@ pub struct MapParIter<'a, T, F, R> {
     _marker: std::marker::PhantomData<R>,
 }
 
+/// Raw pointer made `Send` so scoped workers can scatter results directly
+/// into disjoint ranges of one output buffer.
+struct SendPtr<T>(*mut T);
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+// SAFETY: the pointer is only dereferenced inside the thread scope, and each
+// worker writes a disjoint index range.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// By-value accessor so closures capture the whole `SendPtr` (which is
+    /// `Send`) rather than edition-2021 field-capturing the raw pointer.
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
 impl<'a, T, F, R> MapParIter<'a, T, F, R>
 where
     T: Send,
     F: Fn((usize, &'a mut T)) -> R + Sync,
     R: Send,
 {
+    /// Executes the pipeline, writing results in input order into `target`
+    /// (cleared first). Mirrors rayon's
+    /// `IndexedParallelIterator::collect_into_vec`: the vector's allocation is
+    /// reused across calls, so a steady-state caller performs no heap
+    /// allocation here — workers write straight into the vector's spare
+    /// capacity. On a worker panic the scope propagates it after joining; the
+    /// target is left empty (written elements leak rather than drop, which is
+    /// safe).
+    pub fn collect_into_vec(self, target: &mut Vec<R>) {
+        let n = self.slice.len();
+        target.clear();
+        target.reserve(n);
+        let threads = current_num_threads().clamp(1, n.max(1));
+        let f = &self.f;
+        if threads <= 1 || n <= 1 {
+            target.extend(
+                self.slice
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, item)| f((i, item))),
+            );
+            return;
+        }
+        let chunk_len = n.div_ceil(threads);
+        let out = SendPtr(target.as_mut_ptr());
+        std::thread::scope(|scope| {
+            for (chunk_idx, chunk) in self.slice.chunks_mut(chunk_len).enumerate() {
+                scope.spawn(move || {
+                    let base = chunk_idx * chunk_len;
+                    for (i, item) in chunk.iter_mut().enumerate() {
+                        let value = f((base + i, item));
+                        // SAFETY: `base + i < n <= capacity`, and every worker
+                        // writes a disjoint range of indices.
+                        unsafe { out.get().add(base + i).write(value) };
+                    }
+                });
+            }
+        });
+        // SAFETY: all `n` slots were initialized by the joined workers.
+        unsafe { target.set_len(n) };
+    }
+
     /// Executes the pipeline and collects results in input order.
     pub fn collect<C: From<Vec<R>>>(self) -> C {
         let n = self.slice.len();
@@ -250,6 +314,50 @@ mod tests {
             assert_eq!(*val, 2 * i as u64 + 1);
         }
         assert_eq!(v[999], 1000);
+    }
+
+    #[test]
+    fn collect_into_vec_reuses_the_allocation() {
+        let mut v: Vec<u64> = (0..10_000).collect();
+        let mut out: Vec<u64> = Vec::new();
+        v.par_iter_mut()
+            .enumerate()
+            .map(|(i, x)| *x + i as u64)
+            .collect_into_vec(&mut out);
+        assert_eq!(out.len(), 10_000);
+        for (i, val) in out.iter().enumerate() {
+            assert_eq!(*val, 2 * i as u64);
+        }
+        let ptr = out.as_ptr();
+        let cap = out.capacity();
+        for _ in 0..5 {
+            v.par_iter_mut()
+                .enumerate()
+                .map(|(i, x)| *x + i as u64)
+                .collect_into_vec(&mut out);
+        }
+        assert_eq!(out.as_ptr(), ptr, "buffer must be reused, not reallocated");
+        assert_eq!(out.capacity(), cap);
+    }
+
+    #[test]
+    fn collect_into_vec_under_forced_multithreading() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let mut v: Vec<u32> = (0..1003).collect();
+        let mut out: Vec<u32> = Vec::new();
+        pool.install(|| {
+            v.par_iter_mut()
+                .enumerate()
+                .map(|(i, x)| *x * 3 + i as u32)
+                .collect_into_vec(&mut out)
+        });
+        assert_eq!(out.len(), 1003);
+        for (i, val) in out.iter().enumerate() {
+            assert_eq!(*val, 4 * i as u32);
+        }
     }
 
     #[test]

@@ -1,11 +1,23 @@
-//! Offline stand-in for `serde`: marker traits plus the no-op derives from
-//! `vendor/serde_derive`. The `derive` cargo feature is accepted (and is a
-//! no-op) so dependant manifests read identically to the real crate.
+//! Offline stand-in for `serde`: a real (but minimal) serialization data
+//! model plus the no-op derives from `vendor/serde_derive`.
+//!
+//! Unlike the original marker-only shim, this version implements the actual
+//! serde visitor shape — [`Serialize`] drives a [`Serializer`] — for the API
+//! subset the workspace uses: primitives, strings, options, sequences, and
+//! structs. Hand-written `impl Serialize` blocks against this crate compile
+//! unchanged against real serde (the trait methods carried over verbatim);
+//! the `#[derive(Serialize, Deserialize)]` macros remain no-ops, so deriving
+//! types must provide manual impls until the real crates are swapped in.
+//!
+//! The only in-tree data format is `vendor/serde_json`.
 
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker stand-in for `serde::Serialize` (no data formats in-tree).
-pub trait Serialize {}
+pub mod ser;
 
-/// Marker stand-in for `serde::Deserialize` (no data formats in-tree).
+pub use ser::{Serialize, SerializeSeq, SerializeStruct, Serializer};
+
+/// Marker stand-in for `serde::Deserialize`. In-tree deserialization goes
+/// through `serde_json::Value` accessors instead of this trait, which exists
+/// only so `#[derive(Deserialize)]`-annotated types keep compiling.
 pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,217 @@
+//! Offline stand-in for `serde_json`, implementing the subset this workspace
+//! uses: a [`Value`] tree, [`to_value`] / [`to_string`] / [`to_string_pretty`]
+//! over any [`serde::Serialize`], and a full JSON parser behind [`from_str`].
+//!
+//! Deviations from the real crate (documented in `vendor/README.md`):
+//! objects preserve **insertion order** (the real crate sorts keys unless the
+//! `preserve_order` feature is on), and [`from_str`] parses to [`Value`]
+//! rather than being generic over `Deserialize`.
+
+mod parse;
+mod value;
+mod write;
+
+pub use parse::from_str;
+pub use value::{Map, Number, Value};
+
+use serde::{Serialize, SerializeSeq, SerializeStruct, Serializer};
+use std::fmt;
+
+/// Serialization / parse error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts any [`Serialize`] value into a [`Value`] tree.
+pub fn to_value<T: ?Sized + Serialize>(value: &T) -> Result<Value, Error> {
+    value.serialize(ValueSerializer)
+}
+
+/// Serializes to a compact JSON string.
+pub fn to_string<T: ?Sized + Serialize>(value: &T) -> Result<String, Error> {
+    Ok(write::write_compact(&to_value(value)?))
+}
+
+/// Serializes to a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: ?Sized + Serialize>(value: &T) -> Result<String, Error> {
+    Ok(write::write_pretty(&to_value(value)?))
+}
+
+/// The [`Serializer`] producing [`Value`] trees.
+struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    type SerializeSeq = SeqBuilder;
+    type SerializeStruct = StructBuilder;
+
+    fn serialize_bool(self, v: bool) -> Result<Value, Error> {
+        Ok(Value::Bool(v))
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<Value, Error> {
+        Ok(Value::Number(Number::from_i64(v)))
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<Value, Error> {
+        Ok(Value::Number(Number::from_u64(v)))
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<Value, Error> {
+        // Like real serde_json: non-finite floats become null.
+        Ok(Number::from_f64(v).map_or(Value::Null, Value::Number))
+    }
+
+    fn serialize_str(self, v: &str) -> Result<Value, Error> {
+        Ok(Value::String(v.to_string()))
+    }
+
+    fn serialize_none(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Value, Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<SeqBuilder, Error> {
+        Ok(SeqBuilder {
+            items: Vec::with_capacity(len.unwrap_or(0)),
+        })
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<StructBuilder, Error> {
+        Ok(StructBuilder { map: Map::new() })
+    }
+}
+
+struct SeqBuilder {
+    items: Vec<Value>,
+}
+
+impl SerializeSeq for SeqBuilder {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.items.push(to_value(value)?);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Array(self.items))
+    }
+}
+
+struct StructBuilder {
+    map: Map,
+}
+
+impl SerializeStruct for StructBuilder {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        let v = to_value(value)?;
+        self.map.insert(key.to_string(), v);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Object(self.map))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Sample {
+        name: String,
+        count: usize,
+        ratio: f64,
+        tags: Vec<u32>,
+        note: Option<String>,
+    }
+
+    impl Serialize for Sample {
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            let mut s = serializer.serialize_struct("Sample", 5)?;
+            s.serialize_field("name", &self.name)?;
+            s.serialize_field("count", &self.count)?;
+            s.serialize_field("ratio", &self.ratio)?;
+            s.serialize_field("tags", &self.tags)?;
+            s.serialize_field("note", &self.note)?;
+            s.end()
+        }
+    }
+
+    fn sample() -> Sample {
+        Sample {
+            name: "e\"1\"\n".into(),
+            count: 3,
+            ratio: 0.5,
+            tags: vec![7, 8],
+            note: None,
+        }
+    }
+
+    #[test]
+    fn struct_to_value_and_back() {
+        let v = to_value(&sample()).unwrap();
+        assert_eq!(v.get("count").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("ratio").and_then(Value::as_f64), Some(0.5));
+        assert_eq!(v.get("note"), Some(&Value::Null));
+        let parsed = from_str(&to_string(&sample()).unwrap()).unwrap();
+        assert_eq!(parsed, v);
+        let parsed_pretty = from_str(&to_string_pretty(&sample()).unwrap()).unwrap();
+        assert_eq!(parsed_pretty, v);
+    }
+
+    #[test]
+    fn insertion_order_is_preserved() {
+        let s = to_string(&sample()).unwrap();
+        let name = s.find("\"name\"").unwrap();
+        let count = s.find("\"count\"").unwrap();
+        let tags = s.find("\"tags\"").unwrap();
+        assert!(name < count && count < tags);
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        let v = to_value(&f64::NAN).unwrap();
+        assert_eq!(v, Value::Null);
+        assert_eq!(to_value(&f64::INFINITY).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn large_integers_round_trip_exactly() {
+        let big = u64::MAX - 1;
+        let s = to_string(&big).unwrap();
+        assert_eq!(s, format!("{big}"));
+        assert_eq!(from_str(&s).unwrap().as_u64(), Some(big));
+        let neg = i64::MIN;
+        let s = to_string(&neg).unwrap();
+        assert_eq!(from_str(&s).unwrap().as_i64(), Some(neg));
+    }
+}

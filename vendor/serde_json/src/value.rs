@@ -1,0 +1,253 @@
+//! The JSON value tree: [`Value`], [`Number`], and the insertion-ordered
+//! [`Map`].
+
+use std::fmt;
+
+/// Any JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+impl Value {
+    /// Object member lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// A JSON number. Integers within `u64` / `i64` range are stored exactly so
+/// message and bit counters survive a serialize → parse round trip bit-for-bit.
+#[derive(Clone, Copy, Debug)]
+pub struct Number(N);
+
+#[derive(Clone, Copy, Debug)]
+enum N {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    pub fn from_u64(v: u64) -> Self {
+        Number(N::PosInt(v))
+    }
+
+    pub fn from_i64(v: i64) -> Self {
+        if v >= 0 {
+            Number(N::PosInt(v as u64))
+        } else {
+            Number(N::NegInt(v))
+        }
+    }
+
+    /// `None` for NaN / infinities, which JSON cannot represent.
+    pub fn from_f64(v: f64) -> Option<Self> {
+        v.is_finite().then_some(Number(N::Float(v)))
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::PosInt(v) => Some(v),
+            N::NegInt(_) => None,
+            N::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Some(f as u64),
+            N::Float(_) => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::PosInt(v) => i64::try_from(v).ok(),
+            N::NegInt(v) => Some(v),
+            N::Float(f) if f.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(&f) => {
+                Some(f as i64)
+            }
+            N::Float(_) => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> f64 {
+        match self.0 {
+            N::PosInt(v) => v as f64,
+            N::NegInt(v) => v as f64,
+            N::Float(f) => f,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    /// Numbers compare by mathematical value where exact, falling back to
+    /// `f64` comparison across representations (mirrors how the parser may
+    /// read back `1.0` for a float written as `1`).
+    fn eq(&self, other: &Self) -> bool {
+        match (self.0, other.0) {
+            (N::PosInt(a), N::PosInt(b)) => a == b,
+            (N::NegInt(a), N::NegInt(b)) => a == b,
+            (N::PosInt(_), N::NegInt(_)) | (N::NegInt(_), N::PosInt(_)) => false,
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            N::PosInt(v) => write!(f, "{v}"),
+            N::NegInt(v) => write!(f, "{v}"),
+            N::Float(v) => {
+                // `{}` on f64 is a shortest round-trip representation, but
+                // drops the decimal point for whole floats; keep it so the
+                // value parses back as written.
+                let s = format!("{v}");
+                if s.contains(['.', 'e', 'E']) {
+                    f.write_str(&s)
+                } else {
+                    write!(f, "{s}.0")
+                }
+            }
+        }
+    }
+}
+
+/// An insertion-ordered string → [`Value`] map backed by a vector. Lookups are
+/// linear, which is fine at report-object sizes; order stability keeps emitted
+/// reports byte-deterministic.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Inserts or replaces a key, returning any previous value.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        match self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, slot)) => Some(std::mem::replace(slot, value)),
+            None => {
+                self.entries.push((key, value));
+                None
+            }
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_insert_replaces_and_preserves_order() {
+        let mut m = Map::new();
+        m.insert("a".into(), Value::Bool(true));
+        m.insert("b".into(), Value::Null);
+        let old = m.insert("a".into(), Value::Bool(false));
+        assert_eq!(old, Some(Value::Bool(true)));
+        assert_eq!(m.len(), 2);
+        let keys: Vec<&str> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["a", "b"]);
+        assert!(m.contains_key("b") && !m.is_empty());
+    }
+
+    #[test]
+    fn number_accessors_respect_ranges() {
+        assert_eq!(Number::from_u64(5).as_i64(), Some(5));
+        assert_eq!(Number::from_u64(u64::MAX).as_i64(), None);
+        assert_eq!(Number::from_i64(-2).as_u64(), None);
+        assert_eq!(Number::from_f64(2.0).unwrap().as_u64(), Some(2));
+        assert_eq!(Number::from_f64(2.5).unwrap().as_u64(), None);
+        assert!(Number::from_f64(f64::NAN).is_none());
+        assert_eq!(Number::from_u64(7), Number::from_f64(7.0).unwrap());
+    }
+
+    #[test]
+    fn whole_floats_keep_a_decimal_point() {
+        assert_eq!(Number::from_f64(2.0).unwrap().to_string(), "2.0");
+        assert_eq!(Number::from_f64(0.125).unwrap().to_string(), "0.125");
+        assert_eq!(Number::from_u64(2).to_string(), "2");
+    }
+}

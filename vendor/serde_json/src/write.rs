@@ -1,0 +1,134 @@
+//! JSON text emission (compact and two-space-indented pretty forms).
+
+use crate::value::Value;
+use std::fmt::Write as _;
+
+pub(crate) fn write_compact(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, None, 0);
+    out
+}
+
+pub(crate) fn write_pretty(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, Some(2), 0);
+    out
+}
+
+/// `indent = None` → compact; `Some(step)` → pretty with `step` spaces.
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, value)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, value, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(step) = indent {
+        out.push('\n');
+        for _ in 0..step * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{Map, Number};
+
+    fn sample() -> Value {
+        let mut inner = Map::new();
+        inner.insert("k".into(), Value::Number(Number::from_u64(1)));
+        let mut map = Map::new();
+        map.insert(
+            "list".into(),
+            Value::Array(vec![Value::Null, Value::Object(inner)]),
+        );
+        map.insert("s".into(), Value::String("a\"b\u{1}".into()));
+        Value::Object(map)
+    }
+
+    #[test]
+    fn compact_form() {
+        assert_eq!(
+            write_compact(&sample()),
+            r#"{"list":[null,{"k":1}],"s":"a\"b\u0001"}"#
+        );
+    }
+
+    #[test]
+    fn pretty_form_indents_by_two() {
+        let s = write_pretty(&sample());
+        assert!(s.contains("{\n  \"list\": [\n    null,"));
+        assert!(s.ends_with('}'));
+    }
+
+    #[test]
+    fn empty_containers_stay_inline() {
+        assert_eq!(write_pretty(&Value::Array(vec![])), "[]");
+        assert_eq!(write_pretty(&Value::Object(Map::new())), "{}");
+    }
+}
