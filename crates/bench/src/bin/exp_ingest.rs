@@ -1,0 +1,13 @@
+//! E11: streaming dataset ingestion — per-format file size, parse
+//! wall-clock, and edge throughput on sparse-id workloads, with
+//! deterministic counters for the CI baseline gate.
+use dkc_bench::{ExpArgs, Report};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut report = Report::new("exp_ingest", args.scale);
+    let out = dkc_bench::experiments::exp_ingest(args.scale);
+    out.print();
+    report.extend(out.records);
+    args.write_report(&report);
+}

@@ -692,6 +692,89 @@ pub fn exp_robustness(scale: WorkloadScale, epsilon: f64, loss_rates: &[f64]) ->
     out
 }
 
+/// E11: streaming dataset ingestion. For each sparse-id workload the table
+/// reports per-format file size, parse wall-clock, and edge throughput; the
+/// records carry deterministic counters (distinct nodes as `rounds`, edges
+/// as `total_messages`, on-disk bits as `payload_bits`, and the bit-width of
+/// the largest external id as `max_message_bits`) so CI can gate the
+/// serialization paths against a committed baseline.
+pub fn exp_ingest(scale: WorkloadScale) -> ExperimentOutput {
+    use crate::workloads::ingest_suite;
+    use dkc_graph::ingest::{read_dataset, write_dataset, Dataset, DatasetFormat};
+    let mut out = ExperimentOutput::new(Table::new(
+        "E11: streaming ingestion with sparse-id remapping",
+        &[
+            "workload", "format", "nodes", "edges", "KiB", "parse ms", "Medges/s",
+        ],
+    ));
+    let dir = std::env::temp_dir().join("dkc_exp_ingest").join(format!(
+        "{}-{}",
+        std::process::id(),
+        scale.name()
+    ));
+    std::fs::create_dir_all(&dir).expect("create ingest scratch dir");
+    for workload in ingest_suite(scale) {
+        let ds = Dataset::from_external_edges(workload.nodes, workload.edges.iter().copied());
+        assert_eq!(ds.graph.num_nodes(), workload.nodes, "{}", workload.name);
+        let max_ext = workload
+            .edges
+            .iter()
+            .map(|&(u, v, _)| u.max(v))
+            .max()
+            .unwrap_or(0);
+        for format in [
+            DatasetFormat::EdgeList,
+            DatasetFormat::Metis,
+            DatasetFormat::Binary,
+        ] {
+            let path = dir.join(format!("{}.{}", workload.name, format.name()));
+            write_dataset(&ds, &path, format).expect("write ingest workload");
+            let bytes = std::fs::metadata(&path)
+                .expect("stat ingest workload")
+                .len() as usize;
+            let start = Instant::now();
+            let parsed = read_dataset(&path, format).expect("parse ingest workload");
+            let wall = start.elapsed();
+            assert_eq!(
+                parsed.graph.num_nodes(),
+                ds.graph.num_nodes(),
+                "{}",
+                workload.name
+            );
+            assert_eq!(
+                parsed.graph.num_edges(),
+                ds.graph.num_edges(),
+                "{}",
+                workload.name
+            );
+            let edges = parsed.graph.num_edges();
+            let secs = wall.as_secs_f64();
+            out.records.push(ExperimentRecord {
+                experiment: "E11".into(),
+                workload: format!("{}-{}", workload.name, format.name()),
+                scale: scale.name().into(),
+                wall_clock_ms: secs * 1e3,
+                rounds: parsed.graph.num_nodes(),
+                total_messages: edges,
+                payload_bits: bytes * 8,
+                max_message_bits: 64 - max_ext.leading_zeros() as usize,
+                messages_per_sec: if secs > 0.0 { edges as f64 / secs } else { 0.0 },
+            });
+            out.table.row(vec![
+                workload.name.into(),
+                format.name().into(),
+                parsed.graph.num_nodes().to_string(),
+                edges.to_string(),
+                f1(bytes as f64 / 1024.0),
+                f3(secs * 1e3),
+                f3(edges as f64 / secs.max(1e-9) / 1e6),
+            ]);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -725,6 +808,32 @@ mod tests {
         assert!(out.table.len() >= 7);
         assert_eq!(out.records.len(), 7, "one centralized record per workload");
         assert!(out.records.iter().all(|r| r.scale == "small"));
+    }
+
+    #[test]
+    fn ingest_counters_are_deterministic_across_runs() {
+        let strip = |out: ExperimentOutput| {
+            out.records
+                .into_iter()
+                .map(|r| {
+                    (
+                        r.workload,
+                        r.rounds,
+                        r.total_messages,
+                        r.payload_bits,
+                        r.max_message_bits,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = strip(exp_ingest(WorkloadScale::Tiny));
+        let b = strip(exp_ingest(WorkloadScale::Tiny));
+        assert_eq!(a, b, "deterministic ingest counters drifted");
+        assert_eq!(a.len(), 9, "3 workloads x 3 formats");
+        for (workload, nodes, edges, bits, id_bits) in &a {
+            assert!(*nodes > 0 && *edges > 0 && *bits > 0, "{workload}");
+            assert!(*id_bits >= 20, "{workload}: external ids are not sparse");
+        }
     }
 
     #[test]

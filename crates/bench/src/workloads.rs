@@ -199,6 +199,59 @@ pub fn standard_suite(scale: WorkloadScale) -> Vec<Workload> {
     ]
 }
 
+/// Injectively scatters a dense index into a sparse id space of roughly
+/// `10^9` (multiplication by a unit modulo a prime): real SNAP-style
+/// datasets use arbitrary sparse ids, and this reproduces that shape
+/// deterministically.
+pub fn sparse_external_id(i: usize) -> u64 {
+    const M: u64 = 1_000_000_007; // prime modulus ≈ the SNAP id range
+    const A: u64 = 736_481_777; // unit mod M, so i ↦ i·A is injective
+    (i as u64 % M) * A % M
+}
+
+/// A "real-shaped" ingestion workload: an edge stream over sparse external
+/// ids, as read from disk by the E11 ingestion experiment.
+pub struct IngestWorkload {
+    /// Short name used in table rows and record labels.
+    pub name: &'static str,
+    /// Edges in external-id space (weights included).
+    pub edges: Vec<(u64, u64, f64)>,
+    /// Number of distinct nodes mentioned by the edges.
+    pub nodes: usize,
+}
+
+fn sparsify(name: &'static str, graph: &WeightedGraph) -> IngestWorkload {
+    IngestWorkload {
+        name,
+        edges: graph
+            .edges()
+            .map(|(u, v, w)| {
+                (
+                    sparse_external_id(u.index()),
+                    sparse_external_id(v.index()),
+                    w,
+                )
+            })
+            .collect(),
+        nodes: graph.num_nodes(),
+    }
+}
+
+/// The ingestion suite: heavy-tailed (social/web stand-in), near-regular,
+/// and weighted workloads, each with sparse scattered external ids.
+pub fn ingest_suite(scale: WorkloadScale) -> Vec<IngestWorkload> {
+    let mut rng = StdRng::seed_from_u64(0x1D9E);
+    let ba = barabasi_albert(scale.scaled(1500), 4, &mut rng);
+    let er_n = scale.scaled(1200);
+    let er = erdos_renyi(er_n, 8.0 / er_n as f64, &mut rng);
+    let weighted = with_random_integer_weights(&ba, 10, &mut rng);
+    vec![
+        sparsify("ba-sparse", &ba),
+        sparsify("er-sparse", &er),
+        sparsify("weighted-ba-sparse", &weighted),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,6 +325,34 @@ mod tests {
             WorkloadScale::Medium,
         ] {
             assert_eq!(WorkloadScale::from_flag(scale.name()), Some(scale));
+        }
+    }
+
+    #[test]
+    fn sparse_ids_are_injective_and_sparse() {
+        let mut seen = std::collections::HashSet::new();
+        let mut any_large = false;
+        for i in 0..10_000 {
+            let ext = sparse_external_id(i);
+            assert!(seen.insert(ext), "collision at {i}");
+            assert!(ext < 1_000_000_007);
+            any_large |= ext > 500_000_000;
+        }
+        assert!(any_large, "ids are not scattered across the space");
+    }
+
+    #[test]
+    fn ingest_suite_is_deterministic_and_sparse() {
+        let a = ingest_suite(WorkloadScale::Tiny);
+        let b = ingest_suite(WorkloadScale::Tiny);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.edges, y.edges, "{}", x.name);
+            assert!(!x.edges.is_empty(), "{}", x.name);
+            // The max external id dwarfs the node count: sparse for real.
+            let max_ext = x.edges.iter().map(|&(u, v, _)| u.max(v)).max().unwrap();
+            assert!(max_ext > 1_000_000, "{}: ids not sparse", x.name);
+            assert!(x.nodes < 100_000, "{}", x.name);
         }
     }
 

@@ -44,6 +44,7 @@ smoke_tests! {
     exp_vs_exact_runs_tiny => "exp_vs_exact",
     exp_scaling_runs_tiny => "exp_scaling",
     exp_robustness_runs_tiny => "exp_robustness",
+    exp_ingest_runs_tiny => "exp_ingest",
     exp_all_runs_tiny => "exp_all",
 }
 
@@ -96,6 +97,7 @@ smoke_json_tests! {
     exp_vs_exact_honors_json => "exp_vs_exact",
     exp_scaling_honors_json => "exp_scaling",
     exp_robustness_honors_json => "exp_robustness",
+    exp_ingest_honors_json => "exp_ingest",
     exp_all_honors_json => "exp_all",
 }
 
@@ -117,7 +119,9 @@ fn exp_all_aggregates_every_experiment() {
         .map(|r| r.experiment.as_str())
         .collect();
     ids.dedup();
-    for expected in ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"] {
+    for expected in [
+        "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
+    ] {
         assert!(
             ids.contains(&expected),
             "exp_all report is missing {expected} records"

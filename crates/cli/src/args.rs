@@ -76,6 +76,53 @@ impl Parsed {
         }
     }
 
+    /// A numeric flag that must be strictly positive; errors with a clear
+    /// message on zero, negative, or non-finite values.
+    pub fn flag_num_positive<T>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T: std::str::FromStr + PartialOrd + Default + Copy + std::fmt::Display,
+    {
+        let value = self.flag_num(name, default)?;
+        // `partial_cmp` so NaN (not greater than zero) is rejected too.
+        if value.partial_cmp(&T::default()) != Some(std::cmp::Ordering::Greater) {
+            return Err(format!("--{name} must be > 0 (got {value})"));
+        }
+        Ok(value)
+    }
+
+    /// Rejects any flag not in `allowed`, so a typo (`--epsilonn 0.1`) errors
+    /// out instead of silently running with the default value.
+    pub fn expect_flags(&self, allowed: &[&str]) -> Result<(), String> {
+        let mut unknown: Vec<&str> = self
+            .flags
+            .keys()
+            .map(String::as_str)
+            .filter(|k| !allowed.contains(k))
+            .collect();
+        if unknown.is_empty() {
+            return Ok(());
+        }
+        unknown.sort_unstable();
+        let mut supported: Vec<&str> = allowed.to_vec();
+        supported.sort_unstable();
+        Err(format!(
+            "unknown flag{} for `{}`: {}\nsupported flags: {}\n{}",
+            if unknown.len() == 1 { "" } else { "s" },
+            self.command,
+            unknown
+                .iter()
+                .map(|k| format!("--{k}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            supported
+                .iter()
+                .map(|k| format!("--{k}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            crate::USAGE
+        ))
+    }
+
     /// Whether a boolean switch is present.
     pub fn switch(&self, name: &str) -> bool {
         self.flags.contains_key(name)
@@ -127,5 +174,35 @@ mod tests {
     fn trailing_switch_is_boolean() {
         let p = Parsed::parse(&s(&["coreness", "f", "--exact"])).unwrap();
         assert!(p.switch("exact"));
+    }
+
+    #[test]
+    fn expect_flags_rejects_typos() {
+        let p = Parsed::parse(&s(&["coreness", "f", "--epsilonn", "0.1"])).unwrap();
+        let err = p.expect_flags(&["epsilon", "top"]).unwrap_err();
+        assert!(err.contains("--epsilonn"), "{err}");
+        assert!(err.contains("supported flags"), "{err}");
+        assert!(p.expect_flags(&["epsilonn"]).is_ok());
+        let ok = Parsed::parse(&s(&["coreness", "f", "--epsilon", "0.1"])).unwrap();
+        assert!(ok.expect_flags(&["epsilon", "top"]).is_ok());
+    }
+
+    #[test]
+    fn positive_flags_validate_range() {
+        let p = Parsed::parse(&s(&["coreness", "f", "--epsilon", "-0.5"])).unwrap();
+        let err = p.flag_num_positive("epsilon", 0.25).unwrap_err();
+        assert!(err.contains("must be > 0"), "{err}");
+        let zero = Parsed::parse(&s(&["coreness", "f", "--epsilon", "0"])).unwrap();
+        assert!(zero.flag_num_positive("epsilon", 0.25).is_err());
+        let nan = Parsed::parse(&s(&["coreness", "f", "--epsilon", "nan"])).unwrap();
+        assert!(nan.flag_num_positive("epsilon", 0.25).is_err());
+        let ok = Parsed::parse(&s(&["coreness", "f", "--epsilon", "0.1"])).unwrap();
+        assert_eq!(ok.flag_num_positive("epsilon", 0.25).unwrap(), 0.1);
+        // Defaults pass through untouched.
+        let missing = Parsed::parse(&s(&["coreness", "f"])).unwrap();
+        assert_eq!(missing.flag_num_positive("epsilon", 0.25).unwrap(), 0.25);
+        // Integer flags: zero rejected.
+        let n = Parsed::parse(&s(&["generate", "ba", "--nodes", "0"])).unwrap();
+        assert!(n.flag_num_positive::<usize>("nodes", 10).is_err());
     }
 }

@@ -12,9 +12,10 @@ use dkc_core::threshold::ThresholdSet;
 use dkc_distsim::ExecutionMode;
 use dkc_flow::{densest_subgraph, fractional_orientation_lower_bound};
 use dkc_graph::generators as gen;
-use dkc_graph::io::{read_edge_list, write_edge_list};
+use dkc_graph::ingest::{read_dataset, stream_stats, write_dataset, Dataset, DatasetFormat};
+use dkc_graph::io::write_edge_list;
 use dkc_graph::properties::{degree_stats, diameter_double_sweep};
-use dkc_graph::{CsrGraph, NodeId, WeightedGraph};
+use dkc_graph::{CsrGraph, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
@@ -28,18 +29,47 @@ pub fn dispatch(parsed: &Parsed) -> Result<String, String> {
         "coreness" => coreness(parsed),
         "orientation" => orientation(parsed),
         "densest" => densest(parsed),
+        "convert" => convert(parsed),
         other => Err(format!("unknown command {other:?}\n{}", crate::USAGE)),
     }
 }
 
-fn load(parsed: &Parsed) -> Result<WeightedGraph, String> {
-    let path = parsed.positional(0, "input edge-list file")?;
-    read_edge_list(path).map_err(|e| format!("failed to read {path}: {e}"))
+/// Resolves a dataset format from an explicit flag value or, absent the
+/// flag, from the file extension (defaulting to the edge-list format).
+fn resolve_format(parsed: &Parsed, flag: &str, path: &str) -> Result<DatasetFormat, String> {
+    match parsed.flags.get(flag) {
+        Some(value) => DatasetFormat::from_flag(value).ok_or_else(|| {
+            format!("unknown format {value:?} for --{flag}; expected edgelist|metis|binary")
+        }),
+        None => Ok(DatasetFormat::from_path_or_default(path)),
+    }
+}
+
+/// Loads the input dataset (positional 0) with sparse external ids remapped
+/// to dense internal indices; command output reports the original ids.
+fn load(parsed: &Parsed) -> Result<Dataset, String> {
+    let path = parsed.positional(0, "input dataset file")?;
+    let format = resolve_format(parsed, "format", path)?;
+    read_dataset(path, format).map_err(|e| format!("failed to read {path}: {e}"))
 }
 
 fn generate(parsed: &Parsed) -> Result<String, String> {
+    parsed.expect_flags(&[
+        "nodes",
+        "seed",
+        "out",
+        "attach",
+        "prob",
+        "alpha",
+        "avg-degree",
+        "k",
+        "beta",
+        "rows",
+        "cols",
+        "weights",
+    ])?;
     let model = parsed.positional(0, "generator model")?;
-    let n: usize = parsed.flag_num("nodes", 1000)?;
+    let n: usize = parsed.flag_num_positive("nodes", 1000)?;
     let seed: u64 = parsed.flag_num("seed", 42)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = match model {
@@ -97,9 +127,29 @@ fn generate(parsed: &Parsed) -> Result<String, String> {
 }
 
 fn stats(parsed: &Parsed) -> Result<String, String> {
-    let g = load(parsed)?;
-    let csr = CsrGraph::from(&g);
-    let deg = degree_stats(&g);
+    parsed.expect_flags(&["format", "stream"])?;
+    if parsed.switch("stream") {
+        // One-pass streaming statistics: no adjacency lists are built, so
+        // memory stays O(distinct nodes + distinct edges).
+        let path = parsed.positional(0, "input dataset file")?;
+        let format = resolve_format(parsed, "format", path)?;
+        let s = stream_stats(path, format).map_err(|e| format!("failed to read {path}: {e}"))?;
+        let mut out = String::new();
+        let _ = writeln!(out, "nodes: {}", s.nodes);
+        let _ = writeln!(out, "edges: {}", s.edges);
+        let _ = writeln!(out, "total edge weight: {:.2}", s.total_weight);
+        let _ = writeln!(
+            out,
+            "weighted degree: min {:.2} / mean {:.2} / max {:.2}",
+            s.min_degree, s.mean_degree, s.max_degree
+        );
+        let _ = writeln!(out, "(streaming pass: diameter and density omitted)");
+        return Ok(out);
+    }
+    let ds = load(parsed)?;
+    let g = &ds.graph;
+    let csr = CsrGraph::from(g);
+    let deg = degree_stats(g);
     let diameter = diameter_double_sweep(&csr, NodeId(0));
     let mut out = String::new();
     let _ = writeln!(out, "nodes: {}", g.num_nodes());
@@ -113,22 +163,49 @@ fn stats(parsed: &Parsed) -> Result<String, String> {
     );
     let _ = writeln!(out, "hop diameter (double-sweep lower bound): {diameter}");
     let _ = writeln!(out, "unit weights: {}", g.is_unit_weighted());
+    if !ds.ids.is_identity() {
+        let _ = writeln!(out, "sparse external ids remapped to 0..{}", g.num_nodes());
+    }
     Ok(out)
 }
 
+fn convert(parsed: &Parsed) -> Result<String, String> {
+    parsed.expect_flags(&["from", "to"])?;
+    let input = parsed.positional(0, "input dataset file")?;
+    let output = parsed.positional(1, "output dataset file")?;
+    let from = resolve_format(parsed, "from", input)?;
+    let to = resolve_format(parsed, "to", output)?;
+    let ds = read_dataset(input, from).map_err(|e| format!("failed to read {input}: {e}"))?;
+    write_dataset(&ds, output, to).map_err(|e| format!("failed to write {output}: {e}"))?;
+    Ok(format!(
+        "converted {input} ({}) -> {output} ({}): {} nodes, {} edges\n",
+        from.name(),
+        to.name(),
+        ds.graph.num_nodes(),
+        ds.graph.num_edges()
+    ))
+}
+
 fn coreness(parsed: &Parsed) -> Result<String, String> {
-    let g = load(parsed)?;
-    let epsilon: f64 = parsed.flag_num("epsilon", 0.25)?;
+    parsed.expect_flags(&[
+        "epsilon", "rounds", "lambda", "exact", "top", "json", "format",
+    ])?;
+    let ds = load(parsed)?;
+    let g = &ds.graph;
+    let epsilon: f64 = parsed.flag_num_positive("epsilon", 0.25)?;
     let default_rounds = rounds_for_epsilon(g.num_nodes(), epsilon);
     let rounds: usize = parsed.flag_num("rounds", default_rounds)?;
     let lambda: f64 = parsed.flag_num("lambda", 0.0)?;
+    if lambda < 0.0 || !lambda.is_finite() {
+        return Err(format!("--lambda must be >= 0 (got {lambda})"));
+    }
     let threshold_set = if lambda > 0.0 {
         ThresholdSet::power_grid(lambda)
     } else {
         ThresholdSet::Reals
     };
     let approx =
-        approximate_coreness_with_rounds(&g, rounds, threshold_set, ExecutionMode::Parallel);
+        approximate_coreness_with_rounds(g, rounds, threshold_set, ExecutionMode::Parallel);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -143,10 +220,16 @@ fn coreness(parsed: &Parsed) -> Result<String, String> {
     ranked.sort_by(|&a, &b| approx.values[b].partial_cmp(&approx.values[a]).unwrap());
     let _ = writeln!(out, "top {top} nodes by approximate coreness:");
     for &v in ranked.iter().take(top) {
-        let _ = writeln!(out, "  node {v}: beta = {:.3}", approx.values[v]);
+        // Report the dataset's original (external) id, not the dense index.
+        let _ = writeln!(
+            out,
+            "  node {}: beta = {:.3}",
+            ds.external(NodeId::new(v)),
+            approx.values[v]
+        );
     }
     if parsed.switch("exact") {
-        let exact = weighted_coreness(&g);
+        let exact = weighted_coreness(g);
         let ratio = ApproxRatio::compute(&approx.values, &exact);
         let _ = writeln!(
             out,
@@ -174,9 +257,11 @@ fn coreness(parsed: &Parsed) -> Result<String, String> {
 }
 
 fn orientation(parsed: &Parsed) -> Result<String, String> {
-    let g = load(parsed)?;
-    let epsilon: f64 = parsed.flag_num("epsilon", 0.25)?;
-    let approx = approximate_orientation(&g, epsilon, ExecutionMode::Parallel);
+    parsed.expect_flags(&["epsilon", "compare", "format"])?;
+    let ds = load(parsed)?;
+    let g = &ds.graph;
+    let epsilon: f64 = parsed.flag_num_positive("epsilon", 0.25)?;
+    let approx = approximate_orientation(g, epsilon, ExecutionMode::Parallel);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -184,9 +269,9 @@ fn orientation(parsed: &Parsed) -> Result<String, String> {
         approx.rounds, approx.max_in_degree, approx.guaranteed_factor
     );
     if parsed.switch("compare") {
-        let rho = fractional_orientation_lower_bound(&g);
-        let peel = peeling_orientation(&g);
-        let greedy = greedy_orientation(&g);
+        let rho = fractional_orientation_lower_bound(g);
+        let peel = peeling_orientation(g);
+        let greedy = greedy_orientation(g);
         let _ = writeln!(out, "LP lower bound rho*: {rho:.3}");
         let _ = writeln!(
             out,
@@ -200,9 +285,11 @@ fn orientation(parsed: &Parsed) -> Result<String, String> {
 }
 
 fn densest(parsed: &Parsed) -> Result<String, String> {
-    let g = load(parsed)?;
-    let epsilon: f64 = parsed.flag_num("epsilon", 0.25)?;
-    let result = weak_densest_subsets(&g, epsilon, ExecutionMode::Parallel);
+    parsed.expect_flags(&["epsilon", "exact", "format"])?;
+    let ds = load(parsed)?;
+    let g = &ds.graph;
+    let epsilon: f64 = parsed.flag_num_positive("epsilon", 0.25)?;
+    let result = weak_densest_subsets(g, epsilon, ExecutionMode::Parallel);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -218,11 +305,13 @@ fn densest(parsed: &Parsed) -> Result<String, String> {
         let _ = writeln!(
             out,
             "  leader {} : size {}, density {:.3}",
-            c.leader, c.size, c.actual_density
+            ds.external(c.leader),
+            c.size,
+            c.actual_density
         );
     }
     if parsed.switch("exact") {
-        let exact = densest_subgraph(&g);
+        let exact = densest_subgraph(g);
         let _ = writeln!(
             out,
             "exact densest subset: density {:.3}, size {} (ratio {:.3})",
@@ -243,13 +332,18 @@ mod tests {
     }
 
     fn temp_graph() -> String {
-        let dir = std::env::temp_dir().join("dkc_cli_cmd_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("small.edges");
-        let mut rng = StdRng::seed_from_u64(3);
-        let g = gen::barabasi_albert(80, 3, &mut rng);
-        write_edge_list(&g, &path).unwrap();
-        path.to_string_lossy().to_string()
+        static GRAPH: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+        GRAPH
+            .get_or_init(|| {
+                let dir = std::env::temp_dir().join("dkc_cli_cmd_test");
+                std::fs::create_dir_all(&dir).unwrap();
+                let path = dir.join(format!("small-{}.edges", std::process::id()));
+                let mut rng = StdRng::seed_from_u64(3);
+                let g = gen::barabasi_albert(80, 3, &mut rng);
+                write_edge_list(&g, &path).unwrap();
+                path.to_string_lossy().to_string()
+            })
+            .clone()
     }
 
     #[test]
@@ -304,6 +398,136 @@ mod tests {
     fn missing_file_is_reported() {
         let err = dispatch(&parse(&["stats", "/nonexistent/nowhere.edges"])).unwrap_err();
         assert!(err.contains("failed to read"));
+    }
+
+    #[test]
+    fn typoed_flags_are_rejected() {
+        let path = temp_graph();
+        let err = dispatch(&parse(&["coreness", &path, "--epsilonn", "0.1"])).unwrap_err();
+        assert!(err.contains("--epsilonn"), "{err}");
+        assert!(err.contains("supported flags"), "{err}");
+        let err = dispatch(&parse(&["stats", &path, "--top", "3"])).unwrap_err();
+        assert!(err.contains("--top"), "{err}");
+        let err = dispatch(&parse(&["generate", "path", "--nodse", "5"])).unwrap_err();
+        assert!(err.contains("--nodse"), "{err}");
+    }
+
+    #[test]
+    fn epsilon_range_is_validated() {
+        let path = temp_graph();
+        for bad in ["-0.5", "0", "nan"] {
+            let err = dispatch(&parse(&["coreness", &path, "--epsilon", bad])).unwrap_err();
+            assert!(err.contains("must be > 0"), "{bad}: {err}");
+            let err = dispatch(&parse(&["orientation", &path, "--epsilon", bad])).unwrap_err();
+            assert!(err.contains("must be > 0"), "{bad}: {err}");
+            let err = dispatch(&parse(&["densest", &path, "--epsilon", bad])).unwrap_err();
+            assert!(err.contains("must be > 0"), "{bad}: {err}");
+        }
+        let err = dispatch(&parse(&["coreness", &path, "--lambda", "-1"])).unwrap_err();
+        assert!(err.contains("lambda"), "{err}");
+    }
+
+    fn sparse_fixture() -> String {
+        // Written exactly once: the tests sharing this fixture run on
+        // parallel threads, and a concurrent truncate-then-write could hand
+        // a reader a partial file.
+        static FIXTURE: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+        FIXTURE
+            .get_or_init(|| {
+                let dir = std::env::temp_dir().join("dkc_cli_cmd_test");
+                std::fs::create_dir_all(&dir).unwrap();
+                let path = dir.join(format!("sparse-{}.edges", std::process::id()));
+                // A triangle plus a pendant, with SNAP-style sparse ids.
+                std::fs::write(
+                    &path,
+                    "# sparse-id fixture\n1000000000 7 1\n7 123456 1\n123456 1000000000 1\n7 99 1\n",
+                )
+                .unwrap();
+                path.to_string_lossy().to_string()
+            })
+            .clone()
+    }
+
+    #[test]
+    fn sparse_ids_load_and_report_original_ids() {
+        let path = sparse_fixture();
+        let stats = dispatch(&parse(&["stats", &path])).unwrap();
+        assert!(stats.contains("nodes: 4"), "{stats}");
+        assert!(stats.contains("sparse external ids remapped"), "{stats}");
+        let core = dispatch(&parse(&[
+            "coreness",
+            &path,
+            "--epsilon",
+            "0.5",
+            "--top",
+            "4",
+        ]))
+        .unwrap();
+        assert!(core.contains("node 1000000000"), "{core}");
+    }
+
+    #[test]
+    fn stream_stats_matches_materialized_stats() {
+        let path = sparse_fixture();
+        let streamed = dispatch(&parse(&["stats", &path, "--stream"])).unwrap();
+        assert!(streamed.contains("nodes: 4"), "{streamed}");
+        assert!(streamed.contains("edges: 4"), "{streamed}");
+        assert!(streamed.contains("streaming pass"), "{streamed}");
+    }
+
+    #[test]
+    fn convert_round_trips_with_identical_coreness() {
+        use dkc_baselines::weighted_coreness;
+        let sparse = sparse_fixture();
+        let dir = std::env::temp_dir().join("dkc_cli_cmd_test");
+        let pid = std::process::id();
+        let metis = dir
+            .join(format!("conv-{pid}.metis"))
+            .to_string_lossy()
+            .to_string();
+        let binary = dir
+            .join(format!("conv-{pid}.dkcb"))
+            .to_string_lossy()
+            .to_string();
+        let back = dir
+            .join(format!("conv_back-{pid}.edges"))
+            .to_string_lossy()
+            .to_string();
+        dispatch(&parse(&["convert", &sparse, &metis])).unwrap();
+        dispatch(&parse(&["convert", &metis, &binary])).unwrap();
+        dispatch(&parse(&["convert", &binary, &back])).unwrap();
+        let original = dkc_graph::ingest::read_dataset(&sparse, DatasetFormat::EdgeList).unwrap();
+        let reference = weighted_coreness(&original.graph);
+        for (path, fmt) in [
+            (&metis, DatasetFormat::Metis),
+            (&binary, DatasetFormat::Binary),
+            (&back, DatasetFormat::EdgeList),
+        ] {
+            let ds = dkc_graph::ingest::read_dataset(path, fmt).unwrap();
+            let coreness = weighted_coreness(&ds.graph);
+            assert_eq!(
+                coreness,
+                reference,
+                "coreness drifted through {}",
+                fmt.name()
+            );
+        }
+    }
+
+    #[test]
+    fn convert_rejects_unknown_formats() {
+        let sparse = sparse_fixture();
+        let err = dispatch(&parse(&[
+            "convert",
+            &sparse,
+            "/tmp/x.edges",
+            "--to",
+            "parquet",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown format"), "{err}");
+        let err = dispatch(&parse(&["convert", &sparse])).unwrap_err();
+        assert!(err.contains("output dataset file"), "{err}");
     }
 
     #[test]

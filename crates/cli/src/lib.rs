@@ -34,12 +34,20 @@ USAGE:
       models: ba (--attach M), er (--prob P), chung-lu (--alpha A --avg-degree D),
               ws (--k K --beta B), grid (--rows R --cols C), path, cycle, complete
       common: --weights W   give edges random integer weights in 1..=W
-  dkc stats <file>
+  dkc stats <file> [--format F] [--stream]
+      --stream computes one-pass statistics without materializing the graph
+  dkc convert <in> <out> [--from F] [--to F]
+      formats: edgelist (SNAP-style, sparse ids remapped), metis, binary (.dkcb);
+      inferred from the file extension unless --from/--to is given
   dkc coreness <file> [--epsilon E] [--rounds T] [--lambda L] [--exact] [--top K]
                [--json FILE]   write the run's metrics as a benchmark report
   dkc orientation <file> [--epsilon E] [--compare]
   dkc densest <file> [--epsilon E] [--exact]
   dkc help
+
+Input files may use arbitrary sparse node ids (e.g. SNAP datasets): ids are
+remapped to dense indices on load and original ids are reported in output.
+Unknown flags are rejected; numeric flags are range-checked.
 ";
 
 #[cfg(test)]

@@ -13,13 +13,16 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-/// Error raised while parsing an edge list.
+/// Error raised while parsing a dataset file.
 #[derive(Debug)]
 pub enum ParseError {
     /// An I/O error while reading the file.
     Io(io::Error),
     /// A malformed line, reported with its (1-based) line number.
     Malformed { line: usize, content: String },
+    /// A structural problem not tied to a single line (bad header, truncated
+    /// binary section, asymmetric METIS adjacency, …).
+    Invalid(String),
 }
 
 impl std::fmt::Display for ParseError {
@@ -27,8 +30,9 @@ impl std::fmt::Display for ParseError {
         match self {
             ParseError::Io(e) => write!(f, "I/O error: {e}"),
             ParseError::Malformed { line, content } => {
-                write!(f, "malformed edge-list line {line}: {content:?}")
+                write!(f, "malformed line {line}: {content:?}")
             }
+            ParseError::Invalid(msg) => write!(f, "invalid dataset: {msg}"),
         }
     }
 }
@@ -41,46 +45,53 @@ impl From<io::Error> for ParseError {
     }
 }
 
-/// Parses an edge list from a string.
+/// Converts an external id to a dense node index, rejecting ids beyond the
+/// `u32` internal width (this legacy parser uses ids directly as indices —
+/// use [`crate::ingest`] for sparse-id datasets).
+fn direct_node_id(ext: u64, line: usize, content: &str) -> Result<NodeId, ParseError> {
+    if ext > u32::MAX as u64 {
+        return Err(ParseError::Malformed {
+            line,
+            content: content.to_string(),
+        });
+    }
+    Ok(NodeId(ext as u32))
+}
+
+/// Parses an edge list from a string. A `# nodes: N` comment directive (as
+/// written by [`to_edge_list`]) is authoritative for the node count, so
+/// trailing isolated nodes survive a round-trip. Lines with trailing tokens
+/// after `u v [w]` are rejected. Line tokenization is shared with the
+/// streaming reader ([`crate::ingest`]); node ids here are used directly as
+/// indices and must fit the `u32` internal width.
 pub fn parse_edge_list(text: &str) -> Result<WeightedGraph, ParseError> {
     let mut builder = GraphBuilder::new(0);
+    let mut declared: Option<u64> = None;
     for (idx, raw) in text.lines().enumerate() {
         let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+        if line.is_empty() {
             continue;
         }
-        let mut parts = line.split_whitespace();
-        let (u, v) = match (parts.next(), parts.next()) {
-            (Some(a), Some(b)) => (a, b),
-            _ => {
-                return Err(ParseError::Malformed {
-                    line: idx + 1,
-                    content: raw.to_string(),
-                })
+        if line.starts_with('#') || line.starts_with('%') {
+            if let Some(n) = crate::ingest::nodes_directive(line) {
+                declared = Some(declared.map_or(n, |d| d.max(n)));
             }
-        };
-        let w = match parts.next() {
-            Some(ws) => ws.parse::<f64>().map_err(|_| ParseError::Malformed {
-                line: idx + 1,
-                content: raw.to_string(),
-            })?,
-            None => 1.0,
-        };
-        let u: usize = u.parse().map_err(|_| ParseError::Malformed {
-            line: idx + 1,
-            content: raw.to_string(),
-        })?;
-        let v: usize = v.parse().map_err(|_| ParseError::Malformed {
-            line: idx + 1,
-            content: raw.to_string(),
-        })?;
-        if !w.is_finite() || w < 0.0 {
-            return Err(ParseError::Malformed {
-                line: idx + 1,
-                content: raw.to_string(),
-            });
+            continue;
         }
-        builder.add_edge(NodeId::new(u), NodeId::new(v), w);
+        let (u, v, w) = crate::ingest::parse_edge_tokens(line, idx + 1)?;
+        let u = direct_node_id(u, idx + 1, raw)?;
+        let v = direct_node_id(v, idx + 1, raw)?;
+        builder.add_edge(u, v, w);
+    }
+    if let Some(n) = declared {
+        if n > u32::MAX as u64 + 1 {
+            return Err(ParseError::Invalid(format!(
+                "declared node count {n} exceeds the u32 id width"
+            )));
+        }
+        if n > 0 {
+            builder.ensure_node(NodeId::new(n as usize - 1));
+        }
     }
     Ok(builder.build())
 }
@@ -135,6 +146,47 @@ mod tests {
         assert!(parse_edge_list("a b\n").is_err());
         assert!(parse_edge_list("0 1 -2\n").is_err());
         assert!(parse_edge_list("0 1 nan\n").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_trailing_tokens() {
+        // `0 1 2.5 junk` must not silently parse as a clean edge.
+        let err = parse_edge_list("0 1 2.5 junk\n").unwrap_err();
+        match err {
+            ParseError::Malformed { line, .. } => assert_eq!(line, 1),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        assert!(parse_edge_list("0 1 2 3\n").is_err());
+        assert!(parse_edge_list("0 1\n2 3 1.0 x\n").is_err());
+    }
+
+    #[test]
+    fn nodes_header_is_authoritative() {
+        // A trailing isolated node only exists via the header directive.
+        let g = parse_edge_list("# nodes: 4  edges: 1\n0 2 1\n").unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(NodeId(3)), 0.0);
+        // The structure still wins when it mentions more nodes than declared.
+        let g = parse_edge_list("# nodes: 2\n0 5 1\n").unwrap();
+        assert_eq!(g.num_nodes(), 6);
+    }
+
+    #[test]
+    fn oversized_ids_and_declarations_error_instead_of_truncating() {
+        // Ids are used directly as u32 indices here; beyond-u32 values must
+        // be a parse error, not a silent release-mode truncation.
+        assert!(parse_edge_list("0 4294967296\n").is_err());
+        assert!(parse_edge_list("# nodes: 4294967297\n0 1\n").is_err());
+    }
+
+    #[test]
+    fn roundtrip_preserves_trailing_isolated_nodes() {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(NodeId(0), NodeId(2), 1.0);
+        let g2 = parse_edge_list(&to_edge_list(&g)).unwrap();
+        assert_eq!(g2.num_nodes(), 4);
+        assert_eq!(g2.num_edges(), 1);
     }
 
     #[test]

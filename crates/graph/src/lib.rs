@@ -17,7 +17,10 @@
 //!   paper's adversarial constructions (γ-ary trees, trees with leaf cliques,
 //!   Figure I.1 gadgets).
 //! * [`quotient`] — quotient graph `G \ B` (edges leaving `B` become self-loops).
-//! * [`io`] — plain-text edge-list reading/writing.
+//! * [`io`] — plain-text edge-list reading/writing (dense ids used directly).
+//! * [`ingest`] — streaming dataset ingestion: sparse→dense id remapping
+//!   ([`ingest::NodeIdMap`]), chunk-parallel edge-list parsing, METIS and
+//!   compact binary formats, and one-pass statistics — all in O(edges) memory.
 //! * [`properties`] — BFS, connected components, hop diameter, degree statistics.
 //!
 //! All weights are non-negative `f64`. The *weighted degree* of a node is the sum
@@ -29,6 +32,7 @@
 pub mod builder;
 pub mod csr;
 pub mod generators;
+pub mod ingest;
 pub mod io;
 pub mod node;
 pub mod properties;
@@ -37,6 +41,7 @@ pub mod weighted;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
+pub use ingest::{Dataset, DatasetFormat, NodeIdMap};
 pub use node::NodeId;
 pub use weighted::WeightedGraph;
 

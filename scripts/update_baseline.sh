@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Regenerate the committed perf-smoke baseline after an INTENTIONAL change to
-# the deterministic counters (protocol change, new experiment, new workload):
+# Regenerate the committed CI baselines after an INTENTIONAL change to the
+# deterministic counters (protocol change, new experiment, new workload):
 #
-#   scripts/update_baseline.sh            # rewrites bench/baselines/tiny.json
+#   scripts/update_baseline.sh    # rewrites bench/baselines/{tiny,ingest-tiny}.json
 #
 # The machine-dependent timing fields (wall_clock_ms, messages_per_sec) are
 # zeroed before committing — scripts/check_bench.sh ignores them anyway, and
@@ -11,10 +11,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-baseline="bench/baselines/tiny.json"
-cargo run --release -p dkc-bench --bin exp_all -- --scale tiny --json "$baseline"
-
-python3 - "$baseline" <<'PY'
+zero_timings() {
+    python3 - "$1" <<'PY'
 import json
 import sys
 
@@ -30,3 +28,12 @@ with open(path, "w") as fh:
 print(f"zeroed timing fields in {len(doc['records'])} records; "
       f"review and commit {path}")
 PY
+}
+
+baseline="bench/baselines/tiny.json"
+cargo run --release -p dkc-bench --bin exp_all -- --scale tiny --json "$baseline"
+zero_timings "$baseline"
+
+ingest_baseline="bench/baselines/ingest-tiny.json"
+cargo run --release -p dkc-bench --bin exp_ingest -- --scale tiny --json "$ingest_baseline"
+zero_timings "$ingest_baseline"
