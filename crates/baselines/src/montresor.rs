@@ -10,8 +10,10 @@
 //! behaviour the paper's `O(log n)`-round approximation escapes (experiment
 //! E8 compares the two).
 
-use dkc_distsim::{ExecutionMode, Network, NodeContext, NodeProgram, Outgoing, RunMetrics};
-use dkc_graph::{NodeId, WeightedGraph};
+use dkc_distsim::{
+    Delivery, ExecutionMode, Network, NodeContext, NodeProgram, Outgoing, RunMetrics,
+};
+use dkc_graph::WeightedGraph;
 
 /// Per-node state of the Montresor et al. protocol.
 #[derive(Clone, Debug)]
@@ -68,23 +70,14 @@ impl NodeProgram for MontresorNode {
         Outgoing::Broadcast(self.estimate)
     }
 
-    fn receive(&mut self, ctx: &NodeContext<'_>, inbox: &[(NodeId, f64)]) -> bool {
+    fn receive(&mut self, ctx: &NodeContext<'_>, inbox: &[Delivery<f64>]) -> bool {
         if !self.initialized {
             self.neighbor_estimates = vec![f64::INFINITY; ctx.num_neighbors()];
             self.initialized = true;
         }
-        // Record the latest estimate per neighbour position. The simulator
-        // delivers messages in the receiver's neighbour-list order, so a single
-        // linear merge suffices.
-        let neighbors = ctx.neighbors();
-        let mut inbox_iter = inbox.iter().peekable();
-        for (idx, &u) in neighbors.iter().enumerate() {
-            if let Some(&&(sender, est)) = inbox_iter.peek() {
-                if sender == u {
-                    self.neighbor_estimates[idx] = est;
-                    inbox_iter.next();
-                }
-            }
+        // Record the latest estimate per neighbour (arc) position.
+        for d in inbox {
+            self.neighbor_estimates[d.pos as usize] = d.msg;
         }
         let new_estimate = coreness_update(
             self.estimate,
@@ -113,11 +106,16 @@ pub struct MontresorOutcome {
 }
 
 /// Runs the protocol until no estimate changes, or until `max_rounds`.
+///
+/// The program has not (yet) declared the delta-driven contract, so sparse
+/// execution modes degrade to their dense counterpart via
+/// [`ExecutionMode::dense`].
 pub fn montresor_exact_coreness(
     g: &WeightedGraph,
     max_rounds: usize,
     mode: ExecutionMode,
 ) -> MontresorOutcome {
+    let mode = mode.dense();
     let mut net = Network::new(g, |ctx| MontresorNode {
         estimate: ctx.degree(),
         neighbor_estimates: Vec::new(),

@@ -1,4 +1,4 @@
-//! Runs every table experiment (E1–E11) in sequence. This is the one-shot
+//! Runs every table experiment (E1–E12) in sequence. This is the one-shot
 //! reproduction entry point: `cargo run --release -p dkc-bench --bin exp_all`.
 //! Pass `--scale tiny` for a fast smoke run of the whole suite, and
 //! `--json <path>` to aggregate every experiment's records into one report
@@ -35,5 +35,6 @@ fn main() {
         &[0.0, 0.05, 0.2, 0.5],
     ));
     run(experiments::exp_ingest(scale));
+    run(experiments::exp_frontier(scale));
     args.write_report(&report);
 }

@@ -1,4 +1,4 @@
-//! Experiment implementations E1–E10 (see DESIGN.md §4). Each returns an
+//! Experiment implementations E1–E12 (see DESIGN.md §4). Each returns an
 //! [`ExperimentOutput`]: a [`Table`] for human consumption plus the
 //! [`ExperimentRecord`]s feeding the machine-readable report pipeline
 //! (`--json`, see [`crate::report`]).
@@ -569,6 +569,22 @@ pub fn exp_scaling(scale: WorkloadScale) -> ExperimentOutput {
             ));
         }
         push_scaling_row(&mut out, "ba-compact", n);
+        // The same protocol under the sparse frontier executor (E12 studies
+        // the activation win in depth; here it rides the scaling matrix so
+        // thread scaling of the sparse receive phase is visible too).
+        for (label, mode) in [
+            ("sparse-seq", ExecutionMode::SparseSequential),
+            ("sparse-par", ExecutionMode::SparseParallel),
+        ] {
+            let run = run_compact_elimination(&g, rounds, ThresholdSet::Reals, mode);
+            out.records.push(ExperimentRecord::from_metrics(
+                "E9",
+                format!("ba-{n}-{label}"),
+                scale.name(),
+                &run.metrics,
+            ));
+        }
+        push_scaling_row(&mut out, "ba-compact-sparse", n);
     }
 
     // Multicast stress: small complete graph, five rounds of half-degree
@@ -630,7 +646,11 @@ impl dkc_distsim::NodeProgram for HalfMulticast {
         dkc_distsim::Outgoing::Multicast(ctx.node().0, targets)
     }
 
-    fn receive(&mut self, _ctx: &dkc_distsim::NodeContext<'_>, inbox: &[(NodeId, u32)]) -> bool {
+    fn receive(
+        &mut self,
+        _ctx: &dkc_distsim::NodeContext<'_>,
+        inbox: &[dkc_distsim::Delivery<u32>],
+    ) -> bool {
         !inbox.is_empty()
     }
 }
@@ -688,6 +708,98 @@ pub fn exp_robustness(scale: WorkloadScale, epsilon: f64, loss_rates: &[f64]) ->
                 f3(ratio2.max),
             ]);
         }
+    }
+    out
+}
+
+/// The E12 long-convergence-tail workloads: instances whose compact
+/// elimination keeps a narrow active frontier for many rounds (cascades along
+/// paths/grids) or quiesces long before the round budget expires (heavy-tailed
+/// graphs), each paired with a deterministic round budget. These are the
+/// shapes on which dense re-execution wastes the most work.
+pub fn frontier_workloads(scale: WorkloadScale) -> Vec<(String, dkc_graph::WeightedGraph, usize)> {
+    use dkc_graph::generators::{barabasi_albert, grid_graph, path_graph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(12);
+    let path_n = scale.scaled(2_000);
+    let grid_cols = scale.scaled(50);
+    let ba_n = scale.scaled(1_500);
+    vec![
+        (format!("path-{path_n}"), path_graph(path_n), path_n / 2 + 8),
+        (
+            format!("grid-20x{grid_cols}"),
+            grid_graph(20, grid_cols),
+            grid_cols / 2 + 20,
+        ),
+        (
+            format!("ba-tail-{ba_n}"),
+            barabasi_albert(ba_n, 4, &mut rng),
+            4 * rounds_for_epsilon(ba_n, 0.5),
+        ),
+    ]
+}
+
+/// E12: delta-driven sparse round execution. Runs the compact elimination
+/// dense and sparse on the long-tail workloads and reports the deterministic
+/// `node_updates` counters — the CI-gated measure of the active-set work
+/// reduction — plus message totals. The run aborts if the two executors'
+/// surviving numbers are not byte-identical, so every CI pass re-certifies
+/// the equivalence on top of the proptest.
+pub fn exp_frontier(scale: WorkloadScale) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(Table::new(
+        "E12: sparse frontier executor vs dense re-execution (compact elimination)",
+        &[
+            "workload",
+            "n",
+            "T",
+            "updates dense",
+            "updates sparse",
+            "update ratio",
+            "msgs dense",
+            "msgs sparse",
+            "identical",
+        ],
+    ));
+    for (name, g, rounds) in frontier_workloads(scale) {
+        let dense = run_compact_elimination(&g, rounds, ThresholdSet::Reals, MODE);
+        let sparse = run_compact_elimination(
+            &g,
+            rounds,
+            ThresholdSet::Reals,
+            ExecutionMode::SparseParallel,
+        );
+        let identical =
+            dense.surviving == sparse.surviving && dense.in_neighbors == sparse.in_neighbors;
+        assert!(
+            identical,
+            "sparse executor diverged from dense on {name} — this is a bug"
+        );
+        out.records.push(ExperimentRecord::from_metrics(
+            "E12",
+            format!("{name}-dense"),
+            scale.name(),
+            &dense.metrics,
+        ));
+        out.records.push(ExperimentRecord::from_metrics(
+            "E12",
+            format!("{name}-sparse"),
+            scale.name(),
+            &sparse.metrics,
+        ));
+        let du = dense.metrics.total_node_updates();
+        let su = sparse.metrics.total_node_updates();
+        out.table.row(vec![
+            name,
+            g.num_nodes().to_string(),
+            rounds.to_string(),
+            du.to_string(),
+            su.to_string(),
+            f3(su as f64 / du.max(1) as f64),
+            dense.metrics.total_messages().to_string(),
+            sparse.metrics.total_messages().to_string(),
+            identical.to_string(),
+        ]);
     }
     out
 }
@@ -758,6 +870,7 @@ pub fn exp_ingest(scale: WorkloadScale) -> ExperimentOutput {
                 total_messages: edges,
                 payload_bits: bytes * 8,
                 max_message_bits: 64 - max_ext.leading_zeros() as usize,
+                node_updates: 0,
                 messages_per_sec: if secs > 0.0 { edges as f64 / secs } else { 0.0 },
             });
             out.table.row(vec![
@@ -810,6 +923,43 @@ mod tests {
         assert!(out.records.iter().all(|r| r.scale == "small"));
     }
 
+    /// The PR's acceptance criterion: on the E12 long-tail workloads at tiny
+    /// scale, the sparse executor runs at most 25% of the dense executor's
+    /// node updates (with byte-identical output, asserted inside
+    /// `exp_frontier` itself).
+    #[test]
+    fn frontier_reduction_meets_target() {
+        let out = exp_frontier(WorkloadScale::Tiny);
+        assert_eq!(out.records.len(), 6, "3 workloads x {{dense, sparse}}");
+        for pair in out.records.chunks(2) {
+            let (dense, sparse) = (&pair[0], &pair[1]);
+            assert!(dense.workload.ends_with("-dense"), "{}", dense.workload);
+            assert!(sparse.workload.ends_with("-sparse"), "{}", sparse.workload);
+            assert_eq!(dense.rounds, sparse.rounds);
+            assert!(
+                sparse.node_updates * 4 <= dense.node_updates,
+                "{}: sparse ran {} of dense's {} node updates (> 25%)",
+                sparse.workload,
+                sparse.node_updates,
+                dense.node_updates
+            );
+            assert!(sparse.total_messages <= dense.total_messages);
+        }
+    }
+
+    #[test]
+    fn frontier_counters_are_deterministic_across_runs() {
+        let strip = |out: ExperimentOutput| {
+            out.records
+                .into_iter()
+                .map(|r| (r.workload, r.rounds, r.total_messages, r.node_updates))
+                .collect::<Vec<_>>()
+        };
+        let a = strip(exp_frontier(WorkloadScale::Tiny));
+        let b = strip(exp_frontier(WorkloadScale::Tiny));
+        assert_eq!(a, b, "deterministic frontier counters drifted");
+    }
+
     #[test]
     fn ingest_counters_are_deterministic_across_runs() {
         let strip = |out: ExperimentOutput| {
@@ -839,7 +989,11 @@ mod tests {
     #[test]
     fn scaling_records_are_mode_identical() {
         let out = exp_scaling(WorkloadScale::Tiny);
-        assert_eq!(out.records.len(), 4, "2 workloads x 2 modes");
+        assert_eq!(
+            out.records.len(),
+            6,
+            "ba dense pair + ba sparse pair + multicast pair"
+        );
         for pair in out.records.chunks(2) {
             let (seq, par) = (&pair[0], &pair[1]);
             assert!(seq.workload.ends_with("-seq"));
@@ -848,6 +1002,14 @@ mod tests {
             assert_eq!(seq.total_messages, par.total_messages);
             assert_eq!(seq.payload_bits, par.payload_bits);
             assert_eq!(seq.max_message_bits, par.max_message_bits);
+            assert_eq!(seq.node_updates, par.node_updates);
         }
+        // The sparse pair must do no more work than the dense pair.
+        let dense = &out.records[0];
+        let sparse = &out.records[2];
+        assert!(sparse.workload.contains("sparse"));
+        assert_eq!(dense.rounds, sparse.rounds);
+        assert!(sparse.node_updates <= dense.node_updates);
+        assert!(sparse.total_messages <= dense.total_messages);
     }
 }

@@ -7,11 +7,11 @@
 //! non-deterministic timing columns (wall-clock, derived messages/sec) that
 //! make regressions visible without failing builds.
 //!
-//! Schema (version 1):
+//! Schema (version 2):
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "suite": "exp_all",
 //!   "scale": "tiny",
 //!   "records": [
@@ -24,11 +24,23 @@
 //!       "total_messages": 399900,
 //!       "payload_bits": 25593600,
 //!       "max_message_bits": 64,
+//!       "node_updates": 42000,
 //!       "messages_per_sec": 31992000.0
 //!     }
 //!   ]
 //! }
 //! ```
+//!
+//! ## v1 → v2 migration
+//!
+//! Version 2 (this PR) adds the deterministic `node_updates` counter — the
+//! number of node steps the executor actually ran, the CI-gateable measure of
+//! the sparse frontier executor's active-set work reduction. Version-1
+//! reports are still **read**: a v1 record's `node_updates` defaults to 0 and
+//! the parsed report is upgraded in memory (its `schema_version` becomes 2),
+//! so re-serializing always emits the current schema. In a v2 report the
+//! field is mandatory. Baselines under `bench/baselines/` are committed in v2
+//! form; `scripts/check_bench.sh` understands both versions.
 //!
 //! Serialization goes through the vendored `serde` data model into
 //! `serde_json`; parsing uses `serde_json::Value` accessors so malformed
@@ -42,12 +54,16 @@ use std::path::Path;
 use std::time::Duration;
 
 /// Version stamp written into every report; bump when the schema changes.
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version [`Report::from_json`] still accepts (upgrading it
+/// to [`SCHEMA_VERSION`] in memory).
+pub const MIN_SUPPORTED_SCHEMA_VERSION: u64 = 1;
 
 /// One measured run: the deterministic protocol counters plus timing.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ExperimentRecord {
-    /// Experiment id (`"E1"`–`"E10"`).
+    /// Experiment id (`"E1"`–`"E12"`).
     pub experiment: String,
     /// Workload / instance label (e.g. `"ba"`, `"fig1-ring-64"`).
     pub workload: String,
@@ -64,6 +80,13 @@ pub struct ExperimentRecord {
     pub payload_bits: usize,
     /// Largest delivered message, in bits (deterministic).
     pub max_message_bits: usize,
+    /// Number of node steps the executor ran across all rounds
+    /// (deterministic; see `dkc_distsim::RoundStats::node_updates`). Dense
+    /// execution runs every non-halted node every round; the sparse frontier
+    /// executor runs only the touched set — this counter is what the E12
+    /// frontier experiment gates on. 0 for centralized/ingestion records and
+    /// for records migrated from schema v1.
+    pub node_updates: usize,
     /// Derived throughput: `total_messages / wall_clock` (non-deterministic,
     /// 0 when no messages or no measurable time).
     pub messages_per_sec: f64,
@@ -89,6 +112,7 @@ impl ExperimentRecord {
             total_messages: metrics.total_messages(),
             payload_bits: metrics.total_payload_bits(),
             max_message_bits: metrics.max_message_bits(),
+            node_updates: metrics.total_node_updates(),
             messages_per_sec: metrics.messages_per_sec(),
         }
     }
@@ -113,6 +137,7 @@ impl ExperimentRecord {
             total_messages,
             payload_bits: 0,
             max_message_bits: 0,
+            node_updates: 0,
             messages_per_sec: derive_throughput(total_messages, wall),
         }
     }
@@ -135,6 +160,7 @@ impl ExperimentRecord {
             total_messages: 0,
             payload_bits: 0,
             max_message_bits: 0,
+            node_updates: 0,
             messages_per_sec: 0.0,
         }
     }
@@ -168,7 +194,7 @@ fn derive_throughput(total_messages: usize, wall: Duration) -> f64 {
 
 impl Serialize for ExperimentRecord {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut s = serializer.serialize_struct("ExperimentRecord", 9)?;
+        let mut s = serializer.serialize_struct("ExperimentRecord", 10)?;
         s.serialize_field("experiment", &self.experiment)?;
         s.serialize_field("workload", &self.workload)?;
         s.serialize_field("scale", &self.scale)?;
@@ -177,6 +203,7 @@ impl Serialize for ExperimentRecord {
         s.serialize_field("total_messages", &self.total_messages)?;
         s.serialize_field("payload_bits", &self.payload_bits)?;
         s.serialize_field("max_message_bits", &self.max_message_bits)?;
+        s.serialize_field("node_updates", &self.node_updates)?;
         s.serialize_field("messages_per_sec", &self.messages_per_sec)?;
         s.end()
     }
@@ -256,11 +283,21 @@ impl Report {
         s
     }
 
-    /// Parses and validates a JSON report.
+    /// Parses and validates a JSON report. Reports written with schema
+    /// version 1 are upgraded in memory: their records' missing
+    /// `node_updates` defaults to 0 and the report's `schema_version` becomes
+    /// the current [`SCHEMA_VERSION`] (see the module docs on migration).
     pub fn from_json(text: &str) -> Result<Report, String> {
         let value = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        let version = field_u64(&value, "schema_version")?;
+        if !(MIN_SUPPORTED_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&version) {
+            return Err(format!(
+                "unsupported schema_version {version} \
+                 (supported: {MIN_SUPPORTED_SCHEMA_VERSION}..={SCHEMA_VERSION})"
+            ));
+        }
         let report = Report {
-            schema_version: field_u64(&value, "schema_version")?,
+            schema_version: SCHEMA_VERSION,
             suite: field_str(&value, "suite")?,
             scale: field_str(&value, "scale")?,
             records: value
@@ -269,7 +306,7 @@ impl Report {
                 .ok_or("missing records array")?
                 .iter()
                 .enumerate()
-                .map(|(i, v)| record_from_value(v).map_err(|e| format!("record {i}: {e}")))
+                .map(|(i, v)| record_from_value(v, version).map_err(|e| format!("record {i}: {e}")))
                 .collect::<Result<_, _>>()?,
         };
         report.validate()?;
@@ -324,7 +361,7 @@ fn field_str(v: &Value, key: &str) -> Result<String, String> {
         .ok_or_else(|| format!("missing or non-string field {key:?}"))
 }
 
-fn record_from_value(v: &Value) -> Result<ExperimentRecord, String> {
+fn record_from_value(v: &Value, schema_version: u64) -> Result<ExperimentRecord, String> {
     Ok(ExperimentRecord {
         experiment: field_str(v, "experiment")?,
         workload: field_str(v, "workload")?,
@@ -334,6 +371,12 @@ fn record_from_value(v: &Value) -> Result<ExperimentRecord, String> {
         total_messages: field_usize(v, "total_messages")?,
         payload_bits: field_usize(v, "payload_bits")?,
         max_message_bits: field_usize(v, "max_message_bits")?,
+        // v1 predates the counter; v2 requires it.
+        node_updates: if schema_version >= 2 {
+            field_usize(v, "node_updates")?
+        } else {
+            v.get("node_updates").and_then(Value::as_u64).unwrap_or(0) as usize
+        },
         messages_per_sec: field_f64(v, "messages_per_sec")?,
     })
 }
@@ -354,6 +397,7 @@ mod tests {
                 total_messages: 399_900,
                 payload_bits: 25_593_600,
                 max_message_bits: 64,
+                node_updates: 42_000,
                 messages_per_sec: 3.2e7,
             },
             ExperimentRecord::centralized("E2", "grid", "tiny", Duration::from_micros(1500), 17),
@@ -392,7 +436,7 @@ mod tests {
         assert!(Report::from_json("{}").is_err());
         let wrong_version = sample_report()
             .to_json()
-            .replace("\"schema_version\": 1", "\"schema_version\": 999");
+            .replace("\"schema_version\": 2", "\"schema_version\": 999");
         let err = Report::from_json(&wrong_version).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
         let missing_field = sample_report()
@@ -400,6 +444,35 @@ mod tests {
             .replace("\"rounds\"", "\"wrongs\"");
         let err = Report::from_json(&missing_field).unwrap_err();
         assert!(err.contains("rounds"), "{err}");
+    }
+
+    #[test]
+    fn v1_reports_migrate_to_v2_on_read() {
+        // Simulate a committed v1 report: no node_updates field anywhere.
+        let mut v1 = sample_report()
+            .to_json()
+            .replace("\"schema_version\": 2", "\"schema_version\": 1");
+        v1 = v1
+            .lines()
+            .filter(|l| !l.contains("node_updates"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = Report::from_json(&v1).expect("v1 reports must still parse");
+        assert_eq!(parsed.schema_version, SCHEMA_VERSION, "upgraded in memory");
+        assert!(parsed.records.iter().all(|r| r.node_updates == 0));
+        // Re-serializing emits v2 with the field present.
+        let rewritten = parsed.to_json();
+        assert!(rewritten.contains("\"schema_version\": 2"));
+        assert!(rewritten.contains("\"node_updates\": 0"));
+        // In a v2 report the field is mandatory.
+        let v2_missing = sample_report()
+            .to_json()
+            .lines()
+            .filter(|l| !l.contains("node_updates"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = Report::from_json(&v2_missing).unwrap_err();
+        assert!(err.contains("node_updates"), "{err}");
     }
 
     #[test]
@@ -423,12 +496,14 @@ mod tests {
             max_message_bits: 64,
             sending_nodes: 10,
             changed_nodes: 10,
+            node_updates: 10,
         });
         metrics.add_elapsed(Duration::from_millis(100));
         let rec = ExperimentRecord::from_metrics("E9", "ba-10", "tiny", &metrics);
         assert_eq!(rec.rounds, 1);
         assert_eq!(rec.total_messages, 1000);
         assert_eq!(rec.payload_bits, 64_000);
+        assert_eq!(rec.node_updates, 10);
         assert!((rec.messages_per_sec - 10_000.0).abs() < 1e-9);
         assert!((rec.wall_clock_ms - 100.0).abs() < 1e-9);
         assert!(rec.validate().is_ok());

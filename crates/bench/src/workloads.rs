@@ -67,22 +67,34 @@ impl WorkloadScale {
 }
 
 /// The common command line of every `exp_*` binary:
-/// `--scale <tiny|small|medium>` (default `small`) plus `--json <path>` to
-/// additionally write the run's [`crate::report::Report`]. Both flags accept
-/// the `--flag=value` form. Any other argument is rejected so typos cannot
-/// silently fall back to a minutes-long full-scale run.
+/// `--scale <tiny|small|medium>` (default `small`), `--json <path>` to
+/// additionally write the run's [`crate::report::Report`], and
+/// `--threads <n>` to pin the rayon pool size (for reproducible thread
+/// scaling measurements in E9/E12; default: machine parallelism). All flags
+/// accept the `--flag=value` form. Any other argument is rejected so typos
+/// cannot silently fall back to a minutes-long full-scale run.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct ExpArgs {
     /// The workload scale to run at.
     pub scale: WorkloadScale,
     /// Where to write the JSON report (`None` = tables only).
     pub json: Option<std::path::PathBuf>,
+    /// Thread-pool size override (`None` = machine parallelism).
+    pub threads: Option<usize>,
 }
 
 impl ExpArgs {
-    /// Parses `std::env::args`, exiting with status 2 on any unknown flag.
+    /// Parses `std::env::args`, exiting with status 2 on any unknown flag,
+    /// and installs the `--threads` override into the global rayon pool.
     pub fn parse() -> Self {
-        Self::parse_from(std::env::args().skip(1))
+        let parsed = Self::parse_from(std::env::args().skip(1));
+        if let Some(n) = parsed.threads {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build_global()
+                .expect("configure global thread pool");
+        }
+        parsed
     }
 
     fn parse_from(args: impl Iterator<Item = String>) -> Self {
@@ -96,6 +108,15 @@ impl ExpArgs {
                     "unknown --scale {value:?}; expected tiny|small|medium"
                 ))
             })
+        };
+        let parse_threads = |value: &str| {
+            let n: usize = value
+                .parse()
+                .unwrap_or_else(|_| bail(format!("--threads expects a count, got {value:?}")));
+            if n == 0 {
+                bail("--threads must be at least 1".into());
+            }
+            n
         };
         let mut parsed = ExpArgs::default();
         let mut args = args;
@@ -114,9 +135,17 @@ impl ExpArgs {
                 parsed.json = Some(value.into());
             } else if let Some(value) = arg.strip_prefix("--json=") {
                 parsed.json = Some(value.into());
+            } else if arg == "--threads" {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| bail("--threads requires a count".into()));
+                parsed.threads = Some(parse_threads(&value));
+            } else if let Some(value) = arg.strip_prefix("--threads=") {
+                parsed.threads = Some(parse_threads(value));
             } else {
                 bail(format!(
-                    "unrecognized argument {arg:?}; supported flags: --scale <tiny|small|medium>, --json <path>"
+                    "unrecognized argument {arg:?}; supported flags: \
+                     --scale <tiny|small|medium>, --json <path>, --threads <n>"
                 ));
             }
         }
@@ -292,28 +321,37 @@ mod tests {
     }
 
     #[test]
-    fn exp_args_parse_scale_and_json() {
+    fn exp_args_parse_scale_json_and_threads() {
         let s = |v: &[&str]| v.iter().map(|x| x.to_string()).collect::<Vec<_>>();
         assert_eq!(
             ExpArgs::parse_from(s(&[]).into_iter()),
             ExpArgs {
                 scale: WorkloadScale::Small,
-                json: None
+                json: None,
+                threads: None
             }
         );
         assert_eq!(
             ExpArgs::parse_from(s(&["--scale", "tiny", "--json", "out.json"]).into_iter()),
             ExpArgs {
                 scale: WorkloadScale::Tiny,
-                json: Some("out.json".into())
+                json: Some("out.json".into()),
+                threads: None
             }
         );
         assert_eq!(
-            ExpArgs::parse_from(s(&["--json=r.json", "--scale=medium"]).into_iter()),
+            ExpArgs::parse_from(
+                s(&["--json=r.json", "--scale=medium", "--threads", "4"]).into_iter()
+            ),
             ExpArgs {
                 scale: WorkloadScale::Medium,
-                json: Some("r.json".into())
+                json: Some("r.json".into()),
+                threads: Some(4)
             }
+        );
+        assert_eq!(
+            ExpArgs::parse_from(s(&["--threads=2"]).into_iter()).threads,
+            Some(2)
         );
     }
 

@@ -45,6 +45,7 @@ smoke_tests! {
     exp_scaling_runs_tiny => "exp_scaling",
     exp_robustness_runs_tiny => "exp_robustness",
     exp_ingest_runs_tiny => "exp_ingest",
+    exp_frontier_runs_tiny => "exp_frontier",
     exp_all_runs_tiny => "exp_all",
 }
 
@@ -98,6 +99,7 @@ smoke_json_tests! {
     exp_scaling_honors_json => "exp_scaling",
     exp_robustness_honors_json => "exp_robustness",
     exp_ingest_honors_json => "exp_ingest",
+    exp_frontier_honors_json => "exp_frontier",
     exp_all_honors_json => "exp_all",
 }
 
@@ -120,7 +122,7 @@ fn exp_all_aggregates_every_experiment() {
         .collect();
     ids.dedup();
     for expected in [
-        "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
+        "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12",
     ] {
         assert!(
             ids.contains(&expected),
@@ -147,6 +149,7 @@ fn json_reports_are_deterministic_in_counters() {
                     r.total_messages,
                     r.payload_bits,
                     r.max_message_bits,
+                    r.node_updates,
                 )
             })
             .collect::<Vec<_>>()

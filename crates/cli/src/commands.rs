@@ -199,6 +199,14 @@ fn coreness(parsed: &Parsed) -> Result<String, String> {
     if lambda < 0.0 || !lambda.is_finite() {
         return Err(format!("--lambda must be >= 0 (got {lambda})"));
     }
+    // ThresholdSet::power_grid requires lambda >= 1e-12 (the grid base must
+    // be representable above 1); turn smaller positive values into a clean
+    // CLI error instead of an assertion panic.
+    if lambda > 0.0 && lambda < 1e-12 {
+        return Err(format!(
+            "--lambda must be 0 (exact) or >= 1e-12 (got {lambda})"
+        ));
+    }
     let threshold_set = if lambda > 0.0 {
         ThresholdSet::power_grid(lambda)
     } else {
@@ -425,6 +433,10 @@ mod tests {
         }
         let err = dispatch(&parse(&["coreness", &path, "--lambda", "-1"])).unwrap_err();
         assert!(err.contains("lambda"), "{err}");
+        // Positive but below the power-grid representability floor: a clean
+        // error, not an assertion panic.
+        let err = dispatch(&parse(&["coreness", &path, "--lambda", "1e-13"])).unwrap_err();
+        assert!(err.contains(">= 1e-12"), "{err}");
     }
 
     fn sparse_fixture() -> String {

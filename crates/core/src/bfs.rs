@@ -11,7 +11,9 @@
 //! weak densest-subset guarantee go through.
 
 use dkc_distsim::message::MessageSize;
-use dkc_distsim::{ExecutionMode, Network, NodeContext, NodeProgram, Outgoing, RunMetrics};
+use dkc_distsim::{
+    Delivery, ExecutionMode, Network, NodeContext, NodeProgram, Outgoing, RunMetrics,
+};
 use dkc_graph::{NodeId, WeightedGraph};
 
 /// A leader key `(b_v, v)`, ordered by `b` descending with ties broken by the
@@ -117,7 +119,7 @@ impl NodeProgram for BfsNode {
         }
     }
 
-    fn receive(&mut self, ctx: &NodeContext<'_>, inbox: &[(NodeId, BfsMessage)]) -> bool {
+    fn receive(&mut self, ctx: &NodeContext<'_>, inbox: &[Delivery<BfsMessage>]) -> bool {
         let round = ctx.round();
         if round <= self.flood_rounds {
             // Adopt the best advertised leader if it beats the current one;
@@ -126,7 +128,7 @@ impl NodeProgram for BfsNode {
             // the inbox follows the neighbour-list order and we use strict
             // improvement.
             let mut best: Option<(NodeId, LeaderKey)> = None;
-            for &(sender, msg) in inbox {
+            for &Delivery { sender, msg, .. } in inbox {
                 if let BfsMessage::Leader(key) = msg {
                     match best {
                         None => best = Some((sender, key)),
@@ -145,7 +147,7 @@ impl NodeProgram for BfsNode {
             false
         } else if round == self.flood_rounds + 1 {
             // Collect child requests whose leader matches ours.
-            for &(sender, msg) in inbox {
+            for &Delivery { sender, msg, .. } in inbox {
                 if let BfsMessage::Request(key) = msg {
                     if key == self.leader {
                         self.children.push(sender);
@@ -159,7 +161,7 @@ impl NodeProgram for BfsNode {
             if let Parent::Node(p) = self.parent {
                 self.got_ack = inbox
                     .iter()
-                    .any(|&(sender, msg)| sender == p && msg == BfsMessage::Ack);
+                    .any(|d| d.sender == p && d.msg == BfsMessage::Ack);
                 if !self.got_ack {
                     self.parent = Parent::Orphan;
                 }
@@ -207,12 +209,17 @@ impl BfsForest {
 /// Runs Algorithm 4: `flood_rounds` rounds of leader flooding plus the two
 /// consolidation rounds, using the per-node values `b` (typically the output of
 /// the compact elimination procedure) as leader keys.
+///
+/// The round-phased protocol is not delta-driven (its behaviour depends on
+/// the round number, not only on received deltas); sparse execution modes
+/// degrade to their dense counterpart via [`ExecutionMode::dense`].
 pub fn run_bfs_construction(
     g: &WeightedGraph,
     b: &[f64],
     flood_rounds: usize,
     mode: ExecutionMode,
 ) -> BfsForest {
+    let mode = mode.dense();
     assert_eq!(b.len(), g.num_nodes());
     let mut net = Network::new(g, |ctx| {
         BfsNode::new(

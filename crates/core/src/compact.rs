@@ -1,4 +1,4 @@
-//! Algorithm 2: the compact elimination procedure.
+//! Algorithm 2: the compact elimination procedure over a flat state arena.
 //!
 //! Instead of running Algorithm 1 for every threshold in parallel, each node
 //! only remembers the largest threshold for which it still survives — its
@@ -7,95 +7,262 @@
 //! (Algorithm 3), optionally rounding down to the threshold set Λ, and (for
 //! Λ = ℝ) maintains the auxiliary in-neighbour set `N_v` used by the min-max
 //! orientation (Theorem I.2).
+//!
+//! ## Flat state arena
+//!
+//! Per-node state does **not** live in per-node heap allocations: the
+//! [`CompactArena`] packs everything into structure-of-arrays slabs indexed by
+//! the [`CsrGraph`] offsets — one contiguous `neighbor_values` slab for the
+//! whole graph, one slab each for the `Update` ordering, its inverse, the
+//! in-neighbour stamps and the scratch area, plus node-indexed slabs for the
+//! surviving numbers. Each [`CompactNode`] program handed to the executor is a
+//! set of disjoint `&mut` slices into those slabs (carved with
+//! `split_at_mut`), so the executor's parallel phases stream through
+//! contiguous memory instead of chasing per-node pointers.
+//!
+//! The receive path is **incremental**: deliveries carry the receiver-local
+//! arc position ([`dkc_distsim::Delivery::pos`]), so merging the inbox writes
+//! only the changed `neighbor_values` slots, and the `Update` re-sort bubbles
+//! exactly those entries ([`UpdateOrder::resort_decreased`]) instead of
+//! re-scanning the full adjacency list. Combined with the sparse frontier
+//! executor (`ExecutionMode::Sparse*` — the program is
+//! [`NodeProgram::DELTA_DRIVEN`]) the per-round cost becomes proportional to
+//! the active frontier; the dense modes remain available for A/B comparison
+//! and are result-identical.
 
 use crate::threshold::ThresholdSet;
-use crate::update::UpdateState;
+use crate::update::{suffix_scan, UpdateOrder};
 use dkc_distsim::message::QuantizedValue;
-use dkc_distsim::{ExecutionMode, Network, NodeContext, NodeProgram, Outgoing, RunMetrics};
-use dkc_graph::{NodeId, WeightedGraph};
+use dkc_distsim::{
+    Delivery, ExecutionMode, Network, NodeContext, NodeProgram, Outgoing, RunMetrics,
+};
+use dkc_graph::{CsrGraph, NodeId, WeightedGraph};
 
-/// Per-node program for the compact elimination procedure.
+/// Structure-of-arrays storage for every node's elimination state, indexed by
+/// the CSR arc offsets (arc slabs) and by node id (node slabs).
 #[derive(Clone, Debug)]
-pub struct CompactNode {
+pub struct CompactArena {
+    threshold_set: ThresholdSet,
+    /// Arc offsets (`offsets[v]..offsets[v+1]` is node v's slice).
+    offsets: Vec<usize>,
+    /// Arc slab: latest surviving number heard per neighbour (init +∞).
+    values: Vec<f64>,
+    /// Arc slab: the `Update` ordering (sorted adjacency positions).
+    order: Vec<u32>,
+    /// Arc slab: inverse of `order`.
+    inv: Vec<u32>,
+    /// Arc slab: round at which the position was last included in `N_v`;
+    /// a position belongs to `N_v` iff its stamp equals the node's
+    /// `last_update_round` (0/0 initially ⇒ all neighbours, matching the
+    /// paper's initial state).
+    in_stamp: Vec<u32>,
+    /// Arc slab: scratch for the changed-position list of one update.
+    scratch: Vec<u32>,
+    /// Node slab: current surviving numbers (init +∞).
+    b: Vec<f64>,
+    /// Node slab: round of the last executed update (0 = never).
+    last_update_round: Vec<u32>,
+    /// Node slab: bits charged per transmitted surviving number.
+    message_bits: Vec<u32>,
+}
+
+impl CompactArena {
+    /// Builds the initial arena for `graph` under threshold set Λ.
+    pub fn new(graph: &CsrGraph, threshold_set: ThresholdSet) -> Self {
+        let n = graph.num_nodes();
+        let arcs = graph.num_arcs();
+        let offsets: Vec<usize> = (0..n)
+            .map(|v| graph.arc_offset(NodeId::new(v)))
+            .chain(std::iter::once(arcs))
+            .collect();
+        let mut order = vec![0u32; arcs];
+        let mut inv = vec![0u32; arcs];
+        for v in 0..n {
+            let (lo, hi) = (offsets[v], offsets[v + 1]);
+            UpdateOrder {
+                order: &mut order[lo..hi],
+                inv: &mut inv[lo..hi],
+            }
+            .init_by_id(graph.neighbors(NodeId::new(v)));
+        }
+        CompactArena {
+            threshold_set,
+            values: vec![f64::INFINITY; arcs],
+            order,
+            inv,
+            in_stamp: vec![0; arcs],
+            scratch: vec![0; arcs],
+            b: vec![f64::INFINITY; n],
+            last_update_round: vec![0; n],
+            message_bits: (0..n)
+                .map(|v| threshold_set.message_bits(graph.degree(NodeId::new(v)).max(1.0)) as u32)
+                .collect(),
+            offsets,
+        }
+    }
+
+    /// Number of nodes the arena was built for.
+    pub fn num_nodes(&self) -> usize {
+        self.b.len()
+    }
+
+    /// Carves the arena into one [`CompactNode`] program per node — disjoint
+    /// mutable slices of the slabs, suitable for [`Network::from_parts`]. The
+    /// arena is mutably borrowed for as long as the programs live; drop them
+    /// (e.g. via [`Network::into_parts`]) before reading results.
+    pub fn programs(&mut self) -> Vec<CompactNode<'_>> {
+        let n = self.b.len();
+        let mut out = Vec::with_capacity(n);
+        let mut values = self.values.as_mut_slice();
+        let mut order = self.order.as_mut_slice();
+        let mut inv = self.inv.as_mut_slice();
+        let mut in_stamp = self.in_stamp.as_mut_slice();
+        let mut scratch = self.scratch.as_mut_slice();
+        let mut b = self.b.iter_mut();
+        let mut last = self.last_update_round.iter_mut();
+        for v in 0..n {
+            let deg = self.offsets[v + 1] - self.offsets[v];
+            let (values_v, values_rest) = values.split_at_mut(deg);
+            let (order_v, order_rest) = order.split_at_mut(deg);
+            let (inv_v, inv_rest) = inv.split_at_mut(deg);
+            let (in_stamp_v, in_stamp_rest) = in_stamp.split_at_mut(deg);
+            let (scratch_v, scratch_rest) = scratch.split_at_mut(deg);
+            values = values_rest;
+            order = order_rest;
+            inv = inv_rest;
+            in_stamp = in_stamp_rest;
+            scratch = scratch_rest;
+            out.push(CompactNode {
+                b: b.next().expect("node slab length"),
+                last_update_round: last.next().expect("node slab length"),
+                values: values_v,
+                order: order_v,
+                inv: inv_v,
+                in_stamp: in_stamp_v,
+                scratch: scratch_v,
+                threshold_set: self.threshold_set,
+                message_bits: self.message_bits[v],
+            });
+        }
+        out
+    }
+
+    /// The surviving numbers `b_v` (by node index).
+    pub fn surviving(&self) -> &[f64] {
+        &self.b
+    }
+
+    /// Materializes the auxiliary in-neighbour sets `N_v` from the stamp slab.
+    pub fn in_neighbors(&self, graph: &CsrGraph) -> Vec<Vec<NodeId>> {
+        (0..self.b.len())
+            .map(|v| {
+                let lo = self.offsets[v];
+                let last = self.last_update_round[v];
+                graph
+                    .neighbors(NodeId::new(v))
+                    .iter()
+                    .enumerate()
+                    .filter(|&(pos, _)| self.in_stamp[lo + pos] == last)
+                    .map(|(_, &u)| u)
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Per-node program for the compact elimination procedure: disjoint slices of
+/// a [`CompactArena`]. Delta-driven — valid under the sparse frontier
+/// execution modes.
+#[derive(Debug)]
+pub struct CompactNode<'a> {
     /// Current surviving number (starts at +∞, as in Algorithm 2).
-    b: f64,
+    b: &'a mut f64,
+    /// Round of the last executed update (0 = never); doubles as the valid
+    /// stamp value for `in_stamp`.
+    last_update_round: &'a mut u32,
     /// Latest surviving numbers heard from each neighbour (by adjacency
     /// position), initialized to +∞.
-    neighbor_values: Vec<f64>,
-    /// Persistent `Update` state (history-encoding neighbour order).
-    update: UpdateState,
-    /// Current auxiliary in-neighbour flags `N_v` (by adjacency position).
-    in_neighbors: Vec<bool>,
+    values: &'a mut [f64],
+    /// Persistent `Update` ordering (history-encoding neighbour order).
+    order: &'a mut [u32],
+    /// Inverse of `order`.
+    inv: &'a mut [u32],
+    /// `N_v` membership stamps (by adjacency position).
+    in_stamp: &'a mut [u32],
+    /// Scratch for the changed-position list.
+    scratch: &'a mut [u32],
     /// The threshold set Λ.
     threshold_set: ThresholdSet,
     /// Bits charged per transmitted surviving number (fixed per node; see
     /// [`ThresholdSet::message_bits`]).
-    message_bits: usize,
+    message_bits: u32,
 }
 
-impl CompactNode {
-    /// Builds the initial state for a node with the given local view.
-    pub fn new(ctx: &NodeContext<'_>, threshold_set: ThresholdSet) -> Self {
-        let neighbor_ids = ctx.neighbors();
-        CompactNode {
-            b: f64::INFINITY,
-            neighbor_values: vec![f64::INFINITY; neighbor_ids.len()],
-            update: UpdateState::new(neighbor_ids),
-            in_neighbors: vec![true; neighbor_ids.len()],
-            threshold_set,
-            message_bits: threshold_set.message_bits(ctx.degree().max(1.0)),
-        }
-    }
-
+impl CompactNode<'_> {
     /// The node's current surviving number.
     pub fn surviving_number(&self) -> f64 {
-        self.b
-    }
-
-    /// The auxiliary in-neighbour flags (by adjacency position).
-    pub fn in_neighbor_flags(&self) -> &[bool] {
-        &self.in_neighbors
+        *self.b
     }
 }
 
-impl NodeProgram for CompactNode {
+impl NodeProgram for CompactNode<'_> {
     type Message = QuantizedValue;
+
+    /// The broadcast is a pure function of `b`, the merge is an idempotent
+    /// per-position cache write, and an empty inbox after the first step is a
+    /// no-op — the contract the sparse frontier executor needs.
+    const DELTA_DRIVEN: bool = true;
 
     fn broadcast(&mut self, _ctx: &NodeContext<'_>) -> Outgoing<QuantizedValue> {
         Outgoing::Broadcast(QuantizedValue {
-            value: self.b,
-            bits: self.message_bits,
+            value: *self.b,
+            bits: self.message_bits as usize,
         })
     }
 
-    fn receive(&mut self, ctx: &NodeContext<'_>, inbox: &[(NodeId, QuantizedValue)]) -> bool {
-        // Merge the received numbers into the per-neighbour cache. Every
-        // neighbour broadcasts every round, so the inbox is aligned with the
-        // neighbour list; the merge also tolerates missing entries.
-        let neighbors = ctx.neighbors();
-        let mut inbox_iter = inbox.iter().peekable();
-        for (idx, &u) in neighbors.iter().enumerate() {
-            if let Some(&&(sender, msg)) = inbox_iter.peek() {
-                if sender == u {
-                    self.neighbor_values[idx] = msg.value;
-                    inbox_iter.next();
-                }
+    fn receive(&mut self, ctx: &NodeContext<'_>, inbox: &[Delivery<QuantizedValue>]) -> bool {
+        // Merge the received numbers into the per-neighbour value slab,
+        // collecting the positions that actually decreased. Surviving numbers
+        // are monotone non-increasing, so an already-known (or stale) value
+        // never exceeds the cache.
+        let mut changed_count = 0usize;
+        for d in inbox {
+            let pos = d.pos as usize;
+            let v = d.msg.value;
+            if v < self.values[pos] {
+                self.values[pos] = v;
+                self.scratch[changed_count] = d.pos;
+                changed_count += 1;
             }
         }
-        let result = self.update.update(
-            &self.neighbor_values,
+        if changed_count == 0 && *self.last_update_round != 0 {
+            // Nothing new: `Update` would recompute the identical state.
+            return false;
+        }
+        UpdateOrder {
+            order: &mut *self.order,
+            inv: &mut *self.inv,
+        }
+        .resort_decreased(&*self.values, &mut self.scratch[..changed_count]);
+        let (raw, include_from) = suffix_scan(
+            &*self.order,
+            &*self.values,
             ctx.neighbor_weights(),
             ctx.self_loop(),
         );
-        let rounded = self.threshold_set.round_down(result.b);
+        let rounded = self.threshold_set.round_down(raw);
         debug_assert!(
-            rounded <= self.b + 1e-9,
+            rounded <= *self.b + 1e-9,
             "surviving number increased: {} -> {rounded}",
             self.b
         );
-        let changed = (rounded - self.b).abs() > 1e-12 || self.b.is_infinite();
-        self.b = rounded;
-        self.in_neighbors = result.in_neighbors;
+        let round = ctx.round() as u32;
+        for &pos in &self.order[include_from..] {
+            self.in_stamp[pos as usize] = round;
+        }
+        *self.last_update_round = round;
+        let changed = (rounded - *self.b).abs() > 1e-12 || self.b.is_infinite();
+        *self.b = rounded;
         changed
     }
 }
@@ -140,7 +307,9 @@ pub fn run_compact_elimination(
 /// (higher) level, so the computed surviving numbers can only be **larger**
 /// than in a fault-free run — the output therefore remains a valid upper bound
 /// on the coreness (Lemma III.2 is unaffected) and only the convergence slows
-/// down gracefully. The robustness experiment E10 quantifies this.
+/// down gracefully. The robustness experiment E10 quantifies this. (Under the
+/// sparse modes, a sender with dropped copies stays in the frontier and
+/// re-sends, so sparse and dense runs remain result-identical even with loss.)
 pub fn run_compact_elimination_with_loss(
     g: &WeightedGraph,
     rounds: usize,
@@ -148,30 +317,17 @@ pub fn run_compact_elimination_with_loss(
     mode: ExecutionMode,
     loss: Option<dkc_distsim::LossModel>,
 ) -> CompactOutcome {
-    let mut net = Network::new(g, |ctx| CompactNode::new(ctx, threshold_set)).with_mode(mode);
+    let csr = CsrGraph::from_graph(g);
+    let mut arena = CompactArena::new(&csr, threshold_set);
+    let mut net = Network::from_parts(csr.clone(), arena.programs()).with_mode(mode);
     if let Some(model) = loss {
         net = net.with_message_loss(model);
     }
     net.run(rounds);
-    let graph = net.graph().clone();
-    let (programs, metrics) = net.into_parts();
-    let surviving: Vec<f64> = programs.iter().map(|p| p.b).collect();
-    let in_neighbors: Vec<Vec<NodeId>> = programs
-        .iter()
-        .enumerate()
-        .map(|(v, p)| {
-            let nbrs = graph.neighbors(NodeId::new(v));
-            p.in_neighbors
-                .iter()
-                .enumerate()
-                .filter(|&(_, &flag)| flag)
-                .map(|(pos, _)| nbrs[pos])
-                .collect()
-        })
-        .collect();
+    let (_programs, metrics) = net.into_parts();
     CompactOutcome {
-        surviving,
-        in_neighbors,
+        surviving: arena.surviving().to_vec(),
+        in_neighbors: arena.in_neighbors(&csr),
         rounds,
         metrics,
     }
@@ -215,13 +371,44 @@ mod tests {
     }
 
     #[test]
-    fn parallel_matches_sequential() {
+    fn all_execution_modes_match() {
         let mut rng = StdRng::seed_from_u64(22);
         let g = barabasi_albert(120, 3, &mut rng);
         let seq = run_compact_elimination(&g, 5, ThresholdSet::Reals, ExecutionMode::Sequential);
-        let par = run_compact_elimination(&g, 5, ThresholdSet::Reals, ExecutionMode::Parallel);
-        assert_eq!(seq.surviving, par.surviving);
-        assert_eq!(seq.in_neighbors, par.in_neighbors);
+        for mode in [
+            ExecutionMode::Parallel,
+            ExecutionMode::SparseSequential,
+            ExecutionMode::SparseParallel,
+        ] {
+            let other = run_compact_elimination(&g, 5, ThresholdSet::Reals, mode);
+            assert_eq!(seq.surviving, other.surviving, "{mode:?}");
+            assert_eq!(seq.in_neighbors, other.in_neighbors, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn sparse_execution_prunes_node_updates() {
+        // A path has a long convergence tail with a narrow frontier.
+        let g = path_graph(120);
+        let rounds = 120;
+        let dense =
+            run_compact_elimination(&g, rounds, ThresholdSet::Reals, ExecutionMode::Sequential);
+        let sparse = run_compact_elimination(
+            &g,
+            rounds,
+            ThresholdSet::Reals,
+            ExecutionMode::SparseSequential,
+        );
+        assert_eq!(dense.surviving, sparse.surviving);
+        assert_eq!(dense.in_neighbors, sparse.in_neighbors);
+        let d = dense.metrics.total_node_updates();
+        let s = sparse.metrics.total_node_updates();
+        assert_eq!(d, 120 * rounds, "dense runs every node every round");
+        assert!(
+            s * 4 < d,
+            "sparse should cut node updates by >4x on the long tail ({s} vs {d})"
+        );
+        assert!(sparse.metrics.total_messages() < dense.metrics.total_messages());
     }
 
     /// Theorem III.5: r(v) <= c(v) <= β^T(v) <= γ·r(v) <= γ·c(v) with
@@ -265,13 +452,15 @@ mod tests {
             } else {
                 with_random_integer_weights(&base, 10, &mut rng)
             };
+            // Exercise the sparse executor on half the trials: the covering
+            // invariant must survive frontier-driven (partial) updates too.
+            let mode = if trial < 2 {
+                ExecutionMode::Sequential
+            } else {
+                ExecutionMode::SparseSequential
+            };
             for rounds in [1usize, 3, 6] {
-                let outcome = run_compact_elimination(
-                    &g,
-                    rounds,
-                    ThresholdSet::Reals,
-                    ExecutionMode::Sequential,
-                );
+                let outcome = run_compact_elimination(&g, rounds, ThresholdSet::Reals, mode);
                 for (u, v, _) in g.edges() {
                     if u == v {
                         continue;
@@ -373,10 +562,11 @@ mod tests {
     #[test]
     fn empty_graph_and_isolated_nodes() {
         let g = WeightedGraph::new(3);
-        let outcome =
-            run_compact_elimination(&g, 2, ThresholdSet::Reals, ExecutionMode::Sequential);
-        assert_eq!(outcome.surviving, vec![0.0; 3]);
-        assert!(outcome.in_neighbors.iter().all(Vec::is_empty));
+        for mode in [ExecutionMode::Sequential, ExecutionMode::SparseSequential] {
+            let outcome = run_compact_elimination(&g, 2, ThresholdSet::Reals, mode);
+            assert_eq!(outcome.surviving, vec![0.0; 3], "{mode:?}");
+            assert!(outcome.in_neighbors.iter().all(Vec::is_empty));
+        }
     }
 
     #[test]
@@ -418,15 +608,22 @@ mod tests {
                     clean.surviving[v]
                 );
             }
-            // Parallel and sequential agree even under loss (deterministic drops).
-            let lossy_par = run_compact_elimination_with_loss(
-                &g,
-                rounds,
-                ThresholdSet::Reals,
+            // Every execution mode agrees even under loss (deterministic
+            // drops; sparse senders re-send after dropped copies).
+            for mode in [
                 ExecutionMode::Parallel,
-                Some(LossModel::new(p, 99)),
-            );
-            assert_eq!(lossy.surviving, lossy_par.surviving);
+                ExecutionMode::SparseSequential,
+                ExecutionMode::SparseParallel,
+            ] {
+                let other = run_compact_elimination_with_loss(
+                    &g,
+                    rounds,
+                    ThresholdSet::Reals,
+                    mode,
+                    Some(LossModel::new(p, 99)),
+                );
+                assert_eq!(lossy.surviving, other.surviving, "p={p}, {mode:?}");
+            }
         }
     }
 
@@ -439,5 +636,6 @@ mod tests {
         assert_eq!(outcome.rounds, 4);
         // Every node broadcasts a number to 4 neighbours in every round.
         assert_eq!(outcome.metrics.rounds()[0].messages, 20);
+        assert_eq!(outcome.metrics.rounds()[0].node_updates, 5);
     }
 }

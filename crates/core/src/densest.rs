@@ -19,7 +19,9 @@ use crate::compact::run_compact_elimination;
 use crate::threshold::ThresholdSet;
 use crate::tree_elim::{run_tree_elimination, TreeElimOutcome};
 use dkc_distsim::message::MessageSize;
-use dkc_distsim::{ExecutionMode, Network, NodeContext, NodeProgram, Outgoing, RunMetrics};
+use dkc_distsim::{
+    Delivery, ExecutionMode, Network, NodeContext, NodeProgram, Outgoing, RunMetrics,
+};
 use dkc_graph::{NodeId, WeightedGraph};
 
 /// Messages of the aggregation phase.
@@ -132,13 +134,13 @@ impl NodeProgram for AggregationNode {
         Outgoing::Silent
     }
 
-    fn receive(&mut self, ctx: &NodeContext<'_>, inbox: &[(NodeId, AggMessage)]) -> bool {
+    fn receive(&mut self, ctx: &NodeContext<'_>, inbox: &[Delivery<AggMessage>]) -> bool {
         if self.parent.is_none() {
             return false;
         }
         let v = ctx.node();
         let mut changed = false;
-        for (sender, msg) in inbox {
+        for Delivery { sender, msg, .. } in inbox {
             match msg {
                 AggMessage::Up(num, deg) => {
                     // Only accept reports from our own children.
@@ -213,12 +215,17 @@ pub struct AggregationOutcome {
 }
 
 /// Runs Algorithm 6 over the forest produced by Algorithms 4–5.
+///
+/// The convergecast schedule lives in broadcast-phase side effects, so the
+/// program is not delta-driven; sparse execution modes degrade to their
+/// dense counterpart via [`ExecutionMode::dense`].
 pub fn run_aggregation(
     g: &WeightedGraph,
     forest: &BfsForest,
     elim: &TreeElimOutcome,
     mode: ExecutionMode,
 ) -> AggregationOutcome {
+    let mode = mode.dense();
     let rounds_budget = 2 * elim.rounds + forest.rounds + 4;
     let mut net = Network::new(g, |ctx| {
         let v = ctx.node();
@@ -355,6 +362,25 @@ mod tests {
                 exact / (2.0 * (1.0 + epsilon))
             );
             assert!(result.best_density <= exact + 1e-9);
+        }
+    }
+
+    /// The four-phase pipeline mixes a delta-driven phase (compact) with
+    /// round-phased ones (BFS, tree elimination, aggregation); requesting a
+    /// sparse mode must run end to end (non-delta phases degrade to dense)
+    /// and produce identical results — not panic mid-pipeline.
+    #[test]
+    fn sparse_modes_run_the_full_pipeline() {
+        let mut rng = StdRng::seed_from_u64(63);
+        let g = erdos_renyi(60, 0.1, &mut rng);
+        let dense = weak_densest_subsets(&g, 0.5, ExecutionMode::Sequential);
+        for mode in [
+            ExecutionMode::SparseSequential,
+            ExecutionMode::SparseParallel,
+        ] {
+            let sparse = weak_densest_subsets(&g, 0.5, mode);
+            assert_eq!(dense.membership, sparse.membership, "{mode:?}");
+            assert_eq!(dense.best_density, sparse.best_density, "{mode:?}");
         }
     }
 

@@ -13,8 +13,8 @@ use crate::bfs::BfsForest;
 use crate::densest::AggregationOutcome;
 use crate::tree_elim::TreeElimOutcome;
 use dkc_distsim::message::MessageSize;
-use dkc_distsim::{ExecutionMode, Network, NodeContext, NodeProgram, Outgoing};
-use dkc_graph::{NodeId, WeightedGraph};
+use dkc_distsim::{Delivery, ExecutionMode, Network, NodeContext, NodeProgram, Outgoing};
+use dkc_graph::{CsrGraph, NodeId, WeightedGraph};
 
 /// Messages of the pipelined aggregation.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -34,16 +34,83 @@ impl MessageSize for PipelinedMessage {
     }
 }
 
-/// Per-node program for the pipelined aggregation.
+/// Flat backing store for the pipelined aggregation: the four per-node,
+/// `T`-indexed arrays live in contiguous node-major slabs (one `n × T` slab
+/// each) instead of four heap `Vec`s per node; the per-node programs borrow
+/// disjoint `T`-length windows.
 #[derive(Clone, Debug)]
-struct PipelinedNode {
-    parent: Option<NodeId>,
-    children: Vec<NodeId>,
+struct PipelinedArena {
+    t_len: usize,
     own_num: Vec<bool>,
     agg_num: Vec<u32>,
     agg_deg: Vec<f64>,
     /// How many children have reported each entry index.
-    received: Vec<usize>,
+    received: Vec<u32>,
+}
+
+impl PipelinedArena {
+    fn new(n: usize, t_len: usize, elim: &TreeElimOutcome) -> Self {
+        let mut own_num = Vec::with_capacity(n * t_len);
+        let mut agg_num = Vec::with_capacity(n * t_len);
+        let mut agg_deg = Vec::with_capacity(n * t_len);
+        for v in 0..n {
+            own_num.extend_from_slice(&elim.num[v]);
+            agg_num.extend(elim.num[v].iter().map(|&b| u32::from(b)));
+            agg_deg.extend_from_slice(&elim.deg[v]);
+        }
+        PipelinedArena {
+            t_len,
+            own_num,
+            agg_num,
+            agg_deg,
+            received: vec![0; n * t_len],
+        }
+    }
+
+    fn programs<'a>(&'a mut self, forest: &BfsForest) -> Vec<PipelinedNode<'a>> {
+        let n = forest.parent.len();
+        let mut out = Vec::with_capacity(n);
+        let mut own_num = self.own_num.as_slice();
+        let mut agg_num = self.agg_num.as_mut_slice();
+        let mut agg_deg = self.agg_deg.as_mut_slice();
+        let mut received = self.received.as_mut_slice();
+        for v in 0..n {
+            let (own_num_v, own_rest) = own_num.split_at(self.t_len);
+            let (agg_num_v, num_rest) = agg_num.split_at_mut(self.t_len);
+            let (agg_deg_v, deg_rest) = agg_deg.split_at_mut(self.t_len);
+            let (received_v, recv_rest) = received.split_at_mut(self.t_len);
+            own_num = own_rest;
+            agg_num = num_rest;
+            agg_deg = deg_rest;
+            received = recv_rest;
+            out.push(PipelinedNode {
+                parent: forest.parent[v],
+                children: forest.children[v].clone(),
+                own_num: own_num_v,
+                agg_num: agg_num_v,
+                agg_deg: agg_deg_v,
+                received: received_v,
+                next_to_send: 0,
+                decision: None,
+                sent_down: false,
+                selected: false,
+            });
+        }
+        out
+    }
+}
+
+/// Per-node program for the pipelined aggregation (borrowing windows of a
+/// [`PipelinedArena`]).
+#[derive(Debug)]
+struct PipelinedNode<'a> {
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    own_num: &'a [bool],
+    agg_num: &'a mut [u32],
+    agg_deg: &'a mut [f64],
+    /// How many children have reported each entry index.
+    received: &'a mut [u32],
     /// Next entry index to forward to the parent (non-roots only).
     next_to_send: usize,
     decision: Option<(u32, f64)>,
@@ -51,13 +118,13 @@ struct PipelinedNode {
     selected: bool,
 }
 
-impl PipelinedNode {
+impl PipelinedNode<'_> {
     fn is_root(&self, v: NodeId) -> bool {
         self.parent == Some(v)
     }
 
     fn entry_complete(&self, t: usize) -> bool {
-        self.received[t] == self.children.len()
+        self.received[t] as usize == self.children.len()
     }
 
     fn rounds(&self) -> usize {
@@ -82,7 +149,7 @@ impl PipelinedNode {
     }
 }
 
-impl NodeProgram for PipelinedNode {
+impl NodeProgram for PipelinedNode<'_> {
     type Message = PipelinedMessage;
 
     fn broadcast(&mut self, ctx: &NodeContext<'_>) -> Outgoing<PipelinedMessage> {
@@ -127,13 +194,13 @@ impl NodeProgram for PipelinedNode {
         Outgoing::Silent
     }
 
-    fn receive(&mut self, ctx: &NodeContext<'_>, inbox: &[(NodeId, PipelinedMessage)]) -> bool {
+    fn receive(&mut self, ctx: &NodeContext<'_>, inbox: &[Delivery<PipelinedMessage>]) -> bool {
         if self.parent.is_none() {
             return false;
         }
         let v = ctx.node();
         let mut changed = false;
-        for &(sender, msg) in inbox {
+        for &Delivery { sender, msg, .. } in inbox {
             match msg {
                 PipelinedMessage::UpEntry(t, num, deg) => {
                     let t = t as usize;
@@ -160,31 +227,22 @@ impl NodeProgram for PipelinedNode {
 /// Runs the pipelined aggregation (one array entry per message). Produces the
 /// same decisions and membership as [`crate::densest::run_aggregation`], with
 /// `O(log n)`-bit messages and up to `T` extra rounds.
+///
+/// The convergecast schedule is driven by side effects in the broadcast phase
+/// (a node advances `next_to_send` as it forwards), so the program is *not*
+/// delta-driven; sparse execution modes degrade to their dense counterpart
+/// via [`ExecutionMode::dense`].
 pub fn run_pipelined_aggregation(
     g: &WeightedGraph,
     forest: &BfsForest,
     elim: &TreeElimOutcome,
     mode: ExecutionMode,
 ) -> AggregationOutcome {
+    let mode = mode.dense();
     let rounds_budget = 3 * elim.rounds + forest.rounds + 6;
-    let t_len = elim.rounds;
-    let mut net = Network::new(g, |ctx| {
-        let v = ctx.node();
-        let own_num = elim.num[v.index()].clone();
-        PipelinedNode {
-            parent: forest.parent[v.index()],
-            children: forest.children[v.index()].clone(),
-            agg_num: own_num.iter().map(|&b| u32::from(b)).collect(),
-            agg_deg: elim.deg[v.index()].clone(),
-            own_num,
-            received: vec![0; t_len],
-            next_to_send: 0,
-            decision: None,
-            sent_down: false,
-            selected: false,
-        }
-    })
-    .with_mode(mode);
+    let mut arena = PipelinedArena::new(g.num_nodes(), elim.rounds, elim);
+    let mut net =
+        Network::from_parts(CsrGraph::from_graph(g), arena.programs(forest)).with_mode(mode);
     let rounds = net.run_until_quiescent(rounds_budget);
     let (programs, metrics) = net.into_parts();
     let selected = programs.iter().map(|p| p.selected).collect();

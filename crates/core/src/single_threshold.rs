@@ -1,73 +1,171 @@
 //! Algorithm 1: the elimination procedure for a single threshold `b`.
 //!
-//! Each node keeps a state `σ_v ∈ {0, 1}`; in every round the surviving nodes
-//! announce themselves, and a node whose weighted degree towards surviving
-//! neighbours drops below `b` is removed at the end of the round. After `n`
-//! rounds all surviving nodes have coreness at least `b`; the paper's insight
-//! is that `O(log n)` rounds already give constant-factor information.
+//! Each node keeps a state `σ_v ∈ {0, 1}`; in every round a node whose
+//! weighted degree towards surviving neighbours drops below `b` is removed at
+//! the end of the round. After `n` rounds all surviving nodes have coreness at
+//! least `b`; the paper's insight is that `O(log n)` rounds already give
+//! constant-factor information.
+//!
+//! ## Delta encoding
+//!
+//! The textbook formulation has every surviving node re-announce itself each
+//! round, making every round cost Θ(m) messages. This implementation
+//! **delta-encodes** the protocol: aliveness is the initial assumption, each
+//! node caches its neighbours' alive flags (in one arc-indexed arena slab)
+//! together with its alive-degree, and only **deaths** are announced — once,
+//! the round after they happen, after which the dead node halts. In
+//! fault-free runs the survivor sets per round are identical to the textbook
+//! protocol (a death is observed by the neighbours exactly one round after it
+//! happens in both encodings, modulo floating-point summation-order effects
+//! on non-integer weights: the alive-degree is maintained by incremental
+//! decrement rather than re-summation, so a threshold sitting within one ulp
+//! of a degree may resolve differently), messages drop from Θ(m·rounds) to
+//! at most one announcement per edge endpoint, and the program becomes
+//! delta-driven — eligible for the sparse frontier executor, under which a
+//! round without deaths costs O(1).
+//!
+//! **Under message loss** announcements are at-most-once: a dropped death is
+//! never retransmitted (the textbook encoding would implicitly repeat it by
+//! staying silent every round), so neighbours that missed it keep the dead
+//! node in their cached degree and the computed survivor set degrades to a
+//! **superset** of the fault-free one — the same graceful upper-bound
+//! semantics as the compact elimination under loss. Dense and sparse
+//! executors still agree exactly (both skip the halted announcer), pinned by
+//! `modes_agree_under_loss`.
 
-use dkc_distsim::{ExecutionMode, Network, NodeContext, NodeProgram, Outgoing, RunMetrics};
-use dkc_graph::{NodeId, WeightedGraph};
+use dkc_distsim::{
+    Delivery, ExecutionMode, Network, NodeContext, NodeProgram, Outgoing, RunMetrics,
+};
+use dkc_graph::{CsrGraph, NodeId, WeightedGraph};
 
-/// Per-node program for Algorithm 1.
+/// Structure-of-arrays state for every node of the single-threshold
+/// elimination, indexed by the CSR offsets.
 #[derive(Clone, Debug)]
-pub struct SingleThresholdNode {
-    threshold: f64,
-    alive: bool,
+pub struct SingleThresholdArena {
+    offsets: Vec<usize>,
+    /// Arc slab: cached alive flag per neighbour (init true).
+    nbr_alive: Vec<bool>,
+    /// Node slab: alive flags.
+    alive: Vec<bool>,
+    /// Node slab: weighted degree towards alive neighbours (+ self-loop).
+    degree: Vec<f64>,
+    /// Node slab: whether the node's death has been announced.
+    announced: Vec<bool>,
 }
 
-impl SingleThresholdNode {
-    /// Creates a node with the given global threshold.
-    pub fn new(threshold: f64) -> Self {
-        SingleThresholdNode {
-            threshold,
-            alive: true,
+impl SingleThresholdArena {
+    /// Builds the initial arena: everyone alive, degrees at full weight.
+    pub fn new(graph: &CsrGraph) -> Self {
+        let n = graph.num_nodes();
+        let offsets: Vec<usize> = (0..n)
+            .map(|v| graph.arc_offset(NodeId::new(v)))
+            .chain(std::iter::once(graph.num_arcs()))
+            .collect();
+        SingleThresholdArena {
+            offsets,
+            nbr_alive: vec![true; graph.num_arcs()],
+            alive: vec![true; n],
+            degree: (0..n).map(|v| graph.degree(NodeId::new(v))).collect(),
+            announced: vec![false; n],
         }
     }
 
-    /// Whether the node is still surviving.
-    pub fn is_alive(&self) -> bool {
-        self.alive
+    /// Carves the arena into per-node programs (disjoint slab slices).
+    pub fn programs(&mut self, threshold: f64) -> Vec<SingleThresholdNode<'_>> {
+        let n = self.alive.len();
+        let mut out = Vec::with_capacity(n);
+        let mut nbr_alive = self.nbr_alive.as_mut_slice();
+        let mut alive = self.alive.iter_mut();
+        let mut degree = self.degree.iter_mut();
+        let mut announced = self.announced.iter_mut();
+        for v in 0..n {
+            let deg = self.offsets[v + 1] - self.offsets[v];
+            let (nbr_alive_v, rest) = nbr_alive.split_at_mut(deg);
+            nbr_alive = rest;
+            out.push(SingleThresholdNode {
+                threshold,
+                alive: alive.next().expect("node slab length"),
+                degree: degree.next().expect("node slab length"),
+                announced: announced.next().expect("node slab length"),
+                nbr_alive: nbr_alive_v,
+            });
+        }
+        out
+    }
+
+    /// The final survivor flags.
+    pub fn survivors(&self) -> &[bool] {
+        &self.alive
     }
 }
 
-impl NodeProgram for SingleThresholdNode {
-    /// "I am still present" — no payload needed beyond the sender id.
+/// Per-node program for Algorithm 1 (delta-encoded; see the module docs).
+#[derive(Debug)]
+pub struct SingleThresholdNode<'a> {
+    threshold: f64,
+    alive: &'a mut bool,
+    degree: &'a mut f64,
+    announced: &'a mut bool,
+    nbr_alive: &'a mut [bool],
+}
+
+impl SingleThresholdNode<'_> {
+    /// Whether the node is still surviving.
+    pub fn is_alive(&self) -> bool {
+        *self.alive
+    }
+}
+
+impl NodeProgram for SingleThresholdNode<'_> {
+    /// "I just died" — no payload needed beyond the sender id.
     type Message = ();
 
+    /// Deaths are announced exactly once, the cached alive-degree makes the
+    /// receive step an idempotent decrement merge, and an empty inbox after
+    /// the first step changes nothing.
+    const DELTA_DRIVEN: bool = true;
+
     fn broadcast(&mut self, _ctx: &NodeContext<'_>) -> Outgoing<()> {
-        if self.alive {
+        // The `announced` latch is the one deviation from a strictly pure
+        // broadcast: it makes the node halt after its single announcement.
+        // This cannot desynchronize the executors — the only round in which
+        // broadcast would be skipped or repeated for this node is after the
+        // latch flips, and then `halted()` silences it identically under
+        // both dense execution and the sparse re-send path.
+        if !*self.alive && !*self.announced {
+            *self.announced = true;
             Outgoing::Broadcast(())
         } else {
             Outgoing::Silent
         }
     }
 
-    fn receive(&mut self, ctx: &NodeContext<'_>, inbox: &[(NodeId, ())]) -> bool {
-        if !self.alive {
+    fn receive(&mut self, ctx: &NodeContext<'_>, inbox: &[Delivery<()>]) -> bool {
+        if !*self.alive {
             return false;
         }
-        // Weighted degree towards neighbours that announced themselves this
-        // round. The inbox is ordered by the neighbour list, so a linear merge
-        // recovers the edge weights.
-        let neighbors = ctx.neighbors();
+        // Fold the death announcements into the cached alive-degree: one
+        // O(1) decrement per delivery, no adjacency rescan.
         let weights = ctx.neighbor_weights();
-        let mut degree = ctx.self_loop();
-        let mut inbox_iter = inbox.iter().peekable();
-        for (idx, &u) in neighbors.iter().enumerate() {
-            if let Some(&&(sender, ())) = inbox_iter.peek() {
-                if sender == u {
-                    degree += weights[idx];
-                    inbox_iter.next();
-                }
+        for d in inbox {
+            let pos = d.pos as usize;
+            if self.nbr_alive[pos] {
+                self.nbr_alive[pos] = false;
+                *self.degree -= weights[pos];
             }
         }
-        if degree < self.threshold {
-            self.alive = false;
+        if *self.degree < self.threshold {
+            *self.alive = false;
             true
         } else {
             false
         }
+    }
+
+    fn halted(&self) -> bool {
+        // A dead node stays up for one more broadcast phase to announce its
+        // death, then leaves the protocol.
+        !*self.alive && *self.announced
     }
 }
 
@@ -87,11 +185,13 @@ pub fn run_single_threshold(
     rounds: usize,
     mode: ExecutionMode,
 ) -> SingleThresholdOutcome {
-    let mut net = Network::new(g, |_| SingleThresholdNode::new(b)).with_mode(mode);
+    let csr = CsrGraph::from_graph(g);
+    let mut arena = SingleThresholdArena::new(&csr);
+    let mut net = Network::from_parts(csr.clone(), arena.programs(b)).with_mode(mode);
     net.run(rounds);
-    let (programs, metrics) = net.into_parts();
+    let (_programs, metrics) = net.into_parts();
     SingleThresholdOutcome {
-        survivors: programs.iter().map(|p| p.alive).collect(),
+        survivors: arena.survivors().to_vec(),
         metrics,
     }
 }
@@ -144,22 +244,94 @@ mod tests {
         let g = erdos_renyi(60, 0.08, &mut rng);
         for &b in &[1.0, 2.0, 3.0, 4.5] {
             for rounds in [1usize, 2, 5] {
-                let distributed = run_single_threshold(&g, b, rounds, ExecutionMode::Sequential);
                 let reference = survivors_for_threshold(&g, b, rounds);
-                assert_eq!(
-                    distributed.survivors, reference,
-                    "mismatch at threshold {b}, rounds {rounds}"
-                );
+                for mode in [
+                    ExecutionMode::Sequential,
+                    ExecutionMode::Parallel,
+                    ExecutionMode::SparseSequential,
+                    ExecutionMode::SparseParallel,
+                ] {
+                    let distributed = run_single_threshold(&g, b, rounds, mode);
+                    assert_eq!(
+                        distributed.survivors, reference,
+                        "mismatch at threshold {b}, rounds {rounds} ({mode:?})"
+                    );
+                }
             }
         }
     }
 
     #[test]
-    fn message_volume_shrinks_as_nodes_die() {
+    fn messages_are_death_announcements_only() {
+        // Delta encoding: total messages are bounded by one announcement per
+        // (dead node, incident edge) — not Θ(m · rounds).
         let g = star_graph(20);
-        let outcome = run_single_threshold(&g, 1.5, 3, ExecutionMode::Sequential);
+        let outcome = run_single_threshold(&g, 1.5, 10, ExecutionMode::Sequential);
+        // 19 leaves die in round 1 and announce to the hub in round 2
+        // (19 copies); the hub dies in round 2 and announces to its 19
+        // (halted) neighbours in round 3.
         let rounds = outcome.metrics.rounds();
-        assert!(rounds[0].messages > rounds[2].messages);
+        assert_eq!(rounds[0].messages, 0);
+        assert_eq!(rounds[1].messages, 19);
+        assert_eq!(rounds[2].messages, 19);
+        assert!(rounds[3..].iter().all(|r| r.messages == 0));
+        assert_eq!(outcome.metrics.total_messages(), 38);
+    }
+
+    #[test]
+    fn sparse_mode_skips_quiescent_rounds() {
+        let g = path_graph(40);
+        let dense = run_single_threshold(&g, 2.0, 60, ExecutionMode::Sequential);
+        let sparse = run_single_threshold(&g, 2.0, 60, ExecutionMode::SparseSequential);
+        assert_eq!(dense.survivors, sparse.survivors);
+        assert_eq!(
+            dense.metrics.total_messages(),
+            sparse.metrics.total_messages(),
+            "the delta protocol sends identical traffic under both executors"
+        );
+        assert!(sparse.metrics.total_node_updates() < dense.metrics.total_node_updates() / 4);
+    }
+
+    #[test]
+    fn modes_agree_under_loss() {
+        // Announcements are at-most-once: under loss the survivor set is a
+        // superset of the fault-free one, and every executor computes the
+        // same (deterministic drops; the halted announcer is silenced
+        // identically in dense and sparse runs).
+        use dkc_distsim::LossModel;
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = erdos_renyi(50, 0.12, &mut rng);
+        let clean = run_single_threshold(&g, 3.0, 20, ExecutionMode::Sequential);
+        for seed in [1u64, 42, 1234] {
+            let model = LossModel::new(0.5, seed);
+            let run_lossy = |mode| {
+                let csr = dkc_graph::CsrGraph::from_graph(&g);
+                let mut arena = SingleThresholdArena::new(&csr);
+                let mut net = dkc_distsim::Network::from_parts(csr, arena.programs(3.0))
+                    .with_mode(mode)
+                    .with_message_loss(model);
+                net.run(20);
+                drop(net.into_parts());
+                arena.survivors().to_vec()
+            };
+            let reference = run_lossy(ExecutionMode::Sequential);
+            for mode in [
+                ExecutionMode::Parallel,
+                ExecutionMode::SparseSequential,
+                ExecutionMode::SparseParallel,
+            ] {
+                assert_eq!(reference, run_lossy(mode), "seed {seed}, {mode:?}");
+            }
+            // Superset of the fault-free survivors.
+            for (v, (&lossy_alive, &clean_alive)) in
+                reference.iter().zip(&clean.survivors).enumerate()
+            {
+                assert!(
+                    lossy_alive || !clean_alive,
+                    "node {v} died under loss but survived fault-free (seed {seed})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -25,11 +25,14 @@ pub enum ThresholdSet {
 }
 
 impl ThresholdSet {
-    /// Creates a power-grid threshold set, validating λ.
+    /// Creates a power-grid threshold set, validating λ. Values below
+    /// `1e-12` are rejected: the grid base `1 + λ` must be strictly
+    /// representable above 1 with adjacent grid members at least a few ulps
+    /// apart, or rounding could not terminate.
     pub fn power_grid(lambda: f64) -> Self {
         assert!(
-            lambda > 0.0 && lambda.is_finite(),
-            "lambda must be positive"
+            lambda >= 1e-12 && lambda.is_finite(),
+            "lambda must be positive (>= 1e-12)"
         );
         ThresholdSet::PowerGrid { lambda }
     }
@@ -38,6 +41,14 @@ impl ThresholdSet {
     /// inputs are passed through unchanged (0 is a member of every Λ; `+∞` is
     /// the initial surviving number and is never transmitted after the first
     /// update).
+    ///
+    /// Grid members are computed by **integer-exponent repeated squaring**
+    /// ([`pow_int`]) rather than `ln`/`powf`: the transcendental path could
+    /// drift a hair *above* `x` (violating `round_down(x) ≤ x`) and produced
+    /// values that were not fixed points of the rounding. With exact integer
+    /// exponents and strict comparisons the result is always `≤ x` and
+    /// idempotent (`round_down(round_down(x)) == round_down(x)` bit-exactly);
+    /// a property test pins both.
     pub fn round_down(&self, x: f64) -> f64 {
         match *self {
             ThresholdSet::Reals => x,
@@ -46,17 +57,24 @@ impl ThresholdSet {
                     return x;
                 }
                 let base = 1.0 + lambda;
-                let k = (x.ln() / base.ln()).floor();
-                let mut val = base.powf(k);
-                // Guard against floating-point error placing us above x.
-                while val > x * (1.0 + 1e-12) {
-                    val /= base;
+                // Seed the exponent from logarithms (estimate only), then
+                // correct with exact strict comparisons against the
+                // repeated-squaring value so no tolerance fudge is needed.
+                let mut k = (x.ln() / base.ln()).floor() as i64;
+                let mut val = pow_int(base, k);
+                while val > x {
+                    k -= 1;
+                    val = pow_int(base, k);
                 }
-                // ... or more than one grid step below x.
-                while val * base <= x * (1.0 + 1e-12) {
-                    val *= base;
+                loop {
+                    let next = pow_int(base, k + 1);
+                    if next <= x && next > val {
+                        k += 1;
+                        val = next;
+                    } else {
+                        return val;
+                    }
                 }
-                val
             }
         }
     }
@@ -83,6 +101,30 @@ impl ThresholdSet {
             ThresholdSet::PowerGrid { lambda } => 1.0 + lambda,
         }
     }
+}
+
+/// `base^k` for integer `k` by repeated squaring (negative exponents via the
+/// reciprocal). Deterministic — the same `(base, k)` always yields the same
+/// bits — which is what makes [`ThresholdSet::round_down`] idempotent.
+fn pow_int(base: f64, k: i64) -> f64 {
+    if k >= 0 {
+        pow_uint(base, k as u64)
+    } else {
+        1.0 / pow_uint(base, k.unsigned_abs())
+    }
+}
+
+fn pow_uint(base: f64, mut k: u64) -> f64 {
+    let mut acc = 1.0f64;
+    let mut sq = base;
+    while k > 0 {
+        if k & 1 == 1 {
+            acc *= sq;
+        }
+        sq *= sq;
+        k >>= 1;
+    }
+    acc
 }
 
 #[cfg(test)]
@@ -140,5 +182,50 @@ mod tests {
     #[should_panic]
     fn invalid_lambda_rejected() {
         let _ = ThresholdSet::power_grid(0.0);
+    }
+
+    #[test]
+    fn pow_int_matches_powi_on_exact_bases() {
+        // 1.5^k is exactly representable for small k: repeated squaring must
+        // reproduce it bit for bit, both directions.
+        for k in -20i64..=20 {
+            assert_eq!(pow_int(1.5, k), 1.5f64.powi(k as i32), "k = {k}");
+        }
+        assert_eq!(pow_int(2.0, 40), (1u64 << 40) as f64);
+    }
+
+    mod properties {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(512))]
+
+            /// `round_down(x) <= x` with NO tolerance (the old ln/powf
+            /// implementation could land a hair above `x`), the result is at
+            /// most one grid step below `x`, and rounding is idempotent
+            /// bit-for-bit (grid members are fixed points).
+            #[test]
+            fn round_down_is_a_monotone_idempotent_projection(
+                lambda in 1e-6..2.0f64,
+                mantissa in 1.0..10.0f64,
+                exp in -30i32..30,
+            ) {
+                let l = ThresholdSet::power_grid(lambda);
+                let x = mantissa * 10f64.powi(exp);
+                let r = l.round_down(x);
+                prop_assert!(r > 0.0 && r.is_finite());
+                prop_assert!(r <= x, "round_down({x}) = {r} exceeds x (λ={lambda})");
+                prop_assert!(
+                    r * (1.0 + lambda) * (1.0 + 1e-9) > x,
+                    "round_down({x}) = {r} is more than one grid step low (λ={lambda})"
+                );
+                let rr = l.round_down(r);
+                prop_assert!(
+                    rr.to_bits() == r.to_bits(),
+                    "not idempotent: round_down({r}) = {rr} (λ={lambda})"
+                );
+            }
+        }
     }
 }

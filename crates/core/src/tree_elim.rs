@@ -18,7 +18,9 @@
 
 use crate::bfs::BfsForest;
 use dkc_distsim::message::MessageSize;
-use dkc_distsim::{ExecutionMode, Network, NodeContext, NodeProgram, Outgoing, RunMetrics};
+use dkc_distsim::{
+    Delivery, ExecutionMode, Network, NodeContext, NodeProgram, Outgoing, RunMetrics,
+};
 use dkc_graph::{NodeId, WeightedGraph};
 
 /// Message of the per-tree elimination: the sender's leader id (the sender is
@@ -80,7 +82,7 @@ impl NodeProgram for TreeElimNode {
         }
     }
 
-    fn receive(&mut self, ctx: &NodeContext<'_>, inbox: &[(NodeId, ActiveMsg)]) -> bool {
+    fn receive(&mut self, ctx: &NodeContext<'_>, inbox: &[Delivery<ActiveMsg>]) -> bool {
         if !self.participates || !self.active {
             return false;
         }
@@ -89,18 +91,11 @@ impl NodeProgram for TreeElimNode {
             return false;
         }
         // Weighted degree towards active same-tree neighbours.
-        let neighbors = ctx.neighbors();
         let weights = ctx.neighbor_weights();
         let mut degree = ctx.self_loop();
-        let mut inbox_iter = inbox.iter().peekable();
-        for (idx, &u) in neighbors.iter().enumerate() {
-            if let Some(&&(sender, msg)) = inbox_iter.peek() {
-                if sender == u {
-                    if msg.leader == self.leader {
-                        degree += weights[idx];
-                    }
-                    inbox_iter.next();
-                }
+        for d in inbox {
+            if d.msg.leader == self.leader {
+                degree += weights[d.pos as usize];
             }
         }
         self.num[t] = true;
@@ -130,12 +125,17 @@ pub struct TreeElimOutcome {
 /// Runs Algorithm 5 for `rounds` rounds, using the leaders and tree membership
 /// from `forest` and the per-node surviving numbers `b` (the leader's value is
 /// the threshold of its whole tree).
+///
+/// Records per-round history (`num[t]`/`deg[t]`), so every node must step
+/// every round: not delta-driven — sparse execution modes degrade to their
+/// dense counterpart via [`ExecutionMode::dense`].
 pub fn run_tree_elimination(
     g: &WeightedGraph,
     forest: &BfsForest,
     rounds: usize,
     mode: ExecutionMode,
 ) -> TreeElimOutcome {
+    let mode = mode.dense();
     let mut net = Network::new(g, |ctx| {
         let v = ctx.node();
         let leader_key = forest.leader[v.index()];

@@ -17,11 +17,145 @@
 //! current values** each round. This tie-breaking is what makes the second
 //! invariant of Definition III.7 (every edge is covered by one of its
 //! endpoints) survive across rounds (Lemma III.11).
+//!
+//! ## Storage and incrementality
+//!
+//! The ordering state is expressed over **externally-owned storage**
+//! ([`UpdateOrder`], a sorted permutation plus its inverse), so the flat
+//! state arena of [`crate::compact`] can pack every node's ordering into two
+//! contiguous arc-indexed slabs. Because surviving numbers only ever
+//! *decrease*, re-establishing the sorted order after `k` changed neighbour
+//! values does not need a full `O(d log d)` re-sort: each changed entry is
+//! bubbled left past strictly-greater entries
+//! ([`UpdateOrder::resort_decreased`]), which is exactly equivalent to the
+//! full stable sort (pinned by the `incremental_matches_full_stable_sort`
+//! test) but touches only the displaced range.
 
 use dkc_graph::NodeId;
 
-/// Persistent per-node state for the `Update` subroutine: the history-encoding
-/// neighbour ordering.
+/// A node's neighbour ordering over borrowed (slab) storage: the permutation
+/// of adjacency positions sorted ascending by current value with
+/// history-stable tie-breaking, plus its inverse.
+///
+/// Invariants: `order` is a permutation of `0..d`, `inv[order[i]] == i`, and
+/// `values[order[i]]` is ascending after every `sort_full` /
+/// `resort_decreased` call.
+pub struct UpdateOrder<'a> {
+    /// Sorted adjacency positions.
+    pub order: &'a mut [u32],
+    /// Inverse permutation: `inv[pos]` is the index of `pos` in `order`.
+    pub inv: &'a mut [u32],
+}
+
+impl UpdateOrder<'_> {
+    /// Initializes the ordering by neighbour identity (the paper's
+    /// "consistent" final tie-break); parallel edges keep position order.
+    pub fn init_by_id(&mut self, neighbor_ids: &[NodeId]) {
+        debug_assert_eq!(self.order.len(), neighbor_ids.len());
+        for (i, p) in self.order.iter_mut().enumerate() {
+            *p = i as u32;
+        }
+        self.order.sort_by_key(|&pos| neighbor_ids[pos as usize]);
+        self.rebuild_inverse();
+    }
+
+    /// Full stable sort by the current values (history-lexicographic
+    /// tie-breaking: ties keep the order established by earlier rounds).
+    pub fn sort_full(&mut self, values: &[f64]) {
+        self.order.sort_by(|&a, &b| {
+            values[a as usize]
+                .partial_cmp(&values[b as usize])
+                .expect("NaN surviving number")
+        });
+        self.rebuild_inverse();
+    }
+
+    /// Re-establishes the sorted order after the values at the `changed`
+    /// adjacency positions **decreased** (the monotone direction of the
+    /// elimination procedures). `changed` is reordered in place.
+    ///
+    /// Each changed entry is bubbled left past strictly-greater entries;
+    /// processing the changed set in ascending previous order makes the
+    /// result identical to a full stable sort. Falls back to
+    /// [`UpdateOrder::sort_full`] when the changed set is a large fraction of
+    /// the degree (bubbling is `O(k·d)` worst case).
+    pub fn resort_decreased(&mut self, values: &[f64], changed: &mut [u32]) {
+        let d = self.order.len();
+        if changed.is_empty() {
+            return;
+        }
+        if changed.len() * 4 >= d {
+            self.sort_full(values);
+            return;
+        }
+        // Ascending previous position = the stable-sort tie order for
+        // entries that reach equal values this round.
+        changed.sort_unstable_by_key(|&pos| self.inv[pos as usize]);
+        for &pos in changed.iter() {
+            let value = values[pos as usize];
+            let mut i = self.inv[pos as usize] as usize;
+            debug_assert_eq!(self.order[i], pos);
+            while i > 0 && values[self.order[i - 1] as usize] > value {
+                self.order[i] = self.order[i - 1];
+                self.inv[self.order[i] as usize] = i as u32;
+                i -= 1;
+            }
+            self.order[i] = pos;
+            self.inv[pos as usize] = i as u32;
+        }
+        debug_assert!(self
+            .order
+            .windows(2)
+            .all(|w| values[w[0] as usize] <= values[w[1] as usize]));
+    }
+
+    fn rebuild_inverse(&mut self) {
+        for (i, &p) in self.order.iter().enumerate() {
+            self.inv[p as usize] = i as u32;
+        }
+    }
+}
+
+/// The suffix scan of Algorithm 3 over an already-sorted ordering: returns
+/// the new surviving number `b` and the first sorted index whose neighbour
+/// belongs to the auxiliary subset `N` (i.e. `N = order[include_from..]`).
+///
+/// The scan walks positions from the largest value downwards, accumulating
+/// the suffix weight `s = Σ_{j ≥ i} w_j` (+ self-loop), and stops at the
+/// first `i` with `s > b_{i-1}` (with `b_0 = −∞` it always stops by `i = 1`).
+pub fn suffix_scan(order: &[u32], values: &[f64], weights: &[f64], self_loop: f64) -> (f64, usize) {
+    let d = order.len();
+    if d == 0 {
+        return (self_loop, 0);
+    }
+    // Bracket above every neighbour value: sustained by the self-loop alone
+    // (no neighbour counts, N stays empty). Only relevant for quotient-graph
+    // inputs; plain graphs have self_loop = 0.
+    let max_value = values[order[d - 1] as usize];
+    if self_loop > max_value {
+        return (self_loop, d);
+    }
+    let mut s = self_loop;
+    for i in (0..d).rev() {
+        let pos = order[i] as usize;
+        s += weights[pos];
+        let b_i = values[pos];
+        let b_prev = if i == 0 {
+            f64::NEG_INFINITY
+        } else {
+            values[order[i - 1] as usize]
+        };
+        if s > b_prev {
+            return if s <= b_i { (s, i) } else { (b_i, i + 1) };
+        }
+    }
+    (self_loop, d)
+}
+
+/// Persistent per-node state for the `Update` subroutine with owned storage:
+/// the history-encoding neighbour ordering. (The flat arena of
+/// [`crate::compact`] uses [`UpdateOrder`] over slab storage instead; this
+/// owned variant serves standalone uses and the unit tests.)
 #[derive(Clone, Debug)]
 pub struct UpdateState {
     /// Permutation of neighbour positions (indices into the node's adjacency
@@ -29,6 +163,7 @@ pub struct UpdateState {
     /// permutation sorts neighbours by `(b^{k}, b^{k-1}, …, b^{1}, id)`
     /// lexicographically ascending.
     order: Vec<u32>,
+    inv: Vec<u32>,
 }
 
 /// The result of one `Update` call.
@@ -46,9 +181,16 @@ impl UpdateState {
     /// `neighbor_ids`. The initial ordering is by node identity, which is the
     /// paper's "consistent" final tie-break.
     pub fn new(neighbor_ids: &[NodeId]) -> Self {
-        let mut order: Vec<u32> = (0..neighbor_ids.len() as u32).collect();
-        order.sort_by_key(|&pos| neighbor_ids[pos as usize]);
-        UpdateState { order }
+        let mut state = UpdateState {
+            order: vec![0; neighbor_ids.len()],
+            inv: vec![0; neighbor_ids.len()],
+        };
+        UpdateOrder {
+            order: &mut state.order,
+            inv: &mut state.inv,
+        }
+        .init_by_id(neighbor_ids);
+        state
     }
 
     /// Number of neighbours this state was built for.
@@ -76,64 +218,18 @@ impl UpdateState {
         assert_eq!(weights.len(), d, "one weight per neighbour required");
 
         // Stable sort by the current values: history-lexicographic tie-breaking.
-        self.order.sort_by(|&a, &b| {
-            values[a as usize]
-                .partial_cmp(&values[b as usize])
-                .expect("NaN surviving number")
-        });
+        UpdateOrder {
+            order: &mut self.order,
+            inv: &mut self.inv,
+        }
+        .sort_full(values);
 
+        let (b, include_from) = suffix_scan(&self.order, values, weights, self_loop);
         let mut in_neighbors = vec![false; d];
-        if d == 0 {
-            return UpdateResult {
-                b: self_loop,
-                in_neighbors,
-            };
-        }
-
-        // Bracket above every neighbour value: sustained by the self-loop
-        // alone (no neighbour counts, N stays empty). Only relevant for
-        // quotient-graph inputs; plain graphs have self_loop = 0.
-        let max_value = values[self.order[d - 1] as usize];
-        if self_loop > max_value {
-            return UpdateResult {
-                b: self_loop,
-                in_neighbors,
-            };
-        }
-
-        // Scan positions from the largest value downwards, accumulating the
-        // suffix weight s = Σ_{j ≥ i} w_j (+ self-loop). The loop stops at the
-        // first i with s > b_{i-1} (with b_0 = −∞ it always stops by i = 1).
-        let mut s = self_loop;
-        let mut result_b = self_loop;
-        let mut include_from = d; // first sorted index whose neighbour is in N
-        for i in (0..d).rev() {
-            let pos = self.order[i] as usize;
-            s += weights[pos];
-            let b_i = values[pos];
-            let b_prev = if i == 0 {
-                f64::NEG_INFINITY
-            } else {
-                values[self.order[i - 1] as usize]
-            };
-            if s > b_prev {
-                if s <= b_i {
-                    result_b = s;
-                    include_from = i;
-                } else {
-                    result_b = b_i;
-                    include_from = i + 1;
-                }
-                break;
-            }
-        }
         for &pos in &self.order[include_from..] {
             in_neighbors[pos as usize] = true;
         }
-        UpdateResult {
-            b: result_b,
-            in_neighbors,
-        }
+        UpdateResult { b, in_neighbors }
     }
 }
 
@@ -374,6 +470,148 @@ mod tests {
                 b2 <= b1 + 1e-9,
                 "lowering a value increased b: {b1} -> {b2}"
             );
+        }
+    }
+
+    /// The incremental re-sort after monotone decreases must be
+    /// indistinguishable from the full stable sort — including the tie order
+    /// among entries that reach equal values, which the covering invariant
+    /// (Lemma III.11) depends on.
+    #[test]
+    fn incremental_matches_full_stable_sort() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xD17A);
+        for case in 0..300 {
+            let d = rng.gen_range(1usize..24);
+            // Quantize to provoke frequent ties.
+            let mut values: Vec<f64> = (0..d).map(|_| rng.gen_range(0..12) as f64 / 2.0).collect();
+            let mut inc_order: Vec<u32> = vec![0; d];
+            let mut inc_inv: Vec<u32> = vec![0; d];
+            let mut full_order: Vec<u32> = vec![0; d];
+            let mut full_inv: Vec<u32> = vec![0; d];
+            let ids: Vec<NodeId> = (0..d).map(NodeId::new).collect();
+            UpdateOrder {
+                order: &mut inc_order,
+                inv: &mut inc_inv,
+            }
+            .init_by_id(&ids);
+            UpdateOrder {
+                order: &mut full_order,
+                inv: &mut full_inv,
+            }
+            .init_by_id(&ids);
+            // Establish the initial sorted order on both.
+            UpdateOrder {
+                order: &mut inc_order,
+                inv: &mut inc_inv,
+            }
+            .sort_full(&values);
+            UpdateOrder {
+                order: &mut full_order,
+                inv: &mut full_inv,
+            }
+            .sort_full(&values);
+            for _round in 0..6 {
+                // Decrease a random subset of the values.
+                let k = rng.gen_range(0..=d);
+                let mut changed: Vec<u32> = Vec::new();
+                for _ in 0..k {
+                    let pos = rng.gen_range(0..d);
+                    if !changed.contains(&(pos as u32)) {
+                        values[pos] -= rng.gen_range(0..4) as f64 / 2.0;
+                        changed.push(pos as u32);
+                    }
+                }
+                UpdateOrder {
+                    order: &mut inc_order,
+                    inv: &mut inc_inv,
+                }
+                .resort_decreased(&values, &mut changed);
+                UpdateOrder {
+                    order: &mut full_order,
+                    inv: &mut full_inv,
+                }
+                .sort_full(&values);
+                assert_eq!(
+                    inc_order, full_order,
+                    "case {case}: incremental and full stable sort diverged"
+                );
+                assert_eq!(inc_inv, full_inv, "case {case}: inverse diverged");
+            }
+        }
+    }
+
+    /// `suffix_scan` over an externally sorted order agrees with the owned
+    /// `UpdateState` wrapper.
+    #[test]
+    fn suffix_scan_matches_update_state() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let d = rng.gen_range(0usize..10);
+            let values: Vec<f64> = (0..d).map(|_| rng.gen_range(0.0..8.0)).collect();
+            let weights: Vec<f64> = (0..d).map(|_| rng.gen_range(0.1..3.0)).collect();
+            let sl = if rng.gen_range(0..2) == 0 {
+                0.0
+            } else {
+                rng.gen_range(0.0..3.0)
+            };
+            let mut order: Vec<u32> = vec![0; d];
+            let mut inv: Vec<u32> = vec![0; d];
+            let ids: Vec<NodeId> = (0..d).map(NodeId::new).collect();
+            let mut uo = UpdateOrder {
+                order: &mut order,
+                inv: &mut inv,
+            };
+            uo.init_by_id(&ids);
+            uo.sort_full(&values);
+            let (b, include_from) = suffix_scan(&order, &values, &weights, sl);
+            let r = UpdateState::new(&ids).update(&values, &weights, sl);
+            assert_eq!(b, r.b);
+            let included: Vec<bool> = {
+                let mut f = vec![false; d];
+                for &p in &order[include_from..] {
+                    f[p as usize] = true;
+                }
+                f
+            };
+            assert_eq!(included, r.in_neighbors);
+        }
+    }
+
+    #[test]
+    fn resort_handles_duplicate_equal_updates() {
+        // Entries dropping to the same value must keep their previous
+        // relative order (stability), regardless of which positions changed.
+        // The degree is padded so the changed fraction stays below the
+        // full-sort fallback threshold and the bubble path is exercised.
+        let d = 12;
+        let mut values = vec![3.0, 5.0, 3.0, 4.0];
+        values.extend((4..d).map(|i| 10.0 + i as f64));
+        let mut order: Vec<u32> = vec![0; d];
+        let mut inv: Vec<u32> = vec![0; d];
+        let ids: Vec<NodeId> = (0..d).map(NodeId::new).collect();
+        let mut uo = UpdateOrder {
+            order: &mut order,
+            inv: &mut inv,
+        };
+        uo.init_by_id(&ids);
+        uo.sort_full(&values);
+        assert_eq!(&order[..4], &[0, 2, 3, 1]);
+        // Positions 1 and 3 both drop to 3.0: previous order had 3 before 1.
+        values[1] = 3.0;
+        values[3] = 3.0;
+        let mut changed = vec![1u32, 3u32];
+        UpdateOrder {
+            order: &mut order,
+            inv: &mut inv,
+        }
+        .resort_decreased(&values, &mut changed);
+        assert_eq!(&order[..4], &[0, 2, 3, 1]);
+        for (i, &p) in order.iter().enumerate() {
+            assert_eq!(inv[p as usize] as usize, i);
         }
     }
 }

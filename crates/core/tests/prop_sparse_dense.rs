@@ -1,0 +1,100 @@
+//! Property test: the sparse frontier executor is **result-identical** to the
+//! dense executor for the compact elimination procedure — byte-identical
+//! surviving numbers and in-neighbour sets — across random graphs, loss
+//! models, round budgets, and threshold sets, and its deterministic counters
+//! are mode-invariant (sequential == parallel within each activation kind)
+//! while never exceeding the dense executor's work.
+
+use dkc_core::compact::{run_compact_elimination_with_loss, CompactOutcome};
+use dkc_core::threshold::ThresholdSet;
+use dkc_distsim::{ExecutionMode, LossModel};
+use dkc_graph::generators::erdos_renyi;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run(
+    g: &dkc_graph::WeightedGraph,
+    rounds: usize,
+    threshold_set: ThresholdSet,
+    loss: Option<LossModel>,
+    mode: ExecutionMode,
+) -> CompactOutcome {
+    run_compact_elimination_with_loss(g, rounds, threshold_set, mode, loss)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn sparse_executor_is_result_identical_to_dense(
+        n in 2usize..40,
+        edge_p in 0.02..0.5f64,
+        seed in 0u64..1_000_000,
+        rounds in 1usize..40,
+        loss_mill in 0usize..1000,
+        grid in 0usize..3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos_renyi(n, edge_p, &mut rng);
+        // Every third case runs fault-free; otherwise inject deterministic loss.
+        let loss = if loss_mill % 3 == 0 {
+            None
+        } else {
+            Some(LossModel::new((loss_mill as f64 / 1000.0).min(0.9), seed ^ 0x5A5A))
+        };
+        let threshold_set = match grid {
+            0 => ThresholdSet::Reals,
+            1 => ThresholdSet::power_grid(0.1),
+            _ => ThresholdSet::power_grid(0.5),
+        };
+        let dense_seq = run(&g, rounds, threshold_set, loss, ExecutionMode::Sequential);
+        let dense_par = run(&g, rounds, threshold_set, loss, ExecutionMode::Parallel);
+        let sparse_seq = run(&g, rounds, threshold_set, loss, ExecutionMode::SparseSequential);
+        let sparse_par = run(&g, rounds, threshold_set, loss, ExecutionMode::SparseParallel);
+
+        // Protocol output: byte-identical across all four modes.
+        let surviving_bits = |o: &CompactOutcome| -> Vec<u64> {
+            o.surviving.iter().map(|b| b.to_bits()).collect()
+        };
+        let reference = surviving_bits(&dense_seq);
+        for (label, o) in [
+            ("dense-par", &dense_par),
+            ("sparse-seq", &sparse_seq),
+            ("sparse-par", &sparse_par),
+        ] {
+            prop_assert_eq!(&reference, &surviving_bits(o), "surviving diverged: {}", label);
+            prop_assert_eq!(&dense_seq.in_neighbors, &o.in_neighbors,
+                "in-neighbours diverged: {}", label);
+        }
+
+        // Deterministic counters: identical within each activation kind…
+        let counters = |o: &CompactOutcome| {
+            o.metrics
+                .rounds()
+                .iter()
+                .map(|r| (r.messages, r.payload_bits, r.max_message_bits,
+                          r.sending_nodes, r.changed_nodes, r.node_updates))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(counters(&dense_seq), counters(&dense_par), "dense counters diverged");
+        prop_assert_eq!(counters(&sparse_seq), counters(&sparse_par), "sparse counters diverged");
+
+        // … and the sparse executor never does more work than the dense one.
+        prop_assert!(sparse_seq.metrics.total_node_updates()
+            <= dense_seq.metrics.total_node_updates());
+        prop_assert!(sparse_seq.metrics.total_messages()
+            <= dense_seq.metrics.total_messages());
+        prop_assert!(sparse_seq.metrics.total_payload_bits()
+            <= dense_seq.metrics.total_payload_bits());
+        prop_assert_eq!(sparse_seq.metrics.num_rounds(), dense_seq.metrics.num_rounds());
+
+        // changed_nodes (quiescence signal) agrees round by round across
+        // activation kinds: a node not run by the sparse executor would not
+        // have changed under the dense one either.
+        let changed = |o: &CompactOutcome| {
+            o.metrics.rounds().iter().map(|r| r.changed_nodes).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(changed(&dense_seq), changed(&sparse_seq));
+    }
+}

@@ -33,4 +33,4 @@ pub use faults::LossModel;
 pub use message::MessageSize;
 pub use metrics::{RoundStats, RunMetrics};
 pub use network::{ExecutionMode, ExecutorBufferStats, Network};
-pub use program::{NodeContext, NodeProgram, Outgoing};
+pub use program::{Delivery, NodeContext, NodeProgram, Outgoing};

@@ -25,6 +25,13 @@ pub struct RoundStats {
     pub sending_nodes: usize,
     /// Number of nodes whose observable state changed in the receive phase.
     pub changed_nodes: usize,
+    /// Number of nodes that executed their receive/update step this round.
+    /// Dense execution runs every non-halted node; the sparse frontier
+    /// executor runs only nodes that were delivered a message (plus every
+    /// node once, in round 1). Deterministic across machines and execution
+    /// modes of the same activation kind — this is the CI-gateable measure of
+    /// the active-set work reduction.
+    pub node_updates: usize,
 }
 
 /// Accumulated statistics for a full protocol run.
@@ -88,6 +95,12 @@ impl RunMetrics {
         self.rounds.iter().map(|r| r.payload_bits).sum()
     }
 
+    /// Total number of executed node steps across all rounds (see
+    /// [`RoundStats::node_updates`]).
+    pub fn total_node_updates(&self) -> usize {
+        self.rounds.iter().map(|r| r.node_updates).sum()
+    }
+
     /// The largest single message payload observed in any round.
     pub fn max_message_bits(&self) -> usize {
         self.rounds
@@ -122,6 +135,7 @@ mod tests {
             max_message_bits: 64,
             sending_nodes: 5,
             changed_nodes: 5,
+            node_updates: 5,
         });
         m.push(RoundStats {
             round: 2,
@@ -130,6 +144,7 @@ mod tests {
             max_message_bits: 128,
             sending_nodes: 2,
             changed_nodes: 0,
+            node_updates: 2,
         });
         assert_eq!(m.num_rounds(), 2);
         assert_eq!(m.total_messages(), 14);
@@ -159,6 +174,7 @@ mod tests {
             max_message_bits: 32,
             sending_nodes: 10,
             changed_nodes: 10,
+            node_updates: 10,
         });
         m.add_elapsed(Duration::from_millis(200));
         m.add_elapsed(Duration::from_millis(300));

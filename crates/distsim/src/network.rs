@@ -16,11 +16,33 @@
 //!
 //! After a warm-up round the executor performs no outbox/inbox heap growth
 //! (see [`Network::buffer_stats`] and the `buffer_reuse` test).
+//!
+//! ## Dense vs sparse activation
+//!
+//! The paper's elimination procedures converge monotonically: after a few
+//! rounds most nodes' state stops changing, yet dense execution still runs
+//! every node every round. The **sparse frontier modes**
+//! ([`ExecutionMode::SparseSequential`] / [`ExecutionMode::SparseParallel`])
+//! keep a persistent active frontier instead:
+//!
+//! * only nodes whose last step reported a change (plus senders whose copies
+//!   were dropped by the loss model) run `broadcast`,
+//! * messages are **scattered** sender-side into the receivers' inboxes
+//!   (using [`CsrGraph::reverse_arc`] for O(1) position translation), and only
+//!   nodes that actually received something run `receive`,
+//! * quiescence detection falls out for free: an empty frontier makes the
+//!   round O(1).
+//!
+//! Sparse execution is result-identical to dense execution for programs that
+//! satisfy the delta-driven contract ([`NodeProgram::DELTA_DRIVEN`]); the
+//! executor refuses sparse modes for programs that do not opt in. The
+//! per-round work executed is reported as [`RoundStats::node_updates`], a
+//! deterministic counter suitable for CI gating.
 
 use crate::faults::LossModel;
 use crate::message::MessageSize;
 use crate::metrics::{RoundStats, RunMetrics};
-use crate::program::{NodeContext, NodeProgram, Outgoing};
+use crate::program::{Delivery, NodeContext, NodeProgram, Outgoing};
 use dkc_graph::{CsrGraph, NodeId, WeightedGraph};
 use rayon::prelude::*;
 use std::time::Instant;
@@ -28,23 +50,65 @@ use std::time::Instant;
 /// How node programs are executed within a round.
 ///
 /// Rounds are barriers, and within a round nodes interact only through the
-/// immutable outbox snapshot, so both modes produce **identical** results; the
-/// parallel mode exists for throughput on large simulated networks (and is the
-/// subject of the scaling benchmark E9).
+/// immutable outbox snapshot, so the sequential and parallel variants of each
+/// activation kind produce **identical** results. The dense modes run every
+/// non-halted node every round; the sparse modes run only the active frontier
+/// and require [`NodeProgram::DELTA_DRIVEN`] (for delta-driven programs all
+/// four modes produce identical protocol results — the dense modes remain
+/// available for A/B measurements).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum ExecutionMode {
-    /// Plain sequential loop over nodes.
+    /// Dense: plain sequential loop over all nodes.
     Sequential,
-    /// Data-parallel over nodes using the rayon thread pool.
+    /// Dense: data-parallel over all nodes using the rayon thread pool.
     #[default]
     Parallel,
+    /// Sparse: frontier-driven worklist execution, sequential. Per-round cost
+    /// is proportional to the active frontier and its out-neighbourhood.
+    SparseSequential,
+    /// Sparse: frontier-driven activation with a chunk-parallel receive phase.
+    /// The receive scan is O(n) with an O(1) skip per inactive node (the
+    /// vendored rayon parallelizes contiguous slices only), so prefer
+    /// [`ExecutionMode::SparseSequential`] when the frontier is tiny relative
+    /// to n; the deterministic counters are identical either way.
+    SparseParallel,
+}
+
+impl ExecutionMode {
+    /// Whether this mode uses the sparse frontier executor.
+    pub fn is_sparse(self) -> bool {
+        matches!(
+            self,
+            ExecutionMode::SparseSequential | ExecutionMode::SparseParallel
+        )
+    }
+
+    /// Whether node steps run data-parallel.
+    pub fn is_parallel(self) -> bool {
+        matches!(
+            self,
+            ExecutionMode::Parallel | ExecutionMode::SparseParallel
+        )
+    }
+
+    /// The dense counterpart of this mode (identity for dense modes). Used by
+    /// protocol runners whose programs are not delta-driven to degrade
+    /// gracefully when a caller asks for sparse execution.
+    pub fn dense(self) -> Self {
+        match self {
+            ExecutionMode::Sequential | ExecutionMode::SparseSequential => {
+                ExecutionMode::Sequential
+            }
+            ExecutionMode::Parallel | ExecutionMode::SparseParallel => ExecutionMode::Parallel,
+        }
+    }
 }
 
 /// A program bundled with its persistent inbox so the receive phase can run
 /// `par_iter_mut` over one slice while reading the shared outbox snapshot.
 struct NodeCell<P: NodeProgram> {
     program: P,
-    inbox: Vec<(NodeId, P::Message)>,
+    inbox: Vec<Delivery<P::Message>>,
 }
 
 /// Per-sender accounting row produced by the broadcast phase (post-loss: only
@@ -54,6 +118,21 @@ struct SendAccount {
     messages: usize,
     payload_bits: usize,
     max_message_bits: usize,
+    /// Whether the loss model dropped at least one copy of this round's
+    /// send. The sparse executor keeps such senders in the frontier so they
+    /// re-send next round, reproducing exactly the delivery rounds of a dense
+    /// run (which re-broadcasts every round anyway). Dense execution ignores
+    /// this flag.
+    any_dropped: bool,
+}
+
+/// Outcome of one node's receive phase.
+#[derive(Clone, Copy, Default)]
+struct StepResult {
+    /// Whether the node executed its step (false for halted/untouched nodes).
+    ran: bool,
+    /// Whether the node reported a state change.
+    changed: bool,
 }
 
 /// Capacities of the executor's persistent scratch buffers. Two snapshots
@@ -65,11 +144,14 @@ pub struct ExecutorBufferStats {
     pub outbox_capacity: usize,
     /// Summed capacity of all per-node inboxes.
     pub inbox_capacity_total: usize,
-    /// Capacity of the changed-flags array.
+    /// Capacity of the step-result array.
     pub changed_capacity: usize,
     /// Length of the arc-indexed multicast stamp array (0 until the first
     /// multicast round).
     pub multicast_stamp_slots: usize,
+    /// Summed capacity of the sparse executor's frontier / touch / resend
+    /// worklists (0 under dense modes).
+    pub frontier_capacity_total: usize,
 }
 
 /// A simulated synchronous network: a topology plus one [`NodeProgram`] per
@@ -83,14 +165,105 @@ pub struct Network<P: NodeProgram> {
     loss: Option<LossModel>,
     // Persistent per-round scratch (see module docs).
     outboxes: Vec<(Outgoing<P::Message>, SendAccount)>,
-    changed: Vec<bool>,
+    step_results: Vec<StepResult>,
     /// `multicast_stamps[arc] == round` ⇔ the arc's **source** node listed the
     /// arc's destination as a multicast target this round. Senders stamp their
     /// own (cache-resident) arc range; receivers translate through
     /// [`CsrGraph::reverse_arc`]. Stamping avoids an O(arcs) clear per round;
     /// round numbers start at 1 so the zero-initialized array never
-    /// false-positives.
+    /// false-positives. (The sparse scatter reuses the same array to
+    /// deduplicate repeated multicast target entries.)
     multicast_stamps: Vec<u64>,
+    // Sparse-frontier state (unused under dense modes).
+    /// Nodes that broadcast this round, ascending.
+    frontier: Vec<u32>,
+    /// Next round's frontier, built during the receive phase.
+    next_frontier: Vec<u32>,
+    /// Nodes that received at least one message this round.
+    touch_list: Vec<u32>,
+    /// `touched_stamp[v] == round` ⇔ v is in `touch_list` this round.
+    touched_stamp: Vec<u64>,
+    /// Frontier senders with loss-dropped copies (they re-send next round).
+    resend: Vec<u32>,
+}
+
+/// Runs one node's broadcast phase and computes its post-loss accounting row
+/// (shared by the dense map and the sparse frontier loop).
+fn produce_outgoing<P: NodeProgram>(
+    graph: &CsrGraph,
+    loss: Option<LossModel>,
+    round: usize,
+    i: usize,
+    cell: &mut NodeCell<P>,
+) -> (Outgoing<P::Message>, SendAccount) {
+    if cell.program.halted() {
+        return (Outgoing::Silent, SendAccount::default());
+    }
+    let sender = NodeId::new(i);
+    let ctx = NodeContext::new(graph, sender, round);
+    let out = cell.program.broadcast(&ctx);
+    let mut acct = SendAccount::default();
+    // Post-loss accounting evaluates `drops` here and the delivery phase
+    // evaluates it again per arc — a deliberate trade-off: the hash is a
+    // handful of integer ops, and sharing it would need another arc-indexed
+    // scratch array written under the parallel map. Fault-free runs
+    // (`loss == None`) skip both.
+    let delivered = |to: NodeId| loss.is_none_or(|m| !m.drops(round, sender, to));
+    match &out {
+        Outgoing::Silent => {}
+        Outgoing::Broadcast(m) => {
+            let degree = graph.unweighted_degree(sender);
+            let copies = match loss {
+                None => degree,
+                Some(_) => graph
+                    .neighbors(sender)
+                    .iter()
+                    .filter(|&&t| delivered(t))
+                    .count(),
+            };
+            acct.any_dropped = copies < degree;
+            if copies > 0 {
+                let bits = m.size_bits();
+                acct.messages = copies;
+                acct.payload_bits = bits * copies;
+                acct.max_message_bits = bits;
+            }
+        }
+        Outgoing::Multicast(m, targets) => {
+            debug_assert!(
+                targets.iter().all(|&t| graph.has_neighbor(sender, t)),
+                "multicast target is not a neighbour of {sender}"
+            );
+            let copies = match loss {
+                None => targets.len(),
+                Some(_) => targets.iter().filter(|&&t| delivered(t)).count(),
+            };
+            acct.any_dropped = copies < targets.len();
+            if copies > 0 {
+                let bits = m.size_bits();
+                acct.messages = copies;
+                acct.payload_bits = bits * copies;
+                acct.max_message_bits = bits;
+            }
+        }
+        Outgoing::Unicast(msgs) => {
+            for (target, m) in msgs {
+                debug_assert!(
+                    graph.has_neighbor(sender, *target),
+                    "unicast target {target} is not a neighbour of {sender}"
+                );
+                if delivered(*target) {
+                    let bits = m.size_bits();
+                    acct.messages += 1;
+                    acct.payload_bits += bits;
+                    acct.max_message_bits = acct.max_message_bits.max(bits);
+                } else {
+                    acct.any_dropped = true;
+                }
+            }
+        }
+    }
+    (out, acct)
 }
 
 impl<P: NodeProgram> Network<P> {
@@ -133,13 +306,31 @@ impl<P: NodeProgram> Network<P> {
             mode: ExecutionMode::default(),
             loss: None,
             outboxes: Vec::new(),
-            changed: Vec::new(),
+            step_results: Vec::new(),
             multicast_stamps: Vec::new(),
+            frontier: Vec::new(),
+            next_frontier: Vec::new(),
+            touch_list: Vec::new(),
+            touched_stamp: Vec::new(),
+            resend: Vec::new(),
         }
     }
 
     /// Selects the execution mode (defaults to [`ExecutionMode::Parallel`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sparse mode is requested for a program that does not set
+    /// [`NodeProgram::DELTA_DRIVEN`], or after rounds have already executed.
     pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
+        if mode.is_sparse() {
+            assert!(
+                P::DELTA_DRIVEN,
+                "sparse execution modes require a delta-driven program \
+                 (see NodeProgram::DELTA_DRIVEN)"
+            );
+            assert_eq!(self.round, 0, "select the execution mode before running");
+        }
         self.mode = mode;
         self
     }
@@ -181,8 +372,12 @@ impl<P: NodeProgram> Network<P> {
         ExecutorBufferStats {
             outbox_capacity: self.outboxes.capacity(),
             inbox_capacity_total: self.cells.iter().map(|c| c.inbox.capacity()).sum(),
-            changed_capacity: self.changed.capacity(),
+            changed_capacity: self.step_results.capacity(),
             multicast_stamp_slots: self.multicast_stamps.len(),
+            frontier_capacity_total: self.frontier.capacity()
+                + self.next_frontier.capacity()
+                + self.touch_list.capacity()
+                + self.resend.capacity(),
         }
     }
 
@@ -197,6 +392,18 @@ impl<P: NodeProgram> Network<P> {
     pub fn run_round(&mut self) -> RoundStats {
         let started = Instant::now();
         self.round += 1;
+        let stats = if self.mode.is_sparse() {
+            self.run_round_sparse()
+        } else {
+            self.run_round_dense()
+        };
+        self.metrics.push(stats);
+        self.metrics.add_elapsed(started.elapsed());
+        stats
+    }
+
+    /// Dense activation: every non-halted node broadcasts and steps.
+    fn run_round_dense(&mut self) -> RoundStats {
         let round = self.round;
         let graph = &self.graph;
         let loss = self.loss;
@@ -205,87 +412,21 @@ impl<P: NodeProgram> Network<P> {
         // The accounting (post-loss, see `with_message_loss`) is computed in
         // the same map so no separate sequential pass over the outboxes is
         // needed afterwards.
-        let broadcast_one = |i: usize, cell: &mut NodeCell<P>| {
-            if cell.program.halted() {
-                return (Outgoing::Silent, SendAccount::default());
-            }
-            let sender = NodeId::new(i);
-            let ctx = NodeContext::new(graph, sender, round);
-            let out = cell.program.broadcast(&ctx);
-            let mut acct = SendAccount::default();
-            // Post-loss accounting evaluates `drops` here and the receive
-            // phase evaluates it again per arc — a deliberate trade-off:
-            // the hash is a handful of integer ops, and sharing it would
-            // need another arc-indexed scratch array written under the
-            // parallel map. Fault-free runs (`loss == None`) skip both.
-            let delivered = |to: NodeId| loss.is_none_or(|m| !m.drops(round, sender, to));
-            match &out {
-                Outgoing::Silent => {}
-                Outgoing::Broadcast(m) => {
-                    let copies = match loss {
-                        None => graph.unweighted_degree(sender),
-                        Some(_) => graph
-                            .neighbors(sender)
-                            .iter()
-                            .filter(|&&t| delivered(t))
-                            .count(),
-                    };
-                    if copies > 0 {
-                        let bits = m.size_bits();
-                        acct.messages = copies;
-                        acct.payload_bits = bits * copies;
-                        acct.max_message_bits = bits;
-                    }
-                }
-                Outgoing::Multicast(m, targets) => {
-                    debug_assert!(
-                        targets.iter().all(|&t| graph.has_neighbor(sender, t)),
-                        "multicast target is not a neighbour of {sender}"
-                    );
-                    let copies = match loss {
-                        None => targets.len(),
-                        Some(_) => targets.iter().filter(|&&t| delivered(t)).count(),
-                    };
-                    if copies > 0 {
-                        let bits = m.size_bits();
-                        acct.messages = copies;
-                        acct.payload_bits = bits * copies;
-                        acct.max_message_bits = bits;
-                    }
-                }
-                Outgoing::Unicast(msgs) => {
-                    for (target, m) in msgs {
-                        debug_assert!(
-                            graph.has_neighbor(sender, *target),
-                            "unicast target {target} is not a neighbour of {sender}"
-                        );
-                        if delivered(*target) {
-                            let bits = m.size_bits();
-                            acct.messages += 1;
-                            acct.payload_bits += bits;
-                            acct.max_message_bits = acct.max_message_bits.max(bits);
-                        }
-                    }
-                }
-            }
-            (out, acct)
-        };
-
         match self.mode {
             ExecutionMode::Parallel => self
                 .cells
                 .par_iter_mut()
                 .enumerate()
-                .map(|(i, cell)| broadcast_one(i, cell))
+                .map(|(i, cell)| produce_outgoing(graph, loss, round, i, cell))
                 .collect_into_vec(&mut self.outboxes),
-            ExecutionMode::Sequential => {
+            _ => {
                 self.outboxes.clear();
                 self.outboxes.reserve(self.cells.len());
                 self.outboxes.extend(
                     self.cells
                         .iter_mut()
                         .enumerate()
-                        .map(|(i, cell)| broadcast_one(i, cell)),
+                        .map(|(i, cell)| produce_outgoing(graph, loss, round, i, cell)),
                 );
             }
         }
@@ -334,15 +475,15 @@ impl<P: NodeProgram> Network<P> {
         // Phase 2: every (non-halted) node collects the messages addressed to
         // it from its neighbours' outboxes into its persistent inbox and
         // updates its state.
-        // Delivery order guarantee: the inbox is ordered by the receiver's
-        // neighbour-list order (one scan over `graph.neighbors(v)`), which node
-        // programs may rely on to merge messages with per-neighbour state in
-        // linear time.
+        // Delivery order guarantee (dense modes only): the inbox is ordered by
+        // the receiver's neighbour-list order (one scan over
+        // `graph.neighbors(v)`), which node programs may rely on to merge
+        // messages with per-neighbour state in linear time.
         let outboxes = &self.outboxes;
         let stamps = &self.multicast_stamps;
-        let receive_one = |i: usize, cell: &mut NodeCell<P>| -> bool {
+        let receive_one = |i: usize, cell: &mut NodeCell<P>| -> StepResult {
             if cell.program.halted() {
-                return false;
+                return StepResult::default();
             }
             let v = NodeId::new(i);
             let dropped =
@@ -353,9 +494,16 @@ impl<P: NodeProgram> Network<P> {
                 if dropped(u) {
                     continue;
                 }
+                let deliver = |inbox: &mut Vec<Delivery<P::Message>>, msg: &P::Message| {
+                    inbox.push(Delivery {
+                        sender: u,
+                        pos: q as u32,
+                        msg: msg.clone(),
+                    });
+                };
                 match &outboxes[u.index()].0 {
                     Outgoing::Silent => {}
-                    Outgoing::Broadcast(m) => cell.inbox.push((u, m.clone())),
+                    Outgoing::Broadcast(m) => deliver(&mut cell.inbox, m),
                     Outgoing::Multicast(m, targets) => {
                         // The paired sender-side arc (u → v) carries the stamp.
                         // The emptiness check both short-circuits no-op
@@ -365,13 +513,13 @@ impl<P: NodeProgram> Network<P> {
                         if !targets.is_empty()
                             && stamps[graph.reverse_arc(arc_base + q)] == round_stamp
                         {
-                            cell.inbox.push((u, m.clone()));
+                            deliver(&mut cell.inbox, m);
                         }
                     }
                     Outgoing::Unicast(msgs) => {
                         for (target, m) in msgs {
                             if *target == v {
-                                cell.inbox.push((u, m.clone()));
+                                deliver(&mut cell.inbox, m);
                             }
                         }
                     }
@@ -379,7 +527,10 @@ impl<P: NodeProgram> Network<P> {
             }
             let ctx = NodeContext::new(graph, v, round);
             let NodeCell { program, inbox } = cell;
-            program.receive(&ctx, inbox)
+            StepResult {
+                ran: true,
+                changed: program.receive(&ctx, inbox),
+            }
         };
 
         match self.mode {
@@ -388,11 +539,11 @@ impl<P: NodeProgram> Network<P> {
                 .par_iter_mut()
                 .enumerate()
                 .map(|(i, cell)| receive_one(i, cell))
-                .collect_into_vec(&mut self.changed),
-            ExecutionMode::Sequential => {
-                self.changed.clear();
-                self.changed.reserve(self.cells.len());
-                self.changed.extend(
+                .collect_into_vec(&mut self.step_results),
+            _ => {
+                self.step_results.clear();
+                self.step_results.reserve(self.cells.len());
+                self.step_results.extend(
                     self.cells
                         .iter_mut()
                         .enumerate()
@@ -400,19 +551,241 @@ impl<P: NodeProgram> Network<P> {
                 );
             }
         }
-        let changed_nodes = self.changed.iter().filter(|&&c| c).count();
+        let changed_nodes = self.step_results.iter().filter(|r| r.changed).count();
+        let node_updates = self.step_results.iter().filter(|r| r.ran).count();
 
-        let stats = RoundStats {
+        RoundStats {
             round,
             messages,
             payload_bits,
             max_message_bits,
             sending_nodes,
             changed_nodes,
-        };
-        self.metrics.push(stats);
-        self.metrics.add_elapsed(started.elapsed());
-        stats
+            node_updates,
+        }
+    }
+
+    /// Sparse activation: only the frontier broadcasts, only touched nodes
+    /// step. Valid for [`NodeProgram::DELTA_DRIVEN`] programs (enforced by
+    /// [`Network::with_mode`]); result-identical to dense execution.
+    fn run_round_sparse(&mut self) -> RoundStats {
+        let round = self.round;
+        let round_stamp = round as u64;
+        let n = self.cells.len();
+
+        if round == 1 {
+            // Every node runs its first step, so the initial frontier is the
+            // full (non-halted) node set.
+            self.touched_stamp = vec![0; n];
+            self.frontier.clear();
+            self.frontier
+                .extend((0..n as u32).filter(|&i| !self.cells[i as usize].program.halted()));
+            if self.outboxes.len() != n {
+                self.outboxes.clear();
+                self.outboxes
+                    .resize(n, (Outgoing::Silent, SendAccount::default()));
+            }
+        }
+
+        if self.frontier.is_empty() {
+            // Quiescent: the round is a no-op (and costs O(1)).
+            return RoundStats {
+                round,
+                ..RoundStats::default()
+            };
+        }
+
+        // Phase 1: frontier nodes produce their outgoing messages, with the
+        // same post-loss accounting as the dense path. A sender with dropped
+        // copies is queued for re-send so receivers hear its current value at
+        // exactly the rounds a dense run would have delivered it.
+        let mut messages = 0usize;
+        let mut payload_bits = 0usize;
+        let mut max_message_bits = 0usize;
+        let mut sending_nodes = 0usize;
+        self.resend.clear();
+        for idx in 0..self.frontier.len() {
+            let u = self.frontier[idx] as usize;
+            let row = produce_outgoing(&self.graph, self.loss, round, u, &mut self.cells[u]);
+            let acct = row.1;
+            self.outboxes[u] = row;
+            if acct.messages > 0 {
+                sending_nodes += 1;
+                messages += acct.messages;
+                payload_bits += acct.payload_bits;
+                max_message_bits = max_message_bits.max(acct.max_message_bits);
+            }
+            if acct.any_dropped {
+                self.resend.push(u as u32);
+            }
+        }
+
+        // Phase 2: sender-side scatter into the receivers' inboxes. Each
+        // delivery translates the sender-side arc to the receiver-local
+        // position through `reverse_arc`, so receivers never rescan their
+        // adjacency lists. The first delivery of the round to a node clears
+        // its (stale) inbox and registers it in the touch list.
+        {
+            let Network {
+                graph,
+                cells,
+                outboxes,
+                multicast_stamps,
+                touch_list,
+                touched_stamp,
+                frontier,
+                loss,
+                ..
+            } = self;
+            touch_list.clear();
+            let loss = *loss;
+            let mut touch = |cells: &mut Vec<NodeCell<P>>, v: NodeId| -> bool {
+                let cell = &mut cells[v.index()];
+                if cell.program.halted() {
+                    return false;
+                }
+                if touched_stamp[v.index()] != round_stamp {
+                    touched_stamp[v.index()] = round_stamp;
+                    cell.inbox.clear();
+                    touch_list.push(v.0);
+                }
+                true
+            };
+            for &uu in frontier.iter() {
+                let u = uu as usize;
+                let sender = NodeId::new(u);
+                let base = graph.arc_offset(sender);
+                let dropped = |to: NodeId| -> bool {
+                    loss.map(|m| m.drops(round, sender, to)).unwrap_or(false)
+                };
+                // Deliver one copy on the arc at sender-local position `q`.
+                let deliver = |cells: &mut Vec<NodeCell<P>>, q: usize, msg: &P::Message| {
+                    let v = graph.neighbors(sender)[q];
+                    let pos = (graph.reverse_arc(base + q) - graph.arc_offset(v)) as u32;
+                    cells[v.index()].inbox.push(Delivery {
+                        sender,
+                        pos,
+                        msg: msg.clone(),
+                    });
+                };
+                match &outboxes[u].0 {
+                    Outgoing::Silent => {}
+                    Outgoing::Broadcast(m) => {
+                        for (q, &v) in graph.neighbors(sender).iter().enumerate() {
+                            if !dropped(v) && touch(cells, v) {
+                                deliver(cells, q, m);
+                            }
+                        }
+                    }
+                    Outgoing::Multicast(m, targets) => {
+                        if targets.is_empty() {
+                            continue;
+                        }
+                        if multicast_stamps.len() != graph.num_arcs() {
+                            *multicast_stamps = vec![0; graph.num_arcs()];
+                        }
+                        for &t in targets {
+                            if dropped(t) {
+                                continue;
+                            }
+                            for q in graph.neighbor_positions(sender, t) {
+                                // The stamp deduplicates repeated target
+                                // entries (dense delivery is idempotent in
+                                // them); parallel arcs have distinct
+                                // positions and each gets its copy.
+                                if multicast_stamps[base + q] == round_stamp {
+                                    continue;
+                                }
+                                multicast_stamps[base + q] = round_stamp;
+                                if touch(cells, t) {
+                                    deliver(cells, q, m);
+                                }
+                            }
+                        }
+                    }
+                    Outgoing::Unicast(msgs) => {
+                        for (t, m) in msgs {
+                            if dropped(*t) {
+                                continue;
+                            }
+                            // Dense delivery hands a unicast to every parallel
+                            // arc towards the target; mirror that here.
+                            for q in graph.neighbor_positions(sender, *t) {
+                                if touch(cells, *t) {
+                                    deliver(cells, q, m);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if round == 1 {
+                // Every node executes its first step even with an empty inbox
+                // (initialization transitions, e.g. ∞ → degree, happen here).
+                for i in 0..n {
+                    touch(cells, NodeId::new(i));
+                }
+            }
+        }
+        self.touch_list.sort_unstable();
+
+        // Phase 3: touched nodes run their step; nodes that changed (plus
+        // re-senders) form the next frontier.
+        let node_updates = self.touch_list.len();
+        let mut changed_nodes = 0usize;
+        self.next_frontier.clear();
+        match self.mode {
+            ExecutionMode::SparseParallel => {
+                let graph = &self.graph;
+                let stamps = &self.touched_stamp;
+                self.cells
+                    .par_iter_mut()
+                    .enumerate()
+                    .map(|(i, cell)| {
+                        if stamps[i] != round_stamp {
+                            return StepResult::default();
+                        }
+                        let ctx = NodeContext::new(graph, NodeId::new(i), round);
+                        let NodeCell { program, inbox } = cell;
+                        StepResult {
+                            ran: true,
+                            changed: program.receive(&ctx, inbox),
+                        }
+                    })
+                    .collect_into_vec(&mut self.step_results);
+                for &v in &self.touch_list {
+                    if self.step_results[v as usize].changed {
+                        changed_nodes += 1;
+                        self.next_frontier.push(v);
+                    }
+                }
+            }
+            _ => {
+                for idx in 0..self.touch_list.len() {
+                    let v = self.touch_list[idx] as usize;
+                    let ctx = NodeContext::new(&self.graph, NodeId::new(v), round);
+                    let NodeCell { program, inbox } = &mut self.cells[v];
+                    if program.receive(&ctx, inbox) {
+                        changed_nodes += 1;
+                        self.next_frontier.push(v as u32);
+                    }
+                }
+            }
+        }
+        self.next_frontier.extend_from_slice(&self.resend);
+        self.next_frontier.sort_unstable();
+        self.next_frontier.dedup();
+        std::mem::swap(&mut self.frontier, &mut self.next_frontier);
+
+        RoundStats {
+            round,
+            messages,
+            payload_bits,
+            max_message_bits,
+            sending_nodes,
+            changed_nodes,
+            node_updates,
+        }
     }
 
     /// Runs exactly `rounds` rounds.
@@ -441,9 +814,18 @@ mod tests {
     use super::*;
     use dkc_graph::generators::{complete_graph, path_graph};
 
+    const ALL_MODES: [ExecutionMode; 4] = [
+        ExecutionMode::Sequential,
+        ExecutionMode::Parallel,
+        ExecutionMode::SparseSequential,
+        ExecutionMode::SparseParallel,
+    ];
+
     /// Toy protocol: every node repeatedly broadcasts the smallest node id it
     /// has heard of. Converges to the global minimum in (eccentricity of the
-    /// minimum) rounds — a classic diameter-dependent protocol.
+    /// minimum) rounds — a classic diameter-dependent protocol. Delta-driven:
+    /// the broadcast is a pure function of `best`, and the min-merge is
+    /// idempotent and order-insensitive.
     struct MinIdFlood {
         best: u32,
     }
@@ -451,14 +833,16 @@ mod tests {
     impl NodeProgram for MinIdFlood {
         type Message = u32;
 
+        const DELTA_DRIVEN: bool = true;
+
         fn broadcast(&mut self, _ctx: &NodeContext<'_>) -> Outgoing<u32> {
             Outgoing::Broadcast(self.best)
         }
 
-        fn receive(&mut self, _ctx: &NodeContext<'_>, inbox: &[(NodeId, u32)]) -> bool {
+        fn receive(&mut self, _ctx: &NodeContext<'_>, inbox: &[Delivery<u32>]) -> bool {
             let before = self.best;
-            for &(_, m) in inbox {
-                self.best = self.best.min(m);
+            for d in inbox {
+                self.best = self.best.min(d.msg);
             }
             self.best != before
         }
@@ -473,43 +857,114 @@ mod tests {
     #[test]
     fn flood_takes_diameter_rounds_on_a_path() {
         let g = path_graph(10);
-        let mut net = min_id_network(&g, ExecutionMode::Sequential);
-        // After k rounds, node k knows id 0 but node k+1 does not.
-        net.run(5);
-        assert_eq!(net.program(NodeId(5)).best, 0);
-        assert_eq!(net.program(NodeId(6)).best, 1);
-        net.run(4);
-        for v in net.graph().nodes() {
-            assert_eq!(net.program(v).best, 0, "node {v} not converged");
+        for mode in ALL_MODES {
+            let mut net = min_id_network(&g, mode);
+            // After k rounds, node k knows id 0 but node k+1 does not.
+            net.run(5);
+            assert_eq!(net.program(NodeId(5)).best, 0, "{mode:?}");
+            assert_eq!(net.program(NodeId(6)).best, 1, "{mode:?}");
+            net.run(4);
+            for v in net.graph().nodes() {
+                assert_eq!(net.program(v).best, 0, "node {v} not converged ({mode:?})");
+            }
         }
     }
 
     #[test]
-    fn parallel_and_sequential_agree() {
+    fn all_modes_agree() {
         let g = complete_graph(20);
-        let mut seq = min_id_network(&g, ExecutionMode::Sequential);
-        let mut par = min_id_network(&g, ExecutionMode::Parallel);
-        seq.run(3);
-        par.run(3);
-        for v in g.nodes() {
-            assert_eq!(seq.program(v).best, par.program(v).best);
+        let mut reference = min_id_network(&g, ExecutionMode::Sequential);
+        reference.run(3);
+        for mode in &ALL_MODES[1..] {
+            let mut net = min_id_network(&g, *mode);
+            net.run(3);
+            for v in g.nodes() {
+                assert_eq!(reference.program(v).best, net.program(v).best, "{mode:?}");
+            }
         }
+        // The two dense modes and the two sparse modes agree exactly on
+        // counters as well.
+        let mut par = min_id_network(&g, ExecutionMode::Parallel);
+        par.run(3);
         assert_eq!(
-            seq.metrics().total_messages(),
+            reference.metrics().total_messages(),
             par.metrics().total_messages()
         );
+        let mut ss = min_id_network(&g, ExecutionMode::SparseSequential);
+        let mut sp = min_id_network(&g, ExecutionMode::SparseParallel);
+        ss.run(3);
+        sp.run(3);
+        assert_eq!(ss.metrics().rounds(), sp.metrics().rounds());
+    }
+
+    #[test]
+    fn sparse_skips_redundant_work() {
+        let g = path_graph(32);
+        let rounds = 200; // well past convergence: the tail is free for sparse
+        let mut dense = min_id_network(&g, ExecutionMode::Sequential);
+        let mut sparse = min_id_network(&g, ExecutionMode::SparseSequential);
+        dense.run(rounds);
+        sparse.run(rounds);
+        for v in g.nodes() {
+            assert_eq!(dense.program(v).best, sparse.program(v).best);
+        }
+        let d = dense.metrics();
+        let s = sparse.metrics();
+        assert_eq!(d.num_rounds(), s.num_rounds());
+        assert!(
+            s.total_node_updates() < d.total_node_updates() / 4,
+            "sparse executed {} steps vs dense {}",
+            s.total_node_updates(),
+            d.total_node_updates()
+        );
+        assert!(s.total_messages() < d.total_messages() / 4);
+        // Dense runs every node every round.
+        assert_eq!(d.total_node_updates(), 32 * rounds);
+    }
+
+    #[test]
+    fn sparse_matches_dense_under_loss() {
+        let g = path_graph(16);
+        for seed in [1u64, 7, 99] {
+            let model = LossModel::new(0.4, seed);
+            let mut dense = min_id_network(&g, ExecutionMode::Sequential).with_message_loss(model);
+            let mut sparse =
+                min_id_network(&g, ExecutionMode::SparseSequential).with_message_loss(model);
+            dense.run(40);
+            sparse.run(40);
+            for v in g.nodes() {
+                assert_eq!(
+                    dense.program(v).best,
+                    sparse.program(v).best,
+                    "seed {seed}, node {v}"
+                );
+            }
+        }
     }
 
     #[test]
     fn quiescence_detection() {
         let g = path_graph(8);
-        let mut net = min_id_network(&g, ExecutionMode::Sequential);
-        let rounds = net.run_until_quiescent(100);
-        // 7 rounds to converge + 1 quiescent round to detect it.
-        assert_eq!(rounds, 8);
-        for v in net.graph().nodes() {
-            assert_eq!(net.program(v).best, 0);
+        for mode in ALL_MODES {
+            let mut net = min_id_network(&g, mode);
+            let rounds = net.run_until_quiescent(100);
+            // 7 rounds to converge + 1 quiescent round to detect it.
+            assert_eq!(rounds, 8, "{mode:?}");
+            for v in net.graph().nodes() {
+                assert_eq!(net.program(v).best, 0);
+            }
         }
+    }
+
+    #[test]
+    fn quiescent_sparse_rounds_are_free() {
+        let g = path_graph(6);
+        let mut net = min_id_network(&g, ExecutionMode::SparseSequential);
+        net.run(50);
+        let trailing = &net.metrics().rounds()[10..];
+        assert!(trailing
+            .iter()
+            .all(|r| r.messages == 0 && r.node_updates == 0));
     }
 
     #[test]
@@ -522,6 +977,7 @@ mod tests {
         assert_eq!(stats.payload_bits, 20 * 32);
         assert_eq!(stats.max_message_bits, 32);
         assert_eq!(stats.sending_nodes, 5);
+        assert_eq!(stats.node_updates, 5);
     }
 
     /// A protocol with explicit halting: each node sends one message then halts.
@@ -542,7 +998,7 @@ mod tests {
             }
         }
 
-        fn receive(&mut self, _ctx: &NodeContext<'_>, inbox: &[(NodeId, ())]) -> bool {
+        fn receive(&mut self, _ctx: &NodeContext<'_>, inbox: &[Delivery<()>]) -> bool {
             self.received += inbox.len();
             !inbox.is_empty()
         }
@@ -566,9 +1022,21 @@ mod tests {
         // receive phase? No: messages are delivered in the same round they are
         // sent, but `halted()` became true after the broadcast phase, so the
         // receive phase is skipped for everyone and nothing is counted.
+        assert_eq!(s1.node_updates, 0);
         let s2 = net.run_round();
         assert_eq!(s2.messages, 0);
         assert_eq!(s2.changed_nodes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta-driven")]
+    fn sparse_mode_requires_delta_driven_programs() {
+        let g = complete_graph(3);
+        let _ = Network::new(&g, |_| OneShot {
+            sent: false,
+            received: 0,
+        })
+        .with_mode(ExecutionMode::SparseSequential);
     }
 
     #[test]
@@ -586,14 +1054,18 @@ mod tests {
                     Outgoing::Multicast(9, vec![first])
                 }
             }
-            fn receive(&mut self, ctx: &NodeContext<'_>, inbox: &[(NodeId, u64)]) -> bool {
+            fn receive(&mut self, ctx: &NodeContext<'_>, inbox: &[Delivery<u64>]) -> bool {
                 if ctx.node() == NodeId(1) {
-                    assert!(inbox.iter().any(|&(s, m)| s == NodeId(0) && m == 7));
+                    assert!(inbox.iter().any(|d| d.sender == NodeId(0) && d.msg == 7));
+                    // Delivered positions index the receiver's neighbour list.
+                    for d in inbox {
+                        assert_eq!(ctx.neighbors()[d.pos as usize], d.sender);
+                    }
                 }
                 if ctx.node() == NodeId(2) {
                     // Node 2's message from node 0 must NOT be delivered
                     // (node 0 unicast only to node 1).
-                    assert!(!inbox.iter().any(|&(s, _)| s == NodeId(0)));
+                    assert!(!inbox.iter().any(|d| d.sender == NodeId(0)));
                 }
                 false
             }
@@ -623,9 +1095,10 @@ mod tests {
             Outgoing::Multicast(ctx.node().0, targets)
         }
 
-        fn receive(&mut self, ctx: &NodeContext<'_>, inbox: &[(NodeId, u32)]) -> bool {
-            for &(s, m) in inbox {
-                self.heard.push((s.0, m.wrapping_add(ctx.round() as u32)));
+        fn receive(&mut self, ctx: &NodeContext<'_>, inbox: &[Delivery<u32>]) -> bool {
+            for d in inbox {
+                self.heard
+                    .push((d.sender.0, d.msg.wrapping_add(ctx.round() as u32)));
             }
             !inbox.is_empty()
         }
@@ -668,7 +1141,7 @@ mod tests {
                     Outgoing::Silent
                 }
             }
-            fn receive(&mut self, _ctx: &NodeContext<'_>, inbox: &[(NodeId, u32)]) -> bool {
+            fn receive(&mut self, _ctx: &NodeContext<'_>, inbox: &[Delivery<u32>]) -> bool {
                 self.received += inbox.len();
                 false
             }
@@ -706,6 +1179,25 @@ mod tests {
     }
 
     #[test]
+    fn sparse_buffer_reuse_after_warmup() {
+        let g = path_graph(24);
+        for mode in [
+            ExecutionMode::SparseSequential,
+            ExecutionMode::SparseParallel,
+        ] {
+            let mut net = min_id_network(&g, mode);
+            net.run(4);
+            let warm = net.buffer_stats();
+            net.run(40);
+            assert_eq!(
+                net.buffer_stats(),
+                warm,
+                "steady-state sparse rounds must not grow executor buffers ({mode:?})"
+            );
+        }
+    }
+
+    #[test]
     fn empty_multicast_is_silent_and_does_not_panic() {
         // Regression: an empty-target multicast in a round with no other
         // multicast used to index the unallocated stamp array in the receive
@@ -718,7 +1210,7 @@ mod tests {
             fn broadcast(&mut self, _ctx: &NodeContext<'_>) -> Outgoing<u32> {
                 Outgoing::Multicast(1, vec![])
             }
-            fn receive(&mut self, _ctx: &NodeContext<'_>, inbox: &[(NodeId, u32)]) -> bool {
+            fn receive(&mut self, _ctx: &NodeContext<'_>, inbox: &[Delivery<u32>]) -> bool {
                 self.received += inbox.len();
                 false
             }
@@ -747,7 +1239,7 @@ mod tests {
             fn broadcast(&mut self, ctx: &NodeContext<'_>) -> Outgoing<u32> {
                 Outgoing::Multicast(3, ctx.neighbors().to_vec())
             }
-            fn receive(&mut self, _ctx: &NodeContext<'_>, inbox: &[(NodeId, u32)]) -> bool {
+            fn receive(&mut self, _ctx: &NodeContext<'_>, inbox: &[Delivery<u32>]) -> bool {
                 assert!(inbox.is_empty(), "loss=1.0 must drop every copy");
                 false
             }

@@ -75,6 +75,28 @@ impl<'a> NodeContext<'a> {
     }
 }
 
+/// One message as it arrives in a node's inbox.
+///
+/// Besides the payload and the sender id, every delivery carries the
+/// **receiver-local adjacency position** of the arc it arrived on: `pos`
+/// indexes the receiver's [`NodeContext::neighbors`] /
+/// [`NodeContext::neighbor_weights`] slices. Programs that keep per-neighbour
+/// state (cached values, alive flags, …) can therefore merge an inbox in
+/// `O(|inbox|)` without rescanning their adjacency list and without relying on
+/// any particular inbox ordering — which is what makes the sparse
+/// frontier executor (see [`crate::ExecutionMode`]) possible. A broadcast or
+/// multicast over parallel edges is delivered once per arc, each with its own
+/// `pos`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Delivery<M> {
+    /// The sending node.
+    pub sender: NodeId,
+    /// Receiver-local adjacency position of the arc the message arrived on.
+    pub pos: u32,
+    /// The payload.
+    pub msg: M,
+}
+
 /// What a node sends in the broadcast phase of a round.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Outgoing<M> {
@@ -122,14 +144,42 @@ pub trait NodeProgram: Send {
     /// The message payload type.
     type Message: Clone + Send + Sync + crate::message::MessageSize;
 
+    /// Whether this program satisfies the **delta-driven contract** required
+    /// by the sparse frontier execution modes
+    /// ([`crate::ExecutionMode::SparseSequential`] /
+    /// [`crate::ExecutionMode::SparseParallel`]):
+    ///
+    /// 1. [`NodeProgram::broadcast`] is a pure function of the node's
+    ///    observable state (no side effects), so a node whose last
+    ///    [`NodeProgram::receive`] returned `false` would re-send exactly the
+    ///    message(s) it sent before;
+    /// 2. `receive` is an idempotent per-neighbour cache merge: re-delivering
+    ///    an already-known value, or omitting the message of a neighbour whose
+    ///    value did not change, does not alter the node's resulting state;
+    /// 3. after a node's first executed step, `receive` with an empty inbox
+    ///    is a no-op;
+    /// 4. the inbox may arrive in any order (merge by [`Delivery::pos`], not
+    ///    by position in the inbox slice).
+    ///
+    /// Under this contract the sparse executor skips the broadcast of
+    /// unchanged nodes and the step of untouched nodes while remaining
+    /// **result-identical** to dense execution — including under deterministic
+    /// message loss (a sender with dropped copies stays active and re-sends,
+    /// exactly reproducing the rounds at which a dense run would have
+    /// delivered). Programs that leave this `false` (the default) are rejected
+    /// by the sparse modes.
+    const DELTA_DRIVEN: bool = false;
+
     /// Phase 1: produce the messages to send this round.
     fn broadcast(&mut self, ctx: &NodeContext<'_>) -> Outgoing<Self::Message>;
 
     /// Phase 2: process messages received this round. `inbox` contains one
-    /// entry per neighbour that addressed this node, tagged with the sender id,
-    /// ordered consistently with this node's neighbour list.
+    /// [`Delivery`] per arc on which a neighbour addressed this node. Under
+    /// the dense execution modes the inbox is ordered consistently with this
+    /// node's neighbour list; under the sparse modes the order is unspecified
+    /// (use [`Delivery::pos`]).
     /// Returns `true` if the node's observable state changed.
-    fn receive(&mut self, ctx: &NodeContext<'_>, inbox: &[(NodeId, Self::Message)]) -> bool;
+    fn receive(&mut self, ctx: &NodeContext<'_>, inbox: &[Delivery<Self::Message>]) -> bool;
 
     /// Whether the node has locally terminated.
     fn halted(&self) -> bool {

@@ -5,7 +5,9 @@
 //! hot-path rewrite (buffer reuse, stamp-scatter multicast delivery, fused
 //! accounting) to the simple executor semantics.
 
-use dkc_distsim::{ExecutionMode, LossModel, Network, NodeContext, NodeProgram, Outgoing};
+use dkc_distsim::{
+    Delivery, ExecutionMode, LossModel, Network, NodeContext, NodeProgram, Outgoing,
+};
 use dkc_graph::generators::erdos_renyi;
 use dkc_graph::NodeId;
 use proptest::prelude::*;
@@ -67,16 +69,19 @@ impl NodeProgram for ChaosNode {
         }
     }
 
-    fn receive(&mut self, ctx: &NodeContext<'_>, inbox: &[(NodeId, u64)]) -> bool {
-        for &(u, m) in inbox {
-            self.log.push((ctx.round(), u.0, m));
+    fn receive(&mut self, ctx: &NodeContext<'_>, inbox: &[Delivery<u64>]) -> bool {
+        for d in inbox {
+            // The arc position must point back at the sender.
+            assert_eq!(ctx.neighbors()[d.pos as usize], d.sender);
+            self.log.push((ctx.round(), d.sender.0, d.pos, d.msg));
         }
         !inbox.is_empty()
     }
 }
 
-/// One delivered message as logged by a receiver: (round, sender, payload).
-type LoggedMessage = (usize, u32, u64);
+/// One delivered message as logged by a receiver: (round, sender, arc
+/// position, payload).
+type LoggedMessage = (usize, u32, u32, u64);
 
 fn run(
     g: &dkc_graph::WeightedGraph,

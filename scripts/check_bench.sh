@@ -4,10 +4,13 @@
 #   scripts/check_bench.sh <report.json> <baseline.json>
 #
 # Compares only the DETERMINISTIC counters of each record — (experiment,
-# workload, scale, rounds, total_messages, payload_bits, max_message_bits) —
-# and fails on any drift: a changed counter, a missing record, or an
-# unexpected extra record. Timing fields (wall_clock_ms, messages_per_sec)
-# are machine-dependent and deliberately ignored.
+# workload, scale, rounds, total_messages, payload_bits, max_message_bits,
+# node_updates) — and fails on any drift: a changed counter, a missing
+# record, or an unexpected extra record. Timing fields (wall_clock_ms,
+# messages_per_sec) are machine-dependent and deliberately ignored.
+#
+# Accepts schema versions 1 and 2; v1 records count node_updates as 0
+# (see the migration note in crates/bench/src/report.rs).
 #
 # To update the baseline intentionally (e.g. a protocol change that alters
 # message counts), regenerate it and commit the diff:
@@ -35,21 +38,33 @@ import json
 import sys
 
 report_path, baseline_path = sys.argv[1], sys.argv[2]
-COUNTERS = ("rounds", "total_messages", "payload_bits", "max_message_bits")
+COUNTERS = ("rounds", "total_messages", "payload_bits", "max_message_bits",
+            "node_updates")
 
 
 def load(path):
     with open(path) as fh:
         doc = json.load(fh)
-    if doc.get("schema_version") != 1:
-        sys.exit(f"check_bench: {path}: unsupported schema_version "
-                 f"{doc.get('schema_version')!r}")
+    version = doc.get("schema_version")
+    if version not in (1, 2):
+        sys.exit(f"check_bench: {path}: unsupported schema_version {version!r}")
     records = {}
     for rec in doc["records"]:
         key = (rec["experiment"], rec["workload"], rec["scale"])
         if key in records:
             sys.exit(f"check_bench: {path}: duplicate record {key}")
-        records[key] = tuple(rec[c] for c in COUNTERS)
+        counters = []
+        for c in COUNTERS:
+            # Only node_updates is optional, and only in schema v1 (the
+            # field predates it); any other missing counter is malformed.
+            if c == "node_updates" and version == 1:
+                counters.append(rec.get(c, 0))
+            elif c not in rec:
+                sys.exit(f"check_bench: {path}: record {key} is missing "
+                         f"counter {c!r} (schema v{version})")
+            else:
+                counters.append(rec[c])
+        records[key] = tuple(counters)
     return records
 
 

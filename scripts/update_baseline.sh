@@ -2,7 +2,7 @@
 # Regenerate the committed CI baselines after an INTENTIONAL change to the
 # deterministic counters (protocol change, new experiment, new workload):
 #
-#   scripts/update_baseline.sh    # rewrites bench/baselines/{tiny,ingest-tiny}.json
+#   scripts/update_baseline.sh    # rewrites bench/baselines/{tiny,ingest-tiny,frontier-tiny}.json
 #
 # The machine-dependent timing fields (wall_clock_ms, messages_per_sec) are
 # zeroed before committing — scripts/check_bench.sh ignores them anyway, and
@@ -37,3 +37,7 @@ zero_timings "$baseline"
 ingest_baseline="bench/baselines/ingest-tiny.json"
 cargo run --release -p dkc-bench --bin exp_ingest -- --scale tiny --json "$ingest_baseline"
 zero_timings "$ingest_baseline"
+
+frontier_baseline="bench/baselines/frontier-tiny.json"
+cargo run --release -p dkc-bench --bin exp_frontier -- --scale tiny --json "$frontier_baseline"
+zero_timings "$frontier_baseline"

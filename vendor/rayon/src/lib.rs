@@ -19,6 +19,7 @@
 
 use std::cell::Cell;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod prelude {
     pub use crate::IntoParallelRefMutIterator;
@@ -29,17 +30,26 @@ thread_local! {
     static CURRENT_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
+/// Process-wide thread-count override installed by
+/// [`ThreadPoolBuilder::build_global`] (0 = unset).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
 fn default_num_threads() -> usize {
     std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
 }
 
-/// Number of threads parallel pipelines on this thread will use.
+/// Number of threads parallel pipelines on this thread will use. Resolution
+/// order: a scoped [`ThreadPool::install`], then the global pool configured
+/// via [`ThreadPoolBuilder::build_global`], then the machine parallelism.
 pub fn current_num_threads() -> usize {
-    CURRENT_THREADS
-        .with(|c| c.get())
-        .unwrap_or_else(default_num_threads)
+    CURRENT_THREADS.with(|c| c.get()).unwrap_or_else(|| {
+        match GLOBAL_THREADS.load(Ordering::Relaxed) {
+            0 => default_num_threads(),
+            n => n,
+        }
+    })
 }
 
 /// Builder mirroring `rayon::ThreadPoolBuilder`.
@@ -77,6 +87,20 @@ impl ThreadPoolBuilder {
             Some(n) => n,
         };
         Ok(ThreadPool { num_threads: n })
+    }
+
+    /// Mirrors `rayon::ThreadPoolBuilder::build_global`: installs this
+    /// thread-count policy process-wide (scoped [`ThreadPool::install`]s
+    /// still take precedence). Unlike real rayon, repeated calls simply
+    /// replace the setting — this stand-in has no pooled threads to tear
+    /// down.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(0) | None => default_num_threads(),
+            Some(n) => n,
+        };
+        GLOBAL_THREADS.store(n, Ordering::Relaxed);
+        Ok(())
     }
 }
 
@@ -358,6 +382,23 @@ mod tests {
         for (i, val) in out.iter().enumerate() {
             assert_eq!(*val, 4 * i as u32);
         }
+    }
+
+    #[test]
+    fn build_global_overrides_default_but_not_install() {
+        super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build_global()
+            .unwrap();
+        assert_eq!(super::current_num_threads(), 3);
+        // A scoped install still takes precedence over the global pool.
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        pool.install(|| assert_eq!(super::current_num_threads(), 2));
+        assert_eq!(super::current_num_threads(), 3);
+        super::GLOBAL_THREADS.store(0, std::sync::atomic::Ordering::Relaxed);
     }
 
     #[test]
