@@ -1,4 +1,4 @@
-//! Experiment implementations E1–E12 (see DESIGN.md §4). Each returns an
+//! Experiment implementations E1–E13 (see DESIGN.md §4). Each returns an
 //! [`ExperimentOutput`]: a [`Table`] for human consumption plus the
 //! [`ExperimentRecord`]s feeding the machine-readable report pipeline
 //! (`--json`, see [`crate::report`]).
@@ -804,6 +804,149 @@ pub fn exp_frontier(scale: WorkloadScale) -> ExperimentOutput {
     out
 }
 
+/// The deterministic E13 fault-scenario matrix: one representative plan per
+/// fault class (plus the fault-free control), with crash/partition windows
+/// derived from the workload's round budget so every scale exercises the
+/// same phases of the run. All scenarios share one seed constant, so the
+/// counters are reproducible and CI-gateable.
+pub fn fault_scenarios(budget: usize) -> Vec<(&'static str, dkc_distsim::FaultPlan)> {
+    use dkc_distsim::{BurstLoss, CrashModel, FaultPlan, LossModel, PartitionModel};
+    const SEED: u64 = 0xE13;
+    // Crash from round 2 (so every node executes its initialization step and
+    // all surviving numbers stay finite) until mid-run; partition the middle
+    // half of the run, healing afterwards.
+    let crash_last = (budget / 2).max(2);
+    let part_first = (budget / 4).max(2);
+    let part_last = (budget / 2).max(part_first);
+    vec![
+        ("none", FaultPlan::none()),
+        ("loss-0.20", FaultPlan::from_loss(LossModel::new(0.2, SEED))),
+        (
+            "burst-6:2",
+            FaultPlan::none().with_burst(BurstLoss::new(6, 2, SEED)),
+        ),
+        (
+            "crash-0.20",
+            FaultPlan::none().with_crash(CrashModel::new(0.2, 2, crash_last, SEED)),
+        ),
+        (
+            "partition-0.30",
+            FaultPlan::none().with_partition(PartitionModel::new(0.3, part_first, part_last, SEED)),
+        ),
+    ]
+}
+
+/// The three E13 workloads: a heavy-tailed social stand-in, a near-regular
+/// random graph, and a high-diameter grid (the shape on which partitions and
+/// bursts bite hardest).
+pub fn fault_workloads(scale: WorkloadScale) -> Vec<crate::workloads::Workload> {
+    standard_suite(scale)
+        .into_iter()
+        .filter(|w| matches!(w.name, "ba" | "erdos-renyi" | "grid"))
+        .collect()
+}
+
+/// E13: fault injection. Runs the compact elimination under each fault class
+/// (and the fault-free control) on three workloads, reporting coreness
+/// quality (worst/mean node ratio vs the exact coreness) and
+/// rounds-to-converge, plus the deterministic per-component drop/crash
+/// counters CI gates on. When `custom` is given (the `exp_faults` fault
+/// flags), it replaces the scenario matrix and runs against the control.
+///
+/// Two invariants are asserted on every run, so each CI pass re-certifies
+/// them: the sparse executor stays byte-identical to the dense one under
+/// every fault plan, and the crash-stop scenario executes strictly fewer
+/// node updates than the fault-free control (crashed nodes leave the
+/// frontier).
+pub fn exp_faults(
+    scale: WorkloadScale,
+    custom: Option<dkc_distsim::FaultPlan>,
+) -> ExperimentOutput {
+    use dkc_core::compact::run_compact_elimination_with_faults;
+    let mut out = ExperimentOutput::new(Table::new(
+        "E13: fault injection (FaultPlan) — coreness quality and convergence",
+        &[
+            "workload",
+            "scenario",
+            "T",
+            "converged@",
+            "updates",
+            "dropped",
+            "crashed",
+            "max b/c",
+            "mean b/c",
+        ],
+    ));
+    for workload in fault_workloads(scale) {
+        let g = &workload.graph;
+        let n = g.num_nodes();
+        // Three times the theoretical budget: enough slack that every fault
+        // class converges (or visibly fails to) inside the run.
+        let budget = 3 * rounds_for_epsilon(n, 0.5);
+        let exact_core = weighted_coreness(g);
+        let scenarios = match custom {
+            Some(plan) => vec![("none", dkc_distsim::FaultPlan::none()), ("custom", plan)],
+            None => fault_scenarios(budget),
+        };
+        let mut control_updates: Option<usize> = None;
+        for (scenario, plan) in scenarios {
+            let run = run_compact_elimination_with_faults(
+                g,
+                budget,
+                ThresholdSet::Reals,
+                ExecutionMode::SparseParallel,
+                plan,
+            );
+            // Re-certify sparse/dense equivalence under this fault plan.
+            let dense =
+                run_compact_elimination_with_faults(g, budget, ThresholdSet::Reals, MODE, plan);
+            assert_eq!(
+                run.surviving, dense.surviving,
+                "sparse executor diverged from dense on {}-{scenario} — this is a bug",
+                workload.name
+            );
+            let updates = run.metrics.total_node_updates();
+            match scenario {
+                "none" => control_updates = Some(updates),
+                "crash-0.20" => {
+                    let control = control_updates.expect("control runs first");
+                    assert!(
+                        updates < control,
+                        "{}: crash-stop run executed {updates} node updates, \
+                         not fewer than the fault-free {control} — crashed nodes \
+                         failed to leave the frontier",
+                        workload.name
+                    );
+                }
+                _ => {}
+            }
+            let ratio = ApproxRatio::compute(&run.surviving, &exact_core);
+            let converged = run
+                .metrics
+                .last_active_round()
+                .map_or("never".to_string(), |r| r.to_string());
+            out.records.push(ExperimentRecord::from_metrics(
+                "E13",
+                format!("{}-{scenario}", workload.name),
+                scale.name(),
+                &run.metrics,
+            ));
+            out.table.row(vec![
+                workload.name.into(),
+                scenario.into(),
+                budget.to_string(),
+                converged,
+                updates.to_string(),
+                run.metrics.total_dropped().to_string(),
+                run.metrics.crashed_nodes().to_string(),
+                f3(ratio.max),
+                f3(ratio.mean),
+            ]);
+        }
+    }
+    out
+}
+
 /// E11: streaming dataset ingestion. For each sparse-id workload the table
 /// reports per-format file size, parse wall-clock, and edge throughput; the
 /// records carry deterministic counters (distinct nodes as `rounds`, edges
@@ -871,6 +1014,10 @@ pub fn exp_ingest(scale: WorkloadScale) -> ExperimentOutput {
                 payload_bits: bytes * 8,
                 max_message_bits: 64 - max_ext.leading_zeros() as usize,
                 node_updates: 0,
+                dropped_loss: 0,
+                dropped_burst: 0,
+                dropped_partition: 0,
+                crashed_nodes: 0,
                 messages_per_sec: if secs > 0.0 { edges as f64 / secs } else { 0.0 },
             });
             out.table.row(vec![
@@ -983,6 +1130,107 @@ mod tests {
         for (workload, nodes, edges, bits, id_bits) in &a {
             assert!(*nodes > 0 && *edges > 0 && *bits > 0, "{workload}");
             assert!(*id_bits >= 20, "{workload}: external ids are not sparse");
+        }
+    }
+
+    /// The E13 acceptance criteria: 5 scenarios × 3 workloads, deterministic
+    /// counters, a fault-free control identical to a plain run, drops/crashes
+    /// attributed to the right components. (The crash-beats-control
+    /// node_updates inequality and sparse/dense identity are asserted inside
+    /// `exp_faults` itself, so running it is the test.)
+    #[test]
+    fn fault_experiment_matrix_is_deterministic_and_attributed() {
+        let strip = |out: ExperimentOutput| {
+            out.records
+                .into_iter()
+                .map(|r| {
+                    (
+                        r.workload,
+                        r.rounds,
+                        r.total_messages,
+                        r.node_updates,
+                        r.dropped_loss,
+                        r.dropped_burst,
+                        r.dropped_partition,
+                        r.crashed_nodes,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = strip(exp_faults(WorkloadScale::Tiny, None));
+        let b = strip(exp_faults(WorkloadScale::Tiny, None));
+        assert_eq!(a, b, "deterministic fault counters drifted");
+        assert_eq!(a.len(), 15, "3 workloads x 5 scenarios");
+        for chunk in a.chunks(5) {
+            let [none, loss, burst, crash, partition] = chunk else {
+                unreachable!("five scenarios per workload");
+            };
+            assert!(none.0.ends_with("-none"), "{}", none.0);
+            assert_eq!(
+                (none.4, none.5, none.6, none.7),
+                (0, 0, 0, 0),
+                "{}: control must be fault-free",
+                none.0
+            );
+            assert!(
+                loss.4 > 0 && loss.5 == 0 && loss.6 == 0 && loss.7 == 0,
+                "{}",
+                loss.0
+            );
+            assert!(
+                burst.5 > 0 && burst.4 == 0 && burst.6 == 0 && burst.7 == 0,
+                "{}",
+                burst.0
+            );
+            assert!(
+                crash.7 > 0 && crash.4 == 0 && crash.5 == 0 && crash.6 == 0,
+                "{}",
+                crash.0
+            );
+            assert!(
+                partition.6 > 0 && partition.4 == 0 && partition.5 == 0 && partition.7 == 0,
+                "{}",
+                partition.0
+            );
+            // The acceptance inequality, re-checked from the records.
+            assert!(crash.3 < none.3, "{}: {} !< {}", crash.0, crash.3, none.3);
+        }
+    }
+
+    #[test]
+    fn fault_control_matches_a_plain_sparse_run() {
+        use dkc_core::compact::run_compact_elimination;
+        let out = exp_faults(WorkloadScale::Tiny, None);
+        for workload in fault_workloads(WorkloadScale::Tiny) {
+            let budget = 3 * rounds_for_epsilon(workload.graph.num_nodes(), 0.5);
+            let plain = run_compact_elimination(
+                &workload.graph,
+                budget,
+                ThresholdSet::Reals,
+                ExecutionMode::SparseParallel,
+            );
+            let control = out
+                .records
+                .iter()
+                .find(|r| r.workload == format!("{}-none", workload.name))
+                .expect("control record");
+            assert_eq!(control.rounds, plain.metrics.num_rounds());
+            assert_eq!(control.total_messages, plain.metrics.total_messages());
+            assert_eq!(control.node_updates, plain.metrics.total_node_updates());
+            assert_eq!(control.payload_bits, plain.metrics.total_payload_bits());
+        }
+    }
+
+    #[test]
+    fn fault_custom_plan_replaces_the_matrix() {
+        use dkc_distsim::{FaultPlan, LossModel};
+        let plan = FaultPlan::from_loss(LossModel::new(0.5, 4));
+        let out = exp_faults(WorkloadScale::Tiny, Some(plan));
+        assert_eq!(out.records.len(), 6, "3 workloads x {{none, custom}}");
+        for pair in out.records.chunks(2) {
+            assert!(pair[0].workload.ends_with("-none"));
+            assert!(pair[1].workload.ends_with("-custom"));
+            assert!(pair[1].dropped_loss > 0);
         }
     }
 

@@ -7,7 +7,7 @@
 //! non-deterministic timing columns (wall-clock, derived messages/sec) that
 //! make regressions visible without failing builds.
 //!
-//! Schema (version 2):
+//! Schema (version 3):
 //!
 //! ```json
 //! {
@@ -25,22 +25,30 @@
 //!       "payload_bits": 25593600,
 //!       "max_message_bits": 64,
 //!       "node_updates": 42000,
+//!       "dropped_loss": 120,
+//!       "dropped_burst": 0,
+//!       "dropped_partition": 0,
+//!       "crashed_nodes": 0,
 //!       "messages_per_sec": 31992000.0
 //!     }
 //!   ]
 //! }
 //! ```
 //!
-//! ## v1 → v2 migration
+//! ## Schema migration
 //!
-//! Version 2 (this PR) adds the deterministic `node_updates` counter — the
-//! number of node steps the executor actually ran, the CI-gateable measure of
-//! the sparse frontier executor's active-set work reduction. Version-1
-//! reports are still **read**: a v1 record's `node_updates` defaults to 0 and
-//! the parsed report is upgraded in memory (its `schema_version` becomes 2),
-//! so re-serializing always emits the current schema. In a v2 report the
-//! field is mandatory. Baselines under `bench/baselines/` are committed in v2
-//! form; `scripts/check_bench.sh` understands both versions.
+//! Version 2 added the deterministic `node_updates` counter — the number of
+//! node steps the executor actually ran, the CI-gateable measure of the
+//! sparse frontier executor's active-set work reduction. Version 3 (the
+//! `FaultPlan` PR) adds the four deterministic fault counters
+//! (`dropped_loss`, `dropped_burst`, `dropped_partition`, `crashed_nodes`)
+//! that E13 gates on. Older reports are still **read**: a missing counter
+//! introduced by a later version defaults to 0 and the parsed report is
+//! upgraded in memory (its `schema_version` becomes the current one), so
+//! re-serializing always emits the current schema. In a report carrying the
+//! version that introduced a field, that field is mandatory. Baselines under
+//! `bench/baselines/` are committed in v3 form; `scripts/check_bench.sh`
+//! understands all three versions.
 //!
 //! Serialization goes through the vendored `serde` data model into
 //! `serde_json`; parsing uses `serde_json::Value` accessors so malformed
@@ -54,7 +62,7 @@ use std::path::Path;
 use std::time::Duration;
 
 /// Version stamp written into every report; bump when the schema changes.
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Oldest schema version [`Report::from_json`] still accepts (upgrading it
 /// to [`SCHEMA_VERSION`] in memory).
@@ -87,6 +95,16 @@ pub struct ExperimentRecord {
     /// frontier experiment gates on. 0 for centralized/ingestion records and
     /// for records migrated from schema v1.
     pub node_updates: usize,
+    /// Copies dropped by the i.i.d. loss component of the run's
+    /// `FaultPlan` (deterministic; 0 for fault-free runs and for records
+    /// migrated from schema ≤ 2).
+    pub dropped_loss: usize,
+    /// Copies dropped inside burst-outage windows (deterministic).
+    pub dropped_burst: usize,
+    /// Copies dropped by partition cuts (deterministic).
+    pub dropped_partition: usize,
+    /// Nodes crash-stopped by the end of the run (deterministic).
+    pub crashed_nodes: usize,
     /// Derived throughput: `total_messages / wall_clock` (non-deterministic,
     /// 0 when no messages or no measurable time).
     pub messages_per_sec: f64,
@@ -113,6 +131,10 @@ impl ExperimentRecord {
             payload_bits: metrics.total_payload_bits(),
             max_message_bits: metrics.max_message_bits(),
             node_updates: metrics.total_node_updates(),
+            dropped_loss: metrics.total_dropped_loss(),
+            dropped_burst: metrics.total_dropped_burst(),
+            dropped_partition: metrics.total_dropped_partition(),
+            crashed_nodes: metrics.crashed_nodes(),
             messages_per_sec: metrics.messages_per_sec(),
         }
     }
@@ -138,6 +160,10 @@ impl ExperimentRecord {
             payload_bits: 0,
             max_message_bits: 0,
             node_updates: 0,
+            dropped_loss: 0,
+            dropped_burst: 0,
+            dropped_partition: 0,
+            crashed_nodes: 0,
             messages_per_sec: derive_throughput(total_messages, wall),
         }
     }
@@ -161,6 +187,10 @@ impl ExperimentRecord {
             payload_bits: 0,
             max_message_bits: 0,
             node_updates: 0,
+            dropped_loss: 0,
+            dropped_burst: 0,
+            dropped_partition: 0,
+            crashed_nodes: 0,
             messages_per_sec: 0.0,
         }
     }
@@ -194,7 +224,7 @@ fn derive_throughput(total_messages: usize, wall: Duration) -> f64 {
 
 impl Serialize for ExperimentRecord {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut s = serializer.serialize_struct("ExperimentRecord", 10)?;
+        let mut s = serializer.serialize_struct("ExperimentRecord", 14)?;
         s.serialize_field("experiment", &self.experiment)?;
         s.serialize_field("workload", &self.workload)?;
         s.serialize_field("scale", &self.scale)?;
@@ -204,6 +234,10 @@ impl Serialize for ExperimentRecord {
         s.serialize_field("payload_bits", &self.payload_bits)?;
         s.serialize_field("max_message_bits", &self.max_message_bits)?;
         s.serialize_field("node_updates", &self.node_updates)?;
+        s.serialize_field("dropped_loss", &self.dropped_loss)?;
+        s.serialize_field("dropped_burst", &self.dropped_burst)?;
+        s.serialize_field("dropped_partition", &self.dropped_partition)?;
+        s.serialize_field("crashed_nodes", &self.crashed_nodes)?;
         s.serialize_field("messages_per_sec", &self.messages_per_sec)?;
         s.end()
     }
@@ -371,14 +405,34 @@ fn record_from_value(v: &Value, schema_version: u64) -> Result<ExperimentRecord,
         total_messages: field_usize(v, "total_messages")?,
         payload_bits: field_usize(v, "payload_bits")?,
         max_message_bits: field_usize(v, "max_message_bits")?,
-        // v1 predates the counter; v2 requires it.
+        // v1 predates the counter; v2 and later require it.
         node_updates: if schema_version >= 2 {
             field_usize(v, "node_updates")?
         } else {
             v.get("node_updates").and_then(Value::as_u64).unwrap_or(0) as usize
         },
+        // The fault counters arrived in v3; older reports default them to 0.
+        dropped_loss: field_usize_since(v, "dropped_loss", schema_version, 3)?,
+        dropped_burst: field_usize_since(v, "dropped_burst", schema_version, 3)?,
+        dropped_partition: field_usize_since(v, "dropped_partition", schema_version, 3)?,
+        crashed_nodes: field_usize_since(v, "crashed_nodes", schema_version, 3)?,
         messages_per_sec: field_f64(v, "messages_per_sec")?,
     })
+}
+
+/// A counter that became mandatory in schema version `since`: required at or
+/// above it, defaulting to 0 (while still read if present) below it.
+fn field_usize_since(
+    v: &Value,
+    key: &str,
+    schema_version: u64,
+    since: u64,
+) -> Result<usize, String> {
+    if schema_version >= since {
+        field_usize(v, key)
+    } else {
+        Ok(v.get(key).and_then(Value::as_u64).unwrap_or(0) as usize)
+    }
 }
 
 #[cfg(test)]
@@ -398,6 +452,10 @@ mod tests {
                 payload_bits: 25_593_600,
                 max_message_bits: 64,
                 node_updates: 42_000,
+                dropped_loss: 120,
+                dropped_burst: 7,
+                dropped_partition: 0,
+                crashed_nodes: 3,
                 messages_per_sec: 3.2e7,
             },
             ExperimentRecord::centralized("E2", "grid", "tiny", Duration::from_micros(1500), 17),
@@ -436,7 +494,7 @@ mod tests {
         assert!(Report::from_json("{}").is_err());
         let wrong_version = sample_report()
             .to_json()
-            .replace("\"schema_version\": 2", "\"schema_version\": 999");
+            .replace("\"schema_version\": 3", "\"schema_version\": 999");
         let err = Report::from_json(&wrong_version).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
         let missing_field = sample_report()
@@ -446,33 +504,73 @@ mod tests {
         assert!(err.contains("rounds"), "{err}");
     }
 
-    #[test]
-    fn v1_reports_migrate_to_v2_on_read() {
-        // Simulate a committed v1 report: no node_updates field anywhere.
-        let mut v1 = sample_report()
-            .to_json()
-            .replace("\"schema_version\": 2", "\"schema_version\": 1");
-        v1 = v1
-            .lines()
-            .filter(|l| !l.contains("node_updates"))
+    /// Strips every line mentioning one of `fields` from a report's JSON.
+    fn strip_fields(json: &str, fields: &[&str]) -> String {
+        json.lines()
+            .filter(|l| !fields.iter().any(|f| l.contains(f)))
             .collect::<Vec<_>>()
-            .join("\n");
+            .join("\n")
+    }
+
+    const FAULT_COUNTERS: [&str; 4] = [
+        "dropped_loss",
+        "dropped_burst",
+        "dropped_partition",
+        "crashed_nodes",
+    ];
+
+    #[test]
+    fn v1_reports_migrate_to_v3_on_read() {
+        // Simulate a committed v1 report: no node_updates and no fault
+        // counters anywhere.
+        let v1 = strip_fields(
+            &sample_report()
+                .to_json()
+                .replace("\"schema_version\": 3", "\"schema_version\": 1"),
+            &["node_updates"],
+        );
+        let v1 = strip_fields(&v1, &FAULT_COUNTERS);
         let parsed = Report::from_json(&v1).expect("v1 reports must still parse");
         assert_eq!(parsed.schema_version, SCHEMA_VERSION, "upgraded in memory");
         assert!(parsed.records.iter().all(|r| r.node_updates == 0));
-        // Re-serializing emits v2 with the field present.
+        assert!(parsed.records.iter().all(|r| r.dropped_loss == 0
+            && r.dropped_burst == 0
+            && r.dropped_partition == 0
+            && r.crashed_nodes == 0));
+        // Re-serializing emits the current schema with the fields present.
         let rewritten = parsed.to_json();
-        assert!(rewritten.contains("\"schema_version\": 2"));
+        assert!(rewritten.contains("\"schema_version\": 3"));
         assert!(rewritten.contains("\"node_updates\": 0"));
-        // In a v2 report the field is mandatory.
-        let v2_missing = sample_report()
-            .to_json()
-            .lines()
-            .filter(|l| !l.contains("node_updates"))
-            .collect::<Vec<_>>()
-            .join("\n");
+        assert!(rewritten.contains("\"dropped_loss\": 0"));
+        // In a v2-or-later report, node_updates is mandatory.
+        let v2_missing = strip_fields(&sample_report().to_json(), &["node_updates"]);
         let err = Report::from_json(&v2_missing).unwrap_err();
         assert!(err.contains("node_updates"), "{err}");
+    }
+
+    #[test]
+    fn v2_reports_migrate_to_v3_on_read() {
+        // Simulate a committed v2 report: node_updates present, fault
+        // counters absent.
+        let v2 = strip_fields(
+            &sample_report()
+                .to_json()
+                .replace("\"schema_version\": 3", "\"schema_version\": 2"),
+            &FAULT_COUNTERS,
+        );
+        let parsed = Report::from_json(&v2).expect("v2 reports must still parse");
+        assert_eq!(parsed.schema_version, SCHEMA_VERSION, "upgraded in memory");
+        assert_eq!(parsed.records[0].node_updates, 42_000, "v2 fields kept");
+        assert!(parsed.records.iter().all(|r| r.dropped_loss == 0
+            && r.dropped_burst == 0
+            && r.dropped_partition == 0
+            && r.crashed_nodes == 0));
+        // In a v3 report every fault counter is mandatory.
+        for counter in FAULT_COUNTERS {
+            let missing = strip_fields(&sample_report().to_json(), &[counter]);
+            let err = Report::from_json(&missing).unwrap_err();
+            assert!(err.contains(counter), "{counter}: {err}");
+        }
     }
 
     #[test]
@@ -497,6 +595,7 @@ mod tests {
             sending_nodes: 10,
             changed_nodes: 10,
             node_updates: 10,
+            ..RoundStats::default()
         });
         metrics.add_elapsed(Duration::from_millis(100));
         let rec = ExperimentRecord::from_metrics("E9", "ba-10", "tiny", &metrics);

@@ -70,10 +70,23 @@ impl WorkloadScale {
 /// `--scale <tiny|small|medium>` (default `small`), `--json <path>` to
 /// additionally write the run's [`crate::report::Report`], and
 /// `--threads <n>` to pin the rayon pool size (for reproducible thread
-/// scaling measurements in E9/E12; default: machine parallelism). All flags
-/// accept the `--flag=value` form. Any other argument is rejected so typos
-/// cannot silently fall back to a minutes-long full-scale run.
-#[derive(Clone, Debug, PartialEq, Eq, Default)]
+/// scaling measurements in E9/E12; default: machine parallelism; `0` is an
+/// explicit error rather than whatever the thread-pool builder would do).
+/// All flags accept the `--flag=value` form. Any other argument is rejected
+/// so typos cannot silently fall back to a minutes-long full-scale run.
+///
+/// Fault-injection flags (consumed by E13 / `exp_faults`, ignored by
+/// experiments that run fault-free; see `dkc_distsim::FaultPlan`):
+///
+/// * `--loss <p>` — i.i.d. per-message loss probability in `[0, 1]`
+/// * `--burst <period>:<len>` — per-link outages: `len` dark rounds per
+///   `period`-round cycle
+/// * `--crash <p>:<first>:<last>` — each node crash-stops with probability
+///   `p` at a deterministic round in `first..=last`
+/// * `--partition <f>:<first>:<last>` — a hashed `f`-fraction node set is
+///   cut off during rounds `first..=last`, healing afterwards
+/// * `--fault-seed <seed>` — seed shared by all fault components
+#[derive(Clone, Debug, PartialEq, Default)]
 pub struct ExpArgs {
     /// The workload scale to run at.
     pub scale: WorkloadScale,
@@ -81,13 +94,18 @@ pub struct ExpArgs {
     pub json: Option<std::path::PathBuf>,
     /// Thread-pool size override (`None` = machine parallelism).
     pub threads: Option<usize>,
+    /// The fault plan assembled from the fault flags (trivial by default).
+    pub faults: dkc_distsim::FaultPlan,
 }
 
 impl ExpArgs {
     /// Parses `std::env::args`, exiting with status 2 on any unknown flag,
     /// and installs the `--threads` override into the global rayon pool.
     pub fn parse() -> Self {
-        let parsed = Self::parse_from(std::env::args().skip(1));
+        let parsed = Self::try_parse_from(std::env::args().skip(1)).unwrap_or_else(|msg| {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        });
         if let Some(n) = parsed.threads {
             rayon::ThreadPoolBuilder::new()
                 .num_threads(n)
@@ -97,59 +115,103 @@ impl ExpArgs {
         parsed
     }
 
-    fn parse_from(args: impl Iterator<Item = String>) -> Self {
-        fn bail(msg: String) -> ! {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
+    /// Pure parsing front end (no process exit, no thread-pool side effects),
+    /// so rejection behaviour is unit-testable. Fault specs are parsed by
+    /// the shared grammar in `dkc_distsim::faults::spec`, the same one the
+    /// `dkc` CLI uses.
+    fn try_parse_from(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        use dkc_distsim::faults::spec;
+
         let parse_scale = |value: &str| {
-            WorkloadScale::from_flag(value).unwrap_or_else(|| {
-                bail(format!(
-                    "unknown --scale {value:?}; expected tiny|small|medium"
-                ))
-            })
+            WorkloadScale::from_flag(value)
+                .ok_or_else(|| format!("unknown --scale {value:?}; expected tiny|small|medium"))
         };
-        let parse_threads = |value: &str| {
+        let parse_threads = |value: &str| -> Result<usize, String> {
             let n: usize = value
                 .parse()
-                .unwrap_or_else(|_| bail(format!("--threads expects a count, got {value:?}")));
+                .map_err(|_| format!("--threads expects a count, got {value:?}"))?;
             if n == 0 {
-                bail("--threads must be at least 1".into());
+                // An explicit rejection: 0 is neither "auto" nor a usable
+                // pool size, and handing it to the thread-pool builder would
+                // make the behaviour backend-defined.
+                return Err("--threads must be at least 1 (omit the flag for machine \
+                            parallelism)"
+                    .into());
             }
-            n
+            Ok(n)
         };
+
         let mut parsed = ExpArgs::default();
+        let mut fault_seed = spec::DEFAULT_SEED;
+        // The raw fault specs are collected first and assembled after the
+        // loop so `--fault-seed` applies regardless of flag order.
+        let mut loss: Option<String> = None;
+        let mut burst: Option<String> = None;
+        let mut crash: Option<String> = None;
+        let mut partition: Option<String> = None;
         let mut args = args;
+        let next_value = |flag: &str,
+                          args: &mut dyn Iterator<Item = String>,
+                          inline: Option<&str>|
+         -> Result<String, String> {
+            match inline {
+                Some(v) => Ok(v.to_string()),
+                None => args
+                    .next()
+                    .ok_or_else(|| format!("--{flag} requires a value")),
+            }
+        };
         while let Some(arg) = args.next() {
-            if arg == "--scale" {
-                let value = args
-                    .next()
-                    .unwrap_or_else(|| bail("--scale requires a value: tiny|small|medium".into()));
-                parsed.scale = parse_scale(&value);
-            } else if let Some(value) = arg.strip_prefix("--scale=") {
-                parsed.scale = parse_scale(value);
-            } else if arg == "--json" {
-                let value = args
-                    .next()
-                    .unwrap_or_else(|| bail("--json requires a file path".into()));
-                parsed.json = Some(value.into());
-            } else if let Some(value) = arg.strip_prefix("--json=") {
-                parsed.json = Some(value.into());
-            } else if arg == "--threads" {
-                let value = args
-                    .next()
-                    .unwrap_or_else(|| bail("--threads requires a count".into()));
-                parsed.threads = Some(parse_threads(&value));
-            } else if let Some(value) = arg.strip_prefix("--threads=") {
-                parsed.threads = Some(parse_threads(value));
-            } else {
-                bail(format!(
-                    "unrecognized argument {arg:?}; supported flags: \
-                     --scale <tiny|small|medium>, --json <path>, --threads <n>"
-                ));
+            let (flag, inline) = match arg.strip_prefix("--") {
+                Some(rest) => match rest.split_once('=') {
+                    Some((f, v)) => (f.to_string(), Some(v.to_string())),
+                    None => (rest.to_string(), None),
+                },
+                None => (String::new(), None),
+            };
+            match flag.as_str() {
+                "scale" => {
+                    let v = next_value("scale", &mut args, inline.as_deref())?;
+                    parsed.scale = parse_scale(&v)?;
+                }
+                "json" => {
+                    let v = next_value("json", &mut args, inline.as_deref())?;
+                    parsed.json = Some(v.into());
+                }
+                "threads" => {
+                    let v = next_value("threads", &mut args, inline.as_deref())?;
+                    parsed.threads = Some(parse_threads(&v)?);
+                }
+                "loss" => loss = Some(next_value("loss", &mut args, inline.as_deref())?),
+                "burst" => burst = Some(next_value("burst", &mut args, inline.as_deref())?),
+                "crash" => crash = Some(next_value("crash", &mut args, inline.as_deref())?),
+                "partition" => {
+                    partition = Some(next_value("partition", &mut args, inline.as_deref())?)
+                }
+                "fault-seed" => {
+                    let v = next_value("fault-seed", &mut args, inline.as_deref())?;
+                    fault_seed = v
+                        .parse()
+                        .map_err(|_| format!("--fault-seed expects an integer, got {v:?}"))?;
+                }
+                _ => {
+                    return Err(format!(
+                        "unrecognized argument {arg:?}; supported flags: \
+                         --scale <tiny|small|medium>, --json <path>, --threads <n>, \
+                         --loss <p>, --burst <period>:<len>, --crash <p>:<first>:<last>, \
+                         --partition <f>:<first>:<last>, --fault-seed <seed>"
+                    ));
+                }
             }
         }
-        parsed
+        parsed.faults = spec::plan_from_flags(
+            loss.as_deref(),
+            burst.as_deref(),
+            crash.as_deref(),
+            partition.as_deref(),
+            fault_seed,
+        )?;
+        Ok(parsed)
     }
 
     /// Writes `report` to the `--json` path (no-op without the flag), exiting
@@ -320,39 +382,116 @@ mod tests {
         assert_eq!(WorkloadScale::from_flag("huge"), None);
     }
 
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn parse_ok(v: &[&str]) -> ExpArgs {
+        ExpArgs::try_parse_from(s(v).into_iter()).expect("arguments should parse")
+    }
+
+    fn parse_err(v: &[&str]) -> String {
+        ExpArgs::try_parse_from(s(v).into_iter()).expect_err("arguments should be rejected")
+    }
+
     #[test]
     fn exp_args_parse_scale_json_and_threads() {
-        let s = |v: &[&str]| v.iter().map(|x| x.to_string()).collect::<Vec<_>>();
         assert_eq!(
-            ExpArgs::parse_from(s(&[]).into_iter()),
+            parse_ok(&[]),
             ExpArgs {
                 scale: WorkloadScale::Small,
                 json: None,
-                threads: None
+                threads: None,
+                faults: dkc_distsim::FaultPlan::none(),
             }
         );
         assert_eq!(
-            ExpArgs::parse_from(s(&["--scale", "tiny", "--json", "out.json"]).into_iter()),
+            parse_ok(&["--scale", "tiny", "--json", "out.json"]),
             ExpArgs {
                 scale: WorkloadScale::Tiny,
                 json: Some("out.json".into()),
-                threads: None
+                threads: None,
+                faults: dkc_distsim::FaultPlan::none(),
             }
         );
         assert_eq!(
-            ExpArgs::parse_from(
-                s(&["--json=r.json", "--scale=medium", "--threads", "4"]).into_iter()
-            ),
+            parse_ok(&["--json=r.json", "--scale=medium", "--threads", "4"]),
             ExpArgs {
                 scale: WorkloadScale::Medium,
                 json: Some("r.json".into()),
-                threads: Some(4)
+                threads: Some(4),
+                faults: dkc_distsim::FaultPlan::none(),
             }
         );
+        assert_eq!(parse_ok(&["--threads=2"]).threads, Some(2));
+    }
+
+    /// Regression: `--threads 0` is an explicit error, not whatever the
+    /// thread-pool builder would make of a zero-sized pool.
+    #[test]
+    fn exp_args_reject_zero_threads() {
+        for argv in [&["--threads", "0"][..], &["--threads=0"][..]] {
+            let err = parse_err(argv);
+            assert!(err.contains("--threads must be at least 1"), "{err}");
+        }
+        let err = parse_err(&["--threads", "zero"]);
+        assert!(err.contains("expects a count"), "{err}");
+    }
+
+    #[test]
+    fn exp_args_reject_unknown_flags_and_missing_values() {
+        assert!(parse_err(&["--sclae=tiny"]).contains("unrecognized argument"));
+        assert!(parse_err(&["positional"]).contains("unrecognized argument"));
+        assert!(parse_err(&["--scale"]).contains("requires a value"));
+        assert!(parse_err(&["--scale", "galactic"]).contains("unknown --scale"));
+    }
+
+    #[test]
+    fn exp_args_parse_fault_flags_into_a_plan() {
+        use dkc_distsim::{BurstLoss, CrashModel, LossModel, PartitionModel};
+        let args = parse_ok(&[
+            "--loss",
+            "0.25",
+            "--burst=6:2",
+            "--crash",
+            "0.1:2:9",
+            "--partition=0.3:4:8",
+            "--fault-seed",
+            "77",
+        ]);
+        assert_eq!(args.faults.loss, Some(LossModel::new(0.25, 77)));
+        assert_eq!(args.faults.burst, Some(BurstLoss::new(6, 2, 77 ^ 0xB0)));
         assert_eq!(
-            ExpArgs::parse_from(s(&["--threads=2"]).into_iter()).threads,
-            Some(2)
+            args.faults.crash,
+            Some(CrashModel::new(0.1, 2, 9, 77 ^ 0xC0))
         );
+        assert_eq!(
+            args.faults.partition,
+            Some(PartitionModel::new(0.3, 4, 8, 77 ^ 0xD0))
+        );
+        assert!(!args.faults.is_trivial());
+        // Flag order must not matter for the shared seed.
+        let reordered = parse_ok(&["--fault-seed=77", "--loss=0.25"]);
+        assert_eq!(reordered.faults.loss, Some(LossModel::new(0.25, 77)));
+        // No fault flags => trivial plan.
+        assert!(parse_ok(&["--scale", "tiny"]).faults.is_trivial());
+    }
+
+    #[test]
+    fn exp_args_reject_malformed_fault_specs() {
+        assert!(parse_err(&["--loss", "1.5"]).contains("[0, 1]"));
+        assert!(parse_err(&["--loss", "p"]).contains("expects a probability"));
+        assert!(parse_err(&["--burst", "6"]).contains("<period>:<len>"));
+        assert!(parse_err(&["--burst", "4:9"]).contains("len <= period"));
+        assert!(parse_err(&["--burst", "0:0"]).contains("1 <= period"));
+        assert!(parse_err(&["--crash", "0.5"]).contains("<p>:<first-round>:<last-round>"));
+        assert!(parse_err(&["--crash", "0.5:0:4"]).contains("2 <= first"));
+        assert!(parse_err(&["--crash", "0.5:6:4"]).contains("first <= last"));
+        // Round-1 crashes would freeze uninitialized node state; the spec
+        // surface rejects them (the library type still allows first == 1).
+        assert!(parse_err(&["--crash", "0.5:1:4"]).contains("2 <= first"));
+        assert!(parse_err(&["--partition", "0.5:3:x"]).contains("must be an integer"));
+        assert!(parse_err(&["--fault-seed", "abc"]).contains("expects an integer"));
     }
 
     #[test]

@@ -46,6 +46,7 @@ smoke_tests! {
     exp_robustness_runs_tiny => "exp_robustness",
     exp_ingest_runs_tiny => "exp_ingest",
     exp_frontier_runs_tiny => "exp_frontier",
+    exp_faults_runs_tiny => "exp_faults",
     exp_all_runs_tiny => "exp_all",
 }
 
@@ -100,6 +101,7 @@ smoke_json_tests! {
     exp_robustness_honors_json => "exp_robustness",
     exp_ingest_honors_json => "exp_ingest",
     exp_frontier_honors_json => "exp_frontier",
+    exp_faults_honors_json => "exp_faults",
     exp_all_honors_json => "exp_all",
 }
 
@@ -122,7 +124,7 @@ fn exp_all_aggregates_every_experiment() {
         .collect();
     ids.dedup();
     for expected in [
-        "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12",
+        "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
     ] {
         assert!(
             ids.contains(&expected),
@@ -191,6 +193,52 @@ fn exp_binaries_reject_unrecognized_args() {
         "a typo'd flag must not silently run the full-scale suite"
     );
     assert!(String::from_utf8_lossy(&output.stderr).contains("unrecognized argument"));
+}
+
+/// Regression: `--threads 0` must be an explicit CLI rejection (exit code
+/// 2 with a clear message), not whatever a zero-sized thread pool would do.
+#[test]
+fn exp_binaries_reject_zero_threads() {
+    let output = Command::new(env!("CARGO_BIN_EXE_exp_fig1"))
+        .args(["--threads", "0"])
+        .output()
+        .expect("failed to spawn exp_fig1");
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "--threads 0 must exit with the usage-error status"
+    );
+    assert!(
+        String::from_utf8_lossy(&output.stderr).contains("--threads must be at least 1"),
+        "rejection should explain the valid range"
+    );
+}
+
+/// The exp_faults binary accepts a custom fault plan through the shared
+/// fault flags and rejects malformed specs.
+#[test]
+fn exp_faults_accepts_and_rejects_fault_flags() {
+    let output = Command::new(env!("CARGO_BIN_EXE_exp_faults"))
+        .args(["--scale", "tiny", "--crash", "0.3:2:6", "--fault-seed", "9"])
+        .output()
+        .expect("failed to spawn exp_faults");
+    assert!(
+        output.status.success(),
+        "custom fault flags failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("custom"),
+        "custom scenario missing:
+{stdout}"
+    );
+    let output = Command::new(env!("CARGO_BIN_EXE_exp_faults"))
+        .args(["--scale", "tiny", "--crash", "1.5:2:6"])
+        .output()
+        .expect("failed to spawn exp_faults");
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("[0, 1]"));
 }
 
 #[test]

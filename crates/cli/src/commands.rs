@@ -3,10 +3,7 @@
 
 use crate::args::Parsed;
 use dkc_baselines::{greedy_orientation, peeling_orientation, weighted_coreness};
-use dkc_core::api::{
-    approximate_coreness_with_rounds, approximate_orientation, rounds_for_epsilon,
-    weak_densest_subsets,
-};
+use dkc_core::api::{approximate_orientation, rounds_for_epsilon, weak_densest_subsets};
 use dkc_core::ratio::ApproxRatio;
 use dkc_core::threshold::ThresholdSet;
 use dkc_distsim::ExecutionMode;
@@ -186,15 +183,44 @@ fn convert(parsed: &Parsed) -> Result<String, String> {
     ))
 }
 
+/// Builds a `FaultPlan` from the fault flags (`--loss P`,
+/// `--burst PERIOD:LEN`, `--crash P:FIRST:LAST`, `--partition F:FIRST:LAST`,
+/// `--fault-seed S`) through the shared spec grammar in
+/// `dkc_distsim::faults::spec` — the exact parser the `exp_*` binaries use,
+/// so both front ends accept identical specs and derive identical seeds.
+fn fault_plan(parsed: &Parsed) -> Result<dkc_distsim::FaultPlan, String> {
+    use dkc_distsim::faults::spec;
+    let seed: u64 = parsed.flag_num("fault-seed", spec::DEFAULT_SEED)?;
+    spec::plan_from_flags(
+        parsed.flags.get("loss").map(String::as_str),
+        parsed.flags.get("burst").map(String::as_str),
+        parsed.flags.get("crash").map(String::as_str),
+        parsed.flags.get("partition").map(String::as_str),
+        seed,
+    )
+}
+
 fn coreness(parsed: &Parsed) -> Result<String, String> {
     parsed.expect_flags(&[
-        "epsilon", "rounds", "lambda", "exact", "top", "json", "format",
+        "epsilon",
+        "rounds",
+        "lambda",
+        "exact",
+        "top",
+        "json",
+        "format",
+        "loss",
+        "burst",
+        "crash",
+        "partition",
+        "fault-seed",
     ])?;
     let ds = load(parsed)?;
     let g = &ds.graph;
     let epsilon: f64 = parsed.flag_num_positive("epsilon", 0.25)?;
     let default_rounds = rounds_for_epsilon(g.num_nodes(), epsilon);
     let rounds: usize = parsed.flag_num("rounds", default_rounds)?;
+    let faults = fault_plan(parsed)?;
     let lambda: f64 = parsed.flag_num("lambda", 0.0)?;
     if lambda < 0.0 || !lambda.is_finite() {
         return Err(format!("--lambda must be >= 0 (got {lambda})"));
@@ -212,8 +238,13 @@ fn coreness(parsed: &Parsed) -> Result<String, String> {
     } else {
         ThresholdSet::Reals
     };
-    let approx =
-        approximate_coreness_with_rounds(g, rounds, threshold_set, ExecutionMode::Parallel);
+    let approx = dkc_core::api::approximate_coreness_with_faults(
+        g,
+        rounds,
+        threshold_set,
+        ExecutionMode::Parallel,
+        faults,
+    );
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -223,6 +254,19 @@ fn coreness(parsed: &Parsed) -> Result<String, String> {
         approx.metrics.total_messages(),
         approx.metrics.max_message_bits()
     );
+    if !faults.is_trivial() {
+        let m = &approx.metrics;
+        let _ = writeln!(
+            out,
+            "fault injection: {} dropped (loss {}, burst {}, partition {}), {} crashed nodes; \
+             values remain upper bounds but the factor is no longer guaranteed",
+            m.total_dropped(),
+            m.total_dropped_loss(),
+            m.total_dropped_burst(),
+            m.total_dropped_partition(),
+            m.crashed_nodes()
+        );
+    }
     let top: usize = parsed.flag_num("top", 5)?;
     let mut ranked: Vec<usize> = (0..g.num_nodes()).collect();
     ranked.sort_by(|&a, &b| approx.values[b].partial_cmp(&approx.values[a]).unwrap());
@@ -418,6 +462,51 @@ mod tests {
         assert!(err.contains("--top"), "{err}");
         let err = dispatch(&parse(&["generate", "path", "--nodse", "5"])).unwrap_err();
         assert!(err.contains("--nodse"), "{err}");
+    }
+
+    #[test]
+    fn coreness_fault_flags_run_and_report() {
+        let path = temp_graph();
+        let out = dispatch(&parse(&[
+            "coreness",
+            &path,
+            "--epsilon",
+            "0.5",
+            "--loss",
+            "0.2",
+            "--crash",
+            "0.3:2:6",
+            "--fault-seed",
+            "11",
+        ]))
+        .unwrap();
+        assert!(out.contains("fault injection:"), "{out}");
+        assert!(out.contains("crashed nodes"), "{out}");
+        // Fault-free runs stay silent about fault injection.
+        let clean = dispatch(&parse(&["coreness", &path, "--epsilon", "0.5"])).unwrap();
+        assert!(!clean.contains("fault injection"), "{clean}");
+    }
+
+    #[test]
+    fn coreness_fault_flags_are_validated() {
+        let path = temp_graph();
+        let err = dispatch(&parse(&["coreness", &path, "--loss", "1.5"])).unwrap_err();
+        assert!(err.contains("[0, 1]"), "{err}");
+        let err = dispatch(&parse(&["coreness", &path, "--crash", "0.5"])).unwrap_err();
+        assert!(err.contains("<p>:<first-round>:<last-round>"), "{err}");
+        let err = dispatch(&parse(&["coreness", &path, "--crash", "0.5:9:2"])).unwrap_err();
+        assert!(err.contains("first <= last"), "{err}");
+        // Round-1 crashes would freeze nodes at uninitialized (infinite)
+        // surviving numbers; the flag surface rejects them.
+        let err = dispatch(&parse(&["coreness", &path, "--crash", "0.5:1:4"])).unwrap_err();
+        assert!(err.contains("2 <= first"), "{err}");
+        let err = dispatch(&parse(&["coreness", &path, "--burst", "3:9"])).unwrap_err();
+        assert!(err.contains("len <= period"), "{err}");
+        let err = dispatch(&parse(&["coreness", &path, "--partition", "x:1:2"])).unwrap_err();
+        assert!(err.contains("expects a probability"), "{err}");
+        // Fault flags belong to coreness only (for now).
+        let err = dispatch(&parse(&["stats", &path, "--loss", "0.1"])).unwrap_err();
+        assert!(err.contains("--loss"), "{err}");
     }
 
     #[test]

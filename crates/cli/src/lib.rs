@@ -41,6 +41,9 @@ USAGE:
       inferred from the file extension unless --from/--to is given
   dkc coreness <file> [--epsilon E] [--rounds T] [--lambda L] [--exact] [--top K]
                [--json FILE]   write the run's metrics as a benchmark report
+      fault injection (deterministic, seeded by --fault-seed S):
+               [--loss P] [--burst PERIOD:LEN] [--crash P:FIRST:LAST]
+               [--partition F:FIRST:LAST]
   dkc orientation <file> [--epsilon E] [--compare]
   dkc densest <file> [--epsilon E] [--exact]
   dkc help

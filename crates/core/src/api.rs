@@ -69,7 +69,30 @@ pub fn approximate_coreness_with_rounds(
     threshold_set: ThresholdSet,
     mode: ExecutionMode,
 ) -> CorenessApproximation {
-    let outcome = run_compact_elimination(g, rounds, threshold_set, mode);
+    approximate_coreness_with_faults(
+        g,
+        rounds,
+        threshold_set,
+        mode,
+        dkc_distsim::FaultPlan::none(),
+    )
+}
+
+/// Approximates coreness values under a deterministic
+/// [`dkc_distsim::FaultPlan`] (i.i.d. loss, burst loss, crash-stop,
+/// partitions). Faults can only slow convergence down — the values remain
+/// valid upper bounds on the coreness — so the stated guarantee factor
+/// applies only to the fault-free plan; under faults it is what the run
+/// *targets*, not what it proves.
+pub fn approximate_coreness_with_faults(
+    g: &WeightedGraph,
+    rounds: usize,
+    threshold_set: ThresholdSet,
+    mode: ExecutionMode,
+    faults: dkc_distsim::FaultPlan,
+) -> CorenessApproximation {
+    let outcome =
+        crate::compact::run_compact_elimination_with_faults(g, rounds, threshold_set, mode, faults);
     CorenessApproximation {
         guaranteed_factor: guaranteed_factor(g.num_nodes(), rounds) * threshold_set.rounding_loss(),
         values: outcome.surviving,

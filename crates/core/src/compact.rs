@@ -301,15 +301,8 @@ pub fn run_compact_elimination(
     run_compact_elimination_with_loss(g, rounds, threshold_set, mode, None)
 }
 
-/// Runs Algorithm 2 under (optional) message-loss fault injection.
-///
-/// Lost messages leave the receiver's cached neighbour value at its previous
-/// (higher) level, so the computed surviving numbers can only be **larger**
-/// than in a fault-free run — the output therefore remains a valid upper bound
-/// on the coreness (Lemma III.2 is unaffected) and only the convergence slows
-/// down gracefully. The robustness experiment E10 quantifies this. (Under the
-/// sparse modes, a sender with dropped copies stays in the frontier and
-/// re-sends, so sparse and dense runs remain result-identical even with loss.)
+/// Runs Algorithm 2 under (optional) message-loss fault injection. Shorthand
+/// for [`run_compact_elimination_with_faults`] with a loss-only plan.
 pub fn run_compact_elimination_with_loss(
     g: &WeightedGraph,
     rounds: usize,
@@ -317,12 +310,38 @@ pub fn run_compact_elimination_with_loss(
     mode: ExecutionMode,
     loss: Option<dkc_distsim::LossModel>,
 ) -> CompactOutcome {
+    let plan = loss.map_or_else(
+        dkc_distsim::FaultPlan::none,
+        dkc_distsim::FaultPlan::from_loss,
+    );
+    run_compact_elimination_with_faults(g, rounds, threshold_set, mode, plan)
+}
+
+/// Runs Algorithm 2 under a deterministic [`dkc_distsim::FaultPlan`]
+/// (i.i.d. loss, burst loss, crash-stop nodes, link partitions).
+///
+/// Dropped messages leave the receiver's cached neighbour value at its
+/// previous (higher) level, so the computed surviving numbers can only be
+/// **larger** than in a fault-free run — the output therefore remains a valid
+/// upper bound on the coreness (Lemma III.2 is unaffected) and only the
+/// convergence slows down gracefully; the E10/E13 experiments quantify this.
+/// A crash-stopped node freezes at its last computed value (still an upper
+/// bound: surviving numbers are monotone non-increasing). Under the sparse
+/// modes, a sender with dropped copies stays in the frontier and re-sends,
+/// while a crashed node leaves the frontier for good — so sparse and dense
+/// runs remain result-identical under every fault class.
+pub fn run_compact_elimination_with_faults(
+    g: &WeightedGraph,
+    rounds: usize,
+    threshold_set: ThresholdSet,
+    mode: ExecutionMode,
+    faults: dkc_distsim::FaultPlan,
+) -> CompactOutcome {
     let csr = CsrGraph::from_graph(g);
     let mut arena = CompactArena::new(&csr, threshold_set);
-    let mut net = Network::from_parts(csr.clone(), arena.programs()).with_mode(mode);
-    if let Some(model) = loss {
-        net = net.with_message_loss(model);
-    }
+    let mut net = Network::from_parts(csr.clone(), arena.programs())
+        .with_mode(mode)
+        .with_faults(faults);
     net.run(rounds);
     let (_programs, metrics) = net.into_parts();
     CompactOutcome {
@@ -625,6 +644,57 @@ mod tests {
                 assert_eq!(lossy.surviving, other.surviving, "p={p}, {mode:?}");
             }
         }
+    }
+
+    /// Crash-stop fault injection: frozen values stay valid upper bounds on
+    /// the coreness, dense and sparse agree byte-for-byte, and the crash run
+    /// does strictly fewer node updates than the fault-free run.
+    #[test]
+    fn crash_stop_degrades_gracefully() {
+        use dkc_distsim::{CrashModel, FaultPlan};
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = barabasi_albert(120, 3, &mut rng);
+        let rounds = 12;
+        let core = weighted_coreness(&g);
+        let plan = FaultPlan::none().with_crash(CrashModel::new(0.25, 2, 8, 7));
+        let clean =
+            run_compact_elimination(&g, rounds, ThresholdSet::Reals, ExecutionMode::Sequential);
+        let crashed = run_compact_elimination_with_faults(
+            &g,
+            rounds,
+            ThresholdSet::Reals,
+            ExecutionMode::Sequential,
+            plan,
+        );
+        assert!(crashed.metrics.crashed_nodes() > 0, "no node crashed");
+        for v in 0..120 {
+            assert!(
+                crashed.surviving[v].is_finite(),
+                "node {v}: crash window starts after round 1, every node ran once"
+            );
+            assert!(
+                crashed.surviving[v] >= core[v] - 1e-9,
+                "node {v}: frozen value below the coreness"
+            );
+            assert!(
+                crashed.surviving[v] >= clean.surviving[v] - 1e-9,
+                "node {v}: crashed run better-informed than the clean run"
+            );
+        }
+        for mode in [
+            ExecutionMode::Parallel,
+            ExecutionMode::SparseSequential,
+            ExecutionMode::SparseParallel,
+        ] {
+            let other =
+                run_compact_elimination_with_faults(&g, rounds, ThresholdSet::Reals, mode, plan);
+            assert_eq!(crashed.surviving, other.surviving, "{mode:?}");
+            assert_eq!(crashed.in_neighbors, other.in_neighbors, "{mode:?}");
+        }
+        assert!(
+            crashed.metrics.total_node_updates() < clean.metrics.total_node_updates(),
+            "crashed nodes must stop executing steps"
+        );
     }
 
     #[test]

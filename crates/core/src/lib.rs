@@ -49,7 +49,7 @@ pub use api::{
     rounds_for_epsilon, rounds_for_gamma, weak_densest_subsets, CorenessApproximation,
     OrientationApproximation,
 };
-pub use compact::{run_compact_elimination, CompactOutcome};
+pub use compact::{run_compact_elimination, run_compact_elimination_with_faults, CompactOutcome};
 pub use densest::{WeakCluster, WeakDensestResult};
 pub use ratio::ApproxRatio;
 pub use threshold::ThresholdSet;

@@ -1,15 +1,75 @@
-//! Message-loss fault injection.
+//! Composable deterministic fault injection: the [`FaultPlan`] subsystem.
 //!
-//! The paper's protocols are synchronous and fault-free; related work (Gillet &
-//! Hanusse) studies asynchronous, faulty settings. To let the experiment
-//! harness probe robustness, the simulator can drop each delivered message
-//! independently with a fixed probability. Drops are decided by a deterministic
-//! hash of `(seed, round, sender, receiver)`, so runs are reproducible and the
-//! sequential and parallel executors still agree bit-for-bit.
+//! The paper's protocols are synchronous and fault-free; related work studies
+//! faulty settings with distinctly non-i.i.d. failure patterns — periodic
+//! channel unavailability, impulsive (bursty) noise, node churn. To let the
+//! experiment harness probe robustness beyond independent per-message loss,
+//! the simulator accepts a [`FaultPlan`]: a composition of up to four fault
+//! components, each deciding its faults by the same **splitmix64-style
+//! hashing** of `(seed, round, link/node, message index)` so that every run is
+//! reproducible and the sequential, parallel, dense, and sparse executors stay
+//! byte-identical.
+//!
+//! The components:
+//!
+//! * [`LossModel`] — i.i.d. loss: each delivered copy is dropped independently
+//!   with a fixed probability. Decisions are per `(round, sender, receiver,
+//!   message index)`; the index distinguishes multiple messages on the same
+//!   link in the same round (e.g. a unicast batch), while index 0 reproduces
+//!   the historical single-message hash bit-for-bit.
+//! * [`BurstLoss`] — deterministic on/off windows per link: each undirected
+//!   link gets a hashed phase within a fixed period and drops everything
+//!   during the first `burst_len` rounds of each of its periods. This models
+//!   periodic channel unavailability / impulsive noise, which i.i.d. loss
+//!   flatters: drops arrive correlated in time on the same link.
+//! * [`CrashModel`] — crash-stop nodes: a hashed subset of nodes halt at a
+//!   hashed round inside a window and never broadcast (or step) again. The
+//!   executor treats a crashed node exactly like a program-halted one, and the
+//!   sparse frontier executor removes it from the frontier.
+//! * [`PartitionModel`] — link partition: a hashed node subset is cut off from
+//!   the rest for a round interval (every crossing message is dropped in both
+//!   directions); the partition heals after the interval.
+//!
+//! Dropped copies (loss, burst, partition) keep the **sender** in the sparse
+//! frontier so it re-sends its current value — exactly reproducing the rounds
+//! at which a dense run would have delivered it. A crashed *receiver* does
+//! not: a crash is not a transient drop, and re-sending to a dead node would
+//! pin its neighbours in the frontier forever. Per-component drop totals and
+//! the cumulative crashed-node count are surfaced through
+//! [`crate::RoundStats`] / [`crate::RunMetrics`] as deterministic counters.
 
 use dkc_graph::NodeId;
 
-/// A deterministic per-message loss model.
+/// splitmix64 finalizer: the shared avalanche step behind every fault
+/// decision.
+#[inline]
+fn splitmix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Maps a hash to the unit interval `[0, 1)` with 53 bits of precision.
+#[inline]
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Why a particular message copy was dropped (one cause is attributed per
+/// drop, checked in the order loss → burst → partition).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropCause {
+    /// Dropped by the i.i.d. [`LossModel`].
+    Loss,
+    /// Dropped inside a [`BurstLoss`] outage window of the link.
+    Burst,
+    /// Dropped because the [`PartitionModel`] cut severed the link.
+    Partition,
+}
+
+/// A deterministic i.i.d. per-message loss model.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LossModel {
     /// Probability in `[0, 1]` that any single delivered message is dropped.
@@ -28,28 +88,409 @@ impl LossModel {
         LossModel { probability, seed }
     }
 
-    /// Whether the message sent by `from` to `to` in `round` is dropped.
-    pub fn drops(&self, round: usize, from: NodeId, to: NodeId) -> bool {
+    /// Whether the message copy `index` sent by `from` to `to` in `round` is
+    /// dropped. `index` distinguishes distinct messages on the same link in
+    /// the same round (a unicast batch position); broadcast and multicast
+    /// carry a single message per round and use index 0, which reproduces the
+    /// historical `(round, from, to)` hash bit-for-bit.
+    pub fn drops(&self, round: usize, from: NodeId, to: NodeId, index: usize) -> bool {
         if self.probability <= 0.0 {
             return false;
         }
         if self.probability >= 1.0 {
             return true;
         }
-        let mut x = self
+        let x = self
             .seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(round as u64)
             .wrapping_mul(0xBF58_476D_1CE4_E5B9)
-            .wrapping_add(u64::from(from.0) << 32 | u64::from(to.0));
-        // splitmix64 finalizer.
-        x ^= x >> 30;
-        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        x ^= x >> 27;
-        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
-        x ^= x >> 31;
-        let unit = (x >> 11) as f64 / (1u64 << 53) as f64;
-        unit < self.probability
+            .wrapping_add(u64::from(from.0) << 32 | u64::from(to.0))
+            // Index 0 must leave the pre-mix untouched so single-message
+            // rounds keep the exact historical drop pattern.
+            .wrapping_add((index as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        unit(splitmix(x)) < self.probability
+    }
+}
+
+/// Deterministic bursty link outages: each undirected link is dark for the
+/// first `burst_len` rounds of every `period`-round cycle, with a per-link
+/// hashed phase offset so outages are desynchronized across the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BurstLoss {
+    /// Cycle length in rounds (≥ 1).
+    pub period: usize,
+    /// Consecutive dark rounds per cycle (`0 ..= period`; `period` means the
+    /// link never delivers).
+    pub burst_len: usize,
+    /// Seed for the per-link phase.
+    pub seed: u64,
+}
+
+impl BurstLoss {
+    /// Creates a burst model; panics unless `period ≥ 1` and
+    /// `burst_len ≤ period`.
+    pub fn new(period: usize, burst_len: usize, seed: u64) -> Self {
+        assert!(period >= 1, "burst period must be at least 1 round");
+        assert!(
+            burst_len <= period,
+            "burst length {burst_len} exceeds period {period}"
+        );
+        BurstLoss {
+            period,
+            burst_len,
+            seed,
+        }
+    }
+
+    /// The hashed phase offset of the (undirected) link `{a, b}`.
+    pub fn phase(&self, a: NodeId, b: NodeId) -> usize {
+        let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        let x = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(lo) << 32 | u64::from(hi));
+        (splitmix(x) % self.period as u64) as usize
+    }
+
+    /// Whether the link `{from, to}` is inside an outage window in `round`.
+    /// Symmetric in the endpoints: a dark channel drops both directions.
+    pub fn drops(&self, round: usize, from: NodeId, to: NodeId) -> bool {
+        if self.burst_len == 0 {
+            return false;
+        }
+        (round + self.phase(from, to)) % self.period < self.burst_len
+    }
+}
+
+/// Crash-stop failures: a hashed subset of nodes each halt at a hashed round
+/// and never broadcast, receive, or step again.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CrashModel {
+    /// Probability that any given node crashes at all.
+    pub probability: f64,
+    /// Crash rounds are hashed uniformly into `first_round ..= last_round`.
+    pub first_round: usize,
+    /// Inclusive upper end of the crash window.
+    pub last_round: usize,
+    /// Seed for node selection and crash-round placement.
+    pub seed: u64,
+}
+
+impl CrashModel {
+    /// Creates a crash model; panics if the probability is outside `[0, 1]`
+    /// or the window is empty.
+    pub fn new(probability: f64, first_round: usize, last_round: usize, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "crash probability must be in [0, 1]"
+        );
+        assert!(
+            first_round >= 1 && first_round <= last_round,
+            "crash window must satisfy 1 <= first_round <= last_round"
+        );
+        CrashModel {
+            probability,
+            first_round,
+            last_round,
+            seed,
+        }
+    }
+
+    /// The round at which `node` crash-stops (`None` = never). A node crashed
+    /// at round `r` does not broadcast or step in round `r` or any later
+    /// round.
+    pub fn crash_round(&self, node: NodeId) -> Option<usize> {
+        if self.probability <= 0.0 {
+            return None;
+        }
+        let pick = splitmix(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(u64::from(node.0)),
+        );
+        if unit(pick) >= self.probability {
+            return None;
+        }
+        let span = (self.last_round - self.first_round + 1) as u64;
+        Some(self.first_round + (splitmix(pick ^ 0xC2B2_AE3D_27D4_EB4F) % span) as usize)
+    }
+
+    /// Whether `node` has crash-stopped as of `round`.
+    pub fn crashed(&self, round: usize, node: NodeId) -> bool {
+        self.crash_round(node).is_some_and(|r| r <= round)
+    }
+}
+
+/// A temporary network partition: a hashed node subset (the "minority side")
+/// is cut off for `first_round ..= last_round`; every message crossing the
+/// cut is dropped in both directions, and the cut heals afterwards.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PartitionModel {
+    /// Expected fraction of nodes on the minority side, in `[0, 1]`.
+    pub fraction: f64,
+    /// First round (inclusive) in which the cut is active.
+    pub first_round: usize,
+    /// Last round (inclusive) in which the cut is active.
+    pub last_round: usize,
+    /// Seed for the side assignment.
+    pub seed: u64,
+}
+
+impl PartitionModel {
+    /// Creates a partition model; panics if the fraction is outside `[0, 1]`
+    /// or the window is empty.
+    pub fn new(fraction: f64, first_round: usize, last_round: usize, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "partition fraction must be in [0, 1]"
+        );
+        assert!(
+            first_round >= 1 && first_round <= last_round,
+            "partition window must satisfy 1 <= first_round <= last_round"
+        );
+        PartitionModel {
+            fraction,
+            first_round,
+            last_round,
+            seed,
+        }
+    }
+
+    /// Whether `node` is on the minority side of the cut.
+    pub fn minority_side(&self, node: NodeId) -> bool {
+        if self.fraction <= 0.0 {
+            return false;
+        }
+        let x = splitmix(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(u64::from(node.0) ^ 0xA076_1D64_78BD_642F),
+        );
+        unit(x) < self.fraction
+    }
+
+    /// Whether the cut is active in `round` and severs the link `from → to`.
+    pub fn severs(&self, round: usize, from: NodeId, to: NodeId) -> bool {
+        round >= self.first_round
+            && round <= self.last_round
+            && self.minority_side(from) != self.minority_side(to)
+    }
+}
+
+/// A composition of fault components applied to one run (see the module
+/// docs). `FaultPlan::default()` is the empty, fault-free plan.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// i.i.d. per-message loss.
+    pub loss: Option<LossModel>,
+    /// Periodic per-link outage windows.
+    pub burst: Option<BurstLoss>,
+    /// Crash-stop node failures.
+    pub crash: Option<CrashModel>,
+    /// A healing node-set partition.
+    pub partition: Option<PartitionModel>,
+}
+
+impl FaultPlan {
+    /// The empty (fault-free) plan.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan containing only the given i.i.d. loss component.
+    pub fn from_loss(model: LossModel) -> Self {
+        FaultPlan {
+            loss: Some(model),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Builder: sets the i.i.d. loss component.
+    pub fn with_loss(mut self, model: LossModel) -> Self {
+        self.loss = Some(model);
+        self
+    }
+
+    /// Builder: sets the burst-loss component.
+    pub fn with_burst(mut self, model: BurstLoss) -> Self {
+        self.burst = Some(model);
+        self
+    }
+
+    /// Builder: sets the crash-stop component.
+    pub fn with_crash(mut self, model: CrashModel) -> Self {
+        self.crash = Some(model);
+        self
+    }
+
+    /// Builder: sets the partition component.
+    pub fn with_partition(mut self, model: PartitionModel) -> Self {
+        self.partition = Some(model);
+        self
+    }
+
+    /// Whether the plan can never produce any fault. The executor skips all
+    /// fault bookkeeping for trivial plans, so an empty (or zero-probability)
+    /// plan reproduces fault-free runs bit-for-bit at identical cost.
+    pub fn is_trivial(&self) -> bool {
+        self.loss.is_none_or(|l| l.probability <= 0.0)
+            && self.burst.is_none_or(|b| b.burst_len == 0)
+            && self.crash.is_none_or(|c| c.probability <= 0.0)
+            && self.partition.is_none_or(|p| p.fraction <= 0.0)
+    }
+
+    /// Whether any link-level component (loss, burst, partition) is present —
+    /// i.e. whether per-copy drop decisions must be evaluated at all. A
+    /// crash-only plan skips the per-arc hashing entirely.
+    pub fn affects_links(&self) -> bool {
+        self.loss.is_some_and(|l| l.probability > 0.0)
+            || self.burst.is_some_and(|b| b.burst_len > 0)
+            || self.partition.is_some_and(|p| p.fraction > 0.0)
+    }
+
+    /// Whether `node` has crash-stopped as of `round`.
+    #[inline]
+    pub fn crashed(&self, round: usize, node: NodeId) -> bool {
+        self.crash.is_some_and(|c| c.crashed(round, node))
+    }
+
+    /// Whether the message copy `index` from `from` to `to` in `round` is
+    /// dropped by any link-level component.
+    #[inline]
+    pub fn drops(&self, round: usize, from: NodeId, to: NodeId, index: usize) -> bool {
+        self.loss.is_some_and(|l| l.drops(round, from, to, index))
+            || self.burst.is_some_and(|b| b.drops(round, from, to))
+            || self.partition.is_some_and(|p| p.severs(round, from, to))
+    }
+
+    /// Like [`FaultPlan::drops`], but attributes the drop to one component
+    /// (in the fixed order loss → burst → partition) for the per-component
+    /// counters. Returns `None` when the copy is delivered.
+    #[inline]
+    pub fn drop_cause(
+        &self,
+        round: usize,
+        from: NodeId,
+        to: NodeId,
+        index: usize,
+    ) -> Option<DropCause> {
+        if self.loss.is_some_and(|l| l.drops(round, from, to, index)) {
+            Some(DropCause::Loss)
+        } else if self.burst.is_some_and(|b| b.drops(round, from, to)) {
+            Some(DropCause::Burst)
+        } else if self.partition.is_some_and(|p| p.severs(round, from, to)) {
+            Some(DropCause::Partition)
+        } else {
+            None
+        }
+    }
+
+    /// The sorted crash rounds of all nodes in `0..n` that ever crash (one
+    /// entry per crashing node). The executor uses this to report the
+    /// cumulative crashed-node count per round in O(log n).
+    pub fn crash_schedule(&self, n: usize) -> Vec<u32> {
+        let Some(crash) = self.crash else {
+            return Vec::new();
+        };
+        let mut rounds: Vec<u32> = (0..n)
+            .filter_map(|v| crash.crash_round(NodeId::new(v)).map(|r| r as u32))
+            .collect();
+        rounds.sort_unstable();
+        rounds
+    }
+}
+
+/// Shared parsing of the fault-injection command-line specs (`--loss P`,
+/// `--burst PERIOD:LEN`, `--crash P:FIRST:LAST`, `--partition F:FIRST:LAST`,
+/// seeded by `--fault-seed S`). Both front ends — the `exp_*` binaries'
+/// `ExpArgs` and the `dkc` CLI — build their plans through
+/// [`spec::plan_from_flags`], so the two can never drift apart on grammar,
+/// validation, or the per-component seed derivation.
+pub mod spec {
+    use super::*;
+
+    /// Default `--fault-seed` when the flag is absent.
+    pub const DEFAULT_SEED: u64 = 0xFA17;
+
+    fn probability(flag: &str, value: &str) -> Result<f64, String> {
+        let p: f64 = value
+            .parse()
+            .map_err(|_| format!("--{flag} expects a probability, got {value:?}"))?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("--{flag} must be in [0, 1] (got {p})"));
+        }
+        Ok(p)
+    }
+
+    /// Splits `p:first:last` — a probability/fraction plus a 1-based
+    /// inclusive round window starting no earlier than `min_first`.
+    fn windowed(flag: &str, value: &str, min_first: usize) -> Result<(f64, usize, usize), String> {
+        let parts: Vec<&str> = value.split(':').collect();
+        let [p, first, last] = parts.as_slice() else {
+            return Err(format!(
+                "--{flag} expects <p>:<first-round>:<last-round>, got {value:?}"
+            ));
+        };
+        let p = probability(flag, p)?;
+        let parse_round = |what: &str, s: &str| -> Result<usize, String> {
+            s.parse()
+                .map_err(|_| format!("--{flag}: {what} round must be an integer, got {s:?}"))
+        };
+        let first = parse_round("first", first)?;
+        let last = parse_round("last", last)?;
+        if first < min_first || first > last {
+            return Err(format!(
+                "--{flag} window must satisfy {min_first} <= first <= last \
+                 (got {first}..={last})"
+            ));
+        }
+        Ok((p, first, last))
+    }
+
+    /// Builds a [`FaultPlan`] from the raw flag values (`None` = flag
+    /// absent), validating every component so a malformed spec yields a CLI
+    /// error instead of a library panic. Crash windows must start at round 2
+    /// or later: a node crashed in round 1 never executes its initialization
+    /// step, freezing protocol state at its uninitialized value (e.g. a
+    /// surviving number of +∞).
+    pub fn plan_from_flags(
+        loss: Option<&str>,
+        burst: Option<&str>,
+        crash: Option<&str>,
+        partition: Option<&str>,
+        seed: u64,
+    ) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::none();
+        if let Some(v) = loss {
+            plan = plan.with_loss(LossModel::new(probability("loss", v)?, seed));
+        }
+        if let Some(v) = burst {
+            let (period, len) = v
+                .split_once(':')
+                .ok_or_else(|| format!("--burst expects <period>:<len>, got {v:?}"))?;
+            let period: usize = period
+                .parse()
+                .map_err(|_| format!("--burst period must be an integer, got {period:?}"))?;
+            let len: usize = len
+                .parse()
+                .map_err(|_| format!("--burst length must be an integer, got {len:?}"))?;
+            if period < 1 || len > period {
+                return Err(format!(
+                    "--burst requires 1 <= period and len <= period (got {period}:{len})"
+                ));
+            }
+            plan = plan.with_burst(BurstLoss::new(period, len, seed ^ 0xB0));
+        }
+        if let Some(v) = crash {
+            let (p, first, last) = windowed("crash", v, 2)?;
+            plan = plan.with_crash(CrashModel::new(p, first, last, seed ^ 0xC0));
+        }
+        if let Some(v) = partition {
+            let (f, first, last) = windowed("partition", v, 1)?;
+            plan = plan.with_partition(PartitionModel::new(f, first, last, seed ^ 0xD0));
+        }
+        Ok(plan)
     }
 }
 
@@ -62,8 +503,8 @@ mod tests {
         let never = LossModel::new(0.0, 1);
         let always = LossModel::new(1.0, 1);
         for r in 0..5 {
-            assert!(!never.drops(r, NodeId(1), NodeId(2)));
-            assert!(always.drops(r, NodeId(1), NodeId(2)));
+            assert!(!never.drops(r, NodeId(1), NodeId(2), 0));
+            assert!(always.drops(r, NodeId(1), NodeId(2), 0));
         }
     }
 
@@ -73,7 +514,12 @@ mod tests {
         let mut dropped = 0usize;
         let total = 20_000usize;
         for i in 0..total {
-            if model.drops(i % 17, NodeId((i % 251) as u32), NodeId((i % 127) as u32)) {
+            if model.drops(
+                i % 17,
+                NodeId((i % 251) as u32),
+                NodeId((i % 127) as u32),
+                0,
+            ) {
                 dropped += 1;
             }
         }
@@ -89,19 +535,288 @@ mod tests {
         let mut differs = false;
         for r in 0..50 {
             assert_eq!(
-                a.drops(r, NodeId(3), NodeId(9)),
-                b.drops(r, NodeId(3), NodeId(9))
+                a.drops(r, NodeId(3), NodeId(9), 0),
+                b.drops(r, NodeId(3), NodeId(9), 0)
             );
-            if a.drops(r, NodeId(3), NodeId(9)) != c.drops(r, NodeId(3), NodeId(9)) {
+            if a.drops(r, NodeId(3), NodeId(9), 0) != c.drops(r, NodeId(3), NodeId(9), 0) {
                 differs = true;
             }
         }
         assert!(differs, "different seeds should give different patterns");
     }
 
+    /// Pins the index-0 hash to the exact historical `(round, from, to)` drop
+    /// pattern (values captured from the pre-`FaultPlan` implementation), so
+    /// committed loss baselines stay bit-for-bit valid.
+    #[test]
+    fn index_zero_is_bit_compatible_with_the_historical_hash() {
+        let expected = [
+            (0.5, 7u64, 0usize, 3u32, 9u32, true),
+            (0.5, 7, 1, 3, 9, true),
+            (0.5, 7, 2, 3, 9, false),
+            (0.5, 7, 3, 3, 9, false),
+            (0.3, 42, 5, 17, 4, false),
+            (0.3, 42, 6, 17, 4, false),
+            (0.9, 1, 1, 0, 1, true),
+            (0.1, 123, 10, 250, 126, false),
+            (0.5, 99, 1, 0, 5, true),
+            (0.5, 99, 1, 5, 0, false),
+            (0.5, 2024, 3, 12, 7, false),
+            (0.5, 2024, 4, 12, 7, false),
+        ];
+        for (p, seed, round, from, to, want) in expected {
+            assert_eq!(
+                LossModel::new(p, seed).drops(round, NodeId(from), NodeId(to), 0),
+                want,
+                "p={p} seed={seed} round={round} {from}->{to}"
+            );
+        }
+    }
+
+    /// Regression (the correlated-drop bug): two distinct messages on the
+    /// same link in the same round must get independent drop decisions.
+    #[test]
+    fn message_index_decorrelates_same_link_messages() {
+        let model = LossModel::new(0.5, 11);
+        let mut differing = 0usize;
+        let mut agreeing = 0usize;
+        for r in 0..200 {
+            let a = model.drops(r, NodeId(4), NodeId(8), 0);
+            let b = model.drops(r, NodeId(4), NodeId(8), 1);
+            if a != b {
+                differing += 1;
+            } else {
+                agreeing += 1;
+            }
+        }
+        assert!(
+            differing > 50 && agreeing > 50,
+            "indices should be ~independent (differ {differing}, agree {agreeing})"
+        );
+    }
+
     #[test]
     #[should_panic]
     fn invalid_probability_rejected() {
         let _ = LossModel::new(1.5, 0);
+    }
+
+    #[test]
+    fn burst_windows_are_periodic_and_symmetric() {
+        let burst = BurstLoss::new(8, 3, 5);
+        let (a, b) = (NodeId(2), NodeId(17));
+        for round in 0..40 {
+            assert_eq!(
+                burst.drops(round, a, b),
+                burst.drops(round, b, a),
+                "burst outages must be symmetric (round {round})"
+            );
+            assert_eq!(
+                burst.drops(round, a, b),
+                burst.drops(round + 8, a, b),
+                "burst outages must be periodic (round {round})"
+            );
+        }
+        // Exactly burst_len dark rounds per period.
+        let dark = (0..8).filter(|&r| burst.drops(r, a, b)).count();
+        assert_eq!(dark, 3);
+        // Different links get different phases somewhere.
+        let phases: std::collections::HashSet<usize> = (0..50u32)
+            .map(|v| burst.phase(NodeId(v), NodeId(v + 1)))
+            .collect();
+        assert!(phases.len() > 1, "per-link phases should be desynchronized");
+    }
+
+    #[test]
+    fn burst_extremes() {
+        let never = BurstLoss::new(4, 0, 1);
+        let always = BurstLoss::new(4, 4, 1);
+        for r in 0..12 {
+            assert!(!never.drops(r, NodeId(0), NodeId(1)));
+            assert!(always.drops(r, NodeId(0), NodeId(1)));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn burst_length_cannot_exceed_period() {
+        let _ = BurstLoss::new(4, 5, 0);
+    }
+
+    #[test]
+    fn crash_rounds_stay_in_window_and_hit_the_rate() {
+        let crash = CrashModel::new(0.3, 5, 12, 77);
+        let mut crashed = 0usize;
+        for v in 0..10_000u32 {
+            if let Some(r) = crash.crash_round(NodeId(v)) {
+                crashed += 1;
+                assert!((5..=12).contains(&r), "crash round {r} outside window");
+            }
+        }
+        let rate = crashed as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "observed crash rate {rate}");
+        // crashed() is monotone: once down, forever down.
+        for v in 0..100u32 {
+            let node = NodeId(v);
+            if let Some(r) = crash.crash_round(node) {
+                assert!(!crash.crashed(r - 1, node));
+                assert!(crash.crashed(r, node));
+                assert!(crash.crashed(r + 100, node));
+            } else {
+                assert!(!crash.crashed(1_000_000, node));
+            }
+        }
+    }
+
+    #[test]
+    fn partition_severs_only_crossing_links_inside_the_window() {
+        let part = PartitionModel::new(0.4, 3, 6, 9);
+        let mut minority = 0usize;
+        for v in 0..10_000u32 {
+            if part.minority_side(NodeId(v)) {
+                minority += 1;
+            }
+        }
+        let rate = minority as f64 / 10_000.0;
+        assert!(
+            (rate - 0.4).abs() < 0.03,
+            "observed minority fraction {rate}"
+        );
+        // Find one crossing and one same-side pair.
+        let a = NodeId(0);
+        let cross = (1..100u32)
+            .map(NodeId)
+            .find(|&v| part.minority_side(v) != part.minority_side(a))
+            .unwrap();
+        let same = (1..100u32)
+            .map(NodeId)
+            .find(|&v| part.minority_side(v) == part.minority_side(a))
+            .unwrap();
+        for round in 0..10 {
+            let active = (3..=6).contains(&round);
+            assert_eq!(part.severs(round, a, cross), active, "round {round}");
+            assert_eq!(part.severs(round, cross, a), active, "symmetric");
+            assert!(!part.severs(round, a, same));
+        }
+    }
+
+    #[test]
+    fn plan_composition_and_triviality() {
+        assert!(FaultPlan::none().is_trivial());
+        assert!(!FaultPlan::none().affects_links());
+        assert!(FaultPlan::from_loss(LossModel::new(0.0, 1)).is_trivial());
+        assert!(FaultPlan::none()
+            .with_burst(BurstLoss::new(4, 0, 1))
+            .is_trivial());
+        assert!(FaultPlan::none()
+            .with_crash(CrashModel::new(0.0, 1, 5, 1))
+            .is_trivial());
+        assert!(FaultPlan::none()
+            .with_partition(PartitionModel::new(0.0, 1, 5, 1))
+            .is_trivial());
+
+        let plan = FaultPlan::from_loss(LossModel::new(0.5, 7))
+            .with_burst(BurstLoss::new(6, 2, 8))
+            .with_crash(CrashModel::new(0.2, 2, 9, 3))
+            .with_partition(PartitionModel::new(0.3, 4, 7, 4));
+        assert!(!plan.is_trivial());
+        assert!(plan.affects_links());
+        let crash_only = FaultPlan::none().with_crash(CrashModel::new(0.5, 1, 3, 1));
+        assert!(!crash_only.is_trivial());
+        assert!(!crash_only.affects_links());
+
+        // drop_cause attribution matches drops and respects the fixed order.
+        for round in 0..12 {
+            for v in 0..20u32 {
+                let (from, to) = (NodeId(v), NodeId(v + 1));
+                for idx in 0..2 {
+                    let cause = plan.drop_cause(round, from, to, idx);
+                    assert_eq!(cause.is_some(), plan.drops(round, from, to, idx));
+                    if plan.loss.unwrap().drops(round, from, to, idx) {
+                        assert_eq!(cause, Some(DropCause::Loss));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spec_builds_a_plan_with_derived_seeds() {
+        let plan = spec::plan_from_flags(
+            Some("0.25"),
+            Some("6:2"),
+            Some("0.1:2:9"),
+            Some("0.3:4:8"),
+            77,
+        )
+        .unwrap();
+        assert_eq!(plan.loss, Some(LossModel::new(0.25, 77)));
+        assert_eq!(plan.burst, Some(BurstLoss::new(6, 2, 77 ^ 0xB0)));
+        assert_eq!(plan.crash, Some(CrashModel::new(0.1, 2, 9, 77 ^ 0xC0)));
+        assert_eq!(
+            plan.partition,
+            Some(PartitionModel::new(0.3, 4, 8, 77 ^ 0xD0))
+        );
+        // Absent flags build the trivial plan.
+        assert!(spec::plan_from_flags(None, None, None, None, 77)
+            .unwrap()
+            .is_trivial());
+        // Partitions may start at round 1.
+        assert!(spec::plan_from_flags(None, None, None, Some("0.5:1:3"), 1).is_ok());
+    }
+
+    #[test]
+    fn spec_rejects_malformed_and_round_one_crashes() {
+        let err = |v: Result<FaultPlan, String>| v.unwrap_err();
+        assert!(err(spec::plan_from_flags(Some("1.5"), None, None, None, 1)).contains("[0, 1]"));
+        assert!(err(spec::plan_from_flags(Some("p"), None, None, None, 1))
+            .contains("expects a probability"));
+        assert!(
+            err(spec::plan_from_flags(None, Some("6"), None, None, 1)).contains("<period>:<len>")
+        );
+        assert!(
+            err(spec::plan_from_flags(None, Some("4:9"), None, None, 1)).contains("len <= period")
+        );
+        assert!(
+            err(spec::plan_from_flags(None, Some("0:0"), None, None, 1)).contains("1 <= period")
+        );
+        assert!(err(spec::plan_from_flags(None, None, Some("0.5"), None, 1))
+            .contains("<p>:<first-round>:<last-round>"));
+        assert!(
+            err(spec::plan_from_flags(None, None, Some("0.5:6:4"), None, 1))
+                .contains("first <= last")
+        );
+        assert!(
+            err(spec::plan_from_flags(None, None, None, Some("0.5:3:x"), 1))
+                .contains("must be an integer")
+        );
+        assert!(
+            err(spec::plan_from_flags(None, None, None, Some("0.5:0:4"), 1)).contains("1 <= first")
+        );
+        // A crash at round 1 would freeze uninitialized protocol state
+        // (nodes never run their first step), so the spec surface rejects it
+        // even though the library type allows it.
+        let err = spec::plan_from_flags(None, None, Some("0.5:1:4"), None, 1).unwrap_err();
+        assert!(err.contains("2 <= first"), "{err}");
+    }
+
+    #[test]
+    fn crash_schedule_matches_per_node_queries() {
+        let plan = FaultPlan::none().with_crash(CrashModel::new(0.4, 2, 7, 13));
+        let n = 200;
+        let schedule = plan.crash_schedule(n);
+        let expected: usize = (0..n)
+            .filter(|&v| plan.crash.unwrap().crash_round(NodeId::new(v)).is_some())
+            .count();
+        assert_eq!(schedule.len(), expected);
+        assert!(schedule.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        for round in 0..10u32 {
+            let by_schedule = schedule.partition_point(|&r| r <= round);
+            let by_query = (0..n)
+                .filter(|&v| plan.crashed(round as usize, NodeId::new(v)))
+                .count();
+            assert_eq!(by_schedule, by_query, "round {round}");
+        }
+        assert!(FaultPlan::none().crash_schedule(50).is_empty());
     }
 }

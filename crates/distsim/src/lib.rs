@@ -20,6 +20,8 @@
 //! * [`metrics`] — per-round and cumulative message/bit accounting.
 //! * [`congest`] — CONGEST-model message-size budgets and checks.
 //! * [`message::MessageSize`] — payload size accounting used by the metrics.
+//! * [`faults`] — the deterministic [`FaultPlan`] subsystem: composable
+//!   i.i.d. loss, burst loss, crash-stop, and partition fault injection.
 
 pub mod congest;
 pub mod faults;
@@ -29,7 +31,7 @@ pub mod network;
 pub mod program;
 
 pub use congest::congest_budget_bits;
-pub use faults::LossModel;
+pub use faults::{BurstLoss, CrashModel, DropCause, FaultPlan, LossModel, PartitionModel};
 pub use message::MessageSize;
 pub use metrics::{RoundStats, RunMetrics};
 pub use network::{ExecutionMode, ExecutorBufferStats, Network};

@@ -5,9 +5,13 @@ use std::time::Duration;
 /// Statistics for one synchronous round.
 ///
 /// All counters reflect **delivered** communication: under a
-/// [`crate::faults::LossModel`], dropped copies are not counted (the receiver
-/// never saw them, and the round/bit budgets of the paper are statements about
-/// successful communication).
+/// [`crate::faults::FaultPlan`], dropped copies are not counted in the
+/// message/bit totals (the receiver never saw them, and the round/bit budgets
+/// of the paper are statements about successful communication) — instead each
+/// dropped copy increments the per-component drop counter of the fault that
+/// claimed it. Copies addressed to a crashed (or program-halted) node still
+/// count as delivered: the sender put them on the wire and cannot know the
+/// receiver is dead.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct RoundStats {
     /// The round number (1-based).
@@ -32,6 +36,16 @@ pub struct RoundStats {
     /// modes of the same activation kind — this is the CI-gateable measure of
     /// the active-set work reduction.
     pub node_updates: usize,
+    /// Message copies dropped this round by the i.i.d. loss component of the
+    /// [`crate::faults::FaultPlan`]. Deterministic.
+    pub dropped_loss: usize,
+    /// Message copies dropped this round inside a burst-outage window.
+    pub dropped_burst: usize,
+    /// Message copies dropped this round by the active partition cut.
+    pub dropped_partition: usize,
+    /// Number of nodes that have crash-stopped as of this round (cumulative,
+    /// monotone non-decreasing across rounds). Deterministic.
+    pub crashed_nodes: usize,
 }
 
 /// Accumulated statistics for a full protocol run.
@@ -110,6 +124,32 @@ impl RunMetrics {
             .unwrap_or(0)
     }
 
+    /// Total copies dropped by the i.i.d. loss component across all rounds.
+    pub fn total_dropped_loss(&self) -> usize {
+        self.rounds.iter().map(|r| r.dropped_loss).sum()
+    }
+
+    /// Total copies dropped inside burst-outage windows across all rounds.
+    pub fn total_dropped_burst(&self) -> usize {
+        self.rounds.iter().map(|r| r.dropped_burst).sum()
+    }
+
+    /// Total copies dropped by partition cuts across all rounds.
+    pub fn total_dropped_partition(&self) -> usize {
+        self.rounds.iter().map(|r| r.dropped_partition).sum()
+    }
+
+    /// Total copies dropped by any fault component across all rounds.
+    pub fn total_dropped(&self) -> usize {
+        self.total_dropped_loss() + self.total_dropped_burst() + self.total_dropped_partition()
+    }
+
+    /// Number of nodes that had crash-stopped by the end of the run (the
+    /// cumulative counter of the last recorded round; 0 for empty metrics).
+    pub fn crashed_nodes(&self) -> usize {
+        self.rounds.last().map_or(0, |r| r.crashed_nodes)
+    }
+
     /// The last round in which any node's state changed (`None` if no round
     /// changed anything).
     pub fn last_active_round(&self) -> Option<usize> {
@@ -136,6 +176,7 @@ mod tests {
             sending_nodes: 5,
             changed_nodes: 5,
             node_updates: 5,
+            ..RoundStats::default()
         });
         m.push(RoundStats {
             round: 2,
@@ -145,6 +186,7 @@ mod tests {
             sending_nodes: 2,
             changed_nodes: 0,
             node_updates: 2,
+            ..RoundStats::default()
         });
         assert_eq!(m.num_rounds(), 2);
         assert_eq!(m.total_messages(), 14);
@@ -175,6 +217,7 @@ mod tests {
             sending_nodes: 10,
             changed_nodes: 10,
             node_updates: 10,
+            ..RoundStats::default()
         });
         m.add_elapsed(Duration::from_millis(200));
         m.add_elapsed(Duration::from_millis(300));

@@ -26,7 +26,8 @@
 //! keep a persistent active frontier instead:
 //!
 //! * only nodes whose last step reported a change (plus senders whose copies
-//!   were dropped by the loss model) run `broadcast`,
+//!   were dropped by the fault plan — crashed receivers excepted, see
+//!   [`crate::faults`]) run `broadcast`; crashed nodes leave the frontier,
 //! * messages are **scattered** sender-side into the receivers' inboxes
 //!   (using [`CsrGraph::reverse_arc`] for O(1) position translation), and only
 //!   nodes that actually received something run `receive`,
@@ -39,7 +40,7 @@
 //! per-round work executed is reported as [`RoundStats::node_updates`], a
 //! deterministic counter suitable for CI gating.
 
-use crate::faults::LossModel;
+use crate::faults::{DropCause, FaultPlan, LossModel};
 use crate::message::MessageSize;
 use crate::metrics::{RoundStats, RunMetrics};
 use crate::program::{Delivery, NodeContext, NodeProgram, Outgoing};
@@ -111,19 +112,43 @@ struct NodeCell<P: NodeProgram> {
     inbox: Vec<Delivery<P::Message>>,
 }
 
-/// Per-sender accounting row produced by the broadcast phase (post-loss: only
-/// delivered copies are counted).
+/// Per-sender accounting row produced by the broadcast phase (post-fault:
+/// only delivered copies are counted in the message/bit totals; dropped
+/// copies are tallied per fault component).
 #[derive(Clone, Copy, Default)]
 struct SendAccount {
     messages: usize,
     payload_bits: usize,
     max_message_bits: usize,
-    /// Whether the loss model dropped at least one copy of this round's
-    /// send. The sparse executor keeps such senders in the frontier so they
-    /// re-send next round, reproducing exactly the delivery rounds of a dense
-    /// run (which re-broadcasts every round anyway). Dense execution ignores
-    /// this flag.
-    any_dropped: bool,
+    /// Copies of this round's send dropped by the i.i.d. loss component.
+    dropped_loss: usize,
+    /// Copies dropped inside a burst-outage window.
+    dropped_burst: usize,
+    /// Copies dropped by the active partition cut.
+    dropped_partition: usize,
+}
+
+impl SendAccount {
+    #[inline]
+    fn record_drop(&mut self, cause: DropCause) {
+        match cause {
+            DropCause::Loss => self.dropped_loss += 1,
+            DropCause::Burst => self.dropped_burst += 1,
+            DropCause::Partition => self.dropped_partition += 1,
+        }
+    }
+
+    /// Whether any copy of this round's send was dropped. The sparse executor
+    /// keeps such senders in the frontier so they re-send next round,
+    /// reproducing exactly the delivery rounds of a dense run (which
+    /// re-broadcasts every round anyway). Dense execution ignores this.
+    /// Copies addressed to crashed nodes are *not* drops: a crash is
+    /// permanent, so re-sending to the dead receiver would pin its
+    /// neighbours in the frontier forever for no observable effect.
+    #[inline]
+    fn any_dropped(&self) -> bool {
+        self.dropped_loss + self.dropped_burst + self.dropped_partition > 0
+    }
 }
 
 /// Outcome of one node's receive phase.
@@ -162,7 +187,12 @@ pub struct Network<P: NodeProgram> {
     round: usize,
     metrics: RunMetrics,
     mode: ExecutionMode,
-    loss: Option<LossModel>,
+    /// The installed fault plan; `None` ⇔ the plan is trivial, so the
+    /// fault-free hot path runs with zero fault bookkeeping.
+    faults: Option<FaultPlan>,
+    /// Sorted crash rounds of every node that ever crashes under the plan
+    /// (see [`FaultPlan::crash_schedule`]); empty without a crash component.
+    crash_schedule: Vec<u32>,
     // Persistent per-round scratch (see module docs).
     outboxes: Vec<(Outgoing<P::Message>, SendAccount)>,
     step_results: Vec<StepResult>,
@@ -187,41 +217,46 @@ pub struct Network<P: NodeProgram> {
     resend: Vec<u32>,
 }
 
-/// Runs one node's broadcast phase and computes its post-loss accounting row
-/// (shared by the dense map and the sparse frontier loop).
+/// Runs one node's broadcast phase and computes its post-fault accounting row
+/// (shared by the dense map and the sparse frontier loop). A crashed sender
+/// is treated exactly like a program-halted one: it produces nothing.
 fn produce_outgoing<P: NodeProgram>(
     graph: &CsrGraph,
-    loss: Option<LossModel>,
+    faults: Option<FaultPlan>,
     round: usize,
     i: usize,
     cell: &mut NodeCell<P>,
 ) -> (Outgoing<P::Message>, SendAccount) {
-    if cell.program.halted() {
+    let sender = NodeId::new(i);
+    if cell.program.halted() || faults.is_some_and(|f| f.crashed(round, sender)) {
         return (Outgoing::Silent, SendAccount::default());
     }
-    let sender = NodeId::new(i);
     let ctx = NodeContext::new(graph, sender, round);
     let out = cell.program.broadcast(&ctx);
     let mut acct = SendAccount::default();
-    // Post-loss accounting evaluates `drops` here and the delivery phase
-    // evaluates it again per arc — a deliberate trade-off: the hash is a
+    // Post-fault accounting evaluates the drop decision here and the delivery
+    // phase evaluates it again per arc — a deliberate trade-off: the hash is a
     // handful of integer ops, and sharing it would need another arc-indexed
-    // scratch array written under the parallel map. Fault-free runs
-    // (`loss == None`) skip both.
-    let delivered = |to: NodeId| loss.is_none_or(|m| !m.drops(round, sender, to));
+    // scratch array written under the parallel map. Fault-free runs and
+    // crash-only plans (`link_faults == None`) skip both.
+    let link_faults = faults.filter(FaultPlan::affects_links);
     match &out {
         Outgoing::Silent => {}
         Outgoing::Broadcast(m) => {
             let degree = graph.unweighted_degree(sender);
-            let copies = match loss {
+            let copies = match link_faults {
                 None => degree,
-                Some(_) => graph
-                    .neighbors(sender)
-                    .iter()
-                    .filter(|&&t| delivered(t))
-                    .count(),
+                Some(f) => {
+                    let mut delivered = 0usize;
+                    for &t in graph.neighbors(sender) {
+                        match f.drop_cause(round, sender, t, 0) {
+                            None => delivered += 1,
+                            Some(cause) => acct.record_drop(cause),
+                        }
+                    }
+                    delivered
+                }
             };
-            acct.any_dropped = copies < degree;
             if copies > 0 {
                 let bits = m.size_bits();
                 acct.messages = copies;
@@ -234,11 +269,19 @@ fn produce_outgoing<P: NodeProgram>(
                 targets.iter().all(|&t| graph.has_neighbor(sender, t)),
                 "multicast target is not a neighbour of {sender}"
             );
-            let copies = match loss {
+            let copies = match link_faults {
                 None => targets.len(),
-                Some(_) => targets.iter().filter(|&&t| delivered(t)).count(),
+                Some(f) => {
+                    let mut delivered = 0usize;
+                    for &t in targets {
+                        match f.drop_cause(round, sender, t, 0) {
+                            None => delivered += 1,
+                            Some(cause) => acct.record_drop(cause),
+                        }
+                    }
+                    delivered
+                }
             };
-            acct.any_dropped = copies < targets.len();
             if copies > 0 {
                 let bits = m.size_bits();
                 acct.messages = copies;
@@ -247,18 +290,22 @@ fn produce_outgoing<P: NodeProgram>(
             }
         }
         Outgoing::Unicast(msgs) => {
-            for (target, m) in msgs {
+            // The batch position is the per-message fault index: two distinct
+            // messages to the same target in one round get independent drop
+            // decisions (see `LossModel::drops`).
+            for (idx, (target, m)) in msgs.iter().enumerate() {
                 debug_assert!(
                     graph.has_neighbor(sender, *target),
                     "unicast target {target} is not a neighbour of {sender}"
                 );
-                if delivered(*target) {
-                    let bits = m.size_bits();
-                    acct.messages += 1;
-                    acct.payload_bits += bits;
-                    acct.max_message_bits = acct.max_message_bits.max(bits);
-                } else {
-                    acct.any_dropped = true;
+                match link_faults.and_then(|f| f.drop_cause(round, sender, *target, idx)) {
+                    None => {
+                        let bits = m.size_bits();
+                        acct.messages += 1;
+                        acct.payload_bits += bits;
+                        acct.max_message_bits = acct.max_message_bits.max(bits);
+                    }
+                    Some(cause) => acct.record_drop(cause),
                 }
             }
         }
@@ -304,7 +351,8 @@ impl<P: NodeProgram> Network<P> {
             round: 0,
             metrics: RunMetrics::new(),
             mode: ExecutionMode::default(),
-            loss: None,
+            faults: None,
+            crash_schedule: Vec::new(),
             outboxes: Vec::new(),
             step_results: Vec::new(),
             multicast_stamps: Vec::new(),
@@ -337,13 +385,41 @@ impl<P: NodeProgram> Network<P> {
 
     /// Enables deterministic message-loss fault injection (see
     /// [`crate::faults::LossModel`]): every delivered message is independently
-    /// dropped with the given probability. Metrics reflect **post-loss
-    /// delivery** — a dropped copy is counted neither in the message nor the
-    /// bit totals, and a sender whose copies were all dropped does not count
-    /// as sending.
-    pub fn with_message_loss(mut self, model: LossModel) -> Self {
-        self.loss = Some(model);
+    /// dropped with the given probability. Shorthand for
+    /// [`Network::with_faults`] with a loss-only [`FaultPlan`].
+    pub fn with_message_loss(self, model: LossModel) -> Self {
+        self.with_faults(FaultPlan::from_loss(model))
+    }
+
+    /// Installs a deterministic [`FaultPlan`] (i.i.d. loss, burst loss,
+    /// crash-stop nodes, link partitions — see [`crate::faults`]). Metrics
+    /// reflect **post-fault delivery**: a dropped copy is counted neither in
+    /// the message nor the bit totals (it increments the per-component drop
+    /// counters instead), a sender whose copies were all dropped does not
+    /// count as sending, and a crashed node neither sends nor steps. A
+    /// trivial plan (no effective component) is equivalent to — and exactly
+    /// as fast as — not installing one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rounds have already executed.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        assert_eq!(self.round, 0, "install the fault plan before running");
+        if plan.is_trivial() {
+            self.faults = None;
+            self.crash_schedule = Vec::new();
+        } else {
+            self.crash_schedule = plan.crash_schedule(self.cells.len());
+            self.faults = Some(plan);
+        }
         self
+    }
+
+    /// The number of nodes that have crash-stopped as of `round` under the
+    /// installed plan.
+    fn crashed_count(&self, round: usize) -> usize {
+        self.crash_schedule
+            .partition_point(|&r| (r as usize) <= round)
     }
 
     /// The simulated topology.
@@ -402,22 +478,23 @@ impl<P: NodeProgram> Network<P> {
         stats
     }
 
-    /// Dense activation: every non-halted node broadcasts and steps.
+    /// Dense activation: every non-halted, non-crashed node broadcasts and
+    /// steps.
     fn run_round_dense(&mut self) -> RoundStats {
         let round = self.round;
         let graph = &self.graph;
-        let loss = self.loss;
+        let faults = self.faults;
 
         // Phase 1: every (non-halted) node produces its outgoing messages.
-        // The accounting (post-loss, see `with_message_loss`) is computed in
-        // the same map so no separate sequential pass over the outboxes is
+        // The accounting (post-fault, see `with_faults`) is computed in the
+        // same map so no separate sequential pass over the outboxes is
         // needed afterwards.
         match self.mode {
             ExecutionMode::Parallel => self
                 .cells
                 .par_iter_mut()
                 .enumerate()
-                .map(|(i, cell)| produce_outgoing(graph, loss, round, i, cell))
+                .map(|(i, cell)| produce_outgoing(graph, faults, round, i, cell))
                 .collect_into_vec(&mut self.outboxes),
             _ => {
                 self.outboxes.clear();
@@ -426,7 +503,7 @@ impl<P: NodeProgram> Network<P> {
                     self.cells
                         .iter_mut()
                         .enumerate()
-                        .map(|(i, cell)| produce_outgoing(graph, loss, round, i, cell)),
+                        .map(|(i, cell)| produce_outgoing(graph, faults, round, i, cell)),
                 );
             }
         }
@@ -436,6 +513,9 @@ impl<P: NodeProgram> Network<P> {
         let mut payload_bits = 0usize;
         let mut max_message_bits = 0usize;
         let mut sending_nodes = 0usize;
+        let mut dropped_loss = 0usize;
+        let mut dropped_burst = 0usize;
+        let mut dropped_partition = 0usize;
         for (_, acct) in &self.outboxes {
             if acct.messages > 0 {
                 sending_nodes += 1;
@@ -443,6 +523,9 @@ impl<P: NodeProgram> Network<P> {
                 payload_bits += acct.payload_bits;
                 max_message_bits = max_message_bits.max(acct.max_message_bits);
             }
+            dropped_loss += acct.dropped_loss;
+            dropped_burst += acct.dropped_burst;
+            dropped_partition += acct.dropped_partition;
         }
 
         // Multicast scatter: each sender stamps its own CSR arc positions for
@@ -481,19 +564,18 @@ impl<P: NodeProgram> Network<P> {
         // messages with per-neighbour state in linear time.
         let outboxes = &self.outboxes;
         let stamps = &self.multicast_stamps;
+        let link_faults = faults.filter(FaultPlan::affects_links);
         let receive_one = |i: usize, cell: &mut NodeCell<P>| -> StepResult {
-            if cell.program.halted() {
+            let v = NodeId::new(i);
+            if cell.program.halted() || faults.is_some_and(|f| f.crashed(round, v)) {
                 return StepResult::default();
             }
-            let v = NodeId::new(i);
-            let dropped =
-                |from: NodeId| -> bool { loss.map(|m| m.drops(round, from, v)).unwrap_or(false) };
+            let dropped = |from: NodeId, idx: usize| -> bool {
+                link_faults.is_some_and(|f| f.drops(round, from, v, idx))
+            };
             let arc_base = graph.arc_offset(v);
             cell.inbox.clear();
             for (q, &u) in graph.neighbors(v).iter().enumerate() {
-                if dropped(u) {
-                    continue;
-                }
                 let deliver = |inbox: &mut Vec<Delivery<P::Message>>, msg: &P::Message| {
                     inbox.push(Delivery {
                         sender: u,
@@ -503,7 +585,11 @@ impl<P: NodeProgram> Network<P> {
                 };
                 match &outboxes[u.index()].0 {
                     Outgoing::Silent => {}
-                    Outgoing::Broadcast(m) => deliver(&mut cell.inbox, m),
+                    Outgoing::Broadcast(m) => {
+                        if !dropped(u, 0) {
+                            deliver(&mut cell.inbox, m);
+                        }
+                    }
                     Outgoing::Multicast(m, targets) => {
                         // The paired sender-side arc (u → v) carries the stamp.
                         // The emptiness check both short-circuits no-op
@@ -512,13 +598,16 @@ impl<P: NodeProgram> Network<P> {
                         // non-empty multicast).
                         if !targets.is_empty()
                             && stamps[graph.reverse_arc(arc_base + q)] == round_stamp
+                            && !dropped(u, 0)
                         {
                             deliver(&mut cell.inbox, m);
                         }
                     }
                     Outgoing::Unicast(msgs) => {
-                        for (target, m) in msgs {
-                            if *target == v {
+                        // The batch position is the per-message fault index
+                        // (mirrors the sender-side accounting).
+                        for (idx, (target, m)) in msgs.iter().enumerate() {
+                            if *target == v && !dropped(u, idx) {
                                 deliver(&mut cell.inbox, m);
                             }
                         }
@@ -562,6 +651,10 @@ impl<P: NodeProgram> Network<P> {
             sending_nodes,
             changed_nodes,
             node_updates,
+            dropped_loss,
+            dropped_burst,
+            dropped_partition,
+            crashed_nodes: self.crashed_count(round),
         }
     }
 
@@ -588,25 +681,32 @@ impl<P: NodeProgram> Network<P> {
         }
 
         if self.frontier.is_empty() {
-            // Quiescent: the round is a no-op (and costs O(1)).
+            // Quiescent: the round is a no-op (and costs O(1)). The
+            // cumulative crash counter still reports, matching dense rounds.
             return RoundStats {
                 round,
+                crashed_nodes: self.crashed_count(round),
                 ..RoundStats::default()
             };
         }
 
         // Phase 1: frontier nodes produce their outgoing messages, with the
-        // same post-loss accounting as the dense path. A sender with dropped
+        // same post-fault accounting as the dense path. A sender with dropped
         // copies is queued for re-send so receivers hear its current value at
-        // exactly the rounds a dense run would have delivered it.
+        // exactly the rounds a dense run would have delivered it; a crashed
+        // frontier node produces nothing and silently leaves the frontier
+        // (it can never report a change again).
         let mut messages = 0usize;
         let mut payload_bits = 0usize;
         let mut max_message_bits = 0usize;
         let mut sending_nodes = 0usize;
+        let mut dropped_loss = 0usize;
+        let mut dropped_burst = 0usize;
+        let mut dropped_partition = 0usize;
         self.resend.clear();
         for idx in 0..self.frontier.len() {
             let u = self.frontier[idx] as usize;
-            let row = produce_outgoing(&self.graph, self.loss, round, u, &mut self.cells[u]);
+            let row = produce_outgoing(&self.graph, self.faults, round, u, &mut self.cells[u]);
             let acct = row.1;
             self.outboxes[u] = row;
             if acct.messages > 0 {
@@ -615,7 +715,10 @@ impl<P: NodeProgram> Network<P> {
                 payload_bits += acct.payload_bits;
                 max_message_bits = max_message_bits.max(acct.max_message_bits);
             }
-            if acct.any_dropped {
+            dropped_loss += acct.dropped_loss;
+            dropped_burst += acct.dropped_burst;
+            dropped_partition += acct.dropped_partition;
+            if acct.any_dropped() {
                 self.resend.push(u as u32);
             }
         }
@@ -634,14 +737,18 @@ impl<P: NodeProgram> Network<P> {
                 touch_list,
                 touched_stamp,
                 frontier,
-                loss,
+                faults,
                 ..
             } = self;
             touch_list.clear();
-            let loss = *loss;
+            let faults = *faults;
+            let link_faults = faults.filter(FaultPlan::affects_links);
+            // A crashed (or halted) node is never touched: it does not step,
+            // mirroring the dense receive skip, so it stays out of the
+            // frontier bookkeeping entirely.
             let mut touch = |cells: &mut Vec<NodeCell<P>>, v: NodeId| -> bool {
                 let cell = &mut cells[v.index()];
-                if cell.program.halted() {
+                if cell.program.halted() || faults.is_some_and(|f| f.crashed(round, v)) {
                     return false;
                 }
                 if touched_stamp[v.index()] != round_stamp {
@@ -655,8 +762,8 @@ impl<P: NodeProgram> Network<P> {
                 let u = uu as usize;
                 let sender = NodeId::new(u);
                 let base = graph.arc_offset(sender);
-                let dropped = |to: NodeId| -> bool {
-                    loss.map(|m| m.drops(round, sender, to)).unwrap_or(false)
+                let dropped = |to: NodeId, idx: usize| -> bool {
+                    link_faults.is_some_and(|f| f.drops(round, sender, to, idx))
                 };
                 // Deliver one copy on the arc at sender-local position `q`.
                 let deliver = |cells: &mut Vec<NodeCell<P>>, q: usize, msg: &P::Message| {
@@ -672,7 +779,7 @@ impl<P: NodeProgram> Network<P> {
                     Outgoing::Silent => {}
                     Outgoing::Broadcast(m) => {
                         for (q, &v) in graph.neighbors(sender).iter().enumerate() {
-                            if !dropped(v) && touch(cells, v) {
+                            if !dropped(v, 0) && touch(cells, v) {
                                 deliver(cells, q, m);
                             }
                         }
@@ -685,7 +792,7 @@ impl<P: NodeProgram> Network<P> {
                             *multicast_stamps = vec![0; graph.num_arcs()];
                         }
                         for &t in targets {
-                            if dropped(t) {
+                            if dropped(t, 0) {
                                 continue;
                             }
                             for q in graph.neighbor_positions(sender, t) {
@@ -704,8 +811,8 @@ impl<P: NodeProgram> Network<P> {
                         }
                     }
                     Outgoing::Unicast(msgs) => {
-                        for (t, m) in msgs {
-                            if dropped(*t) {
+                        for (idx, (t, m)) in msgs.iter().enumerate() {
+                            if dropped(*t, idx) {
                                 continue;
                             }
                             // Dense delivery hands a unicast to every parallel
@@ -785,6 +892,10 @@ impl<P: NodeProgram> Network<P> {
             sending_nodes,
             changed_nodes,
             node_updates,
+            dropped_loss,
+            dropped_burst,
+            dropped_partition,
+            crashed_nodes: self.crashed_count(round),
         }
     }
 
@@ -1264,7 +1375,7 @@ mod tests {
         let mut expected = 0usize;
         for u in g.nodes() {
             for v in g.nodes() {
-                if u != v && !model.drops(1, u, v) {
+                if u != v && !model.drops(1, u, v, 0) {
                     expected += 1;
                 }
             }
@@ -1275,6 +1386,296 @@ mod tests {
         );
         assert_eq!(stats.messages, expected);
         assert_eq!(stats.payload_bits, expected * 32);
+    }
+
+    use crate::faults::{BurstLoss, CrashModel, FaultPlan, PartitionModel};
+
+    /// Regression (the correlated-drop bug): a unicast batch carrying several
+    /// distinct messages to the SAME receiver in the same round used to share
+    /// one drop decision keyed on `(round, from, to)` — all copies lived or
+    /// died together. The per-message index decorrelates them; delivery and
+    /// accounting must agree on the per-message decisions, in both executors.
+    #[test]
+    fn unicast_batch_to_one_receiver_gets_independent_drop_decisions() {
+        struct Batch {
+            received: Vec<u64>,
+        }
+        impl NodeProgram for Batch {
+            type Message = u64;
+            fn broadcast(&mut self, ctx: &NodeContext<'_>) -> Outgoing<u64> {
+                if ctx.node() == NodeId(0) {
+                    // Four distinct messages to the same neighbour each round.
+                    Outgoing::Unicast((0..4).map(|k| (NodeId(1), 100 + k)).collect())
+                } else {
+                    Outgoing::Silent
+                }
+            }
+            fn receive(&mut self, _ctx: &NodeContext<'_>, inbox: &[Delivery<u64>]) -> bool {
+                self.received.extend(inbox.iter().map(|d| d.msg));
+                !inbox.is_empty()
+            }
+        }
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        let model = LossModel::new(0.5, 7);
+        let rounds = 60;
+        let run = |mode: ExecutionMode| {
+            let mut net = Network::new(&g, |_| Batch { received: vec![] })
+                .with_mode(mode)
+                .with_message_loss(model);
+            net.run(rounds);
+            let received = net.program(NodeId(1)).received.clone();
+            let (_, metrics) = net.into_parts();
+            (received, metrics)
+        };
+        let (received, metrics) = run(ExecutionMode::Sequential);
+        // Per round, the delivered subset must match the per-index model
+        // decisions — not an all-or-nothing link-level coin flip.
+        let mut expected = Vec::new();
+        for r in 1..=rounds {
+            for k in 0..4u64 {
+                if !model.drops(r, NodeId(0), NodeId(1), k as usize) {
+                    expected.push(100 + k);
+                }
+            }
+        }
+        assert_eq!(received, expected);
+        let partial_rounds = (1..=rounds)
+            .filter(|&r| {
+                let delivered = (0..4)
+                    .filter(|&k| !model.drops(r, NodeId(0), NodeId(1), k))
+                    .count();
+                delivered > 0 && delivered < 4
+            })
+            .count();
+        assert!(
+            partial_rounds > 10,
+            "decisions still correlated: no partially-delivered batches"
+        );
+        // Accounting counted exactly the delivered copies.
+        assert_eq!(metrics.total_messages(), expected.len());
+        assert_eq!(metrics.total_dropped_loss(), rounds * 4 - expected.len());
+        // The parallel executor agrees exactly (the program accumulates
+        // duplicates, so it is not delta-driven and the sparse modes do not
+        // apply to it).
+        let (par_received, par_metrics) = run(ExecutionMode::Parallel);
+        assert_eq!(par_received, received);
+        assert_eq!(par_metrics.rounds(), metrics.rounds());
+    }
+
+    /// Every execution mode agrees on state and counters under a fault plan
+    /// mixing all four components.
+    #[test]
+    fn all_modes_agree_under_a_full_fault_plan() {
+        let g = path_graph(20);
+        let plan = FaultPlan::from_loss(LossModel::new(0.2, 5))
+            .with_burst(BurstLoss::new(6, 2, 9))
+            .with_crash(CrashModel::new(0.15, 2, 10, 13))
+            .with_partition(PartitionModel::new(0.3, 4, 9, 21));
+        let mut reference = min_id_network(&g, ExecutionMode::Sequential).with_faults(plan);
+        reference.run(30);
+        for mode in &ALL_MODES[1..] {
+            let mut net = min_id_network(&g, *mode).with_faults(plan);
+            net.run(30);
+            for v in g.nodes() {
+                assert_eq!(reference.program(v).best, net.program(v).best, "{mode:?}");
+            }
+        }
+        // Dense counters agree exactly between sequential and parallel.
+        let mut par = min_id_network(&g, ExecutionMode::Parallel).with_faults(plan);
+        par.run(30);
+        assert_eq!(reference.metrics().rounds(), par.metrics().rounds());
+        // Sparse counters agree between the two sparse modes.
+        let mut ss = min_id_network(&g, ExecutionMode::SparseSequential).with_faults(plan);
+        let mut sp = min_id_network(&g, ExecutionMode::SparseParallel).with_faults(plan);
+        ss.run(30);
+        sp.run(30);
+        assert_eq!(ss.metrics().rounds(), sp.metrics().rounds());
+    }
+
+    /// The acceptance criterion of the fault PR: an empty (or trivial) plan
+    /// reproduces the fault-free run bit-for-bit, in every mode.
+    #[test]
+    fn trivial_plan_is_bit_identical_to_no_plan() {
+        let g = complete_graph(10);
+        let trivial = [
+            FaultPlan::none(),
+            FaultPlan::from_loss(LossModel::new(0.0, 7)),
+            FaultPlan::none().with_burst(BurstLoss::new(5, 0, 1)),
+            FaultPlan::none().with_crash(CrashModel::new(0.0, 1, 4, 2)),
+            FaultPlan::none().with_partition(PartitionModel::new(0.0, 1, 4, 3)),
+        ];
+        for mode in ALL_MODES {
+            let mut clean = min_id_network(&g, mode);
+            clean.run(5);
+            for plan in trivial {
+                let mut planned = min_id_network(&g, mode).with_faults(plan);
+                planned.run(5);
+                assert_eq!(
+                    clean.metrics().rounds(),
+                    planned.metrics().rounds(),
+                    "{mode:?} {plan:?}"
+                );
+                for v in g.nodes() {
+                    assert_eq!(clean.program(v).best, planned.program(v).best);
+                }
+            }
+        }
+    }
+
+    /// Crash-stop: crashed nodes stop sending and stepping, leave the sparse
+    /// frontier, and the cumulative crash counter reports them.
+    #[test]
+    fn crashed_nodes_leave_the_frontier_and_freeze() {
+        let g = path_graph(30);
+        // Deterministically crash ~40% of nodes between rounds 2 and 6.
+        let plan = FaultPlan::none().with_crash(CrashModel::new(0.4, 2, 6, 99));
+        let crash = plan.crash.unwrap();
+        let crashed: Vec<usize> = (0..30)
+            .filter(|&v| crash.crash_round(NodeId::new(v)).is_some())
+            .collect();
+        assert!(!crashed.is_empty(), "seed produced no crashes");
+
+        let mut clean = min_id_network(&g, ExecutionMode::SparseSequential);
+        let mut faulty = min_id_network(&g, ExecutionMode::SparseSequential).with_faults(plan);
+        let mut dense = min_id_network(&g, ExecutionMode::Sequential).with_faults(plan);
+        clean.run(40);
+        faulty.run(40);
+        dense.run(40);
+
+        // Dense and sparse agree on the final state under the crash plan.
+        for v in g.nodes() {
+            assert_eq!(faulty.program(v).best, dense.program(v).best, "node {v}");
+        }
+        // A node crashed at round r last stepped in round r - 1, when the
+        // flood had reached it from at most r - 1 hops away — unless an
+        // upstream node crashed even earlier and never relayed the smaller
+        // id, in which case it knows strictly less.
+        for &v in &crashed {
+            let r = crash.crash_round(NodeId::new(v)).unwrap();
+            let frozen = faulty.program(NodeId::new(v)).best;
+            assert!(
+                frozen >= (v as u32).saturating_sub((r - 1) as u32),
+                "node {v} crashed at round {r} but knows id {frozen}"
+            );
+        }
+        // Strictly fewer node updates than the fault-free run (crashed nodes
+        // left the frontier), and the crash counter is cumulative.
+        assert!(
+            faulty.metrics().total_node_updates() < clean.metrics().total_node_updates(),
+            "crash run must do strictly less work ({} vs {})",
+            faulty.metrics().total_node_updates(),
+            clean.metrics().total_node_updates()
+        );
+        assert_eq!(faulty.metrics().crashed_nodes(), crashed.len());
+        let per_round: Vec<usize> = faulty
+            .metrics()
+            .rounds()
+            .iter()
+            .map(|r| r.crashed_nodes)
+            .collect();
+        assert!(per_round.windows(2).all(|w| w[0] <= w[1]), "monotone");
+        assert_eq!(per_round[0], 0, "crash window starts at round 2");
+        // No drops were involved: crashes are not counted as dropped copies.
+        assert_eq!(faulty.metrics().total_dropped(), 0);
+    }
+
+    /// Partition: during the window nothing crosses the cut (both directions),
+    /// partitioned-but-alive senders stay in the frontier, and after healing
+    /// the protocol converges to the same fixpoint as a fault-free run.
+    #[test]
+    fn partition_heals_and_senders_stay_in_frontier() {
+        let g = path_graph(12);
+        let plan = FaultPlan::none().with_partition(PartitionModel::new(0.5, 2, 8, 17));
+        let part = plan.partition.unwrap();
+        assert!(
+            (1..12u32).any(|v| part.minority_side(NodeId(v)) != part.minority_side(NodeId(0))),
+            "seed produced a trivial cut"
+        );
+        for mode in [ExecutionMode::Sequential, ExecutionMode::SparseSequential] {
+            let mut net = min_id_network(&g, mode).with_faults(plan);
+            net.run(40);
+            // Healing: everyone still converges to the global minimum.
+            for v in g.nodes() {
+                assert_eq!(net.program(v).best, 0, "{mode:?} node {v}");
+            }
+            assert!(
+                net.metrics().total_dropped_partition() > 0,
+                "{mode:?}: the cut never dropped anything"
+            );
+            assert_eq!(net.metrics().total_dropped_loss(), 0);
+            assert_eq!(net.metrics().total_dropped_burst(), 0);
+        }
+        // Sparse and dense deliver the same rounds-to-convergence.
+        let mut dense = min_id_network(&g, ExecutionMode::Sequential).with_faults(plan);
+        let mut sparse = min_id_network(&g, ExecutionMode::SparseSequential).with_faults(plan);
+        let dr = dense.run_until_quiescent(100);
+        let sr = sparse.run_until_quiescent(100);
+        assert_eq!(dr, sr, "convergence rounds must agree");
+    }
+
+    /// Burst loss: dark windows drop copies (counted per component) but the
+    /// periodic re-sends still converge the flood, identically across modes.
+    #[test]
+    fn burst_loss_drops_in_windows_and_converges() {
+        let g = path_graph(10);
+        let plan = FaultPlan::none().with_burst(BurstLoss::new(4, 2, 33));
+        let mut dense = min_id_network(&g, ExecutionMode::Sequential).with_faults(plan);
+        let mut sparse = min_id_network(&g, ExecutionMode::SparseSequential).with_faults(plan);
+        dense.run(40);
+        sparse.run(40);
+        for v in g.nodes() {
+            assert_eq!(dense.program(v).best, 0, "node {v}");
+            assert_eq!(sparse.program(v).best, 0, "node {v}");
+        }
+        assert!(dense.metrics().total_dropped_burst() > 0);
+        assert_eq!(dense.metrics().total_dropped_loss(), 0);
+        // Burst drops plus delivered copies account for every copy a dense
+        // round put on the wire: n-1 edges, 2 copies per edge per round.
+        let per_round_copies = 2 * (10 - 1);
+        for r in dense.metrics().rounds() {
+            assert_eq!(
+                r.messages + r.dropped_burst,
+                per_round_copies,
+                "round {}",
+                r.round
+            );
+        }
+    }
+
+    /// Drop attribution is exclusive: each dropped copy is charged to exactly
+    /// one component, and totals reconcile with delivered messages.
+    #[test]
+    fn drop_counters_reconcile_with_deliveries() {
+        let g = complete_graph(8);
+        let plan = FaultPlan::from_loss(LossModel::new(0.3, 3))
+            .with_burst(BurstLoss::new(5, 2, 4))
+            .with_partition(PartitionModel::new(0.4, 2, 6, 5));
+        let mut net = min_id_network(&g, ExecutionMode::Sequential).with_faults(plan);
+        net.run(8);
+        let m = net.metrics();
+        assert!(m.total_dropped_loss() > 0);
+        assert!(m.total_dropped_burst() > 0);
+        assert!(m.total_dropped_partition() > 0);
+        // 8*7 copies put on the wire per round; all either delivered or
+        // attributed to exactly one fault component.
+        for r in m.rounds() {
+            assert_eq!(
+                r.messages + r.dropped_loss + r.dropped_burst + r.dropped_partition,
+                8 * 7,
+                "round {}",
+                r.round
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before running")]
+    fn fault_plan_must_be_installed_before_running() {
+        let g = complete_graph(3);
+        let mut net = min_id_network(&g, ExecutionMode::Sequential);
+        net.run(1);
+        let _ = net.with_faults(FaultPlan::from_loss(LossModel::new(0.5, 1)));
     }
 
     #[test]

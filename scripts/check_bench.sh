@@ -5,11 +5,13 @@
 #
 # Compares only the DETERMINISTIC counters of each record — (experiment,
 # workload, scale, rounds, total_messages, payload_bits, max_message_bits,
-# node_updates) — and fails on any drift: a changed counter, a missing
+# node_updates, dropped_loss, dropped_burst, dropped_partition,
+# crashed_nodes) — and fails on any drift: a changed counter, a missing
 # record, or an unexpected extra record. Timing fields (wall_clock_ms,
 # messages_per_sec) are machine-dependent and deliberately ignored.
 #
-# Accepts schema versions 1 and 2; v1 records count node_updates as 0
+# Accepts schema versions 1–3; a counter a record's schema version predates
+# (node_updates before v2, the fault counters before v3) defaults to 0
 # (see the migration note in crates/bench/src/report.rs).
 #
 # To update the baseline intentionally (e.g. a protocol change that alters
@@ -39,14 +41,19 @@ import sys
 
 report_path, baseline_path = sys.argv[1], sys.argv[2]
 COUNTERS = ("rounds", "total_messages", "payload_bits", "max_message_bits",
-            "node_updates")
+            "node_updates", "dropped_loss", "dropped_burst",
+            "dropped_partition", "crashed_nodes")
+# The schema version each counter became mandatory in; below it the counter
+# defaults to 0 when absent.
+COUNTER_SINCE = {"node_updates": 2, "dropped_loss": 3, "dropped_burst": 3,
+                 "dropped_partition": 3, "crashed_nodes": 3}
 
 
 def load(path):
     with open(path) as fh:
         doc = json.load(fh)
     version = doc.get("schema_version")
-    if version not in (1, 2):
+    if version not in (1, 2, 3):
         sys.exit(f"check_bench: {path}: unsupported schema_version {version!r}")
     records = {}
     for rec in doc["records"]:
@@ -55,9 +62,9 @@ def load(path):
             sys.exit(f"check_bench: {path}: duplicate record {key}")
         counters = []
         for c in COUNTERS:
-            # Only node_updates is optional, and only in schema v1 (the
-            # field predates it); any other missing counter is malformed.
-            if c == "node_updates" and version == 1:
+            # A counter is optional only in schema versions that predate it;
+            # any other missing counter is malformed.
+            if version < COUNTER_SINCE.get(c, 1):
                 counters.append(rec.get(c, 0))
             elif c not in rec:
                 sys.exit(f"check_bench: {path}: record {key} is missing "

@@ -2,7 +2,7 @@
 # Regenerate the committed CI baselines after an INTENTIONAL change to the
 # deterministic counters (protocol change, new experiment, new workload):
 #
-#   scripts/update_baseline.sh    # rewrites bench/baselines/{tiny,ingest-tiny,frontier-tiny}.json
+#   scripts/update_baseline.sh    # rewrites bench/baselines/{tiny,ingest-tiny,frontier-tiny,faults-tiny}.json
 #
 # The machine-dependent timing fields (wall_clock_ms, messages_per_sec) are
 # zeroed before committing — scripts/check_bench.sh ignores them anyway, and
@@ -41,3 +41,7 @@ zero_timings "$ingest_baseline"
 frontier_baseline="bench/baselines/frontier-tiny.json"
 cargo run --release -p dkc-bench --bin exp_frontier -- --scale tiny --json "$frontier_baseline"
 zero_timings "$frontier_baseline"
+
+faults_baseline="bench/baselines/faults-tiny.json"
+cargo run --release -p dkc-bench --bin exp_faults -- --scale tiny --json "$faults_baseline"
+zero_timings "$faults_baseline"
