@@ -11,7 +11,7 @@
 //! E8 compares the two).
 
 use dkc_distsim::{
-    Delivery, ExecutionMode, Network, NodeContext, NodeProgram, Outgoing, RunMetrics,
+    Delivery, ExecutionMode, NetworkBuilder, NodeContext, NodeProgram, Outgoing, RunMetrics,
 };
 use dkc_graph::WeightedGraph;
 
@@ -116,12 +116,13 @@ pub fn montresor_exact_coreness(
     mode: ExecutionMode,
 ) -> MontresorOutcome {
     let mode = mode.dense();
-    let mut net = Network::new(g, |ctx| MontresorNode {
-        estimate: ctx.degree(),
-        neighbor_estimates: Vec::new(),
-        initialized: false,
-    })
-    .with_mode(mode);
+    let mut net = NetworkBuilder::new()
+        .mode(mode)
+        .build(g, |ctx| MontresorNode {
+            estimate: ctx.degree(),
+            neighbor_estimates: Vec::new(),
+            initialized: false,
+        });
     let rounds = net.run_until_quiescent(max_rounds);
     let converged = net
         .metrics()

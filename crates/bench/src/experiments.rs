@@ -24,7 +24,25 @@ use dkc_graph::properties::diameter_double_sweep;
 use dkc_graph::{CsrGraph, NodeId};
 use std::time::Instant;
 
-const MODE: ExecutionMode = ExecutionMode::Parallel;
+/// The process-wide `--mode` override (see [`set_default_mode`]).
+static DEFAULT_MODE: std::sync::OnceLock<ExecutionMode> = std::sync::OnceLock::new();
+
+/// Installs the executor backend protocol measurements run under — called
+/// once by `ExpArgs::parse` (the `--mode` flag), before any experiment runs.
+/// Later calls are ignored, mirroring the first-wins semantics of the global
+/// rayon pool the `--threads` flag configures.
+pub fn set_default_mode(mode: ExecutionMode) {
+    let _ = DEFAULT_MODE.set(mode);
+}
+
+/// The executor backend experiments use where they do not explicitly compare
+/// modes (E9/E12 keep their explicit per-mode legs): the dense lockstep
+/// parallel executor unless `--mode mailbox` selected the message-passing
+/// backend. Every deterministic counter is identical across the two by
+/// construction, so reports gate against the same baseline either way.
+fn default_mode() -> ExecutionMode {
+    *DEFAULT_MODE.get().unwrap_or(&ExecutionMode::Parallel)
+}
 
 /// The result of one experiment: the rendered table plus the structured
 /// measurement records behind it.
@@ -111,7 +129,7 @@ pub fn exp_fig1(ring_sizes: &[usize]) -> ExperimentOutput {
         let bc = surviving_numbers(&c, rounds)[0];
         // Record the distributed counterpart on variant A: the simulator run
         // gives the real message/bit counters behind the beta column.
-        let run = run_compact_elimination(&a, rounds, ThresholdSet::Reals, MODE);
+        let run = run_compact_elimination(&a, rounds, ThresholdSet::Reals, default_mode());
         out.records.push(ExperimentRecord::from_metrics(
             "E1",
             format!("fig1-ring-{n}"),
@@ -280,7 +298,7 @@ pub fn exp_orientation(scale: WorkloadScale, epsilon: f64) -> ExperimentOutput {
             continue;
         }
         let rounds = rounds_for_epsilon(n, epsilon);
-        let compact = run_compact_elimination(g, rounds, ThresholdSet::Reals, MODE);
+        let compact = run_compact_elimination(g, rounds, ThresholdSet::Reals, default_mode());
         out.records.push(ExperimentRecord::from_metrics(
             "E4",
             format!("{}-eps{epsilon}", workload.name),
@@ -340,7 +358,7 @@ pub fn exp_densest(scale: WorkloadScale, epsilon: f64) -> ExperimentOutput {
         }
         let rounds = rounds_for_epsilon(n, epsilon);
         let started = Instant::now();
-        let result = weak_densest_subsets_with_rounds(g, rounds, MODE);
+        let result = weak_densest_subsets_with_rounds(g, rounds, default_mode());
         // The four-phase protocol exposes round and message totals but not
         // bit-level counters; those fields stay zero.
         out.records.push(ExperimentRecord::from_counts(
@@ -407,7 +425,7 @@ pub fn exp_lower_bound(gammas: &[usize], depth: usize) -> ExperimentOutput {
         }
         // Record a simulator run on the clique variant at the critical round
         // budget (the tree depth).
-        let run = run_compact_elimination(&clique, depth, ThresholdSet::Reals, MODE);
+        let run = run_compact_elimination(&clique, depth, ThresholdSet::Reals, default_mode());
         out.records.push(ExperimentRecord::from_metrics(
             "E6",
             format!("tree-g{gamma}-d{depth}"),
@@ -427,6 +445,7 @@ pub fn exp_message_size(scale: WorkloadScale, lambdas: &[f64], epsilon: f64) -> 
             "lambda",
             "max msg bits",
             "total kbits",
+            "wire kbits",
             "max ratio vs exact-run",
             "congest budget",
         ],
@@ -438,7 +457,7 @@ pub fn exp_message_size(scale: WorkloadScale, lambdas: &[f64], epsilon: f64) -> 
         }
         let n = g.num_nodes();
         let rounds = rounds_for_epsilon(n, epsilon);
-        let exact = run_compact_elimination(g, rounds, ThresholdSet::Reals, MODE);
+        let exact = run_compact_elimination(g, rounds, ThresholdSet::Reals, default_mode());
         out.records.push(ExperimentRecord::from_metrics(
             "E7",
             format!("{}-reals", workload.name),
@@ -451,12 +470,17 @@ pub fn exp_message_size(scale: WorkloadScale, lambdas: &[f64], epsilon: f64) -> 
             "0 (reals)".into(),
             exact.metrics.max_message_bits().to_string(),
             f1(exact.metrics.total_payload_bits() as f64 / 1e3),
+            f1(exact.metrics.total_wire_bits() as f64 / 1e3),
             f3(1.0),
             budget.to_string(),
         ]);
         for &lambda in lambdas {
-            let quantized =
-                run_compact_elimination(g, rounds, ThresholdSet::power_grid(lambda), MODE);
+            let quantized = run_compact_elimination(
+                g,
+                rounds,
+                ThresholdSet::power_grid(lambda),
+                default_mode(),
+            );
             out.records.push(ExperimentRecord::from_metrics(
                 "E7",
                 format!("{}-lam{lambda}", workload.name),
@@ -469,6 +493,7 @@ pub fn exp_message_size(scale: WorkloadScale, lambdas: &[f64], epsilon: f64) -> 
                 format!("{lambda}"),
                 quantized.metrics.max_message_bits().to_string(),
                 f1(quantized.metrics.total_payload_bits() as f64 / 1e3),
+                f1(quantized.metrics.total_wire_bits() as f64 / 1e3),
                 f3(ratio.max),
                 budget.to_string(),
             ]);
@@ -497,7 +522,7 @@ pub fn exp_vs_exact(scale: WorkloadScale, epsilon: f64) -> ExperimentOutput {
         let n = g.num_nodes();
         let diameter = diameter_double_sweep(&CsrGraph::from(g), NodeId(0));
         let exact_core = weighted_coreness(g);
-        let exact_run = montresor_exact_coreness(g, 20 * n, MODE);
+        let exact_run = montresor_exact_coreness(g, 20 * n, default_mode());
         out.records.push(ExperimentRecord::from_metrics(
             "E8",
             format!("{}-exact", workload.name),
@@ -505,7 +530,7 @@ pub fn exp_vs_exact(scale: WorkloadScale, epsilon: f64) -> ExperimentOutput {
             &exact_run.metrics,
         ));
         let rounds = rounds_for_epsilon(n, epsilon);
-        let approx = run_compact_elimination(g, rounds, ThresholdSet::Reals, MODE);
+        let approx = run_compact_elimination(g, rounds, ThresholdSet::Reals, default_mode());
         out.records.push(ExperimentRecord::from_metrics(
             "E8",
             format!("{}-approx", workload.name),
@@ -597,7 +622,9 @@ pub fn exp_scaling(scale: WorkloadScale) -> ExperimentOutput {
     let g = complete_graph(stress_n);
     let stress_rounds = 5usize;
     for (label, mode) in modes {
-        let mut net = dkc_distsim::Network::new(&g, |_| HalfMulticast).with_mode(mode);
+        let mut net = dkc_distsim::NetworkBuilder::new()
+            .mode(mode)
+            .build(&g, |_| HalfMulticast);
         net.run(stress_rounds);
         out.records.push(ExperimentRecord::from_metrics(
             "E9",
@@ -669,6 +696,7 @@ pub fn exp_robustness(scale: WorkloadScale, epsilon: f64, loss_rates: &[f64]) ->
             "graph",
             "loss",
             "T",
+            "wire kbits",
             "max ratio",
             "mean ratio",
             "max ratio @2T",
@@ -688,21 +716,33 @@ pub fn exp_robustness(scale: WorkloadScale, epsilon: f64, loss_rates: &[f64]) ->
             } else {
                 None
             };
-            let run = run_compact_elimination_with_loss(g, rounds, ThresholdSet::Reals, MODE, loss);
+            let run = run_compact_elimination_with_loss(
+                g,
+                rounds,
+                ThresholdSet::Reals,
+                default_mode(),
+                loss,
+            );
             out.records.push(ExperimentRecord::from_metrics(
                 "E10",
                 format!("{}-loss{p:.2}", workload.name),
                 scale.name(),
                 &run.metrics,
             ));
-            let run2 =
-                run_compact_elimination_with_loss(g, 2 * rounds, ThresholdSet::Reals, MODE, loss);
+            let run2 = run_compact_elimination_with_loss(
+                g,
+                2 * rounds,
+                ThresholdSet::Reals,
+                default_mode(),
+                loss,
+            );
             let ratio = ApproxRatio::compute(&run.surviving, &exact_core);
             let ratio2 = ApproxRatio::compute(&run2.surviving, &exact_core);
             out.table.row(vec![
                 workload.name.into(),
                 format!("{p:.2}"),
                 rounds.to_string(),
+                f1(run.metrics.total_wire_bits() as f64 / 1e3),
                 f3(ratio.max),
                 f3(ratio.mean),
                 f3(ratio2.max),
@@ -762,7 +802,7 @@ pub fn exp_frontier(scale: WorkloadScale) -> ExperimentOutput {
         ],
     ));
     for (name, g, rounds) in frontier_workloads(scale) {
-        let dense = run_compact_elimination(&g, rounds, ThresholdSet::Reals, MODE);
+        let dense = run_compact_elimination(&g, rounds, ThresholdSet::Reals, default_mode());
         let sparse = run_compact_elimination(
             &g,
             rounds,
@@ -898,8 +938,13 @@ pub fn exp_faults(
                 plan,
             );
             // Re-certify sparse/dense equivalence under this fault plan.
-            let dense =
-                run_compact_elimination_with_faults(g, budget, ThresholdSet::Reals, MODE, plan);
+            let dense = run_compact_elimination_with_faults(
+                g,
+                budget,
+                ThresholdSet::Reals,
+                default_mode(),
+                plan,
+            );
             assert_eq!(
                 run.surviving, dense.surviving,
                 "sparse executor diverged from dense on {}-{scenario} — this is a bug",
@@ -1013,6 +1058,7 @@ pub fn exp_ingest(scale: WorkloadScale) -> ExperimentOutput {
                 total_messages: edges,
                 payload_bits: bytes * 8,
                 max_message_bits: 64 - max_ext.leading_zeros() as usize,
+                wire_bits: 0,
                 node_updates: 0,
                 dropped_loss: 0,
                 dropped_burst: 0,

@@ -7,11 +7,11 @@
 //! non-deterministic timing columns (wall-clock, derived messages/sec) that
 //! make regressions visible without failing builds.
 //!
-//! Schema (version 3):
+//! Schema (version 4):
 //!
 //! ```json
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 4,
 //!   "suite": "exp_all",
 //!   "scale": "tiny",
 //!   "records": [
@@ -24,6 +24,7 @@
 //!       "total_messages": 399900,
 //!       "payload_bits": 25593600,
 //!       "max_message_bits": 64,
+//!       "wire_bits": 26803200,
 //!       "node_updates": 42000,
 //!       "dropped_loss": 120,
 //!       "dropped_burst": 0,
@@ -42,13 +43,17 @@
 //! sparse frontier executor's active-set work reduction. Version 3 (the
 //! `FaultPlan` PR) adds the four deterministic fault counters
 //! (`dropped_loss`, `dropped_burst`, `dropped_partition`, `crashed_nodes`)
-//! that E13 gates on. Older reports are still **read**: a missing counter
+//! that E13 gates on. Version 4 (the wire-codec PR) adds `wire_bits`: the
+//! **measured** total size of the length-prefixed encoded frames every
+//! delivered message would occupy on the wire, as opposed to the
+//! `MessageSize`-estimated `payload_bits` (see `dkc_distsim::wire`).
+//! Older reports are still **read**: a missing counter
 //! introduced by a later version defaults to 0 and the parsed report is
 //! upgraded in memory (its `schema_version` becomes the current one), so
 //! re-serializing always emits the current schema. In a report carrying the
 //! version that introduced a field, that field is mandatory. Baselines under
-//! `bench/baselines/` are committed in v3 form; `scripts/check_bench.sh`
-//! understands all three versions.
+//! `bench/baselines/` are committed in v4 form; `scripts/check_bench.sh`
+//! understands all four versions.
 //!
 //! Serialization goes through the vendored `serde` data model into
 //! `serde_json`; parsing uses `serde_json::Value` accessors so malformed
@@ -62,7 +67,7 @@ use std::path::Path;
 use std::time::Duration;
 
 /// Version stamp written into every report; bump when the schema changes.
-pub const SCHEMA_VERSION: u64 = 3;
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Oldest schema version [`Report::from_json`] still accepts (upgrading it
 /// to [`SCHEMA_VERSION`] in memory).
@@ -88,6 +93,13 @@ pub struct ExperimentRecord {
     pub payload_bits: usize,
     /// Largest delivered message, in bits (deterministic).
     pub max_message_bits: usize,
+    /// Total **measured** wire size of the delivered messages: the bits their
+    /// length-prefixed encoded frames occupy (deterministic; see
+    /// `dkc_distsim::wire`). Unlike `payload_bits` — the `MessageSize`
+    /// *estimate* — this is what the codec actually produces, identical
+    /// across execution modes and thread counts. 0 for records migrated from
+    /// schema ≤ 3 and for non-simulated records.
+    pub wire_bits: usize,
     /// Number of node steps the executor ran across all rounds
     /// (deterministic; see `dkc_distsim::RoundStats::node_updates`). Dense
     /// execution runs every non-halted node every round; the sparse frontier
@@ -130,6 +142,7 @@ impl ExperimentRecord {
             total_messages: metrics.total_messages(),
             payload_bits: metrics.total_payload_bits(),
             max_message_bits: metrics.max_message_bits(),
+            wire_bits: metrics.total_wire_bits(),
             node_updates: metrics.total_node_updates(),
             dropped_loss: metrics.total_dropped_loss(),
             dropped_burst: metrics.total_dropped_burst(),
@@ -159,6 +172,7 @@ impl ExperimentRecord {
             total_messages,
             payload_bits: 0,
             max_message_bits: 0,
+            wire_bits: 0,
             node_updates: 0,
             dropped_loss: 0,
             dropped_burst: 0,
@@ -186,6 +200,7 @@ impl ExperimentRecord {
             total_messages: 0,
             payload_bits: 0,
             max_message_bits: 0,
+            wire_bits: 0,
             node_updates: 0,
             dropped_loss: 0,
             dropped_burst: 0,
@@ -224,7 +239,7 @@ fn derive_throughput(total_messages: usize, wall: Duration) -> f64 {
 
 impl Serialize for ExperimentRecord {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut s = serializer.serialize_struct("ExperimentRecord", 14)?;
+        let mut s = serializer.serialize_struct("ExperimentRecord", 15)?;
         s.serialize_field("experiment", &self.experiment)?;
         s.serialize_field("workload", &self.workload)?;
         s.serialize_field("scale", &self.scale)?;
@@ -233,6 +248,7 @@ impl Serialize for ExperimentRecord {
         s.serialize_field("total_messages", &self.total_messages)?;
         s.serialize_field("payload_bits", &self.payload_bits)?;
         s.serialize_field("max_message_bits", &self.max_message_bits)?;
+        s.serialize_field("wire_bits", &self.wire_bits)?;
         s.serialize_field("node_updates", &self.node_updates)?;
         s.serialize_field("dropped_loss", &self.dropped_loss)?;
         s.serialize_field("dropped_burst", &self.dropped_burst)?;
@@ -405,6 +421,8 @@ fn record_from_value(v: &Value, schema_version: u64) -> Result<ExperimentRecord,
         total_messages: field_usize(v, "total_messages")?,
         payload_bits: field_usize(v, "payload_bits")?,
         max_message_bits: field_usize(v, "max_message_bits")?,
+        // The measured wire counter arrived in v4; older reports default to 0.
+        wire_bits: field_usize_since(v, "wire_bits", schema_version, 4)?,
         // v1 predates the counter; v2 and later require it.
         node_updates: if schema_version >= 2 {
             field_usize(v, "node_updates")?
@@ -451,6 +469,7 @@ mod tests {
                 total_messages: 399_900,
                 payload_bits: 25_593_600,
                 max_message_bits: 64,
+                wire_bits: 26_803_200,
                 node_updates: 42_000,
                 dropped_loss: 120,
                 dropped_burst: 7,
@@ -494,7 +513,7 @@ mod tests {
         assert!(Report::from_json("{}").is_err());
         let wrong_version = sample_report()
             .to_json()
-            .replace("\"schema_version\": 3", "\"schema_version\": 999");
+            .replace("\"schema_version\": 4", "\"schema_version\": 999");
         let err = Report::from_json(&wrong_version).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
         let missing_field = sample_report()
@@ -520,28 +539,30 @@ mod tests {
     ];
 
     #[test]
-    fn v1_reports_migrate_to_v3_on_read() {
-        // Simulate a committed v1 report: no node_updates and no fault
-        // counters anywhere.
+    fn v1_reports_migrate_to_v4_on_read() {
+        // Simulate a committed v1 report: no node_updates, no fault counters,
+        // no wire_bits anywhere.
         let v1 = strip_fields(
             &sample_report()
                 .to_json()
-                .replace("\"schema_version\": 3", "\"schema_version\": 1"),
-            &["node_updates"],
+                .replace("\"schema_version\": 4", "\"schema_version\": 1"),
+            &["node_updates", "wire_bits"],
         );
         let v1 = strip_fields(&v1, &FAULT_COUNTERS);
         let parsed = Report::from_json(&v1).expect("v1 reports must still parse");
         assert_eq!(parsed.schema_version, SCHEMA_VERSION, "upgraded in memory");
         assert!(parsed.records.iter().all(|r| r.node_updates == 0));
+        assert!(parsed.records.iter().all(|r| r.wire_bits == 0));
         assert!(parsed.records.iter().all(|r| r.dropped_loss == 0
             && r.dropped_burst == 0
             && r.dropped_partition == 0
             && r.crashed_nodes == 0));
         // Re-serializing emits the current schema with the fields present.
         let rewritten = parsed.to_json();
-        assert!(rewritten.contains("\"schema_version\": 3"));
+        assert!(rewritten.contains("\"schema_version\": 4"));
         assert!(rewritten.contains("\"node_updates\": 0"));
         assert!(rewritten.contains("\"dropped_loss\": 0"));
+        assert!(rewritten.contains("\"wire_bits\": 0"));
         // In a v2-or-later report, node_updates is mandatory.
         let v2_missing = strip_fields(&sample_report().to_json(), &["node_updates"]);
         let err = Report::from_json(&v2_missing).unwrap_err();
@@ -549,15 +570,16 @@ mod tests {
     }
 
     #[test]
-    fn v2_reports_migrate_to_v3_on_read() {
+    fn v2_reports_migrate_to_v4_on_read() {
         // Simulate a committed v2 report: node_updates present, fault
-        // counters absent.
+        // counters and wire_bits absent.
         let v2 = strip_fields(
             &sample_report()
                 .to_json()
-                .replace("\"schema_version\": 3", "\"schema_version\": 2"),
+                .replace("\"schema_version\": 4", "\"schema_version\": 2"),
             &FAULT_COUNTERS,
         );
+        let v2 = strip_fields(&v2, &["wire_bits"]);
         let parsed = Report::from_json(&v2).expect("v2 reports must still parse");
         assert_eq!(parsed.schema_version, SCHEMA_VERSION, "upgraded in memory");
         assert_eq!(parsed.records[0].node_updates, 42_000, "v2 fields kept");
@@ -565,12 +587,31 @@ mod tests {
             && r.dropped_burst == 0
             && r.dropped_partition == 0
             && r.crashed_nodes == 0));
-        // In a v3 report every fault counter is mandatory.
+        // In a v3-or-later report every fault counter is mandatory.
         for counter in FAULT_COUNTERS {
             let missing = strip_fields(&sample_report().to_json(), &[counter]);
             let err = Report::from_json(&missing).unwrap_err();
             assert!(err.contains(counter), "{counter}: {err}");
         }
+    }
+
+    #[test]
+    fn v3_reports_migrate_to_v4_on_read() {
+        // Simulate a committed v3 report: everything but wire_bits present.
+        let v3 = strip_fields(
+            &sample_report()
+                .to_json()
+                .replace("\"schema_version\": 4", "\"schema_version\": 3"),
+            &["wire_bits"],
+        );
+        let parsed = Report::from_json(&v3).expect("v3 reports must still parse");
+        assert_eq!(parsed.schema_version, SCHEMA_VERSION, "upgraded in memory");
+        assert_eq!(parsed.records[0].dropped_loss, 120, "v3 fields kept");
+        assert!(parsed.records.iter().all(|r| r.wire_bits == 0));
+        // In a v4 report the measured wire counter is mandatory.
+        let missing = strip_fields(&sample_report().to_json(), &["wire_bits"]);
+        let err = Report::from_json(&missing).unwrap_err();
+        assert!(err.contains("wire_bits"), "{err}");
     }
 
     #[test]
@@ -592,6 +633,7 @@ mod tests {
             messages: 1000,
             payload_bits: 64_000,
             max_message_bits: 64,
+            wire_bits: 96_000,
             sending_nodes: 10,
             changed_nodes: 10,
             node_updates: 10,
@@ -602,6 +644,7 @@ mod tests {
         assert_eq!(rec.rounds, 1);
         assert_eq!(rec.total_messages, 1000);
         assert_eq!(rec.payload_bits, 64_000);
+        assert_eq!(rec.wire_bits, 96_000);
         assert_eq!(rec.node_updates, 10);
         assert!((rec.messages_per_sec - 10_000.0).abs() < 1e-9);
         assert!((rec.wall_clock_ms - 100.0).abs() < 1e-9);

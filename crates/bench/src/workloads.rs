@@ -68,10 +68,15 @@ impl WorkloadScale {
 
 /// The common command line of every `exp_*` binary:
 /// `--scale <tiny|small|medium>` (default `small`), `--json <path>` to
-/// additionally write the run's [`crate::report::Report`], and
+/// additionally write the run's [`crate::report::Report`],
 /// `--threads <n>` to pin the rayon pool size (for reproducible thread
 /// scaling measurements in E9/E12; default: machine parallelism; `0` is an
-/// explicit error rather than whatever the thread-pool builder would do).
+/// explicit error rather than whatever the thread-pool builder would do),
+/// and `--mode <lockstep|mailbox>` to pick the executor backend protocol
+/// measurements run under (`lockstep` = the shared-memory barrier executor,
+/// the default; `mailbox` = sharded threads exchanging wire-encoded byte
+/// frames — every deterministic counter is identical by construction, so CI
+/// gates a mailbox leg against the same baseline).
 /// All flags accept the `--flag=value` form. Any other argument is rejected
 /// so typos cannot silently fall back to a minutes-long full-scale run.
 ///
@@ -94,6 +99,9 @@ pub struct ExpArgs {
     pub json: Option<std::path::PathBuf>,
     /// Thread-pool size override (`None` = machine parallelism).
     pub threads: Option<usize>,
+    /// Executor backend for protocol measurements (`--mode`): the default
+    /// lockstep executor or the mailbox message-passing backend.
+    pub mode: dkc_distsim::ExecutionMode,
     /// The fault plan assembled from the fault flags (trivial by default).
     pub faults: dkc_distsim::FaultPlan,
 }
@@ -112,6 +120,7 @@ impl ExpArgs {
                 .build_global()
                 .expect("configure global thread pool");
         }
+        crate::experiments::set_default_mode(parsed.mode);
         parsed
     }
 
@@ -125,6 +134,15 @@ impl ExpArgs {
         let parse_scale = |value: &str| {
             WorkloadScale::from_flag(value)
                 .ok_or_else(|| format!("unknown --scale {value:?}; expected tiny|small|medium"))
+        };
+        let parse_mode = |value: &str| -> Result<dkc_distsim::ExecutionMode, String> {
+            match value {
+                "lockstep" => Ok(dkc_distsim::ExecutionMode::Parallel),
+                "mailbox" => Ok(dkc_distsim::ExecutionMode::Mailbox),
+                _ => Err(format!(
+                    "unknown --mode {value:?}; expected lockstep|mailbox"
+                )),
+            }
         };
         let parse_threads = |value: &str| -> Result<usize, String> {
             let n: usize = value
@@ -182,6 +200,10 @@ impl ExpArgs {
                     let v = next_value("threads", &mut args, inline.as_deref())?;
                     parsed.threads = Some(parse_threads(&v)?);
                 }
+                "mode" => {
+                    let v = next_value("mode", &mut args, inline.as_deref())?;
+                    parsed.mode = parse_mode(&v)?;
+                }
                 "loss" => loss = Some(next_value("loss", &mut args, inline.as_deref())?),
                 "burst" => burst = Some(next_value("burst", &mut args, inline.as_deref())?),
                 "crash" => crash = Some(next_value("crash", &mut args, inline.as_deref())?),
@@ -198,6 +220,7 @@ impl ExpArgs {
                     return Err(format!(
                         "unrecognized argument {arg:?}; supported flags: \
                          --scale <tiny|small|medium>, --json <path>, --threads <n>, \
+                         --mode <lockstep|mailbox>, \
                          --loss <p>, --burst <period>:<len>, --crash <p>:<first>:<last>, \
                          --partition <f>:<first>:<last>, --fault-seed <seed>"
                     ));
@@ -396,12 +419,14 @@ mod tests {
 
     #[test]
     fn exp_args_parse_scale_json_and_threads() {
+        use dkc_distsim::ExecutionMode;
         assert_eq!(
             parse_ok(&[]),
             ExpArgs {
                 scale: WorkloadScale::Small,
                 json: None,
                 threads: None,
+                mode: ExecutionMode::Parallel,
                 faults: dkc_distsim::FaultPlan::none(),
             }
         );
@@ -411,6 +436,7 @@ mod tests {
                 scale: WorkloadScale::Tiny,
                 json: Some("out.json".into()),
                 threads: None,
+                mode: ExecutionMode::Parallel,
                 faults: dkc_distsim::FaultPlan::none(),
             }
         );
@@ -420,10 +446,26 @@ mod tests {
                 scale: WorkloadScale::Medium,
                 json: Some("r.json".into()),
                 threads: Some(4),
+                mode: ExecutionMode::Parallel,
                 faults: dkc_distsim::FaultPlan::none(),
             }
         );
         assert_eq!(parse_ok(&["--threads=2"]).threads, Some(2));
+    }
+
+    /// `--mode` selects the executor backend; anything but the two documented
+    /// spellings is rejected.
+    #[test]
+    fn exp_args_parse_mode() {
+        use dkc_distsim::ExecutionMode;
+        assert_eq!(parse_ok(&[]).mode, ExecutionMode::Parallel);
+        assert_eq!(
+            parse_ok(&["--mode", "lockstep"]).mode,
+            ExecutionMode::Parallel
+        );
+        assert_eq!(parse_ok(&["--mode=mailbox"]).mode, ExecutionMode::Mailbox);
+        assert!(parse_err(&["--mode", "parallel"]).contains("lockstep|mailbox"));
+        assert!(parse_err(&["--mode"]).contains("requires a value"));
     }
 
     /// Regression: `--threads 0` is an explicit error, not whatever the

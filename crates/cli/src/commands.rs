@@ -254,6 +254,12 @@ fn coreness(parsed: &Parsed) -> Result<String, String> {
         approx.metrics.total_messages(),
         approx.metrics.max_message_bits()
     );
+    let _ = writeln!(
+        out,
+        "traffic: {} payload bits estimated, {} wire bits measured (encoded frames)",
+        approx.metrics.total_payload_bits(),
+        approx.metrics.total_wire_bits()
+    );
     if !faults.is_trivial() {
         let m = &approx.metrics;
         let _ = writeln!(
@@ -435,6 +441,9 @@ mod tests {
         .unwrap();
         assert!(out.contains("max ratio"));
         assert!(out.contains("top 2 nodes"));
+        // The measured wire counter is reported next to the estimate.
+        assert!(out.contains("wire bits measured"), "{out}");
+        assert!(out.contains("payload bits estimated"), "{out}");
     }
 
     #[test]

@@ -11,10 +11,12 @@
 //! weak densest-subset guarantee go through.
 
 use dkc_distsim::message::MessageSize;
+use dkc_distsim::wire::{WireCodec, WireError, WireReader};
 use dkc_distsim::{
-    Delivery, ExecutionMode, Network, NodeContext, NodeProgram, Outgoing, RunMetrics,
+    Delivery, ExecutionMode, NetworkBuilder, NodeContext, NodeProgram, Outgoing, RunMetrics,
 };
 use dkc_graph::{NodeId, WeightedGraph};
+use serde::ser::{Serialize, SerializeStruct, Serializer};
 
 /// A leader key `(b_v, v)`, ordered by `b` descending with ties broken by the
 /// global node ordering (smaller id wins).
@@ -39,6 +41,23 @@ impl MessageSize for LeaderKey {
     }
 }
 
+impl Serialize for LeaderKey {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("LeaderKey", 2)?;
+        s.serialize_field("b", &self.b)?;
+        s.serialize_field("id", &self.id.0)?;
+        s.end()
+    }
+}
+
+impl WireCodec for LeaderKey {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let b = r.read_f64()?;
+        let id = NodeId(r.read_u32()?);
+        Ok(LeaderKey { b, id })
+    }
+}
+
 /// Messages exchanged by Algorithm 4.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum BfsMessage {
@@ -55,6 +74,44 @@ impl MessageSize for BfsMessage {
         match self {
             BfsMessage::Leader(k) | BfsMessage::Request(k) => 2 + k.size_bits(),
             BfsMessage::Ack => 2,
+        }
+    }
+}
+
+impl Serialize for BfsMessage {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            BfsMessage::Leader(k) => {
+                let mut s = serializer.serialize_struct("BfsMessage", 2)?;
+                s.serialize_field("tag", &0u8)?;
+                s.serialize_field("key", k)?;
+                s.end()
+            }
+            BfsMessage::Request(k) => {
+                let mut s = serializer.serialize_struct("BfsMessage", 2)?;
+                s.serialize_field("tag", &1u8)?;
+                s.serialize_field("key", k)?;
+                s.end()
+            }
+            BfsMessage::Ack => {
+                let mut s = serializer.serialize_struct("BfsMessage", 1)?;
+                s.serialize_field("tag", &2u8)?;
+                s.end()
+            }
+        }
+    }
+}
+
+impl WireCodec for BfsMessage {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.read_u8()? {
+            0 => Ok(BfsMessage::Leader(LeaderKey::decode(r)?)),
+            1 => Ok(BfsMessage::Request(LeaderKey::decode(r)?)),
+            2 => Ok(BfsMessage::Ack),
+            tag => Err(WireError::BadTag {
+                ty: "BfsMessage",
+                tag,
+            }),
         }
     }
 }
@@ -221,7 +278,7 @@ pub fn run_bfs_construction(
 ) -> BfsForest {
     let mode = mode.dense();
     assert_eq!(b.len(), g.num_nodes());
-    let mut net = Network::new(g, |ctx| {
+    let mut net = NetworkBuilder::new().mode(mode).build(g, |ctx| {
         BfsNode::new(
             LeaderKey {
                 b: b[ctx.node().index()],
@@ -229,8 +286,7 @@ pub fn run_bfs_construction(
             },
             flood_rounds,
         )
-    })
-    .with_mode(mode);
+    });
     net.run(flood_rounds + 2);
     let (programs, metrics) = net.into_parts();
     let leader = programs.iter().map(|p| p.leader).collect();

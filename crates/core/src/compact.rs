@@ -34,7 +34,7 @@ use crate::threshold::ThresholdSet;
 use crate::update::{suffix_scan, UpdateOrder};
 use dkc_distsim::message::QuantizedValue;
 use dkc_distsim::{
-    Delivery, ExecutionMode, Network, NodeContext, NodeProgram, Outgoing, RunMetrics,
+    Delivery, ExecutionMode, NetworkBuilder, NodeContext, NodeProgram, Outgoing, RunMetrics,
 };
 use dkc_graph::{CsrGraph, NodeId, WeightedGraph};
 
@@ -339,9 +339,10 @@ pub fn run_compact_elimination_with_faults(
 ) -> CompactOutcome {
     let csr = CsrGraph::from_graph(g);
     let mut arena = CompactArena::new(&csr, threshold_set);
-    let mut net = Network::from_parts(csr.clone(), arena.programs())
-        .with_mode(mode)
-        .with_faults(faults);
+    let mut net = NetworkBuilder::new()
+        .mode(mode)
+        .faults(faults)
+        .build_from_parts(csr.clone(), arena.programs());
     net.run(rounds);
     let (_programs, metrics) = net.into_parts();
     CompactOutcome {

@@ -19,10 +19,12 @@ use crate::compact::run_compact_elimination;
 use crate::threshold::ThresholdSet;
 use crate::tree_elim::{run_tree_elimination, TreeElimOutcome};
 use dkc_distsim::message::MessageSize;
+use dkc_distsim::wire::{WireCodec, WireError, WireReader};
 use dkc_distsim::{
-    Delivery, ExecutionMode, Network, NodeContext, NodeProgram, Outgoing, RunMetrics,
+    Delivery, ExecutionMode, NetworkBuilder, NodeContext, NodeProgram, Outgoing, RunMetrics,
 };
 use dkc_graph::{NodeId, WeightedGraph};
+use serde::ser::{Serialize, SerializeStruct, Serializer};
 
 /// Messages of the aggregation phase.
 #[derive(Clone, Debug, PartialEq)]
@@ -38,6 +40,63 @@ impl MessageSize for AggMessage {
         match self {
             AggMessage::Up(num, deg) => 2 + 32 * num.len() + 64 * deg.len(),
             AggMessage::Down(_, _) => 2 + 32 + 64,
+        }
+    }
+}
+
+impl Serialize for AggMessage {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            AggMessage::Up(num, deg) => {
+                // The two arrays are indexed by the same rounds, so the wire
+                // form shares one length prefix instead of framing each
+                // array separately.
+                debug_assert_eq!(num.len(), deg.len(), "Up arrays must be aligned");
+                let len = u32::try_from(num.len()).expect("Up array too long for wire format");
+                let mut s = serializer.serialize_struct("AggMessage", 2 + 2 * num.len())?;
+                s.serialize_field("tag", &0u8)?;
+                s.serialize_field("len", &len)?;
+                for x in num {
+                    s.serialize_field("num", x)?;
+                }
+                for x in deg {
+                    s.serialize_field("deg", x)?;
+                }
+                s.end()
+            }
+            AggMessage::Down(t, density) => {
+                let mut s = serializer.serialize_struct("AggMessage", 3)?;
+                s.serialize_field("tag", &1u8)?;
+                s.serialize_field("t", t)?;
+                s.serialize_field("density", density)?;
+                s.end()
+            }
+        }
+    }
+}
+
+impl WireCodec for AggMessage {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.read_u8()? {
+            0 => {
+                let len = r.read_len()?;
+                // Clamp pre-allocation against hostile lengths: reads fail
+                // with `Truncated` before memory does.
+                let mut num = Vec::with_capacity(len.min(r.remaining() / 4));
+                for _ in 0..len {
+                    num.push(r.read_u32()?);
+                }
+                let mut deg = Vec::with_capacity(len.min(r.remaining() / 8));
+                for _ in 0..len {
+                    deg.push(r.read_f64()?);
+                }
+                Ok(AggMessage::Up(num, deg))
+            }
+            1 => Ok(AggMessage::Down(r.read_u32()?, r.read_f64()?)),
+            tag => Err(WireError::BadTag {
+                ty: "AggMessage",
+                tag,
+            }),
         }
     }
 }
@@ -227,23 +286,25 @@ pub fn run_aggregation(
 ) -> AggregationOutcome {
     let mode = mode.dense();
     let rounds_budget = 2 * elim.rounds + forest.rounds + 4;
-    let mut net = Network::new(g, |ctx| {
-        let v = ctx.node();
-        let own_num = elim.num[v.index()].clone();
-        AggregationNode {
-            parent: forest.parent[v.index()],
-            children: forest.children[v.index()].clone(),
-            num: own_num.iter().map(|&b| u32::from(b)).collect(),
-            deg: elim.deg[v.index()].clone(),
-            own_num,
-            children_received: 0,
-            sent_up: false,
-            decision: None,
-            sent_down: false,
-            selected: false,
-        }
-    })
-    .with_mode(mode);
+    let mut net = NetworkBuilder::new()
+        .mode(mode)
+        .build(g, |ctx| {
+            let v = ctx.node();
+            let own_num = elim.num[v.index()].clone();
+            AggregationNode {
+                parent: forest.parent[v.index()],
+                children: forest.children[v.index()].clone(),
+                num: own_num.iter().map(|&b| u32::from(b)).collect(),
+                deg: elim.deg[v.index()].clone(),
+                own_num,
+                children_received: 0,
+                sent_up: false,
+                decision: None,
+                sent_down: false,
+                selected: false,
+            }
+        })
+        .with_mode(mode);
     let rounds = net.run_until_quiescent(rounds_budget);
     let (programs, metrics) = net.into_parts();
     let selected = programs.iter().map(|p| p.selected).collect();

@@ -13,8 +13,10 @@ use crate::bfs::BfsForest;
 use crate::densest::AggregationOutcome;
 use crate::tree_elim::TreeElimOutcome;
 use dkc_distsim::message::MessageSize;
+use dkc_distsim::wire::{WireCodec, WireError, WireReader};
 use dkc_distsim::{Delivery, ExecutionMode, Network, NodeContext, NodeProgram, Outgoing};
 use dkc_graph::{CsrGraph, NodeId, WeightedGraph};
+use serde::ser::{Serialize, SerializeStruct, Serializer};
 
 /// Messages of the pipelined aggregation.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -30,6 +32,45 @@ impl MessageSize for PipelinedMessage {
         match self {
             PipelinedMessage::UpEntry(..) => 1 + 32 + 32 + 64,
             PipelinedMessage::Down(..) => 1 + 32 + 64,
+        }
+    }
+}
+
+impl Serialize for PipelinedMessage {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            PipelinedMessage::UpEntry(t, num, deg) => {
+                let mut s = serializer.serialize_struct("PipelinedMessage", 4)?;
+                s.serialize_field("tag", &0u8)?;
+                s.serialize_field("t", t)?;
+                s.serialize_field("num", num)?;
+                s.serialize_field("deg", deg)?;
+                s.end()
+            }
+            PipelinedMessage::Down(t, density) => {
+                let mut s = serializer.serialize_struct("PipelinedMessage", 3)?;
+                s.serialize_field("tag", &1u8)?;
+                s.serialize_field("t", t)?;
+                s.serialize_field("density", density)?;
+                s.end()
+            }
+        }
+    }
+}
+
+impl WireCodec for PipelinedMessage {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.read_u8()? {
+            0 => Ok(PipelinedMessage::UpEntry(
+                r.read_u32()?,
+                r.read_u32()?,
+                r.read_f64()?,
+            )),
+            1 => Ok(PipelinedMessage::Down(r.read_u32()?, r.read_f64()?)),
+            tag => Err(WireError::BadTag {
+                ty: "PipelinedMessage",
+                tag,
+            }),
         }
     }
 }

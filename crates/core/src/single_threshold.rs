@@ -307,9 +307,10 @@ mod tests {
             let run_lossy = |mode| {
                 let csr = dkc_graph::CsrGraph::from_graph(&g);
                 let mut arena = SingleThresholdArena::new(&csr);
-                let mut net = dkc_distsim::Network::from_parts(csr, arena.programs(3.0))
-                    .with_mode(mode)
-                    .with_message_loss(model);
+                let mut net = dkc_distsim::NetworkBuilder::new()
+                    .mode(mode)
+                    .message_loss(model)
+                    .build_from_parts(csr, arena.programs(3.0));
                 net.run(20);
                 drop(net.into_parts());
                 arena.survivors().to_vec()

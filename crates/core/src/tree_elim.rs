@@ -18,10 +18,12 @@
 
 use crate::bfs::BfsForest;
 use dkc_distsim::message::MessageSize;
+use dkc_distsim::wire::{WireCodec, WireError, WireReader};
 use dkc_distsim::{
-    Delivery, ExecutionMode, Network, NodeContext, NodeProgram, Outgoing, RunMetrics,
+    Delivery, ExecutionMode, NetworkBuilder, NodeContext, NodeProgram, Outgoing, RunMetrics,
 };
 use dkc_graph::{NodeId, WeightedGraph};
+use serde::ser::{Serialize, SerializeStruct, Serializer};
 
 /// Message of the per-tree elimination: the sender's leader id (the sender is
 /// implicitly "still active", otherwise it would be silent).
@@ -34,6 +36,22 @@ pub struct ActiveMsg {
 impl MessageSize for ActiveMsg {
     fn size_bits(&self) -> usize {
         32
+    }
+}
+
+impl Serialize for ActiveMsg {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("ActiveMsg", 1)?;
+        s.serialize_field("leader", &self.leader.0)?;
+        s.end()
+    }
+}
+
+impl WireCodec for ActiveMsg {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(ActiveMsg {
+            leader: NodeId(r.read_u32()?),
+        })
     }
 }
 
@@ -136,7 +154,7 @@ pub fn run_tree_elimination(
     mode: ExecutionMode,
 ) -> TreeElimOutcome {
     let mode = mode.dense();
-    let mut net = Network::new(g, |ctx| {
+    let mut net = NetworkBuilder::new().mode(mode).build(g, |ctx| {
         let v = ctx.node();
         let leader_key = forest.leader[v.index()];
         TreeElimNode {
@@ -148,8 +166,7 @@ pub fn run_tree_elimination(
             deg: vec![0.0; rounds],
             rounds,
         }
-    })
-    .with_mode(mode);
+    });
     net.run(rounds);
     let (programs, metrics) = net.into_parts();
     TreeElimOutcome {

@@ -1,9 +1,11 @@
-//! Property test: the sparse frontier executor is **result-identical** to the
-//! dense executor for the compact elimination procedure — byte-identical
-//! surviving numbers and in-neighbour sets — across random graphs, loss
-//! models, round budgets, and threshold sets, and its deterministic counters
-//! are mode-invariant (sequential == parallel within each activation kind)
-//! while never exceeding the dense executor's work.
+//! Property test: the sparse frontier and mailbox executors are
+//! **result-identical** to the dense executor for the compact elimination
+//! procedure — byte-identical surviving numbers and in-neighbour sets —
+//! across random graphs, loss models, round budgets, and threshold sets.
+//! Deterministic counters are mode-invariant (sequential == parallel within
+//! each activation kind; the mailbox backend matches dense lockstep on every
+//! counter including the measured wire bits), and the sparse executor never
+//! exceeds the dense executor's work.
 
 use dkc_core::compact::{
     run_compact_elimination_with_faults, run_compact_elimination_with_loss, CompactOutcome,
@@ -54,6 +56,7 @@ proptest! {
         let dense_par = run(&g, rounds, threshold_set, loss, ExecutionMode::Parallel);
         let sparse_seq = run(&g, rounds, threshold_set, loss, ExecutionMode::SparseSequential);
         let sparse_par = run(&g, rounds, threshold_set, loss, ExecutionMode::SparseParallel);
+        let mailbox = run(&g, rounds, threshold_set, loss, ExecutionMode::Mailbox);
 
         // Protocol output: byte-identical across all four modes.
         let surviving_bits = |o: &CompactOutcome| -> Vec<u64> {
@@ -64,11 +67,18 @@ proptest! {
             ("dense-par", &dense_par),
             ("sparse-seq", &sparse_seq),
             ("sparse-par", &sparse_par),
+            ("mailbox", &mailbox),
         ] {
             prop_assert_eq!(&reference, &surviving_bits(o), "surviving diverged: {}", label);
             prop_assert_eq!(&dense_seq.in_neighbors, &o.in_neighbors,
                 "in-neighbours diverged: {}", label);
         }
+
+        // The mailbox backend reproduces the dense RoundStats byte-for-byte,
+        // including the measured wire bits (quantized-value frames under the
+        // power-grid threshold sets exercise the QuantizedValue codec).
+        prop_assert_eq!(dense_seq.metrics.rounds(), mailbox.metrics.rounds(),
+            "mailbox counters diverged");
 
         // Deterministic counters: identical within each activation kind…
         let counters = |o: &CompactOutcome| {
@@ -152,6 +162,7 @@ proptest! {
         let dense_par = run(ExecutionMode::Parallel);
         let sparse_seq = run(ExecutionMode::SparseSequential);
         let sparse_par = run(ExecutionMode::SparseParallel);
+        let mailbox = run(ExecutionMode::Mailbox);
 
         let surviving_bits = |o: &CompactOutcome| -> Vec<u64> {
             o.surviving.iter().map(|b| b.to_bits()).collect()
@@ -161,6 +172,7 @@ proptest! {
             ("dense-par", &dense_par),
             ("sparse-seq", &sparse_seq),
             ("sparse-par", &sparse_par),
+            ("mailbox", &mailbox),
         ] {
             prop_assert_eq!(&reference, &surviving_bits(o), "surviving diverged: {}", label);
             prop_assert_eq!(&dense_seq.in_neighbors, &o.in_neighbors,
@@ -168,9 +180,11 @@ proptest! {
         }
 
         // Deterministic counters (including the per-component drop and crash
-        // counters) are identical within each activation kind.
+        // counters) are identical within each activation kind; the mailbox
+        // backend matches dense lockstep exactly, wire bits included.
         let counters = |o: &CompactOutcome| o.metrics.rounds().to_vec();
         prop_assert_eq!(counters(&dense_seq), counters(&dense_par), "dense counters diverged");
+        prop_assert_eq!(counters(&dense_seq), counters(&mailbox), "mailbox counters diverged");
         prop_assert_eq!(counters(&sparse_seq), counters(&sparse_par), "sparse counters diverged");
 
         // The sparse executor never does more work than the dense one, and

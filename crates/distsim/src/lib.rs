@@ -25,14 +25,17 @@
 
 pub mod congest;
 pub mod faults;
+mod mailbox;
 pub mod message;
 pub mod metrics;
 pub mod network;
 pub mod program;
+pub mod wire;
 
 pub use congest::congest_budget_bits;
 pub use faults::{BurstLoss, CrashModel, DropCause, FaultPlan, LossModel, PartitionModel};
 pub use message::MessageSize;
 pub use metrics::{RoundStats, RunMetrics};
-pub use network::{ExecutionMode, ExecutorBufferStats, Network};
+pub use network::{ExecutionMode, ExecutorBufferStats, Network, NetworkBuilder};
 pub use program::{Delivery, NodeContext, NodeProgram, Outgoing};
+pub use wire::{WireCodec, WireError};

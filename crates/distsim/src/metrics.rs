@@ -22,6 +22,12 @@ pub struct RoundStats {
     pub messages: usize,
     /// Total payload bits delivered this round.
     pub payload_bits: usize,
+    /// Total *measured* wire bits delivered this round: each delivered copy's
+    /// length-prefixed encoded frame (see [`crate::wire`]), as opposed to the
+    /// analytical `payload_bits` estimate from
+    /// [`crate::message::MessageSize`]. Byte-identical across execution modes
+    /// and thread counts.
+    pub wire_bits: usize,
     /// Largest single delivered message payload (bits) this round — the
     /// quantity bounded by the CONGEST model.
     pub max_message_bits: usize,
@@ -107,6 +113,12 @@ impl RunMetrics {
     /// Total payload bits across all rounds.
     pub fn total_payload_bits(&self) -> usize {
         self.rounds.iter().map(|r| r.payload_bits).sum()
+    }
+
+    /// Total measured wire bits across all rounds (see
+    /// [`RoundStats::wire_bits`]).
+    pub fn total_wire_bits(&self) -> usize {
+        self.rounds.iter().map(|r| r.wire_bits).sum()
     }
 
     /// Total number of executed node steps across all rounds (see

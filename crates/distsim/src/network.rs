@@ -73,6 +73,16 @@ pub enum ExecutionMode {
     /// [`ExecutionMode::SparseSequential`] when the frontier is tiny relative
     /// to n; the deterministic counters are identical either way.
     SparseParallel,
+    /// Dense semantics over a message-passing runtime: node shards run on
+    /// scoped threads and exchange **wire-encoded byte frames** through
+    /// bounded mailbox channels instead of reading a shared outbox snapshot
+    /// (see [`crate::wire`]). Deterministic counters (including
+    /// `wire_bits`) are byte-identical to [`ExecutionMode::Sequential`] /
+    /// [`ExecutionMode::Parallel`] for any program and fault plan, at any
+    /// thread count. Configure via [`NetworkBuilder::threads`] /
+    /// [`NetworkBuilder::mailbox_capacity`] /
+    /// [`NetworkBuilder::max_frame_bytes`].
+    Mailbox,
 }
 
 impl ExecutionMode {
@@ -88,7 +98,7 @@ impl ExecutionMode {
     pub fn is_parallel(self) -> bool {
         matches!(
             self,
-            ExecutionMode::Parallel | ExecutionMode::SparseParallel
+            ExecutionMode::Parallel | ExecutionMode::SparseParallel | ExecutionMode::Mailbox
         )
     }
 
@@ -101,36 +111,41 @@ impl ExecutionMode {
                 ExecutionMode::Sequential
             }
             ExecutionMode::Parallel | ExecutionMode::SparseParallel => ExecutionMode::Parallel,
+            // Mailbox already runs dense semantics; keep the backend.
+            ExecutionMode::Mailbox => ExecutionMode::Mailbox,
         }
     }
 }
 
 /// A program bundled with its persistent inbox so the receive phase can run
 /// `par_iter_mut` over one slice while reading the shared outbox snapshot.
-struct NodeCell<P: NodeProgram> {
-    program: P,
-    inbox: Vec<Delivery<P::Message>>,
+pub(crate) struct NodeCell<P: NodeProgram> {
+    pub(crate) program: P,
+    pub(crate) inbox: Vec<Delivery<P::Message>>,
 }
 
 /// Per-sender accounting row produced by the broadcast phase (post-fault:
 /// only delivered copies are counted in the message/bit totals; dropped
 /// copies are tallied per fault component).
 #[derive(Clone, Copy, Default)]
-struct SendAccount {
-    messages: usize,
-    payload_bits: usize,
-    max_message_bits: usize,
+pub(crate) struct SendAccount {
+    pub(crate) messages: usize,
+    pub(crate) payload_bits: usize,
+    /// Measured wire bits (length-prefixed encoded frames) of the delivered
+    /// copies; 0 when wire accounting is disabled.
+    pub(crate) wire_bits: usize,
+    pub(crate) max_message_bits: usize,
     /// Copies of this round's send dropped by the i.i.d. loss component.
-    dropped_loss: usize,
+    pub(crate) dropped_loss: usize,
     /// Copies dropped inside a burst-outage window.
-    dropped_burst: usize,
+    pub(crate) dropped_burst: usize,
     /// Copies dropped by the active partition cut.
-    dropped_partition: usize,
+    pub(crate) dropped_partition: usize,
 }
 
 impl SendAccount {
     #[inline]
-    fn record_drop(&mut self, cause: DropCause) {
+    pub(crate) fn record_drop(&mut self, cause: DropCause) {
         match cause {
             DropCause::Loss => self.dropped_loss += 1,
             DropCause::Burst => self.dropped_burst += 1,
@@ -146,7 +161,7 @@ impl SendAccount {
     /// permanent, so re-sending to the dead receiver would pin its
     /// neighbours in the frontier forever for no observable effect.
     #[inline]
-    fn any_dropped(&self) -> bool {
+    pub(crate) fn any_dropped(&self) -> bool {
         self.dropped_loss + self.dropped_burst + self.dropped_partition > 0
     }
 }
@@ -182,17 +197,33 @@ pub struct ExecutorBufferStats {
 /// A simulated synchronous network: a topology plus one [`NodeProgram`] per
 /// node.
 pub struct Network<P: NodeProgram> {
-    graph: CsrGraph,
-    cells: Vec<NodeCell<P>>,
-    round: usize,
-    metrics: RunMetrics,
+    pub(crate) graph: CsrGraph,
+    pub(crate) cells: Vec<NodeCell<P>>,
+    pub(crate) round: usize,
+    pub(crate) metrics: RunMetrics,
     mode: ExecutionMode,
     /// The installed fault plan; `None` ⇔ the plan is trivial, so the
     /// fault-free hot path runs with zero fault bookkeeping.
-    faults: Option<FaultPlan>,
+    pub(crate) faults: Option<FaultPlan>,
     /// Sorted crash rounds of every node that ever crashes under the plan
     /// (see [`FaultPlan::crash_schedule`]); empty without a crash component.
-    crash_schedule: Vec<u32>,
+    pub(crate) crash_schedule: Vec<u32>,
+    /// Whether executors charge measured `wire_bits` (see
+    /// [`NetworkBuilder::wire_accounting`]). The mailbox backend encodes
+    /// frames regardless; this only gates the counter.
+    pub(crate) wire_accounting: bool,
+    /// Shard-thread count for [`ExecutionMode::Mailbox`]; `None` uses
+    /// [`rayon::current_num_threads`].
+    pub(crate) mailbox_threads: Option<usize>,
+    /// Bounded per-shard mailbox capacity (frames) for the mailbox backend.
+    pub(crate) mailbox_capacity: usize,
+    /// Maximum accepted frame payload, in bytes; longer frames are rejected
+    /// on decode and attributed to the sender (tofn-style).
+    pub(crate) max_frame_bytes: usize,
+    /// Per-sender counts of frames rejected by the wire decoder under the
+    /// mailbox backend (truncated/oversized/garbage); empty until a decode
+    /// failure happens. Indexed by node.
+    pub(crate) decode_faults: Vec<u32>,
     // Persistent per-round scratch (see module docs).
     outboxes: Vec<(Outgoing<P::Message>, SendAccount)>,
     step_results: Vec<StepResult>,
@@ -217,14 +248,29 @@ pub struct Network<P: NodeProgram> {
     resend: Vec<u32>,
 }
 
+/// Measures one message's on-the-wire frame size in bits, flagging (in debug
+/// builds) any message whose `MessageSize` estimate undercounts its encoding.
+/// Returns 0 when wire accounting is off so the counting serializer never
+/// runs on the hot path.
+#[inline]
+fn measured_frame_bits<M: MessageSize + crate::wire::WireCodec>(wire: bool, m: &M) -> usize {
+    if !wire {
+        return 0;
+    }
+    crate::wire::debug_assert_estimate_covers(m);
+    crate::wire::frame_bits(crate::wire::payload_len(m))
+}
+
 /// Runs one node's broadcast phase and computes its post-fault accounting row
-/// (shared by the dense map and the sparse frontier loop). A crashed sender
-/// is treated exactly like a program-halted one: it produces nothing.
-fn produce_outgoing<P: NodeProgram>(
+/// (shared by the dense map, the sparse frontier loop, and the mailbox
+/// shards). A crashed sender is treated exactly like a program-halted one:
+/// it produces nothing. `wire` enables measured wire-bit accounting.
+pub(crate) fn produce_outgoing<P: NodeProgram>(
     graph: &CsrGraph,
     faults: Option<FaultPlan>,
     round: usize,
     i: usize,
+    wire: bool,
     cell: &mut NodeCell<P>,
 ) -> (Outgoing<P::Message>, SendAccount) {
     let sender = NodeId::new(i);
@@ -261,6 +307,7 @@ fn produce_outgoing<P: NodeProgram>(
                 let bits = m.size_bits();
                 acct.messages = copies;
                 acct.payload_bits = bits * copies;
+                acct.wire_bits = measured_frame_bits(wire, m) * copies;
                 acct.max_message_bits = bits;
             }
         }
@@ -286,6 +333,7 @@ fn produce_outgoing<P: NodeProgram>(
                 let bits = m.size_bits();
                 acct.messages = copies;
                 acct.payload_bits = bits * copies;
+                acct.wire_bits = measured_frame_bits(wire, m) * copies;
                 acct.max_message_bits = bits;
             }
         }
@@ -303,6 +351,7 @@ fn produce_outgoing<P: NodeProgram>(
                         let bits = m.size_bits();
                         acct.messages += 1;
                         acct.payload_bits += bits;
+                        acct.wire_bits += measured_frame_bits(wire, m);
                         acct.max_message_bits = acct.max_message_bits.max(bits);
                     }
                     Some(cause) => acct.record_drop(cause),
@@ -313,10 +362,169 @@ fn produce_outgoing<P: NodeProgram>(
     (out, acct)
 }
 
+/// Fluent construction of a [`Network`]: one entry point selecting the
+/// execution mode, fault plan, wire accounting, and mailbox configuration,
+/// replacing the accreted `Network::new` → `with_message_loss` →
+/// `with_faults` chain (those remain as thin deprecated wrappers).
+///
+/// ```
+/// use dkc_distsim::{ExecutionMode, NetworkBuilder};
+/// # use dkc_distsim::{NodeContext, NodeProgram, Delivery, Outgoing};
+/// # use dkc_graph::WeightedGraph;
+/// # struct Noop;
+/// # impl NodeProgram for Noop {
+/// #     type Message = ();
+/// #     fn broadcast(&mut self, _: &NodeContext<'_>) -> Outgoing<()> { Outgoing::Silent }
+/// #     fn receive(&mut self, _: &NodeContext<'_>, _: &[Delivery<()>]) -> bool { false }
+/// # }
+/// # let mut graph = WeightedGraph::new(2);
+/// # graph.add_edge(dkc_graph::NodeId::new(0), dkc_graph::NodeId::new(1), 1.0);
+/// let mut net = NetworkBuilder::new()
+///     .mode(ExecutionMode::Mailbox)
+///     .threads(4)
+///     .build(&graph, |_ctx| Noop);
+/// net.run(3);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkBuilder {
+    mode: ExecutionMode,
+    faults: FaultPlan,
+    threads: Option<usize>,
+    mailbox_capacity: usize,
+    max_frame_bytes: usize,
+    wire_accounting: bool,
+}
+
+impl Default for NetworkBuilder {
+    fn default() -> Self {
+        NetworkBuilder {
+            mode: ExecutionMode::default(),
+            faults: FaultPlan::none(),
+            threads: None,
+            mailbox_capacity: Self::DEFAULT_MAILBOX_CAPACITY,
+            max_frame_bytes: Self::DEFAULT_MAX_FRAME_BYTES,
+            wire_accounting: true,
+        }
+    }
+}
+
+impl NetworkBuilder {
+    /// Default bounded capacity (frames) of each mailbox shard's channel.
+    pub const DEFAULT_MAILBOX_CAPACITY: usize = 256;
+    /// Default cap on a received frame's payload, in bytes.
+    pub const DEFAULT_MAX_FRAME_BYTES: usize = 1 << 20;
+
+    /// A builder with the defaults: [`ExecutionMode::Parallel`], no faults,
+    /// wire accounting on, automatic thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the execution mode (defaults to [`ExecutionMode::Parallel`]).
+    pub fn mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Installs a deterministic [`FaultPlan`] (replaces any previously
+    /// configured plan; a trivial plan means fault-free execution).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Shorthand for [`NetworkBuilder::faults`] with a loss-only plan.
+    pub fn message_loss(self, model: LossModel) -> Self {
+        self.faults(FaultPlan::from_loss(model))
+    }
+
+    /// Shard-thread count for [`ExecutionMode::Mailbox`] (0 or unset =
+    /// [`rayon::current_num_threads`]). The deterministic counters do not
+    /// depend on this.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = (n > 0).then_some(n);
+        self
+    }
+
+    /// Bounded capacity (frames) of each mailbox shard's channel; clamped to
+    /// at least 1. Smaller capacities exercise backpressure, larger ones
+    /// reduce sender stalls.
+    pub fn mailbox_capacity(mut self, frames: usize) -> Self {
+        self.mailbox_capacity = frames.max(1);
+        self
+    }
+
+    /// Cap on a received frame's payload in bytes; longer frames are
+    /// rejected on decode and attributed to the sender
+    /// (see [`Network::decode_faults`]).
+    pub fn max_frame_bytes(mut self, bytes: usize) -> Self {
+        self.max_frame_bytes = bytes;
+        self
+    }
+
+    /// Enables or disables the measured `wire_bits` counter for the lockstep
+    /// executors (default on). The mailbox backend encodes every frame
+    /// regardless; disabling only skips the counting serializer on the
+    /// lockstep hot path (its `wire_bits` then reads 0).
+    pub fn wire_accounting(mut self, enabled: bool) -> Self {
+        self.wire_accounting = enabled;
+        self
+    }
+
+    /// Builds a network over `graph`, instantiating one program per node via
+    /// `factory` (which receives the node's local view at round 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sparse mode is configured for a program that does not set
+    /// [`NodeProgram::DELTA_DRIVEN`].
+    pub fn build<P, F>(self, graph: &WeightedGraph, factory: F) -> Network<P>
+    where
+        P: NodeProgram,
+        F: FnMut(&NodeContext<'_>) -> P,
+    {
+        self.configure(Network::from_graph(graph, factory))
+    }
+
+    /// Builds a network from an existing CSR topology and explicit programs
+    /// (one per node, in node order).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`NetworkBuilder::build`], or if
+    /// `programs` and `graph` disagree on the node count.
+    pub fn build_from_parts<P: NodeProgram>(self, graph: CsrGraph, programs: Vec<P>) -> Network<P> {
+        self.configure(Network::from_parts(graph, programs))
+    }
+
+    fn configure<P: NodeProgram>(self, net: Network<P>) -> Network<P> {
+        let mut net = net.with_mode(self.mode);
+        net.install_faults(self.faults);
+        net.wire_accounting = self.wire_accounting;
+        net.mailbox_threads = self.threads;
+        net.mailbox_capacity = self.mailbox_capacity;
+        net.max_frame_bytes = self.max_frame_bytes;
+        net
+    }
+}
+
 impl<P: NodeProgram> Network<P> {
     /// Builds a network over `graph`, instantiating one program per node via
     /// `factory` (which receives the node's local view at round 0).
-    pub fn new<F>(graph: &WeightedGraph, mut factory: F) -> Self
+    #[deprecated(
+        since = "0.2.0",
+        note = "use NetworkBuilder::new().build(graph, factory) instead"
+    )]
+    pub fn new<F>(graph: &WeightedGraph, factory: F) -> Self
+    where
+        F: FnMut(&NodeContext<'_>) -> P,
+    {
+        Self::from_graph(graph, factory)
+    }
+
+    /// Non-deprecated internal form of [`Network::new`] shared with
+    /// [`NetworkBuilder::build`].
+    fn from_graph<F>(graph: &WeightedGraph, mut factory: F) -> Self
     where
         F: FnMut(&NodeContext<'_>) -> P,
     {
@@ -353,6 +561,11 @@ impl<P: NodeProgram> Network<P> {
             mode: ExecutionMode::default(),
             faults: None,
             crash_schedule: Vec::new(),
+            wire_accounting: true,
+            mailbox_threads: None,
+            mailbox_capacity: NetworkBuilder::DEFAULT_MAILBOX_CAPACITY,
+            max_frame_bytes: NetworkBuilder::DEFAULT_MAX_FRAME_BYTES,
+            decode_faults: Vec::new(),
             outboxes: Vec::new(),
             step_results: Vec::new(),
             multicast_stamps: Vec::new(),
@@ -387,8 +600,13 @@ impl<P: NodeProgram> Network<P> {
     /// [`crate::faults::LossModel`]): every delivered message is independently
     /// dropped with the given probability. Shorthand for
     /// [`Network::with_faults`] with a loss-only [`FaultPlan`].
-    pub fn with_message_loss(self, model: LossModel) -> Self {
-        self.with_faults(FaultPlan::from_loss(model))
+    #[deprecated(
+        since = "0.2.0",
+        note = "use NetworkBuilder::new().message_loss(model) instead"
+    )]
+    pub fn with_message_loss(mut self, model: LossModel) -> Self {
+        self.install_faults(FaultPlan::from_loss(model));
+        self
     }
 
     /// Installs a deterministic [`FaultPlan`] (i.i.d. loss, burst loss,
@@ -403,7 +621,22 @@ impl<P: NodeProgram> Network<P> {
     /// # Panics
     ///
     /// Panics if rounds have already executed.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use NetworkBuilder::new().faults(plan) instead"
+    )]
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.install_faults(plan);
+        self
+    }
+
+    /// Installs a fault plan in place (shared by the deprecated chaining
+    /// setters and [`NetworkBuilder`]). A trivial plan uninstalls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rounds have already executed.
+    pub(crate) fn install_faults(&mut self, plan: FaultPlan) {
         assert_eq!(self.round, 0, "install the fault plan before running");
         if plan.is_trivial() {
             self.faults = None;
@@ -412,7 +645,6 @@ impl<P: NodeProgram> Network<P> {
             self.crash_schedule = plan.crash_schedule(self.cells.len());
             self.faults = Some(plan);
         }
-        self
     }
 
     /// The number of nodes that have crash-stopped as of `round` under the
@@ -435,6 +667,15 @@ impl<P: NodeProgram> Network<P> {
     /// Accumulated run metrics.
     pub fn metrics(&self) -> &RunMetrics {
         &self.metrics
+    }
+
+    /// Per-sender counts of wire frames rejected by the decoder under
+    /// [`ExecutionMode::Mailbox`] (tofn-style fault attribution: a truncated,
+    /// oversized, or garbage frame is charged to the sending peer, never a
+    /// panic). Empty if no frame was ever rejected; otherwise one count per
+    /// node. Well-formed senders always report 0 here.
+    pub fn decode_faults(&self) -> &[u32] {
+        &self.decode_faults
     }
 
     /// The program of one node.
@@ -466,6 +707,10 @@ impl<P: NodeProgram> Network<P> {
     /// Executes one synchronous round (broadcast phase, then receive phase) and
     /// returns its statistics.
     pub fn run_round(&mut self) -> RoundStats {
+        if self.mode == ExecutionMode::Mailbox {
+            crate::mailbox::run_mailbox(self, 1, false);
+            return *self.metrics.rounds().last().expect("round recorded");
+        }
         let started = Instant::now();
         self.round += 1;
         let stats = if self.mode.is_sparse() {
@@ -484,6 +729,7 @@ impl<P: NodeProgram> Network<P> {
         let round = self.round;
         let graph = &self.graph;
         let faults = self.faults;
+        let wire = self.wire_accounting;
 
         // Phase 1: every (non-halted) node produces its outgoing messages.
         // The accounting (post-fault, see `with_faults`) is computed in the
@@ -494,7 +740,7 @@ impl<P: NodeProgram> Network<P> {
                 .cells
                 .par_iter_mut()
                 .enumerate()
-                .map(|(i, cell)| produce_outgoing(graph, faults, round, i, cell))
+                .map(|(i, cell)| produce_outgoing(graph, faults, round, i, wire, cell))
                 .collect_into_vec(&mut self.outboxes),
             _ => {
                 self.outboxes.clear();
@@ -503,7 +749,7 @@ impl<P: NodeProgram> Network<P> {
                     self.cells
                         .iter_mut()
                         .enumerate()
-                        .map(|(i, cell)| produce_outgoing(graph, faults, round, i, cell)),
+                        .map(|(i, cell)| produce_outgoing(graph, faults, round, i, wire, cell)),
                 );
             }
         }
@@ -511,6 +757,7 @@ impl<P: NodeProgram> Network<P> {
         // Reduce the per-sender accounting rows (cheap: plain integers).
         let mut messages = 0usize;
         let mut payload_bits = 0usize;
+        let mut wire_bits = 0usize;
         let mut max_message_bits = 0usize;
         let mut sending_nodes = 0usize;
         let mut dropped_loss = 0usize;
@@ -521,6 +768,7 @@ impl<P: NodeProgram> Network<P> {
                 sending_nodes += 1;
                 messages += acct.messages;
                 payload_bits += acct.payload_bits;
+                wire_bits += acct.wire_bits;
                 max_message_bits = max_message_bits.max(acct.max_message_bits);
             }
             dropped_loss += acct.dropped_loss;
@@ -647,6 +895,7 @@ impl<P: NodeProgram> Network<P> {
             round,
             messages,
             payload_bits,
+            wire_bits,
             max_message_bits,
             sending_nodes,
             changed_nodes,
@@ -698,21 +947,25 @@ impl<P: NodeProgram> Network<P> {
         // (it can never report a change again).
         let mut messages = 0usize;
         let mut payload_bits = 0usize;
+        let mut wire_bits = 0usize;
         let mut max_message_bits = 0usize;
         let mut sending_nodes = 0usize;
         let mut dropped_loss = 0usize;
         let mut dropped_burst = 0usize;
         let mut dropped_partition = 0usize;
         self.resend.clear();
+        let wire = self.wire_accounting;
         for idx in 0..self.frontier.len() {
             let u = self.frontier[idx] as usize;
-            let row = produce_outgoing(&self.graph, self.faults, round, u, &mut self.cells[u]);
+            let row =
+                produce_outgoing(&self.graph, self.faults, round, u, wire, &mut self.cells[u]);
             let acct = row.1;
             self.outboxes[u] = row;
             if acct.messages > 0 {
                 sending_nodes += 1;
                 messages += acct.messages;
                 payload_bits += acct.payload_bits;
+                wire_bits += acct.wire_bits;
                 max_message_bits = max_message_bits.max(acct.max_message_bits);
             }
             dropped_loss += acct.dropped_loss;
@@ -888,6 +1141,7 @@ impl<P: NodeProgram> Network<P> {
             round,
             messages,
             payload_bits,
+            wire_bits,
             max_message_bits,
             sending_nodes,
             changed_nodes,
@@ -901,6 +1155,10 @@ impl<P: NodeProgram> Network<P> {
 
     /// Runs exactly `rounds` rounds.
     pub fn run(&mut self, rounds: usize) {
+        if self.mode == ExecutionMode::Mailbox {
+            crate::mailbox::run_mailbox(self, rounds, false);
+            return;
+        }
         for _ in 0..rounds {
             self.run_round();
         }
@@ -910,6 +1168,9 @@ impl<P: NodeProgram> Network<P> {
     /// until `max_rounds` additional rounds have been executed. Returns the
     /// number of rounds executed by this call.
     pub fn run_until_quiescent(&mut self, max_rounds: usize) -> usize {
+        if self.mode == ExecutionMode::Mailbox {
+            return crate::mailbox::run_mailbox(self, max_rounds, true);
+        }
         for executed in 1..=max_rounds {
             let stats = self.run_round();
             if stats.changed_nodes == 0 {
@@ -925,11 +1186,12 @@ mod tests {
     use super::*;
     use dkc_graph::generators::{complete_graph, path_graph};
 
-    const ALL_MODES: [ExecutionMode; 4] = [
+    const ALL_MODES: [ExecutionMode; 5] = [
         ExecutionMode::Sequential,
         ExecutionMode::Parallel,
         ExecutionMode::SparseSequential,
         ExecutionMode::SparseParallel,
+        ExecutionMode::Mailbox,
     ];
 
     /// Toy protocol: every node repeatedly broadcasts the smallest node id it
@@ -960,7 +1222,18 @@ mod tests {
     }
 
     fn min_id_network(g: &WeightedGraph, mode: ExecutionMode) -> Network<MinIdFlood> {
-        Network::new(g, |ctx| MinIdFlood { best: ctx.node().0 }).with_mode(mode)
+        min_id_faulty(g, mode, FaultPlan::none())
+    }
+
+    fn min_id_faulty(
+        g: &WeightedGraph,
+        mode: ExecutionMode,
+        plan: FaultPlan,
+    ) -> Network<MinIdFlood> {
+        NetworkBuilder::new()
+            .mode(mode)
+            .faults(plan)
+            .build(g, |ctx| MinIdFlood { best: ctx.node().0 })
     }
 
     use dkc_graph::WeightedGraph;
@@ -1038,9 +1311,9 @@ mod tests {
         let g = path_graph(16);
         for seed in [1u64, 7, 99] {
             let model = LossModel::new(0.4, seed);
-            let mut dense = min_id_network(&g, ExecutionMode::Sequential).with_message_loss(model);
-            let mut sparse =
-                min_id_network(&g, ExecutionMode::SparseSequential).with_message_loss(model);
+            let plan = FaultPlan::from_loss(model);
+            let mut dense = min_id_faulty(&g, ExecutionMode::Sequential, plan);
+            let mut sparse = min_id_faulty(&g, ExecutionMode::SparseSequential, plan);
             dense.run(40);
             sparse.run(40);
             for v in g.nodes() {
@@ -1122,32 +1395,38 @@ mod tests {
     #[test]
     fn halted_nodes_do_not_participate() {
         let g = complete_graph(4);
-        let mut net = Network::new(&g, |_| OneShot {
-            sent: false,
-            received: 0,
-        })
-        .with_mode(ExecutionMode::Sequential);
-        let s1 = net.run_round();
-        assert_eq!(s1.messages, 12);
-        // Everyone halted after sending; nothing is delivered in round 1's
-        // receive phase? No: messages are delivered in the same round they are
-        // sent, but `halted()` became true after the broadcast phase, so the
-        // receive phase is skipped for everyone and nothing is counted.
-        assert_eq!(s1.node_updates, 0);
-        let s2 = net.run_round();
-        assert_eq!(s2.messages, 0);
-        assert_eq!(s2.changed_nodes, 0);
+        for mode in [
+            ExecutionMode::Sequential,
+            ExecutionMode::Parallel,
+            ExecutionMode::Mailbox,
+        ] {
+            let mut net = NetworkBuilder::new().mode(mode).build(&g, |_| OneShot {
+                sent: false,
+                received: 0,
+            });
+            let s1 = net.run_round();
+            assert_eq!(s1.messages, 12);
+            // Everyone halted after sending; nothing is delivered in round 1's
+            // receive phase? No: messages are delivered in the same round they are
+            // sent, but `halted()` became true after the broadcast phase, so the
+            // receive phase is skipped for everyone and nothing is counted.
+            assert_eq!(s1.node_updates, 0, "{mode:?}");
+            let s2 = net.run_round();
+            assert_eq!(s2.messages, 0, "{mode:?}");
+            assert_eq!(s2.changed_nodes, 0, "{mode:?}");
+        }
     }
 
     #[test]
     #[should_panic(expected = "delta-driven")]
     fn sparse_mode_requires_delta_driven_programs() {
         let g = complete_graph(3);
-        let _ = Network::new(&g, |_| OneShot {
-            sent: false,
-            received: 0,
-        })
-        .with_mode(ExecutionMode::SparseSequential);
+        let _ = NetworkBuilder::new()
+            .mode(ExecutionMode::SparseSequential)
+            .build(&g, |_| OneShot {
+                sent: false,
+                received: 0,
+            });
     }
 
     #[test]
@@ -1182,11 +1461,13 @@ mod tests {
             }
         }
         let g = complete_graph(3);
-        let mut net = Network::new(&g, |_| Directed).with_mode(ExecutionMode::Sequential);
-        let stats = net.run_round();
-        // node0: 1 unicast; node1: 1 multicast; node2: 1 multicast.
-        assert_eq!(stats.messages, 3);
-        assert_eq!(stats.max_message_bits, 64);
+        for mode in [ExecutionMode::Sequential, ExecutionMode::Mailbox] {
+            let mut net = NetworkBuilder::new().mode(mode).build(&g, |_| Directed);
+            let stats = net.run_round();
+            // node0: 1 unicast; node1: 1 multicast; node2: 1 multicast.
+            assert_eq!(stats.messages, 3, "{mode:?}");
+            assert_eq!(stats.max_message_bits, 64, "{mode:?}");
+        }
     }
 
     /// Every node multicasts to a rotating subset of its neighbours — keeps
@@ -1218,16 +1499,25 @@ mod tests {
     #[test]
     fn multicast_modes_agree_on_rotating_subsets() {
         let g = complete_graph(9);
-        let mut seq = Network::new(&g, |_| RotatingMulticast { heard: vec![] })
-            .with_mode(ExecutionMode::Sequential);
-        let mut par = Network::new(&g, |_| RotatingMulticast { heard: vec![] })
-            .with_mode(ExecutionMode::Parallel);
+        let build = |mode| {
+            NetworkBuilder::new()
+                .mode(mode)
+                .build(&g, |_| RotatingMulticast { heard: vec![] })
+        };
+        let mut seq = build(ExecutionMode::Sequential);
+        let mut par = build(ExecutionMode::Parallel);
+        let mut mb = build(ExecutionMode::Mailbox);
         seq.run(6);
         par.run(6);
+        mb.run(6);
         for v in g.nodes() {
             assert_eq!(seq.program(v).heard, par.program(v).heard);
+            // The mailbox inbox order (stable sort by arc position over
+            // per-arc FIFO channels) reproduces the dense delivery order.
+            assert_eq!(seq.program(v).heard, mb.program(v).heard);
         }
         assert_eq!(seq.metrics().rounds(), par.metrics().rounds());
+        assert_eq!(seq.metrics().rounds(), mb.metrics().rounds());
     }
 
     #[test]
@@ -1257,23 +1547,28 @@ mod tests {
                 false
             }
         }
-        let mut net = Network::new(&g, |_| ZeroMulticasts { received: 0 })
-            .with_mode(ExecutionMode::Sequential);
-        let stats = net.run_round();
-        assert_eq!(stats.messages, 1, "accounting counts target entries");
-        assert_eq!(
-            net.program(NodeId(1)).received,
-            2,
-            "one delivery per parallel arc"
-        );
-        assert_eq!(net.program(NodeId(2)).received, 0);
+        for mode in [ExecutionMode::Sequential, ExecutionMode::Mailbox] {
+            let mut net = NetworkBuilder::new()
+                .mode(mode)
+                .build(&g, |_| ZeroMulticasts { received: 0 });
+            let stats = net.run_round();
+            assert_eq!(stats.messages, 1, "accounting counts target entries");
+            assert_eq!(
+                net.program(NodeId(1)).received,
+                2,
+                "one delivery per parallel arc ({mode:?})"
+            );
+            assert_eq!(net.program(NodeId(2)).received, 0);
+        }
     }
 
     #[test]
     fn buffer_reuse_after_warmup() {
         let g = complete_graph(12);
         for mode in [ExecutionMode::Sequential, ExecutionMode::Parallel] {
-            let mut net = Network::new(&g, |_| RotatingMulticast { heard: vec![] }).with_mode(mode);
+            let mut net = NetworkBuilder::new()
+                .mode(mode)
+                .build(&g, |_| RotatingMulticast { heard: vec![] });
             // Warm-up: one full rotation cycle, so every inbox has seen its
             // maximum per-round message count at least once.
             net.run(12);
@@ -1328,7 +1623,9 @@ mod tests {
         }
         let g = complete_graph(3);
         for mode in [ExecutionMode::Sequential, ExecutionMode::Parallel] {
-            let mut net = Network::new(&g, |_| EmptyMulticast { received: 0 }).with_mode(mode);
+            let mut net = NetworkBuilder::new()
+                .mode(mode)
+                .build(&g, |_| EmptyMulticast { received: 0 });
             let stats = net.run_round();
             assert_eq!(stats.messages, 0);
             assert_eq!(stats.sending_nodes, 0);
@@ -1355,9 +1652,10 @@ mod tests {
                 false
             }
         }
-        let mut net = Network::new(&g, |_| AlwaysMulticast)
-            .with_mode(ExecutionMode::Sequential)
-            .with_message_loss(LossModel::new(1.0, 7));
+        let mut net = NetworkBuilder::new()
+            .mode(ExecutionMode::Sequential)
+            .message_loss(LossModel::new(1.0, 7))
+            .build(&g, |_| AlwaysMulticast);
         let stats = net.run_round();
         assert_eq!(stats.messages, 0);
         assert_eq!(stats.payload_bits, 0);
@@ -1369,7 +1667,7 @@ mod tests {
     fn partial_loss_accounting_matches_the_loss_model() {
         let g = complete_graph(6);
         let model = LossModel::new(0.5, 99);
-        let mut net = min_id_network(&g, ExecutionMode::Sequential).with_message_loss(model);
+        let mut net = min_id_faulty(&g, ExecutionMode::Sequential, FaultPlan::from_loss(model));
         let stats = net.run_round();
         // Recompute the expected delivered-copy count straight from the model.
         let mut expected = 0usize;
@@ -1420,9 +1718,10 @@ mod tests {
         let model = LossModel::new(0.5, 7);
         let rounds = 60;
         let run = |mode: ExecutionMode| {
-            let mut net = Network::new(&g, |_| Batch { received: vec![] })
-                .with_mode(mode)
-                .with_message_loss(model);
+            let mut net = NetworkBuilder::new()
+                .mode(mode)
+                .message_loss(model)
+                .build(&g, |_| Batch { received: vec![] });
             net.run(rounds);
             let received = net.program(NodeId(1)).received.clone();
             let (_, metrics) = net.into_parts();
@@ -1461,6 +1760,11 @@ mod tests {
         let (par_received, par_metrics) = run(ExecutionMode::Parallel);
         assert_eq!(par_received, received);
         assert_eq!(par_metrics.rounds(), metrics.rounds());
+        // The mailbox backend preserves the batch order of same-arc unicasts
+        // and agrees on every counter, including the per-index drops.
+        let (mb_received, mb_metrics) = run(ExecutionMode::Mailbox);
+        assert_eq!(mb_received, received);
+        assert_eq!(mb_metrics.rounds(), metrics.rounds());
     }
 
     /// Every execution mode agrees on state and counters under a fault plan
@@ -1472,22 +1776,27 @@ mod tests {
             .with_burst(BurstLoss::new(6, 2, 9))
             .with_crash(CrashModel::new(0.15, 2, 10, 13))
             .with_partition(PartitionModel::new(0.3, 4, 9, 21));
-        let mut reference = min_id_network(&g, ExecutionMode::Sequential).with_faults(plan);
+        let mut reference = min_id_faulty(&g, ExecutionMode::Sequential, plan);
         reference.run(30);
         for mode in &ALL_MODES[1..] {
-            let mut net = min_id_network(&g, *mode).with_faults(plan);
+            let mut net = min_id_faulty(&g, *mode, plan);
             net.run(30);
             for v in g.nodes() {
                 assert_eq!(reference.program(v).best, net.program(v).best, "{mode:?}");
             }
         }
         // Dense counters agree exactly between sequential and parallel.
-        let mut par = min_id_network(&g, ExecutionMode::Parallel).with_faults(plan);
+        let mut par = min_id_faulty(&g, ExecutionMode::Parallel, plan);
         par.run(30);
         assert_eq!(reference.metrics().rounds(), par.metrics().rounds());
+        // The mailbox backend agrees with dense lockstep on every counter,
+        // including the measured wire bits and per-component drop counts.
+        let mut mb = min_id_faulty(&g, ExecutionMode::Mailbox, plan);
+        mb.run(30);
+        assert_eq!(reference.metrics().rounds(), mb.metrics().rounds());
         // Sparse counters agree between the two sparse modes.
-        let mut ss = min_id_network(&g, ExecutionMode::SparseSequential).with_faults(plan);
-        let mut sp = min_id_network(&g, ExecutionMode::SparseParallel).with_faults(plan);
+        let mut ss = min_id_faulty(&g, ExecutionMode::SparseSequential, plan);
+        let mut sp = min_id_faulty(&g, ExecutionMode::SparseParallel, plan);
         ss.run(30);
         sp.run(30);
         assert_eq!(ss.metrics().rounds(), sp.metrics().rounds());
@@ -1509,7 +1818,7 @@ mod tests {
             let mut clean = min_id_network(&g, mode);
             clean.run(5);
             for plan in trivial {
-                let mut planned = min_id_network(&g, mode).with_faults(plan);
+                let mut planned = min_id_faulty(&g, mode, plan);
                 planned.run(5);
                 assert_eq!(
                     clean.metrics().rounds(),
@@ -1537,8 +1846,8 @@ mod tests {
         assert!(!crashed.is_empty(), "seed produced no crashes");
 
         let mut clean = min_id_network(&g, ExecutionMode::SparseSequential);
-        let mut faulty = min_id_network(&g, ExecutionMode::SparseSequential).with_faults(plan);
-        let mut dense = min_id_network(&g, ExecutionMode::Sequential).with_faults(plan);
+        let mut faulty = min_id_faulty(&g, ExecutionMode::SparseSequential, plan);
+        let mut dense = min_id_faulty(&g, ExecutionMode::Sequential, plan);
         clean.run(40);
         faulty.run(40);
         dense.run(40);
@@ -1593,7 +1902,7 @@ mod tests {
             "seed produced a trivial cut"
         );
         for mode in [ExecutionMode::Sequential, ExecutionMode::SparseSequential] {
-            let mut net = min_id_network(&g, mode).with_faults(plan);
+            let mut net = min_id_faulty(&g, mode, plan);
             net.run(40);
             // Healing: everyone still converges to the global minimum.
             for v in g.nodes() {
@@ -1607,8 +1916,8 @@ mod tests {
             assert_eq!(net.metrics().total_dropped_burst(), 0);
         }
         // Sparse and dense deliver the same rounds-to-convergence.
-        let mut dense = min_id_network(&g, ExecutionMode::Sequential).with_faults(plan);
-        let mut sparse = min_id_network(&g, ExecutionMode::SparseSequential).with_faults(plan);
+        let mut dense = min_id_faulty(&g, ExecutionMode::Sequential, plan);
+        let mut sparse = min_id_faulty(&g, ExecutionMode::SparseSequential, plan);
         let dr = dense.run_until_quiescent(100);
         let sr = sparse.run_until_quiescent(100);
         assert_eq!(dr, sr, "convergence rounds must agree");
@@ -1620,8 +1929,8 @@ mod tests {
     fn burst_loss_drops_in_windows_and_converges() {
         let g = path_graph(10);
         let plan = FaultPlan::none().with_burst(BurstLoss::new(4, 2, 33));
-        let mut dense = min_id_network(&g, ExecutionMode::Sequential).with_faults(plan);
-        let mut sparse = min_id_network(&g, ExecutionMode::SparseSequential).with_faults(plan);
+        let mut dense = min_id_faulty(&g, ExecutionMode::Sequential, plan);
+        let mut sparse = min_id_faulty(&g, ExecutionMode::SparseSequential, plan);
         dense.run(40);
         sparse.run(40);
         for v in g.nodes() {
@@ -1651,7 +1960,7 @@ mod tests {
         let plan = FaultPlan::from_loss(LossModel::new(0.3, 3))
             .with_burst(BurstLoss::new(5, 2, 4))
             .with_partition(PartitionModel::new(0.4, 2, 6, 5));
-        let mut net = min_id_network(&g, ExecutionMode::Sequential).with_faults(plan);
+        let mut net = min_id_faulty(&g, ExecutionMode::Sequential, plan);
         net.run(8);
         let m = net.metrics();
         assert!(m.total_dropped_loss() > 0);
@@ -1671,11 +1980,95 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "before running")]
+    #[allow(deprecated)]
     fn fault_plan_must_be_installed_before_running() {
         let g = complete_graph(3);
         let mut net = min_id_network(&g, ExecutionMode::Sequential);
         net.run(1);
         let _ = net.with_faults(FaultPlan::from_loss(LossModel::new(0.5, 1)));
+    }
+
+    /// The deprecated `Network::new` → `with_message_loss`/`with_faults`
+    /// chain must keep producing exactly what the builder produces.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_chain_matches_builder() {
+        let g = complete_graph(8);
+        let plan = FaultPlan::from_loss(LossModel::new(0.3, 11));
+        let mut legacy = Network::new(&g, |ctx| MinIdFlood { best: ctx.node().0 })
+            .with_mode(ExecutionMode::Sequential)
+            .with_faults(plan);
+        let mut built = min_id_faulty(&g, ExecutionMode::Sequential, plan);
+        legacy.run(5);
+        built.run(5);
+        assert_eq!(legacy.metrics().rounds(), built.metrics().rounds());
+        for v in g.nodes() {
+            assert_eq!(legacy.program(v).best, built.program(v).best);
+        }
+        let mut loss_legacy = Network::new(&g, |ctx| MinIdFlood { best: ctx.node().0 })
+            .with_message_loss(LossModel::new(0.3, 11));
+        loss_legacy = loss_legacy.with_mode(ExecutionMode::Sequential);
+        loss_legacy.run(5);
+        assert_eq!(loss_legacy.metrics().rounds(), built.metrics().rounds());
+    }
+
+    /// Tentpole acceptance (unit form; the cross-crate proptest pins the
+    /// same property over random graphs): the mailbox backend's RoundStats —
+    /// including measured wire bits and per-component drop counters — are
+    /// byte-identical to sequential lockstep, for any shard count and even
+    /// under a tiny mailbox capacity that forces backpressure stalls.
+    #[test]
+    fn mailbox_is_byte_identical_across_thread_counts() {
+        let g = path_graph(17);
+        let plan = FaultPlan::from_loss(LossModel::new(0.25, 3))
+            .with_burst(BurstLoss::new(5, 2, 8))
+            .with_crash(CrashModel::new(0.2, 2, 9, 4))
+            .with_partition(PartitionModel::new(0.3, 3, 7, 6));
+        let mut reference = min_id_faulty(&g, ExecutionMode::Sequential, plan);
+        reference.run(25);
+        for threads in [1, 2, 3, 8, 64] {
+            let mut mb = NetworkBuilder::new()
+                .mode(ExecutionMode::Mailbox)
+                .faults(plan)
+                .threads(threads)
+                .mailbox_capacity(2)
+                .build(&g, |ctx| MinIdFlood { best: ctx.node().0 });
+            mb.run(25);
+            assert_eq!(
+                reference.metrics().rounds(),
+                mb.metrics().rounds(),
+                "threads={threads}"
+            );
+            for v in g.nodes() {
+                assert_eq!(reference.program(v).best, mb.program(v).best);
+            }
+            // Well-formed in-tree programs never fail wire decoding.
+            assert!(mb.decode_faults().is_empty());
+        }
+    }
+
+    /// A frame over the receiver's payload cap is rejected on decode and
+    /// attributed to the **sending** node — never a panic. (In-tree programs
+    /// never hit this; the cap guards the protocol boundary.)
+    #[test]
+    fn oversized_frames_are_attributed_to_the_sender() {
+        let g = path_graph(4);
+        let mut net = NetworkBuilder::new()
+            .mode(ExecutionMode::Mailbox)
+            // u32 payloads are 4 bytes; a 3-byte cap rejects every frame.
+            .max_frame_bytes(3)
+            .build(&g, |ctx| MinIdFlood { best: ctx.node().0 });
+        net.run(3);
+        // Nothing was ever delivered, so nothing changed.
+        for v in g.nodes() {
+            assert_eq!(net.program(v).best, v.0);
+        }
+        // Each rejected frame is charged to its sender: per round the path
+        // endpoints send 1 copy, the interior nodes 2.
+        assert_eq!(net.decode_faults(), &[3, 6, 6, 3]);
+        // Send-side accounting is unaffected (the sender put the copies on
+        // the wire); rejection is receiver-side attribution, not a drop.
+        assert_eq!(net.metrics().total_messages(), 3 * 6);
     }
 
     #[test]

@@ -1,0 +1,800 @@
+//! Byte-level wire format for protocol messages.
+//!
+//! Where [`crate::message::MessageSize`] *estimates* the CONGEST cost of a
+//! message in bits, this module *measures* it: every message type encodes to
+//! a deterministic, untagged, little-endian byte payload via the (vendored)
+//! serde [`Serialize`] trait, and frames on the wire carry a `u32` length
+//! prefix ahead of that payload. The mailbox executor exchanges exactly
+//! these frames between shard threads; the lockstep executors run the same
+//! encoder through a counting serializer so `wire_bits` is byte-identical in
+//! every execution mode.
+//!
+//! Encoding rules (fixed, no self-description):
+//! - integers and floats: fixed width, little-endian (`u8` = 1 byte, `u32` =
+//!   4 bytes, `u64`/`usize` = 8 bytes, `f64` = 8 bytes, ...)
+//! - `bool`: 1 byte, `0` or `1` (anything else is rejected on decode)
+//! - `()`: zero bytes
+//! - `Option<T>`: 1 flag byte (`0`/`1`) then the payload if present
+//! - sequences (`Vec<T>`, slices): `u32` element count then the elements
+//! - structs: fields in declaration order, no names or framing
+//! - enums: a `u8` discriminant written as the first struct field (by each
+//!   type's hand-written impl), then the variant's fields
+//! - `&str`/`String`: `u32` byte length then the UTF-8 bytes
+//!
+//! Decoding is strict in the tofn style: a frame that is truncated, longer
+//! than the configured cap, carries trailing garbage, or contains an invalid
+//! byte is a [`WireError`] attributed to the sending peer — never a panic.
+
+use serde::ser::{Serialize, SerializeSeq, SerializeStruct, Serializer};
+use std::fmt;
+
+use crate::message::{MessageSize, QuantizedValue};
+
+/// Bytes of framing overhead per message: the `u32` payload-length prefix.
+pub const FRAME_HEADER_BYTES: usize = 4;
+
+/// Slack allowed between the `MessageSize` *estimate* and the measured
+/// encoded size before [`debug_assert_estimate_covers`] flags the estimate
+/// as an undercount. Covers fixed per-message framing the analytical count
+/// deliberately ignores (an enum tag plus one 64-bit field's rounding).
+pub const WIRE_SLACK_BITS: usize = 72;
+
+/// Decode-side rejection of a received frame. Carried per sending peer by
+/// the mailbox executor instead of panicking (tofn-style fault attribution).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame ended before the declared payload (or the header) did.
+    Truncated,
+    /// The declared payload length exceeds the configured cap.
+    Oversized { len: usize, max: usize },
+    /// Bytes remained after the payload decoded cleanly.
+    TrailingBytes { remaining: usize },
+    /// A boolean byte that was neither `0` nor `1`.
+    BadBool(u8),
+    /// An `Option` flag byte that was neither `0` nor `1`.
+    BadOptionFlag(u8),
+    /// An enum discriminant no variant of `ty` claims.
+    BadTag { ty: &'static str, tag: u8 },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::Oversized { len, max } => {
+                write!(f, "payload length {len} exceeds cap {max}")
+            }
+            WireError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after payload")
+            }
+            WireError::BadBool(b) => write!(f, "invalid bool byte {b:#04x}"),
+            WireError::BadOptionFlag(b) => write!(f, "invalid option flag byte {b:#04x}"),
+            WireError::BadTag { ty, tag } => write!(f, "invalid {ty} tag {tag}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A message that can round-trip through the wire format: serde-encodable
+/// and hand-decodable from the byte layout documented at module level.
+pub trait WireCodec: Serialize + Sized {
+    /// Decodes one value from the reader, consuming exactly its bytes.
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+}
+
+// ---------------------------------------------------------------------------
+// Encoding: a byte-buffer serializer and its size-counting twin.
+// ---------------------------------------------------------------------------
+
+/// Serializer producing the wire payload bytes.
+#[derive(Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+fn seq_count(len: Option<usize>) -> u32 {
+    let n = len.expect("wire format requires sized sequences");
+    u32::try_from(n).expect("sequence length exceeds u32 wire range")
+}
+
+impl<'a> Serializer for &'a mut WireWriter {
+    type Ok = ();
+    // Encoding into memory cannot fail; the error type exists only to share
+    // the `Result` shape with decoding.
+    type Error = WireError;
+    type SerializeSeq = &'a mut WireWriter;
+    type SerializeStruct = &'a mut WireWriter;
+
+    fn serialize_bool(self, v: bool) -> Result<(), WireError> {
+        self.buf.push(v as u8);
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), WireError> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), WireError> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), WireError> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), WireError> {
+        let len = u32::try_from(v.len()).expect("string length exceeds u32 wire range");
+        self.buf.extend_from_slice(&len.to_le_bytes());
+        self.buf.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), WireError> {
+        self.buf.push(0);
+        Ok(())
+    }
+
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), WireError> {
+        self.buf.push(1);
+        value.serialize(&mut *self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, WireError> {
+        self.buf.extend_from_slice(&seq_count(len).to_le_bytes());
+        Ok(self)
+    }
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStruct, WireError> {
+        Ok(self)
+    }
+
+    fn serialize_i8(self, v: i8) -> Result<(), WireError> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_i16(self, v: i16) -> Result<(), WireError> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_i32(self, v: i32) -> Result<(), WireError> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_u8(self, v: u8) -> Result<(), WireError> {
+        self.buf.push(v);
+        Ok(())
+    }
+
+    fn serialize_u16(self, v: u16) -> Result<(), WireError> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_u32(self, v: u32) -> Result<(), WireError> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<(), WireError> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_unit(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+impl SerializeSeq for &mut WireWriter {
+    type Ok = ();
+    type Error = WireError;
+
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), WireError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+impl SerializeStruct for &mut WireWriter {
+    type Ok = ();
+    type Error = WireError;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), WireError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+/// Counting twin of [`WireWriter`]: computes the encoded payload size
+/// without materialising bytes, so lockstep executors can charge measured
+/// `wire_bits` with no allocation per message.
+#[derive(Default)]
+pub struct WireSizer {
+    bytes: usize,
+}
+
+impl WireSizer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl<'a> Serializer for &'a mut WireSizer {
+    type Ok = ();
+    type Error = WireError;
+    type SerializeSeq = &'a mut WireSizer;
+    type SerializeStruct = &'a mut WireSizer;
+
+    fn serialize_bool(self, _v: bool) -> Result<(), WireError> {
+        self.bytes += 1;
+        Ok(())
+    }
+
+    fn serialize_i64(self, _v: i64) -> Result<(), WireError> {
+        self.bytes += 8;
+        Ok(())
+    }
+
+    fn serialize_u64(self, _v: u64) -> Result<(), WireError> {
+        self.bytes += 8;
+        Ok(())
+    }
+
+    fn serialize_f64(self, _v: f64) -> Result<(), WireError> {
+        self.bytes += 8;
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), WireError> {
+        self.bytes += 4 + v.len();
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), WireError> {
+        self.bytes += 1;
+        Ok(())
+    }
+
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), WireError> {
+        self.bytes += 1;
+        value.serialize(&mut *self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, WireError> {
+        let _ = seq_count(len);
+        self.bytes += 4;
+        Ok(self)
+    }
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStruct, WireError> {
+        Ok(self)
+    }
+
+    fn serialize_i8(self, _v: i8) -> Result<(), WireError> {
+        self.bytes += 1;
+        Ok(())
+    }
+
+    fn serialize_i16(self, _v: i16) -> Result<(), WireError> {
+        self.bytes += 2;
+        Ok(())
+    }
+
+    fn serialize_i32(self, _v: i32) -> Result<(), WireError> {
+        self.bytes += 4;
+        Ok(())
+    }
+
+    fn serialize_u8(self, _v: u8) -> Result<(), WireError> {
+        self.bytes += 1;
+        Ok(())
+    }
+
+    fn serialize_u16(self, _v: u16) -> Result<(), WireError> {
+        self.bytes += 2;
+        Ok(())
+    }
+
+    fn serialize_u32(self, _v: u32) -> Result<(), WireError> {
+        self.bytes += 4;
+        Ok(())
+    }
+
+    fn serialize_f32(self, _v: f32) -> Result<(), WireError> {
+        self.bytes += 4;
+        Ok(())
+    }
+
+    fn serialize_unit(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+impl SerializeSeq for &mut WireSizer {
+    type Ok = ();
+    type Error = WireError;
+
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), WireError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+impl SerializeStruct for &mut WireSizer {
+    type Ok = ();
+    type Error = WireError;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), WireError> {
+        value.serialize(&mut **self)
+    }
+
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding.
+// ---------------------------------------------------------------------------
+
+/// Strict cursor over a received payload.
+pub struct WireReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+macro_rules! reader_int {
+    ($($name:ident => $t:ty),* $(,)?) => {$(
+        pub fn $name(&mut self) -> Result<$t, WireError> {
+            const N: usize = std::mem::size_of::<$t>();
+            let raw = self.take(N)?;
+            Ok(<$t>::from_le_bytes(raw.try_into().expect("length checked")))
+        }
+    )*};
+}
+
+impl<'a> WireReader<'a> {
+    pub fn new(bytes: &'a [u8]) -> Self {
+        WireReader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    reader_int! {
+        read_u8 => u8,
+        read_u16 => u16,
+        read_u32 => u32,
+        read_u64 => u64,
+        read_i8 => i8,
+        read_i16 => i16,
+        read_i32 => i32,
+        read_i64 => i64,
+    }
+
+    pub fn read_f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("len")))
+    }
+
+    pub fn read_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len")))
+    }
+
+    pub fn read_bool(&mut self) -> Result<bool, WireError> {
+        match self.read_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError::BadBool(b)),
+        }
+    }
+
+    /// The `Option` presence flag.
+    pub fn read_option_flag(&mut self) -> Result<bool, WireError> {
+        match self.read_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError::BadOptionFlag(b)),
+        }
+    }
+
+    /// A `u32` sequence/string length.
+    pub fn read_len(&mut self) -> Result<usize, WireError> {
+        Ok(self.read_u32()? as usize)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame helpers.
+// ---------------------------------------------------------------------------
+
+/// Encodes a message's payload bytes (no length prefix).
+pub fn encode_payload<M: Serialize + ?Sized>(msg: &M) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    msg.serialize(&mut w).expect("wire encoding is infallible");
+    w.into_bytes()
+}
+
+/// Measures a message's encoded payload size in bytes without encoding.
+pub fn payload_len<M: Serialize + ?Sized>(msg: &M) -> usize {
+    let mut s = WireSizer::new();
+    msg.serialize(&mut s).expect("wire sizing is infallible");
+    s.bytes()
+}
+
+/// Encodes a complete frame: `u32` little-endian payload length + payload.
+pub fn encode_frame<M: Serialize + ?Sized>(msg: &M) -> Vec<u8> {
+    let payload = encode_payload(msg);
+    let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    let len = u32::try_from(payload.len()).expect("payload length exceeds u32 wire range");
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Decodes one complete frame, enforcing the payload-length cap and exact
+/// consumption: a short buffer is [`WireError::Truncated`], a declared
+/// length above `max_payload` is [`WireError::Oversized`], and any unread
+/// bytes after a clean decode are [`WireError::TrailingBytes`].
+pub fn decode_frame<M: WireCodec>(frame: &[u8], max_payload: usize) -> Result<M, WireError> {
+    if frame.len() < FRAME_HEADER_BYTES {
+        return Err(WireError::Truncated);
+    }
+    let len = u32::from_le_bytes(frame[..FRAME_HEADER_BYTES].try_into().expect("len")) as usize;
+    if len > max_payload {
+        return Err(WireError::Oversized {
+            len,
+            max: max_payload,
+        });
+    }
+    let body = &frame[FRAME_HEADER_BYTES..];
+    if body.len() < len {
+        return Err(WireError::Truncated);
+    }
+    if body.len() > len {
+        return Err(WireError::TrailingBytes {
+            remaining: body.len() - len,
+        });
+    }
+    let mut r = WireReader::new(body);
+    let msg = M::decode(&mut r)?;
+    if r.remaining() > 0 {
+        return Err(WireError::TrailingBytes {
+            remaining: r.remaining(),
+        });
+    }
+    Ok(msg)
+}
+
+/// Measured on-the-wire cost of a message in bits: length prefix + payload.
+pub fn frame_bits(payload_len: usize) -> usize {
+    8 * (FRAME_HEADER_BYTES + payload_len)
+}
+
+/// Debug-only check that a message's `MessageSize` estimate does not
+/// undercount its measured encoding beyond [`WIRE_SLACK_BITS`] of framing
+/// slack. Release builds compile this away.
+#[inline]
+pub fn debug_assert_estimate_covers<M: Serialize + MessageSize>(msg: &M) {
+    if cfg!(debug_assertions) {
+        let measured = 8 * payload_len(msg);
+        let allowed = msg.size_bits().next_multiple_of(8) + WIRE_SLACK_BITS;
+        debug_assert!(
+            measured <= allowed,
+            "MessageSize estimate undercounts wire encoding: measured {measured} bits, \
+             estimate allows {allowed} bits"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codec impls for primitive message types.
+// ---------------------------------------------------------------------------
+
+impl WireCodec for bool {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.read_bool()
+    }
+}
+
+impl WireCodec for u32 {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.read_u32()
+    }
+}
+
+impl WireCodec for u64 {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.read_u64()
+    }
+}
+
+impl WireCodec for usize {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(r.read_u64()? as usize)
+    }
+}
+
+impl WireCodec for f32 {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.read_f32()
+    }
+}
+
+impl WireCodec for f64 {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.read_f64()
+    }
+}
+
+impl WireCodec for () {
+    fn decode(_r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
+impl<T: WireCodec> WireCodec for Option<T> {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        if r.read_option_flag()? {
+            Ok(Some(T::decode(r)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+impl<T: WireCodec> WireCodec for Vec<T> {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = r.read_len()?;
+        // A hostile length cannot force a huge allocation: capacity is
+        // bounded by the bytes actually present.
+        let mut out = Vec::with_capacity(len.min(r.remaining()));
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+// `bits` rides in one byte: it is `⌈log₂ |Λ|⌉`, far below 256 for any real
+// parameterisation, and a single byte keeps the measured encoding within
+// `WIRE_SLACK_BITS` of the analytical per-message charge.
+impl Serialize for QuantizedValue {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let bits = u8::try_from(self.bits).expect("QuantizedValue.bits exceeds wire range");
+        let mut s = serializer.serialize_struct("QuantizedValue", 2)?;
+        s.serialize_field("bits", &bits)?;
+        s.serialize_field("value", &self.value)?;
+        s.end()
+    }
+}
+
+impl WireCodec for QuantizedValue {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let bits = r.read_u8()? as usize;
+        let value = r.read_f64()?;
+        Ok(QuantizedValue { value, bits })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<M: WireCodec + PartialEq + std::fmt::Debug>(msg: &M) {
+        let frame = encode_frame(msg);
+        let back: M = decode_frame(&frame, 1 << 20).expect("decode");
+        assert_eq!(&back, msg);
+        assert_eq!(frame.len(), FRAME_HEADER_BYTES + payload_len(msg));
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(&0u32);
+        round_trip(&u32::MAX);
+        round_trip(&u64::MAX);
+        round_trip(&usize::MAX);
+        round_trip(&1.5f32);
+        round_trip(&-0.0f64);
+        round_trip(&true);
+        round_trip(&false);
+        round_trip(&());
+    }
+
+    #[test]
+    fn unit_encodes_to_zero_bytes() {
+        assert_eq!(payload_len(&()), 0);
+        assert_eq!(encode_payload(&()), Vec::<u8>::new());
+        assert_eq!(frame_bits(payload_len(&())), 32);
+    }
+
+    #[test]
+    fn options_and_vecs_round_trip() {
+        round_trip(&Some(7u32));
+        round_trip(&Option::<u32>::None);
+        round_trip(&vec![1u64, 2, 3]);
+        round_trip(&Vec::<f64>::new());
+        round_trip(&vec![Some(1u32), None, Some(3)]);
+    }
+
+    #[test]
+    fn quantized_value_round_trips_and_is_72_bits() {
+        let q = QuantizedValue {
+            value: 123.456,
+            bits: 17,
+        };
+        round_trip(&q);
+        assert_eq!(8 * payload_len(&q), 72);
+        debug_assert_estimate_covers(&q);
+    }
+
+    #[test]
+    fn integer_widths_are_preserved() {
+        assert_eq!(payload_len(&1u32), 4);
+        assert_eq!(payload_len(&1u64), 8);
+        assert_eq!(payload_len(&1usize), 8);
+        assert_eq!(payload_len(&1.0f32), 4);
+        assert_eq!(payload_len(&1.0f64), 8);
+        assert_eq!(payload_len(&true), 1);
+        assert_eq!(payload_len(&vec![1u32, 2]), 4 + 8);
+    }
+
+    #[test]
+    fn sizer_matches_writer_for_nested_shapes() {
+        let msg = vec![Some(vec![1u64, 2, 3]), None];
+        assert_eq!(payload_len(&msg), encode_payload(&msg).len());
+    }
+
+    #[test]
+    fn truncated_header_is_rejected() {
+        assert_eq!(
+            decode_frame::<u32>(&[1, 0], 64).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let mut frame = encode_frame(&7u64);
+        frame.truncate(frame.len() - 3);
+        assert_eq!(
+            decode_frame::<u64>(&frame, 64).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected() {
+        let frame = encode_frame(&vec![0u64; 32]);
+        let err = decode_frame::<Vec<u64>>(&frame, 16).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::Oversized {
+                len: 4 + 32 * 8,
+                max: 16
+            }
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut frame = encode_frame(&7u32);
+        frame.push(0xAB);
+        assert_eq!(
+            decode_frame::<u32>(&frame, 64).unwrap_err(),
+            WireError::TrailingBytes { remaining: 1 }
+        );
+    }
+
+    #[test]
+    fn interior_overrun_is_trailing_bytes_not_panic() {
+        // A Vec declaring fewer elements than the payload holds leaves
+        // unread bytes behind, which strict decoding rejects.
+        let mut frame = encode_frame(&vec![1u32, 2]);
+        // Patch the element count from 2 down to 1 (count sits after the
+        // 4-byte frame header).
+        frame[FRAME_HEADER_BYTES] = 1;
+        assert_eq!(
+            decode_frame::<Vec<u32>>(&frame, 64).unwrap_err(),
+            WireError::TrailingBytes { remaining: 4 }
+        );
+    }
+
+    #[test]
+    fn bad_bool_and_option_bytes_are_rejected() {
+        let frame = vec![1, 0, 0, 0, 7];
+        assert_eq!(
+            decode_frame::<bool>(&frame, 64).unwrap_err(),
+            WireError::BadBool(7)
+        );
+        assert_eq!(
+            decode_frame::<Option<u32>>(&frame, 64).unwrap_err(),
+            WireError::BadOptionFlag(7)
+        );
+    }
+
+    #[test]
+    fn hostile_vec_length_does_not_overallocate() {
+        // Declares u32::MAX elements with a 4-byte body: must fail with
+        // Truncated, not abort on allocation.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&8u32.to_le_bytes());
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        frame.extend_from_slice(&[0, 0, 0, 0]);
+        assert_eq!(
+            decode_frame::<Vec<u32>>(&frame, 64).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn estimate_slack_holds_for_primitives() {
+        debug_assert_estimate_covers(&1u32);
+        debug_assert_estimate_covers(&1u64);
+        debug_assert_estimate_covers(&1.0f64);
+        debug_assert_estimate_covers(&true);
+        debug_assert_estimate_covers(&());
+        debug_assert_estimate_covers(&Some(1u64));
+        debug_assert_estimate_covers(&vec![1u64, 2, 3]);
+    }
+}

@@ -1,12 +1,15 @@
-//! Property test: the parallel executor is **result-identical** to the
-//! sequential one — same per-node inbox streams (senders, payloads, order)
-//! and same `RunMetrics` counters — across random graphs, random
-//! broadcast/multicast/unicast mixes, and random loss models. This pins the
-//! hot-path rewrite (buffer reuse, stamp-scatter multicast delivery, fused
-//! accounting) to the simple executor semantics.
+//! Property test: the parallel and mailbox executors are
+//! **result-identical** to the sequential one — same per-node inbox streams
+//! (senders, payloads, order) and same `RunMetrics` counters (including the
+//! measured wire bits and per-component drop counters) — across random
+//! graphs, random broadcast/multicast/unicast mixes, random fault plans, and
+//! random mailbox shard counts. This pins the hot-path rewrite (buffer
+//! reuse, stamp-scatter multicast delivery, fused accounting) and the
+//! message-passing backend to the simple executor semantics.
 
 use dkc_distsim::{
-    Delivery, ExecutionMode, LossModel, Network, NodeContext, NodeProgram, Outgoing,
+    BurstLoss, CrashModel, Delivery, ExecutionMode, FaultPlan, LossModel, NetworkBuilder,
+    NodeContext, NodeProgram, Outgoing, PartitionModel,
 };
 use dkc_graph::generators::erdos_renyi;
 use dkc_graph::NodeId;
@@ -87,19 +90,23 @@ fn run(
     g: &dkc_graph::WeightedGraph,
     seed: u64,
     rounds: usize,
-    loss: Option<LossModel>,
+    plan: FaultPlan,
     mode: ExecutionMode,
+    threads: usize,
 ) -> (Vec<Vec<LoggedMessage>>, Vec<dkc_distsim::RoundStats>) {
-    let mut net = Network::new(g, |_| ChaosNode {
-        seed,
-        log: Vec::new(),
-    })
-    .with_mode(mode);
-    if let Some(model) = loss {
-        net = net.with_message_loss(model);
-    }
+    let mut net = NetworkBuilder::new()
+        .mode(mode)
+        .faults(plan)
+        .threads(threads)
+        // Small enough to force backpressure stalls on dense rounds.
+        .mailbox_capacity(4)
+        .build(g, |_| ChaosNode {
+            seed,
+            log: Vec::new(),
+        });
     net.run(rounds);
     let logs = g.nodes().map(|v| net.program(v).log.clone()).collect();
+    assert!(net.decode_faults().is_empty(), "in-tree frames must decode");
     let (_, metrics) = net.into_parts();
     (logs, metrics.rounds().to_vec())
 }
@@ -108,27 +115,51 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
-    fn parallel_is_result_identical_to_sequential(
+    fn parallel_and_mailbox_are_result_identical_to_sequential(
         n in 2usize..48,
         edge_p in 0.02..0.6f64,
         seed in 0u64..1_000_000,
         rounds in 1usize..6,
         loss_mill in 0usize..1000,
+        threads in 1usize..9,
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
         let g = erdos_renyi(n, edge_p, &mut rng);
-        // Every third case runs fault-free; otherwise inject deterministic loss.
-        let loss = if loss_mill % 3 == 0 {
-            None
+        // Every third case runs fault-free; otherwise inject a deterministic
+        // plan mixing loss with (sometimes) burst, crash, and partition
+        // components derived from the same entropy.
+        let plan = if loss_mill % 3 == 0 {
+            FaultPlan::none()
         } else {
-            Some(LossModel::new(loss_mill as f64 / 1000.0, seed ^ 0xA5A5))
+            let mut plan = FaultPlan::from_loss(
+                LossModel::new(loss_mill as f64 / 1000.0, seed ^ 0xA5A5));
+            if loss_mill % 2 == 0 {
+                plan = plan.with_burst(BurstLoss::new(3, 2, seed ^ 0x11));
+            }
+            if loss_mill % 5 == 0 {
+                plan = plan.with_crash(CrashModel::new(0.2, 2, 4, seed ^ 0x22));
+            }
+            if loss_mill % 7 == 0 {
+                plan = plan.with_partition(
+                    PartitionModel::new(0.3, 2, 4, seed ^ 0x33));
+            }
+            plan
         };
-        let (seq_logs, seq_rounds) = run(&g, seed, rounds, loss, ExecutionMode::Sequential);
-        let (par_logs, par_rounds) = run(&g, seed, rounds, loss, ExecutionMode::Parallel);
-        prop_assert_eq!(&seq_logs, &par_logs, "inbox streams diverged");
-        prop_assert_eq!(&seq_rounds, &par_rounds, "metrics diverged");
+        let (seq_logs, seq_rounds) =
+            run(&g, seed, rounds, plan, ExecutionMode::Sequential, 0);
+        let (par_logs, par_rounds) =
+            run(&g, seed, rounds, plan, ExecutionMode::Parallel, 0);
+        prop_assert_eq!(&seq_logs, &par_logs, "parallel inbox streams diverged");
+        prop_assert_eq!(&seq_rounds, &par_rounds, "parallel metrics diverged");
+        // Tentpole acceptance: the mailbox backend — wire-encoded frames over
+        // bounded shard channels — reproduces the lockstep inbox streams and
+        // every RoundStats counter byte-for-byte, at any shard count.
+        let (mb_logs, mb_rounds) =
+            run(&g, seed, rounds, plan, ExecutionMode::Mailbox, threads);
+        prop_assert_eq!(&seq_logs, &mb_logs, "mailbox inbox streams diverged");
+        prop_assert_eq!(&seq_rounds, &mb_rounds, "mailbox metrics diverged");
         // Sanity: the traffic mix actually exercised delivery.
-        if loss.is_none() && g.num_edges() > 0 {
+        if plan.is_trivial() && g.num_edges() > 0 {
             let delivered: usize = seq_logs.iter().map(Vec::len).sum();
             let counted: usize = seq_rounds.iter().map(|r| r.messages).sum();
             prop_assert!(delivered > 0 || counted == 0);

@@ -5,14 +5,15 @@
 #
 # Compares only the DETERMINISTIC counters of each record — (experiment,
 # workload, scale, rounds, total_messages, payload_bits, max_message_bits,
-# node_updates, dropped_loss, dropped_burst, dropped_partition,
+# wire_bits, node_updates, dropped_loss, dropped_burst, dropped_partition,
 # crashed_nodes) — and fails on any drift: a changed counter, a missing
 # record, or an unexpected extra record. Timing fields (wall_clock_ms,
 # messages_per_sec) are machine-dependent and deliberately ignored.
 #
-# Accepts schema versions 1–3; a counter a record's schema version predates
-# (node_updates before v2, the fault counters before v3) defaults to 0
-# (see the migration note in crates/bench/src/report.rs).
+# Accepts schema versions 1–4; a counter a record's schema version predates
+# (node_updates before v2, the fault counters before v3, the measured
+# wire_bits before v4) defaults to 0 (see the migration note in
+# crates/bench/src/report.rs).
 #
 # To update the baseline intentionally (e.g. a protocol change that alters
 # message counts), regenerate it and commit the diff:
@@ -41,19 +42,20 @@ import sys
 
 report_path, baseline_path = sys.argv[1], sys.argv[2]
 COUNTERS = ("rounds", "total_messages", "payload_bits", "max_message_bits",
-            "node_updates", "dropped_loss", "dropped_burst",
+            "wire_bits", "node_updates", "dropped_loss", "dropped_burst",
             "dropped_partition", "crashed_nodes")
 # The schema version each counter became mandatory in; below it the counter
 # defaults to 0 when absent.
-COUNTER_SINCE = {"node_updates": 2, "dropped_loss": 3, "dropped_burst": 3,
-                 "dropped_partition": 3, "crashed_nodes": 3}
+COUNTER_SINCE = {"wire_bits": 4, "node_updates": 2, "dropped_loss": 3,
+                 "dropped_burst": 3, "dropped_partition": 3,
+                 "crashed_nodes": 3}
 
 
 def load(path):
     with open(path) as fh:
         doc = json.load(fh)
     version = doc.get("schema_version")
-    if version not in (1, 2, 3):
+    if version not in (1, 2, 3, 4):
         sys.exit(f"check_bench: {path}: unsupported schema_version {version!r}")
     records = {}
     for rec in doc["records"]:

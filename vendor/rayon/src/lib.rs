@@ -128,6 +128,39 @@ impl ThreadPool {
     }
 }
 
+/// Mirrors `rayon::scope`: runs `op` with a [`Scope`] whose spawned tasks
+/// may borrow from the enclosing stack frame (`'env` data outliving the
+/// scope). All spawned tasks complete before `scope` returns.
+///
+/// Unlike real rayon there is no work-stealing pool: each [`Scope::spawn`]
+/// becomes one scoped OS thread. Callers in this workspace spawn one task
+/// per shard (bounded by [`current_num_threads`]), for which a thread per
+/// task is the intended shape.
+pub fn scope<'env, F, R>(op: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| op(&Scope { inner: s }))
+}
+
+/// Task-spawning handle passed to the [`scope`] closure.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that runs concurrently with the rest of the scope. The
+    /// task receives its own `&Scope` so it can spawn further tasks, per the
+    /// real rayon signature.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: for<'s> FnOnce(&Scope<'s, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
 /// Entry point mirroring `rayon::iter::IntoParallelRefMutIterator`.
 pub trait IntoParallelRefMutIterator<'a> {
     type Item: Send + 'a;
@@ -399,6 +432,36 @@ mod tests {
         pool.install(|| assert_eq!(super::current_num_threads(), 2));
         assert_eq!(super::current_num_threads(), 3);
         super::GLOBAL_THREADS.store(0, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    #[test]
+    fn scope_joins_all_spawned_tasks_and_allows_stack_borrows() {
+        let data: Vec<u64> = (0..64).collect();
+        let chunks: Vec<&[u64]> = data.chunks(16).collect();
+        let mut sums = vec![0u64; chunks.len()];
+        super::scope(|s| {
+            for (chunk, out) in chunks.iter().zip(sums.iter_mut()) {
+                s.spawn(move |_| *out = chunk.iter().sum());
+            }
+        });
+        assert_eq!(sums.iter().sum::<u64>(), (0..64).sum());
+    }
+
+    #[test]
+    fn scope_tasks_can_spawn_nested_tasks() {
+        let (tx, rx) = std::sync::mpsc::channel::<u32>();
+        super::scope(|s| {
+            let tx = tx.clone();
+            s.spawn(move |inner| {
+                let tx2 = tx.clone();
+                inner.spawn(move |_| tx2.send(2).unwrap());
+                tx.send(1).unwrap();
+            });
+        });
+        drop(tx);
+        let mut got: Vec<u32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
     }
 
     #[test]

@@ -35,6 +35,37 @@ pub trait Serializer: Sized {
         name: &'static str,
         len: usize,
     ) -> Result<Self::SerializeStruct, Self::Error>;
+
+    // Width-preserving integer/float hooks, mirroring real serde. The
+    // defaults widen into the 64-bit methods, so formats that do not care
+    // about widths (JSON) implement nothing extra, while binary formats
+    // (the distsim wire codec) override these to keep the declared width.
+    fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error> {
+        self.serialize_i64(i64::from(v))
+    }
+    fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error> {
+        self.serialize_i64(i64::from(v))
+    }
+    fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_i64(i64::from(v))
+    }
+    fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error> {
+        self.serialize_u64(u64::from(v))
+    }
+    fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error> {
+        self.serialize_u64(u64::from(v))
+    }
+    fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_u64(u64::from(v))
+    }
+    fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_f64(f64::from(v))
+    }
+    /// The unit value `()`. Formats without a natural unit representation
+    /// fall back to their `None` encoding (JSON: `null`).
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_none()
+    }
 }
 
 /// Incremental serializer for sequence elements.
@@ -60,21 +91,27 @@ pub trait SerializeStruct {
 }
 
 macro_rules! impl_serialize_int {
-    (signed: $($t:ty),*; unsigned: $($u:ty),*) => {
+    ($($t:ty => $method:ident as $wide:ty),* $(,)?) => {
         $(impl Serialize for $t {
             fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-                serializer.serialize_i64(*self as i64)
-            }
-        })*
-        $(impl Serialize for $u {
-            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-                serializer.serialize_u64(*self as u64)
+                serializer.$method(*self as $wide)
             }
         })*
     };
 }
 
-impl_serialize_int!(signed: i8, i16, i32, i64, isize; unsigned: u8, u16, u32, u64, usize);
+impl_serialize_int! {
+    i8 => serialize_i8 as i8,
+    i16 => serialize_i16 as i16,
+    i32 => serialize_i32 as i32,
+    i64 => serialize_i64 as i64,
+    isize => serialize_i64 as i64,
+    u8 => serialize_u8 as u8,
+    u16 => serialize_u16 as u16,
+    u32 => serialize_u32 as u32,
+    u64 => serialize_u64 as u64,
+    usize => serialize_u64 as u64,
+}
 
 impl Serialize for bool {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
@@ -84,7 +121,13 @@ impl Serialize for bool {
 
 impl Serialize for f32 {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_f64(f64::from(*self))
+        serializer.serialize_f32(*self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
     }
 }
 
