@@ -268,6 +268,11 @@ pub struct Report {
     pub suite: String,
     /// The `--scale` the suite ran at.
     pub scale: String,
+    /// Free-form provenance notes (e.g. `"resumed from checkpoint at round
+    /// 12"`). Serialized only when non-empty, so reports without notes — and
+    /// every committed baseline — are byte-identical to plain v4 reports;
+    /// readers of any version ignore an absent `notes` array.
+    pub notes: Vec<String>,
     /// All measured runs, in execution order.
     pub records: Vec<ExperimentRecord>,
 }
@@ -285,8 +290,15 @@ impl Report {
             schema_version: SCHEMA_VERSION,
             suite: suite.into(),
             scale: scale.into(),
+            notes: Vec::new(),
             records: Vec::new(),
         }
+    }
+
+    /// Appends a provenance note (shown in the serialized report's optional
+    /// `notes` array).
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
     }
 
     /// Appends records, stamping this report's scale onto records that did
@@ -350,6 +362,20 @@ impl Report {
             schema_version: SCHEMA_VERSION,
             suite: field_str(&value, "suite")?,
             scale: field_str(&value, "scale")?,
+            // Optional in every version: absent means "no notes".
+            notes: match value.get("notes") {
+                None => Vec::new(),
+                Some(v) => v
+                    .as_array()
+                    .ok_or("field \"notes\" must be an array of strings")?
+                    .iter()
+                    .map(|n| {
+                        n.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| "field \"notes\" must contain only strings".to_string())
+                    })
+                    .collect::<Result<_, _>>()?,
+            },
             records: value
                 .get("records")
                 .and_then(Value::as_array)
@@ -379,10 +405,14 @@ impl Report {
 
 impl Serialize for Report {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut s = serializer.serialize_struct("Report", 4)?;
+        let fields = if self.notes.is_empty() { 4 } else { 5 };
+        let mut s = serializer.serialize_struct("Report", fields)?;
         s.serialize_field("schema_version", &self.schema_version)?;
         s.serialize_field("suite", &self.suite)?;
         s.serialize_field("scale", &self.scale)?;
+        if !self.notes.is_empty() {
+            s.serialize_field("notes", &self.notes)?;
+        }
         s.serialize_field("records", &self.records)?;
         s.end()
     }
@@ -612,6 +642,27 @@ mod tests {
         let missing = strip_fields(&sample_report().to_json(), &["wire_bits"]);
         let err = Report::from_json(&missing).unwrap_err();
         assert!(err.contains("wire_bits"), "{err}");
+    }
+
+    #[test]
+    fn notes_are_optional_and_round_trip() {
+        // No notes: the key is absent, keeping baselines byte-stable.
+        let plain = sample_report();
+        assert!(!plain.to_json().contains("\"notes\""));
+        assert_eq!(Report::from_json(&plain.to_json()).unwrap(), plain);
+        // With notes: serialized and recovered verbatim.
+        let mut noted = sample_report();
+        noted.push_note("resumed from checkpoint at round 12");
+        let json = noted.to_json();
+        assert!(
+            json.contains("resumed from checkpoint at round 12"),
+            "{json}"
+        );
+        assert_eq!(Report::from_json(&json).unwrap(), noted);
+        // Malformed notes are rejected with a field-level message.
+        let bad = json.replace("\"resumed from checkpoint at round 12\"", "17");
+        let err = Report::from_json(&bad).unwrap_err();
+        assert!(err.contains("notes"), "{err}");
     }
 
     #[test]

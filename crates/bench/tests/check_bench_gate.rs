@@ -1,0 +1,143 @@
+//! Negative tests for `scripts/check_bench.sh`: a doctored report — a
+//! missing counter key, a missing identity field, a stripped `records`
+//! array, multi-counter drift — must fail the gate with a clear,
+//! per-problem message instead of a raw traceback or a first-failure exit.
+//!
+//! The tests shell out to bash + python3 exactly as CI does; on hosts
+//! without either they skip (the gate itself only runs in CI).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+        .to_path_buf()
+}
+
+fn have_tools() -> bool {
+    ["bash", "python3"].iter().all(|t| {
+        Command::new(t)
+            .arg("--version")
+            .output()
+            .map(|o| o.status.success())
+            .unwrap_or(false)
+    })
+}
+
+fn run_gate(report: &Path, baseline: &Path) -> Output {
+    Command::new("bash")
+        .arg(repo_root().join("scripts/check_bench.sh"))
+        .arg(report)
+        .arg(baseline)
+        .output()
+        .expect("failed to spawn bash")
+}
+
+fn sample_report() -> dkc_bench::Report {
+    use dkc_distsim::{RoundStats, RunMetrics};
+    let mut metrics = RunMetrics::new();
+    metrics.push(RoundStats {
+        round: 1,
+        messages: 120,
+        payload_bits: 7680,
+        wire_bits: 9000,
+        max_message_bits: 64,
+        sending_nodes: 10,
+        changed_nodes: 10,
+        node_updates: 10,
+        dropped_loss: 3,
+        ..RoundStats::default()
+    });
+    let mut report = dkc_bench::Report::with_scale_name("gate_test", "tiny");
+    report.extend(vec![
+        dkc_bench::ExperimentRecord::from_metrics("E1", "wl-a", "tiny", &metrics),
+        dkc_bench::ExperimentRecord::from_metrics("E2", "wl-b", "tiny", &metrics),
+    ]);
+    report
+}
+
+fn write(dir: &Path, name: &str, text: &str) -> PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+#[test]
+fn doctored_reports_fail_with_per_counter_messages() {
+    if !have_tools() {
+        eprintln!("skipping: bash/python3 not available");
+        return;
+    }
+    let dir = std::env::temp_dir().join(format!("dkc-gate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let good_json = sample_report().to_json();
+    let baseline = write(&dir, "baseline.json", &good_json);
+
+    // Sanity: an identical report passes.
+    let ok = run_gate(&write(&dir, "same.json", &good_json), &baseline);
+    assert!(ok.status.success(), "identical report must pass the gate");
+
+    // Doctored: strip TWO counter keys from the first record. The gate must
+    // fail and name BOTH counters (not die after the first), without a
+    // Python traceback.
+    let doctored = good_json
+        .replacen("\"node_updates\": 10,\n", "", 1)
+        .replacen("\"dropped_partition\": 0,\n", "", 1);
+    assert_ne!(doctored, good_json, "doctoring must change the report");
+    let out = run_gate(&write(&dir, "missing_counters.json", &doctored), &baseline);
+    assert_eq!(out.status.code(), Some(1), "gate must fail with exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stdout.contains("missing counter 'node_updates'"),
+        "must name node_updates:\n{stdout}{stderr}"
+    );
+    assert!(
+        stdout.contains("missing counter 'dropped_partition'"),
+        "must name dropped_partition too (every problem reported):\n{stdout}{stderr}"
+    );
+    assert!(!stderr.contains("Traceback"), "no raw traceback:\n{stderr}");
+
+    // Doctored: a record without its identity fields.
+    let doctored = good_json.replacen("\"experiment\": \"E1\",\n", "", 1);
+    let out = run_gate(&write(&dir, "missing_identity.json", &doctored), &baseline);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("missing identity field"),
+        "must report the missing identity field:\n{stdout}"
+    );
+
+    // Doctored: the records array renamed away entirely.
+    let doctored = good_json.replacen("\"records\"", "\"wrecks\"", 1);
+    let out = run_gate(&write(&dir, "no_records.json", &doctored), &baseline);
+    assert!(!out.status.success());
+    let combined = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        combined.contains("records"),
+        "must point at the missing records field:\n{combined}"
+    );
+    assert!(!combined.contains("Traceback"), "{combined}");
+
+    // Drifted counters are still caught (the pre-existing behaviour), with
+    // every drifted counter named.
+    let doctored = good_json
+        .replacen("\"total_messages\": 120", "\"total_messages\": 121", 1)
+        .replacen("\"wire_bits\": 9000", "\"wire_bits\": 9001", 1);
+    let out = run_gate(&write(&dir, "drift.json", &doctored), &baseline);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("counter drift"), "{stdout}");
+    assert!(stdout.contains("total_messages: 120 -> 121"), "{stdout}");
+    assert!(stdout.contains("wire_bits: 9000 -> 9001"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -4,6 +4,9 @@
 use crate::args::Parsed;
 use dkc_baselines::{greedy_orientation, peeling_orientation, weighted_coreness};
 use dkc_core::api::{approximate_orientation, rounds_for_epsilon, weak_densest_subsets};
+use dkc_core::checkpoint::{
+    resume_compact_elimination, run_compact_elimination_checkpointed, CheckpointConfig,
+};
 use dkc_core::ratio::ApproxRatio;
 use dkc_core::threshold::ThresholdSet;
 use dkc_distsim::ExecutionMode;
@@ -200,6 +203,37 @@ fn fault_plan(parsed: &Parsed) -> Result<dkc_distsim::FaultPlan, String> {
     )
 }
 
+/// Parses `--checkpoint PATH` / `--checkpoint-every N` into a
+/// [`CheckpointConfig`]; `--checkpoint-every` without a path is an error,
+/// `--checkpoint` alone defaults to a checkpoint every round.
+fn checkpoint_config(parsed: &Parsed) -> Result<Option<CheckpointConfig>, String> {
+    let path = parsed.flag_str("checkpoint", "");
+    if path.is_empty() {
+        if parsed.flags.contains_key("checkpoint-every") {
+            return Err("--checkpoint-every requires --checkpoint <path>".to_string());
+        }
+        return Ok(None);
+    }
+    let every: usize = parsed.flag_num_positive("checkpoint-every", 1)?;
+    Ok(Some(CheckpointConfig {
+        path: path.into(),
+        every,
+    }))
+}
+
+/// Flags that name run parameters recorded in a checkpoint's preamble; with
+/// `--resume` they would be silently ignored, so they are rejected instead.
+const RESUME_CONFLICTS: [&str; 8] = [
+    "rounds",
+    "epsilon",
+    "lambda",
+    "loss",
+    "burst",
+    "crash",
+    "partition",
+    "fault-seed",
+];
+
 fn coreness(parsed: &Parsed) -> Result<String, String> {
     parsed.expect_flags(&[
         "epsilon",
@@ -214,38 +248,105 @@ fn coreness(parsed: &Parsed) -> Result<String, String> {
         "crash",
         "partition",
         "fault-seed",
+        "checkpoint",
+        "checkpoint-every",
+        "resume",
     ])?;
+    let ckpt = checkpoint_config(parsed)?;
     let ds = load(parsed)?;
     let g = &ds.graph;
-    let epsilon: f64 = parsed.flag_num_positive("epsilon", 0.25)?;
-    let default_rounds = rounds_for_epsilon(g.num_nodes(), epsilon);
-    let rounds: usize = parsed.flag_num("rounds", default_rounds)?;
-    let faults = fault_plan(parsed)?;
-    let lambda: f64 = parsed.flag_num("lambda", 0.0)?;
-    if lambda < 0.0 || !lambda.is_finite() {
-        return Err(format!("--lambda must be >= 0 (got {lambda})"));
-    }
-    // ThresholdSet::power_grid requires lambda >= 1e-12 (the grid base must
-    // be representable above 1); turn smaller positive values into a clean
-    // CLI error instead of an assertion panic.
-    if lambda > 0.0 && lambda < 1e-12 {
-        return Err(format!(
-            "--lambda must be 0 (exact) or >= 1e-12 (got {lambda})"
-        ));
-    }
-    let threshold_set = if lambda > 0.0 {
-        ThresholdSet::power_grid(lambda)
+    let resume_path = parsed.flag_str("resume", "");
+    let (approx, faults, resumed_from) = if !resume_path.is_empty() {
+        // The run's parameters live in the checkpoint preamble; flags that
+        // would contradict it are rejected rather than silently ignored.
+        for flag in RESUME_CONFLICTS {
+            if parsed.flags.contains_key(flag) {
+                return Err(format!(
+                    "--{flag} conflicts with --resume: the run's parameters \
+                     (rounds, threshold set, fault plan) come from the checkpoint"
+                ));
+            }
+        }
+        let resumed = resume_compact_elimination(
+            g,
+            std::path::Path::new(&resume_path),
+            ExecutionMode::Parallel,
+            ckpt.as_ref(),
+        )
+        .map_err(|e| format!("failed to resume from {resume_path}: {e}"))?;
+        let approx = dkc_core::api::CorenessApproximation {
+            guaranteed_factor: dkc_core::api::guaranteed_factor(
+                g.num_nodes(),
+                resumed.rounds_target,
+            ) * resumed.threshold_set.rounding_loss(),
+            values: resumed.outcome.surviving,
+            rounds: resumed.rounds_target,
+            metrics: resumed.outcome.metrics,
+        };
+        (approx, resumed.faults, Some(resumed.resumed_from))
     } else {
-        ThresholdSet::Reals
+        let epsilon: f64 = parsed.flag_num_positive("epsilon", 0.25)?;
+        let default_rounds = rounds_for_epsilon(g.num_nodes(), epsilon);
+        let rounds: usize = parsed.flag_num("rounds", default_rounds)?;
+        let faults = fault_plan(parsed)?;
+        let lambda: f64 = parsed.flag_num("lambda", 0.0)?;
+        if lambda < 0.0 || !lambda.is_finite() {
+            return Err(format!("--lambda must be >= 0 (got {lambda})"));
+        }
+        // ThresholdSet::power_grid requires lambda >= 1e-12 (the grid base
+        // must be representable above 1); turn smaller positive values into a
+        // clean CLI error instead of an assertion panic.
+        if lambda > 0.0 && lambda < 1e-12 {
+            return Err(format!(
+                "--lambda must be 0 (exact) or >= 1e-12 (got {lambda})"
+            ));
+        }
+        let threshold_set = if lambda > 0.0 {
+            ThresholdSet::power_grid(lambda)
+        } else {
+            ThresholdSet::Reals
+        };
+        let approx = match &ckpt {
+            None => dkc_core::api::approximate_coreness_with_faults(
+                g,
+                rounds,
+                threshold_set,
+                ExecutionMode::Parallel,
+                faults,
+            ),
+            Some(cfg) => {
+                let outcome = run_compact_elimination_checkpointed(
+                    g,
+                    rounds,
+                    threshold_set,
+                    ExecutionMode::Parallel,
+                    faults,
+                    cfg,
+                )
+                .map_err(|e| format!("checkpointed run failed: {e}"))?;
+                dkc_core::api::CorenessApproximation {
+                    guaranteed_factor: dkc_core::api::guaranteed_factor(g.num_nodes(), rounds)
+                        * threshold_set.rounding_loss(),
+                    values: outcome.surviving,
+                    rounds,
+                    metrics: outcome.metrics,
+                }
+            }
+        };
+        (approx, faults, None)
     };
-    let approx = dkc_core::api::approximate_coreness_with_faults(
-        g,
-        rounds,
-        threshold_set,
-        ExecutionMode::Parallel,
-        faults,
-    );
     let mut out = String::new();
+    if let Some(from) = resumed_from {
+        let _ = writeln!(out, "resumed from checkpoint at round {from}");
+    }
+    if let Some(cfg) = &ckpt {
+        let _ = writeln!(
+            out,
+            "checkpointing to {} every {} round(s)",
+            cfg.path.display(),
+            cfg.every
+        );
+    }
     let _ = writeln!(
         out,
         "compact elimination: {} rounds, guaranteed factor {:.3}, {} messages, max message {} bits",
@@ -300,6 +401,9 @@ fn coreness(parsed: &Parsed) -> Result<String, String> {
     let json_path = parsed.flag_str("json", "");
     if !json_path.is_empty() {
         let mut report = dkc_bench::Report::with_scale_name("cli-coreness", "custom");
+        if let Some(from) = resumed_from {
+            report.push_note(format!("resumed from checkpoint at round {from}"));
+        }
         report.extend(vec![dkc_bench::ExperimentRecord::from_metrics(
             "cli",
             parsed.positional(0, "input edge-list file")?,
@@ -638,6 +742,113 @@ mod tests {
         assert!(err.contains("unknown format"), "{err}");
         let err = dispatch(&parse(&["convert", &sparse])).unwrap_err();
         assert!(err.contains("output dataset file"), "{err}");
+    }
+
+    #[test]
+    fn coreness_checkpoint_and_resume_match_uninterrupted_run() {
+        let path = temp_graph();
+        let dir = std::env::temp_dir().join("dkc_cli_cmd_test");
+        let pid = std::process::id();
+        let ck = dir.join(format!("resume-{pid}.dkck"));
+        let ref_json = dir.join(format!("ckref-{pid}.json"));
+        let res_json = dir.join(format!("ckres-{pid}.json"));
+        let ck_s = ck.to_string_lossy().to_string();
+        let ref_s = ref_json.to_string_lossy().to_string();
+        let res_s = res_json.to_string_lossy().to_string();
+        let base = [
+            "coreness",
+            path.as_str(),
+            "--rounds",
+            "8",
+            "--loss",
+            "0.1",
+            "--fault-seed",
+            "11",
+        ];
+        // Uninterrupted reference run.
+        let mut v: Vec<&str> = base.to_vec();
+        v.extend(["--json", &ref_s]);
+        dispatch(&parse(&v)).unwrap();
+        // The same run with checkpoints every 3 rounds (boundaries 3 and 6;
+        // the file ends up holding round 6).
+        let mut v: Vec<&str> = base.to_vec();
+        v.extend(["--checkpoint", &ck_s, "--checkpoint-every", "3"]);
+        let out = dispatch(&parse(&v)).unwrap();
+        assert!(out.contains("checkpointing to"), "{out}");
+        assert!(ck.exists());
+        // Resume finishes the remaining rounds; all run parameters come from
+        // the checkpoint, so only output flags are passed.
+        let out = dispatch(&parse(&[
+            "coreness", &path, "--resume", &ck_s, "--json", &res_s,
+        ]))
+        .unwrap();
+        assert!(out.contains("resumed from checkpoint at round 6"), "{out}");
+        // Every deterministic counter matches the uninterrupted run.
+        let reference = dkc_bench::Report::read_from(&ref_json).unwrap();
+        let resumed = dkc_bench::Report::read_from(&res_json).unwrap();
+        let (a, b) = (&reference.records[0], &resumed.records[0]);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.total_messages, b.total_messages);
+        assert_eq!(a.payload_bits, b.payload_bits);
+        assert_eq!(a.max_message_bits, b.max_message_bits);
+        assert_eq!(a.wire_bits, b.wire_bits);
+        assert_eq!(a.node_updates, b.node_updates);
+        assert_eq!(a.dropped_loss, b.dropped_loss);
+        assert_eq!(a.dropped_burst, b.dropped_burst);
+        assert_eq!(a.dropped_partition, b.dropped_partition);
+        assert_eq!(a.crashed_nodes, b.crashed_nodes);
+        // The resumed report carries a provenance note; the reference does not.
+        assert!(reference.notes.is_empty());
+        assert!(
+            resumed
+                .notes
+                .iter()
+                .any(|n| n.contains("resumed from checkpoint at round 6")),
+            "{:?}",
+            resumed.notes
+        );
+    }
+
+    #[test]
+    fn coreness_checkpoint_flags_are_validated() {
+        let path = temp_graph();
+        // --checkpoint-every needs a path to write to.
+        let err = dispatch(&parse(&["coreness", &path, "--checkpoint-every", "2"])).unwrap_err();
+        assert!(err.contains("requires --checkpoint"), "{err}");
+        // Zero intervals are rejected by the numeric range check.
+        let err = dispatch(&parse(&[
+            "coreness",
+            &path,
+            "--checkpoint",
+            "/tmp/x.dkck",
+            "--checkpoint-every",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("checkpoint-every"), "{err}");
+        // Run-parameter flags conflict with --resume.
+        for flag in RESUME_CONFLICTS {
+            let dashed = format!("--{flag}");
+            let err = dispatch(&parse(&[
+                "coreness",
+                &path,
+                "--resume",
+                "/tmp/x.dkck",
+                &dashed,
+                "3",
+            ]))
+            .unwrap_err();
+            assert!(err.contains("conflicts with --resume"), "{flag}: {err}");
+        }
+        // A missing checkpoint file is a clean error.
+        let err = dispatch(&parse(&[
+            "coreness",
+            &path,
+            "--resume",
+            "/nonexistent/nowhere.dkck",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("failed to resume"), "{err}");
     }
 
     #[test]

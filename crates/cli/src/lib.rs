@@ -44,6 +44,12 @@ USAGE:
       fault injection (deterministic, seeded by --fault-seed S):
                [--loss P] [--burst PERIOD:LEN] [--crash P:FIRST:LAST]
                [--partition F:FIRST:LAST]
+      checkpoint / resume (kill-safe long runs):
+               [--checkpoint FILE]      write an atomic checkpoint during the run
+               [--checkpoint-every N]   rounds between checkpoints (default 1)
+               [--resume FILE]          resume a killed run; rounds, threshold
+                                        set, and fault plan come from the
+                                        checkpoint (conflicting flags rejected)
   dkc orientation <file> [--epsilon E] [--compare]
   dkc densest <file> [--epsilon E] [--exact]
   dkc help

@@ -1,0 +1,392 @@
+//! Checkpointed and resumable compact-elimination runs.
+//!
+//! The distsim layer ([`dkc_distsim::checkpoint`]) owns the container format
+//! and the executor-state snapshot; this module adds the *run identity*: a
+//! preamble recording the graph (node/arc counts plus a structural
+//! fingerprint over adjacency and weight bits), the round target, the
+//! threshold set Λ, and the fault plan. Resume rebuilds the arena and
+//! network from the preamble, restores the executor state into it, and runs
+//! the remaining rounds — producing a [`CompactOutcome`] byte-identical on
+//! every deterministic counter to an uninterrupted run (pinned by the
+//! `prop_checkpoint` property tests and the CI kill-and-resume gate).
+
+use crate::compact::{CompactArena, CompactOutcome};
+use crate::threshold::ThresholdSet;
+use dkc_distsim::checkpoint::{
+    decode_checkpoint, read_checkpoint_bytes, validate_plan, CheckpointError,
+};
+use dkc_distsim::wire::{WireCodec, WireReader, WireWriter};
+use dkc_distsim::{ExecutionMode, FaultPlan, NetworkBuilder};
+use dkc_graph::{CsrGraph, WeightedGraph};
+use serde::ser::Serialize;
+use std::path::{Path, PathBuf};
+
+/// Where and how often a run writes checkpoints.
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Checkpoint file path (written atomically; one file, overwritten at
+    /// each boundary).
+    pub path: PathBuf,
+    /// Interval in rounds between checkpoints (≥ 1). Boundaries are counted
+    /// in absolute round numbers, so a resumed run checkpoints at the same
+    /// rounds as an uninterrupted one.
+    pub every: usize,
+}
+
+/// splitmix64 finalizer (local copy; the distsim one is an implementation
+/// detail of the fault subsystem).
+fn splitmix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// An order-sensitive structural fingerprint of the CSR topology: node and
+/// arc counts, adjacency lists, weight bits, and self-loops all feed the
+/// hash, so resuming against a graph that differs anywhere — an edge, a
+/// weight, a node ordering — is rejected instead of silently producing
+/// garbage.
+pub fn graph_fingerprint(g: &CsrGraph) -> u64 {
+    let mut h = splitmix(0xD1C0_5EED ^ g.num_nodes() as u64);
+    h = splitmix(h ^ g.num_arcs() as u64);
+    for v in g.nodes() {
+        h = splitmix(h ^ u64::from(v.0));
+        h = splitmix(h ^ g.self_loop(v).to_bits());
+        for (&u, &w) in g.neighbors(v).iter().zip(g.neighbor_weights(v)) {
+            h = splitmix(h ^ (u64::from(u.0) << 1));
+            h = splitmix(h ^ w.to_bits());
+        }
+    }
+    h
+}
+
+/// The run-identity preamble stored ahead of the executor state in every
+/// checkpoint file.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunPreamble {
+    /// Node count of the graph the run was started on.
+    pub nodes: u64,
+    /// Arc count of that graph.
+    pub arcs: u64,
+    /// [`graph_fingerprint`] of that graph.
+    pub fingerprint: u64,
+    /// Total rounds the run was asked for (`dkc coreness --rounds`).
+    pub rounds_target: u64,
+    /// The threshold set Λ of the run.
+    pub threshold_set: ThresholdSet,
+    /// The fault plan of the run.
+    pub faults: FaultPlan,
+}
+
+impl RunPreamble {
+    /// Encodes the preamble section bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        self.nodes.serialize(&mut w).expect("infallible");
+        self.arcs.serialize(&mut w).expect("infallible");
+        self.fingerprint.serialize(&mut w).expect("infallible");
+        self.rounds_target.serialize(&mut w).expect("infallible");
+        match self.threshold_set {
+            ThresholdSet::Reals => 0u8.serialize(&mut w).expect("infallible"),
+            ThresholdSet::PowerGrid { lambda } => {
+                1u8.serialize(&mut w).expect("infallible");
+                lambda.serialize(&mut w).expect("infallible");
+            }
+        }
+        self.faults.serialize(&mut w).expect("infallible");
+        w.into_bytes()
+    }
+
+    /// Decodes a preamble section, rejecting truncation, trailing bytes,
+    /// unknown threshold tags, and out-of-domain parameters.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = WireReader::new(bytes);
+        let nodes = r.read_u64()?;
+        let arcs = r.read_u64()?;
+        let fingerprint = r.read_u64()?;
+        let rounds_target = r.read_u64()?;
+        let threshold_set = match r.read_u8()? {
+            0 => ThresholdSet::Reals,
+            1 => {
+                let lambda = r.read_f64()?;
+                if !(lambda.is_finite() && lambda >= 1e-12) {
+                    return Err(CheckpointError::Mismatch(format!(
+                        "checkpointed lambda {lambda} is out of domain"
+                    )));
+                }
+                ThresholdSet::PowerGrid { lambda }
+            }
+            tag => {
+                return Err(CheckpointError::Mismatch(format!(
+                    "unknown threshold-set tag {tag}"
+                )))
+            }
+        };
+        let faults = FaultPlan::decode(&mut r)?;
+        validate_plan(&faults)?;
+        if r.remaining() > 0 {
+            return Err(CheckpointError::TrailingBytes {
+                remaining: r.remaining(),
+            });
+        }
+        Ok(RunPreamble {
+            nodes,
+            arcs,
+            fingerprint,
+            rounds_target,
+            threshold_set,
+            faults,
+        })
+    }
+}
+
+/// A resumed run's result plus where it picked up.
+#[derive(Clone, Debug)]
+pub struct ResumedRun {
+    /// The completed outcome, byte-identical on every deterministic counter
+    /// to an uninterrupted run of `rounds_target` rounds.
+    pub outcome: CompactOutcome,
+    /// The round the checkpoint was written at (execution continued from
+    /// `resumed_from + 1`).
+    pub resumed_from: usize,
+    /// The run's original round target (from the preamble, not re-specified
+    /// on resume).
+    pub rounds_target: usize,
+    /// The threshold set Λ recovered from the preamble.
+    pub threshold_set: ThresholdSet,
+    /// The fault plan recovered from the preamble.
+    pub faults: FaultPlan,
+}
+
+/// Like [`crate::compact::run_compact_elimination_with_faults`], but writes a
+/// checkpoint to `cfg.path` every `cfg.every` rounds (atomically, so a kill
+/// mid-write never corrupts the latest checkpoint).
+pub fn run_compact_elimination_checkpointed(
+    g: &WeightedGraph,
+    rounds: usize,
+    threshold_set: ThresholdSet,
+    mode: ExecutionMode,
+    faults: FaultPlan,
+    cfg: &CheckpointConfig,
+) -> Result<CompactOutcome, CheckpointError> {
+    let csr = CsrGraph::from_graph(g);
+    let preamble = RunPreamble {
+        nodes: csr.num_nodes() as u64,
+        arcs: csr.num_arcs() as u64,
+        fingerprint: graph_fingerprint(&csr),
+        rounds_target: rounds as u64,
+        threshold_set,
+        faults,
+    }
+    .encode();
+    let mut arena = CompactArena::new(&csr, threshold_set);
+    let mut net = NetworkBuilder::new()
+        .mode(mode)
+        .faults(faults)
+        .checkpoint_every(cfg.every.max(1))
+        .build_from_parts(csr.clone(), arena.programs());
+    net.checkpoint_to(&cfg.path, preamble);
+    net.run_with_checkpoints(rounds)?;
+    let (_programs, metrics) = net.into_parts();
+    Ok(CompactOutcome {
+        surviving: arena.surviving().to_vec(),
+        in_neighbors: arena.in_neighbors(&csr),
+        rounds,
+        metrics,
+    })
+}
+
+/// Resumes a run from the checkpoint at `path` and completes it. The run
+/// parameters — round target, threshold set, fault plan — come from the
+/// checkpoint, not from flags; the caller chooses only the execution backend
+/// (`mode`, which must be of the same sparse/dense family the checkpoint was
+/// written under) and optionally keeps checkpointing via `cfg`.
+pub fn resume_compact_elimination(
+    g: &WeightedGraph,
+    path: &Path,
+    mode: ExecutionMode,
+    cfg: Option<&CheckpointConfig>,
+) -> Result<ResumedRun, CheckpointError> {
+    let image = read_checkpoint_bytes(path)?;
+    let (preamble_bytes, state) = decode_checkpoint(&image)?;
+    let pre = RunPreamble::decode(preamble_bytes)?;
+    let csr = CsrGraph::from_graph(g);
+    if pre.nodes != csr.num_nodes() as u64 || pre.arcs != csr.num_arcs() as u64 {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint graph has {} nodes / {} arcs, this graph has {} / {}",
+            pre.nodes,
+            pre.arcs,
+            csr.num_nodes(),
+            csr.num_arcs()
+        )));
+    }
+    if pre.fingerprint != graph_fingerprint(&csr) {
+        return Err(CheckpointError::Mismatch(
+            "graph fingerprint differs from the checkpointed run (different edges, \
+             weights, or node order)"
+                .to_string(),
+        ));
+    }
+    let mut arena = CompactArena::new(&csr, pre.threshold_set);
+    let mut net = NetworkBuilder::new()
+        .mode(mode)
+        .faults(pre.faults)
+        .checkpoint_every(cfg.map_or(0, |c| c.every.max(1)))
+        .build_from_parts(csr.clone(), arena.programs());
+    if let Some(c) = cfg {
+        net.checkpoint_to(&c.path, preamble_bytes.to_vec());
+    }
+    net.restore_state(state)?;
+    let resumed_from = net.round();
+    let rounds_target = pre.rounds_target as usize;
+    if resumed_from > rounds_target {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint is at round {resumed_from}, past the run's target of \
+             {rounds_target} rounds"
+        )));
+    }
+    net.run_with_checkpoints(rounds_target - resumed_from)?;
+    let (_programs, metrics) = net.into_parts();
+    Ok(ResumedRun {
+        outcome: CompactOutcome {
+            surviving: arena.surviving().to_vec(),
+            in_neighbors: arena.in_neighbors(&csr),
+            rounds: rounds_target,
+            metrics,
+        },
+        resumed_from,
+        rounds_target,
+        threshold_set: pre.threshold_set,
+        faults: pre.faults,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkc_graph::generators::{barabasi_albert, path_graph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dkc-core-ckpt-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn preamble_round_trips_and_rejects_corruption() {
+        let pre = RunPreamble {
+            nodes: 12,
+            arcs: 40,
+            fingerprint: 0xDEAD_BEEF,
+            rounds_target: 30,
+            threshold_set: ThresholdSet::power_grid(0.25),
+            faults: FaultPlan::from_loss(dkc_distsim::LossModel::new(0.1, 7)),
+        };
+        let bytes = pre.encode();
+        assert_eq!(RunPreamble::decode(&bytes).unwrap(), pre);
+        assert_eq!(
+            RunPreamble::decode(&bytes[..bytes.len() - 1]),
+            Err(CheckpointError::Truncated)
+        );
+        let mut trailing = bytes.clone();
+        trailing.push(9);
+        assert_eq!(
+            RunPreamble::decode(&trailing),
+            Err(CheckpointError::TrailingBytes { remaining: 1 })
+        );
+        // Unknown threshold tag.
+        let mut bad_tag = bytes.clone();
+        bad_tag[32] = 7;
+        assert!(matches!(
+            RunPreamble::decode(&bad_tag),
+            Err(CheckpointError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_structure_and_weights() {
+        let a = CsrGraph::from_graph(&path_graph(8));
+        let b = CsrGraph::from_graph(&path_graph(9));
+        assert_ne!(graph_fingerprint(&a), graph_fingerprint(&b));
+        assert_eq!(
+            graph_fingerprint(&a),
+            graph_fingerprint(&CsrGraph::from_graph(&path_graph(8)))
+        );
+        let mut weighted = path_graph(8);
+        weighted.add_edge(dkc_graph::NodeId::new(0), dkc_graph::NodeId::new(1), 0.5);
+        assert_ne!(
+            graph_fingerprint(&a),
+            graph_fingerprint(&CsrGraph::from_graph(&weighted))
+        );
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run_and_resume_completes_it() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = barabasi_albert(40, 3, &mut rng);
+        let threshold = ThresholdSet::power_grid(0.5);
+        let plan = FaultPlan::from_loss(dkc_distsim::LossModel::new(0.15, 9));
+        let rounds = 14;
+        let mode = ExecutionMode::SparseSequential;
+
+        let plain =
+            crate::compact::run_compact_elimination_with_faults(&g, rounds, threshold, mode, plan);
+
+        let dir = tmp_dir("resume");
+        let cfg = CheckpointConfig {
+            path: dir.join("run.dkck"),
+            every: 3,
+        };
+        let checkpointed =
+            run_compact_elimination_checkpointed(&g, rounds, threshold, mode, plan, &cfg).unwrap();
+        assert_eq!(plain.surviving, checkpointed.surviving);
+        assert_eq!(plain.metrics.rounds(), checkpointed.metrics.rounds());
+
+        // The file now holds the round-12 boundary; resume finishes 13..14.
+        let resumed = resume_compact_elimination(&g, &cfg.path, mode, None).unwrap();
+        assert_eq!(resumed.resumed_from, 12);
+        assert_eq!(resumed.rounds_target, rounds);
+        assert_eq!(resumed.threshold_set, threshold);
+        assert_eq!(resumed.faults, plan);
+        assert_eq!(plain.surviving, resumed.outcome.surviving);
+        assert_eq!(plain.in_neighbors, resumed.outcome.in_neighbors);
+        assert_eq!(plain.metrics.rounds(), resumed.outcome.metrics.rounds());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_a_different_graph() {
+        let g = path_graph(10);
+        let dir = tmp_dir("fpr");
+        let cfg = CheckpointConfig {
+            path: dir.join("run.dkck"),
+            every: 2,
+        };
+        run_compact_elimination_checkpointed(
+            &g,
+            6,
+            ThresholdSet::Reals,
+            ExecutionMode::Sequential,
+            FaultPlan::none(),
+            &cfg,
+        )
+        .unwrap();
+        // A re-weighted graph is caught by the fingerprint (or, if the extra
+        // edge adds arcs, by the arc-count check — either way a Mismatch).
+        let mut reweighted = path_graph(10);
+        reweighted.add_edge(dkc_graph::NodeId::new(3), dkc_graph::NodeId::new(4), 2.0);
+        let err =
+            resume_compact_elimination(&reweighted, &cfg.path, ExecutionMode::Sequential, None)
+                .unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+        let err =
+            resume_compact_elimination(&path_graph(11), &cfg.path, ExecutionMode::Sequential, None)
+                .unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

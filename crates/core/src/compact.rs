@@ -33,10 +33,13 @@
 use crate::threshold::ThresholdSet;
 use crate::update::{suffix_scan, UpdateOrder};
 use dkc_distsim::message::QuantizedValue;
+use dkc_distsim::wire::{WireError, WireReader, WireWriter};
 use dkc_distsim::{
-    Delivery, ExecutionMode, NetworkBuilder, NodeContext, NodeProgram, Outgoing, RunMetrics,
+    CheckpointError, Delivery, ExecutionMode, NetworkBuilder, NodeContext, NodeProgram, Outgoing,
+    RunMetrics, SnapshotState,
 };
 use dkc_graph::{CsrGraph, NodeId, WeightedGraph};
+use serde::ser::Serialize;
 
 /// Structure-of-arrays storage for every node's elimination state, indexed by
 /// the CSR arc offsets (arc slabs) and by node id (node slabs).
@@ -264,6 +267,67 @@ impl NodeProgram for CompactNode<'_> {
         let changed = (rounded - *self.b).abs() > 1e-12 || self.b.is_infinite();
         *self.b = rounded;
         changed
+    }
+}
+
+/// Checkpoint payload of one node: the live elimination state. The scratch
+/// slab is pure per-step workspace and the message-bit/threshold parameters
+/// are rebuilt from the graph, so neither is persisted. The degree leads the
+/// payload as a cross-check against the arena the state is restored into.
+impl SnapshotState for CompactNode<'_> {
+    fn save_state(&self, w: &mut WireWriter) -> Result<(), WireError> {
+        let deg = self.values.len() as u32;
+        deg.serialize(&mut *w)?;
+        self.b.serialize(&mut *w)?;
+        self.last_update_round.serialize(&mut *w)?;
+        for &x in self.values.iter() {
+            x.serialize(&mut *w)?;
+        }
+        for &x in self.order.iter() {
+            x.serialize(&mut *w)?;
+        }
+        for &x in self.inv.iter() {
+            x.serialize(&mut *w)?;
+        }
+        for &x in self.in_stamp.iter() {
+            x.serialize(&mut *w)?;
+        }
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut WireReader<'_>) -> Result<(), CheckpointError> {
+        let deg = self.values.len();
+        let saved_deg = r.read_u32()? as usize;
+        if saved_deg != deg {
+            return Err(CheckpointError::Mismatch(format!(
+                "node degree {saved_deg} in checkpoint, {deg} in this graph"
+            )));
+        }
+        *self.b = r.read_f64()?;
+        *self.last_update_round = r.read_u32()?;
+        for x in self.values.iter_mut() {
+            *x = r.read_f64()?;
+        }
+        for x in self.order.iter_mut() {
+            *x = r.read_u32()?;
+        }
+        for x in self.inv.iter_mut() {
+            *x = r.read_u32()?;
+        }
+        for x in self.in_stamp.iter_mut() {
+            *x = r.read_u32()?;
+        }
+        // `order` must be a permutation of 0..deg with `inv` its inverse —
+        // anything else would make the Update re-sort read out of bounds.
+        let consistent = self.order.iter().enumerate().all(|(i, &p)| {
+            (p as usize) < deg && self.inv.get(p as usize).is_some_and(|&q| q as usize == i)
+        });
+        if !consistent {
+            return Err(CheckpointError::Mismatch(
+                "checkpointed update order is not a valid permutation".to_string(),
+            ));
+        }
+        Ok(())
     }
 }
 

@@ -32,6 +32,7 @@
 
 pub mod api;
 pub mod bfs;
+pub mod checkpoint;
 pub mod compact;
 pub mod densest;
 pub mod orientation;
@@ -48,6 +49,10 @@ pub use api::{
     approximate_coreness, approximate_coreness_with_rounds, approximate_orientation,
     rounds_for_epsilon, rounds_for_gamma, weak_densest_subsets, CorenessApproximation,
     OrientationApproximation,
+};
+pub use checkpoint::{
+    graph_fingerprint, resume_compact_elimination, run_compact_elimination_checkpointed,
+    CheckpointConfig, ResumedRun, RunPreamble,
 };
 pub use compact::{run_compact_elimination, run_compact_elimination_with_faults, CompactOutcome};
 pub use densest::{WeakCluster, WeakDensestResult};

@@ -1,0 +1,559 @@
+//! Checkpoint/restore for long runs: a versioned little-endian snapshot
+//! format in the `.dkcb` family.
+//!
+//! The paper's convergence guarantees only matter if a run can actually
+//! finish: production-scale graphs mean multi-hour executions that must
+//! survive the process dying. This module provides the on-disk container and
+//! the state-snapshot plumbing; [`crate::Network`] implements the actual
+//! save/restore of executor state (round counter, sparse frontier, metrics,
+//! per-node program state, decode-fault attribution), and embedders prepend
+//! an opaque *preamble* describing the run configuration (graph identity,
+//! round target, protocol parameters) so a checkpoint can only ever be
+//! resumed into the run that wrote it.
+//!
+//! File layout (all integers little-endian, following the `.dkcb` magic +
+//! version conventions of `dkc_graph::ingest`):
+//!
+//! ```text
+//! magic    4 bytes   b"DKCK"
+//! version  u32       CHECKPOINT_VERSION
+//! p_len    u32       preamble byte length
+//! preamble p_len bytes (embedder-defined, e.g. dkc_core run parameters)
+//! s_len    u32       state byte length
+//! state    s_len bytes (Network::save_state payload)
+//! ```
+//!
+//! The reader is defensive in the `wire.rs` style: truncated files, trailing
+//! garbage, a wrong magic, or an unknown version are each a distinct
+//! [`CheckpointError`] — never a panic, and never a partially-applied
+//! restore into a network that then runs.
+//!
+//! Writes are **atomic**: the file is written to a temporary sibling and
+//! renamed into place, so a process killed mid-write (the exact scenario
+//! checkpoints exist for) can never leave a truncated file at the
+//! checkpoint path.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::faults::{BurstLoss, CrashModel, FaultPlan, LossModel, PartitionModel};
+use crate::metrics::RoundStats;
+use crate::wire::{WireCodec, WireError, WireReader, WireWriter};
+use serde::ser::{Serialize, SerializeStruct, Serializer};
+
+/// Magic bytes identifying a checkpoint file (sibling of the graph loader's
+/// `b"DKCB"`).
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"DKCK";
+
+/// Current checkpoint format version. Bump on any layout change; old
+/// versions are rejected (a checkpoint is a short-lived artifact of one
+/// binary, not an archival format).
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Why a checkpoint could not be written, read, or applied.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CheckpointError {
+    /// Filesystem failure (message includes the path and OS error).
+    Io(String),
+    /// The file does not start with [`CHECKPOINT_MAGIC`].
+    BadMagic,
+    /// The file's version is not [`CHECKPOINT_VERSION`].
+    BadVersion { found: u32, expected: u32 },
+    /// The file ended before a declared section did.
+    Truncated,
+    /// Bytes remained after the final section decoded cleanly.
+    TrailingBytes { remaining: usize },
+    /// A section's payload failed to decode.
+    Corrupt(WireError),
+    /// The checkpoint decoded cleanly but does not belong to the run being
+    /// resumed (different graph, fault plan, mode family, ...).
+    Mismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(msg) => write!(f, "checkpoint I/O error: {msg}"),
+            CheckpointError::BadMagic => {
+                write!(f, "bad magic (not a .dkck checkpoint file)")
+            }
+            CheckpointError::BadVersion { found, expected } => {
+                write!(
+                    f,
+                    "unsupported checkpoint version {found} (expected {expected})"
+                )
+            }
+            CheckpointError::Truncated => write!(f, "checkpoint file truncated"),
+            CheckpointError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after checkpoint payload")
+            }
+            CheckpointError::Corrupt(e) => write!(f, "corrupt checkpoint payload: {e}"),
+            CheckpointError::Mismatch(msg) => {
+                write!(f, "checkpoint does not match this run: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<WireError> for CheckpointError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Truncated => CheckpointError::Truncated,
+            other => CheckpointError::Corrupt(other),
+        }
+    }
+}
+
+/// Per-node protocol state that can round-trip through a checkpoint.
+///
+/// `save_state` writes the node's live state with the wire-format encoding
+/// rules; `load_state` reads the same bytes back into a freshly constructed
+/// program (the embedder rebuilds the arena/topology first, then restores
+/// values into it). Implementations must write and read *exactly* the same
+/// byte count — the container detects any disagreement as trailing bytes or
+/// truncation across the whole state section.
+pub trait SnapshotState {
+    /// Appends this node's state to the checkpoint payload.
+    fn save_state(&self, w: &mut WireWriter) -> Result<(), WireError>;
+    /// Restores this node's state from the checkpoint payload.
+    fn load_state(&mut self, r: &mut WireReader<'_>) -> Result<(), CheckpointError>;
+}
+
+// ---------------------------------------------------------------------------
+// Container encode/decode.
+// ---------------------------------------------------------------------------
+
+fn section(out: &mut Vec<u8>, bytes: &[u8]) {
+    let len = u32::try_from(bytes.len()).expect("checkpoint section exceeds u32 range");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Assembles a complete checkpoint file image from the embedder preamble and
+/// the executor state payload.
+pub fn encode_checkpoint(preamble: &[u8], state: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 4 + 8 + preamble.len() + state.len());
+    out.extend_from_slice(&CHECKPOINT_MAGIC);
+    out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+    section(&mut out, preamble);
+    section(&mut out, state);
+    out
+}
+
+fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], CheckpointError> {
+    if bytes.len() - *pos < n {
+        return Err(CheckpointError::Truncated);
+    }
+    let out = &bytes[*pos..*pos + n];
+    *pos += n;
+    Ok(out)
+}
+
+fn take_section<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<&'a [u8], CheckpointError> {
+    let len = u32::from_le_bytes(take(bytes, pos, 4)?.try_into().expect("len")) as usize;
+    take(bytes, pos, len)
+}
+
+/// Splits a checkpoint file image into its `(preamble, state)` sections,
+/// rejecting bad magic, unknown versions, truncation, and trailing garbage.
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<(&[u8], &[u8]), CheckpointError> {
+    let mut pos = 0usize;
+    if take(bytes, &mut pos, 4)? != CHECKPOINT_MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = u32::from_le_bytes(take(bytes, &mut pos, 4)?.try_into().expect("len"));
+    if version != CHECKPOINT_VERSION {
+        return Err(CheckpointError::BadVersion {
+            found: version,
+            expected: CHECKPOINT_VERSION,
+        });
+    }
+    let preamble = take_section(bytes, &mut pos)?;
+    let state = take_section(bytes, &mut pos)?;
+    if pos != bytes.len() {
+        return Err(CheckpointError::TrailingBytes {
+            remaining: bytes.len() - pos,
+        });
+    }
+    Ok((preamble, state))
+}
+
+/// Atomically writes a checkpoint image: the bytes go to a `.tmp` sibling
+/// first and are renamed over the target, so a SIGKILL mid-write leaves
+/// either the previous checkpoint or none — never a truncated one.
+pub fn write_checkpoint_atomic(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
+    let io = |what: &str, e: std::io::Error| {
+        CheckpointError::Io(format!("{what} {}: {e}", path.display()))
+    };
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = fs::File::create(&tmp)
+            .map_err(|e| CheckpointError::Io(format!("create {}: {e}", tmp.display())))?;
+        f.write_all(bytes).map_err(|e| io("write", e))?;
+        f.sync_all().map_err(|e| io("sync", e))?;
+    }
+    fs::rename(&tmp, path).map_err(|e| io("rename into", e))
+}
+
+/// Reads a checkpoint file image from disk.
+pub fn read_checkpoint_bytes(path: &Path) -> Result<Vec<u8>, CheckpointError> {
+    fs::read(path).map_err(|e| CheckpointError::Io(format!("read {}: {e}", path.display())))
+}
+
+// ---------------------------------------------------------------------------
+// Wire codecs for the simulator state the checkpoint carries.
+// ---------------------------------------------------------------------------
+//
+// The fault components are pure functions of their parameters (splitmix64
+// hashing of round/link/node — there are no RNG cursors to persist), so
+// serializing the parameters plus the round counter captures the *entire*
+// fault state of a run. Restore validates the stored plan against the plan
+// installed in the rebuilt network, catching resumes under the wrong flags.
+
+impl Serialize for LossModel {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("LossModel", 2)?;
+        s.serialize_field("probability", &self.probability)?;
+        s.serialize_field("seed", &self.seed)?;
+        s.end()
+    }
+}
+
+impl WireCodec for LossModel {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(LossModel {
+            probability: r.read_f64()?,
+            seed: r.read_u64()?,
+        })
+    }
+}
+
+impl Serialize for BurstLoss {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("BurstLoss", 3)?;
+        s.serialize_field("period", &self.period)?;
+        s.serialize_field("burst_len", &self.burst_len)?;
+        s.serialize_field("seed", &self.seed)?;
+        s.end()
+    }
+}
+
+impl WireCodec for BurstLoss {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(BurstLoss {
+            period: usize::decode(r)?,
+            burst_len: usize::decode(r)?,
+            seed: r.read_u64()?,
+        })
+    }
+}
+
+impl Serialize for CrashModel {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("CrashModel", 4)?;
+        s.serialize_field("probability", &self.probability)?;
+        s.serialize_field("first_round", &self.first_round)?;
+        s.serialize_field("last_round", &self.last_round)?;
+        s.serialize_field("seed", &self.seed)?;
+        s.end()
+    }
+}
+
+impl WireCodec for CrashModel {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(CrashModel {
+            probability: r.read_f64()?,
+            first_round: usize::decode(r)?,
+            last_round: usize::decode(r)?,
+            seed: r.read_u64()?,
+        })
+    }
+}
+
+impl Serialize for PartitionModel {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("PartitionModel", 4)?;
+        s.serialize_field("fraction", &self.fraction)?;
+        s.serialize_field("first_round", &self.first_round)?;
+        s.serialize_field("last_round", &self.last_round)?;
+        s.serialize_field("seed", &self.seed)?;
+        s.end()
+    }
+}
+
+impl WireCodec for PartitionModel {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(PartitionModel {
+            fraction: r.read_f64()?,
+            first_round: usize::decode(r)?,
+            last_round: usize::decode(r)?,
+            seed: r.read_u64()?,
+        })
+    }
+}
+
+impl Serialize for FaultPlan {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("FaultPlan", 4)?;
+        s.serialize_field("loss", &self.loss)?;
+        s.serialize_field("burst", &self.burst)?;
+        s.serialize_field("crash", &self.crash)?;
+        s.serialize_field("partition", &self.partition)?;
+        s.end()
+    }
+}
+
+impl WireCodec for FaultPlan {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(FaultPlan {
+            loss: Option::decode(r)?,
+            burst: Option::decode(r)?,
+            crash: Option::decode(r)?,
+            partition: Option::decode(r)?,
+        })
+    }
+}
+
+/// Decode-side validation of a fault plan read from disk: the model
+/// constructors enforce these invariants at build time, but a corrupted
+/// checkpoint bypasses the constructors, and e.g. an inverted crash window
+/// would underflow `crash_round`'s span arithmetic.
+pub fn validate_plan(plan: &FaultPlan) -> Result<(), CheckpointError> {
+    let bad = |msg: &str| Err(CheckpointError::Mismatch(msg.to_string()));
+    if let Some(l) = plan.loss {
+        if !(0.0..=1.0).contains(&l.probability) {
+            return bad("loss probability outside [0, 1]");
+        }
+    }
+    if let Some(b) = plan.burst {
+        if b.period < 1 || b.burst_len > b.period {
+            return bad("burst window violates 1 <= period, len <= period");
+        }
+    }
+    if let Some(c) = plan.crash {
+        if !(0.0..=1.0).contains(&c.probability)
+            || c.first_round < 1
+            || c.first_round > c.last_round
+        {
+            return bad("crash model violates p in [0, 1], 1 <= first <= last");
+        }
+    }
+    if let Some(p) = plan.partition {
+        if !(0.0..=1.0).contains(&p.fraction) || p.first_round < 1 || p.first_round > p.last_round {
+            return bad("partition model violates f in [0, 1], 1 <= first <= last");
+        }
+    }
+    Ok(())
+}
+
+impl Serialize for RoundStats {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("RoundStats", 12)?;
+        s.serialize_field("round", &self.round)?;
+        s.serialize_field("messages", &self.messages)?;
+        s.serialize_field("payload_bits", &self.payload_bits)?;
+        s.serialize_field("wire_bits", &self.wire_bits)?;
+        s.serialize_field("max_message_bits", &self.max_message_bits)?;
+        s.serialize_field("sending_nodes", &self.sending_nodes)?;
+        s.serialize_field("changed_nodes", &self.changed_nodes)?;
+        s.serialize_field("node_updates", &self.node_updates)?;
+        s.serialize_field("dropped_loss", &self.dropped_loss)?;
+        s.serialize_field("dropped_burst", &self.dropped_burst)?;
+        s.serialize_field("dropped_partition", &self.dropped_partition)?;
+        s.serialize_field("crashed_nodes", &self.crashed_nodes)?;
+        s.end()
+    }
+}
+
+impl WireCodec for RoundStats {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(RoundStats {
+            round: usize::decode(r)?,
+            messages: usize::decode(r)?,
+            payload_bits: usize::decode(r)?,
+            wire_bits: usize::decode(r)?,
+            max_message_bits: usize::decode(r)?,
+            sending_nodes: usize::decode(r)?,
+            changed_nodes: usize::decode(r)?,
+            node_updates: usize::decode(r)?,
+            dropped_loss: usize::decode(r)?,
+            dropped_burst: usize::decode(r)?,
+            dropped_partition: usize::decode(r)?,
+            crashed_nodes: usize::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::encode_payload;
+
+    fn round_trip<T: WireCodec + PartialEq + std::fmt::Debug>(value: &T) {
+        let bytes = encode_payload(value);
+        let mut r = WireReader::new(&bytes);
+        let back = T::decode(&mut r).expect("decode");
+        assert_eq!(r.remaining(), 0, "decode must consume every byte");
+        assert_eq!(&back, value);
+    }
+
+    #[test]
+    fn fault_models_round_trip() {
+        round_trip(&LossModel::new(0.25, 77));
+        round_trip(&BurstLoss::new(6, 2, 0xB0));
+        round_trip(&CrashModel::new(0.1, 2, 9, 0xC0));
+        round_trip(&PartitionModel::new(0.3, 4, 8, 0xD0));
+        round_trip(&FaultPlan::none());
+        round_trip(
+            &FaultPlan::from_loss(LossModel::new(0.5, 7))
+                .with_burst(BurstLoss::new(4, 1, 8))
+                .with_crash(CrashModel::new(0.2, 2, 9, 3))
+                .with_partition(PartitionModel::new(0.3, 4, 7, 4)),
+        );
+    }
+
+    #[test]
+    fn round_stats_round_trip() {
+        round_trip(&RoundStats {
+            round: 3,
+            messages: 14,
+            payload_bits: 896,
+            wire_bits: 1024,
+            max_message_bits: 128,
+            sending_nodes: 5,
+            changed_nodes: 4,
+            node_updates: 6,
+            dropped_loss: 1,
+            dropped_burst: 2,
+            dropped_partition: 3,
+            crashed_nodes: 1,
+        });
+        round_trip(&RoundStats::default());
+    }
+
+    #[test]
+    fn container_round_trips() {
+        let image = encode_checkpoint(b"preamble", b"state bytes");
+        let (p, s) = decode_checkpoint(&image).expect("decode");
+        assert_eq!(p, b"preamble");
+        assert_eq!(s, b"state bytes");
+        // Empty sections are legal.
+        let empty = encode_checkpoint(b"", b"");
+        let (p, s) = decode_checkpoint(&empty).expect("decode");
+        assert!(p.is_empty() && s.is_empty());
+    }
+
+    #[test]
+    fn container_rejects_the_four_corruption_classes() {
+        let image = encode_checkpoint(b"pre", b"state");
+
+        // 1. Truncation at every possible cut point.
+        for cut in 0..image.len() {
+            let err = decode_checkpoint(&image[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CheckpointError::Truncated | CheckpointError::BadMagic),
+                "cut at {cut}: {err:?}"
+            );
+        }
+
+        // 2. Trailing garbage.
+        let mut trailing = image.clone();
+        trailing.push(0xAA);
+        assert_eq!(
+            decode_checkpoint(&trailing),
+            Err(CheckpointError::TrailingBytes { remaining: 1 })
+        );
+
+        // 3. Bad magic.
+        let mut bad_magic = image.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(
+            decode_checkpoint(&bad_magic),
+            Err(CheckpointError::BadMagic)
+        );
+        // The graph loader's magic is not a checkpoint's.
+        let mut dkcb = image.clone();
+        dkcb[..4].copy_from_slice(b"DKCB");
+        assert_eq!(decode_checkpoint(&dkcb), Err(CheckpointError::BadMagic));
+
+        // 4. Wrong version.
+        let mut bad_version = image;
+        bad_version[4..8].copy_from_slice(&(CHECKPOINT_VERSION + 1).to_le_bytes());
+        assert_eq!(
+            decode_checkpoint(&bad_version),
+            Err(CheckpointError::BadVersion {
+                found: CHECKPOINT_VERSION + 1,
+                expected: CHECKPOINT_VERSION,
+            })
+        );
+    }
+
+    #[test]
+    fn plan_validation_rejects_constructor_bypasses() {
+        assert!(validate_plan(&FaultPlan::none()).is_ok());
+        let inverted_window = FaultPlan {
+            crash: Some(CrashModel {
+                probability: 0.5,
+                first_round: 9,
+                last_round: 2,
+                seed: 1,
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(matches!(
+            validate_plan(&inverted_window),
+            Err(CheckpointError::Mismatch(_))
+        ));
+        let bad_burst = FaultPlan {
+            burst: Some(BurstLoss {
+                period: 0,
+                burst_len: 0,
+                seed: 1,
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(validate_plan(&bad_burst).is_err());
+        let bad_loss = FaultPlan {
+            loss: Some(LossModel {
+                probability: 1.5,
+                seed: 1,
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(validate_plan(&bad_loss).is_err());
+        let bad_partition = FaultPlan {
+            partition: Some(PartitionModel {
+                fraction: -0.1,
+                first_round: 1,
+                last_round: 2,
+                seed: 1,
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(validate_plan(&bad_partition).is_err());
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_reads_back() {
+        let dir = std::env::temp_dir().join(format!("dkc-ckpt-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.dkck");
+        let first = encode_checkpoint(b"a", b"1");
+        write_checkpoint_atomic(&path, &first).unwrap();
+        assert_eq!(read_checkpoint_bytes(&path).unwrap(), first);
+        let second = encode_checkpoint(b"b", b"22");
+        write_checkpoint_atomic(&path, &second).unwrap();
+        assert_eq!(read_checkpoint_bytes(&path).unwrap(), second);
+        // No temp file is left behind.
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!std::path::Path::new(&tmp).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

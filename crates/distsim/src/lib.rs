@@ -22,7 +22,10 @@
 //! * [`message::MessageSize`] — payload size accounting used by the metrics.
 //! * [`faults`] — the deterministic [`FaultPlan`] subsystem: composable
 //!   i.i.d. loss, burst loss, crash-stop, and partition fault injection.
+//! * [`checkpoint`] — versioned snapshot/restore of mid-run executor state,
+//!   so a run killed at any round resumes byte-identically.
 
+pub mod checkpoint;
 pub mod congest;
 pub mod faults;
 mod mailbox;
@@ -32,6 +35,7 @@ pub mod network;
 pub mod program;
 pub mod wire;
 
+pub use checkpoint::{CheckpointError, SnapshotState};
 pub use congest::congest_budget_bits;
 pub use faults::{BurstLoss, CrashModel, DropCause, FaultPlan, LossModel, PartitionModel};
 pub use message::MessageSize;

@@ -67,6 +67,14 @@ impl RunMetrics {
         RunMetrics::default()
     }
 
+    /// Rebuilds a metrics accumulator from previously recorded state — the
+    /// restore half of checkpoint/resume (see [`crate::checkpoint`]). The
+    /// counters in `rounds` are trusted as-is; the caller is responsible for
+    /// validating them against the round counter.
+    pub fn from_parts(rounds: Vec<RoundStats>, elapsed: Duration) -> Self {
+        RunMetrics { rounds, elapsed }
+    }
+
     /// Records one round.
     pub fn push(&mut self, stats: RoundStats) {
         self.rounds.push(stats);

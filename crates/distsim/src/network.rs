@@ -40,13 +40,17 @@
 //! per-round work executed is reported as [`RoundStats::node_updates`], a
 //! deterministic counter suitable for CI gating.
 
+use crate::checkpoint::{self, CheckpointError, SnapshotState};
 use crate::faults::{DropCause, FaultPlan, LossModel};
 use crate::message::MessageSize;
 use crate::metrics::{RoundStats, RunMetrics};
 use crate::program::{Delivery, NodeContext, NodeProgram, Outgoing};
+use crate::wire::{WireCodec, WireReader, WireWriter};
 use dkc_graph::{CsrGraph, NodeId, WeightedGraph};
 use rayon::prelude::*;
-use std::time::Instant;
+use serde::ser::Serialize;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// How node programs are executed within a round.
 ///
@@ -246,6 +250,12 @@ pub struct Network<P: NodeProgram> {
     touched_stamp: Vec<u64>,
     /// Frontier senders with loss-dropped copies (they re-send next round).
     resend: Vec<u32>,
+    /// Checkpoint interval in rounds for [`Network::run_with_checkpoints`]
+    /// (0 = never; see [`NetworkBuilder::checkpoint_every`]).
+    checkpoint_every: usize,
+    /// Checkpoint destination path + embedder preamble (see
+    /// [`Network::checkpoint_to`]); `None` disables checkpoint writing.
+    checkpoint_sink: Option<(PathBuf, Vec<u8>)>,
 }
 
 /// Measures one message's on-the-wire frame size in bits, flagging (in debug
@@ -393,6 +403,7 @@ pub struct NetworkBuilder {
     mailbox_capacity: usize,
     max_frame_bytes: usize,
     wire_accounting: bool,
+    checkpoint_every: usize,
 }
 
 impl Default for NetworkBuilder {
@@ -404,6 +415,7 @@ impl Default for NetworkBuilder {
             mailbox_capacity: Self::DEFAULT_MAILBOX_CAPACITY,
             max_frame_bytes: Self::DEFAULT_MAX_FRAME_BYTES,
             wire_accounting: true,
+            checkpoint_every: 0,
         }
     }
 }
@@ -471,6 +483,16 @@ impl NetworkBuilder {
         self
     }
 
+    /// Checkpoint interval in rounds for [`Network::run_with_checkpoints`]
+    /// (0 = never checkpoint, the default). The checkpoint destination and
+    /// run preamble are configured per network via [`Network::checkpoint_to`]
+    /// — keeping the interval here lets one builder stamp out many runs
+    /// writing to different paths.
+    pub fn checkpoint_every(mut self, rounds: usize) -> Self {
+        self.checkpoint_every = rounds;
+        self
+    }
+
     /// Builds a network over `graph`, instantiating one program per node via
     /// `factory` (which receives the node's local view at round 0).
     ///
@@ -504,6 +526,7 @@ impl NetworkBuilder {
         net.mailbox_threads = self.threads;
         net.mailbox_capacity = self.mailbox_capacity;
         net.max_frame_bytes = self.max_frame_bytes;
+        net.checkpoint_every = self.checkpoint_every;
         net
     }
 }
@@ -574,6 +597,8 @@ impl<P: NodeProgram> Network<P> {
             touch_list: Vec::new(),
             touched_stamp: Vec::new(),
             resend: Vec::new(),
+            checkpoint_every: 0,
+            checkpoint_sink: None,
         }
     }
 
@@ -1178,6 +1203,176 @@ impl<P: NodeProgram> Network<P> {
             }
         }
         max_rounds
+    }
+
+    /// Configures the checkpoint destination for
+    /// [`Network::run_with_checkpoints`]: the file path the snapshots are
+    /// (atomically) written to, and the embedder-defined preamble stored
+    /// ahead of the executor state (run parameters, graph identity, ...; see
+    /// [`crate::checkpoint`]).
+    pub fn checkpoint_to(&mut self, path: impl Into<PathBuf>, preamble: Vec<u8>) {
+        self.checkpoint_sink = Some((path.into(), preamble));
+    }
+}
+
+/// Checkpoint/restore of mid-run executor state (see [`crate::checkpoint`]
+/// for the container format). Available for programs that implement
+/// [`SnapshotState`].
+impl<P: NodeProgram + SnapshotState> Network<P> {
+    /// Serializes the complete resumable state of this network — round
+    /// counter, sparse frontier, metrics, decode-fault attribution, the
+    /// installed fault plan (its splitmix64 decisions are pure functions of
+    /// the parameters and round, so parameters + round counter *are* the
+    /// full fault state), and every node program's [`SnapshotState`] payload.
+    pub fn save_state(&self) -> Result<Vec<u8>, CheckpointError> {
+        let mut w = WireWriter::new();
+        let n = self.cells.len();
+        (n as u64).serialize(&mut w)?;
+        (self.graph.num_arcs() as u64).serialize(&mut w)?;
+        self.faults.unwrap_or_default().serialize(&mut w)?;
+        self.mode.is_sparse().serialize(&mut w)?;
+        (self.round as u64).serialize(&mut w)?;
+        self.frontier.serialize(&mut w)?;
+        self.decode_faults.serialize(&mut w)?;
+        (self.metrics.elapsed().as_nanos() as u64).serialize(&mut w)?;
+        self.metrics.rounds().serialize(&mut w)?;
+        for cell in &self.cells {
+            cell.program.save_state(&mut w)?;
+        }
+        Ok(w.into_bytes())
+    }
+
+    /// Restores executor state saved by [`Network::save_state`] into this
+    /// freshly built network (same graph, same fault plan, same mode family —
+    /// all validated). On success the network continues exactly where the
+    /// checkpointed run left off, byte-identical on every deterministic
+    /// counter; on error nothing observable has run, but node-program state
+    /// may be partially overwritten — discard the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rounds have already executed on this network.
+    pub fn restore_state(&mut self, state: &[u8]) -> Result<(), CheckpointError> {
+        assert_eq!(self.round, 0, "restore requires a freshly built network");
+        let mismatch = |msg: String| Err(CheckpointError::Mismatch(msg));
+        let n = self.cells.len();
+        let mut r = WireReader::new(state);
+        let saved_n = r.read_u64()? as usize;
+        if saved_n != n {
+            return mismatch(format!("checkpoint has {saved_n} nodes, this run has {n}"));
+        }
+        let saved_arcs = r.read_u64()? as usize;
+        if saved_arcs != self.graph.num_arcs() {
+            return mismatch(format!(
+                "checkpoint graph has {saved_arcs} arcs, this run has {}",
+                self.graph.num_arcs()
+            ));
+        }
+        let plan = FaultPlan::decode(&mut r)?;
+        checkpoint::validate_plan(&plan)?;
+        if plan != self.faults.unwrap_or_default() {
+            return mismatch("fault plan differs from the checkpointed run".to_string());
+        }
+        let sparse = r.read_bool()?;
+        if sparse != self.mode.is_sparse() {
+            return mismatch(format!(
+                "checkpoint was written under a {} mode, resuming under {:?}",
+                if sparse { "sparse" } else { "dense" },
+                self.mode
+            ));
+        }
+        let round = r.read_u64()? as usize;
+        let frontier = Vec::<u32>::decode(&mut r)?;
+        if !frontier.windows(2).all(|w| w[0] < w[1])
+            || frontier.last().is_some_and(|&v| v as usize >= n)
+        {
+            return mismatch("frontier is not a strictly ascending node list".to_string());
+        }
+        let decode_faults = Vec::<u32>::decode(&mut r)?;
+        if !decode_faults.is_empty() && decode_faults.len() != n {
+            return mismatch("decode-fault attribution has the wrong node count".to_string());
+        }
+        let elapsed = Duration::from_nanos(r.read_u64()?);
+        let rounds = Vec::<RoundStats>::decode(&mut r)?;
+        if rounds.len() != round {
+            return mismatch(format!(
+                "round counter {round} disagrees with {} recorded rounds",
+                rounds.len()
+            ));
+        }
+        if rounds.iter().enumerate().any(|(i, s)| s.round != i + 1) {
+            return mismatch("recorded round numbers are not 1..=rounds".to_string());
+        }
+        for cell in &mut self.cells {
+            cell.program.load_state(&mut r)?;
+        }
+        if r.remaining() > 0 {
+            return Err(CheckpointError::TrailingBytes {
+                remaining: r.remaining(),
+            });
+        }
+        self.round = round;
+        self.metrics = RunMetrics::from_parts(rounds, elapsed);
+        self.frontier = frontier;
+        self.decode_faults = decode_faults;
+        if self.mode.is_sparse() && round > 0 {
+            // A resumed sparse run never executes the round-1 initialization
+            // branch, so size its lazily allocated state here. Freshly zeroed
+            // stamp arrays are safe: stamps compare against the (nonzero)
+            // current round.
+            self.touched_stamp = vec![0; n];
+            if self.outboxes.len() != n {
+                self.outboxes.clear();
+                self.outboxes
+                    .resize(n, (Outgoing::Silent, SendAccount::default()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes a complete checkpoint image for the current state to `path`
+    /// (atomically: temp file + rename, so a kill mid-write can never leave a
+    /// truncated checkpoint), with `preamble` as the embedder section.
+    pub fn write_checkpoint(&self, path: &Path, preamble: &[u8]) -> Result<(), CheckpointError> {
+        let state = self.save_state()?;
+        let image = checkpoint::encode_checkpoint(preamble, &state);
+        checkpoint::write_checkpoint_atomic(path, &image)
+    }
+
+    /// Runs exactly `rounds` rounds like [`Network::run`], writing a
+    /// checkpoint (see [`Network::checkpoint_to`]) every
+    /// [`NetworkBuilder::checkpoint_every`] rounds — counted in *absolute*
+    /// round numbers, so a resumed run checkpoints at the same boundaries as
+    /// an uninterrupted one. With no interval or no sink configured this is
+    /// plain [`Network::run`]. The mailbox executor runs in chunks between
+    /// checkpoint boundaries; its shard threads are quiesced at every
+    /// boundary, so the snapshot observes a plain synchronous barrier.
+    pub fn run_with_checkpoints(&mut self, rounds: usize) -> Result<(), CheckpointError> {
+        let every = self.checkpoint_every;
+        if every == 0 || self.checkpoint_sink.is_none() {
+            self.run(rounds);
+            return Ok(());
+        }
+        let target = self.round + rounds;
+        while self.round < target {
+            let next_boundary = (self.round / every + 1) * every;
+            let stop = next_boundary.min(target);
+            let step = stop - self.round;
+            if self.mode == ExecutionMode::Mailbox {
+                crate::mailbox::run_mailbox(self, step, false);
+            } else {
+                for _ in 0..step {
+                    self.run_round();
+                }
+            }
+            if self.round.is_multiple_of(every) {
+                let (path, preamble) = self.checkpoint_sink.as_ref().expect("sink checked");
+                let state = self.save_state()?;
+                let image = checkpoint::encode_checkpoint(preamble, &state);
+                checkpoint::write_checkpoint_atomic(path, &image)?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -2077,5 +2272,159 @@ mod tests {
         let g = complete_graph(3);
         let csr = CsrGraph::from(&g);
         let _ = Network::from_parts(csr, vec![MinIdFlood { best: 0 }]);
+    }
+
+    // -----------------------------------------------------------------------
+    // Checkpoint/restore.
+    // -----------------------------------------------------------------------
+
+    impl SnapshotState for MinIdFlood {
+        fn save_state(&self, w: &mut WireWriter) -> Result<(), crate::wire::WireError> {
+            self.best.serialize(w)
+        }
+
+        fn load_state(&mut self, r: &mut WireReader<'_>) -> Result<(), CheckpointError> {
+            self.best = r.read_u32()?;
+            Ok(())
+        }
+    }
+
+    fn checkpoint_plan() -> FaultPlan {
+        FaultPlan::from_loss(LossModel::new(0.3, 7))
+            .with_burst(crate::faults::BurstLoss::new(5, 2, 11))
+            .with_crash(crate::faults::CrashModel::new(0.2, 2, 8, 13))
+            .with_partition(crate::faults::PartitionModel::new(0.3, 3, 6, 17))
+    }
+
+    /// The tentpole guarantee at the executor level: a run snapshotted after
+    /// *any* round and restored into a fresh network finishes byte-identical
+    /// — final values, per-round counters, the lot — to an uninterrupted run,
+    /// in every execution mode, under a full fault plan.
+    #[test]
+    fn save_restore_is_byte_identical_at_every_round() {
+        let g = path_graph(14);
+        let plan = checkpoint_plan();
+        let total = 12usize;
+        for mode in ALL_MODES {
+            let mut reference = min_id_faulty(&g, mode, plan);
+            reference.run(total);
+            for cut in 0..=total {
+                let mut first = min_id_faulty(&g, mode, plan);
+                first.run(cut);
+                let state = first.save_state().expect("save");
+                drop(first); // the "killed" process
+
+                let mut resumed = min_id_faulty(&g, mode, plan);
+                resumed.restore_state(&state).expect("restore");
+                assert_eq!(resumed.round(), cut);
+                resumed.run(total - cut);
+
+                for v in g.nodes() {
+                    assert_eq!(
+                        reference.program(v).best,
+                        resumed.program(v).best,
+                        "{mode:?} cut at {cut}, node {v}"
+                    );
+                }
+                assert_eq!(
+                    reference.metrics().rounds(),
+                    resumed.metrics().rounds(),
+                    "{mode:?} cut at {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_with_checkpoints_writes_at_boundaries_and_resumes_from_disk() {
+        let dir = std::env::temp_dir().join(format!("dkc-net-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.dkck");
+        let g = path_graph(10);
+        let plan = checkpoint_plan();
+
+        let mut reference = min_id_faulty(&g, ExecutionMode::SparseSequential, plan);
+        reference.run(9);
+
+        let builder = NetworkBuilder::new()
+            .mode(ExecutionMode::SparseSequential)
+            .faults(plan)
+            .checkpoint_every(2);
+        let mut interrupted = builder.build(&g, |ctx| MinIdFlood { best: ctx.node().0 });
+        interrupted.checkpoint_to(&path, b"run-params".to_vec());
+        // "Killed" after 5 rounds: the latest checkpoint on disk is round 4.
+        interrupted.run_with_checkpoints(5).unwrap();
+        drop(interrupted);
+
+        let image = checkpoint::read_checkpoint_bytes(&path).unwrap();
+        let (preamble, state) = checkpoint::decode_checkpoint(&image).unwrap();
+        assert_eq!(preamble, b"run-params");
+        let mut resumed = builder.build(&g, |ctx| MinIdFlood { best: ctx.node().0 });
+        resumed.checkpoint_to(&path, b"run-params".to_vec());
+        resumed.restore_state(state).unwrap();
+        assert_eq!(
+            resumed.round(),
+            4,
+            "latest checkpoint is the round-4 boundary"
+        );
+        resumed.run_with_checkpoints(9 - 4).unwrap();
+
+        for v in g.nodes() {
+            assert_eq!(reference.program(v).best, resumed.program(v).best);
+        }
+        assert_eq!(reference.metrics().rounds(), resumed.metrics().rounds());
+
+        // The resumed run checkpointed at absolute boundaries: the file now
+        // holds the round-8 snapshot (9 is not a boundary).
+        let image = checkpoint::read_checkpoint_bytes(&path).unwrap();
+        let (_, state) = checkpoint::decode_checkpoint(&image).unwrap();
+        let mut last = builder.build(&g, |ctx| MinIdFlood { best: ctx.node().0 });
+        last.restore_state(state).unwrap();
+        assert_eq!(last.round(), 8);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_runs() {
+        let g = path_graph(8);
+        let plan = checkpoint_plan();
+        let mut src = min_id_faulty(&g, ExecutionMode::Sequential, plan);
+        src.run(3);
+        let state = src.save_state().unwrap();
+
+        // Different node count.
+        let other = path_graph(9);
+        let err = min_id_faulty(&other, ExecutionMode::Sequential, plan)
+            .restore_state(&state)
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+
+        // Different fault plan.
+        let err = min_id_faulty(&g, ExecutionMode::Sequential, FaultPlan::none())
+            .restore_state(&state)
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+
+        // Wrong mode family (dense checkpoint into a sparse executor).
+        let err = min_id_faulty(&g, ExecutionMode::SparseSequential, plan)
+            .restore_state(&state)
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+        // ... but any mode of the same family accepts it.
+        for mode in [ExecutionMode::Parallel, ExecutionMode::Mailbox] {
+            min_id_faulty(&g, mode, plan).restore_state(&state).unwrap();
+        }
+
+        // Truncated and trailing-garbage state payloads.
+        let err = min_id_faulty(&g, ExecutionMode::Sequential, plan)
+            .restore_state(&state[..state.len() - 1])
+            .unwrap_err();
+        assert_eq!(err, CheckpointError::Truncated);
+        let mut trailing = state.clone();
+        trailing.push(0);
+        let err = min_id_faulty(&g, ExecutionMode::Sequential, plan)
+            .restore_state(&trailing)
+            .unwrap_err();
+        assert_eq!(err, CheckpointError::TrailingBytes { remaining: 1 });
     }
 }

@@ -52,28 +52,61 @@ COUNTER_SINCE = {"wire_bits": 4, "node_updates": 2, "dropped_loss": 3,
 
 
 def load(path):
+    """Parses a report, collecting EVERY malformed-record problem (missing
+    identity fields, missing mandatory counters) into one failing message
+    instead of dying on the first — a doctored or hand-edited report gets a
+    complete per-counter diagnosis in a single run."""
     with open(path) as fh:
-        doc = json.load(fh)
+        try:
+            doc = json.load(fh)
+        except json.JSONDecodeError as e:
+            sys.exit(f"check_bench: {path}: invalid JSON: {e}")
     version = doc.get("schema_version")
     if version not in (1, 2, 3, 4):
         sys.exit(f"check_bench: {path}: unsupported schema_version {version!r}")
+    recs = doc.get("records")
+    if not isinstance(recs, list):
+        sys.exit(f"check_bench: {path}: missing or non-array \"records\" field")
     records = {}
-    for rec in doc["records"]:
+    problems = []
+    for i, rec in enumerate(recs):
+        if not isinstance(rec, dict):
+            problems.append(f"record {i} is not an object")
+            continue
+        missing_id = [k for k in ("experiment", "workload", "scale")
+                      if k not in rec]
+        if missing_id:
+            problems.append(f"record {i} is missing identity field(s) "
+                            + ", ".join(repr(k) for k in missing_id))
+            continue
         key = (rec["experiment"], rec["workload"], rec["scale"])
         if key in records:
-            sys.exit(f"check_bench: {path}: duplicate record {key}")
+            problems.append(f"duplicate record {key}")
+            continue
         counters = []
+        complete = True
         for c in COUNTERS:
             # A counter is optional only in schema versions that predate it;
-            # any other missing counter is malformed.
-            if version < COUNTER_SINCE.get(c, 1):
+            # any other missing counter is malformed — and every one of them
+            # is reported, not just the first.
+            since = COUNTER_SINCE.get(c, 1)
+            if version < since:
                 counters.append(rec.get(c, 0))
             elif c not in rec:
-                sys.exit(f"check_bench: {path}: record {key} is missing "
-                         f"counter {c!r} (schema v{version})")
+                problems.append(f"record {key} is missing counter {c!r} "
+                                f"(mandatory since schema v{since}; this "
+                                f"report is v{version})")
+                complete = False
             else:
                 counters.append(rec[c])
-        records[key] = tuple(counters)
+        if complete:
+            records[key] = tuple(counters)
+    if problems:
+        print(f"check_bench: {path}: {len(problems)} malformed record "
+              f"problem(s):")
+        for p in problems:
+            print(f"  - {p}")
+        sys.exit(1)
     return records
 
 

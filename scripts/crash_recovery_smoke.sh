@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# CI crash-recovery smoke: prove the kill-and-resume guarantee end to end
+# with a REAL SIGKILL, not a simulated cut.
+#
+#   scripts/crash_recovery_smoke.sh
+#
+# 1. Runs `dkc coreness` on the web-tiny fixture uninterrupted and records
+#    its benchmark report (the reference).
+# 2. Starts the same run with `--checkpoint ... --checkpoint-every 2` in the
+#    background, waits for the first checkpoint to appear, and SIGKILLs the
+#    process mid-run (asserting the run did NOT finish: its report file must
+#    not exist).
+# 3. Resumes from the checkpoint with `--resume` and diffs the resumed
+#    report against the reference via scripts/check_bench.sh: every
+#    deterministic counter (rounds, messages, payload/wire bits, node
+#    updates, all four fault-drop counters) must be byte-identical.
+#
+# Uses the release binary directly — NOT `cargo run` — so the SIGKILL hits
+# the simulator process itself instead of orphaning it behind cargo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DKC=target/release/dkc
+if [[ ! -x "$DKC" ]]; then
+    echo "crash_recovery_smoke: $DKC not built (run: cargo build --release)" >&2
+    exit 2
+fi
+
+fixture=bench/fixtures/web-tiny.edges
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+ck="$workdir/run.dkck"
+ref="$workdir/reference.json"
+resumed="$workdir/resumed.json"
+interrupted="$workdir/interrupted.json"
+
+# Enough rounds that thousands of fsynced checkpoint writes keep the
+# background run alive well past the kill; the run parameters (rounds,
+# fault plan) are recorded in the checkpoint and recovered on resume.
+flags=(--rounds 20000 --loss 0.2 --fault-seed 7)
+
+echo "crash_recovery_smoke: uninterrupted reference run"
+"$DKC" coreness "$fixture" "${flags[@]}" --json "$ref" > /dev/null
+
+echo "crash_recovery_smoke: starting checkpointed run (SIGKILL incoming)"
+"$DKC" coreness "$fixture" "${flags[@]}" \
+    --checkpoint "$ck" --checkpoint-every 2 --json "$interrupted" > /dev/null &
+pid=$!
+
+# Wait for the first atomic checkpoint to land, then kill without mercy.
+for _ in $(seq 1 400); do
+    [[ -f "$ck" ]] && break
+    sleep 0.025
+done
+if [[ ! -f "$ck" ]]; then
+    kill -9 "$pid" 2>/dev/null || true
+    echo "crash_recovery_smoke: no checkpoint appeared within 10s" >&2
+    exit 1
+fi
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+
+if [[ -f "$interrupted" ]]; then
+    echo "crash_recovery_smoke: the run finished before SIGKILL landed —" \
+         "raise --rounds so the kill interrupts it" >&2
+    exit 1
+fi
+echo "crash_recovery_smoke: killed pid $pid mid-run; checkpoint survives" \
+     "($(wc -c < "$ck") bytes)"
+
+out=$("$DKC" coreness "$fixture" --resume "$ck" --json "$resumed")
+if ! grep -q "resumed from checkpoint at round" <<<"$out"; then
+    echo "crash_recovery_smoke: resume did not report its resume round:" >&2
+    echo "$out" >&2
+    exit 1
+fi
+grep "resumed from checkpoint at round" <<<"$out"
+
+echo "crash_recovery_smoke: diffing deterministic counters (resumed vs reference)"
+scripts/check_bench.sh "$resumed" "$ref"
+echo "crash_recovery_smoke: OK — killed run resumed byte-identically"

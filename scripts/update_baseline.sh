@@ -1,47 +1,83 @@
 #!/usr/bin/env bash
-# Regenerate the committed CI baselines after an INTENTIONAL change to the
-# deterministic counters (protocol change, new experiment, new workload):
+# Regenerate ALL committed CI baselines in one invocation after an
+# INTENTIONAL change to the deterministic counters (protocol change, new
+# experiment, new workload):
 #
 #   scripts/update_baseline.sh    # rewrites bench/baselines/{tiny,ingest-tiny,frontier-tiny,faults-tiny}.json
 #
-# The machine-dependent timing fields (wall_clock_ms, messages_per_sec) are
-# zeroed before committing — scripts/check_bench.sh ignores them anyway, and
-# zeroing keeps regeneration diffs limited to the counters that actually
-# changed.
+# Each report is generated to a temporary file and VERIFIED to parse as the
+# current report schema (v4, with every mandatory counter present) before it
+# replaces the committed baseline — a producer bug can never clobber a good
+# baseline with a malformed one. The machine-dependent timing fields
+# (wall_clock_ms, messages_per_sec) are zeroed before committing —
+# scripts/check_bench.sh ignores them anyway, and zeroing keeps regeneration
+# diffs limited to the counters that actually changed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-zero_timings() {
+# verify_and_zero <report.json>: schema-v4 validation + timing zeroing in one
+# pass; exits non-zero (leaving the committed baseline untouched) on any
+# missing mandatory counter or header field.
+verify_and_zero() {
     python3 - "$1" <<'PY'
 import json
 import sys
 
 path = sys.argv[1]
+COUNTERS = ("rounds", "total_messages", "payload_bits", "max_message_bits",
+            "wire_bits", "node_updates", "dropped_loss", "dropped_burst",
+            "dropped_partition", "crashed_nodes")
 with open(path) as fh:
-    doc = json.load(fh)
-for rec in doc["records"]:
+    try:
+        doc = json.load(fh)
+    except json.JSONDecodeError as e:
+        sys.exit(f"update_baseline: {path}: invalid JSON: {e}")
+version = doc.get("schema_version")
+if version != 4:
+    sys.exit(f"update_baseline: {path}: expected schema_version 4, "
+             f"got {version!r} — refusing to install as a baseline")
+for field in ("suite", "scale"):
+    if not isinstance(doc.get(field), str) or not doc[field]:
+        sys.exit(f"update_baseline: {path}: missing header field {field!r}")
+recs = doc.get("records")
+if not isinstance(recs, list) or not recs:
+    sys.exit(f"update_baseline: {path}: missing or empty \"records\"")
+problems = []
+for i, rec in enumerate(recs):
+    for k in ("experiment", "workload", "scale"):
+        if k not in rec:
+            problems.append(f"record {i}: missing identity field {k!r}")
+    for c in COUNTERS:
+        if c not in rec:
+            problems.append(f"record {i}: missing counter {c!r}")
     rec["wall_clock_ms"] = 0.0
     rec["messages_per_sec"] = 0.0
+if problems:
+    for p in problems:
+        print(f"update_baseline: {path}: {p}", file=sys.stderr)
+    sys.exit(1)
 with open(path, "w") as fh:
     json.dump(doc, fh, indent=2)
     fh.write("\n")
-print(f"zeroed timing fields in {len(doc['records'])} records; "
-      f"review and commit {path}")
+print(f"update_baseline: verified schema v4 and zeroed timings in "
+      f"{len(recs)} records")
 PY
 }
 
-baseline="bench/baselines/tiny.json"
-cargo run --release -p dkc-bench --bin exp_all -- --scale tiny --json "$baseline"
-zero_timings "$baseline"
+# (producer binary, committed baseline) pairs — one loop regenerates all four.
+pairs=(
+    "exp_all      bench/baselines/tiny.json"
+    "exp_ingest   bench/baselines/ingest-tiny.json"
+    "exp_frontier bench/baselines/frontier-tiny.json"
+    "exp_faults   bench/baselines/faults-tiny.json"
+)
 
-ingest_baseline="bench/baselines/ingest-tiny.json"
-cargo run --release -p dkc-bench --bin exp_ingest -- --scale tiny --json "$ingest_baseline"
-zero_timings "$ingest_baseline"
-
-frontier_baseline="bench/baselines/frontier-tiny.json"
-cargo run --release -p dkc-bench --bin exp_frontier -- --scale tiny --json "$frontier_baseline"
-zero_timings "$frontier_baseline"
-
-faults_baseline="bench/baselines/faults-tiny.json"
-cargo run --release -p dkc-bench --bin exp_faults -- --scale tiny --json "$faults_baseline"
-zero_timings "$faults_baseline"
+for pair in "${pairs[@]}"; do
+    read -r bin baseline <<<"$pair"
+    tmp="${baseline}.tmp"
+    echo "update_baseline: regenerating ${baseline} via ${bin}"
+    cargo run --release -p dkc-bench --bin "$bin" -- --scale tiny --json "$tmp"
+    verify_and_zero "$tmp"
+    mv "$tmp" "$baseline"
+    echo "update_baseline: installed ${baseline}; review and commit the diff"
+done
