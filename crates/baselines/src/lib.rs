@@ -18,6 +18,8 @@
 //!   two-phase distributed scheme that achieves `2(2+ε)` given a density
 //!   estimate (the prior art the paper improves on).
 
+#![deny(deprecated)]
+
 pub mod coreness;
 pub mod densest;
 pub mod montresor;

@@ -3,6 +3,8 @@
 //! Pass `--scale tiny` for a fast smoke run of the whole suite, and
 //! `--json <path>` to aggregate every experiment's records into one report
 //! (this is what CI's perf-smoke job diffs against the committed baseline).
+
+#![deny(deprecated)]
 use dkc_bench::experiments::{self, fig1_sizes, lower_bound_runs};
 use dkc_bench::{ExpArgs, Report};
 

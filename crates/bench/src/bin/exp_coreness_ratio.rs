@@ -1,4 +1,6 @@
 //! E2: coreness approximation ratio vs rounds (Theorem I.1).
+
+#![deny(deprecated)]
 use dkc_bench::{ExpArgs, Report};
 
 fn main() {

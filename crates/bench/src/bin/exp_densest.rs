@@ -1,4 +1,6 @@
 //! E5: weak densest subset protocol (Theorem I.3).
+
+#![deny(deprecated)]
 use dkc_bench::{ExpArgs, Report};
 
 fn main() {

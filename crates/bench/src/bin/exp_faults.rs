@@ -8,6 +8,8 @@
 //! ```sh
 //! exp_faults --scale tiny --crash 0.3:2:8 --loss 0.1
 //! ```
+
+#![deny(deprecated)]
 use dkc_bench::{ExpArgs, Report};
 
 fn main() {

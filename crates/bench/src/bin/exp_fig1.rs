@@ -1,4 +1,6 @@
 //! E1: Figure I.1 gadgets — the factor-2 lower bound.
+
+#![deny(deprecated)]
 use dkc_bench::experiments::fig1_sizes;
 use dkc_bench::{ExpArgs, Report};
 

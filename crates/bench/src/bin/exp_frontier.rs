@@ -1,6 +1,8 @@
 //! E12: delta-driven sparse round execution — dense vs sparse-frontier
 //! compact elimination on long-convergence-tail workloads, gated in CI on the
 //! deterministic `node_updates` counters (see `bench/baselines/frontier-tiny.json`).
+
+#![deny(deprecated)]
 use dkc_bench::{ExpArgs, Report};
 
 fn main() {

@@ -1,6 +1,8 @@
 //! E11: streaming dataset ingestion — per-format file size, parse
 //! wall-clock, and edge throughput on sparse-id workloads, with
 //! deterministic counters for the CI baseline gate.
+
+#![deny(deprecated)]
 use dkc_bench::{ExpArgs, Report};
 
 fn main() {

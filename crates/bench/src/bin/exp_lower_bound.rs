@@ -1,4 +1,6 @@
 //! E6: the Lemma III.13 lower-bound construction.
+
+#![deny(deprecated)]
 use dkc_bench::experiments::lower_bound_runs;
 use dkc_bench::{ExpArgs, Report};
 

@@ -1,4 +1,6 @@
 //! E7: CONGEST message sizes under (1+lambda)-quantization.
+
+#![deny(deprecated)]
 use dkc_bench::{ExpArgs, Report};
 
 fn main() {

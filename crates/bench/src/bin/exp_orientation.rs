@@ -1,4 +1,6 @@
 //! E4: min-max edge orientation (Theorem I.2) vs baselines.
+
+#![deny(deprecated)]
 use dkc_bench::{ExpArgs, Report};
 
 fn main() {

@@ -1,4 +1,6 @@
 //! E10 (extension): behaviour of the compact elimination under message loss.
+
+#![deny(deprecated)]
 use dkc_bench::{ExpArgs, Report};
 
 fn main() {

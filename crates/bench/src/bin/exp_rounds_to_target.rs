@@ -1,4 +1,6 @@
 //! E3: empirical rounds to reach the target approximation ratio.
+
+#![deny(deprecated)]
 use dkc_bench::{ExpArgs, Report, WorkloadScale};
 
 fn main() {

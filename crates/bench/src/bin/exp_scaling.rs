@@ -1,5 +1,7 @@
 //! E9: round-executor scaling — sequential vs parallel wall-clock and
 //! throughput on the compact elimination and a dense multicast stress.
+
+#![deny(deprecated)]
 use dkc_bench::{ExpArgs, Report};
 
 fn main() {

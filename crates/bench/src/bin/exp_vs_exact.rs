@@ -1,4 +1,6 @@
 //! E8: exact distributed k-core (Montresor et al.) vs the approximation.
+
+#![deny(deprecated)]
 use dkc_bench::{ExpArgs, Report};
 
 fn main() {

@@ -22,6 +22,10 @@ use dkc_flow::{dense_decomposition, densest_subgraph, exact_unit_orientation};
 use dkc_graph::generators::{complete_graph, fig1_gadget, tree_with_leaf_clique, Fig1Variant};
 use dkc_graph::properties::diameter_double_sweep;
 use dkc_graph::{CsrGraph, NodeId};
+// Wall-clock audit (dkc-lint D02 allowlist): every `Instant::now` in this
+// file times a phase for a table column or a record's wall_clock_ms /
+// messages_per_sec; the check_bench.sh-gated counters never depend on it
+// (crates/bench/tests/wall_clock_isolation.rs pins this).
 use std::time::Instant;
 
 /// The process-wide `--mode` override (see [`set_default_mode`]).

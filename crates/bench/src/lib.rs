@@ -11,6 +11,8 @@
 //! empirical observation that the approximation ratio converges to ≈ 2 (and on
 //! real-ish graphs to ≈ 1) much faster than the worst-case round bound.
 
+#![deny(deprecated)]
+
 pub mod experiments;
 pub mod report;
 pub mod table;

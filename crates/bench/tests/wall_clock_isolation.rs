@@ -1,0 +1,112 @@
+//! Wall-clock isolation audit (the D02 contract, tested from the data side).
+//!
+//! The workspace reads `Instant::now` in exactly three places — the lockstep
+//! executor (`crates/distsim/src/network.rs`), the mailbox executor
+//! (`crates/distsim/src/mailbox.rs`), and the bench harness
+//! (`crates/bench/src/experiments.rs`) — all on the dkc-lint D02 allowlist.
+//! Those readings may only ever reach the two timing fields of an
+//! [`ExperimentRecord`] (`wall_clock_ms`, `messages_per_sec`), never the ten
+//! deterministic counters `scripts/check_bench.sh` gates on. These tests pin
+//! both halves of that contract.
+
+use dkc_bench::report::ExperimentRecord;
+use dkc_distsim::{RoundStats, RunMetrics};
+use std::time::Duration;
+
+fn busy_round(round: usize) -> RoundStats {
+    RoundStats {
+        round,
+        messages: 1_000,
+        payload_bits: 64_000,
+        wire_bits: 96_000,
+        max_message_bits: 64,
+        sending_nodes: 10,
+        changed_nodes: 10,
+        node_updates: 17,
+        dropped_loss: 3,
+        dropped_burst: 2,
+        dropped_partition: 1,
+        crashed_nodes: 1,
+    }
+}
+
+#[test]
+fn elapsed_time_only_reaches_the_timing_fields() {
+    let rounds: Vec<RoundStats> = (1..=4).map(busy_round).collect();
+    let fast = RunMetrics::from_parts(rounds.clone(), Duration::from_millis(10));
+    let slow = RunMetrics::from_parts(rounds, Duration::from_millis(999));
+
+    let a = ExperimentRecord::from_metrics("E1", "w", "tiny", &fast);
+    let b = ExperimentRecord::from_metrics("E1", "w", "tiny", &slow);
+
+    // Every check_bench.sh-gated counter is identical across the two runs…
+    assert_eq!(a.rounds, b.rounds);
+    assert_eq!(a.total_messages, b.total_messages);
+    assert_eq!(a.payload_bits, b.payload_bits);
+    assert_eq!(a.max_message_bits, b.max_message_bits);
+    assert_eq!(a.wire_bits, b.wire_bits);
+    assert_eq!(a.node_updates, b.node_updates);
+    assert_eq!(a.dropped_loss, b.dropped_loss);
+    assert_eq!(a.dropped_burst, b.dropped_burst);
+    assert_eq!(a.dropped_partition, b.dropped_partition);
+    assert_eq!(a.crashed_nodes, b.crashed_nodes);
+
+    // …and the wall clock moved only the two timing fields.
+    assert!((a.wall_clock_ms - 10.0).abs() < 1e-9);
+    assert!((b.wall_clock_ms - 999.0).abs() < 1e-9);
+    assert!(a.messages_per_sec > b.messages_per_sec);
+
+    // Field-count tripwire: if ExperimentRecord grows a field, this test must
+    // be revisited to classify it as deterministic or timing.
+    let ExperimentRecord {
+        experiment: _,
+        workload: _,
+        scale: _,
+        wall_clock_ms: _,
+        rounds: _,
+        total_messages: _,
+        payload_bits: _,
+        max_message_bits: _,
+        wire_bits: _,
+        node_updates: _,
+        dropped_loss: _,
+        dropped_burst: _,
+        dropped_partition: _,
+        crashed_nodes: _,
+        messages_per_sec: _,
+    } = a;
+}
+
+#[test]
+fn check_bench_gates_exactly_the_deterministic_counters() {
+    let script_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scripts/check_bench.sh");
+    let script = std::fs::read_to_string(script_path).unwrap();
+
+    // Extract the COUNTERS tuple literal from the embedded python.
+    let start = script
+        .find("COUNTERS = (")
+        .expect("check_bench.sh must declare its COUNTERS tuple");
+    let tuple = &script[start..start + script[start..].find(')').unwrap()];
+    let gated: Vec<&str> = tuple.split('"').skip(1).step_by(2).collect();
+
+    let deterministic = [
+        "rounds",
+        "total_messages",
+        "payload_bits",
+        "max_message_bits",
+        "wire_bits",
+        "node_updates",
+        "dropped_loss",
+        "dropped_burst",
+        "dropped_partition",
+        "crashed_nodes",
+    ];
+    assert_eq!(
+        gated, deterministic,
+        "check_bench.sh must gate exactly the deterministic counters"
+    );
+    assert!(
+        !gated.contains(&"wall_clock_ms") && !gated.contains(&"messages_per_sec"),
+        "timing fields must never be gated"
+    );
+}

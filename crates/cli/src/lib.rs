@@ -15,6 +15,8 @@
 //! Argument parsing is deliberately dependency-free (`--flag value` pairs plus
 //! positional arguments); see [`args`].
 
+#![deny(deprecated)]
+
 pub mod args;
 pub mod commands;
 

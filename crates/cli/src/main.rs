@@ -1,6 +1,8 @@
 //! The `dkc` command-line binary. All logic lives in the library (`dkc_cli`)
 //! so it can be unit-tested; this file only wires up `std::env::args`.
 
+#![deny(deprecated)]
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

@@ -83,19 +83,23 @@ pub struct RunPreamble {
 impl RunPreamble {
     /// Encodes the preamble section bytes.
     pub fn encode(&self) -> Vec<u8> {
+        fn put<T: Serialize>(w: &mut WireWriter, v: &T) {
+            // lint: allow(D04) — encode side: WireWriter appends to an in-memory Vec and never errors for these field types
+            v.serialize(&mut *w).expect("encode is infallible");
+        }
         let mut w = WireWriter::new();
-        self.nodes.serialize(&mut w).expect("infallible");
-        self.arcs.serialize(&mut w).expect("infallible");
-        self.fingerprint.serialize(&mut w).expect("infallible");
-        self.rounds_target.serialize(&mut w).expect("infallible");
+        put(&mut w, &self.nodes);
+        put(&mut w, &self.arcs);
+        put(&mut w, &self.fingerprint);
+        put(&mut w, &self.rounds_target);
         match self.threshold_set {
-            ThresholdSet::Reals => 0u8.serialize(&mut w).expect("infallible"),
+            ThresholdSet::Reals => put(&mut w, &0u8),
             ThresholdSet::PowerGrid { lambda } => {
-                1u8.serialize(&mut w).expect("infallible");
-                lambda.serialize(&mut w).expect("infallible");
+                put(&mut w, &1u8);
+                put(&mut w, &lambda);
             }
         }
-        self.faults.serialize(&mut w).expect("infallible");
+        put(&mut w, &self.faults);
         w.into_bytes()
     }
 

@@ -30,6 +30,8 @@
 //! }
 //! ```
 
+#![deny(deprecated)]
+
 pub mod api;
 pub mod bfs;
 pub mod checkpoint;

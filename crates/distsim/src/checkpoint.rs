@@ -128,6 +128,7 @@ pub trait SnapshotState {
 // ---------------------------------------------------------------------------
 
 fn section(out: &mut Vec<u8>, bytes: &[u8]) {
+    // lint: allow(D04) — encode side: a >4 GiB section is a caller bug, not hostile input; decode never reaches here
     let len = u32::try_from(bytes.len()).expect("checkpoint section exceeds u32 range");
     out.extend_from_slice(&len.to_le_bytes());
     out.extend_from_slice(bytes);
@@ -154,6 +155,7 @@ fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], Chec
 }
 
 fn take_section<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<&'a [u8], CheckpointError> {
+    // lint: allow(D04) — take(_, _, 4) either errs or returns exactly 4 bytes, so try_into cannot fail
     let len = u32::from_le_bytes(take(bytes, pos, 4)?.try_into().expect("len")) as usize;
     take(bytes, pos, len)
 }
@@ -165,6 +167,7 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<(&[u8], &[u8]), CheckpointError
     if take(bytes, &mut pos, 4)? != CHECKPOINT_MAGIC {
         return Err(CheckpointError::BadMagic);
     }
+    // lint: allow(D04) — take(_, _, 4) either errs or returns exactly 4 bytes, so try_into cannot fail
     let version = u32::from_le_bytes(take(bytes, &mut pos, 4)?.try_into().expect("len"));
     if version != CHECKPOINT_VERSION {
         return Err(CheckpointError::BadVersion {

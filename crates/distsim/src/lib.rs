@@ -25,6 +25,8 @@
 //! * [`checkpoint`] — versioned snapshot/restore of mid-run executor state,
 //!   so a run killed at any round resumes byte-identically.
 
+#![deny(deprecated)]
+
 pub mod checkpoint;
 pub mod congest;
 pub mod faults;

@@ -130,6 +130,8 @@ pub(crate) fn run_mailbox<P: NodeProgram>(
     if max_rounds == 0 {
         return 0;
     }
+    // Wall-clock audit (dkc-lint D02 allowlist): timing-only, accumulated via
+    // RunMetrics::add_elapsed; deterministic counters never see it.
     let started = Instant::now();
     let threads = net
         .mailbox_threads

@@ -736,6 +736,9 @@ impl<P: NodeProgram> Network<P> {
             crate::mailbox::run_mailbox(self, 1, false);
             return *self.metrics.rounds().last().expect("round recorded");
         }
+        // Wall-clock audit (dkc-lint D02 allowlist): this reading feeds only
+        // RunMetrics::add_elapsed, i.e. wall_clock_ms / messages_per_sec —
+        // never a deterministic counter (crates/bench/tests/wall_clock_isolation.rs).
         let started = Instant::now();
         self.round += 1;
         let stats = if self.mode.is_sparse() {

@@ -108,7 +108,9 @@ impl WireWriter {
 }
 
 fn seq_count(len: Option<usize>) -> u32 {
+    // lint: allow(D04) — encode side: all in-tree Serialize impls pass Some(len); a None is a local bug, not hostile input
     let n = len.expect("wire format requires sized sequences");
+    // lint: allow(D04) — encode side: a >u32::MAX-element message is a sender bug caught before bytes hit the wire
     u32::try_from(n).expect("sequence length exceeds u32 wire range")
 }
 
@@ -141,6 +143,7 @@ impl<'a> Serializer for &'a mut WireWriter {
     }
 
     fn serialize_str(self, v: &str) -> Result<(), WireError> {
+        // lint: allow(D04) — encode side: sender-controlled string length, not hostile decode input
         let len = u32::try_from(v.len()).expect("string length exceeds u32 wire range");
         self.buf.extend_from_slice(&len.to_le_bytes());
         self.buf.extend_from_slice(v.as_bytes());
@@ -398,6 +401,7 @@ macro_rules! reader_int {
         pub fn $name(&mut self) -> Result<$t, WireError> {
             const N: usize = std::mem::size_of::<$t>();
             let raw = self.take(N)?;
+            // lint: allow(D04) — take(N) either errs or returns exactly N bytes, so try_into cannot fail
             Ok(<$t>::from_le_bytes(raw.try_into().expect("length checked")))
         }
     )*};
@@ -434,10 +438,12 @@ impl<'a> WireReader<'a> {
     }
 
     pub fn read_f32(&mut self) -> Result<f32, WireError> {
+        // lint: allow(D04) — take(4) either errs or returns exactly 4 bytes, so try_into cannot fail
         Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("len")))
     }
 
     pub fn read_f64(&mut self) -> Result<f64, WireError> {
+        // lint: allow(D04) — take(8) either errs or returns exactly 8 bytes, so try_into cannot fail
         Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len")))
     }
 
@@ -471,6 +477,7 @@ impl<'a> WireReader<'a> {
 /// Encodes a message's payload bytes (no length prefix).
 pub fn encode_payload<M: Serialize + ?Sized>(msg: &M) -> Vec<u8> {
     let mut w = WireWriter::new();
+    // lint: allow(D04) — encode side: WireWriter appends to an in-memory Vec and never returns Err
     msg.serialize(&mut w).expect("wire encoding is infallible");
     w.into_bytes()
 }
@@ -478,6 +485,7 @@ pub fn encode_payload<M: Serialize + ?Sized>(msg: &M) -> Vec<u8> {
 /// Measures a message's encoded payload size in bytes without encoding.
 pub fn payload_len<M: Serialize + ?Sized>(msg: &M) -> usize {
     let mut s = WireSizer::new();
+    // lint: allow(D04) — encode side: WireSizer only counts bytes and never returns Err
     msg.serialize(&mut s).expect("wire sizing is infallible");
     s.bytes()
 }
@@ -486,6 +494,7 @@ pub fn payload_len<M: Serialize + ?Sized>(msg: &M) -> usize {
 pub fn encode_frame<M: Serialize + ?Sized>(msg: &M) -> Vec<u8> {
     let payload = encode_payload(msg);
     let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    // lint: allow(D04) — encode side: CONGEST payloads are O(log n) bits; a >4 GiB payload is a sender bug
     let len = u32::try_from(payload.len()).expect("payload length exceeds u32 wire range");
     frame.extend_from_slice(&len.to_le_bytes());
     frame.extend_from_slice(&payload);
@@ -500,6 +509,7 @@ pub fn decode_frame<M: WireCodec>(frame: &[u8], max_payload: usize) -> Result<M,
     if frame.len() < FRAME_HEADER_BYTES {
         return Err(WireError::Truncated);
     }
+    // lint: allow(D04) — the length guard above proves frame[..4] is exactly 4 bytes, so try_into cannot fail
     let len = u32::from_le_bytes(frame[..FRAME_HEADER_BYTES].try_into().expect("len")) as usize;
     if len > max_payload {
         return Err(WireError::Oversized {
@@ -621,6 +631,7 @@ impl<T: WireCodec> WireCodec for Vec<T> {
 // `WIRE_SLACK_BITS` of the analytical per-message charge.
 impl Serialize for QuantizedValue {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // lint: allow(D04) — encode side: bits = ⌈log₂ |Λ|⌉ < 256 by construction; decode reads the byte fallibly
         let bits = u8::try_from(self.bits).expect("QuantizedValue.bits exceeds wire range");
         let mut s = serializer.serialize_struct("QuantizedValue", 2)?;
         s.serialize_field("bits", &bits)?;

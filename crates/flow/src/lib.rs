@@ -19,6 +19,8 @@
 //! measurement substrate for approximation ratios in the test suite and the
 //! experiment harness.
 
+#![deny(deprecated)]
+
 pub mod decomposition;
 pub mod densest;
 pub mod dinic;

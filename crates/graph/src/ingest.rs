@@ -96,6 +96,7 @@ impl NodeIdMap {
         if let Some(v) = self.get(external) {
             return v;
         }
+        // lint: allow(D04) — documented `# Panics` capacity guard on the u32 internal-id width, not a parse path
         let idx = u32::try_from(self.to_external.len()).expect("more than u32::MAX distinct ids");
         let v = NodeId(idx);
         if self.is_identity() && external == idx as u64 {
@@ -139,6 +140,7 @@ impl NodeIdMap {
             while self.get(candidate).is_some() {
                 candidate = candidate
                     .checked_add(1)
+                    // lint: allow(D04) — u64 id space outlives the u32 node-count guard in intern(); unreachable before it
                     .expect("external id space exhausted");
             }
             self.intern(candidate);

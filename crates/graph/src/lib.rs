@@ -29,6 +29,8 @@
 //! of a node set `S` is `w(E(S)) / |S|` where `E(S)` is the set of edges fully
 //! contained in `S` (self-loops at nodes of `S` included).
 
+#![deny(deprecated)]
+
 pub mod builder;
 pub mod csr;
 pub mod generators;

@@ -1,0 +1,5 @@
+//! Fixture: the D02 metrics allowlist admits wall-clock reads in network.rs.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,8 @@
+//! Fixture: a justified allow is consumed and reported as `allowed`.
+
+// lint: allow(D01) — keyed lookup only; nothing iterates this map
+pub type Lookup = std::collections::HashMap<u32, u32>;
+
+pub fn keyed(m: &Lookup, k: u32) -> Option<u32> {
+    m.get(&k).copied()
+}

@@ -1,0 +1,5 @@
+//! Fixture: a clean crate root carrying the D06 attribute.
+
+#![deny(deprecated)]
+
+pub fn fine() {}

@@ -1,0 +1,5 @@
+#!/usr/bin/env bash
+# Fixture: strict mode present, every expansion quoted.
+set -euo pipefail
+dir="${1:-/tmp}"
+ls "$dir"

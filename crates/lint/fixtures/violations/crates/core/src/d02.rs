@@ -1,0 +1,6 @@
+//! Fixture: D02 — wall clock outside the metrics allowlist.
+
+pub fn doctored() -> std::time::Duration {
+    let t0 = std::time::Instant::now();
+    t0.elapsed()
+}

@@ -1,0 +1,3 @@
+//! Fixture: D06 — a crate root missing the deny(deprecated) attribute.
+
+pub fn doctored() {}

@@ -1,0 +1,16 @@
+//! Fixture: D01 — a hash map in a protocol crate (nondeterministic iteration).
+
+pub fn doctored() {
+    let m = std::collections::HashMap::from([(1u32, 2u32)]);
+    for (k, v) in &m {
+        let _ = (k, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hash_collections_in_tests_are_exempt() {
+        let _ = std::collections::HashMap::from([(1u32, 1u32)]);
+    }
+}

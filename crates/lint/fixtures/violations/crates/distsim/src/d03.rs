@@ -1,0 +1,5 @@
+//! Fixture: D03 — ambient randomness in a protocol crate.
+
+pub fn doctored() -> u32 {
+    rand::random()
+}

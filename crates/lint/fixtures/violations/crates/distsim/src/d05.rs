@@ -1,0 +1,5 @@
+//! Fixture: D05 — an unjustified unsafe block.
+
+pub fn doctored(xs: &[u32]) -> u32 {
+    unsafe { *xs.as_ptr() }
+}

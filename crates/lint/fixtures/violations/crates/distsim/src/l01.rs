@@ -1,0 +1,7 @@
+//! Fixture: L01 (malformed allow) and L02 (stale allow).
+
+// lint: allow(D01)
+pub fn doctored() {}
+
+// lint: allow(D03) — stale: nothing on the next line violates D03
+pub fn stale() {}

@@ -1,0 +1,5 @@
+//! Fixture: D04 — a panicking conversion in a defensive decode file.
+
+pub fn doctored(bytes: &[u8]) -> u32 {
+    u32::from_le_bytes(bytes[..4].try_into().unwrap())
+}

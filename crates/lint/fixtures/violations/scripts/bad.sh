@@ -1,0 +1,4 @@
+#!/usr/bin/env bash
+# Fixture: S01 (no strict mode) and S02 (unquoted expansion).
+out=/tmp/lint-fixture
+rm -rf $out

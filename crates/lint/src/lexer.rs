@@ -1,0 +1,428 @@
+//! A lightweight Rust tokenizer — deliberately **not** a full parser.
+//!
+//! The determinism rules only need to see identifiers, punctuation, and
+//! comments with accurate line numbers; everything that could hide a false
+//! positive (string literals, char literals, numeric literals) is consumed
+//! and discarded here so the rule scanners never match inside them. The
+//! tokenizer understands:
+//!
+//! - line (`//`) and nested block (`/* */`) comments — captured with their
+//!   line numbers for the `// lint: allow(...)` and `// SAFETY:` grammars;
+//! - string, raw-string (`r#"…"#`), byte-string, and char literals;
+//! - the `'a` lifetime vs `'a'` char-literal ambiguity;
+//! - numeric literals including `1_000`, `0x1f`, `1.5e-3f64`, and the
+//!   `0..n` range adjacency.
+//!
+//! This is enough to make rule detection token-accurate without a `rustc` or
+//! `syn` dependency (the workspace is fully offline; see `vendor/README.md`).
+
+/// One significant token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `unsafe`, `fn`, …).
+    Ident(String),
+    /// A single punctuation character (`.`, `!`, `:`, `{`, …).
+    Punct(char),
+}
+
+/// A token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub line: usize,
+}
+
+impl Tok {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            TokKind::Punct(_) => None,
+        }
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+}
+
+/// A comment with its 1-based starting line. `text` excludes the `//` / `/*`
+/// markers but keeps interior doc-comment sigils (`/`, `!`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    pub line: usize,
+    pub text: String,
+    /// Whether any non-comment, non-whitespace source precedes the comment on
+    /// its starting line (distinguishes trailing annotations from standalone
+    /// comment lines).
+    pub trailing: bool,
+}
+
+/// The output of [`lex_rust`]: significant tokens plus captured comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    /// Whether a significant token has been emitted on the current line.
+    code_on_line: bool,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.code_on_line = false;
+        }
+        b.into()
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes Rust source. Never fails: unterminated literals simply consume
+/// to end of input (the real compiler rejects such files anyway, and a lint
+/// must not panic on malformed input).
+pub fn lex_rust(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        code_on_line: false,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(b) = cur.peek(0) {
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek(1) == Some(b'/') => lex_line_comment(&mut cur, &mut out),
+            b'/' if cur.peek(1) == Some(b'*') => lex_block_comment(&mut cur, &mut out),
+            b'"' => lex_string(&mut cur),
+            b'b' | b'r' if starts_string_prefix(&cur) => {
+                // Consume the prefix letters, then the (raw) string body.
+                while matches!(cur.peek(0), Some(b'b') | Some(b'r')) {
+                    cur.bump();
+                }
+                if cur.peek(0) == Some(b'"') {
+                    lex_string(&mut cur);
+                } else {
+                    lex_raw_string(&mut cur);
+                }
+            }
+            b'\'' => lex_char_or_lifetime(&mut cur),
+            _ if b.is_ascii_digit() => lex_number(&mut cur),
+            _ if is_ident_start(b) => {
+                let start = cur.pos;
+                let line = cur.line;
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+                cur.code_on_line = true;
+                out.toks.push(Tok {
+                    kind: TokKind::Ident(text),
+                    line,
+                });
+            }
+            _ => {
+                let line = cur.line;
+                cur.bump();
+                cur.code_on_line = true;
+                out.toks.push(Tok {
+                    kind: TokKind::Punct(b as char),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Whether the cursor sits on a `b"…"`, `r"…"`, `br#"…"#`-style prefix (as
+/// opposed to an identifier that merely starts with `b` or `r`).
+fn starts_string_prefix(cur: &Cursor<'_>) -> bool {
+    let mut i = 0;
+    let mut has_r = false;
+    while i < 2 {
+        match cur.peek(i) {
+            Some(b'b') => i += 1,
+            Some(b'r') => {
+                has_r = true;
+                i += 1;
+            }
+            _ => break,
+        }
+    }
+    match cur.peek(i) {
+        Some(b'"') => i > 0,
+        Some(b'#') => has_r,
+        _ => false,
+    }
+}
+
+fn lex_line_comment(cur: &mut Cursor<'_>, out: &mut Lexed) {
+    let line = cur.line;
+    let trailing = cur.code_on_line;
+    cur.bump();
+    cur.bump(); // the two slashes
+    let start = cur.pos;
+    while cur.peek(0).is_some_and(|b| b != b'\n') {
+        cur.bump();
+    }
+    out.comments.push(Comment {
+        line,
+        text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+        trailing,
+    });
+}
+
+fn lex_block_comment(cur: &mut Cursor<'_>, out: &mut Lexed) {
+    let line = cur.line;
+    let trailing = cur.code_on_line;
+    cur.bump();
+    cur.bump(); // `/*`
+    let start = cur.pos;
+    let mut depth = 1usize;
+    let mut end = cur.pos;
+    while let Some(b) = cur.peek(0) {
+        if b == b'/' && cur.peek(1) == Some(b'*') {
+            depth += 1;
+            cur.bump();
+            cur.bump();
+        } else if b == b'*' && cur.peek(1) == Some(b'/') {
+            depth -= 1;
+            cur.bump();
+            cur.bump();
+            if depth == 0 {
+                break;
+            }
+        } else {
+            cur.bump();
+        }
+        end = cur.pos;
+    }
+    out.comments.push(Comment {
+        line,
+        text: String::from_utf8_lossy(&cur.src[start..end.min(cur.src.len())]).into_owned(),
+        trailing,
+    });
+}
+
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(b) = cur.bump() {
+        match b {
+            b'\\' => {
+                cur.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Raw (possibly byte) string: the `r`/`b` prefix letters are already
+/// consumed; the cursor sits on the first `#` or the quote.
+fn lex_raw_string(cur: &mut Cursor<'_>) {
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek(0) != Some(b'"') {
+        return; // not actually a raw string (e.g. `r#ident`); nothing to skip
+    }
+    cur.bump();
+    'outer: while let Some(b) = cur.bump() {
+        if b == b'"' {
+            for i in 0..hashes {
+                if cur.peek(i) != Some(b'#') {
+                    continue 'outer;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+    }
+}
+
+/// Disambiguates `'a'` (char literal) from `'a` (lifetime) and `'_`.
+fn lex_char_or_lifetime(cur: &mut Cursor<'_>) {
+    cur.bump(); // the opening `'`
+    match cur.peek(0) {
+        Some(b'\\') => {
+            // Escaped char literal: consume through the closing quote.
+            cur.bump();
+            cur.bump();
+            while cur.peek(0).is_some_and(|b| b != b'\'') {
+                cur.bump();
+            }
+            cur.bump();
+        }
+        Some(b) if is_ident_start(b) || b.is_ascii_digit() => {
+            let mut i = 1;
+            while cur.peek(i).is_some_and(is_ident_continue) {
+                i += 1;
+            }
+            if cur.peek(i) == Some(b'\'') {
+                // `'a'`-style char literal.
+                for _ in 0..=i {
+                    cur.bump();
+                }
+            } else {
+                // Lifetime: consume the identifier, no closing quote.
+                for _ in 0..i {
+                    cur.bump();
+                }
+            }
+        }
+        Some(_) => {
+            // `'('`-style char literal around punctuation.
+            cur.bump();
+            if cur.peek(0) == Some(b'\'') {
+                cur.bump();
+            }
+        }
+        None => {}
+    }
+}
+
+fn lex_number(cur: &mut Cursor<'_>) {
+    while cur.peek(0).is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    // A fractional part only when followed by a digit — leaves `0..n` intact.
+    if cur.peek(0) == Some(b'.') && cur.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+        cur.bump();
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        // Negative exponents (`1.5e-3`).
+        if matches!(cur.peek(0), Some(b'+') | Some(b'-'))
+            && cur
+                .src
+                .get(cur.pos.wrapping_sub(1))
+                .is_some_and(|&b| b == b'e' || b == b'E')
+        {
+            cur.bump();
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex_rust(src)
+            .toks
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                TokKind::Punct(_) => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_chars_are_opaque() {
+        let src = r#"let x = "HashMap::iter() Instant::now"; let c = 'u'; let l: &'static str = "rand::";"#;
+        let ids = idents(src);
+        assert!(ids.contains(&"let".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"rand".to_string()));
+        assert!(!ids.contains(&"u".to_string()), "char literal leaked");
+        assert!(!ids.contains(&"static".to_string()), "lifetime leaked");
+    }
+
+    #[test]
+    fn raw_and_byte_strings_are_opaque() {
+        let src = r###"let a = r#"thread_rng "quoted" inside"#; let b = b"SystemTime"; let c = br#"panic!"#;"###;
+        let ids = idents(src);
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines_and_trailing_flags() {
+        let src = "// standalone\nlet x = 1; // lint: allow(D01) — keyed lookup\n/* block */\n";
+        let lexed = lex_rust(src);
+        assert_eq!(lexed.comments.len(), 3);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(!lexed.comments[0].trailing);
+        assert_eq!(lexed.comments[1].line, 2);
+        assert!(lexed.comments[1].trailing);
+        assert!(lexed.comments[1].text.contains("allow(D01)"));
+        assert_eq!(lexed.comments[2].text.trim(), "block");
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let src = "/* outer /* inner */ still comment */ fn f() {}";
+        let lexed = lex_rust(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.toks[0].ident(), Some("fn"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let src = "for i in 0..n { let y = 1.5e-3f64; }";
+        let lexed = lex_rust(src);
+        assert!(lexed.toks.iter().any(|t| t.is_punct('.')));
+        assert!(lexed.toks.iter().any(|t| t.is_ident("n")));
+        assert!(!lexed.toks.iter().any(|t| t.is_ident("f64")));
+    }
+
+    #[test]
+    fn lifetimes_and_labels_do_not_derail() {
+        let src = "fn f<'a>(x: &'a str) { 'outer: loop { break 'outer; } }";
+        let ids = idents(src);
+        assert!(ids.contains(&"loop".to_string()));
+        assert!(ids.contains(&"break".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_accurate() {
+        let src = "fn a() {}\n\nfn b() {}\n";
+        let lexed = lex_rust(src);
+        let b_line = lexed
+            .toks
+            .iter()
+            .find(|t| t.is_ident("b"))
+            .map(|t| t.line)
+            .unwrap();
+        assert_eq!(b_line, 3);
+    }
+}

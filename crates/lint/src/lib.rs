@@ -1,0 +1,64 @@
+//! # dkc-lint
+//!
+//! Workspace determinism & wire-safety static analysis.
+//!
+//! The whole reproduction rests on one invariant the compiler cannot see:
+//! every execution mode (lockstep dense/sparse, parallel, mailbox) and every
+//! checkpoint/resume must be **byte-identical**. That holds only if no
+//! protocol or executor code consults a nondeterministic source — wall-clock
+//! time, hash-map iteration order, ambient RNG — and no defensive decode
+//! path can panic on hostile bytes. The proptests sample that discipline
+//! after the fact; `dkc-lint` enforces it *structurally*, before merge.
+//!
+//! Run it from the workspace root:
+//!
+//! ```text
+//! cargo run -p dkc-lint --                      # human file:line diagnostics
+//! cargo run -p dkc-lint -- --json report.json   # + machine-readable report
+//! cargo run -p dkc-lint -- --deny-all           # CI mode: warnings fail too
+//! ```
+//!
+//! Rules are documented in [`rules`] (D01–D06 for Rust, with the
+//! `// lint: allow(Dxx) — reason` escape hatch) and [`shell`] (S01–S02 for
+//! `scripts/*.sh`). The tokenizer ([`lexer`]) is deliberately lightweight —
+//! no `rustc` or `syn` dependency, fully offline like the rest of `vendor/`.
+
+#![deny(deprecated)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod shell;
+pub mod walk;
+
+pub use report::LintReport;
+pub use rules::{check_rust_file, Diagnostic, Severity};
+pub use shell::check_shell_file;
+
+use std::path::Path;
+
+/// Lints every file the walker finds under `root`, returning the full report.
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let ws = walk::collect(root)?;
+    let mut diagnostics = Vec::new();
+    let mut files_scanned = 0usize;
+
+    for rel in ws.rust_files.iter() {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        diagnostics.extend(check_rust_file(rel, &src));
+        files_scanned += 1;
+    }
+    for rel in ws.shell_files.iter() {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        diagnostics.extend(check_shell_file(rel, &src));
+        files_scanned += 1;
+    }
+
+    diagnostics.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, !a.allowed).cmp(&(&b.file, b.line, b.rule, !b.allowed))
+    });
+    Ok(LintReport {
+        files_scanned,
+        diagnostics,
+    })
+}

@@ -1,0 +1,119 @@
+//! The `dkc-lint` binary: walks the workspace, runs the determinism &
+//! wire-safety rules, prints human `file:line` diagnostics, and optionally
+//! writes the machine-readable JSON report CI uploads as an artifact.
+//!
+//! Exit codes: `0` clean, `1` violations, `2` usage or I/O error.
+
+#![deny(deprecated)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: dkc-lint [--root <dir>] [--json <path>] [--deny-all] [--quiet]
+  --root <dir>   workspace root to lint (default: nearest [workspace] Cargo.toml)
+  --json <path>  write the machine-readable lint report (schema v1)
+  --deny-all     fail on warnings too (unused allows) — the CI configuration
+  --quiet        suppress the per-allowance audit lines";
+
+struct Args {
+    root: Option<PathBuf>,
+    json: Option<PathBuf>,
+    deny_all: bool,
+    quiet: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        json: None,
+        deny_all: false,
+        quiet: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root requires a directory")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--json" => {
+                let v = it.next().ok_or("--json requires a path")?;
+                args.json = Some(PathBuf::from(v));
+            }
+            "--deny-all" => args.deny_all = true,
+            "--quiet" | "-q" => args.quiet = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let root = match args.root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("dkc-lint: cannot determine working directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match dkc_lint::walk::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "dkc-lint: no [workspace] Cargo.toml above {} — pass --root",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match dkc_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dkc-lint: {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for line in report.human_lines() {
+        if args.quiet && line.starts_with("allowed[") {
+            continue;
+        }
+        println!("{line}");
+    }
+    println!(
+        "dkc-lint: {} files scanned — {} error(s), {} warning(s), {} allowed",
+        report.files_scanned,
+        report.errors(),
+        report.warnings(),
+        report.allowed()
+    );
+
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("dkc-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if report.failed(args.deny_all) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,207 @@
+//! The machine-readable lint report, following the `bench` report
+//! conventions (`crates/bench/src/report.rs`): a `schema_version` header,
+//! a flat records array, pretty-printed JSON with a trailing newline so the
+//! artifact diffs cleanly.
+//!
+//! Allowed (annotated) findings are **included** with their justification —
+//! the uploaded `lint-report.json` is a complete audit trail of every
+//! escape-hatch use in the tree, not just the failures.
+
+use crate::rules::{Diagnostic, Severity};
+use serde::{Serialize, SerializeSeq, SerializeStruct, Serializer};
+
+/// Version stamp written into every report; bump when the shape changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A full lint run.
+#[derive(Debug)]
+pub struct LintReport {
+    pub files_scanned: usize,
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Unallowed error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Unallowed warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    /// Findings suppressed by a justified `lint: allow(...)`.
+    pub fn allowed(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.allowed).count()
+    }
+
+    fn count(&self, sev: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| !d.allowed && d.severity == sev)
+            .count()
+    }
+
+    /// Whether the run fails: errors always do, warnings under `--deny-all`.
+    pub fn failed(&self, deny_all: bool) -> bool {
+        self.diagnostics.iter().any(|d| d.is_failure(deny_all))
+    }
+
+    /// Pretty JSON with trailing newline (the bench-report convention).
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("lint report serialization is total");
+        s.push('\n');
+        s
+    }
+
+    /// Human `file:line` diagnostic lines, failures first.
+    pub fn human_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for d in &self.diagnostics {
+            if d.allowed {
+                continue;
+            }
+            lines.push(format!(
+                "{}[{}] {}:{}: {}",
+                d.severity.as_str(),
+                d.rule,
+                d.file,
+                d.line,
+                d.message
+            ));
+        }
+        for d in &self.diagnostics {
+            if d.allowed {
+                lines.push(format!(
+                    "allowed[{}] {}:{} — {}",
+                    d.rule,
+                    d.file,
+                    d.line,
+                    d.justification.as_deref().unwrap_or("")
+                ));
+            }
+        }
+        lines
+    }
+}
+
+impl Serialize for LintReport {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("LintReport", 7)?;
+        s.serialize_field("schema_version", &SCHEMA_VERSION)?;
+        s.serialize_field("tool", "dkc-lint")?;
+        s.serialize_field("files_scanned", &self.files_scanned)?;
+        s.serialize_field("errors", &self.errors())?;
+        s.serialize_field("warnings", &self.warnings())?;
+        s.serialize_field("allowed", &self.allowed())?;
+        s.serialize_field("diagnostics", &DiagList(&self.diagnostics))?;
+        s.end()
+    }
+}
+
+struct DiagList<'a>(&'a [Diagnostic]);
+
+impl Serialize for DiagList<'_> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.0.len()))?;
+        for d in self.0 {
+            seq.serialize_element(&DiagRecord(d))?;
+        }
+        seq.end()
+    }
+}
+
+struct DiagRecord<'a>(&'a Diagnostic);
+
+impl Serialize for DiagRecord<'_> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let d = self.0;
+        let mut s = serializer.serialize_struct("Diagnostic", 7)?;
+        s.serialize_field("rule", d.rule)?;
+        s.serialize_field("severity", d.severity.as_str())?;
+        s.serialize_field("file", &d.file)?;
+        s.serialize_field("line", &d.line)?;
+        s.serialize_field("message", &d.message)?;
+        s.serialize_field("allowed", &d.allowed)?;
+        s.serialize_field("justification", &d.justification)?;
+        s.end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LintReport {
+        LintReport {
+            files_scanned: 2,
+            diagnostics: vec![
+                Diagnostic {
+                    rule: "D02",
+                    severity: Severity::Error,
+                    file: "crates/core/src/x.rs".into(),
+                    line: 7,
+                    message: "wall clock".into(),
+                    allowed: false,
+                    justification: None,
+                },
+                Diagnostic {
+                    rule: "D04",
+                    severity: Severity::Error,
+                    file: "crates/distsim/src/wire.rs".into(),
+                    line: 40,
+                    message: "expect".into(),
+                    allowed: true,
+                    justification: Some("length pre-checked".into()),
+                },
+                Diagnostic {
+                    rule: "L02",
+                    severity: Severity::Warning,
+                    file: "scripts/x.sh".into(),
+                    line: 2,
+                    message: "unused allow".into(),
+                    allowed: false,
+                    justification: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn counts_and_failure_semantics() {
+        let r = sample();
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+        assert_eq!(r.allowed(), 1);
+        assert!(r.failed(false), "errors fail even without --deny-all");
+        let warnings_only = LintReport {
+            files_scanned: 1,
+            diagnostics: r
+                .diagnostics
+                .into_iter()
+                .filter(|d| d.severity == Severity::Warning)
+                .collect(),
+        };
+        assert!(!warnings_only.failed(false));
+        assert!(warnings_only.failed(true), "--deny-all promotes warnings");
+    }
+
+    #[test]
+    fn json_follows_bench_conventions() {
+        let json = sample().to_json();
+        assert!(json.ends_with('\n'));
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"tool\": \"dkc-lint\""));
+        assert!(json.contains("\"justification\": \"length pre-checked\""));
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value.get("errors").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(
+            value
+                .get("diagnostics")
+                .and_then(|v| v.as_array())
+                .map(|a| a.len()),
+            Some(3)
+        );
+    }
+}

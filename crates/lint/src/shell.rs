@@ -1,0 +1,435 @@
+//! Shell-script checks for `scripts/*.sh` (the CI gates themselves).
+//!
+//! | rule | says |
+//! |------|------|
+//! | S01  | the script must set `set -euo pipefail` (a gate that keeps going after a failed step is not a gate) |
+//! | S02  | no unquoted `$var` / `${var}` / `$@` / `$*` / `$1` expansions — word splitting on an unquoted path breaks the first time a temp dir contains a space |
+//!
+//! The scanner is a small quote-state machine, not a shell parser. It knows
+//! the contexts where an unquoted expansion is *safe* and stays silent there:
+//! double quotes, assignment words (`x=$y` does not word-split), `[[ … ]]`
+//! conditionals, arithmetic `$(( … ))`, `case` words, and heredoc bodies.
+//! Command substitution — including `"$(cmd "$arg")"` where the inner quotes
+//! reset the outer quoting state — is scanned recursively. The same
+//! `# lint: allow(S02) — reason` escape hatch as the Rust rules applies.
+
+use crate::lexer::Comment;
+use crate::rules::{apply_allows, Diagnostic, Raw};
+
+/// Runs S01/S02 over one shell script.
+pub fn check_shell_file(path: &str, src: &str) -> Vec<Diagnostic> {
+    let mut raw = Vec::new();
+    check_s01(src, &mut raw);
+    let comments = scan_s02(src, &mut raw);
+    apply_allows(path, &comments, raw)
+}
+
+fn check_s01(src: &str, raw: &mut Vec<Raw>) {
+    let has_strict_mode = src.lines().any(|l| {
+        let l = l.trim();
+        !l.starts_with('#')
+            && l.starts_with("set ")
+            && l.contains("pipefail")
+            && (l.contains("-euo") || (l.contains("-e") && l.contains("-u")))
+    });
+    if !has_strict_mode {
+        raw.push(Raw {
+            rule: "S01",
+            line: 1,
+            message: "script does not enable strict mode: add `set -euo pipefail` near \
+                      the top so a failed step fails the script"
+                .into(),
+        });
+    }
+}
+
+/// One quoting frame: the toplevel script or the inside of a `$( … )`.
+struct Frame {
+    /// Unclosed plain parentheses inside this substitution.
+    paren_depth: usize,
+    in_dquote: bool,
+}
+
+/// Scans for unquoted expansions, returning the comments encountered (for
+/// allow-annotation matching).
+fn scan_s02(src: &str, raw: &mut Vec<Raw>) -> Vec<Comment> {
+    let b = src.as_bytes();
+    let mut comments = Vec::new();
+    let mut frames = vec![Frame {
+        paren_depth: 0,
+        in_dquote: false,
+    }];
+    let mut line = 1usize;
+    let mut in_dbracket = false;
+    let mut line_is_case = false;
+    let mut line_start = true;
+    let mut i = 0usize;
+
+    // A pending heredoc delimiter: once the current line ends, skip lines
+    // until one equals it.
+    let mut heredoc: Option<String> = None;
+
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            line_start = true;
+            line_is_case = false;
+            i += 1;
+            if let Some(delim) = heredoc.take() {
+                // Consume lines until the delimiter line (inclusive).
+                loop {
+                    let end = b[i..]
+                        .iter()
+                        .position(|&ch| ch == b'\n')
+                        .map_or(b.len(), |p| i + p);
+                    let body_line = String::from_utf8_lossy(&b[i..end]);
+                    let done = body_line.trim_end() == delim;
+                    i = end;
+                    if i < b.len() {
+                        i += 1;
+                        line += 1;
+                    }
+                    if done || i >= b.len() {
+                        break;
+                    }
+                }
+            }
+            continue;
+        }
+
+        let in_dquote = frames.last().is_some_and(|f| f.in_dquote);
+
+        if in_dquote {
+            match c {
+                b'"' => {
+                    if let Some(f) = frames.last_mut() {
+                        f.in_dquote = false;
+                    }
+                }
+                b'\\' => i += 1,
+                b'$' if i + 1 < b.len() && b[i + 1] == b'(' => {
+                    // Substitution resets the quote state: "$(cmd "$x")".
+                    if i + 2 < b.len() && b[i + 2] == b'(' {
+                        // Arithmetic inside quotes: skip to the matching `))`.
+                        i = skip_arith(b, i + 3);
+                        continue;
+                    }
+                    frames.push(Frame {
+                        paren_depth: 0,
+                        in_dquote: false,
+                    });
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+
+        match c {
+            b'#' if line_start
+                || b.get(i.wrapping_sub(1))
+                    .is_some_and(|p| p.is_ascii_whitespace()) =>
+            {
+                let end = b[i..]
+                    .iter()
+                    .position(|&ch| ch == b'\n')
+                    .map_or(b.len(), |p| i + p);
+                comments.push(Comment {
+                    line,
+                    text: String::from_utf8_lossy(&b[i + 1..end]).into_owned(),
+                    trailing: !line_start,
+                });
+                i = end;
+                continue;
+            }
+            b'\'' => {
+                i += 1;
+                while i < b.len() && b[i] != b'\'' {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            b'"' => {
+                if let Some(f) = frames.last_mut() {
+                    f.in_dquote = true;
+                }
+            }
+            b'\\' => i += 1,
+            b'[' if b.get(i + 1) == Some(&b'[') => {
+                in_dbracket = true;
+                i += 1;
+            }
+            b']' if b.get(i + 1) == Some(&b']') => {
+                in_dbracket = false;
+                i += 1;
+            }
+            b'<' if b.get(i + 1) == Some(&b'<') => {
+                if b.get(i + 2) == Some(&b'<') {
+                    i += 2; // herestring `<<<`: the word after is normal text
+                } else {
+                    // Heredoc: record the delimiter (quotes stripped).
+                    let mut j = i + 2;
+                    if b.get(j) == Some(&b'-') {
+                        j += 1;
+                    }
+                    while b.get(j).is_some_and(|&ch| ch == b' ' || ch == b'\t') {
+                        j += 1;
+                    }
+                    let mut delim = String::new();
+                    while let Some(&ch) = b.get(j) {
+                        if ch.is_ascii_whitespace() {
+                            break;
+                        }
+                        if ch != b'\'' && ch != b'"' {
+                            delim.push(ch as char);
+                        }
+                        j += 1;
+                    }
+                    if !delim.is_empty() {
+                        heredoc = Some(delim);
+                    }
+                    i = j;
+                    continue;
+                }
+            }
+            b'(' => {
+                if let Some(f) = frames.last_mut() {
+                    f.paren_depth += 1;
+                }
+            }
+            b')' => {
+                let depth = frames.last().map_or(0, |f| f.paren_depth);
+                if depth == 0 && frames.len() > 1 {
+                    frames.pop();
+                } else if let Some(f) = frames.last_mut() {
+                    f.paren_depth = f.paren_depth.saturating_sub(1);
+                }
+            }
+            b'$' => {
+                match b.get(i + 1) {
+                    Some(b'(') if b.get(i + 2) == Some(&b'(') => {
+                        i = skip_arith(b, i + 3);
+                        continue;
+                    }
+                    Some(b'(') => {
+                        frames.push(Frame {
+                            paren_depth: 0,
+                            in_dquote: false,
+                        });
+                        i += 1;
+                    }
+                    Some(b'\'') | Some(b'"') => {
+                        // `$'…'` / `$"…"` quoting: handled next iteration.
+                    }
+                    Some(&n)
+                        if n == b'{'
+                            || n == b'@'
+                            || n == b'*'
+                            || n.is_ascii_digit()
+                            || n.is_ascii_alphabetic()
+                            || n == b'_' =>
+                    {
+                        let name = expansion_name(b, i + 1);
+                        if !(in_dbracket || line_is_case || in_assignment_word(b, i)) {
+                            raw.push(Raw {
+                                rule: "S02",
+                                line,
+                                message: format!(
+                                    "unquoted `${name}`: word splitting and globbing apply — \
+                                     double-quote the expansion (`\"${name}\"`)",
+                                ),
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+
+        if !c.is_ascii_whitespace() {
+            if line_start {
+                // First word of the line: note `case` statements, whose
+                // subject word is not split.
+                let mut j = i;
+                while b.get(j).is_some_and(|ch| ch.is_ascii_alphabetic()) {
+                    j += 1;
+                }
+                if &b[i..j] == b"case" {
+                    line_is_case = true;
+                }
+            }
+            line_start = false;
+        }
+        i += 1;
+    }
+    comments
+}
+
+/// Skips past the `))` closing an arithmetic expansion starting after `$((`.
+fn skip_arith(b: &[u8], mut i: usize) -> usize {
+    let mut depth = 2usize;
+    while i < b.len() && depth > 0 {
+        match b[i] {
+            b'(' => depth += 1,
+            b')' => depth -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// The variable name of the expansion starting at `b[at]` (for messages).
+fn expansion_name(b: &[u8], at: usize) -> String {
+    let mut out = String::new();
+    let mut j = at;
+    if b.get(j) == Some(&b'{') {
+        out.push('{');
+        j += 1;
+        while let Some(&ch) = b.get(j) {
+            out.push(ch as char);
+            j += 1;
+            if ch == b'}' || out.len() > 24 {
+                break;
+            }
+        }
+        return out;
+    }
+    match b.get(j) {
+        Some(&ch) if ch == b'@' || ch == b'*' => return (ch as char).to_string(),
+        Some(&ch) if ch.is_ascii_digit() => return (ch as char).to_string(),
+        _ => {}
+    }
+    while let Some(&ch) = b.get(j) {
+        if !(ch.is_ascii_alphanumeric() || ch == b'_') {
+            break;
+        }
+        out.push(ch as char);
+        j += 1;
+    }
+    out
+}
+
+/// Whether the `$` at `b[at]` sits inside an assignment word (`x=$y`,
+/// `x+=$y`, `x=a/$y`): scan back to the start of the word and look for
+/// `name=` at its head. Assignment words do not undergo word splitting.
+fn in_assignment_word(b: &[u8], at: usize) -> bool {
+    let mut start = at;
+    while start > 0 && !b[start - 1].is_ascii_whitespace() {
+        start -= 1;
+    }
+    let word = &b[start..at];
+    let Some(eq) = word.iter().position(|&ch| ch == b'=') else {
+        return false;
+    };
+    let name = if eq > 0 && word[eq - 1] == b'+' {
+        &word[..eq - 1]
+    } else {
+        &word[..eq]
+    };
+    !name.is_empty()
+        && name[0].is_ascii_alphabetic()
+        && name
+            .iter()
+            .all(|&ch| ch.is_ascii_alphanumeric() || ch == b'_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Severity;
+
+    fn errors(src: &str) -> Vec<(usize, String)> {
+        check_shell_file("scripts/t.sh", src)
+            .into_iter()
+            .filter(|d| !d.allowed && d.severity == Severity::Error)
+            .map(|d| (d.line, format!("{}: {}", d.rule, d.message)))
+            .collect()
+    }
+
+    const STRICT: &str = "set -euo pipefail\n";
+
+    #[test]
+    fn missing_strict_mode_is_s01() {
+        let errs = errors("#!/bin/bash\necho hi\n");
+        assert!(errs.iter().any(|(_, m)| m.starts_with("S01")), "{errs:?}");
+        assert!(errors(&format!("#!/bin/bash\n{STRICT}")).is_empty());
+    }
+
+    #[test]
+    fn commented_strict_mode_does_not_count() {
+        let errs = errors("# set -euo pipefail\necho hi\n");
+        assert!(errs.iter().any(|(_, m)| m.starts_with("S01")));
+    }
+
+    #[test]
+    fn unquoted_var_is_s02_and_quoted_is_not() {
+        let errs = errors(&format!("{STRICT}rm -rf $dir\n"));
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(errs[0].1.contains("$dir"));
+        assert!(errors(&format!("{STRICT}rm -rf \"$dir\"\n")).is_empty());
+    }
+
+    #[test]
+    fn special_and_positional_params_are_flagged() {
+        let errs = errors(&format!("{STRICT}run $@ $1\n"));
+        assert_eq!(errs.len(), 2, "{errs:?}");
+        assert!(errors(&format!("{STRICT}run \"$@\" \"$1\"\n")).is_empty());
+    }
+
+    #[test]
+    fn safe_contexts_are_silent() {
+        let src = format!(
+            "{STRICT}x=$y\nz+=$y/suffix\nif [[ -f $f ]]; then :; fi\nn=$(( $a + 1 ))\ncase $mode in a) : ;; esac\n"
+        );
+        assert!(errors(&src).is_empty(), "{:?}", errors(&src));
+    }
+
+    #[test]
+    fn single_quotes_and_heredocs_are_opaque() {
+        let src = format!(
+            "{STRICT}trap 'rm -rf \"$d\" $x' EXIT\npython3 - <<'PY'\nprint($unquoted)\nPY\necho done\n"
+        );
+        assert!(errors(&src).is_empty(), "{:?}", errors(&src));
+    }
+
+    #[test]
+    fn herestrings_are_not_heredocs() {
+        let src = format!("{STRICT}read -r a <<<\"$pair\"\necho $oops\n");
+        let errs = errors(&src);
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(errs[0].1.contains("$oops"));
+    }
+
+    #[test]
+    fn nested_substitution_inside_quotes_rescans() {
+        // The inner "$ck" is quoted; $raw inside the substitution is not.
+        let src = format!("{STRICT}echo \"size $(wc -c < \"$ck\") and $(echo $raw)\"\n");
+        let errs = errors(&src);
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(errs[0].1.contains("$raw"));
+    }
+
+    #[test]
+    fn allow_comment_suppresses_with_reason() {
+        let src = format!("{STRICT}ls $glob # lint: allow(S02) — globbing is the point\n");
+        assert!(errors(&src).is_empty());
+        // And the standalone form covers the next line.
+        let src = format!("{STRICT}# lint: allow(S02) — globbing is the point\nls $glob\n");
+        assert!(errors(&src).is_empty());
+    }
+
+    #[test]
+    fn unused_allow_is_a_warning() {
+        let src = format!("{STRICT}# lint: allow(S02) — stale\necho fine\n");
+        let diags = check_shell_file("scripts/t.sh", &src);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == "L02" && d.severity == Severity::Warning));
+    }
+}

@@ -37,6 +37,8 @@
 //! assert_eq!(ratio.lower_bound_violations, 0);
 //! ```
 
+#![deny(deprecated)]
+
 pub use dkc_baselines as baselines;
 pub use dkc_core as core;
 pub use dkc_distsim as distsim;
