@@ -28,7 +28,9 @@ pub mod sarma;
 
 pub use coreness::{unweighted_coreness, weighted_coreness};
 pub use densest::{bahmani_densest, charikar_peeling, PeelingResult};
-pub use montresor::{montresor_exact_coreness, MontresorOutcome};
+pub use montresor::{
+    montresor_exact_coreness, montresor_exact_coreness_with_faults, MontresorOutcome,
+};
 pub use orientation::{
     barenboim_elkin_orientation, greedy_orientation, peeling_orientation, OrientationBaseline,
 };

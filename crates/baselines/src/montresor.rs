@@ -115,9 +115,27 @@ pub fn montresor_exact_coreness(
     max_rounds: usize,
     mode: ExecutionMode,
 ) -> MontresorOutcome {
+    montresor_exact_coreness_with_faults(g, max_rounds, mode, dkc_distsim::FaultPlan::none())
+}
+
+/// Runs the protocol under a deterministic [`dkc_distsim::FaultPlan`].
+///
+/// Unlike the paper's elimination procedure — whose merges are monotone
+/// non-increasing, so omission faults only slow convergence — Montresor's
+/// estimates track the *latest* heard value and never recover from a
+/// downward lie: a byzantine neighbour can permanently drag exact coreness
+/// estimates below the truth. The E14 experiment quantifies exactly this
+/// fragility gap.
+pub fn montresor_exact_coreness_with_faults(
+    g: &WeightedGraph,
+    max_rounds: usize,
+    mode: ExecutionMode,
+    faults: dkc_distsim::FaultPlan,
+) -> MontresorOutcome {
     let mode = mode.dense();
     let mut net = NetworkBuilder::new()
         .mode(mode)
+        .faults(faults)
         .build(g, |ctx| MontresorNode {
             estimate: ctx.degree(),
             neighbor_estimates: Vec::new(),

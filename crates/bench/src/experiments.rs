@@ -1,4 +1,4 @@
-//! Experiment implementations E1–E13 (see DESIGN.md §4). Each returns an
+//! Experiment implementations E1–E14 (see DESIGN.md §4). Each returns an
 //! [`ExperimentOutput`]: a [`Table`] for human consumption plus the
 //! [`ExperimentRecord`]s feeding the machine-readable report pipeline
 //! (`--json`, see [`crate::report`]).
@@ -7,8 +7,8 @@ use crate::report::ExperimentRecord;
 use crate::table::{f1, f3, Table};
 use crate::workloads::{standard_suite, WorkloadScale};
 use dkc_baselines::{
-    barenboim_elkin_orientation, greedy_orientation, montresor_exact_coreness, peeling_orientation,
-    weighted_coreness,
+    barenboim_elkin_orientation, greedy_orientation, montresor_exact_coreness,
+    montresor_exact_coreness_with_faults, peeling_orientation, weighted_coreness,
 };
 use dkc_core::api::{guaranteed_factor, rounds_for_epsilon};
 use dkc_core::compact::run_compact_elimination;
@@ -996,6 +996,212 @@ pub fn exp_faults(
     out
 }
 
+/// Accusation threshold the E14 quarantined scenarios use: two hash-scheduled
+/// accusation events silence a byzantine node. With the default 0.5 per-round
+/// detection probability this quarantines most byzantine nodes within a
+/// handful of rounds, leaving a measurable corruption prefix to recover from.
+pub const E14_QUARANTINE_THRESHOLD: u32 = 2;
+
+/// The deterministic E14 byzantine scenario matrix: byzantine fractions 0%,
+/// 10%, 20%, and 30% of nodes running all four behaviors (lie, equivocate,
+/// mute, spam) over the whole post-initialization run — each nonzero fraction
+/// both without and with quarantine
+/// ([`E14_QUARANTINE_THRESHOLD`] accusations). One shared seed constant keeps
+/// every counter reproducible and CI-gateable.
+pub fn byzantine_scenarios(budget: usize) -> Vec<(String, dkc_distsim::FaultPlan)> {
+    use dkc_distsim::{ByzantineModel, FaultPlan};
+    const SEED: u64 = 0xE14;
+    // Misbehave from round 2 (after every node's initialization broadcast,
+    // mirroring the E13 crash window) through the end of the budget.
+    let last = budget.max(2);
+    let mut scenarios = vec![("byz-0.00".to_string(), FaultPlan::none())];
+    for fraction in [0.1, 0.2, 0.3] {
+        let model = ByzantineModel::new(fraction, ByzantineModel::ALL_BEHAVIORS, 2, last, SEED);
+        scenarios.push((
+            format!("byz-{fraction:.2}"),
+            FaultPlan::none().with_byzantine(model),
+        ));
+        scenarios.push((
+            format!("byz-{fraction:.2}-q"),
+            FaultPlan::none().with_byzantine(model.with_quarantine(E14_QUARANTINE_THRESHOLD)),
+        ));
+    }
+    scenarios
+}
+
+/// Mean per-node **underestimation** `max(0, 1 - approx(v)/exact(v))` — the
+/// E14 soundness metric. The protocol's correctness contract (Lemma III.2)
+/// is that surviving numbers stay *upper bounds* on the coreness: omission
+/// faults and quarantine staleness only inflate values (costing
+/// approximation factor, the documented graceful-degradation mode), while
+/// byzantine lies drag values *below* the truth — unsound output that no
+/// extra rounds can repair. This measures exactly the unsound half.
+fn mean_underestimation(approx: &[f64], exact: &[f64]) -> f64 {
+    directional_error(approx, exact, |r| (1.0 - r).max(0.0))
+}
+
+/// Mean per-node **overestimation** `max(0, approx(v)/exact(v) - 1)` — the
+/// staleness/slack half of the E14 quality picture (how far above the truth
+/// the output sits, e.g. because quarantined senders froze their receivers'
+/// caches at pre-convergence values).
+fn mean_overestimation(approx: &[f64], exact: &[f64]) -> f64 {
+    directional_error(approx, exact, |r| (r - 1.0).max(0.0))
+}
+
+fn directional_error(approx: &[f64], exact: &[f64], err: impl Fn(f64) -> f64) -> f64 {
+    assert_eq!(approx.len(), exact.len());
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (&a, &e) in approx.iter().zip(exact) {
+        if e.abs() < 1e-12 {
+            continue;
+        }
+        sum += err(a / e);
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+/// E14: byzantine degradation. Runs the compact elimination and the Montresor
+/// exact baseline under byzantine fractions 0–30% (all four behaviors), with
+/// and without quarantine, reporting coreness soundness (lower-bound
+/// violations and mean underestimation vs the exact coreness), staleness
+/// (mean overestimation), rounds-to-converge, and the deterministic
+/// accusation/quarantine counters CI gates on. When `custom` is given (the
+/// `exp_byzantine` fault flags), it replaces the scenario matrix and runs
+/// against the fault-free control.
+///
+/// Two invariants are asserted on every run of the standard matrix, so each
+/// CI pass re-certifies them: the sparse executor stays byte-identical to the
+/// dense one under every byzantine plan, and quarantine strictly reduces
+/// aggregate unsound corruption (mean underestimation) vs no-quarantine at
+/// every fraction ≥ 10% — it converts lies into upper-bound staleness, the
+/// failure mode the approximation guarantee is built to absorb (graceful
+/// degradation instead of silent corruption).
+pub fn exp_byzantine(
+    scale: WorkloadScale,
+    custom: Option<dkc_distsim::FaultPlan>,
+) -> ExperimentOutput {
+    use dkc_core::compact::run_compact_elimination_with_faults;
+    use std::collections::BTreeMap;
+    let mut out = ExperimentOutput::new(Table::new(
+        "E14: byzantine faults (lie/equivocate/mute/spam) — degradation and quarantine recovery",
+        &[
+            "workload",
+            "scenario",
+            "T",
+            "converged@",
+            "accused",
+            "quarantined",
+            "viol",
+            "under",
+            "stale",
+            "x-viol",
+            "x-under",
+        ],
+    ));
+    // Aggregate quality per scenario across workloads, keyed by scenario
+    // name (BTreeMap: dkc-lint D01 forbids unordered iteration).
+    let mut scenario_error: BTreeMap<String, f64> = BTreeMap::new();
+    for workload in fault_workloads(scale) {
+        let g = &workload.graph;
+        let n = g.num_nodes();
+        // Same slack as E13: enough budget that every scenario converges (or
+        // visibly fails to) inside the run.
+        let budget = 3 * rounds_for_epsilon(n, 0.5);
+        let exact_core = weighted_coreness(g);
+        let scenarios = match custom {
+            Some(plan) => vec![
+                ("byz-0.00".to_string(), dkc_distsim::FaultPlan::none()),
+                ("custom".to_string(), plan),
+            ],
+            None => byzantine_scenarios(budget),
+        };
+        for (scenario, plan) in scenarios {
+            let run = run_compact_elimination_with_faults(
+                g,
+                budget,
+                ThresholdSet::Reals,
+                ExecutionMode::SparseParallel,
+                plan,
+            );
+            // Re-certify sparse/dense equivalence under this byzantine plan.
+            let dense = run_compact_elimination_with_faults(
+                g,
+                budget,
+                ThresholdSet::Reals,
+                default_mode(),
+                plan,
+            );
+            assert_eq!(
+                run.surviving, dense.surviving,
+                "sparse executor diverged from dense on {}-{scenario} — this is a bug",
+                workload.name
+            );
+            // The exact-protocol baseline under the identical plan: Montresor
+            // estimates chase the latest heard value, so downward lies stick.
+            let exact_run = montresor_exact_coreness_with_faults(g, budget, default_mode(), plan);
+            let ratio = ApproxRatio::compute(&run.surviving, &exact_core);
+            let under = mean_underestimation(&run.surviving, &exact_core);
+            let stale = mean_overestimation(&run.surviving, &exact_core);
+            let exact_ratio = ApproxRatio::compute(&exact_run.coreness, &exact_core);
+            let exact_under = mean_underestimation(&exact_run.coreness, &exact_core);
+            *scenario_error.entry(scenario.clone()).or_insert(0.0) += under;
+            let converged = run
+                .metrics
+                .last_active_round()
+                .map_or("never".to_string(), |r| r.to_string());
+            out.records.push(ExperimentRecord::from_metrics(
+                "E14",
+                format!("{}-{scenario}", workload.name),
+                scale.name(),
+                &run.metrics,
+            ));
+            out.records.push(ExperimentRecord::from_metrics(
+                "E14",
+                format!("{}-{scenario}-montresor", workload.name),
+                scale.name(),
+                &exact_run.metrics,
+            ));
+            out.table.row(vec![
+                workload.name.into(),
+                scenario,
+                budget.to_string(),
+                converged,
+                run.metrics.byzantine_accusations().to_string(),
+                run.metrics.quarantined_nodes().to_string(),
+                ratio.lower_bound_violations.to_string(),
+                f3(under),
+                f3(stale),
+                exact_ratio.lower_bound_violations.to_string(),
+                f3(exact_under),
+            ]);
+        }
+    }
+    if custom.is_none() {
+        // The headline claim of the quarantine layer, re-certified on every
+        // run: at every byzantine fraction ≥ 10%, silencing accused nodes
+        // strictly reduces aggregate unsound corruption (values below the
+        // true coreness).
+        for fraction in ["0.10", "0.20", "0.30"] {
+            let open = scenario_error[&format!("byz-{fraction}")];
+            let quarantined = scenario_error[&format!("byz-{fraction}-q")];
+            assert!(
+                quarantined < open,
+                "quarantine failed to recover coreness soundness at byzantine \
+                 fraction {fraction}: mean underestimation {quarantined:.4} \
+                 (quarantined) vs {open:.4} (open) — the detection layer is \
+                 not helping"
+            );
+        }
+    }
+    out
+}
+
 /// E11: streaming dataset ingestion. For each sparse-id workload the table
 /// reports per-format file size, parse wall-clock, and edge throughput; the
 /// records carry deterministic counters (distinct nodes as `rounds`, edges
@@ -1067,7 +1273,10 @@ pub fn exp_ingest(scale: WorkloadScale) -> ExperimentOutput {
                 dropped_loss: 0,
                 dropped_burst: 0,
                 dropped_partition: 0,
+                dropped_byzantine: 0,
                 crashed_nodes: 0,
+                byzantine_accusations: 0,
+                quarantined_nodes: 0,
                 messages_per_sec: if secs > 0.0 { edges as f64 / secs } else { 0.0 },
             });
             out.table.row(vec![

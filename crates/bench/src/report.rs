@@ -7,11 +7,11 @@
 //! non-deterministic timing columns (wall-clock, derived messages/sec) that
 //! make regressions visible without failing builds.
 //!
-//! Schema (version 4):
+//! Schema (version 5):
 //!
 //! ```json
 //! {
-//!   "schema_version": 4,
+//!   "schema_version": 5,
 //!   "suite": "exp_all",
 //!   "scale": "tiny",
 //!   "records": [
@@ -29,7 +29,10 @@
 //!       "dropped_loss": 120,
 //!       "dropped_burst": 0,
 //!       "dropped_partition": 0,
+//!       "dropped_byzantine": 0,
 //!       "crashed_nodes": 0,
+//!       "byzantine_accusations": 0,
+//!       "quarantined_nodes": 0,
 //!       "messages_per_sec": 31992000.0
 //!     }
 //!   ]
@@ -47,13 +50,16 @@
 //! **measured** total size of the length-prefixed encoded frames every
 //! delivered message would occupy on the wire, as opposed to the
 //! `MessageSize`-estimated `payload_bits` (see `dkc_distsim::wire`).
+//! Version 5 (the byzantine-fault PR) adds the three deterministic byzantine
+//! counters (`dropped_byzantine`, `byzantine_accusations`,
+//! `quarantined_nodes`) that E14 gates on.
 //! Older reports are still **read**: a missing counter
 //! introduced by a later version defaults to 0 and the parsed report is
 //! upgraded in memory (its `schema_version` becomes the current one), so
 //! re-serializing always emits the current schema. In a report carrying the
 //! version that introduced a field, that field is mandatory. Baselines under
-//! `bench/baselines/` are committed in v4 form; `scripts/check_bench.sh`
-//! understands all four versions.
+//! `bench/baselines/` are committed in v5 form; `scripts/check_bench.sh`
+//! understands all five versions.
 //!
 //! Serialization goes through the vendored `serde` data model into
 //! `serde_json`; parsing uses `serde_json::Value` accessors so malformed
@@ -67,7 +73,7 @@ use std::path::Path;
 use std::time::Duration;
 
 /// Version stamp written into every report; bump when the schema changes.
-pub const SCHEMA_VERSION: u64 = 4;
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Oldest schema version [`Report::from_json`] still accepts (upgrading it
 /// to [`SCHEMA_VERSION`] in memory).
@@ -115,8 +121,17 @@ pub struct ExperimentRecord {
     pub dropped_burst: usize,
     /// Copies dropped by partition cuts (deterministic).
     pub dropped_partition: usize,
+    /// Copies dropped by byzantine senders selectively muting (deterministic;
+    /// 0 for byzantine-free runs and for records migrated from schema ≤ 4).
+    pub dropped_byzantine: usize,
     /// Nodes crash-stopped by the end of the run (deterministic).
     pub crashed_nodes: usize,
+    /// Byzantine accusation events accumulated over the run (deterministic;
+    /// the pure hash schedule of `dkc_distsim::ByzantineModel`, identical
+    /// across every execution mode).
+    pub byzantine_accusations: usize,
+    /// Nodes quarantined by the end of the run (deterministic).
+    pub quarantined_nodes: usize,
     /// Derived throughput: `total_messages / wall_clock` (non-deterministic,
     /// 0 when no messages or no measurable time).
     pub messages_per_sec: f64,
@@ -147,7 +162,10 @@ impl ExperimentRecord {
             dropped_loss: metrics.total_dropped_loss(),
             dropped_burst: metrics.total_dropped_burst(),
             dropped_partition: metrics.total_dropped_partition(),
+            dropped_byzantine: metrics.total_dropped_byzantine(),
             crashed_nodes: metrics.crashed_nodes(),
+            byzantine_accusations: metrics.byzantine_accusations(),
+            quarantined_nodes: metrics.quarantined_nodes(),
             messages_per_sec: metrics.messages_per_sec(),
         }
     }
@@ -177,7 +195,10 @@ impl ExperimentRecord {
             dropped_loss: 0,
             dropped_burst: 0,
             dropped_partition: 0,
+            dropped_byzantine: 0,
             crashed_nodes: 0,
+            byzantine_accusations: 0,
+            quarantined_nodes: 0,
             messages_per_sec: derive_throughput(total_messages, wall),
         }
     }
@@ -205,7 +226,10 @@ impl ExperimentRecord {
             dropped_loss: 0,
             dropped_burst: 0,
             dropped_partition: 0,
+            dropped_byzantine: 0,
             crashed_nodes: 0,
+            byzantine_accusations: 0,
+            quarantined_nodes: 0,
             messages_per_sec: 0.0,
         }
     }
@@ -239,7 +263,7 @@ fn derive_throughput(total_messages: usize, wall: Duration) -> f64 {
 
 impl Serialize for ExperimentRecord {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut s = serializer.serialize_struct("ExperimentRecord", 15)?;
+        let mut s = serializer.serialize_struct("ExperimentRecord", 18)?;
         s.serialize_field("experiment", &self.experiment)?;
         s.serialize_field("workload", &self.workload)?;
         s.serialize_field("scale", &self.scale)?;
@@ -253,7 +277,10 @@ impl Serialize for ExperimentRecord {
         s.serialize_field("dropped_loss", &self.dropped_loss)?;
         s.serialize_field("dropped_burst", &self.dropped_burst)?;
         s.serialize_field("dropped_partition", &self.dropped_partition)?;
+        s.serialize_field("dropped_byzantine", &self.dropped_byzantine)?;
         s.serialize_field("crashed_nodes", &self.crashed_nodes)?;
+        s.serialize_field("byzantine_accusations", &self.byzantine_accusations)?;
+        s.serialize_field("quarantined_nodes", &self.quarantined_nodes)?;
         s.serialize_field("messages_per_sec", &self.messages_per_sec)?;
         s.end()
     }
@@ -463,7 +490,11 @@ fn record_from_value(v: &Value, schema_version: u64) -> Result<ExperimentRecord,
         dropped_loss: field_usize_since(v, "dropped_loss", schema_version, 3)?,
         dropped_burst: field_usize_since(v, "dropped_burst", schema_version, 3)?,
         dropped_partition: field_usize_since(v, "dropped_partition", schema_version, 3)?,
+        // The byzantine counters arrived in v5; older reports default to 0.
+        dropped_byzantine: field_usize_since(v, "dropped_byzantine", schema_version, 5)?,
         crashed_nodes: field_usize_since(v, "crashed_nodes", schema_version, 3)?,
+        byzantine_accusations: field_usize_since(v, "byzantine_accusations", schema_version, 5)?,
+        quarantined_nodes: field_usize_since(v, "quarantined_nodes", schema_version, 5)?,
         messages_per_sec: field_f64(v, "messages_per_sec")?,
     })
 }
@@ -504,7 +535,10 @@ mod tests {
                 dropped_loss: 120,
                 dropped_burst: 7,
                 dropped_partition: 0,
+                dropped_byzantine: 5,
                 crashed_nodes: 3,
+                byzantine_accusations: 9,
+                quarantined_nodes: 2,
                 messages_per_sec: 3.2e7,
             },
             ExperimentRecord::centralized("E2", "grid", "tiny", Duration::from_micros(1500), 17),
@@ -543,7 +577,7 @@ mod tests {
         assert!(Report::from_json("{}").is_err());
         let wrong_version = sample_report()
             .to_json()
-            .replace("\"schema_version\": 4", "\"schema_version\": 999");
+            .replace("\"schema_version\": 5", "\"schema_version\": 999");
         let err = Report::from_json(&wrong_version).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
         let missing_field = sample_report()
@@ -568,17 +602,24 @@ mod tests {
         "crashed_nodes",
     ];
 
+    const BYZANTINE_COUNTERS: [&str; 3] = [
+        "dropped_byzantine",
+        "byzantine_accusations",
+        "quarantined_nodes",
+    ];
+
     #[test]
-    fn v1_reports_migrate_to_v4_on_read() {
+    fn v1_reports_migrate_to_v5_on_read() {
         // Simulate a committed v1 report: no node_updates, no fault counters,
-        // no wire_bits anywhere.
+        // no wire_bits, no byzantine counters anywhere.
         let v1 = strip_fields(
             &sample_report()
                 .to_json()
-                .replace("\"schema_version\": 4", "\"schema_version\": 1"),
+                .replace("\"schema_version\": 5", "\"schema_version\": 1"),
             &["node_updates", "wire_bits"],
         );
         let v1 = strip_fields(&v1, &FAULT_COUNTERS);
+        let v1 = strip_fields(&v1, &BYZANTINE_COUNTERS);
         let parsed = Report::from_json(&v1).expect("v1 reports must still parse");
         assert_eq!(parsed.schema_version, SCHEMA_VERSION, "upgraded in memory");
         assert!(parsed.records.iter().all(|r| r.node_updates == 0));
@@ -586,13 +627,17 @@ mod tests {
         assert!(parsed.records.iter().all(|r| r.dropped_loss == 0
             && r.dropped_burst == 0
             && r.dropped_partition == 0
-            && r.crashed_nodes == 0));
+            && r.dropped_byzantine == 0
+            && r.crashed_nodes == 0
+            && r.byzantine_accusations == 0
+            && r.quarantined_nodes == 0));
         // Re-serializing emits the current schema with the fields present.
         let rewritten = parsed.to_json();
-        assert!(rewritten.contains("\"schema_version\": 4"));
+        assert!(rewritten.contains("\"schema_version\": 5"));
         assert!(rewritten.contains("\"node_updates\": 0"));
         assert!(rewritten.contains("\"dropped_loss\": 0"));
         assert!(rewritten.contains("\"wire_bits\": 0"));
+        assert!(rewritten.contains("\"dropped_byzantine\": 0"));
         // In a v2-or-later report, node_updates is mandatory.
         let v2_missing = strip_fields(&sample_report().to_json(), &["node_updates"]);
         let err = Report::from_json(&v2_missing).unwrap_err();
@@ -600,16 +645,17 @@ mod tests {
     }
 
     #[test]
-    fn v2_reports_migrate_to_v4_on_read() {
-        // Simulate a committed v2 report: node_updates present, fault
-        // counters and wire_bits absent.
+    fn v2_reports_migrate_to_v5_on_read() {
+        // Simulate a committed v2 report: node_updates present; fault
+        // counters, wire_bits, and byzantine counters absent.
         let v2 = strip_fields(
             &sample_report()
                 .to_json()
-                .replace("\"schema_version\": 4", "\"schema_version\": 2"),
+                .replace("\"schema_version\": 5", "\"schema_version\": 2"),
             &FAULT_COUNTERS,
         );
         let v2 = strip_fields(&v2, &["wire_bits"]);
+        let v2 = strip_fields(&v2, &BYZANTINE_COUNTERS);
         let parsed = Report::from_json(&v2).expect("v2 reports must still parse");
         assert_eq!(parsed.schema_version, SCHEMA_VERSION, "upgraded in memory");
         assert_eq!(parsed.records[0].node_updates, 42_000, "v2 fields kept");
@@ -626,22 +672,48 @@ mod tests {
     }
 
     #[test]
-    fn v3_reports_migrate_to_v4_on_read() {
-        // Simulate a committed v3 report: everything but wire_bits present.
+    fn v3_reports_migrate_to_v5_on_read() {
+        // Simulate a committed v3 report: everything but wire_bits and the
+        // byzantine counters present.
         let v3 = strip_fields(
             &sample_report()
                 .to_json()
-                .replace("\"schema_version\": 4", "\"schema_version\": 3"),
+                .replace("\"schema_version\": 5", "\"schema_version\": 3"),
             &["wire_bits"],
         );
+        let v3 = strip_fields(&v3, &BYZANTINE_COUNTERS);
         let parsed = Report::from_json(&v3).expect("v3 reports must still parse");
         assert_eq!(parsed.schema_version, SCHEMA_VERSION, "upgraded in memory");
         assert_eq!(parsed.records[0].dropped_loss, 120, "v3 fields kept");
         assert!(parsed.records.iter().all(|r| r.wire_bits == 0));
-        // In a v4 report the measured wire counter is mandatory.
+        // In a v4-or-later report the measured wire counter is mandatory.
         let missing = strip_fields(&sample_report().to_json(), &["wire_bits"]);
         let err = Report::from_json(&missing).unwrap_err();
         assert!(err.contains("wire_bits"), "{err}");
+    }
+
+    #[test]
+    fn v4_reports_migrate_to_v5_on_read() {
+        // Simulate a committed v4 report: everything but the byzantine
+        // counters present.
+        let v4 = strip_fields(
+            &sample_report()
+                .to_json()
+                .replace("\"schema_version\": 5", "\"schema_version\": 4"),
+            &BYZANTINE_COUNTERS,
+        );
+        let parsed = Report::from_json(&v4).expect("v4 reports must still parse");
+        assert_eq!(parsed.schema_version, SCHEMA_VERSION, "upgraded in memory");
+        assert_eq!(parsed.records[0].wire_bits, 26_803_200, "v4 fields kept");
+        assert!(parsed.records.iter().all(|r| r.dropped_byzantine == 0
+            && r.byzantine_accusations == 0
+            && r.quarantined_nodes == 0));
+        // In a v5 report every byzantine counter is mandatory.
+        for counter in BYZANTINE_COUNTERS {
+            let missing = strip_fields(&sample_report().to_json(), &[counter]);
+            let err = Report::from_json(&missing).unwrap_err();
+            assert!(err.contains(counter), "{counter}: {err}");
+        }
     }
 
     #[test]

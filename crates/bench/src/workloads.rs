@@ -90,6 +90,11 @@ impl WorkloadScale {
 ///   `p` at a deterministic round in `first..=last`
 /// * `--partition <f>:<first>:<last>` — a hashed `f`-fraction node set is
 ///   cut off during rounds `first..=last`, healing afterwards
+/// * `--byzantine <f>:<behaviors>:<first>:<last>` — a hashed `f`-fraction of
+///   nodes misbehaves (`behaviors` = `+`-separated names from
+///   lie/equivocate/mute/spam, or `all`) during rounds `first..=last`
+/// * `--quarantine <threshold>` — stop delivering from a byzantine node once
+///   it accumulates `threshold` accusations (requires `--byzantine`)
 /// * `--fault-seed <seed>` — seed shared by all fault components
 #[derive(Clone, Debug, PartialEq, Default)]
 pub struct ExpArgs {
@@ -167,6 +172,8 @@ impl ExpArgs {
         let mut burst: Option<String> = None;
         let mut crash: Option<String> = None;
         let mut partition: Option<String> = None;
+        let mut byzantine: Option<String> = None;
+        let mut quarantine: Option<String> = None;
         let mut args = args;
         let next_value = |flag: &str,
                           args: &mut dyn Iterator<Item = String>,
@@ -210,6 +217,12 @@ impl ExpArgs {
                 "partition" => {
                     partition = Some(next_value("partition", &mut args, inline.as_deref())?)
                 }
+                "byzantine" => {
+                    byzantine = Some(next_value("byzantine", &mut args, inline.as_deref())?)
+                }
+                "quarantine" => {
+                    quarantine = Some(next_value("quarantine", &mut args, inline.as_deref())?)
+                }
                 "fault-seed" => {
                     let v = next_value("fault-seed", &mut args, inline.as_deref())?;
                     fault_seed = v
@@ -222,7 +235,9 @@ impl ExpArgs {
                          --scale <tiny|small|medium>, --json <path>, --threads <n>, \
                          --mode <lockstep|mailbox>, \
                          --loss <p>, --burst <period>:<len>, --crash <p>:<first>:<last>, \
-                         --partition <f>:<first>:<last>, --fault-seed <seed>"
+                         --partition <f>:<first>:<last>, \
+                         --byzantine <f>:<behaviors>:<first>:<last>, \
+                         --quarantine <threshold>, --fault-seed <seed>"
                     ));
                 }
             }
@@ -232,6 +247,8 @@ impl ExpArgs {
             burst.as_deref(),
             crash.as_deref(),
             partition.as_deref(),
+            byzantine.as_deref(),
+            quarantine.as_deref(),
             fault_seed,
         )?;
         Ok(parsed)
@@ -517,6 +534,51 @@ mod tests {
         assert_eq!(reordered.faults.loss, Some(LossModel::new(0.25, 77)));
         // No fault flags => trivial plan.
         assert!(parse_ok(&["--scale", "tiny"]).faults.is_trivial());
+    }
+
+    #[test]
+    fn exp_args_parse_byzantine_flags_into_a_plan() {
+        use dkc_distsim::{Behavior, ByzantineModel};
+        let args = parse_ok(&[
+            "--byzantine",
+            "0.2:lie+mute:3:9",
+            "--quarantine=2",
+            "--fault-seed",
+            "77",
+        ]);
+        assert_eq!(
+            args.faults.byzantine,
+            Some(
+                ByzantineModel::new(
+                    0.2,
+                    Behavior::Lie.bit() | Behavior::Mute.bit(),
+                    3,
+                    9,
+                    77 ^ 0xE0
+                )
+                .with_quarantine(2)
+            )
+        );
+        // `all` expands to every behavior bit; quarantine stays disabled
+        // without the flag.
+        let all = parse_ok(&["--byzantine=0.1:all:2:5"]);
+        let model = all.faults.byzantine.expect("byzantine model");
+        assert_eq!(model.behaviors, ByzantineModel::ALL_BEHAVIORS);
+        assert_eq!(model.quarantine, 0);
+    }
+
+    #[test]
+    fn exp_args_reject_malformed_byzantine_specs() {
+        assert!(parse_err(&["--byzantine", "0.2"])
+            .contains("<fraction>:<behaviors>:<first-round>:<last-round>"));
+        assert!(parse_err(&["--byzantine", "1.5:all:2:9"]).contains("[0, 1]"));
+        assert!(parse_err(&["--byzantine", "0.2:gossip:2:9"]).contains("unknown behavior name"));
+        assert!(parse_err(&["--byzantine", "0.2:all:1:9"]).contains("2 <= first"));
+        assert!(parse_err(&["--byzantine", "0.2:all:9:2"]).contains("2 <= first <= last"));
+        assert!(parse_err(&["--byzantine", "0.2:all:x:9"]).contains("must be an integer"));
+        assert!(parse_err(&["--quarantine", "2"]).contains("--quarantine requires --byzantine"));
+        assert!(parse_err(&["--byzantine=0.2:all:2:9", "--quarantine=many"])
+            .contains("expects an accusation threshold"));
     }
 
     #[test]

@@ -47,6 +47,7 @@ smoke_tests! {
     exp_ingest_runs_tiny => "exp_ingest",
     exp_frontier_runs_tiny => "exp_frontier",
     exp_faults_runs_tiny => "exp_faults",
+    exp_byzantine_runs_tiny => "exp_byzantine",
     exp_all_runs_tiny => "exp_all",
 }
 
@@ -102,6 +103,7 @@ smoke_json_tests! {
     exp_ingest_honors_json => "exp_ingest",
     exp_frontier_honors_json => "exp_frontier",
     exp_faults_honors_json => "exp_faults",
+    exp_byzantine_honors_json => "exp_byzantine",
     exp_all_honors_json => "exp_all",
 }
 
@@ -124,7 +126,7 @@ fn exp_all_aggregates_every_experiment() {
         .collect();
     ids.dedup();
     for expected in [
-        "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
+        "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14",
     ] {
         assert!(
             ids.contains(&expected),
@@ -239,6 +241,42 @@ fn exp_faults_accepts_and_rejects_fault_flags() {
         .expect("failed to spawn exp_faults");
     assert_eq!(output.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&output.stderr).contains("[0, 1]"));
+}
+
+/// The exp_byzantine binary accepts a custom byzantine plan through the
+/// shared fault flags and rejects malformed specs.
+#[test]
+fn exp_byzantine_accepts_and_rejects_byzantine_flags() {
+    let output = Command::new(env!("CARGO_BIN_EXE_exp_byzantine"))
+        .args([
+            "--scale",
+            "tiny",
+            "--byzantine",
+            "0.2:lie+spam:2:20",
+            "--quarantine",
+            "2",
+            "--fault-seed",
+            "9",
+        ])
+        .output()
+        .expect("failed to spawn exp_byzantine");
+    assert!(
+        output.status.success(),
+        "custom byzantine flags failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("custom"),
+        "custom scenario missing:
+{stdout}"
+    );
+    let output = Command::new(env!("CARGO_BIN_EXE_exp_byzantine"))
+        .args(["--scale", "tiny", "--byzantine", "0.2:gossip:2:20"])
+        .output()
+        .expect("failed to spawn exp_byzantine");
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("unknown behavior name"));
 }
 
 #[test]

@@ -5,9 +5,9 @@
 //! (`crates/distsim/src/mailbox.rs`), and the bench harness
 //! (`crates/bench/src/experiments.rs`) — all on the dkc-lint D02 allowlist.
 //! Those readings may only ever reach the two timing fields of an
-//! [`ExperimentRecord`] (`wall_clock_ms`, `messages_per_sec`), never the ten
-//! deterministic counters `scripts/check_bench.sh` gates on. These tests pin
-//! both halves of that contract.
+//! [`ExperimentRecord`] (`wall_clock_ms`, `messages_per_sec`), never the
+//! thirteen deterministic counters `scripts/check_bench.sh` gates on. These
+//! tests pin both halves of that contract.
 
 use dkc_bench::report::ExperimentRecord;
 use dkc_distsim::{RoundStats, RunMetrics};
@@ -26,7 +26,10 @@ fn busy_round(round: usize) -> RoundStats {
         dropped_loss: 3,
         dropped_burst: 2,
         dropped_partition: 1,
+        dropped_byzantine: 4,
         crashed_nodes: 1,
+        byzantine_accusations: 6,
+        quarantined_nodes: 2,
     }
 }
 
@@ -49,7 +52,10 @@ fn elapsed_time_only_reaches_the_timing_fields() {
     assert_eq!(a.dropped_loss, b.dropped_loss);
     assert_eq!(a.dropped_burst, b.dropped_burst);
     assert_eq!(a.dropped_partition, b.dropped_partition);
+    assert_eq!(a.dropped_byzantine, b.dropped_byzantine);
     assert_eq!(a.crashed_nodes, b.crashed_nodes);
+    assert_eq!(a.byzantine_accusations, b.byzantine_accusations);
+    assert_eq!(a.quarantined_nodes, b.quarantined_nodes);
 
     // …and the wall clock moved only the two timing fields.
     assert!((a.wall_clock_ms - 10.0).abs() < 1e-9);
@@ -72,7 +78,10 @@ fn elapsed_time_only_reaches_the_timing_fields() {
         dropped_loss: _,
         dropped_burst: _,
         dropped_partition: _,
+        dropped_byzantine: _,
         crashed_nodes: _,
+        byzantine_accusations: _,
+        quarantined_nodes: _,
         messages_per_sec: _,
     } = a;
 }
@@ -99,7 +108,10 @@ fn check_bench_gates_exactly_the_deterministic_counters() {
         "dropped_loss",
         "dropped_burst",
         "dropped_partition",
+        "dropped_byzantine",
         "crashed_nodes",
+        "byzantine_accusations",
+        "quarantined_nodes",
     ];
     assert_eq!(
         gated, deterministic,

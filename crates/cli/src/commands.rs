@@ -188,6 +188,7 @@ fn convert(parsed: &Parsed) -> Result<String, String> {
 
 /// Builds a `FaultPlan` from the fault flags (`--loss P`,
 /// `--burst PERIOD:LEN`, `--crash P:FIRST:LAST`, `--partition F:FIRST:LAST`,
+/// `--byzantine F:BEHAVIORS:FIRST:LAST`, `--quarantine THRESHOLD`,
 /// `--fault-seed S`) through the shared spec grammar in
 /// `dkc_distsim::faults::spec` — the exact parser the `exp_*` binaries use,
 /// so both front ends accept identical specs and derive identical seeds.
@@ -199,6 +200,8 @@ fn fault_plan(parsed: &Parsed) -> Result<dkc_distsim::FaultPlan, String> {
         parsed.flags.get("burst").map(String::as_str),
         parsed.flags.get("crash").map(String::as_str),
         parsed.flags.get("partition").map(String::as_str),
+        parsed.flags.get("byzantine").map(String::as_str),
+        parsed.flags.get("quarantine").map(String::as_str),
         seed,
     )
 }
@@ -223,7 +226,7 @@ fn checkpoint_config(parsed: &Parsed) -> Result<Option<CheckpointConfig>, String
 
 /// Flags that name run parameters recorded in a checkpoint's preamble; with
 /// `--resume` they would be silently ignored, so they are rejected instead.
-const RESUME_CONFLICTS: [&str; 8] = [
+const RESUME_CONFLICTS: [&str; 10] = [
     "rounds",
     "epsilon",
     "lambda",
@@ -231,6 +234,8 @@ const RESUME_CONFLICTS: [&str; 8] = [
     "burst",
     "crash",
     "partition",
+    "byzantine",
+    "quarantine",
     "fault-seed",
 ];
 
@@ -247,6 +252,8 @@ fn coreness(parsed: &Parsed) -> Result<String, String> {
         "burst",
         "crash",
         "partition",
+        "byzantine",
+        "quarantine",
         "fault-seed",
         "checkpoint",
         "checkpoint-every",
@@ -365,14 +372,24 @@ fn coreness(parsed: &Parsed) -> Result<String, String> {
         let m = &approx.metrics;
         let _ = writeln!(
             out,
-            "fault injection: {} dropped (loss {}, burst {}, partition {}), {} crashed nodes; \
+            "fault injection: {} dropped (loss {}, burst {}, partition {}, byzantine-mute {}), \
+             {} crashed nodes; \
              values remain upper bounds but the factor is no longer guaranteed",
             m.total_dropped(),
             m.total_dropped_loss(),
             m.total_dropped_burst(),
             m.total_dropped_partition(),
+            m.total_dropped_byzantine(),
             m.crashed_nodes()
         );
+        if faults.byzantine.is_some() {
+            let _ = writeln!(
+                out,
+                "byzantine detection: {} accusations, {} nodes quarantined",
+                m.byzantine_accusations(),
+                m.quarantined_nodes()
+            );
+        }
     }
     let top: usize = parsed.flag_num("top", 5)?;
     let mut ranked: Vec<usize> = (0..g.num_nodes()).collect();
@@ -620,6 +637,80 @@ mod tests {
         // Fault flags belong to coreness only (for now).
         let err = dispatch(&parse(&["stats", &path, "--loss", "0.1"])).unwrap_err();
         assert!(err.contains("--loss"), "{err}");
+    }
+
+    #[test]
+    fn coreness_byzantine_flags_run_and_report() {
+        let path = temp_graph();
+        let out = dispatch(&parse(&[
+            "coreness",
+            &path,
+            "--rounds",
+            "10",
+            "--byzantine",
+            "0.3:all:2:8",
+            "--quarantine",
+            "1",
+            "--fault-seed",
+            "11",
+        ]))
+        .unwrap();
+        assert!(out.contains("byzantine-mute"), "{out}");
+        assert!(out.contains("byzantine detection:"), "{out}");
+        assert!(out.contains("accusations"), "{out}");
+        assert!(out.contains("quarantined"), "{out}");
+        // Non-byzantine fault runs do not print the detection line.
+        let plain = dispatch(&parse(&["coreness", &path, "--loss", "0.2"])).unwrap();
+        assert!(!plain.contains("byzantine detection"), "{plain}");
+    }
+
+    #[test]
+    fn coreness_byzantine_flags_are_validated() {
+        let path = temp_graph();
+        let err = dispatch(&parse(&["coreness", &path, "--byzantine", "0.2"])).unwrap_err();
+        assert_eq!(
+            err,
+            "--byzantine expects <fraction>:<behaviors>:<first-round>:<last-round>, got \"0.2\""
+        );
+        let err = dispatch(&parse(&["coreness", &path, "--byzantine", "1.5:all:2:9"])).unwrap_err();
+        assert_eq!(err, "--byzantine must be in [0, 1] (got 1.5)");
+        let err = dispatch(&parse(&[
+            "coreness",
+            &path,
+            "--byzantine",
+            "0.2:gossip:2:9",
+        ]))
+        .unwrap_err();
+        assert_eq!(
+            err,
+            "--byzantine: unknown behavior name \"gossip\" \
+             (expected lie, equivocate, mute, spam, or all)"
+        );
+        let err = dispatch(&parse(&["coreness", &path, "--byzantine", "0.2:all:1:9"])).unwrap_err();
+        assert_eq!(
+            err,
+            "--byzantine window must satisfy 2 <= first <= last (got 1..=9)"
+        );
+        let err = dispatch(&parse(&["coreness", &path, "--byzantine", "0.2:all:2:x"])).unwrap_err();
+        assert_eq!(err, "--byzantine: last round must be an integer, got \"x\"");
+        let err = dispatch(&parse(&["coreness", &path, "--quarantine", "2"])).unwrap_err();
+        assert_eq!(err, "--quarantine requires --byzantine");
+        let err = dispatch(&parse(&[
+            "coreness",
+            &path,
+            "--byzantine",
+            "0.2:all:2:9",
+            "--quarantine",
+            "many",
+        ]))
+        .unwrap_err();
+        assert_eq!(
+            err,
+            "--quarantine expects an accusation threshold, got \"many\""
+        );
+        // Byzantine flags belong to coreness only (for now).
+        let err = dispatch(&parse(&["stats", &path, "--byzantine", "0.2:all:2:9"])).unwrap_err();
+        assert!(err.contains("--byzantine"), "{err}");
     }
 
     #[test]

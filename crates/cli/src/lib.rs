@@ -46,6 +46,10 @@ USAGE:
       fault injection (deterministic, seeded by --fault-seed S):
                [--loss P] [--burst PERIOD:LEN] [--crash P:FIRST:LAST]
                [--partition F:FIRST:LAST]
+               [--byzantine F:BEHAVIORS:FIRST:LAST]  a hashed F-fraction of
+                           nodes misbehaves; BEHAVIORS is +-separated from
+                           lie, equivocate, mute, spam (or \"all\")
+               [--quarantine N]  silence a byzantine node after N accusations
       checkpoint / resume (kill-safe long runs):
                [--checkpoint FILE]      write an atomic checkpoint during the run
                [--checkpoint-every N]   rounds between checkpoints (default 1)

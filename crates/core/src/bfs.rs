@@ -10,7 +10,7 @@
 //! containing **all** nodes within `T` hops of it — the property that makes the
 //! weak densest-subset guarantee go through.
 
-use dkc_distsim::message::MessageSize;
+use dkc_distsim::message::{MessageSize, Tamper};
 use dkc_distsim::wire::{WireCodec, WireError, WireReader};
 use dkc_distsim::{
     Delivery, ExecutionMode, NetworkBuilder, NodeContext, NodeProgram, Outgoing, RunMetrics,
@@ -112,6 +112,24 @@ impl WireCodec for BfsMessage {
                 ty: "BfsMessage",
                 tag,
             }),
+        }
+    }
+}
+
+// A byzantine node lies about its leader's surviving number `b` (downward —
+// weakening the advertised key in the `≻` ordering); the leader *identity*
+// and the message tag are structural and stay verbatim, keeping the frame
+// length-preserving per the [`Tamper`] contract.
+impl Tamper for BfsMessage {
+    fn tamper(&self, salt: u64) -> Self {
+        let lie = |k: &LeaderKey| LeaderKey {
+            b: k.b.tamper(salt),
+            id: k.id,
+        };
+        match self {
+            BfsMessage::Leader(k) => BfsMessage::Leader(lie(k)),
+            BfsMessage::Request(k) => BfsMessage::Request(lie(k)),
+            BfsMessage::Ack => BfsMessage::Ack,
         }
     }
 }

@@ -18,7 +18,7 @@ use crate::bfs::{run_bfs_construction, BfsForest};
 use crate::compact::run_compact_elimination;
 use crate::threshold::ThresholdSet;
 use crate::tree_elim::{run_tree_elimination, TreeElimOutcome};
-use dkc_distsim::message::MessageSize;
+use dkc_distsim::message::{MessageSize, Tamper};
 use dkc_distsim::wire::{WireCodec, WireError, WireReader};
 use dkc_distsim::{
     Delivery, ExecutionMode, NetworkBuilder, NodeContext, NodeProgram, Outgoing, RunMetrics,
@@ -97,6 +97,21 @@ impl WireCodec for AggMessage {
                 ty: "AggMessage",
                 tag,
             }),
+        }
+    }
+}
+
+// A byzantine aggregator lies about the real-valued degree totals (downward,
+// per the [`Tamper`] contract); the structural parts — the round-indexed
+// layout, the integer activity counts, and the chosen round `t*` — stay
+// verbatim so the tampered frame is length-preserving.
+impl Tamper for AggMessage {
+    fn tamper(&self, salt: u64) -> Self {
+        match self {
+            AggMessage::Up(num, deg) => {
+                AggMessage::Up(num.clone(), deg.iter().map(|d| d.tamper(salt)).collect())
+            }
+            AggMessage::Down(t, density) => AggMessage::Down(*t, density.tamper(salt)),
         }
     }
 }

@@ -12,7 +12,7 @@
 use crate::bfs::BfsForest;
 use crate::densest::AggregationOutcome;
 use crate::tree_elim::TreeElimOutcome;
-use dkc_distsim::message::MessageSize;
+use dkc_distsim::message::{MessageSize, Tamper};
 use dkc_distsim::wire::{WireCodec, WireError, WireReader};
 use dkc_distsim::{Delivery, ExecutionMode, Network, NodeContext, NodeProgram, Outgoing};
 use dkc_graph::{CsrGraph, NodeId, WeightedGraph};
@@ -71,6 +71,19 @@ impl WireCodec for PipelinedMessage {
                 ty: "PipelinedMessage",
                 tag,
             }),
+        }
+    }
+}
+
+// Same lie as [`AggMessage`]: the real-valued degree entry (or density) is
+// perturbed downward, the structural round indices and counts stay verbatim.
+impl Tamper for PipelinedMessage {
+    fn tamper(&self, salt: u64) -> Self {
+        match self {
+            PipelinedMessage::UpEntry(t, num, deg) => {
+                PipelinedMessage::UpEntry(*t, *num, deg.tamper(salt))
+            }
+            PipelinedMessage::Down(t, density) => PipelinedMessage::Down(*t, density.tamper(salt)),
         }
     }
 }

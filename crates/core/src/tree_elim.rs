@@ -17,7 +17,7 @@
 //! towards active neighbours with the same leader.
 
 use crate::bfs::BfsForest;
-use dkc_distsim::message::MessageSize;
+use dkc_distsim::message::{MessageSize, Tamper};
 use dkc_distsim::wire::{WireCodec, WireError, WireReader};
 use dkc_distsim::{
     Delivery, ExecutionMode, NetworkBuilder, NodeContext, NodeProgram, Outgoing, RunMetrics,
@@ -54,6 +54,11 @@ impl WireCodec for ActiveMsg {
         })
     }
 }
+
+// The payload is a leader *identity*: a byzantine lie about it is structurally
+// detectable (receivers compare leaders for tree membership), so per the
+// [`Tamper`] contract an id-only message is transmitted verbatim.
+impl Tamper for ActiveMsg {}
 
 /// Per-node program for Algorithm 5.
 #[derive(Clone, Debug)]

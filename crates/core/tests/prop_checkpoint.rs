@@ -17,8 +17,8 @@ use dkc_core::graph_fingerprint;
 use dkc_core::threshold::ThresholdSet;
 use dkc_distsim::checkpoint::{CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 use dkc_distsim::{
-    BurstLoss, CheckpointError, CrashModel, ExecutionMode, FaultPlan, LossModel, NetworkBuilder,
-    PartitionModel,
+    BurstLoss, ByzantineModel, CheckpointError, CrashModel, ExecutionMode, FaultPlan, LossModel,
+    NetworkBuilder, PartitionModel,
 };
 use dkc_graph::generators::erdos_renyi;
 use dkc_graph::CsrGraph;
@@ -56,12 +56,15 @@ proptest! {
         rounds in 1usize..14,
         mode_ix in 0usize..5,
         grid in 0usize..3,
-        components in 0u8..16,
+        components in 0u8..32,
         loss_mill in 0usize..800,
         period in 2usize..8,
         crash_mill in 0usize..500,
         window_a in 1usize..10,
         window_len in 0usize..8,
+        byz_mill in 0usize..600,
+        behaviors in 1u8..16,
+        quarantine in 0u32..4,
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
         let g = erdos_renyi(n, edge_p, &mut rng);
@@ -93,6 +96,21 @@ proptest! {
                 window_a + window_len,
                 seed ^ 0x40,
             ));
+        }
+        if components & 16 != 0 {
+            // A mid-byzantine-window kill is the interesting cut: the resumed
+            // run must reproduce the same lies, mutes, accusations, and
+            // quarantine activations from the checkpointed round on.
+            plan = plan.with_byzantine(
+                ByzantineModel::new(
+                    byz_mill as f64 / 1000.0,
+                    behaviors,
+                    window_a.max(2),
+                    window_a.max(2) + window_len,
+                    seed ^ 0x50,
+                )
+                .with_quarantine(quarantine),
+            );
         }
 
         let reference = run_compact_elimination_with_faults(&g, rounds, threshold, mode, plan);

@@ -11,7 +11,9 @@ use dkc_core::compact::{
     run_compact_elimination_with_faults, run_compact_elimination_with_loss, CompactOutcome,
 };
 use dkc_core::threshold::ThresholdSet;
-use dkc_distsim::{BurstLoss, CrashModel, ExecutionMode, FaultPlan, LossModel, PartitionModel};
+use dkc_distsim::{
+    BurstLoss, ByzantineModel, CrashModel, ExecutionMode, FaultPlan, LossModel, PartitionModel,
+};
 use dkc_graph::generators::erdos_renyi;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -111,15 +113,17 @@ proptest! {
     }
 
     /// The same four-way byte-identity under a randomly composed `FaultPlan`:
-    /// random crash rounds, partition windows, and burst phases (plus i.i.d.
-    /// loss), composed in every combination the component bits select.
+    /// random crash rounds, partition windows, burst phases, and byzantine
+    /// models (random behavior subsets, detection rates, and quarantine
+    /// thresholds — plus i.i.d. loss), composed in every combination the
+    /// component bits select.
     #[test]
     fn all_modes_are_byte_identical_under_random_fault_plans(
         n in 2usize..36,
         edge_p in 0.03..0.5f64,
         seed in 0u64..1_000_000,
         rounds in 1usize..32,
-        components in 1u8..16,
+        components in 1u8..32,
         loss_mill in 0usize..900,
         period in 2usize..9,
         burst_frac in 0usize..100,
@@ -127,6 +131,10 @@ proptest! {
         window_a in 1usize..16,
         window_len in 0usize..12,
         fraction_mill in 0usize..1000,
+        byz_mill in 0usize..600,
+        behaviors in 1u8..16,
+        detect_mill in 0usize..1000,
+        quarantine in 0u32..4,
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
         let g = erdos_renyi(n, edge_p, &mut rng);
@@ -154,6 +162,21 @@ proptest! {
                 window_a + window_len,
                 seed ^ 0x40,
             ));
+        }
+        if components & 16 != 0 {
+            // Byzantine windows start at round 2 at the earliest (like crash
+            // windows) so every node executes its initialization step.
+            plan = plan.with_byzantine(
+                ByzantineModel::new(
+                    byz_mill as f64 / 1000.0,
+                    behaviors,
+                    window_a.max(2),
+                    window_a.max(2) + window_len,
+                    seed ^ 0x50,
+                )
+                .with_detect(detect_mill as f64 / 1000.0)
+                .with_quarantine(quarantine),
+            );
         }
 
         let run = |mode| run_compact_elimination_with_faults(
@@ -188,12 +211,22 @@ proptest! {
         prop_assert_eq!(counters(&sparse_seq), counters(&sparse_par), "sparse counters diverged");
 
         // The sparse executor never does more work than the dense one, and
-        // both report the same cumulative crash count.
+        // the schedule-driven counters — cumulative crashes, byzantine
+        // accusations, quarantined nodes — are identical across activation
+        // kinds (they are pure hash schedules, independent of traffic).
         prop_assert!(sparse_seq.metrics.total_node_updates()
             <= dense_seq.metrics.total_node_updates());
         prop_assert!(sparse_seq.metrics.total_messages()
             <= dense_seq.metrics.total_messages());
         prop_assert_eq!(sparse_seq.metrics.crashed_nodes(), dense_seq.metrics.crashed_nodes());
+        prop_assert_eq!(
+            sparse_seq.metrics.byzantine_accusations(),
+            dense_seq.metrics.byzantine_accusations()
+        );
+        prop_assert_eq!(
+            sparse_seq.metrics.quarantined_nodes(),
+            dense_seq.metrics.quarantined_nodes()
+        );
 
         // Fault-free equivalence: a trivial plan reproduces the loss=None
         // path bit-for-bit (checked on the cheapest mode).

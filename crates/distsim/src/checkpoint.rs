@@ -38,7 +38,7 @@ use std::fs;
 use std::io::Write as _;
 use std::path::Path;
 
-use crate::faults::{BurstLoss, CrashModel, FaultPlan, LossModel, PartitionModel};
+use crate::faults::{BurstLoss, ByzantineModel, CrashModel, FaultPlan, LossModel, PartitionModel};
 use crate::metrics::RoundStats;
 use crate::wire::{WireCodec, WireError, WireReader, WireWriter};
 use serde::ser::{Serialize, SerializeStruct, Serializer};
@@ -49,8 +49,10 @@ pub const CHECKPOINT_MAGIC: [u8; 4] = *b"DKCK";
 
 /// Current checkpoint format version. Bump on any layout change; old
 /// versions are rejected (a checkpoint is a short-lived artifact of one
-/// binary, not an archival format).
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// binary, not an archival format). v2: the fault plan gained a byzantine
+/// component and `RoundStats` the byzantine drop/accusation/quarantine
+/// counters.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Why a checkpoint could not be written, read, or applied.
 #[derive(Clone, Debug, PartialEq)]
@@ -301,13 +303,42 @@ impl WireCodec for PartitionModel {
     }
 }
 
+impl Serialize for ByzantineModel {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("ByzantineModel", 7)?;
+        s.serialize_field("fraction", &self.fraction)?;
+        s.serialize_field("behaviors", &self.behaviors)?;
+        s.serialize_field("first_round", &self.first_round)?;
+        s.serialize_field("last_round", &self.last_round)?;
+        s.serialize_field("detect", &self.detect)?;
+        s.serialize_field("quarantine", &self.quarantine)?;
+        s.serialize_field("seed", &self.seed)?;
+        s.end()
+    }
+}
+
+impl WireCodec for ByzantineModel {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(ByzantineModel {
+            fraction: r.read_f64()?,
+            behaviors: r.read_u8()?,
+            first_round: usize::decode(r)?,
+            last_round: usize::decode(r)?,
+            detect: r.read_f64()?,
+            quarantine: r.read_u32()?,
+            seed: r.read_u64()?,
+        })
+    }
+}
+
 impl Serialize for FaultPlan {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut s = serializer.serialize_struct("FaultPlan", 4)?;
+        let mut s = serializer.serialize_struct("FaultPlan", 5)?;
         s.serialize_field("loss", &self.loss)?;
         s.serialize_field("burst", &self.burst)?;
         s.serialize_field("crash", &self.crash)?;
         s.serialize_field("partition", &self.partition)?;
+        s.serialize_field("byzantine", &self.byzantine)?;
         s.end()
     }
 }
@@ -319,6 +350,7 @@ impl WireCodec for FaultPlan {
             burst: Option::decode(r)?,
             crash: Option::decode(r)?,
             partition: Option::decode(r)?,
+            byzantine: Option::decode(r)?,
         })
     }
 }
@@ -352,12 +384,24 @@ pub fn validate_plan(plan: &FaultPlan) -> Result<(), CheckpointError> {
             return bad("partition model violates f in [0, 1], 1 <= first <= last");
         }
     }
+    if let Some(b) = plan.byzantine {
+        if !(0.0..=1.0).contains(&b.fraction)
+            || !(0.0..=1.0).contains(&b.detect)
+            || b.behaviors == 0
+            || b.behaviors & !ByzantineModel::ALL_BEHAVIORS != 0
+            || b.first_round < 1
+            || b.first_round > b.last_round
+        {
+            return bad("byzantine model violates fraction/detect in [0, 1], \
+                 non-empty known behaviors, 1 <= first <= last");
+        }
+    }
     Ok(())
 }
 
 impl Serialize for RoundStats {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut s = serializer.serialize_struct("RoundStats", 12)?;
+        let mut s = serializer.serialize_struct("RoundStats", 15)?;
         s.serialize_field("round", &self.round)?;
         s.serialize_field("messages", &self.messages)?;
         s.serialize_field("payload_bits", &self.payload_bits)?;
@@ -369,7 +413,10 @@ impl Serialize for RoundStats {
         s.serialize_field("dropped_loss", &self.dropped_loss)?;
         s.serialize_field("dropped_burst", &self.dropped_burst)?;
         s.serialize_field("dropped_partition", &self.dropped_partition)?;
+        s.serialize_field("dropped_byzantine", &self.dropped_byzantine)?;
         s.serialize_field("crashed_nodes", &self.crashed_nodes)?;
+        s.serialize_field("byzantine_accusations", &self.byzantine_accusations)?;
+        s.serialize_field("quarantined_nodes", &self.quarantined_nodes)?;
         s.end()
     }
 }
@@ -388,7 +435,10 @@ impl WireCodec for RoundStats {
             dropped_loss: usize::decode(r)?,
             dropped_burst: usize::decode(r)?,
             dropped_partition: usize::decode(r)?,
+            dropped_byzantine: usize::decode(r)?,
             crashed_nodes: usize::decode(r)?,
+            byzantine_accusations: usize::decode(r)?,
+            quarantined_nodes: usize::decode(r)?,
         })
     }
 }
@@ -396,6 +446,7 @@ impl WireCodec for RoundStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::Behavior;
     use crate::wire::encode_payload;
 
     fn round_trip<T: WireCodec + PartialEq + std::fmt::Debug>(value: &T) {
@@ -412,12 +463,21 @@ mod tests {
         round_trip(&BurstLoss::new(6, 2, 0xB0));
         round_trip(&CrashModel::new(0.1, 2, 9, 0xC0));
         round_trip(&PartitionModel::new(0.3, 4, 8, 0xD0));
+        round_trip(
+            &ByzantineModel::new(0.2, ByzantineModel::ALL_BEHAVIORS, 2, 11, 0xE0)
+                .with_detect(0.75)
+                .with_quarantine(3),
+        );
         round_trip(&FaultPlan::none());
         round_trip(
             &FaultPlan::from_loss(LossModel::new(0.5, 7))
                 .with_burst(BurstLoss::new(4, 1, 8))
                 .with_crash(CrashModel::new(0.2, 2, 9, 3))
-                .with_partition(PartitionModel::new(0.3, 4, 7, 4)),
+                .with_partition(PartitionModel::new(0.3, 4, 7, 4))
+                .with_byzantine(
+                    ByzantineModel::new(0.15, Behavior::Lie.bit() | Behavior::Spam.bit(), 3, 8, 5)
+                        .with_quarantine(2),
+                ),
         );
     }
 
@@ -435,7 +495,10 @@ mod tests {
             dropped_loss: 1,
             dropped_burst: 2,
             dropped_partition: 3,
+            dropped_byzantine: 4,
             crashed_nodes: 1,
+            byzantine_accusations: 5,
+            quarantined_nodes: 2,
         });
         round_trip(&RoundStats::default());
     }
@@ -540,6 +603,32 @@ mod tests {
             ..FaultPlan::default()
         };
         assert!(validate_plan(&bad_partition).is_err());
+        let bad_byzantine = FaultPlan {
+            byzantine: Some(ByzantineModel {
+                fraction: 0.2,
+                behaviors: 0, // no behavior bits — unconstructible via new()
+                first_round: 2,
+                last_round: 9,
+                detect: 0.5,
+                quarantine: 0,
+                seed: 1,
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(validate_plan(&bad_byzantine).is_err());
+        let inverted_byzantine = FaultPlan {
+            byzantine: Some(ByzantineModel {
+                fraction: 0.2,
+                behaviors: ByzantineModel::ALL_BEHAVIORS,
+                first_round: 9,
+                last_round: 2,
+                detect: 0.5,
+                quarantine: 0,
+                seed: 1,
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(validate_plan(&inverted_byzantine).is_err());
     }
 
     #[test]

@@ -30,20 +30,33 @@
 //!   the rest for a round interval (every crossing message is dropped in both
 //!   directions); the partition heals after the interval.
 //!
-//! Dropped copies (loss, burst, partition) keep the **sender** in the sparse
-//! frontier so it re-sends its current value — exactly reproducing the rounds
-//! at which a dense run would have delivered it. A crashed *receiver* does
-//! not: a crash is not a transient drop, and re-sending to a dead node would
-//! pin its neighbours in the frontier forever. Per-component drop totals and
-//! the cumulative crashed-node count are surfaced through
+//! * [`ByzantineModel`] — *commission* faults: a hashed subset of nodes
+//!   actively misbehave inside a round window. Each byzantine node is
+//!   assigned exactly one [`Behavior`]: **lie** (perturb every outgoing value
+//!   by a per-node salt), **equivocate** (perturb per-receiver, so different
+//!   neighbours see different values), **mute** (drop a hashed half of its
+//!   outgoing copies while appearing alive), or **spam** (send every frame
+//!   twice). The model also carries a deterministic *detection* layer:
+//!   accusation events are a pure hash of `(seed, round, node)` — never of
+//!   observed traffic, so all executors agree — and an opt-in *quarantine*
+//!   policy silences a node one round after its accusation count crosses a
+//!   threshold.
+//!
+//! Dropped copies (loss, burst, partition, byzantine mute) keep the
+//! **sender** in the sparse frontier so it re-sends its current value —
+//! exactly reproducing the rounds at which a dense run would have delivered
+//! it. A crashed *receiver* does not: a crash is not a transient drop, and
+//! re-sending to a dead node would pin its neighbours in the frontier
+//! forever. Per-component drop totals, the cumulative crashed-node count,
+//! and the cumulative accusation/quarantine counts are surfaced through
 //! [`crate::RoundStats`] / [`crate::RunMetrics`] as deterministic counters.
 
 use dkc_graph::NodeId;
 
 /// splitmix64 finalizer: the shared avalanche step behind every fault
-/// decision.
+/// decision (also reused by [`crate::message::Tamper`]'s salt-to-factor map).
 #[inline]
-fn splitmix(mut x: u64) -> u64 {
+pub(crate) fn splitmix(mut x: u64) -> u64 {
     x ^= x >> 30;
     x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x ^= x >> 27;
@@ -57,8 +70,8 @@ fn unit(x: u64) -> f64 {
     (x >> 11) as f64 / (1u64 << 53) as f64
 }
 
-/// Why a particular message copy was dropped (one cause is attributed per
-/// drop, checked in the order loss → burst → partition).
+/// Why a particular message copy was dropped. One cause is attributed per
+/// drop; see [`FaultPlan::drop_cause`] for the fixed attribution precedence.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DropCause {
     /// Dropped by the i.i.d. [`LossModel`].
@@ -67,6 +80,8 @@ pub enum DropCause {
     Burst,
     /// Dropped because the [`PartitionModel`] cut severed the link.
     Partition,
+    /// Dropped because the byzantine sender selectively muted this copy.
+    ByzantineMute,
 }
 
 /// A deterministic i.i.d. per-message loss model.
@@ -278,6 +293,281 @@ impl PartitionModel {
     }
 }
 
+/// The four byzantine behaviors. Each byzantine node is assigned exactly
+/// one, hashed from the enabled set, so a single node never combines (say)
+/// lying with muting — keeping the per-copy accounting invariants simple.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Behavior {
+    /// Perturb every outgoing value with one per-node salt (all receivers
+    /// see the same wrong value).
+    Lie,
+    /// Perturb outgoing values with a per-`(node, receiver)` salt (different
+    /// neighbours see different wrong values).
+    Equivocate,
+    /// Drop a hashed half of the outgoing copies while appearing alive.
+    Mute,
+    /// Send every outgoing frame [`ByzantineModel::SPAM_FACTOR`] times.
+    Spam,
+}
+
+impl Behavior {
+    /// All behaviors in their canonical (bit) order.
+    pub const ALL: [Behavior; 4] = [
+        Behavior::Lie,
+        Behavior::Equivocate,
+        Behavior::Mute,
+        Behavior::Spam,
+    ];
+
+    /// The bit this behavior occupies in a [`ByzantineModel::behaviors`]
+    /// bitfield.
+    #[inline]
+    pub fn bit(self) -> u8 {
+        1 << (self as u8)
+    }
+
+    /// The spec-grammar name of the behavior.
+    pub fn name(self) -> &'static str {
+        match self {
+            Behavior::Lie => "lie",
+            Behavior::Equivocate => "equivocate",
+            Behavior::Mute => "mute",
+            Behavior::Spam => "spam",
+        }
+    }
+
+    /// Parses a spec-grammar behavior name.
+    pub fn from_name(name: &str) -> Option<Behavior> {
+        Behavior::ALL.into_iter().find(|b| b.name() == name)
+    }
+}
+
+/// Byzantine (commission) faults: a hashed node subset misbehaves inside a
+/// round window, with deterministic detection and optional quarantine. All
+/// decisions — which nodes are byzantine, which behavior each performs,
+/// per-copy mute/tamper outcomes, and the accusation schedule — are pure
+/// splitmix64 hashes of the seed and round/node/link coordinates, so every
+/// execution mode reproduces the identical run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ByzantineModel {
+    /// Expected fraction of byzantine nodes, in `[0, 1]`.
+    pub fraction: f64,
+    /// Bitfield of enabled [`Behavior`]s (each byzantine node is hashed onto
+    /// exactly one of them). Must be non-empty and within
+    /// [`ByzantineModel::ALL_BEHAVIORS`].
+    pub behaviors: u8,
+    /// First round (inclusive) of misbehavior.
+    pub first_round: usize,
+    /// Last round (inclusive) of misbehavior.
+    pub last_round: usize,
+    /// Per-round probability (in `[0, 1]`) that a byzantine node triggers an
+    /// accusation event while the window is active. Detection is a pure hash
+    /// schedule — independent of observed traffic — so all executors agree.
+    pub detect: f64,
+    /// Accusation threshold after which a node is quarantined (its outgoing
+    /// traffic silenced from the following round). `0` disables quarantine.
+    pub quarantine: u32,
+    /// Seed for all byzantine decisions.
+    pub seed: u64,
+}
+
+impl ByzantineModel {
+    /// Bitfield of all four behaviors.
+    pub const ALL_BEHAVIORS: u8 = 0b1111;
+
+    /// Default per-round accusation-event probability.
+    pub const DEFAULT_DETECT: f64 = 0.5;
+
+    /// How many times a spamming node sends each outgoing frame.
+    pub const SPAM_FACTOR: usize = 2;
+
+    /// Probability that a muting node drops any given outgoing copy.
+    pub const MUTE_PROBABILITY: f64 = 0.5;
+
+    /// Creates a byzantine model with detection at
+    /// [`ByzantineModel::DEFAULT_DETECT`] and quarantine disabled; panics if
+    /// the fraction is outside `[0, 1]`, the behavior set is empty or
+    /// contains unknown bits, or the window is empty.
+    pub fn new(
+        fraction: f64,
+        behaviors: u8,
+        first_round: usize,
+        last_round: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "byzantine fraction must be in [0, 1]"
+        );
+        assert!(
+            behaviors != 0 && behaviors & !Self::ALL_BEHAVIORS == 0,
+            "byzantine behaviors must be a non-empty subset of lie|equivocate|mute|spam"
+        );
+        assert!(
+            first_round >= 1 && first_round <= last_round,
+            "byzantine window must satisfy 1 <= first_round <= last_round"
+        );
+        ByzantineModel {
+            fraction,
+            behaviors,
+            first_round,
+            last_round,
+            detect: Self::DEFAULT_DETECT,
+            quarantine: 0,
+            seed,
+        }
+    }
+
+    /// Builder: sets the per-round accusation-event probability; panics if
+    /// it is outside `[0, 1]`.
+    pub fn with_detect(mut self, detect: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&detect),
+            "byzantine detect probability must be in [0, 1]"
+        );
+        self.detect = detect;
+        self
+    }
+
+    /// Builder: sets the quarantine accusation threshold (`0` disables).
+    pub fn with_quarantine(mut self, threshold: u32) -> Self {
+        self.quarantine = threshold;
+        self
+    }
+
+    /// The per-node selection hash (also the base for behavior assignment
+    /// and tamper salts).
+    #[inline]
+    fn node_pick(&self, node: NodeId) -> u64 {
+        splitmix(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(u64::from(node.0) ^ 0x1BAD_B002_D15E_A5E5),
+        )
+    }
+
+    /// Whether `node` is byzantine at all (behavior-independent).
+    #[inline]
+    pub fn is_byzantine(&self, node: NodeId) -> bool {
+        self.fraction > 0.0 && unit(self.node_pick(node)) < self.fraction
+    }
+
+    /// The behavior `node` performs, or `None` if it is honest. Each
+    /// byzantine node is hashed onto exactly one enabled behavior.
+    pub fn behavior_of(&self, node: NodeId) -> Option<Behavior> {
+        if self.fraction <= 0.0 {
+            return None;
+        }
+        let pick = self.node_pick(node);
+        if unit(pick) >= self.fraction {
+            return None;
+        }
+        let enabled: Vec<Behavior> = Behavior::ALL
+            .into_iter()
+            .filter(|b| self.behaviors & b.bit() != 0)
+            .collect();
+        let idx = (splitmix(pick ^ 0x9216_D5D9_8979_FB1B) % enabled.len() as u64) as usize;
+        Some(enabled[idx])
+    }
+
+    /// Whether the misbehavior window is active in `round`.
+    #[inline]
+    pub fn active(&self, round: usize) -> bool {
+        round >= self.first_round && round <= self.last_round
+    }
+
+    /// The tamper salt for the copy `from → to` in `round`, or `None` when
+    /// the sender transmits truthfully. Lie salts depend only on the sender
+    /// (all receivers see the same wrong value); equivocation salts depend on
+    /// the `(sender, receiver)` pair. Salts are deliberately
+    /// **round-independent**: a tampered value re-sent by the sparse
+    /// executor's resend path is byte-identical to the dense executor's
+    /// re-broadcast, so the modes cannot diverge.
+    pub fn tamper_salt(&self, round: usize, from: NodeId, to: NodeId) -> Option<u64> {
+        if !self.active(round) {
+            return None;
+        }
+        match self.behavior_of(from)? {
+            Behavior::Lie => Some(splitmix(self.node_pick(from) ^ 0x452A_F09B_5AAC_5D9E)),
+            Behavior::Equivocate => Some(splitmix(
+                self.node_pick(from)
+                    ^ u64::from(to.0).wrapping_mul(0xD6E8_FEB8_6659_FD93)
+                    ^ 0x6A09_E667_F3BC_C909,
+            )),
+            Behavior::Mute | Behavior::Spam => None,
+        }
+    }
+
+    /// Whether the muting sender `from` drops its copy to `to` in `round`.
+    pub fn mutes(&self, round: usize, from: NodeId, to: NodeId) -> bool {
+        if !self.active(round) || self.behavior_of(from) != Some(Behavior::Mute) {
+            return false;
+        }
+        let x = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(round as u64)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            .wrapping_add(u64::from(from.0) << 32 | u64::from(to.0))
+            ^ 0xA076_1D64_78BD_642F;
+        unit(splitmix(x)) < Self::MUTE_PROBABILITY
+    }
+
+    /// How many times `from` sends each outgoing frame in `round` (1 =
+    /// honest; [`ByzantineModel::SPAM_FACTOR`] for an active spammer).
+    pub fn spam_factor(&self, round: usize, from: NodeId) -> usize {
+        if self.active(round) && self.behavior_of(from) == Some(Behavior::Spam) {
+            Self::SPAM_FACTOR
+        } else {
+            1
+        }
+    }
+
+    /// Whether `node` triggers an accusation event in `round`. Events fire
+    /// only for byzantine nodes inside the active window, by a pure hash of
+    /// `(seed, round, node)` — never of observed traffic — so the schedule
+    /// is identical in every execution mode. Events keep firing after a node
+    /// is quarantined (the counter reports detections, not deliveries).
+    pub fn accusation_event(&self, round: usize, node: NodeId) -> bool {
+        if !self.active(round) || self.detect <= 0.0 || !self.is_byzantine(node) {
+            return false;
+        }
+        let x = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(round as u64)
+            .wrapping_mul(0x94D0_49BB_1331_11EB)
+            .wrapping_add(u64::from(node.0))
+            ^ 0xACC0_5EDD_EC0D_EDAD;
+        unit(splitmix(x)) < self.detect
+    }
+
+    /// The first round in which `node` is quarantined (`None` = never): one
+    /// round **after** its `quarantine`-th accusation event, so the round
+    /// that produced the decisive accusation still delivers. O(window).
+    pub fn quarantine_round(&self, node: NodeId) -> Option<usize> {
+        if self.quarantine == 0 || !self.is_byzantine(node) {
+            return None;
+        }
+        let mut events = 0u32;
+        for round in self.first_round..=self.last_round {
+            if self.accusation_event(round, node) {
+                events += 1;
+                if events >= self.quarantine {
+                    return Some(round + 1);
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether `node` is quarantined (its outgoing traffic silenced) as of
+    /// `round`. Quarantine is permanent once entered.
+    pub fn quarantined(&self, round: usize, node: NodeId) -> bool {
+        self.quarantine != 0 && self.quarantine_round(node).is_some_and(|r| r <= round)
+    }
+}
+
 /// A composition of fault components applied to one run (see the module
 /// docs). `FaultPlan::default()` is the empty, fault-free plan.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -290,6 +580,8 @@ pub struct FaultPlan {
     pub crash: Option<CrashModel>,
     /// A healing node-set partition.
     pub partition: Option<PartitionModel>,
+    /// Byzantine (commission) faults with detection and quarantine.
+    pub byzantine: Option<ByzantineModel>,
 }
 
 impl FaultPlan {
@@ -330,6 +622,12 @@ impl FaultPlan {
         self
     }
 
+    /// Builder: sets the byzantine component.
+    pub fn with_byzantine(mut self, model: ByzantineModel) -> Self {
+        self.byzantine = Some(model);
+        self
+    }
+
     /// Whether the plan can never produce any fault. The executor skips all
     /// fault bookkeeping for trivial plans, so an empty (or zero-probability)
     /// plan reproduces fault-free runs bit-for-bit at identical cost.
@@ -338,15 +636,20 @@ impl FaultPlan {
             && self.burst.is_none_or(|b| b.burst_len == 0)
             && self.crash.is_none_or(|c| c.probability <= 0.0)
             && self.partition.is_none_or(|p| p.fraction <= 0.0)
+            && self.byzantine.is_none_or(|b| b.fraction <= 0.0)
     }
 
-    /// Whether any link-level component (loss, burst, partition) is present —
-    /// i.e. whether per-copy drop decisions must be evaluated at all. A
-    /// crash-only plan skips the per-arc hashing entirely.
+    /// Whether any link-level drop component (loss, burst, partition, or a
+    /// byzantine model that may mute) is present — i.e. whether per-copy
+    /// drop decisions must be evaluated at all. A crash-only plan skips the
+    /// per-arc hashing entirely.
     pub fn affects_links(&self) -> bool {
         self.loss.is_some_and(|l| l.probability > 0.0)
             || self.burst.is_some_and(|b| b.burst_len > 0)
             || self.partition.is_some_and(|p| p.fraction > 0.0)
+            || self
+                .byzantine
+                .is_some_and(|b| b.fraction > 0.0 && b.behaviors & Behavior::Mute.bit() != 0)
     }
 
     /// Whether `node` has crash-stopped as of `round`.
@@ -362,11 +665,24 @@ impl FaultPlan {
         self.loss.is_some_and(|l| l.drops(round, from, to, index))
             || self.burst.is_some_and(|b| b.drops(round, from, to))
             || self.partition.is_some_and(|p| p.severs(round, from, to))
+            || self.byzantine.is_some_and(|b| b.mutes(round, from, to))
     }
 
-    /// Like [`FaultPlan::drops`], but attributes the drop to one component
-    /// (in the fixed order loss → burst → partition) for the per-component
-    /// counters. Returns `None` when the copy is delivered.
+    /// Like [`FaultPlan::drops`], but attributes the drop to exactly one
+    /// component for the per-component counters. Returns `None` when the
+    /// copy is delivered.
+    ///
+    /// **Attribution precedence (pinned by a unit test — counter totals
+    /// depend on it):** crash > partition > burst > loss > byzantine-mute.
+    /// Crash precedence is *structural* rather than checked here: a crashed
+    /// sender returns [`crate::Outgoing::Silent`] before any per-copy drop
+    /// decision is evaluated, so none of its copies ever reach this method.
+    /// Among the link-level components the widest-scope cause wins: a
+    /// severed partition link attributes every crossing copy to the
+    /// partition even if i.i.d. loss would also have dropped it, a dark
+    /// burst window beats per-copy loss, and byzantine muting — the only
+    /// sender-chosen drop — is attributed only when no network-level
+    /// component already claimed the copy.
     #[inline]
     pub fn drop_cause(
         &self,
@@ -375,15 +691,38 @@ impl FaultPlan {
         to: NodeId,
         index: usize,
     ) -> Option<DropCause> {
-        if self.loss.is_some_and(|l| l.drops(round, from, to, index)) {
-            Some(DropCause::Loss)
+        if self.partition.is_some_and(|p| p.severs(round, from, to)) {
+            Some(DropCause::Partition)
         } else if self.burst.is_some_and(|b| b.drops(round, from, to)) {
             Some(DropCause::Burst)
-        } else if self.partition.is_some_and(|p| p.severs(round, from, to)) {
-            Some(DropCause::Partition)
+        } else if self.loss.is_some_and(|l| l.drops(round, from, to, index)) {
+            Some(DropCause::Loss)
+        } else if self.byzantine.is_some_and(|b| b.mutes(round, from, to)) {
+            Some(DropCause::ByzantineMute)
         } else {
             None
         }
+    }
+
+    /// The tamper salt for the copy `from → to` in `round`, or `None` when
+    /// the sender transmits truthfully (no byzantine component, inactive
+    /// window, or an honest / non-tampering sender).
+    #[inline]
+    pub fn tamper_salt(&self, round: usize, from: NodeId, to: NodeId) -> Option<u64> {
+        self.byzantine.and_then(|b| b.tamper_salt(round, from, to))
+    }
+
+    /// How many times `from` sends each outgoing frame in `round` (1 unless
+    /// an active byzantine spammer).
+    #[inline]
+    pub fn spam_factor(&self, round: usize, from: NodeId) -> usize {
+        self.byzantine.map_or(1, |b| b.spam_factor(round, from))
+    }
+
+    /// Whether `node`'s outgoing traffic is quarantined as of `round`.
+    #[inline]
+    pub fn quarantined(&self, round: usize, node: NodeId) -> bool {
+        self.byzantine.is_some_and(|b| b.quarantined(round, node))
     }
 
     /// The sorted crash rounds of all nodes in `0..n` that ever crash (one
@@ -399,10 +738,55 @@ impl FaultPlan {
         rounds.sort_unstable();
         rounds
     }
+
+    /// The sorted rounds of every accusation event across all nodes in
+    /// `0..n` (one entry per event, so a node accused in several rounds
+    /// appears several times). The executor reports the cumulative
+    /// accusation count per round in O(log total) from this.
+    pub fn byz_accusation_schedule(&self, n: usize) -> Vec<u32> {
+        let Some(byz) = self.byzantine else {
+            return Vec::new();
+        };
+        if byz.fraction <= 0.0 || byz.detect <= 0.0 {
+            return Vec::new();
+        }
+        let mut rounds: Vec<u32> = Vec::new();
+        for v in 0..n {
+            let node = NodeId::new(v);
+            if !byz.is_byzantine(node) {
+                continue;
+            }
+            for round in byz.first_round..=byz.last_round {
+                if byz.accusation_event(round, node) {
+                    rounds.push(round as u32);
+                }
+            }
+        }
+        rounds.sort_unstable();
+        rounds
+    }
+
+    /// The sorted quarantine-entry rounds of all nodes in `0..n` that ever
+    /// get quarantined (one entry per node), mirroring
+    /// [`FaultPlan::crash_schedule`].
+    pub fn quarantine_schedule(&self, n: usize) -> Vec<u32> {
+        let Some(byz) = self.byzantine else {
+            return Vec::new();
+        };
+        if byz.quarantine == 0 {
+            return Vec::new();
+        }
+        let mut rounds: Vec<u32> = (0..n)
+            .filter_map(|v| byz.quarantine_round(NodeId::new(v)).map(|r| r as u32))
+            .collect();
+        rounds.sort_unstable();
+        rounds
+    }
 }
 
 /// Shared parsing of the fault-injection command-line specs (`--loss P`,
 /// `--burst PERIOD:LEN`, `--crash P:FIRST:LAST`, `--partition F:FIRST:LAST`,
+/// `--byzantine F:BEHAVIORS:FIRST:LAST` with `--quarantine THRESHOLD`,
 /// seeded by `--fault-seed S`). Both front ends — the `exp_*` binaries'
 /// `ExpArgs` and the `dkc` CLI — build their plans through
 /// [`spec::plan_from_flags`], so the two can never drift apart on grammar,
@@ -448,17 +832,38 @@ pub mod spec {
         Ok((p, first, last))
     }
 
+    /// Parses the `--byzantine` behavior list: `+`-separated names from
+    /// lie/equivocate/mute/spam, or `all`.
+    fn behaviors(value: &str) -> Result<u8, String> {
+        if value == "all" {
+            return Ok(ByzantineModel::ALL_BEHAVIORS);
+        }
+        let mut bits = 0u8;
+        for name in value.split('+') {
+            let b = Behavior::from_name(name).ok_or_else(|| {
+                format!(
+                    "--byzantine: unknown behavior name {name:?} \
+                     (expected lie, equivocate, mute, spam, or all)"
+                )
+            })?;
+            bits |= b.bit();
+        }
+        Ok(bits)
+    }
+
     /// Builds a [`FaultPlan`] from the raw flag values (`None` = flag
     /// absent), validating every component so a malformed spec yields a CLI
-    /// error instead of a library panic. Crash windows must start at round 2
-    /// or later: a node crashed in round 1 never executes its initialization
-    /// step, freezing protocol state at its uninitialized value (e.g. a
-    /// surviving number of +∞).
+    /// error instead of a library panic. Crash and byzantine windows must
+    /// start at round 2 or later: a node crashed (or lying) in round 1 never
+    /// executes (or corrupts) its initialization step, freezing protocol
+    /// state at its uninitialized value (e.g. a surviving number of +∞).
     pub fn plan_from_flags(
         loss: Option<&str>,
         burst: Option<&str>,
         crash: Option<&str>,
         partition: Option<&str>,
+        byzantine: Option<&str>,
+        quarantine: Option<&str>,
         seed: u64,
     ) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::none();
@@ -489,6 +894,40 @@ pub mod spec {
         if let Some(v) = partition {
             let (f, first, last) = windowed("partition", v, 1)?;
             plan = plan.with_partition(PartitionModel::new(f, first, last, seed ^ 0xD0));
+        }
+        if let Some(v) = byzantine {
+            let parts: Vec<&str> = v.split(':').collect();
+            let [f, names, first, last] = parts.as_slice() else {
+                return Err(format!(
+                    "--byzantine expects <fraction>:<behaviors>:<first-round>:<last-round>, \
+                     got {v:?}"
+                ));
+            };
+            let f = probability("byzantine", f)?;
+            let bits = behaviors(names)?;
+            let parse_round = |what: &str, s: &str| -> Result<usize, String> {
+                s.parse()
+                    .map_err(|_| format!("--byzantine: {what} round must be an integer, got {s:?}"))
+            };
+            let first = parse_round("first", first)?;
+            let last = parse_round("last", last)?;
+            // Like crashes, misbehavior may not start before round 2: a node
+            // lying during round 1 corrupts its neighbours' initialization.
+            if first < 2 || first > last {
+                return Err(format!(
+                    "--byzantine window must satisfy 2 <= first <= last (got {first}..={last})"
+                ));
+            }
+            let mut model = ByzantineModel::new(f, bits, first, last, seed ^ 0xE0);
+            if let Some(q) = quarantine {
+                let threshold: u32 = q.parse().map_err(|_| {
+                    format!("--quarantine expects an accusation threshold, got {q:?}")
+                })?;
+                model = model.with_quarantine(threshold);
+            }
+            plan = plan.with_byzantine(model);
+        } else if quarantine.is_some() {
+            return Err("--quarantine requires --byzantine".to_string());
         }
         Ok(plan)
     }
@@ -714,6 +1153,9 @@ mod tests {
         assert!(FaultPlan::none()
             .with_partition(PartitionModel::new(0.0, 1, 5, 1))
             .is_trivial());
+        assert!(FaultPlan::none()
+            .with_byzantine(ByzantineModel::new(0.0, Behavior::Lie.bit(), 2, 5, 1))
+            .is_trivial());
 
         let plan = FaultPlan::from_loss(LossModel::new(0.5, 7))
             .with_burst(BurstLoss::new(6, 2, 8))
@@ -724,20 +1166,248 @@ mod tests {
         let crash_only = FaultPlan::none().with_crash(CrashModel::new(0.5, 1, 3, 1));
         assert!(!crash_only.is_trivial());
         assert!(!crash_only.affects_links());
+        // A byzantine component only affects links when it may mute.
+        let lie_only = FaultPlan::none().with_byzantine(ByzantineModel::new(
+            0.5,
+            Behavior::Lie.bit(),
+            2,
+            5,
+            1,
+        ));
+        assert!(!lie_only.is_trivial());
+        assert!(!lie_only.affects_links());
+        let mute_only = FaultPlan::none().with_byzantine(ByzantineModel::new(
+            0.5,
+            Behavior::Mute.bit(),
+            2,
+            5,
+            1,
+        ));
+        assert!(mute_only.affects_links());
 
-        // drop_cause attribution matches drops and respects the fixed order.
+        // drop_cause attribution matches drops.
         for round in 0..12 {
             for v in 0..20u32 {
                 let (from, to) = (NodeId(v), NodeId(v + 1));
                 for idx in 0..2 {
                     let cause = plan.drop_cause(round, from, to, idx);
                     assert_eq!(cause.is_some(), plan.drops(round, from, to, idx));
-                    if plan.loss.unwrap().drops(round, from, to, idx) {
-                        assert_eq!(cause, Some(DropCause::Loss));
-                    }
                 }
             }
         }
+    }
+
+    /// Pins the drop-attribution precedence (crash > partition > burst >
+    /// loss > byzantine-mute; crash never reaches `drop_cause` because a
+    /// crashed sender is structurally silent). The per-component counter
+    /// totals in committed baselines depend on this order staying fixed.
+    #[test]
+    fn drop_cause_precedence_is_partition_then_burst_then_loss_then_mute() {
+        let plan = FaultPlan::from_loss(LossModel::new(0.6, 7))
+            .with_burst(BurstLoss::new(5, 2, 8))
+            .with_partition(PartitionModel::new(0.4, 2, 8, 4))
+            .with_byzantine(
+                ByzantineModel::new(0.6, Behavior::Mute.bit(), 2, 10, 9).with_detect(0.0),
+            );
+        let (mut p_hits, mut b_hits, mut l_hits, mut m_hits) = (0, 0, 0, 0);
+        for round in 0..12 {
+            for v in 0..40u32 {
+                let (from, to) = (NodeId(v), NodeId((v + 1) % 40));
+                let cause = plan.drop_cause(round, from, to, 0);
+                let part = plan.partition.unwrap().severs(round, from, to);
+                let burst = plan.burst.unwrap().drops(round, from, to);
+                let loss = plan.loss.unwrap().drops(round, from, to, 0);
+                let mute = plan.byzantine.unwrap().mutes(round, from, to);
+                let want = if part {
+                    Some(DropCause::Partition)
+                } else if burst {
+                    Some(DropCause::Burst)
+                } else if loss {
+                    Some(DropCause::Loss)
+                } else if mute {
+                    Some(DropCause::ByzantineMute)
+                } else {
+                    None
+                };
+                assert_eq!(cause, want, "round {round} {from:?}->{to:?}");
+                match cause {
+                    Some(DropCause::Partition) => p_hits += 1,
+                    Some(DropCause::Burst) => b_hits += 1,
+                    Some(DropCause::Loss) => l_hits += 1,
+                    Some(DropCause::ByzantineMute) => m_hits += 1,
+                    None => {}
+                }
+            }
+        }
+        // The plan is dense enough that every precedence branch is exercised.
+        assert!(
+            p_hits > 0 && b_hits > 0 && l_hits > 0 && m_hits > 0,
+            "precedence branches not all hit ({p_hits}/{b_hits}/{l_hits}/{m_hits})"
+        );
+    }
+
+    #[test]
+    fn byzantine_behavior_assignment_is_deterministic_and_hits_the_rate() {
+        let byz = ByzantineModel::new(0.3, ByzantineModel::ALL_BEHAVIORS, 2, 9, 21);
+        let mut byzantine = 0usize;
+        let mut per_behavior = [0usize; 4];
+        for v in 0..10_000u32 {
+            let node = NodeId(v);
+            assert_eq!(byz.behavior_of(node).is_some(), byz.is_byzantine(node));
+            if let Some(b) = byz.behavior_of(node) {
+                byzantine += 1;
+                per_behavior[b as usize] += 1;
+            }
+        }
+        let rate = byzantine as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "observed byzantine rate {rate}");
+        // Each behavior gets a roughly equal share of the byzantine nodes.
+        for (i, &count) in per_behavior.iter().enumerate() {
+            let share = count as f64 / byzantine as f64;
+            assert!(
+                (share - 0.25).abs() < 0.05,
+                "behavior {i} share {share} far from uniform"
+            );
+        }
+        // Restricting the enabled set restricts the assignment.
+        let lie_spam =
+            ByzantineModel::new(0.3, Behavior::Lie.bit() | Behavior::Spam.bit(), 2, 9, 21);
+        for v in 0..1_000u32 {
+            if let Some(b) = lie_spam.behavior_of(NodeId(v)) {
+                assert!(matches!(b, Behavior::Lie | Behavior::Spam));
+            }
+        }
+    }
+
+    #[test]
+    fn tamper_salts_are_round_independent_and_receiver_scoped() {
+        let all = ByzantineModel::new(0.6, ByzantineModel::ALL_BEHAVIORS, 2, 9, 5);
+        let liar = (0..200u32)
+            .map(NodeId)
+            .find(|&v| all.behavior_of(v) == Some(Behavior::Lie))
+            .expect("some liar");
+        let equiv = (0..200u32)
+            .map(NodeId)
+            .find(|&v| all.behavior_of(v) == Some(Behavior::Equivocate))
+            .expect("some equivocator");
+        // Lie: same salt for every receiver and every active round.
+        let s = all.tamper_salt(2, liar, NodeId(1_000)).unwrap();
+        for round in 2..=9 {
+            for to in 0..10u32 {
+                assert_eq!(all.tamper_salt(round, liar, NodeId(to)), Some(s));
+            }
+        }
+        // Equivocate: per-receiver salts, still round-independent.
+        let s0 = all.tamper_salt(2, equiv, NodeId(0)).unwrap();
+        let s1 = all.tamper_salt(2, equiv, NodeId(1)).unwrap();
+        assert_ne!(s0, s1, "equivocation must differ per receiver");
+        assert_eq!(all.tamper_salt(7, equiv, NodeId(0)), Some(s0));
+        // Outside the window everyone is truthful.
+        assert_eq!(all.tamper_salt(1, liar, NodeId(0)), None);
+        assert_eq!(all.tamper_salt(10, equiv, NodeId(0)), None);
+        // Mute and spam nodes never tamper.
+        for v in 0..200u32 {
+            if matches!(
+                all.behavior_of(NodeId(v)),
+                Some(Behavior::Mute) | Some(Behavior::Spam) | None
+            ) {
+                assert_eq!(all.tamper_salt(3, NodeId(v), NodeId(0)), None);
+            }
+        }
+    }
+
+    #[test]
+    fn mute_and_spam_respect_behavior_and_window() {
+        let all = ByzantineModel::new(0.6, ByzantineModel::ALL_BEHAVIORS, 2, 9, 5);
+        let muter = (0..200u32)
+            .map(NodeId)
+            .find(|&v| all.behavior_of(v) == Some(Behavior::Mute))
+            .expect("some muter");
+        let spammer = (0..200u32)
+            .map(NodeId)
+            .find(|&v| all.behavior_of(v) == Some(Behavior::Spam))
+            .expect("some spammer");
+        // Mute drops roughly MUTE_PROBABILITY of copies inside the window.
+        let mut muted = 0usize;
+        let mut total = 0usize;
+        for round in 2..=9 {
+            for to in 0..500u32 {
+                total += 1;
+                if all.mutes(round, muter, NodeId(to)) {
+                    muted += 1;
+                }
+            }
+        }
+        let rate = muted as f64 / total as f64;
+        assert!((rate - 0.5).abs() < 0.05, "observed mute rate {rate}");
+        // Outside the window nothing is muted; non-muters never mute.
+        assert!((0..500u32).all(|to| !all.mutes(1, muter, NodeId(to))));
+        assert!((0..500u32).all(|to| !all.mutes(10, muter, NodeId(to))));
+        assert!((2..=9).all(|r| !all.mutes(r, spammer, NodeId(0))));
+        // Spam doubles frames only for active spammers.
+        assert_eq!(all.spam_factor(2, spammer), ByzantineModel::SPAM_FACTOR);
+        assert_eq!(all.spam_factor(1, spammer), 1);
+        assert_eq!(all.spam_factor(10, spammer), 1);
+        assert_eq!(all.spam_factor(2, muter), 1);
+    }
+
+    #[test]
+    fn accusations_and_quarantine_follow_the_hash_schedule() {
+        let byz = ByzantineModel::new(0.4, ByzantineModel::ALL_BEHAVIORS, 2, 20, 31)
+            .with_detect(0.5)
+            .with_quarantine(3);
+        let plan = FaultPlan::none().with_byzantine(byz);
+        let n = 300;
+        // Honest nodes are never accused or quarantined.
+        for v in 0..n {
+            let node = NodeId::new(v);
+            if !byz.is_byzantine(node) {
+                assert!((0..25).all(|r| !byz.accusation_event(r, node)));
+                assert_eq!(byz.quarantine_round(node), None);
+            }
+        }
+        // Quarantine fires one round after the threshold-th event and is
+        // permanent; quarantined nodes are a subset of byzantine nodes.
+        let mut some_quarantined = false;
+        for v in 0..n {
+            let node = NodeId::new(v);
+            if let Some(q) = byz.quarantine_round(node) {
+                some_quarantined = true;
+                assert!(byz.is_byzantine(node));
+                let events_before =
+                    (2..q).filter(|&r| byz.accusation_event(r, node)).count() as u32;
+                assert_eq!(events_before, 3, "node {v} quarantined at {q}");
+                assert!(!byz.quarantined(q - 1, node));
+                assert!(byz.quarantined(q, node));
+                assert!(byz.quarantined(q + 100, node));
+            }
+        }
+        assert!(some_quarantined, "expected some quarantines at these rates");
+        // The schedules match the per-node queries.
+        let acc = plan.byz_accusation_schedule(n);
+        assert!(acc.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        let quar = plan.quarantine_schedule(n);
+        assert!(quar.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        for round in 0..25u32 {
+            let acc_by_schedule = acc.partition_point(|&r| r <= round);
+            let acc_by_query: usize = (0..n)
+                .map(|v| {
+                    (0..=round as usize)
+                        .filter(|&r| byz.accusation_event(r, NodeId::new(v)))
+                        .count()
+                })
+                .sum();
+            assert_eq!(acc_by_schedule, acc_by_query, "accusations @ {round}");
+            let q_by_schedule = quar.partition_point(|&r| r <= round);
+            let q_by_query = (0..n)
+                .filter(|&v| byz.quarantined(round as usize, NodeId::new(v)))
+                .count();
+            assert_eq!(q_by_schedule, q_by_query, "quarantined @ {round}");
+        }
+        // Threshold 0 disables quarantine but keeps the accusation schedule.
+        let no_quar = FaultPlan::none().with_byzantine(byz.with_quarantine(0));
+        assert!(no_quar.quarantine_schedule(n).is_empty());
+        assert_eq!(no_quar.byz_accusation_schedule(n), acc);
     }
 
     #[test]
@@ -747,6 +1417,8 @@ mod tests {
             Some("6:2"),
             Some("0.1:2:9"),
             Some("0.3:4:8"),
+            Some("0.2:lie+mute:2:9"),
+            Some("3"),
             77,
         )
         .unwrap();
@@ -757,47 +1429,116 @@ mod tests {
             plan.partition,
             Some(PartitionModel::new(0.3, 4, 8, 77 ^ 0xD0))
         );
-        // Absent flags build the trivial plan.
-        assert!(spec::plan_from_flags(None, None, None, None, 77)
+        assert_eq!(
+            plan.byzantine,
+            Some(
+                ByzantineModel::new(
+                    0.2,
+                    Behavior::Lie.bit() | Behavior::Mute.bit(),
+                    2,
+                    9,
+                    77 ^ 0xE0
+                )
+                .with_quarantine(3)
+            )
+        );
+        // `all` enables every behavior; quarantine defaults to disabled.
+        let all = spec::plan_from_flags(None, None, None, None, Some("0.1:all:2:5"), None, 1)
             .unwrap()
-            .is_trivial());
+            .byzantine
+            .unwrap();
+        assert_eq!(all.behaviors, ByzantineModel::ALL_BEHAVIORS);
+        assert_eq!(all.quarantine, 0);
+        assert_eq!(all.detect, ByzantineModel::DEFAULT_DETECT);
+        // Absent flags build the trivial plan.
+        assert!(
+            spec::plan_from_flags(None, None, None, None, None, None, 77)
+                .unwrap()
+                .is_trivial()
+        );
         // Partitions may start at round 1.
-        assert!(spec::plan_from_flags(None, None, None, Some("0.5:1:3"), 1).is_ok());
+        assert!(spec::plan_from_flags(None, None, None, Some("0.5:1:3"), None, None, 1).is_ok());
     }
 
     #[test]
     fn spec_rejects_malformed_and_round_one_crashes() {
         let err = |v: Result<FaultPlan, String>| v.unwrap_err();
-        assert!(err(spec::plan_from_flags(Some("1.5"), None, None, None, 1)).contains("[0, 1]"));
-        assert!(err(spec::plan_from_flags(Some("p"), None, None, None, 1))
-            .contains("expects a probability"));
+        let flags = |loss, burst, crash, partition| {
+            spec::plan_from_flags(loss, burst, crash, partition, None, None, 1)
+        };
+        assert!(err(flags(Some("1.5"), None, None, None)).contains("[0, 1]"));
+        assert!(err(flags(Some("p"), None, None, None)).contains("expects a probability"));
+        assert!(err(flags(None, Some("6"), None, None)).contains("<period>:<len>"));
+        assert!(err(flags(None, Some("4:9"), None, None)).contains("len <= period"));
+        assert!(err(flags(None, Some("0:0"), None, None)).contains("1 <= period"));
         assert!(
-            err(spec::plan_from_flags(None, Some("6"), None, None, 1)).contains("<period>:<len>")
+            err(flags(None, None, Some("0.5"), None)).contains("<p>:<first-round>:<last-round>")
         );
-        assert!(
-            err(spec::plan_from_flags(None, Some("4:9"), None, None, 1)).contains("len <= period")
-        );
-        assert!(
-            err(spec::plan_from_flags(None, Some("0:0"), None, None, 1)).contains("1 <= period")
-        );
-        assert!(err(spec::plan_from_flags(None, None, Some("0.5"), None, 1))
-            .contains("<p>:<first-round>:<last-round>"));
-        assert!(
-            err(spec::plan_from_flags(None, None, Some("0.5:6:4"), None, 1))
-                .contains("first <= last")
-        );
-        assert!(
-            err(spec::plan_from_flags(None, None, None, Some("0.5:3:x"), 1))
-                .contains("must be an integer")
-        );
-        assert!(
-            err(spec::plan_from_flags(None, None, None, Some("0.5:0:4"), 1)).contains("1 <= first")
-        );
+        assert!(err(flags(None, None, Some("0.5:6:4"), None)).contains("first <= last"));
+        assert!(err(flags(None, None, None, Some("0.5:3:x"))).contains("must be an integer"));
+        assert!(err(flags(None, None, None, Some("0.5:0:4"))).contains("1 <= first"));
         // A crash at round 1 would freeze uninitialized protocol state
         // (nodes never run their first step), so the spec surface rejects it
         // even though the library type allows it.
-        let err = spec::plan_from_flags(None, None, Some("0.5:1:4"), None, 1).unwrap_err();
+        let err = flags(None, None, Some("0.5:1:4"), None).unwrap_err();
         assert!(err.contains("2 <= first"), "{err}");
+    }
+
+    /// Exact-message rejection tests for the `--byzantine` / `--quarantine`
+    /// grammar, mirroring the crash-window checks above.
+    #[test]
+    fn spec_rejects_malformed_byzantine_specs() {
+        let byz = |v| spec::plan_from_flags(None, None, None, None, Some(v), None, 1);
+        let err = |v| byz(v).unwrap_err();
+        // Fraction out of [0, 1] (and non-numeric).
+        assert_eq!(
+            err("1.5:lie:2:9"),
+            "--byzantine must be in [0, 1] (got 1.5)"
+        );
+        assert_eq!(
+            err("x:lie:2:9"),
+            "--byzantine expects a probability, got \"x\""
+        );
+        // Unknown behavior name.
+        assert_eq!(
+            err("0.2:gossip:2:9"),
+            "--byzantine: unknown behavior name \"gossip\" \
+             (expected lie, equivocate, mute, spam, or all)"
+        );
+        assert_eq!(
+            err("0.2:lie+flood:2:9"),
+            "--byzantine: unknown behavior name \"flood\" \
+             (expected lie, equivocate, mute, spam, or all)"
+        );
+        // Window before round 2 (misbehavior during initialization).
+        assert_eq!(
+            err("0.2:lie:1:9"),
+            "--byzantine window must satisfy 2 <= first <= last (got 1..=9)"
+        );
+        assert_eq!(
+            err("0.2:lie:5:3"),
+            "--byzantine window must satisfy 2 <= first <= last (got 5..=3)"
+        );
+        // Shape and integer errors.
+        assert_eq!(
+            err("0.2:lie:2"),
+            "--byzantine expects <fraction>:<behaviors>:<first-round>:<last-round>, \
+             got \"0.2:lie:2\""
+        );
+        assert_eq!(
+            err("0.2:lie:2:x"),
+            "--byzantine: last round must be an integer, got \"x\""
+        );
+        // Quarantine needs a byzantine component and an integer threshold.
+        assert_eq!(
+            spec::plan_from_flags(None, None, None, None, None, Some("3"), 1).unwrap_err(),
+            "--quarantine requires --byzantine"
+        );
+        assert_eq!(
+            spec::plan_from_flags(None, None, None, None, Some("0.2:lie:2:9"), Some("x"), 1)
+                .unwrap_err(),
+            "--quarantine expects an accusation threshold, got \"x\""
+        );
     }
 
     #[test]

@@ -21,7 +21,9 @@
 //! * [`congest`] — CONGEST-model message-size budgets and checks.
 //! * [`message::MessageSize`] — payload size accounting used by the metrics.
 //! * [`faults`] — the deterministic [`FaultPlan`] subsystem: composable
-//!   i.i.d. loss, burst loss, crash-stop, and partition fault injection.
+//!   i.i.d. loss, burst loss, crash-stop, partition, and byzantine
+//!   (lie/equivocate/mute/spam, with detection and quarantine) fault
+//!   injection.
 //! * [`checkpoint`] — versioned snapshot/restore of mid-run executor state,
 //!   so a run killed at any round resumes byte-identically.
 
@@ -39,8 +41,11 @@ pub mod wire;
 
 pub use checkpoint::{CheckpointError, SnapshotState};
 pub use congest::congest_budget_bits;
-pub use faults::{BurstLoss, CrashModel, DropCause, FaultPlan, LossModel, PartitionModel};
-pub use message::MessageSize;
+pub use faults::{
+    Behavior, BurstLoss, ByzantineModel, CrashModel, DropCause, FaultPlan, LossModel,
+    PartitionModel,
+};
+pub use message::{MessageSize, Tamper};
 pub use metrics::{RoundStats, RunMetrics};
 pub use network::{ExecutionMode, ExecutorBufferStats, Network, NetworkBuilder};
 pub use program::{Delivery, NodeContext, NodeProgram, Outgoing};

@@ -41,6 +41,7 @@
 //! instead of a panic. In-tree programs never produce such frames; the
 //! accounting exists for the protocol boundary.
 
+use crate::message::Tamper;
 use crate::metrics::RoundStats;
 use crate::network::{produce_outgoing, Network, NodeCell};
 use crate::program::{Delivery, NodeProgram, Outgoing};
@@ -78,6 +79,7 @@ struct PartialStats {
     dropped_loss: usize,
     dropped_burst: usize,
     dropped_partition: usize,
+    dropped_byzantine: usize,
 }
 
 /// Shard-to-coordinator messages.
@@ -143,6 +145,8 @@ pub(crate) fn run_mailbox<P: NodeProgram>(
         metrics,
         faults,
         crash_schedule,
+        byz_accusation_schedule,
+        quarantine_schedule,
         mailbox_capacity,
         max_frame_bytes,
         decode_faults,
@@ -242,6 +246,7 @@ pub(crate) fn run_mailbox<P: NodeProgram>(
                         merged.dropped_loss += p.dropped_loss;
                         merged.dropped_burst += p.dropped_burst;
                         merged.dropped_partition += p.dropped_partition;
+                        merged.dropped_byzantine += p.dropped_byzantine;
                         seen += 1;
                     }
                     ToCoordinator::Done(_) => {
@@ -261,7 +266,11 @@ pub(crate) fn run_mailbox<P: NodeProgram>(
                 dropped_loss: merged.dropped_loss,
                 dropped_burst: merged.dropped_burst,
                 dropped_partition: merged.dropped_partition,
+                dropped_byzantine: merged.dropped_byzantine,
                 crashed_nodes: crash_schedule.partition_point(|&cr| (cr as usize) <= r),
+                byzantine_accusations: byz_accusation_schedule
+                    .partition_point(|&ar| (ar as usize) <= r),
+                quarantined_nodes: quarantine_schedule.partition_point(|&qr| (qr as usize) <= r),
             };
             metrics.push(stats);
             executed = k;
@@ -333,6 +342,9 @@ fn shard_main<P: NodeProgram>(args: ShardArgs<'_, P>) {
         coord,
     } = args;
     let link_faults = faults.filter(crate::faults::FaultPlan::affects_links);
+    let byz = faults
+        .and_then(|f| f.byzantine)
+        .filter(|b| b.fraction > 0.0);
     let mut faulters: Vec<u32> = Vec::new();
     // Lazily allocated per-shard multicast dedup stamps (arc-indexed; this
     // shard only ever stamps its own senders' disjoint arc ranges).
@@ -362,26 +374,48 @@ fn shard_main<P: NodeProgram>(args: ShardArgs<'_, P>) {
             partial.dropped_loss += acct.dropped_loss;
             partial.dropped_burst += acct.dropped_burst;
             partial.dropped_partition += acct.dropped_partition;
+            partial.dropped_byzantine += acct.dropped_byzantine;
 
             let sender = NodeId::new(i);
             let arc_base = graph.arc_offset(sender);
             let dropped = |to: NodeId, idx: usize| -> bool {
                 link_faults.is_some_and(|f| f.drops(r, sender, to, idx))
             };
-            // Emit one frame on the sender-local arc `q` (the receiver-local
-            // position comes from the paired reverse arc, as in the sparse
-            // scatter). Copies to crashed/halted receivers are still sent —
-            // the sender cannot know — and discarded by the receiving shard.
-            let emit = |pending: &mut Vec<Packet>, q: usize, bytes: &Arc<[u8]>| {
+            // A byzantine lie/equivocate sender encodes a **per-arc tampered
+            // frame** in place of the shared broadcast frame (equivocation
+            // sends different bytes to different receivers); tampering is
+            // length-preserving, so the wire accounting from
+            // `produce_outgoing` still matches the encoder exactly. An active
+            // spammer emits each frame `spam` times on the same arc.
+            let spam = byz.as_ref().map_or(1, |b| b.spam_factor(r, sender));
+            let tampered = |m: &P::Message, v: NodeId| -> Option<Arc<[u8]>> {
+                let salt = byz.as_ref()?.tamper_salt(r, sender, v)?;
+                let frame: Arc<[u8]> = encode_frame(&m.tamper(salt)).into();
+                debug_assert_eq!(
+                    frame.len(),
+                    encode_frame(m).len(),
+                    "tamper must be length-preserving (see message::Tamper)"
+                );
+                Some(frame)
+            };
+            // Emit the frame copies on the sender-local arc `q` (the
+            // receiver-local position comes from the paired reverse arc, as
+            // in the sparse scatter). Copies to crashed/halted receivers are
+            // still sent — the sender cannot know — and discarded by the
+            // receiving shard.
+            let emit = |pending: &mut Vec<Packet>, q: usize, m: &P::Message, bytes: &Arc<[u8]>| {
                 let v = graph.neighbors(sender)[q];
                 let pos = (graph.reverse_arc(arc_base + q) - graph.arc_offset(v)) as u32;
-                let pkt = Packet::Frame {
-                    sender: i as u32,
-                    receiver: v.0,
-                    pos,
-                    bytes: Arc::clone(bytes),
-                };
-                send_with_backpressure(&peers[v.index() / chunk], &my_rx, pending, pkt);
+                let bytes = tampered(m, v).unwrap_or_else(|| Arc::clone(bytes));
+                for _ in 0..spam {
+                    let pkt = Packet::Frame {
+                        sender: i as u32,
+                        receiver: v.0,
+                        pos,
+                        bytes: Arc::clone(&bytes),
+                    };
+                    send_with_backpressure(&peers[v.index() / chunk], &my_rx, pending, pkt);
+                }
             };
             match &out {
                 Outgoing::Silent => {}
@@ -389,7 +423,7 @@ fn shard_main<P: NodeProgram>(args: ShardArgs<'_, P>) {
                     let bytes: Arc<[u8]> = encode_frame(m).into();
                     for (q, &v) in graph.neighbors(sender).iter().enumerate() {
                         if !dropped(v, 0) {
-                            emit(&mut pending, q, &bytes);
+                            emit(&mut pending, q, m, &bytes);
                         }
                     }
                 }
@@ -410,7 +444,7 @@ fn shard_main<P: NodeProgram>(args: ShardArgs<'_, P>) {
                                     continue;
                                 }
                                 stamps[arc_base + q] = round_stamp;
-                                emit(&mut pending, q, &bytes);
+                                emit(&mut pending, q, m, &bytes);
                             }
                         }
                     }
@@ -424,7 +458,7 @@ fn shard_main<P: NodeProgram>(args: ShardArgs<'_, P>) {
                         // Dense delivery hands a unicast to every parallel
                         // arc towards the target; mirror that.
                         for q in graph.neighbor_positions(sender, *t) {
-                            emit(&mut pending, q, &bytes);
+                            emit(&mut pending, q, m, &bytes);
                         }
                     }
                 }

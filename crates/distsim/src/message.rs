@@ -103,6 +103,77 @@ impl MessageSize for QuantizedValue {
     }
 }
 
+/// How a byzantine sender corrupts an outgoing message copy (the **lie** and
+/// **equivocate** behaviors of `faults::ByzantineModel`).
+///
+/// The default implementation transmits the message unchanged, which is the
+/// correct behavior for types whose corruption would be detected structurally
+/// (control messages, ids) — a byzantine node "lying" about them sends them
+/// verbatim. Numeric payload types override it with a deterministic
+/// perturbation that is a pure function of `(value, salt)`.
+///
+/// Contract (both are load-bearing for executor equivalence):
+///
+/// * **Length-preserving** — the tampered message must report the same
+///   [`MessageSize::size_bits`] and encode to the same wire length, so the
+///   deterministic bit counters are identical whether or not a receiver-side
+///   copy happened to be tampered.
+/// * **Salt-pure** — the result depends only on the input message and the
+///   salt, never on rounds or ambient state, so a re-sent tampered value is
+///   byte-identical across executors.
+pub trait Tamper: Clone {
+    /// Returns the corrupted copy the byzantine sender transmits.
+    fn tamper(&self, _salt: u64) -> Self {
+        self.clone()
+    }
+}
+
+/// Maps a salt to a deterministic corruption factor in `[0.5, 1)`. Values
+/// are perturbed **downward**: the coreness protocols only ever shrink their
+/// estimates (upward lies would be ignored by their monotone merges), so a
+/// downward lie is the adversarial direction — and it keeps tampered values
+/// finite, non-negative, and NaN-free.
+#[inline]
+fn salt_factor(salt: u64) -> f64 {
+    // Avalanche the salt first: raw salts are often small integers (node ids,
+    // round numbers) whose high bits are all zero, and the factor is built
+    // from the top 53 bits.
+    let mixed = crate::faults::splitmix(salt);
+    0.5 + ((mixed >> 11) as f64 / (1u64 << 53) as f64) * 0.5
+}
+
+impl Tamper for f64 {
+    fn tamper(&self, salt: u64) -> Self {
+        self * salt_factor(salt)
+    }
+}
+
+impl Tamper for u64 {
+    fn tamper(&self, salt: u64) -> Self {
+        // Scale down by the salt factor; same wire width, smaller value.
+        (*self as f64 * salt_factor(salt)) as u64
+    }
+}
+
+impl Tamper for u32 {
+    fn tamper(&self, salt: u64) -> Self {
+        (*self as f64 * salt_factor(salt)) as u32
+    }
+}
+
+impl Tamper for () {}
+
+impl Tamper for QuantizedValue {
+    fn tamper(&self, salt: u64) -> Self {
+        // Perturb the value, keep the declared bit width: lies must not
+        // change the measured message size.
+        QuantizedValue {
+            value: self.value * salt_factor(salt),
+            bits: self.bits,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +202,28 @@ mod tests {
             bits: 12,
         };
         assert_eq!(q.size_bits(), 12);
+    }
+
+    #[test]
+    fn tamper_is_deterministic_length_preserving_and_downward() {
+        let q = QuantizedValue {
+            value: 8.0,
+            bits: 12,
+        };
+        for salt in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            let t = q.tamper(salt);
+            assert_eq!(t.size_bits(), q.size_bits(), "lies must not resize");
+            assert!(t.value <= q.value && t.value >= 0.25 * q.value);
+            assert!(t.value.is_finite());
+            assert_eq!(t, q.tamper(salt), "tamper must be salt-pure");
+            let f = 10.0f64.tamper(salt);
+            assert!((5.0..=10.0).contains(&f) && f.is_finite());
+            assert!(100u32.tamper(salt) <= 100);
+            assert!(100u64.tamper(salt) <= 100);
+        }
+        // Different salts give different lies (somewhere).
+        assert_ne!(10.0f64.tamper(1), 10.0f64.tamper(2));
+        // The unit type has nothing to lie about.
+        ().tamper(42);
     }
 }

@@ -49,9 +49,20 @@ pub struct RoundStats {
     pub dropped_burst: usize,
     /// Message copies dropped this round by the active partition cut.
     pub dropped_partition: usize,
+    /// Message copies dropped this round by byzantine senders selectively
+    /// muting (see [`crate::faults::ByzantineModel`]). Deterministic.
+    pub dropped_byzantine: usize,
     /// Number of nodes that have crash-stopped as of this round (cumulative,
     /// monotone non-decreasing across rounds). Deterministic.
     pub crashed_nodes: usize,
+    /// Total byzantine accusation events through this round (cumulative
+    /// across rounds and nodes). Accusations are a pure hash schedule of the
+    /// plan — independent of delivered traffic — so the counter is identical
+    /// across *all* execution modes, like [`RoundStats::crashed_nodes`].
+    pub byzantine_accusations: usize,
+    /// Number of nodes quarantined as of this round (cumulative, monotone
+    /// non-decreasing; schedule-driven and identical across all modes).
+    pub quarantined_nodes: usize,
 }
 
 /// Accumulated statistics for a full protocol run.
@@ -159,15 +170,35 @@ impl RunMetrics {
         self.rounds.iter().map(|r| r.dropped_partition).sum()
     }
 
+    /// Total copies dropped by byzantine muting across all rounds.
+    pub fn total_dropped_byzantine(&self) -> usize {
+        self.rounds.iter().map(|r| r.dropped_byzantine).sum()
+    }
+
     /// Total copies dropped by any fault component across all rounds.
     pub fn total_dropped(&self) -> usize {
-        self.total_dropped_loss() + self.total_dropped_burst() + self.total_dropped_partition()
+        self.total_dropped_loss()
+            + self.total_dropped_burst()
+            + self.total_dropped_partition()
+            + self.total_dropped_byzantine()
     }
 
     /// Number of nodes that had crash-stopped by the end of the run (the
     /// cumulative counter of the last recorded round; 0 for empty metrics).
     pub fn crashed_nodes(&self) -> usize {
         self.rounds.last().map_or(0, |r| r.crashed_nodes)
+    }
+
+    /// Total byzantine accusation events over the run (the cumulative
+    /// counter of the last recorded round; 0 for empty metrics).
+    pub fn byzantine_accusations(&self) -> usize {
+        self.rounds.last().map_or(0, |r| r.byzantine_accusations)
+    }
+
+    /// Number of nodes quarantined by the end of the run (the cumulative
+    /// counter of the last recorded round; 0 for empty metrics).
+    pub fn quarantined_nodes(&self) -> usize {
+        self.rounds.last().map_or(0, |r| r.quarantined_nodes)
     }
 
     /// The last round in which any node's state changed (`None` if no round

@@ -41,8 +41,8 @@
 //! deterministic counter suitable for CI gating.
 
 use crate::checkpoint::{self, CheckpointError, SnapshotState};
-use crate::faults::{DropCause, FaultPlan, LossModel};
-use crate::message::MessageSize;
+use crate::faults::{Behavior, DropCause, FaultPlan, LossModel};
+use crate::message::{MessageSize, Tamper};
 use crate::metrics::{RoundStats, RunMetrics};
 use crate::program::{Delivery, NodeContext, NodeProgram, Outgoing};
 use crate::wire::{WireCodec, WireReader, WireWriter};
@@ -145,15 +145,20 @@ pub(crate) struct SendAccount {
     pub(crate) dropped_burst: usize,
     /// Copies dropped by the active partition cut.
     pub(crate) dropped_partition: usize,
+    /// Copies dropped by the byzantine sender selectively muting.
+    pub(crate) dropped_byzantine: usize,
 }
 
 impl SendAccount {
+    /// Records `k` dropped copies at once (a spamming sender's duplicated
+    /// frames share one drop decision, so the whole burst drops together).
     #[inline]
-    pub(crate) fn record_drop(&mut self, cause: DropCause) {
+    pub(crate) fn record_drops(&mut self, cause: DropCause, k: usize) {
         match cause {
-            DropCause::Loss => self.dropped_loss += 1,
-            DropCause::Burst => self.dropped_burst += 1,
-            DropCause::Partition => self.dropped_partition += 1,
+            DropCause::Loss => self.dropped_loss += k,
+            DropCause::Burst => self.dropped_burst += k,
+            DropCause::Partition => self.dropped_partition += k,
+            DropCause::ByzantineMute => self.dropped_byzantine += k,
         }
     }
 
@@ -166,7 +171,7 @@ impl SendAccount {
     /// neighbours in the frontier forever for no observable effect.
     #[inline]
     pub(crate) fn any_dropped(&self) -> bool {
-        self.dropped_loss + self.dropped_burst + self.dropped_partition > 0
+        self.dropped_loss + self.dropped_burst + self.dropped_partition + self.dropped_byzantine > 0
     }
 }
 
@@ -212,6 +217,13 @@ pub struct Network<P: NodeProgram> {
     /// Sorted crash rounds of every node that ever crashes under the plan
     /// (see [`FaultPlan::crash_schedule`]); empty without a crash component.
     pub(crate) crash_schedule: Vec<u32>,
+    /// Sorted rounds of every byzantine accusation event under the plan
+    /// (see [`FaultPlan::byz_accusation_schedule`]); empty without a
+    /// byzantine component. Schedule-driven, so identical in every mode.
+    pub(crate) byz_accusation_schedule: Vec<u32>,
+    /// Sorted quarantine-entry rounds of every node the plan ever
+    /// quarantines (see [`FaultPlan::quarantine_schedule`]).
+    pub(crate) quarantine_schedule: Vec<u32>,
     /// Whether executors charge measured `wire_bits` (see
     /// [`NetworkBuilder::wire_accounting`]). The mailbox backend encodes
     /// frames regardless; this only gates the counter.
@@ -274,7 +286,9 @@ fn measured_frame_bits<M: MessageSize + crate::wire::WireCodec>(wire: bool, m: &
 /// Runs one node's broadcast phase and computes its post-fault accounting row
 /// (shared by the dense map, the sparse frontier loop, and the mailbox
 /// shards). A crashed sender is treated exactly like a program-halted one:
-/// it produces nothing. `wire` enables measured wire-bit accounting.
+/// it produces nothing; a quarantined byzantine sender likewise sends
+/// nothing, but (unlike a crash) still receives and steps. `wire` enables
+/// measured wire-bit accounting.
 pub(crate) fn produce_outgoing<P: NodeProgram>(
     graph: &CsrGraph,
     faults: Option<FaultPlan>,
@@ -284,12 +298,19 @@ pub(crate) fn produce_outgoing<P: NodeProgram>(
     cell: &mut NodeCell<P>,
 ) -> (Outgoing<P::Message>, SendAccount) {
     let sender = NodeId::new(i);
-    if cell.program.halted() || faults.is_some_and(|f| f.crashed(round, sender)) {
+    if cell.program.halted()
+        || faults.is_some_and(|f| f.crashed(round, sender) || f.quarantined(round, sender))
+    {
         return (Outgoing::Silent, SendAccount::default());
     }
     let ctx = NodeContext::new(graph, sender, round);
     let out = cell.program.broadcast(&ctx);
     let mut acct = SendAccount::default();
+    // An active byzantine spammer transmits every outgoing frame `spam` times;
+    // the duplicates share the original's drop decision, so both the
+    // delivered-copy totals and the drop counters scale by the factor
+    // (invariant: messages + drops == wire copies × factor).
+    let spam = faults.map_or(1, |f| f.spam_factor(round, sender));
     // Post-fault accounting evaluates the drop decision here and the delivery
     // phase evaluates it again per arc — a deliberate trade-off: the hash is a
     // handful of integer ops, and sharing it would need another arc-indexed
@@ -301,13 +322,13 @@ pub(crate) fn produce_outgoing<P: NodeProgram>(
         Outgoing::Broadcast(m) => {
             let degree = graph.unweighted_degree(sender);
             let copies = match link_faults {
-                None => degree,
+                None => degree * spam,
                 Some(f) => {
                     let mut delivered = 0usize;
                     for &t in graph.neighbors(sender) {
                         match f.drop_cause(round, sender, t, 0) {
-                            None => delivered += 1,
-                            Some(cause) => acct.record_drop(cause),
+                            None => delivered += spam,
+                            Some(cause) => acct.record_drops(cause, spam),
                         }
                     }
                     delivered
@@ -327,13 +348,13 @@ pub(crate) fn produce_outgoing<P: NodeProgram>(
                 "multicast target is not a neighbour of {sender}"
             );
             let copies = match link_faults {
-                None => targets.len(),
+                None => targets.len() * spam,
                 Some(f) => {
                     let mut delivered = 0usize;
                     for &t in targets {
                         match f.drop_cause(round, sender, t, 0) {
-                            None => delivered += 1,
-                            Some(cause) => acct.record_drop(cause),
+                            None => delivered += spam,
+                            Some(cause) => acct.record_drops(cause, spam),
                         }
                     }
                     delivered
@@ -359,12 +380,12 @@ pub(crate) fn produce_outgoing<P: NodeProgram>(
                 match link_faults.and_then(|f| f.drop_cause(round, sender, *target, idx)) {
                     None => {
                         let bits = m.size_bits();
-                        acct.messages += 1;
-                        acct.payload_bits += bits;
-                        acct.wire_bits += measured_frame_bits(wire, m);
+                        acct.messages += spam;
+                        acct.payload_bits += bits * spam;
+                        acct.wire_bits += measured_frame_bits(wire, m) * spam;
                         acct.max_message_bits = acct.max_message_bits.max(bits);
                     }
-                    Some(cause) => acct.record_drop(cause),
+                    Some(cause) => acct.record_drops(cause, spam),
                 }
             }
         }
@@ -584,6 +605,8 @@ impl<P: NodeProgram> Network<P> {
             mode: ExecutionMode::default(),
             faults: None,
             crash_schedule: Vec::new(),
+            byz_accusation_schedule: Vec::new(),
+            quarantine_schedule: Vec::new(),
             wire_accounting: true,
             mailbox_threads: None,
             mailbox_capacity: NetworkBuilder::DEFAULT_MAILBOX_CAPACITY,
@@ -666,8 +689,13 @@ impl<P: NodeProgram> Network<P> {
         if plan.is_trivial() {
             self.faults = None;
             self.crash_schedule = Vec::new();
+            self.byz_accusation_schedule = Vec::new();
+            self.quarantine_schedule = Vec::new();
         } else {
-            self.crash_schedule = plan.crash_schedule(self.cells.len());
+            let n = self.cells.len();
+            self.crash_schedule = plan.crash_schedule(n);
+            self.byz_accusation_schedule = plan.byz_accusation_schedule(n);
+            self.quarantine_schedule = plan.quarantine_schedule(n);
             self.faults = Some(plan);
         }
     }
@@ -676,6 +704,21 @@ impl<P: NodeProgram> Network<P> {
     /// installed plan.
     fn crashed_count(&self, round: usize) -> usize {
         self.crash_schedule
+            .partition_point(|&r| (r as usize) <= round)
+    }
+
+    /// Cumulative byzantine accusation events through `round` under the
+    /// installed plan (schedule-driven — see
+    /// [`FaultPlan::byz_accusation_schedule`]).
+    fn accusation_count(&self, round: usize) -> usize {
+        self.byz_accusation_schedule
+            .partition_point(|&r| (r as usize) <= round)
+    }
+
+    /// The number of nodes quarantined as of `round` under the installed
+    /// plan.
+    fn quarantined_count(&self, round: usize) -> usize {
+        self.quarantine_schedule
             .partition_point(|&r| (r as usize) <= round)
     }
 
@@ -791,6 +834,7 @@ impl<P: NodeProgram> Network<P> {
         let mut dropped_loss = 0usize;
         let mut dropped_burst = 0usize;
         let mut dropped_partition = 0usize;
+        let mut dropped_byzantine = 0usize;
         for (_, acct) in &self.outboxes {
             if acct.messages > 0 {
                 sending_nodes += 1;
@@ -802,6 +846,7 @@ impl<P: NodeProgram> Network<P> {
             dropped_loss += acct.dropped_loss;
             dropped_burst += acct.dropped_burst;
             dropped_partition += acct.dropped_partition;
+            dropped_byzantine += acct.dropped_byzantine;
         }
 
         // Multicast scatter: each sender stamps its own CSR arc positions for
@@ -841,6 +886,14 @@ impl<P: NodeProgram> Network<P> {
         let outboxes = &self.outboxes;
         let stamps = &self.multicast_stamps;
         let link_faults = faults.filter(FaultPlan::affects_links);
+        // Byzantine lie/equivocate corruption and spam duplication are
+        // applied receiver-side here (the outbox holds the sender's true
+        // message); the mailbox backend applies the same salts sender-side
+        // when encoding frames — identical results because tampering is
+        // salt-pure (see `crate::message::Tamper`).
+        let byz = faults
+            .and_then(|f| f.byzantine)
+            .filter(|b| b.fraction > 0.0 && b.active(round));
         let receive_one = |i: usize, cell: &mut NodeCell<P>| -> StepResult {
             let v = NodeId::new(i);
             if cell.program.halted() || faults.is_some_and(|f| f.crashed(round, v)) {
@@ -852,11 +905,26 @@ impl<P: NodeProgram> Network<P> {
             let arc_base = graph.arc_offset(v);
             cell.inbox.clear();
             for (q, &u) in graph.neighbors(v).iter().enumerate() {
+                let (salt, copies) = match &byz {
+                    None => (None, 1),
+                    Some(b) => (b.tamper_salt(round, u, v), b.spam_factor(round, u)),
+                };
                 let deliver = |inbox: &mut Vec<Delivery<P::Message>>, msg: &P::Message| {
+                    let msg = match salt {
+                        Some(s) => msg.tamper(s),
+                        None => msg.clone(),
+                    };
+                    for _ in 1..copies {
+                        inbox.push(Delivery {
+                            sender: u,
+                            pos: q as u32,
+                            msg: msg.clone(),
+                        });
+                    }
                     inbox.push(Delivery {
                         sender: u,
                         pos: q as u32,
-                        msg: msg.clone(),
+                        msg,
                     });
                 };
                 match &outboxes[u.index()].0 {
@@ -931,7 +999,10 @@ impl<P: NodeProgram> Network<P> {
             dropped_loss,
             dropped_burst,
             dropped_partition,
+            dropped_byzantine,
             crashed_nodes: self.crashed_count(round),
+            byzantine_accusations: self.accusation_count(round),
+            quarantined_nodes: self.quarantined_count(round),
         }
     }
 
@@ -957,12 +1028,49 @@ impl<P: NodeProgram> Network<P> {
             }
         }
 
+        // Byzantine lie/equivocate window boundaries re-activate the liars:
+        // a dense run re-broadcasts every round, so receivers hear the
+        // tampered value at `first_round` and the restored true value at
+        // `last_round + 1` even if the liar's state never changed. Injecting
+        // the (non-crashed, non-halted) tampering nodes into the frontier at
+        // exactly those two rounds reproduces both deliveries; mute needs no
+        // injection (its drops keep the sender in the resend list and its
+        // values are never tampered) and spam duplicates are idempotent.
+        if let Some(byz) = self.faults.and_then(|f| f.byzantine) {
+            let tampering = Behavior::Lie.bit() | Behavior::Equivocate.bit();
+            if byz.fraction > 0.0
+                && byz.behaviors & tampering != 0
+                && (round == byz.first_round || round == byz.last_round + 1)
+            {
+                let faults = self.faults;
+                for i in 0..n {
+                    let v = NodeId::new(i);
+                    if !matches!(
+                        byz.behavior_of(v),
+                        Some(Behavior::Lie) | Some(Behavior::Equivocate)
+                    ) {
+                        continue;
+                    }
+                    if self.cells[i].program.halted() || faults.is_some_and(|f| f.crashed(round, v))
+                    {
+                        continue;
+                    }
+                    self.frontier.push(i as u32);
+                }
+                self.frontier.sort_unstable();
+                self.frontier.dedup();
+            }
+        }
+
         if self.frontier.is_empty() {
             // Quiescent: the round is a no-op (and costs O(1)). The
-            // cumulative crash counter still reports, matching dense rounds.
+            // cumulative schedule-driven counters still report, matching
+            // dense rounds.
             return RoundStats {
                 round,
                 crashed_nodes: self.crashed_count(round),
+                byzantine_accusations: self.accusation_count(round),
+                quarantined_nodes: self.quarantined_count(round),
                 ..RoundStats::default()
             };
         }
@@ -981,6 +1089,7 @@ impl<P: NodeProgram> Network<P> {
         let mut dropped_loss = 0usize;
         let mut dropped_burst = 0usize;
         let mut dropped_partition = 0usize;
+        let mut dropped_byzantine = 0usize;
         self.resend.clear();
         let wire = self.wire_accounting;
         for idx in 0..self.frontier.len() {
@@ -999,6 +1108,7 @@ impl<P: NodeProgram> Network<P> {
             dropped_loss += acct.dropped_loss;
             dropped_burst += acct.dropped_burst;
             dropped_partition += acct.dropped_partition;
+            dropped_byzantine += acct.dropped_byzantine;
             if acct.any_dropped() {
                 self.resend.push(u as u32);
             }
@@ -1024,6 +1134,11 @@ impl<P: NodeProgram> Network<P> {
             touch_list.clear();
             let faults = *faults;
             let link_faults = faults.filter(FaultPlan::affects_links);
+            // Same receiver-observable byzantine corruption as the dense
+            // path, applied at the sender-side scatter point.
+            let byz = faults
+                .and_then(|f| f.byzantine)
+                .filter(|b| b.fraction > 0.0 && b.active(round));
             // A crashed (or halted) node is never touched: it does not step,
             // mirroring the dense receive skip, so it stays out of the
             // frontier bookkeeping entirely.
@@ -1046,15 +1161,26 @@ impl<P: NodeProgram> Network<P> {
                 let dropped = |to: NodeId, idx: usize| -> bool {
                     link_faults.is_some_and(|f| f.drops(round, sender, to, idx))
                 };
-                // Deliver one copy on the arc at sender-local position `q`.
+                let spam = byz.as_ref().map_or(1, |b| b.spam_factor(round, sender));
+                // Deliver the copies on the arc at sender-local position `q`
+                // (one copy, or `spam` identical copies for an active
+                // spammer), applying the sender's per-receiver tamper salt.
                 let deliver = |cells: &mut Vec<NodeCell<P>>, q: usize, msg: &P::Message| {
                     let v = graph.neighbors(sender)[q];
                     let pos = (graph.reverse_arc(base + q) - graph.arc_offset(v)) as u32;
-                    cells[v.index()].inbox.push(Delivery {
-                        sender,
-                        pos,
-                        msg: msg.clone(),
-                    });
+                    let msg = match byz.as_ref().and_then(|b| b.tamper_salt(round, sender, v)) {
+                        Some(s) => msg.tamper(s),
+                        None => msg.clone(),
+                    };
+                    let inbox = &mut cells[v.index()].inbox;
+                    for _ in 1..spam {
+                        inbox.push(Delivery {
+                            sender,
+                            pos,
+                            msg: msg.clone(),
+                        });
+                    }
+                    inbox.push(Delivery { sender, pos, msg });
                 };
                 match &outboxes[u].0 {
                     Outgoing::Silent => {}
@@ -1177,7 +1303,10 @@ impl<P: NodeProgram> Network<P> {
             dropped_loss,
             dropped_burst,
             dropped_partition,
+            dropped_byzantine,
             crashed_nodes: self.crashed_count(round),
+            byzantine_accusations: self.accusation_count(round),
+            quarantined_nodes: self.quarantined_count(round),
         }
     }
 
@@ -1884,7 +2013,7 @@ mod tests {
         assert_eq!(stats.payload_bits, expected * 32);
     }
 
-    use crate::faults::{BurstLoss, CrashModel, FaultPlan, PartitionModel};
+    use crate::faults::{BurstLoss, ByzantineModel, CrashModel, FaultPlan, PartitionModel};
 
     /// Regression (the correlated-drop bug): a unicast batch carrying several
     /// distinct messages to the SAME receiver in the same round used to share
@@ -1998,6 +2127,166 @@ mod tests {
         ss.run(30);
         sp.run(30);
         assert_eq!(ss.metrics().rounds(), sp.metrics().rounds());
+    }
+
+    /// The tentpole acceptance at the executor level: under a byzantine plan
+    /// with every behavior enabled plus quarantine, all five modes agree on
+    /// final values, and the schedule-driven byzantine counters (accusations,
+    /// quarantined nodes) are byte-identical per round in every mode — they
+    /// are pure hash schedules, independent of executor traffic.
+    #[test]
+    fn all_modes_agree_under_byzantine_and_quarantine() {
+        let g = path_graph(20);
+        let plan = FaultPlan::none().with_byzantine(
+            ByzantineModel::new(0.35, ByzantineModel::ALL_BEHAVIORS, 2, 16, 23).with_quarantine(2),
+        );
+        let mut reference = min_id_faulty(&g, ExecutionMode::Sequential, plan);
+        reference.run(30);
+        assert!(reference.metrics().byzantine_accusations() > 0);
+        assert!(reference.metrics().quarantined_nodes() > 0);
+        for mode in &ALL_MODES[1..] {
+            let mut net = min_id_faulty(&g, *mode, plan);
+            net.run(30);
+            for v in g.nodes() {
+                assert_eq!(reference.program(v).best, net.program(v).best, "{mode:?}");
+            }
+            for (a, b) in reference
+                .metrics()
+                .rounds()
+                .iter()
+                .zip(net.metrics().rounds())
+            {
+                assert_eq!(
+                    (a.byzantine_accusations, a.quarantined_nodes),
+                    (b.byzantine_accusations, b.quarantined_nodes),
+                    "{mode:?} round {}",
+                    a.round
+                );
+            }
+        }
+        // The dense lockstep pair and the mailbox backend agree on EVERY
+        // counter (tamper and spam accounting included).
+        for mode in [ExecutionMode::Parallel, ExecutionMode::Mailbox] {
+            let mut net = min_id_faulty(&g, mode, plan);
+            net.run(30);
+            assert_eq!(
+                reference.metrics().rounds(),
+                net.metrics().rounds(),
+                "{mode:?}"
+            );
+        }
+        // The two sparse modes agree with each other on every counter.
+        let mut ss = min_id_faulty(&g, ExecutionMode::SparseSequential, plan);
+        let mut sp = min_id_faulty(&g, ExecutionMode::SparseParallel, plan);
+        ss.run(30);
+        sp.run(30);
+        assert_eq!(ss.metrics().rounds(), sp.metrics().rounds());
+    }
+
+    /// Spam accounting: an active spammer puts [`ByzantineModel::SPAM_FACTOR`]
+    /// copies of each frame on the wire, every copy individually counted —
+    /// and in a drop-free plan, individually delivered.
+    #[test]
+    fn spam_multiplies_wire_copies_per_sender() {
+        let g = complete_graph(8);
+        let model = ByzantineModel::new(0.5, Behavior::Spam.bit(), 2, 4, 31);
+        let spammers: usize = (0..8)
+            .filter(|&v| model.behavior_of(NodeId::new(v)) == Some(Behavior::Spam))
+            .count();
+        assert!(spammers > 0, "seed produced no spammers");
+        let mut net = min_id_faulty(
+            &g,
+            ExecutionMode::Sequential,
+            FaultPlan::none().with_byzantine(model),
+        );
+        net.run(6);
+        for r in net.metrics().rounds() {
+            let expected = if model.active(r.round) {
+                (8 - spammers) * 7 + spammers * 7 * ByzantineModel::SPAM_FACTOR
+            } else {
+                8 * 7
+            };
+            assert_eq!(r.messages, expected, "round {}", r.round);
+        }
+    }
+
+    /// Quarantine silences a node's outgoing traffic but never its inbox:
+    /// on a complete graph the quarantined nodes still converge to the global
+    /// minimum, while the per-round message count visibly shrinks once the
+    /// quarantine takes effect.
+    #[test]
+    fn quarantine_silences_outgoing_but_still_receives() {
+        let g = complete_graph(12);
+        // detect = 1.0 and threshold 1: every byzantine node is accused in
+        // round 2 and quarantined from round 3 on.
+        let model = ByzantineModel::new(0.4, ByzantineModel::ALL_BEHAVIORS, 2, 20, 47)
+            .with_detect(1.0)
+            .with_quarantine(1);
+        let quarantined: Vec<usize> = (0..12)
+            .filter(|&v| model.quarantine_round(NodeId::new(v)) == Some(3))
+            .collect();
+        assert!(!quarantined.is_empty(), "seed produced no quarantines");
+        // Keep the true minimum honest so its floods are never tampered.
+        assert!(
+            !model.is_byzantine(NodeId(0)),
+            "seed made node 0 byzantine; pick another seed"
+        );
+        let mut net = min_id_faulty(
+            &g,
+            ExecutionMode::Sequential,
+            FaultPlan::none().with_byzantine(model),
+        );
+        net.run(20);
+        // Quarantined nodes keep receiving: node 0 broadcasts its id to
+        // everyone directly, so every node — quarantined or not — ends at 0.
+        for v in g.nodes() {
+            assert_eq!(net.program(v).best, 0, "node {v}");
+        }
+        let rounds = net.metrics().rounds();
+        // From round 3 on, the quarantined nodes' 11 outgoing copies each are
+        // gone from the wire (the remaining byzantine nodes may also mute or
+        // spam, so compare against the exact pre-quarantine round-1 count).
+        assert_eq!(rounds[0].messages, 12 * 11);
+        assert!(
+            rounds[3].messages <= (12 - quarantined.len()) * 11 * ByzantineModel::SPAM_FACTOR,
+            "quarantined senders still on the wire in round 4"
+        );
+        assert_eq!(net.metrics().quarantined_nodes(), quarantined.len());
+    }
+
+    /// A byzantine window opening AFTER the protocol has quiesced must
+    /// reactivate the sparse frontier: the liar's newly tampered (smaller)
+    /// value floods the graph, and sparse stays value-identical to dense.
+    #[test]
+    fn lie_window_reactivates_quiescent_sparse_frontier() {
+        let g = path_graph(12);
+        // MinIdFlood on a 12-path quiesces within ~11 rounds; the lie window
+        // opens well after that.
+        let model = ByzantineModel::new(0.3, Behavior::Lie.bit(), 15, 18, 5);
+        let liars: usize = (0..12)
+            .filter(|&v| model.behavior_of(NodeId::new(v)) == Some(Behavior::Lie))
+            .count();
+        assert!(liars > 0, "seed produced no liars");
+        let plan = FaultPlan::none().with_byzantine(model);
+        let mut dense = min_id_faulty(&g, ExecutionMode::Sequential, plan);
+        let mut sparse = min_id_faulty(&g, ExecutionMode::SparseSequential, plan);
+        dense.run(25);
+        sparse.run(25);
+        for v in g.nodes() {
+            assert_eq!(dense.program(v).best, sparse.program(v).best, "node {v}");
+        }
+        let by_round = sparse.metrics().rounds();
+        // Quiet before the window…
+        assert_eq!(
+            by_round[13].messages, 0,
+            "frontier not quiescent by round 14"
+        );
+        // …and lying (tampered ids scale DOWN, so the min-merge absorbs them
+        // and the flood restarts) once it opens.
+        assert!(
+            by_round[14].messages > 0,
+            "sparse frontier failed to wake for the byzantine window"
+        );
     }
 
     /// The acceptance criterion of the fault PR: an empty (or trivial) plan
@@ -2157,18 +2446,25 @@ mod tests {
         let g = complete_graph(8);
         let plan = FaultPlan::from_loss(LossModel::new(0.3, 3))
             .with_burst(BurstLoss::new(5, 2, 4))
-            .with_partition(PartitionModel::new(0.4, 2, 6, 5));
+            .with_partition(PartitionModel::new(0.4, 2, 6, 5))
+            .with_byzantine(ByzantineModel::new(0.4, Behavior::Mute.bit(), 2, 6, 9));
         let mut net = min_id_faulty(&g, ExecutionMode::Sequential, plan);
         net.run(8);
         let m = net.metrics();
         assert!(m.total_dropped_loss() > 0);
         assert!(m.total_dropped_burst() > 0);
         assert!(m.total_dropped_partition() > 0);
-        // 8*7 copies put on the wire per round; all either delivered or
-        // attributed to exactly one fault component.
+        assert!(m.total_dropped_byzantine() > 0);
+        // 8*7 copies put on the wire per round (mute-only byzantine nodes
+        // still send every copy — a hashed half just vanishes in flight);
+        // all either delivered or attributed to exactly one fault component.
         for r in m.rounds() {
             assert_eq!(
-                r.messages + r.dropped_loss + r.dropped_burst + r.dropped_partition,
+                r.messages
+                    + r.dropped_loss
+                    + r.dropped_burst
+                    + r.dropped_partition
+                    + r.dropped_byzantine,
                 8 * 7,
                 "round {}",
                 r.round
@@ -2297,6 +2593,16 @@ mod tests {
             .with_burst(crate::faults::BurstLoss::new(5, 2, 11))
             .with_crash(crate::faults::CrashModel::new(0.2, 2, 8, 13))
             .with_partition(crate::faults::PartitionModel::new(0.3, 3, 6, 17))
+            .with_byzantine(
+                crate::faults::ByzantineModel::new(
+                    0.3,
+                    crate::faults::ByzantineModel::ALL_BEHAVIORS,
+                    2,
+                    9,
+                    19,
+                )
+                .with_quarantine(2),
+            )
     }
 
     /// The tentpole guarantee at the executor level: a run snapshotted after

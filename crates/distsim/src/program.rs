@@ -142,7 +142,12 @@ impl<M> Outgoing<M> {
 /// [`NodeProgram::halted`]; the executor then skips both phases for it.
 pub trait NodeProgram: Send {
     /// The message payload type.
-    type Message: Clone + Send + Sync + crate::message::MessageSize + crate::wire::WireCodec;
+    type Message: Clone
+        + Send
+        + Sync
+        + crate::message::MessageSize
+        + crate::message::Tamper
+        + crate::wire::WireCodec;
 
     /// Whether this program satisfies the **delta-driven contract** required
     /// by the sparse frontier execution modes

@@ -6,14 +6,15 @@
 # Compares only the DETERMINISTIC counters of each record — (experiment,
 # workload, scale, rounds, total_messages, payload_bits, max_message_bits,
 # wire_bits, node_updates, dropped_loss, dropped_burst, dropped_partition,
-# crashed_nodes) — and fails on any drift: a changed counter, a missing
+# dropped_byzantine, crashed_nodes, byzantine_accusations,
+# quarantined_nodes) — and fails on any drift: a changed counter, a missing
 # record, or an unexpected extra record. Timing fields (wall_clock_ms,
 # messages_per_sec) are machine-dependent and deliberately ignored.
 #
-# Accepts schema versions 1–4; a counter a record's schema version predates
+# Accepts schema versions 1–5; a counter a record's schema version predates
 # (node_updates before v2, the fault counters before v3, the measured
-# wire_bits before v4) defaults to 0 (see the migration note in
-# crates/bench/src/report.rs).
+# wire_bits before v4, the byzantine counters before v5) defaults to 0 (see
+# the migration note in crates/bench/src/report.rs).
 #
 # To update the baseline intentionally (e.g. a protocol change that alters
 # message counts), regenerate it and commit the diff:
@@ -43,12 +44,14 @@ import sys
 report_path, baseline_path = sys.argv[1], sys.argv[2]
 COUNTERS = ("rounds", "total_messages", "payload_bits", "max_message_bits",
             "wire_bits", "node_updates", "dropped_loss", "dropped_burst",
-            "dropped_partition", "crashed_nodes")
+            "dropped_partition", "dropped_byzantine", "crashed_nodes",
+            "byzantine_accusations", "quarantined_nodes")
 # The schema version each counter became mandatory in; below it the counter
 # defaults to 0 when absent.
 COUNTER_SINCE = {"wire_bits": 4, "node_updates": 2, "dropped_loss": 3,
                  "dropped_burst": 3, "dropped_partition": 3,
-                 "crashed_nodes": 3}
+                 "crashed_nodes": 3, "dropped_byzantine": 5,
+                 "byzantine_accusations": 5, "quarantined_nodes": 5}
 
 
 def load(path):
@@ -62,7 +65,7 @@ def load(path):
         except json.JSONDecodeError as e:
             sys.exit(f"check_bench: {path}: invalid JSON: {e}")
     version = doc.get("schema_version")
-    if version not in (1, 2, 3, 4):
+    if version not in (1, 2, 3, 4, 5):
         sys.exit(f"check_bench: {path}: unsupported schema_version {version!r}")
     recs = doc.get("records")
     if not isinstance(recs, list):
