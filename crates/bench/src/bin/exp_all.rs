@@ -1,4 +1,4 @@
-//! Runs every table experiment (E1–E14) in sequence. This is the one-shot
+//! Runs every table experiment (E1–E15) in sequence. This is the one-shot
 //! reproduction entry point: `cargo run --release -p dkc-bench --bin exp_all`.
 //! Pass `--scale tiny` for a fast smoke run of the whole suite, and
 //! `--json <path>` to aggregate every experiment's records into one report
@@ -40,5 +40,6 @@ fn main() {
     run(experiments::exp_frontier(scale));
     run(experiments::exp_faults(scale, None));
     run(experiments::exp_byzantine(scale, None));
+    run(experiments::exp_sharding(scale, None, args.shards, None));
     args.write_report(&report);
 }

@@ -1,0 +1,28 @@
+//! E15: shard-partitioned execution — the compact elimination under
+//! `ExecutionMode::Sharded` (per-shard node-state arenas exchanging
+//! `BoundaryDelta` wire frames) vs the unsharded sparse lockstep reference,
+//! asserted byte-identical on every deterministic counter and gated in CI on
+//! the v6 `boundary_bits`/`boundary_nodes` counters (see
+//! `bench/baselines/sharding-tiny.json`).
+//!
+//! Pass `--shards <n>` to narrow the default {1, 2, 4, 8} sweep to one shard
+//! count, `--shard-seed <seed>` to move the hash partition, and fault flags
+//! (`--loss`, `--crash`, …) to replace the composed default fault scenario:
+//!
+//! ```sh
+//! exp_sharding --scale tiny --shards 4 --loss 0.1
+//! ```
+
+#![deny(deprecated)]
+use dkc_bench::{ExpArgs, Report};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let custom = (!args.faults.is_trivial()).then_some(args.faults);
+    let seed = (args.shard_seed != 0).then_some(args.shard_seed);
+    let mut report = Report::new("exp_sharding", args.scale);
+    let out = dkc_bench::experiments::exp_sharding(args.scale, custom, args.shards, seed);
+    out.print();
+    report.extend(out.records);
+    args.write_report(&report);
+}

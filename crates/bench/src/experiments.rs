@@ -1,4 +1,4 @@
-//! Experiment implementations E1–E14 (see DESIGN.md §4). Each returns an
+//! Experiment implementations E1–E15 (see DESIGN.md §4). Each returns an
 //! [`ExperimentOutput`]: a [`Table`] for human consumption plus the
 //! [`ExperimentRecord`]s feeding the machine-readable report pipeline
 //! (`--json`, see [`crate::report`]).
@@ -1277,6 +1277,8 @@ pub fn exp_ingest(scale: WorkloadScale) -> ExperimentOutput {
                 crashed_nodes: 0,
                 byzantine_accusations: 0,
                 quarantined_nodes: 0,
+                boundary_bits: 0,
+                boundary_nodes: 0,
                 messages_per_sec: if secs > 0.0 { edges as f64 / secs } else { 0.0 },
             });
             out.table.row(vec![
@@ -1291,6 +1293,167 @@ pub fn exp_ingest(scale: WorkloadScale) -> ExperimentOutput {
         }
     }
     let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+/// The E15 shard counts swept when `--shards` is not given. 1 is the
+/// degenerate control: a single shard has no cross-shard boundary, so its
+/// counters — boundary included — must equal the unsharded run's exactly.
+pub const E15_SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Seed of the deterministic hash partitioner E15 runs under when
+/// `--shard-seed` is not given.
+pub const E15_SHARD_SEED: u64 = 0xE15;
+
+/// The composed E15 fault plan for a run of `budget` rounds: i.i.d. loss,
+/// burst outages, crash-stop, and quarantining byzantine nodes all at once,
+/// so the byte-identity claim is certified under the full fault stack, not
+/// just fault-free.
+pub fn sharding_fault_plan(budget: usize) -> dkc_distsim::FaultPlan {
+    use dkc_distsim::{BurstLoss, ByzantineModel, CrashModel, FaultPlan, LossModel};
+    const SEED: u64 = 0xE15;
+    let mid = (budget / 2).max(2);
+    FaultPlan::from_loss(LossModel::new(0.1, SEED))
+        .with_burst(BurstLoss::new(6, 2, SEED))
+        .with_crash(CrashModel::new(0.15, 2, mid, SEED))
+        .with_byzantine(
+            ByzantineModel::new(0.1, ByzantineModel::ALL_BEHAVIORS, 2, mid, SEED)
+                .with_quarantine(2),
+        )
+}
+
+/// E15: shard-partitioned execution. Runs the compact elimination unsharded
+/// (the sparse lockstep reference) and under `ExecutionMode::Sharded` for
+/// each shard count, fault-free and under the composed [`sharding_fault_plan`]
+/// (or the `--shards`/fault flags' custom versions), and asserts the sharded
+/// run **byte-identical** to the unsharded one on every deterministic
+/// counter — surviving numbers, in-neighbour sets, messages, wire bits, node
+/// updates, and all seven fault counters. What sharding adds is reported in
+/// the two v6 counters CI gates on: `boundary_bits` (encoded `BoundaryDelta`
+/// frame traffic) and `boundary_nodes` (distinct cross-shard senders per
+/// round), alongside the partitioner's per-shard balance and cut-arc ratio.
+pub fn exp_sharding(
+    scale: WorkloadScale,
+    custom_faults: Option<dkc_distsim::FaultPlan>,
+    shards: Option<usize>,
+    shard_seed: Option<u64>,
+) -> ExperimentOutput {
+    use dkc_core::compact::{run_compact_elimination_sharded, run_compact_elimination_with_faults};
+    use dkc_graph::Partitioner;
+    let seed = shard_seed.unwrap_or(E15_SHARD_SEED);
+    let counts: Vec<usize> = match shards {
+        Some(n) => vec![n],
+        None => E15_SHARD_COUNTS.to_vec(),
+    };
+    let mut out = ExperimentOutput::new(Table::new(
+        "E15: shard-partitioned execution vs unsharded lockstep (compact elimination)",
+        &[
+            "workload",
+            "faults",
+            "shards",
+            "balance",
+            "cut arcs",
+            "boundary bits",
+            "bnd/wire",
+            "identical",
+        ],
+    ));
+    for workload in standard_suite(scale)
+        .into_iter()
+        .filter(|w| matches!(w.name, "ba" | "grid"))
+    {
+        let g = &workload.graph;
+        let n = g.num_nodes();
+        let budget = rounds_for_epsilon(n, 0.5);
+        let scenarios = match custom_faults {
+            Some(plan) => vec![("custom", plan)],
+            None => vec![
+                ("none", dkc_distsim::FaultPlan::none()),
+                ("composed", sharding_fault_plan(budget)),
+            ],
+        };
+        for (scenario, plan) in scenarios {
+            let reference = run_compact_elimination_with_faults(
+                g,
+                budget,
+                ThresholdSet::Reals,
+                ExecutionMode::SparseSequential,
+                plan,
+            );
+            out.records.push(ExperimentRecord::from_metrics(
+                "E15",
+                format!("{}-{scenario}-unsharded", workload.name),
+                scale.name(),
+                &reference.metrics,
+            ));
+            for &z in &counts {
+                let sharded =
+                    run_compact_elimination_sharded(g, budget, ThresholdSet::Reals, plan, z, seed);
+                // Byte-identity on everything the paper's protocol computes…
+                assert_eq!(
+                    reference.surviving, sharded.surviving,
+                    "{}-{scenario}: sharded ({z} shards) surviving numbers diverged \
+                     from unsharded — this is a bug",
+                    workload.name
+                );
+                assert_eq!(
+                    reference.in_neighbors, sharded.in_neighbors,
+                    "{}-{scenario}: sharded ({z} shards) in-neighbour sets diverged",
+                    workload.name
+                );
+                // …and on every deterministic counter check_bench.sh gates on
+                // (boundary_bits/boundary_nodes are the sharded run's own).
+                let rm = &reference.metrics;
+                let sm = &sharded.metrics;
+                let identical = rm.num_rounds() == sm.num_rounds()
+                    && rm.total_messages() == sm.total_messages()
+                    && rm.total_payload_bits() == sm.total_payload_bits()
+                    && rm.max_message_bits() == sm.max_message_bits()
+                    && rm.total_wire_bits() == sm.total_wire_bits()
+                    && rm.total_node_updates() == sm.total_node_updates()
+                    && rm.total_dropped_loss() == sm.total_dropped_loss()
+                    && rm.total_dropped_burst() == sm.total_dropped_burst()
+                    && rm.total_dropped_partition() == sm.total_dropped_partition()
+                    && rm.total_dropped_byzantine() == sm.total_dropped_byzantine()
+                    && rm.crashed_nodes() == sm.crashed_nodes()
+                    && rm.byzantine_accusations() == sm.byzantine_accusations()
+                    && rm.quarantined_nodes() == sm.quarantined_nodes();
+                assert!(
+                    identical,
+                    "{}-{scenario}: sharded ({z} shards) deterministic counters \
+                     diverged from unsharded — this is a bug",
+                    workload.name
+                );
+                if z == 1 {
+                    assert_eq!(
+                        sm.total_boundary_bits(),
+                        0,
+                        "a single shard has no boundary"
+                    );
+                    assert_eq!(sm.total_boundary_nodes(), 0);
+                }
+                let shard_plan = Partitioner::new(z, seed).partition(&CsrGraph::from_graph(g));
+                let max_count = shard_plan.node_counts().into_iter().max().unwrap_or(0);
+                let balance = max_count as f64 * z as f64 / n.max(1) as f64;
+                out.records.push(ExperimentRecord::from_metrics(
+                    "E15",
+                    format!("{}-{scenario}-shards{z}", workload.name),
+                    scale.name(),
+                    &sharded.metrics,
+                ));
+                out.table.row(vec![
+                    workload.name.into(),
+                    scenario.into(),
+                    z.to_string(),
+                    f3(balance),
+                    shard_plan.total_cut_arcs().to_string(),
+                    sm.total_boundary_bits().to_string(),
+                    f3(sm.total_boundary_bits() as f64 / sm.total_wire_bits().max(1) as f64),
+                    identical.to_string(),
+                ]);
+            }
+        }
+    }
     out
 }
 
@@ -1364,6 +1527,55 @@ mod tests {
         let a = strip(exp_frontier(WorkloadScale::Tiny));
         let b = strip(exp_frontier(WorkloadScale::Tiny));
         assert_eq!(a, b, "deterministic frontier counters drifted");
+    }
+
+    /// E15 at tiny scale: one unsharded reference plus one record per shard
+    /// count, per workload and fault scenario; boundary traffic appears
+    /// exactly where a real boundary exists (2+ shards) and nowhere else.
+    /// Byte-identity itself is asserted inside `exp_sharding`.
+    #[test]
+    fn sharding_boundary_counters_follow_the_shard_count() {
+        let out = exp_sharding(WorkloadScale::Tiny, None, None, None);
+        let per_scenario = 1 + E15_SHARD_COUNTS.len();
+        assert_eq!(
+            out.records.len(),
+            2 * 2 * per_scenario,
+            "2 workloads x 2 scenarios x (unsharded + {} shard counts)",
+            E15_SHARD_COUNTS.len()
+        );
+        for r in &out.records {
+            assert_eq!(r.experiment, "E15");
+            let sharded_with_boundary = r
+                .workload
+                .rsplit_once("-shards")
+                .is_some_and(|(_, z)| z.parse::<usize>().unwrap() > 1);
+            if sharded_with_boundary {
+                assert!(r.boundary_bits > 0, "{}: no boundary traffic", r.workload);
+                assert!(r.boundary_nodes > 0, "{}", r.workload);
+            } else {
+                assert_eq!(r.boundary_bits, 0, "{}", r.workload);
+                assert_eq!(r.boundary_nodes, 0, "{}", r.workload);
+            }
+        }
+        // The composed fault plan actually dropped and crashed something.
+        let faulty = out
+            .records
+            .iter()
+            .find(|r| r.workload.contains("-composed-"))
+            .expect("composed scenario records");
+        assert!(faulty.dropped_loss > 0);
+        assert!(faulty.crashed_nodes > 0);
+    }
+
+    /// A `--shards`/`--shard-seed` override narrows the sweep to one count.
+    #[test]
+    fn sharding_respects_the_shard_override() {
+        let out = exp_sharding(WorkloadScale::Tiny, None, Some(3), Some(9));
+        assert_eq!(out.records.len(), 2 * 2 * 2, "unsharded + shards3 only");
+        assert!(out
+            .records
+            .iter()
+            .all(|r| r.workload.ends_with("-unsharded") || r.workload.ends_with("-shards3")));
     }
 
     #[test]

@@ -7,11 +7,11 @@
 //! non-deterministic timing columns (wall-clock, derived messages/sec) that
 //! make regressions visible without failing builds.
 //!
-//! Schema (version 5):
+//! Schema (version 6):
 //!
 //! ```json
 //! {
-//!   "schema_version": 5,
+//!   "schema_version": 6,
 //!   "suite": "exp_all",
 //!   "scale": "tiny",
 //!   "records": [
@@ -33,6 +33,8 @@
 //!       "crashed_nodes": 0,
 //!       "byzantine_accusations": 0,
 //!       "quarantined_nodes": 0,
+//!       "boundary_bits": 0,
+//!       "boundary_nodes": 0,
 //!       "messages_per_sec": 31992000.0
 //!     }
 //!   ]
@@ -52,14 +54,18 @@
 //! `MessageSize`-estimated `payload_bits` (see `dkc_distsim::wire`).
 //! Version 5 (the byzantine-fault PR) adds the three deterministic byzantine
 //! counters (`dropped_byzantine`, `byzantine_accusations`,
-//! `quarantined_nodes`) that E14 gates on.
+//! `quarantined_nodes`) that E14 gates on. Version 6 (the sharding PR) adds
+//! the two deterministic sharded-execution counters (`boundary_bits`,
+//! `boundary_nodes`) that E15 gates on: the cross-shard `BoundaryDelta`
+//! frame traffic and the distinct boundary senders per round (both 0 for
+//! unsharded and single-shard runs).
 //! Older reports are still **read**: a missing counter
 //! introduced by a later version defaults to 0 and the parsed report is
 //! upgraded in memory (its `schema_version` becomes the current one), so
 //! re-serializing always emits the current schema. In a report carrying the
 //! version that introduced a field, that field is mandatory. Baselines under
-//! `bench/baselines/` are committed in v5 form; `scripts/check_bench.sh`
-//! understands all five versions.
+//! `bench/baselines/` are committed in v6 form; `scripts/check_bench.sh`
+//! understands all six versions.
 //!
 //! Serialization goes through the vendored `serde` data model into
 //! `serde_json`; parsing uses `serde_json::Value` accessors so malformed
@@ -73,7 +79,7 @@ use std::path::Path;
 use std::time::Duration;
 
 /// Version stamp written into every report; bump when the schema changes.
-pub const SCHEMA_VERSION: u64 = 5;
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// Oldest schema version [`Report::from_json`] still accepts (upgrading it
 /// to [`SCHEMA_VERSION`] in memory).
@@ -132,6 +138,15 @@ pub struct ExperimentRecord {
     pub byzantine_accusations: usize,
     /// Nodes quarantined by the end of the run (deterministic).
     pub quarantined_nodes: usize,
+    /// Total bits of encoded cross-shard `BoundaryDelta` frames exchanged
+    /// under sharded execution (deterministic; 0 for unsharded, single-shard,
+    /// and non-simulated runs, and for records migrated from schema ≤ 5).
+    /// Frame overhead only — the delivered copies themselves are already in
+    /// `wire_bits`, identically to unsharded execution.
+    pub boundary_bits: usize,
+    /// Distinct boundary nodes that sent cross-shard messages, summed over
+    /// rounds (deterministic; 0 whenever `boundary_bits` is 0).
+    pub boundary_nodes: usize,
     /// Derived throughput: `total_messages / wall_clock` (non-deterministic,
     /// 0 when no messages or no measurable time).
     pub messages_per_sec: f64,
@@ -166,6 +181,8 @@ impl ExperimentRecord {
             crashed_nodes: metrics.crashed_nodes(),
             byzantine_accusations: metrics.byzantine_accusations(),
             quarantined_nodes: metrics.quarantined_nodes(),
+            boundary_bits: metrics.total_boundary_bits(),
+            boundary_nodes: metrics.total_boundary_nodes(),
             messages_per_sec: metrics.messages_per_sec(),
         }
     }
@@ -199,6 +216,8 @@ impl ExperimentRecord {
             crashed_nodes: 0,
             byzantine_accusations: 0,
             quarantined_nodes: 0,
+            boundary_bits: 0,
+            boundary_nodes: 0,
             messages_per_sec: derive_throughput(total_messages, wall),
         }
     }
@@ -230,6 +249,8 @@ impl ExperimentRecord {
             crashed_nodes: 0,
             byzantine_accusations: 0,
             quarantined_nodes: 0,
+            boundary_bits: 0,
+            boundary_nodes: 0,
             messages_per_sec: 0.0,
         }
     }
@@ -263,7 +284,7 @@ fn derive_throughput(total_messages: usize, wall: Duration) -> f64 {
 
 impl Serialize for ExperimentRecord {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut s = serializer.serialize_struct("ExperimentRecord", 18)?;
+        let mut s = serializer.serialize_struct("ExperimentRecord", 20)?;
         s.serialize_field("experiment", &self.experiment)?;
         s.serialize_field("workload", &self.workload)?;
         s.serialize_field("scale", &self.scale)?;
@@ -281,6 +302,8 @@ impl Serialize for ExperimentRecord {
         s.serialize_field("crashed_nodes", &self.crashed_nodes)?;
         s.serialize_field("byzantine_accusations", &self.byzantine_accusations)?;
         s.serialize_field("quarantined_nodes", &self.quarantined_nodes)?;
+        s.serialize_field("boundary_bits", &self.boundary_bits)?;
+        s.serialize_field("boundary_nodes", &self.boundary_nodes)?;
         s.serialize_field("messages_per_sec", &self.messages_per_sec)?;
         s.end()
     }
@@ -495,6 +518,9 @@ fn record_from_value(v: &Value, schema_version: u64) -> Result<ExperimentRecord,
         crashed_nodes: field_usize_since(v, "crashed_nodes", schema_version, 3)?,
         byzantine_accusations: field_usize_since(v, "byzantine_accusations", schema_version, 5)?,
         quarantined_nodes: field_usize_since(v, "quarantined_nodes", schema_version, 5)?,
+        // The sharding counters arrived in v6; older reports default to 0.
+        boundary_bits: field_usize_since(v, "boundary_bits", schema_version, 6)?,
+        boundary_nodes: field_usize_since(v, "boundary_nodes", schema_version, 6)?,
         messages_per_sec: field_f64(v, "messages_per_sec")?,
     })
 }
@@ -539,6 +565,8 @@ mod tests {
                 crashed_nodes: 3,
                 byzantine_accusations: 9,
                 quarantined_nodes: 2,
+                boundary_bits: 1_088,
+                boundary_nodes: 6,
                 messages_per_sec: 3.2e7,
             },
             ExperimentRecord::centralized("E2", "grid", "tiny", Duration::from_micros(1500), 17),
@@ -577,7 +605,7 @@ mod tests {
         assert!(Report::from_json("{}").is_err());
         let wrong_version = sample_report()
             .to_json()
-            .replace("\"schema_version\": 5", "\"schema_version\": 999");
+            .replace("\"schema_version\": 6", "\"schema_version\": 999");
         let err = Report::from_json(&wrong_version).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
         let missing_field = sample_report()
@@ -608,18 +636,21 @@ mod tests {
         "quarantined_nodes",
     ];
 
+    const SHARDING_COUNTERS: [&str; 2] = ["boundary_bits", "boundary_nodes"];
+
     #[test]
-    fn v1_reports_migrate_to_v5_on_read() {
+    fn v1_reports_migrate_to_v6_on_read() {
         // Simulate a committed v1 report: no node_updates, no fault counters,
-        // no wire_bits, no byzantine counters anywhere.
+        // no wire_bits, no byzantine counters, no sharding counters anywhere.
         let v1 = strip_fields(
             &sample_report()
                 .to_json()
-                .replace("\"schema_version\": 5", "\"schema_version\": 1"),
+                .replace("\"schema_version\": 6", "\"schema_version\": 1"),
             &["node_updates", "wire_bits"],
         );
         let v1 = strip_fields(&v1, &FAULT_COUNTERS);
         let v1 = strip_fields(&v1, &BYZANTINE_COUNTERS);
+        let v1 = strip_fields(&v1, &SHARDING_COUNTERS);
         let parsed = Report::from_json(&v1).expect("v1 reports must still parse");
         assert_eq!(parsed.schema_version, SCHEMA_VERSION, "upgraded in memory");
         assert!(parsed.records.iter().all(|r| r.node_updates == 0));
@@ -630,14 +661,17 @@ mod tests {
             && r.dropped_byzantine == 0
             && r.crashed_nodes == 0
             && r.byzantine_accusations == 0
-            && r.quarantined_nodes == 0));
+            && r.quarantined_nodes == 0
+            && r.boundary_bits == 0
+            && r.boundary_nodes == 0));
         // Re-serializing emits the current schema with the fields present.
         let rewritten = parsed.to_json();
-        assert!(rewritten.contains("\"schema_version\": 5"));
+        assert!(rewritten.contains("\"schema_version\": 6"));
         assert!(rewritten.contains("\"node_updates\": 0"));
         assert!(rewritten.contains("\"dropped_loss\": 0"));
         assert!(rewritten.contains("\"wire_bits\": 0"));
         assert!(rewritten.contains("\"dropped_byzantine\": 0"));
+        assert!(rewritten.contains("\"boundary_bits\": 0"));
         // In a v2-or-later report, node_updates is mandatory.
         let v2_missing = strip_fields(&sample_report().to_json(), &["node_updates"]);
         let err = Report::from_json(&v2_missing).unwrap_err();
@@ -645,17 +679,18 @@ mod tests {
     }
 
     #[test]
-    fn v2_reports_migrate_to_v5_on_read() {
+    fn v2_reports_migrate_to_v6_on_read() {
         // Simulate a committed v2 report: node_updates present; fault
-        // counters, wire_bits, and byzantine counters absent.
+        // counters, wire_bits, byzantine and sharding counters absent.
         let v2 = strip_fields(
             &sample_report()
                 .to_json()
-                .replace("\"schema_version\": 5", "\"schema_version\": 2"),
+                .replace("\"schema_version\": 6", "\"schema_version\": 2"),
             &FAULT_COUNTERS,
         );
         let v2 = strip_fields(&v2, &["wire_bits"]);
         let v2 = strip_fields(&v2, &BYZANTINE_COUNTERS);
+        let v2 = strip_fields(&v2, &SHARDING_COUNTERS);
         let parsed = Report::from_json(&v2).expect("v2 reports must still parse");
         assert_eq!(parsed.schema_version, SCHEMA_VERSION, "upgraded in memory");
         assert_eq!(parsed.records[0].node_updates, 42_000, "v2 fields kept");
@@ -672,16 +707,17 @@ mod tests {
     }
 
     #[test]
-    fn v3_reports_migrate_to_v5_on_read() {
-        // Simulate a committed v3 report: everything but wire_bits and the
-        // byzantine counters present.
+    fn v3_reports_migrate_to_v6_on_read() {
+        // Simulate a committed v3 report: everything but wire_bits, the
+        // byzantine counters, and the sharding counters present.
         let v3 = strip_fields(
             &sample_report()
                 .to_json()
-                .replace("\"schema_version\": 5", "\"schema_version\": 3"),
+                .replace("\"schema_version\": 6", "\"schema_version\": 3"),
             &["wire_bits"],
         );
         let v3 = strip_fields(&v3, &BYZANTINE_COUNTERS);
+        let v3 = strip_fields(&v3, &SHARDING_COUNTERS);
         let parsed = Report::from_json(&v3).expect("v3 reports must still parse");
         assert_eq!(parsed.schema_version, SCHEMA_VERSION, "upgraded in memory");
         assert_eq!(parsed.records[0].dropped_loss, 120, "v3 fields kept");
@@ -693,23 +729,49 @@ mod tests {
     }
 
     #[test]
-    fn v4_reports_migrate_to_v5_on_read() {
-        // Simulate a committed v4 report: everything but the byzantine
-        // counters present.
+    fn v4_reports_migrate_to_v6_on_read() {
+        // Simulate a committed v4 report: everything but the byzantine and
+        // sharding counters present.
         let v4 = strip_fields(
             &sample_report()
                 .to_json()
-                .replace("\"schema_version\": 5", "\"schema_version\": 4"),
+                .replace("\"schema_version\": 6", "\"schema_version\": 4"),
             &BYZANTINE_COUNTERS,
         );
+        let v4 = strip_fields(&v4, &SHARDING_COUNTERS);
         let parsed = Report::from_json(&v4).expect("v4 reports must still parse");
         assert_eq!(parsed.schema_version, SCHEMA_VERSION, "upgraded in memory");
         assert_eq!(parsed.records[0].wire_bits, 26_803_200, "v4 fields kept");
         assert!(parsed.records.iter().all(|r| r.dropped_byzantine == 0
             && r.byzantine_accusations == 0
             && r.quarantined_nodes == 0));
-        // In a v5 report every byzantine counter is mandatory.
+        // In a v5-or-later report every byzantine counter is mandatory.
         for counter in BYZANTINE_COUNTERS {
+            let missing = strip_fields(&sample_report().to_json(), &[counter]);
+            let err = Report::from_json(&missing).unwrap_err();
+            assert!(err.contains(counter), "{counter}: {err}");
+        }
+    }
+
+    #[test]
+    fn v5_reports_migrate_to_v6_on_read() {
+        // Simulate a committed v5 report: everything but the sharding
+        // counters present.
+        let v5 = strip_fields(
+            &sample_report()
+                .to_json()
+                .replace("\"schema_version\": 6", "\"schema_version\": 5"),
+            &SHARDING_COUNTERS,
+        );
+        let parsed = Report::from_json(&v5).expect("v5 reports must still parse");
+        assert_eq!(parsed.schema_version, SCHEMA_VERSION, "upgraded in memory");
+        assert_eq!(parsed.records[0].byzantine_accusations, 9, "v5 fields kept");
+        assert!(parsed
+            .records
+            .iter()
+            .all(|r| r.boundary_bits == 0 && r.boundary_nodes == 0));
+        // In a v6 report both sharding counters are mandatory.
+        for counter in SHARDING_COUNTERS {
             let missing = strip_fields(&sample_report().to_json(), &[counter]);
             let err = Report::from_json(&missing).unwrap_err();
             assert!(err.contains(counter), "{counter}: {err}");
@@ -760,6 +822,8 @@ mod tests {
             sending_nodes: 10,
             changed_nodes: 10,
             node_updates: 10,
+            boundary_bits: 544,
+            boundary_nodes: 3,
             ..RoundStats::default()
         });
         metrics.add_elapsed(Duration::from_millis(100));
@@ -769,6 +833,8 @@ mod tests {
         assert_eq!(rec.payload_bits, 64_000);
         assert_eq!(rec.wire_bits, 96_000);
         assert_eq!(rec.node_updates, 10);
+        assert_eq!(rec.boundary_bits, 544);
+        assert_eq!(rec.boundary_nodes, 3);
         assert!((rec.messages_per_sec - 10_000.0).abs() < 1e-9);
         assert!((rec.wall_clock_ms - 100.0).abs() < 1e-9);
         assert!(rec.validate().is_ok());

@@ -80,6 +80,15 @@ impl WorkloadScale {
 /// All flags accept the `--flag=value` form. Any other argument is rejected
 /// so typos cannot silently fall back to a minutes-long full-scale run.
 ///
+/// Sharding flags (consumed by E15 / `exp_sharding`, ignored by experiments
+/// that run unsharded; see `dkc_distsim::ExecutionMode::Sharded`):
+///
+/// * `--shards <n>` — run under the shard-partitioned executor with `n`
+///   shards (≥ 1). Rejected together with `--mode mailbox`: the mailbox
+///   backend is its own sharded runtime and the two do not compose.
+/// * `--shard-seed <seed>` — seed of the deterministic hash partitioner
+///   (default 0)
+///
 /// Fault-injection flags (consumed by E13 / `exp_faults`, ignored by
 /// experiments that run fault-free; see `dkc_distsim::FaultPlan`):
 ///
@@ -109,6 +118,11 @@ pub struct ExpArgs {
     pub mode: dkc_distsim::ExecutionMode,
     /// The fault plan assembled from the fault flags (trivial by default).
     pub faults: dkc_distsim::FaultPlan,
+    /// Shard count for the shard-partitioned executor (`--shards`; `None` =
+    /// unsharded execution).
+    pub shards: Option<usize>,
+    /// Seed of the deterministic hash partitioner (`--shard-seed`).
+    pub shard_seed: u64,
 }
 
 impl ExpArgs {
@@ -229,11 +243,30 @@ impl ExpArgs {
                         .parse()
                         .map_err(|_| format!("--fault-seed expects an integer, got {v:?}"))?;
                 }
+                "shards" => {
+                    let v = next_value("shards", &mut args, inline.as_deref())?;
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| format!("--shards expects a count, got {v:?}"))?;
+                    if n == 0 {
+                        return Err("--shards must be at least 1 (omit the flag for unsharded \
+                             execution)"
+                            .into());
+                    }
+                    parsed.shards = Some(n);
+                }
+                "shard-seed" => {
+                    let v = next_value("shard-seed", &mut args, inline.as_deref())?;
+                    parsed.shard_seed = v
+                        .parse()
+                        .map_err(|_| format!("--shard-seed expects an integer, got {v:?}"))?;
+                }
                 _ => {
                     return Err(format!(
                         "unrecognized argument {arg:?}; supported flags: \
                          --scale <tiny|small|medium>, --json <path>, --threads <n>, \
                          --mode <lockstep|mailbox>, \
+                         --shards <n>, --shard-seed <seed>, \
                          --loss <p>, --burst <period>:<len>, --crash <p>:<first>:<last>, \
                          --partition <f>:<first>:<last>, \
                          --byzantine <f>:<behaviors>:<first>:<last>, \
@@ -241,6 +274,13 @@ impl ExpArgs {
                     ));
                 }
             }
+        }
+        if parsed.shards.is_some() && parsed.mode == dkc_distsim::ExecutionMode::Mailbox {
+            return Err(
+                "--shards does not compose with --mode mailbox: the mailbox backend is \
+                 its own sharded runtime (drop one of the two flags)"
+                    .into(),
+            );
         }
         parsed.faults = spec::plan_from_flags(
             loss.as_deref(),
@@ -445,6 +485,8 @@ mod tests {
                 threads: None,
                 mode: ExecutionMode::Parallel,
                 faults: dkc_distsim::FaultPlan::none(),
+                shards: None,
+                shard_seed: 0,
             }
         );
         assert_eq!(
@@ -455,6 +497,8 @@ mod tests {
                 threads: None,
                 mode: ExecutionMode::Parallel,
                 faults: dkc_distsim::FaultPlan::none(),
+                shards: None,
+                shard_seed: 0,
             }
         );
         assert_eq!(
@@ -465,6 +509,8 @@ mod tests {
                 threads: Some(4),
                 mode: ExecutionMode::Parallel,
                 faults: dkc_distsim::FaultPlan::none(),
+                shards: None,
+                shard_seed: 0,
             }
         );
         assert_eq!(parse_ok(&["--threads=2"]).threads, Some(2));
@@ -483,6 +529,39 @@ mod tests {
         assert_eq!(parse_ok(&["--mode=mailbox"]).mode, ExecutionMode::Mailbox);
         assert!(parse_err(&["--mode", "parallel"]).contains("lockstep|mailbox"));
         assert!(parse_err(&["--mode"]).contains("requires a value"));
+    }
+
+    /// `--shards` / `--shard-seed` select the shard-partitioned executor;
+    /// zero shards and the mailbox combination are explicit errors.
+    #[test]
+    fn exp_args_parse_shards() {
+        assert_eq!(parse_ok(&[]).shards, None);
+        assert_eq!(parse_ok(&[]).shard_seed, 0);
+        assert_eq!(parse_ok(&["--shards", "4"]).shards, Some(4));
+        assert_eq!(parse_ok(&["--shards=1"]).shards, Some(1));
+        let both = parse_ok(&["--shards=8", "--shard-seed", "77"]);
+        assert_eq!(both.shards, Some(8));
+        assert_eq!(both.shard_seed, 77);
+        // A shard seed without --shards parses (it is simply unused).
+        assert_eq!(parse_ok(&["--shard-seed=9"]).shard_seed, 9);
+        assert!(parse_err(&["--shards", "0"]).contains("--shards must be at least 1"));
+        assert!(parse_err(&["--shards", "many"]).contains("expects a count"));
+        assert!(parse_err(&["--shard-seed", "abc"]).contains("expects an integer"));
+        assert!(parse_err(&["--shards"]).contains("requires a value"));
+        // The mailbox backend is its own sharded runtime; combining the two
+        // is rejected regardless of flag order.
+        for argv in [
+            &["--shards=2", "--mode", "mailbox"][..],
+            &["--mode=mailbox", "--shards", "2"][..],
+        ] {
+            let err = parse_err(argv);
+            assert!(
+                err.contains("does not compose with --mode mailbox"),
+                "{err}"
+            );
+        }
+        // lockstep + shards is fine.
+        assert_eq!(parse_ok(&["--mode=lockstep", "--shards=2"]).shards, Some(2));
     }
 
     /// Regression: `--threads 0` is an explicit error, not whatever the

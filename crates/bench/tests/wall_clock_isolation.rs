@@ -6,7 +6,7 @@
 //! (`crates/bench/src/experiments.rs`) — all on the dkc-lint D02 allowlist.
 //! Those readings may only ever reach the two timing fields of an
 //! [`ExperimentRecord`] (`wall_clock_ms`, `messages_per_sec`), never the
-//! thirteen deterministic counters `scripts/check_bench.sh` gates on. These
+//! fifteen deterministic counters `scripts/check_bench.sh` gates on. These
 //! tests pin both halves of that contract.
 
 use dkc_bench::report::ExperimentRecord;
@@ -30,6 +30,8 @@ fn busy_round(round: usize) -> RoundStats {
         crashed_nodes: 1,
         byzantine_accusations: 6,
         quarantined_nodes: 2,
+        boundary_bits: 544,
+        boundary_nodes: 3,
     }
 }
 
@@ -56,6 +58,8 @@ fn elapsed_time_only_reaches_the_timing_fields() {
     assert_eq!(a.crashed_nodes, b.crashed_nodes);
     assert_eq!(a.byzantine_accusations, b.byzantine_accusations);
     assert_eq!(a.quarantined_nodes, b.quarantined_nodes);
+    assert_eq!(a.boundary_bits, b.boundary_bits);
+    assert_eq!(a.boundary_nodes, b.boundary_nodes);
 
     // …and the wall clock moved only the two timing fields.
     assert!((a.wall_clock_ms - 10.0).abs() < 1e-9);
@@ -82,6 +86,8 @@ fn elapsed_time_only_reaches_the_timing_fields() {
         crashed_nodes: _,
         byzantine_accusations: _,
         quarantined_nodes: _,
+        boundary_bits: _,
+        boundary_nodes: _,
         messages_per_sec: _,
     } = a;
 }
@@ -112,6 +118,8 @@ fn check_bench_gates_exactly_the_deterministic_counters() {
         "crashed_nodes",
         "byzantine_accusations",
         "quarantined_nodes",
+        "boundary_bits",
+        "boundary_nodes",
     ];
     assert_eq!(
         gated, deterministic,

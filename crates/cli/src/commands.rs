@@ -5,7 +5,8 @@ use crate::args::Parsed;
 use dkc_baselines::{greedy_orientation, peeling_orientation, weighted_coreness};
 use dkc_core::api::{approximate_orientation, rounds_for_epsilon, weak_densest_subsets};
 use dkc_core::checkpoint::{
-    resume_compact_elimination, run_compact_elimination_checkpointed, CheckpointConfig,
+    resume_compact_elimination, run_compact_elimination_checkpointed,
+    run_compact_elimination_checkpointed_sharded, CheckpointConfig,
 };
 use dkc_core::ratio::ApproxRatio;
 use dkc_core::threshold::ThresholdSet;
@@ -226,7 +227,7 @@ fn checkpoint_config(parsed: &Parsed) -> Result<Option<CheckpointConfig>, String
 
 /// Flags that name run parameters recorded in a checkpoint's preamble; with
 /// `--resume` they would be silently ignored, so they are rejected instead.
-const RESUME_CONFLICTS: [&str; 10] = [
+const RESUME_CONFLICTS: [&str; 12] = [
     "rounds",
     "epsilon",
     "lambda",
@@ -237,6 +238,8 @@ const RESUME_CONFLICTS: [&str; 10] = [
     "byzantine",
     "quarantine",
     "fault-seed",
+    "shards",
+    "shard-seed",
 ];
 
 fn coreness(parsed: &Parsed) -> Result<String, String> {
@@ -258,6 +261,8 @@ fn coreness(parsed: &Parsed) -> Result<String, String> {
         "checkpoint",
         "checkpoint-every",
         "resume",
+        "shards",
+        "shard-seed",
     ])?;
     let ckpt = checkpoint_config(parsed)?;
     let ds = load(parsed)?;
@@ -270,7 +275,8 @@ fn coreness(parsed: &Parsed) -> Result<String, String> {
             if parsed.flags.contains_key(flag) {
                 return Err(format!(
                     "--{flag} conflicts with --resume: the run's parameters \
-                     (rounds, threshold set, fault plan) come from the checkpoint"
+                     (rounds, threshold set, fault plan, shard partition) come \
+                     from the checkpoint"
                 ));
             }
         }
@@ -313,16 +319,44 @@ fn coreness(parsed: &Parsed) -> Result<String, String> {
         } else {
             ThresholdSet::Reals
         };
-        let approx = match &ckpt {
-            None => dkc_core::api::approximate_coreness_with_faults(
+        // `--shards N` selects the shard-partitioned executor; N >= 1 (1 is
+        // the degenerate single-shard partition, byte-identical to unsharded
+        // with zero boundary traffic).
+        let shards = if parsed.flags.contains_key("shards") {
+            Some(parsed.flag_num_positive::<usize>("shards", 1)?)
+        } else {
+            if parsed.flags.contains_key("shard-seed") {
+                return Err("--shard-seed requires --shards".to_string());
+            }
+            None
+        };
+        let shard_seed: u64 = parsed.flag_num("shard-seed", 0)?;
+        let from_outcome =
+            |outcome: dkc_core::compact::CompactOutcome| dkc_core::api::CorenessApproximation {
+                guaranteed_factor: dkc_core::api::guaranteed_factor(g.num_nodes(), rounds)
+                    * threshold_set.rounding_loss(),
+                values: outcome.surviving,
+                rounds,
+                metrics: outcome.metrics,
+            };
+        let approx = match (&ckpt, shards) {
+            (None, None) => dkc_core::api::approximate_coreness_with_faults(
                 g,
                 rounds,
                 threshold_set,
                 ExecutionMode::Parallel,
                 faults,
             ),
-            Some(cfg) => {
-                let outcome = run_compact_elimination_checkpointed(
+            (None, Some(z)) => dkc_core::api::approximate_coreness_sharded(
+                g,
+                rounds,
+                threshold_set,
+                faults,
+                z,
+                shard_seed,
+            ),
+            (Some(cfg), None) => from_outcome(
+                run_compact_elimination_checkpointed(
                     g,
                     rounds,
                     threshold_set,
@@ -330,15 +364,20 @@ fn coreness(parsed: &Parsed) -> Result<String, String> {
                     faults,
                     cfg,
                 )
-                .map_err(|e| format!("checkpointed run failed: {e}"))?;
-                dkc_core::api::CorenessApproximation {
-                    guaranteed_factor: dkc_core::api::guaranteed_factor(g.num_nodes(), rounds)
-                        * threshold_set.rounding_loss(),
-                    values: outcome.surviving,
+                .map_err(|e| format!("checkpointed run failed: {e}"))?,
+            ),
+            (Some(cfg), Some(z)) => from_outcome(
+                run_compact_elimination_checkpointed_sharded(
+                    g,
                     rounds,
-                    metrics: outcome.metrics,
-                }
-            }
+                    threshold_set,
+                    faults,
+                    z,
+                    shard_seed,
+                    cfg,
+                )
+                .map_err(|e| format!("checkpointed run failed: {e}"))?,
+            ),
         };
         (approx, faults, None)
     };
@@ -368,6 +407,15 @@ fn coreness(parsed: &Parsed) -> Result<String, String> {
         approx.metrics.total_payload_bits(),
         approx.metrics.total_wire_bits()
     );
+    if approx.metrics.total_boundary_bits() > 0 {
+        let _ = writeln!(
+            out,
+            "sharded execution: {} boundary bits in cross-shard delta frames, \
+             {} boundary senders summed over rounds",
+            approx.metrics.total_boundary_bits(),
+            approx.metrics.total_boundary_nodes()
+        );
+    }
     if !faults.is_trivial() {
         let m = &approx.metrics;
         let _ = writeln!(
@@ -637,6 +685,119 @@ mod tests {
         // Fault flags belong to coreness only (for now).
         let err = dispatch(&parse(&["stats", &path, "--loss", "0.1"])).unwrap_err();
         assert!(err.contains("--loss"), "{err}");
+    }
+
+    #[test]
+    fn coreness_shards_match_unsharded_and_report_boundary_traffic() {
+        let path = temp_graph();
+        let plain = dispatch(&parse(&["coreness", &path, "--rounds", "6", "--top", "3"])).unwrap();
+        let sharded = dispatch(&parse(&[
+            "coreness",
+            &path,
+            "--rounds",
+            "6",
+            "--top",
+            "3",
+            "--shards",
+            "4",
+            "--shard-seed",
+            "7",
+        ]))
+        .unwrap();
+        // Same coreness estimates: the per-line "top K" output must be
+        // identical. (Wire accounting is not compared here — the unsharded CLI
+        // path runs the parallel executor, whose frame counts differ from the
+        // sparse lockstep that the sharded engine is byte-identical to; that
+        // identity is asserted in `dkc-core` and E15.)
+        let top = |s: &str| {
+            s.lines()
+                .filter(|l| l.starts_with("  node"))
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(top(&plain), top(&sharded), "sharded run diverged");
+        assert!(sharded.contains("sharded execution:"), "{sharded}");
+        assert!(!plain.contains("sharded execution:"), "{plain}");
+        // A single shard has no boundary, hence no boundary line.
+        let one = dispatch(&parse(&[
+            "coreness", &path, "--rounds", "6", "--shards", "1",
+        ]))
+        .unwrap();
+        assert!(!one.contains("sharded execution:"), "{one}");
+        // Sharding composes with fault injection.
+        let faulty = dispatch(&parse(&[
+            "coreness", &path, "--rounds", "8", "--shards", "2", "--loss", "0.2",
+        ]))
+        .unwrap();
+        assert!(faulty.contains("fault injection:"), "{faulty}");
+        assert!(faulty.contains("sharded execution:"), "{faulty}");
+    }
+
+    #[test]
+    fn coreness_shard_flags_are_validated() {
+        let path = temp_graph();
+        let err = dispatch(&parse(&["coreness", &path, "--shards", "0"])).unwrap_err();
+        assert!(err.contains("must be > 0"), "{err}");
+        let err = dispatch(&parse(&["coreness", &path, "--shard-seed", "7"])).unwrap_err();
+        assert!(err.contains("--shard-seed requires --shards"), "{err}");
+        // Shard flags belong to coreness only (for now).
+        let err = dispatch(&parse(&["stats", &path, "--shards", "2"])).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+    }
+
+    /// A sharded checkpointed run resumes into the same shard partition (the
+    /// preamble carries the topology), matching the uninterrupted sharded
+    /// run on every deterministic counter, boundary traffic included.
+    #[test]
+    fn coreness_sharded_checkpoint_and_resume_match() {
+        let path = temp_graph();
+        let dir = std::env::temp_dir().join("dkc_cli_cmd_test");
+        let pid = std::process::id();
+        let ck = dir.join(format!("shard-resume-{pid}.dkck"));
+        let ref_json = dir.join(format!("shard-ckref-{pid}.json"));
+        let res_json = dir.join(format!("shard-ckres-{pid}.json"));
+        let ck_s = ck.to_string_lossy().to_string();
+        let ref_s = ref_json.to_string_lossy().to_string();
+        let res_s = res_json.to_string_lossy().to_string();
+        let base = [
+            "coreness",
+            path.as_str(),
+            "--rounds",
+            "8",
+            "--shards",
+            "3",
+            "--shard-seed",
+            "5",
+            "--loss",
+            "0.1",
+            "--fault-seed",
+            "11",
+        ];
+        let mut v: Vec<&str> = base.to_vec();
+        v.extend(["--json", &ref_s]);
+        dispatch(&parse(&v)).unwrap();
+        let mut v: Vec<&str> = base.to_vec();
+        v.extend(["--checkpoint", &ck_s, "--checkpoint-every", "3"]);
+        dispatch(&parse(&v)).unwrap();
+        let out = dispatch(&parse(&[
+            "coreness", &path, "--resume", &ck_s, "--json", &res_s,
+        ]))
+        .unwrap();
+        assert!(out.contains("resumed from checkpoint at round 6"), "{out}");
+        let reference = dkc_bench::Report::read_from(&ref_json).unwrap();
+        let resumed = dkc_bench::Report::read_from(&res_json).unwrap();
+        let (a, b) = (&reference.records[0], &resumed.records[0]);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.total_messages, b.total_messages);
+        assert_eq!(a.wire_bits, b.wire_bits);
+        assert_eq!(a.node_updates, b.node_updates);
+        assert_eq!(a.dropped_loss, b.dropped_loss);
+        assert_eq!(a.boundary_bits, b.boundary_bits);
+        assert_eq!(a.boundary_nodes, b.boundary_nodes);
+        assert!(
+            a.boundary_bits > 0,
+            "3 shards must exchange boundary frames"
+        );
     }
 
     #[test]

@@ -43,6 +43,10 @@ USAGE:
       inferred from the file extension unless --from/--to is given
   dkc coreness <file> [--epsilon E] [--rounds T] [--lambda L] [--exact] [--top K]
                [--json FILE]   write the run's metrics as a benchmark report
+      sharded execution (byte-identical counters, boundary traffic reported):
+               [--shards N]      partition the nodes into N shards exchanging
+                                 cross-shard delta frames
+               [--shard-seed S]  seed of the hash partitioner (default 0)
       fault injection (deterministic, seeded by --fault-seed S):
                [--loss P] [--burst PERIOD:LEN] [--crash P:FIRST:LAST]
                [--partition F:FIRST:LAST]
@@ -54,8 +58,9 @@ USAGE:
                [--checkpoint FILE]      write an atomic checkpoint during the run
                [--checkpoint-every N]   rounds between checkpoints (default 1)
                [--resume FILE]          resume a killed run; rounds, threshold
-                                        set, and fault plan come from the
-                                        checkpoint (conflicting flags rejected)
+                                        set, fault plan, and shard partition
+                                        come from the checkpoint (conflicting
+                                        flags rejected)
   dkc orientation <file> [--epsilon E] [--compare]
   dkc densest <file> [--epsilon E] [--exact]
   dkc help

@@ -101,6 +101,35 @@ pub fn approximate_coreness_with_faults(
     }
 }
 
+/// Approximates coreness values under sharded execution
+/// ([`dkc_distsim::ExecutionMode::Sharded`]): per-shard node-state arenas and
+/// `BoundaryDelta` cross-shard frames, byte-identical on every deterministic
+/// counter to the unsharded run. Thin wrapper over
+/// [`crate::compact::run_compact_elimination_sharded`].
+pub fn approximate_coreness_sharded(
+    g: &WeightedGraph,
+    rounds: usize,
+    threshold_set: ThresholdSet,
+    faults: dkc_distsim::FaultPlan,
+    num_shards: usize,
+    shard_seed: u64,
+) -> CorenessApproximation {
+    let outcome = crate::compact::run_compact_elimination_sharded(
+        g,
+        rounds,
+        threshold_set,
+        faults,
+        num_shards,
+        shard_seed,
+    );
+    CorenessApproximation {
+        guaranteed_factor: guaranteed_factor(g.num_nodes(), rounds) * threshold_set.rounding_loss(),
+        values: outcome.surviving,
+        rounds,
+        metrics: outcome.metrics,
+    }
+}
+
 /// Output of [`approximate_orientation`].
 #[derive(Clone, Debug)]
 pub struct OrientationApproximation {
@@ -211,6 +240,32 @@ mod tests {
             2.0 * (1.0 + epsilon) * rho
         );
         assert_eq!(approx.assignment.len(), g.num_plain_edges());
+    }
+
+    #[test]
+    fn sharded_api_matches_unsharded() {
+        let mut rng = StdRng::seed_from_u64(74);
+        let g = erdos_renyi(50, 0.1, &mut rng);
+        let plain = approximate_coreness_with_rounds(
+            &g,
+            6,
+            ThresholdSet::Reals,
+            ExecutionMode::SparseSequential,
+        );
+        let sharded = approximate_coreness_sharded(
+            &g,
+            6,
+            ThresholdSet::Reals,
+            dkc_distsim::FaultPlan::none(),
+            4,
+            3,
+        );
+        assert_eq!(plain.values, sharded.values);
+        assert_eq!(plain.guaranteed_factor, sharded.guaranteed_factor);
+        assert_eq!(
+            plain.metrics.total_wire_bits(),
+            sharded.metrics.total_wire_bits()
+        );
     }
 
     #[test]

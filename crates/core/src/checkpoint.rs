@@ -78,6 +78,14 @@ pub struct RunPreamble {
     pub threshold_set: ThresholdSet,
     /// The fault plan of the run.
     pub faults: FaultPlan,
+    /// Shard count of the run (0 = unsharded; ≥ 1 = sharded execution with
+    /// that many shards). Resume rebuilds the same partition, so a sharded
+    /// checkpoint can only resume into the sharded topology it was written
+    /// under.
+    pub shards: u64,
+    /// Seed of the deterministic edge-cut partitioner (meaningful only when
+    /// `shards > 0`).
+    pub shard_seed: u64,
 }
 
 impl RunPreamble {
@@ -100,6 +108,8 @@ impl RunPreamble {
             }
         }
         put(&mut w, &self.faults);
+        put(&mut w, &self.shards);
+        put(&mut w, &self.shard_seed);
         w.into_bytes()
     }
 
@@ -130,6 +140,8 @@ impl RunPreamble {
         };
         let faults = FaultPlan::decode(&mut r)?;
         validate_plan(&faults)?;
+        let shards = r.read_u64()?;
+        let shard_seed = r.read_u64()?;
         if r.remaining() > 0 {
             return Err(CheckpointError::TrailingBytes {
                 remaining: r.remaining(),
@@ -142,6 +154,8 @@ impl RunPreamble {
             rounds_target,
             threshold_set,
             faults,
+            shards,
+            shard_seed,
         })
     }
 }
@@ -183,6 +197,8 @@ pub fn run_compact_elimination_checkpointed(
         rounds_target: rounds as u64,
         threshold_set,
         faults,
+        shards: 0,
+        shard_seed: 0,
     }
     .encode();
     let mut arena = CompactArena::new(&csr, threshold_set);
@@ -202,11 +218,59 @@ pub fn run_compact_elimination_checkpointed(
     })
 }
 
+/// Like [`run_compact_elimination_checkpointed`] under sharded execution:
+/// per-shard arenas ([`crate::compact::ShardedCompactArena`]), the
+/// `BoundaryDelta` exchange, and a preamble that records the shard topology —
+/// so a resume ([`resume_compact_elimination`]) rebuilds the identical
+/// partition without re-specifying it.
+pub fn run_compact_elimination_checkpointed_sharded(
+    g: &WeightedGraph,
+    rounds: usize,
+    threshold_set: ThresholdSet,
+    faults: FaultPlan,
+    num_shards: usize,
+    shard_seed: u64,
+    cfg: &CheckpointConfig,
+) -> Result<CompactOutcome, CheckpointError> {
+    let num_shards = num_shards.max(1);
+    let csr = CsrGraph::from_graph(g);
+    let preamble = RunPreamble {
+        nodes: csr.num_nodes() as u64,
+        arcs: csr.num_arcs() as u64,
+        fingerprint: graph_fingerprint(&csr),
+        rounds_target: rounds as u64,
+        threshold_set,
+        faults,
+        shards: num_shards as u64,
+        shard_seed,
+    }
+    .encode();
+    let mut arena =
+        crate::compact::ShardedCompactArena::new(&csr, threshold_set, num_shards, shard_seed);
+    let mut net = NetworkBuilder::new()
+        .shards(num_shards)
+        .shard_seed(shard_seed)
+        .faults(faults)
+        .checkpoint_every(cfg.every.max(1))
+        .build_from_parts(csr.clone(), arena.programs());
+    net.checkpoint_to(&cfg.path, preamble);
+    net.run_with_checkpoints(rounds)?;
+    let (_programs, metrics) = net.into_parts();
+    Ok(CompactOutcome {
+        surviving: arena.surviving(),
+        in_neighbors: arena.in_neighbors(&csr),
+        rounds,
+        metrics,
+    })
+}
+
 /// Resumes a run from the checkpoint at `path` and completes it. The run
-/// parameters — round target, threshold set, fault plan — come from the
-/// checkpoint, not from flags; the caller chooses only the execution backend
-/// (`mode`, which must be of the same sparse/dense family the checkpoint was
-/// written under) and optionally keeps checkpointing via `cfg`.
+/// parameters — round target, threshold set, fault plan, shard topology —
+/// come from the checkpoint, not from flags; the caller chooses only the
+/// execution backend (`mode`, which must be of the same sparse/dense family
+/// the checkpoint was written under) and optionally keeps checkpointing via
+/// `cfg`. A sharded checkpoint (`shards > 0` in the preamble) resumes under
+/// sharded execution with the recorded partition; `mode` is then ignored.
 pub fn resume_compact_elimination(
     g: &WeightedGraph,
     path: &Path,
@@ -233,12 +297,28 @@ pub fn resume_compact_elimination(
                 .to_string(),
         ));
     }
-    let mut arena = CompactArena::new(&csr, pre.threshold_set);
-    let mut net = NetworkBuilder::new()
-        .mode(mode)
+    let mut whole_arena: Option<CompactArena> = None;
+    let mut sharded_arena: Option<crate::compact::ShardedCompactArena> = None;
+    let builder = NetworkBuilder::new()
         .faults(pre.faults)
-        .checkpoint_every(cfg.map_or(0, |c| c.every.max(1)))
-        .build_from_parts(csr.clone(), arena.programs());
+        .checkpoint_every(cfg.map_or(0, |c| c.every.max(1)));
+    let mut net = if pre.shards > 0 {
+        let arena = sharded_arena.insert(crate::compact::ShardedCompactArena::new(
+            &csr,
+            pre.threshold_set,
+            pre.shards as usize,
+            pre.shard_seed,
+        ));
+        builder
+            .shards(pre.shards as usize)
+            .shard_seed(pre.shard_seed)
+            .build_from_parts(csr.clone(), arena.programs())
+    } else {
+        let arena = whole_arena.insert(CompactArena::new(&csr, pre.threshold_set));
+        builder
+            .mode(mode)
+            .build_from_parts(csr.clone(), arena.programs())
+    };
     if let Some(c) = cfg {
         net.checkpoint_to(&c.path, preamble_bytes.to_vec());
     }
@@ -253,10 +333,16 @@ pub fn resume_compact_elimination(
     }
     net.run_with_checkpoints(rounds_target - resumed_from)?;
     let (_programs, metrics) = net.into_parts();
+    let (surviving, in_neighbors) = match (&whole_arena, &sharded_arena) {
+        (Some(a), None) => (a.surviving().to_vec(), a.in_neighbors(&csr)),
+        (None, Some(a)) => (a.surviving(), a.in_neighbors(&csr)),
+        // lint: allow(D04) — local invariant: the branch above built exactly one arena from the already-validated preamble, not from hostile bytes
+        _ => unreachable!("exactly one arena kind is built"),
+    };
     Ok(ResumedRun {
         outcome: CompactOutcome {
-            surviving: arena.surviving().to_vec(),
-            in_neighbors: arena.in_neighbors(&csr),
+            surviving,
+            in_neighbors,
             rounds: rounds_target,
             metrics,
         },
@@ -289,6 +375,8 @@ mod tests {
             rounds_target: 30,
             threshold_set: ThresholdSet::power_grid(0.25),
             faults: FaultPlan::from_loss(dkc_distsim::LossModel::new(0.1, 7)),
+            shards: 4,
+            shard_seed: 0xACE,
         };
         let bytes = pre.encode();
         assert_eq!(RunPreamble::decode(&bytes).unwrap(), pre);
@@ -356,6 +444,45 @@ mod tests {
         assert_eq!(resumed.rounds_target, rounds);
         assert_eq!(resumed.threshold_set, threshold);
         assert_eq!(resumed.faults, plan);
+        assert_eq!(plain.surviving, resumed.outcome.surviving);
+        assert_eq!(plain.in_neighbors, resumed.outcome.in_neighbors);
+        assert_eq!(plain.metrics.rounds(), resumed.outcome.metrics.rounds());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Sharded checkpointed runs: identical to the plain sharded run, and a
+    /// resume rebuilds the recorded shard topology from the preamble alone.
+    #[test]
+    fn sharded_checkpointed_run_resumes_into_the_same_partition() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let g = barabasi_albert(40, 3, &mut rng);
+        let threshold = ThresholdSet::Reals;
+        let plan = FaultPlan::from_loss(dkc_distsim::LossModel::new(0.2, 5));
+        let rounds = 14;
+        let (shards, seed) = (4usize, 77u64);
+
+        let plain = crate::compact::run_compact_elimination_sharded(
+            &g, rounds, threshold, plan, shards, seed,
+        );
+
+        let dir = tmp_dir("shard-resume");
+        let cfg = CheckpointConfig {
+            path: dir.join("run.dkck"),
+            every: 3,
+        };
+        let checkpointed = run_compact_elimination_checkpointed_sharded(
+            &g, rounds, threshold, plan, shards, seed, &cfg,
+        )
+        .unwrap();
+        assert_eq!(plain.surviving, checkpointed.surviving);
+        assert_eq!(plain.metrics.rounds(), checkpointed.metrics.rounds());
+
+        // Resume reads the shard topology from the preamble; the mode
+        // argument is ignored for sharded checkpoints.
+        let resumed =
+            resume_compact_elimination(&g, &cfg.path, ExecutionMode::SparseSequential, None)
+                .unwrap();
+        assert_eq!(resumed.resumed_from, 12);
         assert_eq!(plain.surviving, resumed.outcome.surviving);
         assert_eq!(plain.in_neighbors, resumed.outcome.in_neighbors);
         assert_eq!(plain.metrics.rounds(), resumed.outcome.metrics.rounds());

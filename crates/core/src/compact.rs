@@ -38,15 +38,23 @@ use dkc_distsim::{
     CheckpointError, Delivery, ExecutionMode, NetworkBuilder, NodeContext, NodeProgram, Outgoing,
     RunMetrics, SnapshotState,
 };
-use dkc_graph::{CsrGraph, NodeId, WeightedGraph};
+use dkc_graph::{CsrGraph, NodeId, Partitioner, WeightedGraph};
 use serde::ser::Serialize;
 
-/// Structure-of-arrays storage for every node's elimination state, indexed by
-/// the CSR arc offsets (arc slabs) and by node id (node slabs).
+/// Structure-of-arrays storage for a set of nodes' elimination state, indexed
+/// by arena-local arc offsets (arc slabs) and by arena-local slot (node
+/// slabs). A whole-graph arena ([`CompactArena::new`]) covers every node in
+/// id order; a shard arena ([`CompactArena::for_nodes`], via
+/// [`ShardedCompactArena`]) covers only the nodes one shard owns, so each
+/// shard's state lives in its own contiguous slabs.
 #[derive(Clone, Debug)]
 pub struct CompactArena {
     threshold_set: ThresholdSet,
-    /// Arc offsets (`offsets[v]..offsets[v+1]` is node v's slice).
+    /// Global node id backing each local slot (identity for a whole-graph
+    /// arena; the shard's owned nodes, ascending, for a shard arena).
+    nodes: Vec<u32>,
+    /// Arena-local arc offsets (`offsets[v]..offsets[v+1]` is slot v's
+    /// slice).
     offsets: Vec<usize>,
     /// Arc slab: latest surviving number heard per neighbour (init +∞).
     values: Vec<f64>,
@@ -70,23 +78,32 @@ pub struct CompactArena {
 }
 
 impl CompactArena {
-    /// Builds the initial arena for `graph` under threshold set Λ.
+    /// Builds the initial whole-graph arena for `graph` under threshold set Λ.
     pub fn new(graph: &CsrGraph, threshold_set: ThresholdSet) -> Self {
-        let n = graph.num_nodes();
-        let arcs = graph.num_arcs();
-        let offsets: Vec<usize> = (0..n)
-            .map(|v| graph.arc_offset(NodeId::new(v)))
-            .chain(std::iter::once(arcs))
-            .collect();
+        let nodes: Vec<NodeId> = graph.nodes().collect();
+        Self::for_nodes(graph, threshold_set, &nodes)
+    }
+
+    /// Builds an arena covering only `nodes` (an ascending subset of the
+    /// graph's nodes — e.g. the nodes one shard owns). The slabs are sized by
+    /// the subset's degrees and indexed by arena-local offsets, so a sharded
+    /// run keeps each shard's node state in its own contiguous allocation.
+    pub fn for_nodes(graph: &CsrGraph, threshold_set: ThresholdSet, nodes: &[NodeId]) -> Self {
+        let mut offsets = Vec::with_capacity(nodes.len() + 1);
+        offsets.push(0usize);
+        for &v in nodes {
+            offsets.push(offsets.last().expect("non-empty") + graph.neighbors(v).len());
+        }
+        let arcs = *offsets.last().expect("non-empty");
         let mut order = vec![0u32; arcs];
         let mut inv = vec![0u32; arcs];
-        for v in 0..n {
-            let (lo, hi) = (offsets[v], offsets[v + 1]);
+        for (i, &v) in nodes.iter().enumerate() {
+            let (lo, hi) = (offsets[i], offsets[i + 1]);
             UpdateOrder {
                 order: &mut order[lo..hi],
                 inv: &mut inv[lo..hi],
             }
-            .init_by_id(graph.neighbors(NodeId::new(v)));
+            .init_by_id(graph.neighbors(v));
         }
         CompactArena {
             threshold_set,
@@ -95,11 +112,13 @@ impl CompactArena {
             inv,
             in_stamp: vec![0; arcs],
             scratch: vec![0; arcs],
-            b: vec![f64::INFINITY; n],
-            last_update_round: vec![0; n],
-            message_bits: (0..n)
-                .map(|v| threshold_set.message_bits(graph.degree(NodeId::new(v)).max(1.0)) as u32)
+            b: vec![f64::INFINITY; nodes.len()],
+            last_update_round: vec![0; nodes.len()],
+            message_bits: nodes
+                .iter()
+                .map(|&v| threshold_set.message_bits(graph.degree(v).max(1.0)) as u32)
                 .collect(),
+            nodes: nodes.iter().map(|v| v.0).collect(),
             offsets,
         }
     }
@@ -155,19 +174,120 @@ impl CompactArena {
         &self.b
     }
 
-    /// Materializes the auxiliary in-neighbour sets `N_v` from the stamp slab.
+    /// Materializes the auxiliary in-neighbour sets `N_v` from the stamp slab
+    /// (in arena-local slot order).
     pub fn in_neighbors(&self, graph: &CsrGraph) -> Vec<Vec<NodeId>> {
         (0..self.b.len())
             .map(|v| {
                 let lo = self.offsets[v];
                 let last = self.last_update_round[v];
                 graph
-                    .neighbors(NodeId::new(v))
+                    .neighbors(NodeId(self.nodes[v]))
                     .iter()
                     .enumerate()
                     .filter(|&(pos, _)| self.in_stamp[lo + pos] == last)
                     .map(|(_, &u)| u)
                     .collect()
+            })
+            .collect()
+    }
+}
+
+/// One [`CompactArena`] per shard, each covering exactly the nodes that shard
+/// owns under the deterministic edge-cut [`Partitioner`] — the node-state
+/// half of [`dkc_distsim::ExecutionMode::Sharded`]. The per-shard slabs are
+/// independent allocations (a real deployment would build each on its own
+/// machine); [`ShardedCompactArena::programs`] reassembles the executor's
+/// global node order by interleaving the shards' programs through the owner
+/// table.
+#[derive(Clone, Debug)]
+pub struct ShardedCompactArena {
+    owner: Vec<u32>,
+    shards: Vec<CompactArena>,
+}
+
+impl ShardedCompactArena {
+    /// Partitions `graph` into `num_shards` shards (seeded, deterministic —
+    /// the same mapping [`dkc_distsim::NetworkBuilder::shards`] installs) and
+    /// builds one arena per shard over its owned nodes.
+    pub fn new(
+        graph: &CsrGraph,
+        threshold_set: ThresholdSet,
+        num_shards: usize,
+        seed: u64,
+    ) -> Self {
+        let part = Partitioner::new(num_shards, seed);
+        let owner: Vec<u32> = graph.nodes().map(|v| part.shard_of(v) as u32).collect();
+        let shards = (0..num_shards)
+            .map(|s| {
+                let owned: Vec<NodeId> = graph
+                    .nodes()
+                    .filter(|v| owner[v.index()] == s as u32)
+                    .collect();
+                CompactArena::for_nodes(graph, threshold_set, &owned)
+            })
+            .collect();
+        ShardedCompactArena { owner, shards }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Nodes owned per shard (the balance figure E15 reports on).
+    pub fn shard_node_counts(&self) -> Vec<usize> {
+        self.shards.iter().map(CompactArena::num_nodes).collect()
+    }
+
+    /// Carves every shard's arena and interleaves the programs back into
+    /// global node order (each shard's programs are in ascending owned-node
+    /// order, so a per-shard cursor walk reconstructs it exactly) — the shape
+    /// [`dkc_distsim::Network::from_parts`] requires.
+    pub fn programs(&mut self) -> Vec<CompactNode<'_>> {
+        let owner = &self.owner;
+        let mut per_shard: Vec<_> = self
+            .shards
+            .iter_mut()
+            .map(|a| a.programs().into_iter())
+            .collect();
+        owner
+            .iter()
+            .map(|&s| {
+                per_shard[s as usize]
+                    .next()
+                    .expect("every node is owned by exactly one shard")
+            })
+            .collect()
+    }
+
+    /// The surviving numbers `b_v`, reassembled into global node order.
+    pub fn surviving(&self) -> Vec<f64> {
+        let mut cursors = vec![0usize; self.shards.len()];
+        self.owner
+            .iter()
+            .map(|&s| {
+                let c = &mut cursors[s as usize];
+                let x = self.shards[s as usize].surviving()[*c];
+                *c += 1;
+                x
+            })
+            .collect()
+    }
+
+    /// The auxiliary in-neighbour sets `N_v`, reassembled into global node
+    /// order.
+    pub fn in_neighbors(&self, graph: &CsrGraph) -> Vec<Vec<NodeId>> {
+        let per_shard: Vec<Vec<Vec<NodeId>>> =
+            self.shards.iter().map(|a| a.in_neighbors(graph)).collect();
+        let mut cursors = vec![0usize; self.shards.len()];
+        self.owner
+            .iter()
+            .map(|&s| {
+                let c = &mut cursors[s as usize];
+                let x = per_shard[s as usize][*c].clone();
+                *c += 1;
+                x
             })
             .collect()
     }
@@ -411,6 +531,38 @@ pub fn run_compact_elimination_with_faults(
     let (_programs, metrics) = net.into_parts();
     CompactOutcome {
         surviving: arena.surviving().to_vec(),
+        in_neighbors: arena.in_neighbors(&csr),
+        rounds,
+        metrics,
+    }
+}
+
+/// Runs Algorithm 2 under [`dkc_distsim::ExecutionMode::Sharded`] execution:
+/// the graph is partitioned into `num_shards` shards, each shard owns its own
+/// node-state arena ([`ShardedCompactArena`]), and cross-shard updates travel
+/// as `BoundaryDelta` wire frames. Byte-identical on every deterministic
+/// counter — node values, rounds, `node_updates`, `wire_bits`, all fault
+/// counters — to unsharded sparse lockstep (the boundary counters come on
+/// top); pinned by `prop_sharded_identical` and the E15 experiment.
+pub fn run_compact_elimination_sharded(
+    g: &WeightedGraph,
+    rounds: usize,
+    threshold_set: ThresholdSet,
+    faults: dkc_distsim::FaultPlan,
+    num_shards: usize,
+    shard_seed: u64,
+) -> CompactOutcome {
+    let csr = CsrGraph::from_graph(g);
+    let mut arena = ShardedCompactArena::new(&csr, threshold_set, num_shards.max(1), shard_seed);
+    let mut net = NetworkBuilder::new()
+        .shards(num_shards.max(1))
+        .shard_seed(shard_seed)
+        .faults(faults)
+        .build_from_parts(csr.clone(), arena.programs());
+    net.run(rounds);
+    let (_programs, metrics) = net.into_parts();
+    CompactOutcome {
+        surviving: arena.surviving(),
         in_neighbors: arena.in_neighbors(&csr),
         rounds,
         metrics,
@@ -760,6 +912,72 @@ mod tests {
             crashed.metrics.total_node_updates() < clean.metrics.total_node_updates(),
             "crashed nodes must stop executing steps"
         );
+    }
+
+    /// The sharded runner — per-shard arenas plus boundary-frame exchange —
+    /// produces byte-identical counters and values to unsharded sparse
+    /// lockstep for every shard count, clean and under faults.
+    #[test]
+    fn sharded_run_matches_unsharded() {
+        use dkc_distsim::{CrashModel, FaultPlan, LossModel};
+        let mut rng = StdRng::seed_from_u64(33);
+        let g = barabasi_albert(90, 3, &mut rng);
+        let rounds = 8;
+        for plan in [
+            FaultPlan::none(),
+            FaultPlan::from_loss(LossModel::new(0.3, 5)).with_crash(CrashModel::new(0.2, 2, 6, 9)),
+        ] {
+            let reference = run_compact_elimination_with_faults(
+                &g,
+                rounds,
+                ThresholdSet::Reals,
+                ExecutionMode::SparseSequential,
+                plan,
+            );
+            for shards in [1usize, 2, 3, 8] {
+                let sharded = run_compact_elimination_sharded(
+                    &g,
+                    rounds,
+                    ThresholdSet::Reals,
+                    plan,
+                    shards,
+                    7,
+                );
+                assert_eq!(reference.surviving, sharded.surviving, "shards={shards}");
+                assert_eq!(
+                    reference.in_neighbors, sharded.in_neighbors,
+                    "shards={shards}"
+                );
+                assert_eq!(
+                    reference.metrics.total_wire_bits(),
+                    sharded.metrics.total_wire_bits(),
+                    "shards={shards}"
+                );
+                assert_eq!(
+                    reference.metrics.total_node_updates(),
+                    sharded.metrics.total_node_updates(),
+                    "shards={shards}"
+                );
+                if shards > 1 {
+                    assert!(sharded.metrics.total_boundary_bits() > 0, "shards={shards}");
+                }
+            }
+        }
+    }
+
+    /// The per-shard arenas jointly cover every node exactly once, and the
+    /// reassembled global order matches the whole-graph arena's layout.
+    #[test]
+    fn sharded_arena_partitions_the_nodes() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let g = erdos_renyi(64, 0.1, &mut rng);
+        let csr = CsrGraph::from_graph(&g);
+        let mut arena = ShardedCompactArena::new(&csr, ThresholdSet::Reals, 4, 11);
+        assert_eq!(arena.num_shards(), 4);
+        let counts = arena.shard_node_counts();
+        assert_eq!(counts.iter().sum::<usize>(), 64);
+        assert_eq!(arena.programs().len(), 64);
+        assert_eq!(arena.surviving().len(), 64);
     }
 
     #[test]

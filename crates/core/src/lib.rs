@@ -48,15 +48,18 @@ pub mod tree_elim;
 pub mod update;
 
 pub use api::{
-    approximate_coreness, approximate_coreness_with_rounds, approximate_orientation,
-    rounds_for_epsilon, rounds_for_gamma, weak_densest_subsets, CorenessApproximation,
-    OrientationApproximation,
+    approximate_coreness, approximate_coreness_sharded, approximate_coreness_with_rounds,
+    approximate_orientation, rounds_for_epsilon, rounds_for_gamma, weak_densest_subsets,
+    CorenessApproximation, OrientationApproximation,
 };
 pub use checkpoint::{
     graph_fingerprint, resume_compact_elimination, run_compact_elimination_checkpointed,
-    CheckpointConfig, ResumedRun, RunPreamble,
+    run_compact_elimination_checkpointed_sharded, CheckpointConfig, ResumedRun, RunPreamble,
 };
-pub use compact::{run_compact_elimination, run_compact_elimination_with_faults, CompactOutcome};
+pub use compact::{
+    run_compact_elimination, run_compact_elimination_sharded, run_compact_elimination_with_faults,
+    CompactOutcome, ShardedCompactArena,
+};
 pub use densest::{WeakCluster, WeakDensestResult};
 pub use ratio::ApproxRatio;
 pub use threshold::ThresholdSet;

@@ -34,12 +34,16 @@
 //! `modes_agree_under_loss`.
 
 use dkc_distsim::{
-    Delivery, ExecutionMode, Network, NodeContext, NodeProgram, Outgoing, RunMetrics,
+    Delivery, ExecutionMode, Network, NetworkBuilder, NodeContext, NodeProgram, Outgoing,
+    RunMetrics,
 };
-use dkc_graph::{CsrGraph, NodeId, WeightedGraph};
+use dkc_graph::{CsrGraph, NodeId, Partitioner, WeightedGraph};
 
-/// Structure-of-arrays state for every node of the single-threshold
-/// elimination, indexed by the CSR offsets.
+/// Structure-of-arrays state for a set of nodes of the single-threshold
+/// elimination, indexed by arena-local offsets. A whole-graph arena
+/// ([`SingleThresholdArena::new`]) covers every node; a shard arena
+/// ([`SingleThresholdArena::for_nodes`], via
+/// [`ShardedSingleThresholdArena`]) covers only one shard's owned nodes.
 #[derive(Clone, Debug)]
 pub struct SingleThresholdArena {
     offsets: Vec<usize>,
@@ -54,19 +58,28 @@ pub struct SingleThresholdArena {
 }
 
 impl SingleThresholdArena {
-    /// Builds the initial arena: everyone alive, degrees at full weight.
+    /// Builds the initial whole-graph arena: everyone alive, degrees at full
+    /// weight.
     pub fn new(graph: &CsrGraph) -> Self {
-        let n = graph.num_nodes();
-        let offsets: Vec<usize> = (0..n)
-            .map(|v| graph.arc_offset(NodeId::new(v)))
-            .chain(std::iter::once(graph.num_arcs()))
-            .collect();
+        let nodes: Vec<NodeId> = graph.nodes().collect();
+        Self::for_nodes(graph, &nodes)
+    }
+
+    /// Builds an arena covering only `nodes` (an ascending subset — e.g. the
+    /// nodes one shard owns), with its slabs sized by the subset's degrees.
+    pub fn for_nodes(graph: &CsrGraph, nodes: &[NodeId]) -> Self {
+        let mut offsets = Vec::with_capacity(nodes.len() + 1);
+        offsets.push(0usize);
+        for &v in nodes {
+            offsets.push(offsets.last().expect("non-empty") + graph.neighbors(v).len());
+        }
+        let arcs = *offsets.last().expect("non-empty");
         SingleThresholdArena {
             offsets,
-            nbr_alive: vec![true; graph.num_arcs()],
-            alive: vec![true; n],
-            degree: (0..n).map(|v| graph.degree(NodeId::new(v))).collect(),
-            announced: vec![false; n],
+            nbr_alive: vec![true; arcs],
+            alive: vec![true; nodes.len()],
+            degree: nodes.iter().map(|&v| graph.degree(v)).collect(),
+            announced: vec![false; nodes.len()],
         }
     }
 
@@ -93,9 +106,71 @@ impl SingleThresholdArena {
         out
     }
 
-    /// The final survivor flags.
+    /// The final survivor flags (in arena-local slot order).
     pub fn survivors(&self) -> &[bool] {
         &self.alive
+    }
+}
+
+/// One [`SingleThresholdArena`] per shard, each covering exactly the nodes
+/// that shard owns under the deterministic edge-cut [`Partitioner`] — the
+/// Algorithm 1 counterpart of [`crate::compact::ShardedCompactArena`].
+#[derive(Clone, Debug)]
+pub struct ShardedSingleThresholdArena {
+    owner: Vec<u32>,
+    shards: Vec<SingleThresholdArena>,
+}
+
+impl ShardedSingleThresholdArena {
+    /// Partitions `graph` into `num_shards` shards (the same seeded mapping
+    /// [`dkc_distsim::NetworkBuilder::shards`] installs) and builds one arena
+    /// per shard over its owned nodes.
+    pub fn new(graph: &CsrGraph, num_shards: usize, seed: u64) -> Self {
+        let part = Partitioner::new(num_shards, seed);
+        let owner: Vec<u32> = graph.nodes().map(|v| part.shard_of(v) as u32).collect();
+        let shards = (0..num_shards)
+            .map(|s| {
+                let owned: Vec<NodeId> = graph
+                    .nodes()
+                    .filter(|v| owner[v.index()] == s as u32)
+                    .collect();
+                SingleThresholdArena::for_nodes(graph, &owned)
+            })
+            .collect();
+        ShardedSingleThresholdArena { owner, shards }
+    }
+
+    /// Carves every shard's arena and interleaves the programs back into
+    /// global node order.
+    pub fn programs(&mut self, threshold: f64) -> Vec<SingleThresholdNode<'_>> {
+        let owner = &self.owner;
+        let mut per_shard: Vec<_> = self
+            .shards
+            .iter_mut()
+            .map(|a| a.programs(threshold).into_iter())
+            .collect();
+        owner
+            .iter()
+            .map(|&s| {
+                per_shard[s as usize]
+                    .next()
+                    .expect("every node is owned by exactly one shard")
+            })
+            .collect()
+    }
+
+    /// The final survivor flags, reassembled into global node order.
+    pub fn survivors(&self) -> Vec<bool> {
+        let mut cursors = vec![0usize; self.shards.len()];
+        self.owner
+            .iter()
+            .map(|&s| {
+                let c = &mut cursors[s as usize];
+                let x = self.shards[s as usize].survivors()[*c];
+                *c += 1;
+                x
+            })
+            .collect()
     }
 }
 
@@ -192,6 +267,30 @@ pub fn run_single_threshold(
     let (_programs, metrics) = net.into_parts();
     SingleThresholdOutcome {
         survivors: arena.survivors().to_vec(),
+        metrics,
+    }
+}
+
+/// Runs the elimination procedure under sharded execution: per-shard arenas
+/// ([`ShardedSingleThresholdArena`]) and the `BoundaryDelta` exchange.
+/// Result-identical to [`run_single_threshold`] in any mode.
+pub fn run_single_threshold_sharded(
+    g: &WeightedGraph,
+    b: f64,
+    rounds: usize,
+    num_shards: usize,
+    shard_seed: u64,
+) -> SingleThresholdOutcome {
+    let csr = CsrGraph::from_graph(g);
+    let mut arena = ShardedSingleThresholdArena::new(&csr, num_shards.max(1), shard_seed);
+    let mut net = NetworkBuilder::new()
+        .shards(num_shards.max(1))
+        .shard_seed(shard_seed)
+        .build_from_parts(csr.clone(), arena.programs(b));
+    net.run(rounds);
+    let (_programs, metrics) = net.into_parts();
+    SingleThresholdOutcome {
+        survivors: arena.survivors(),
         metrics,
     }
 }
@@ -332,6 +431,29 @@ mod tests {
                     "node {v} died under loss but survived fault-free (seed {seed})"
                 );
             }
+        }
+    }
+
+    /// Sharded execution with per-shard arenas matches the unsharded run on
+    /// survivors and every deterministic counter, for every shard count.
+    #[test]
+    fn sharded_matches_unsharded() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = erdos_renyi(60, 0.1, &mut rng);
+        let reference = run_single_threshold(&g, 3.0, 15, ExecutionMode::SparseSequential);
+        for shards in [1usize, 2, 4, 8] {
+            let sharded = run_single_threshold_sharded(&g, 3.0, 15, shards, 21);
+            assert_eq!(reference.survivors, sharded.survivors, "shards={shards}");
+            assert_eq!(
+                reference.metrics.total_messages(),
+                sharded.metrics.total_messages(),
+                "shards={shards}"
+            );
+            assert_eq!(
+                reference.metrics.total_wire_bits(),
+                sharded.metrics.total_wire_bits(),
+                "shards={shards}"
+            );
         }
     }
 

@@ -122,6 +122,8 @@ proptest! {
             rounds_target: rounds as u64,
             threshold_set: threshold,
             faults: plan,
+            shards: 0,
+            shard_seed: 0,
         }
         .encode();
         let path = tmp_file("cut", seed ^ (rounds as u64) << 32);
@@ -173,6 +175,8 @@ fn real_checkpoint(tag: &str) -> (Vec<u8>, PathBuf, dkc_graph::WeightedGraph) {
         rounds_target: 9,
         threshold_set: threshold,
         faults: plan,
+        shards: 0,
+        shard_seed: 0,
     }
     .encode();
     let mut arena = CompactArena::new(&csr, threshold);

@@ -51,8 +51,9 @@ pub const CHECKPOINT_MAGIC: [u8; 4] = *b"DKCK";
 /// versions are rejected (a checkpoint is a short-lived artifact of one
 /// binary, not an archival format). v2: the fault plan gained a byzantine
 /// component and `RoundStats` the byzantine drop/accusation/quarantine
-/// counters.
-pub const CHECKPOINT_VERSION: u32 = 2;
+/// counters. v3: `RoundStats` gained the sharded-execution
+/// `boundary_bits`/`boundary_nodes` counters.
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// Why a checkpoint could not be written, read, or applied.
 #[derive(Clone, Debug, PartialEq)]
@@ -401,7 +402,7 @@ pub fn validate_plan(plan: &FaultPlan) -> Result<(), CheckpointError> {
 
 impl Serialize for RoundStats {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut s = serializer.serialize_struct("RoundStats", 15)?;
+        let mut s = serializer.serialize_struct("RoundStats", 17)?;
         s.serialize_field("round", &self.round)?;
         s.serialize_field("messages", &self.messages)?;
         s.serialize_field("payload_bits", &self.payload_bits)?;
@@ -417,6 +418,8 @@ impl Serialize for RoundStats {
         s.serialize_field("crashed_nodes", &self.crashed_nodes)?;
         s.serialize_field("byzantine_accusations", &self.byzantine_accusations)?;
         s.serialize_field("quarantined_nodes", &self.quarantined_nodes)?;
+        s.serialize_field("boundary_bits", &self.boundary_bits)?;
+        s.serialize_field("boundary_nodes", &self.boundary_nodes)?;
         s.end()
     }
 }
@@ -439,6 +442,8 @@ impl WireCodec for RoundStats {
             crashed_nodes: usize::decode(r)?,
             byzantine_accusations: usize::decode(r)?,
             quarantined_nodes: usize::decode(r)?,
+            boundary_bits: usize::decode(r)?,
+            boundary_nodes: usize::decode(r)?,
         })
     }
 }
@@ -499,6 +504,8 @@ mod tests {
             crashed_nodes: 1,
             byzantine_accusations: 5,
             quarantined_nodes: 2,
+            boundary_bits: 544,
+            boundary_nodes: 3,
         });
         round_trip(&RoundStats::default());
     }

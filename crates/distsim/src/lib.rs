@@ -26,6 +26,10 @@
 //!   injection.
 //! * [`checkpoint`] — versioned snapshot/restore of mid-run executor state,
 //!   so a run killed at any round resumes byte-identically.
+//! * [`shard`] — the [`shard::BoundaryDelta`] wire frame behind
+//!   [`ExecutionMode::Sharded`]: shards run rounds locally over the nodes
+//!   they own and exchange frontier ∩ boundary updates per ordered shard
+//!   pair, with defensive structural validation on receipt.
 
 #![deny(deprecated)]
 
@@ -37,6 +41,7 @@ pub mod message;
 pub mod metrics;
 pub mod network;
 pub mod program;
+pub mod shard;
 pub mod wire;
 
 pub use checkpoint::{CheckpointError, SnapshotState};
@@ -49,4 +54,5 @@ pub use message::{MessageSize, Tamper};
 pub use metrics::{RoundStats, RunMetrics};
 pub use network::{ExecutionMode, ExecutorBufferStats, Network, NetworkBuilder};
 pub use program::{Delivery, NodeContext, NodeProgram, Outgoing};
+pub use shard::{BoundaryDelta, BoundaryRecord, ShardFrameError};
 pub use wire::{WireCodec, WireError};

@@ -271,6 +271,8 @@ pub(crate) fn run_mailbox<P: NodeProgram>(
                 byzantine_accusations: byz_accusation_schedule
                     .partition_point(|&ar| (ar as usize) <= r),
                 quarantined_nodes: quarantine_schedule.partition_point(|&qr| (qr as usize) <= r),
+                boundary_bits: 0,
+                boundary_nodes: 0,
             };
             metrics.push(stats);
             executed = k;

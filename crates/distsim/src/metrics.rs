@@ -63,6 +63,16 @@ pub struct RoundStats {
     /// Number of nodes quarantined as of this round (cumulative, monotone
     /// non-decreasing; schedule-driven and identical across all modes).
     pub quarantined_nodes: usize,
+    /// Measured wire bits of the cross-shard `BoundaryDelta` frames exchanged
+    /// this round under [`crate::ExecutionMode::Sharded`] (frame overhead and
+    /// record encodings; the per-copy bits of the deliveries themselves are
+    /// already in [`RoundStats::wire_bits`], identically to unsharded
+    /// execution). Zero in every other mode and with a single shard.
+    pub boundary_bits: usize,
+    /// Number of distinct boundary nodes whose updates crossed a shard cut
+    /// this round (frontier ∩ boundary set, counted once per sender even when
+    /// it ships to several peer shards). Zero outside sharded execution.
+    pub boundary_nodes: usize,
 }
 
 /// Accumulated statistics for a full protocol run.
@@ -199,6 +209,18 @@ impl RunMetrics {
     /// counter of the last recorded round; 0 for empty metrics).
     pub fn quarantined_nodes(&self) -> usize {
         self.rounds.last().map_or(0, |r| r.quarantined_nodes)
+    }
+
+    /// Total cross-shard `BoundaryDelta` wire bits across all rounds (see
+    /// [`RoundStats::boundary_bits`]).
+    pub fn total_boundary_bits(&self) -> usize {
+        self.rounds.iter().map(|r| r.boundary_bits).sum()
+    }
+
+    /// Total boundary-node shipments across all rounds (see
+    /// [`RoundStats::boundary_nodes`]).
+    pub fn total_boundary_nodes(&self) -> usize {
+        self.rounds.iter().map(|r| r.boundary_nodes).sum()
     }
 
     /// The last round in which any node's state changed (`None` if no round

@@ -45,8 +45,9 @@ use crate::faults::{Behavior, DropCause, FaultPlan, LossModel};
 use crate::message::{MessageSize, Tamper};
 use crate::metrics::{RoundStats, RunMetrics};
 use crate::program::{Delivery, NodeContext, NodeProgram, Outgoing};
+use crate::shard::{BoundaryDelta, BoundaryRecord};
 use crate::wire::{WireCodec, WireReader, WireWriter};
-use dkc_graph::{CsrGraph, NodeId, WeightedGraph};
+use dkc_graph::{CsrGraph, NodeId, Partitioner, WeightedGraph};
 use rayon::prelude::*;
 use serde::ser::Serialize;
 use std::path::{Path, PathBuf};
@@ -87,14 +88,29 @@ pub enum ExecutionMode {
     /// [`NetworkBuilder::mailbox_capacity`] /
     /// [`NetworkBuilder::max_frame_bytes`].
     Mailbox,
+    /// Sparse semantics over an edge-cut shard partition: each shard runs the
+    /// round's frontier over the nodes it owns (per the deterministic
+    /// `dkc_graph::Partitioner` assignment) and cross-shard deliveries travel
+    /// as one [`crate::shard::BoundaryDelta`] wire frame per ordered shard
+    /// pair, built from the frontier ∩ boundary set and defensively decoded
+    /// on receipt. Deterministic counters are byte-identical to the sparse
+    /// lockstep modes for any shard count; the frame traffic is reported
+    /// separately as [`RoundStats::boundary_bits`] /
+    /// [`RoundStats::boundary_nodes`]. Configure via
+    /// [`NetworkBuilder::shards`] / [`NetworkBuilder::shard_seed`].
+    Sharded,
 }
 
 impl ExecutionMode {
-    /// Whether this mode uses the sparse frontier executor.
+    /// Whether this mode uses the sparse frontier executor
+    /// ([`ExecutionMode::Sharded`] included: shards run the same
+    /// frontier-driven rounds locally).
     pub fn is_sparse(self) -> bool {
         matches!(
             self,
-            ExecutionMode::SparseSequential | ExecutionMode::SparseParallel
+            ExecutionMode::SparseSequential
+                | ExecutionMode::SparseParallel
+                | ExecutionMode::Sharded
         )
     }
 
@@ -111,9 +127,11 @@ impl ExecutionMode {
     /// gracefully when a caller asks for sparse execution.
     pub fn dense(self) -> Self {
         match self {
-            ExecutionMode::Sequential | ExecutionMode::SparseSequential => {
-                ExecutionMode::Sequential
-            }
+            ExecutionMode::Sequential
+            | ExecutionMode::SparseSequential
+            // A non-delta-driven program cannot run sharded rounds (they are
+            // frontier-driven), so degrade to the sequential dense executor.
+            | ExecutionMode::Sharded => ExecutionMode::Sequential,
             ExecutionMode::Parallel | ExecutionMode::SparseParallel => ExecutionMode::Parallel,
             // Mailbox already runs dense semantics; keep the backend.
             ExecutionMode::Mailbox => ExecutionMode::Mailbox,
@@ -203,6 +221,26 @@ pub struct ExecutorBufferStats {
     pub frontier_capacity_total: usize,
 }
 
+/// State of the [`ExecutionMode::Sharded`] executor: the deterministic node →
+/// shard assignment plus the per-round cross-shard record buffers. The
+/// buffers are drained by the boundary exchange every round, so they are
+/// always empty at round boundaries and never appear in checkpoints.
+struct ShardState<M> {
+    /// Number of shards (≥ 1; a single shard has no cut and ships nothing).
+    num_shards: usize,
+    /// The `Partitioner` hash seed the owner table was derived from.
+    seed: u64,
+    /// `owner[v]` is the shard owning node `v` (the `Partitioner::shard_of`
+    /// table materialized once at install time).
+    owner: Vec<u32>,
+    /// Per ordered shard pair `(src, dst)` (indexed `src * num_shards + dst`)
+    /// the cross-shard records buffered during the frontier scatter, shipped
+    /// and drained by the boundary exchange at the end of phase 2.
+    pair_bufs: Vec<Vec<BoundaryRecord<M>>>,
+    /// Scratch for counting the round's distinct cross-shard senders.
+    senders_scratch: Vec<u32>,
+}
+
 /// A simulated synchronous network: a topology plus one [`NodeProgram`] per
 /// node.
 pub struct Network<P: NodeProgram> {
@@ -262,6 +300,9 @@ pub struct Network<P: NodeProgram> {
     touched_stamp: Vec<u64>,
     /// Frontier senders with loss-dropped copies (they re-send next round).
     resend: Vec<u32>,
+    /// Shard partition + boundary-exchange buffers; `Some` ⇔ the mode is
+    /// [`ExecutionMode::Sharded`].
+    shard: Option<ShardState<P::Message>>,
     /// Checkpoint interval in rounds for [`Network::run_with_checkpoints`]
     /// (0 = never; see [`NetworkBuilder::checkpoint_every`]).
     checkpoint_every: usize,
@@ -394,9 +435,9 @@ pub(crate) fn produce_outgoing<P: NodeProgram>(
 }
 
 /// Fluent construction of a [`Network`]: one entry point selecting the
-/// execution mode, fault plan, wire accounting, and mailbox configuration,
-/// replacing the accreted `Network::new` → `with_message_loss` →
-/// `with_faults` chain (those remain as thin deprecated wrappers).
+/// execution mode, fault plan, wire accounting, sharding, and mailbox
+/// configuration (the accreted `Network::new` → `with_message_loss` →
+/// `with_faults` chain it replaced has been removed).
 ///
 /// ```
 /// use dkc_distsim::{ExecutionMode, NetworkBuilder};
@@ -425,6 +466,8 @@ pub struct NetworkBuilder {
     max_frame_bytes: usize,
     wire_accounting: bool,
     checkpoint_every: usize,
+    shards: usize,
+    shard_seed: u64,
 }
 
 impl Default for NetworkBuilder {
@@ -437,6 +480,8 @@ impl Default for NetworkBuilder {
             max_frame_bytes: Self::DEFAULT_MAX_FRAME_BYTES,
             wire_accounting: true,
             checkpoint_every: 0,
+            shards: 0,
+            shard_seed: 0,
         }
     }
 }
@@ -514,6 +559,25 @@ impl NetworkBuilder {
         self
     }
 
+    /// Partitions the graph into `n` shards and forces
+    /// [`ExecutionMode::Sharded`] (0 = unsharded, the default: the configured
+    /// mode runs unchanged). Sharded execution requires a delta-driven
+    /// program and composes with any fault plan, wire accounting, and
+    /// checkpointing; it does not compose with [`ExecutionMode::Mailbox`]
+    /// (the mailbox backend has its own thread-shard notion).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Seed of the deterministic hash-based node → shard assignment (see
+    /// `dkc_graph::Partitioner`); only meaningful with
+    /// [`NetworkBuilder::shards`] > 0.
+    pub fn shard_seed(mut self, seed: u64) -> Self {
+        self.shard_seed = seed;
+        self
+    }
+
     /// Builds a network over `graph`, instantiating one program per node via
     /// `factory` (which receives the node's local view at round 0).
     ///
@@ -540,8 +604,18 @@ impl NetworkBuilder {
         self.configure(Network::from_parts(graph, programs))
     }
 
-    fn configure<P: NodeProgram>(self, net: Network<P>) -> Network<P> {
-        let mut net = net.with_mode(self.mode);
+    fn configure<P: NodeProgram>(self, mut net: Network<P>) -> Network<P> {
+        let mode = if self.shards > 0 {
+            assert!(
+                self.mode != ExecutionMode::Mailbox,
+                "sharded execution does not compose with the mailbox backend"
+            );
+            net.install_sharding(self.shards, self.shard_seed);
+            ExecutionMode::Sharded
+        } else {
+            self.mode
+        };
+        let mut net = net.with_mode(mode);
         net.install_faults(self.faults);
         net.wire_accounting = self.wire_accounting;
         net.mailbox_threads = self.threads;
@@ -554,20 +628,7 @@ impl NetworkBuilder {
 
 impl<P: NodeProgram> Network<P> {
     /// Builds a network over `graph`, instantiating one program per node via
-    /// `factory` (which receives the node's local view at round 0).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use NetworkBuilder::new().build(graph, factory) instead"
-    )]
-    pub fn new<F>(graph: &WeightedGraph, factory: F) -> Self
-    where
-        F: FnMut(&NodeContext<'_>) -> P,
-    {
-        Self::from_graph(graph, factory)
-    }
-
-    /// Non-deprecated internal form of [`Network::new`] shared with
-    /// [`NetworkBuilder::build`].
+    /// `factory` (shared with [`NetworkBuilder::build`]).
     fn from_graph<F>(graph: &WeightedGraph, mut factory: F) -> Self
     where
         F: FnMut(&NodeContext<'_>) -> P,
@@ -620,6 +681,7 @@ impl<P: NodeProgram> Network<P> {
             touch_list: Vec::new(),
             touched_stamp: Vec::new(),
             resend: Vec::new(),
+            shard: None,
             checkpoint_every: 0,
             checkpoint_sink: None,
         }
@@ -640,46 +702,39 @@ impl<P: NodeProgram> Network<P> {
             );
             assert_eq!(self.round, 0, "select the execution mode before running");
         }
+        if mode == ExecutionMode::Sharded && self.shard.is_none() {
+            // Sharded mode selected without an explicit partition: run as a
+            // single shard (no cut, no boundary traffic).
+            self.install_sharding(1, 0);
+        }
         self.mode = mode;
         self
     }
 
-    /// Enables deterministic message-loss fault injection (see
-    /// [`crate::faults::LossModel`]): every delivered message is independently
-    /// dropped with the given probability. Shorthand for
-    /// [`Network::with_faults`] with a loss-only [`FaultPlan`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use NetworkBuilder::new().message_loss(model) instead"
-    )]
-    pub fn with_message_loss(mut self, model: LossModel) -> Self {
-        self.install_faults(FaultPlan::from_loss(model));
-        self
-    }
-
-    /// Installs a deterministic [`FaultPlan`] (i.i.d. loss, burst loss,
-    /// crash-stop nodes, link partitions — see [`crate::faults`]). Metrics
-    /// reflect **post-fault delivery**: a dropped copy is counted neither in
-    /// the message nor the bit totals (it increments the per-component drop
-    /// counters instead), a sender whose copies were all dropped does not
-    /// count as sending, and a crashed node neither sends nor steps. A
-    /// trivial plan (no effective component) is equivalent to — and exactly
-    /// as fast as — not installing one.
+    /// Installs the deterministic shard partition for
+    /// [`ExecutionMode::Sharded`]: materializes the `Partitioner::shard_of`
+    /// owner table and the per-pair boundary buffers.
     ///
     /// # Panics
     ///
-    /// Panics if rounds have already executed.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use NetworkBuilder::new().faults(plan) instead"
-    )]
-    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
-        self.install_faults(plan);
-        self
+    /// Panics if `num_shards == 0` or rounds have already executed.
+    pub(crate) fn install_sharding(&mut self, num_shards: usize, seed: u64) {
+        assert_eq!(self.round, 0, "install the shard partition before running");
+        let part = Partitioner::new(num_shards, seed);
+        let owner = (0..self.graph.num_nodes())
+            .map(|i| part.shard_of(NodeId::new(i)) as u32)
+            .collect();
+        self.shard = Some(ShardState {
+            num_shards,
+            seed,
+            owner,
+            pair_bufs: (0..num_shards * num_shards).map(|_| Vec::new()).collect(),
+            senders_scratch: Vec::new(),
+        });
     }
 
-    /// Installs a fault plan in place (shared by the deprecated chaining
-    /// setters and [`NetworkBuilder`]). A trivial plan uninstalls.
+    /// Installs a fault plan in place (shared with [`NetworkBuilder`]). A
+    /// trivial plan uninstalls.
     ///
     /// # Panics
     ///
@@ -725,6 +780,18 @@ impl<P: NodeProgram> Network<P> {
     /// The simulated topology.
     pub fn graph(&self) -> &CsrGraph {
         &self.graph
+    }
+
+    /// The installed shard partition as `(num_shards, seed)`; `None` outside
+    /// [`ExecutionMode::Sharded`].
+    pub fn shard_config(&self) -> Option<(usize, u64)> {
+        self.shard.as_ref().map(|s| (s.num_shards, s.seed))
+    }
+
+    /// Number of shards the executor runs (1 outside
+    /// [`ExecutionMode::Sharded`]).
+    pub fn num_shards(&self) -> usize {
+        self.shard.as_ref().map_or(1, |s| s.num_shards)
     }
 
     /// Number of rounds executed so far.
@@ -1003,6 +1070,8 @@ impl<P: NodeProgram> Network<P> {
             crashed_nodes: self.crashed_count(round),
             byzantine_accusations: self.accusation_count(round),
             quarantined_nodes: self.quarantined_count(round),
+            boundary_bits: 0,
+            boundary_nodes: 0,
         }
     }
 
@@ -1090,6 +1159,8 @@ impl<P: NodeProgram> Network<P> {
         let mut dropped_burst = 0usize;
         let mut dropped_partition = 0usize;
         let mut dropped_byzantine = 0usize;
+        let mut boundary_bits = 0usize;
+        let mut boundary_nodes = 0usize;
         self.resend.clear();
         let wire = self.wire_accounting;
         for idx in 0..self.frontier.len() {
@@ -1129,6 +1200,7 @@ impl<P: NodeProgram> Network<P> {
                 touched_stamp,
                 frontier,
                 faults,
+                shard,
                 ..
             } = self;
             touch_list.clear();
@@ -1154,6 +1226,16 @@ impl<P: NodeProgram> Network<P> {
                 }
                 true
             };
+            // Sharded execution reroutes cross-shard deliveries through the
+            // per-pair boundary buffers instead of the receiver's inbox.
+            // Every sender-side decision (drop cause, multicast stamp dedup,
+            // tamper salt, spam factor) is made first and identically, so
+            // the phase-1 per-copy accounting and the eventually delivered
+            // messages are byte-identical to unsharded sparse execution.
+            let mut shard_parts = shard
+                .as_mut()
+                .filter(|s| s.num_shards > 1)
+                .map(|s| (s.owner.as_slice(), &mut s.pair_bufs, s.num_shards));
             for &uu in frontier.iter() {
                 let u = uu as usize;
                 let sender = NodeId::new(u);
@@ -1182,11 +1264,54 @@ impl<P: NodeProgram> Network<P> {
                     }
                     inbox.push(Delivery { sender, pos, msg });
                 };
+                // Cross-shard counterpart of `deliver`: buffer the copies on
+                // arc `q` for the boundary exchange instead of pushing them
+                // into the receiver's inbox. Same receiver-local position,
+                // same sender-side tamper salt, same spam duplication — only
+                // the transport differs.
+                let ship = |bufs: &mut Vec<Vec<BoundaryRecord<P::Message>>>,
+                            num_shards: usize,
+                            su: u32,
+                            sv: u32,
+                            q: usize,
+                            msg: &P::Message| {
+                    let v = graph.neighbors(sender)[q];
+                    let pos = (graph.reverse_arc(base + q) - graph.arc_offset(v)) as u32;
+                    let msg = match byz.as_ref().and_then(|b| b.tamper_salt(round, sender, v)) {
+                        Some(s) => msg.tamper(s),
+                        None => msg.clone(),
+                    };
+                    let buf = &mut bufs[su as usize * num_shards + sv as usize];
+                    for _ in 1..spam {
+                        buf.push(BoundaryRecord {
+                            sender: sender.0,
+                            receiver: v.0,
+                            pos,
+                            msg: msg.clone(),
+                        });
+                    }
+                    buf.push(BoundaryRecord {
+                        sender: sender.0,
+                        receiver: v.0,
+                        pos,
+                        msg,
+                    });
+                };
                 match &outboxes[u].0 {
                     Outgoing::Silent => {}
                     Outgoing::Broadcast(m) => {
                         for (q, &v) in graph.neighbors(sender).iter().enumerate() {
-                            if !dropped(v, 0) && touch(cells, v) {
+                            if dropped(v, 0) {
+                                continue;
+                            }
+                            if let Some((owner, bufs, s)) = shard_parts.as_mut() {
+                                let (su, sv) = (owner[u], owner[v.index()]);
+                                if su != sv {
+                                    ship(bufs, *s, su, sv, q, m);
+                                    continue;
+                                }
+                            }
+                            if touch(cells, v) {
                                 deliver(cells, q, m);
                             }
                         }
@@ -1211,6 +1336,13 @@ impl<P: NodeProgram> Network<P> {
                                     continue;
                                 }
                                 multicast_stamps[base + q] = round_stamp;
+                                if let Some((owner, bufs, s)) = shard_parts.as_mut() {
+                                    let (su, sv) = (owner[u], owner[t.index()]);
+                                    if su != sv {
+                                        ship(bufs, *s, su, sv, q, m);
+                                        continue;
+                                    }
+                                }
                                 if touch(cells, t) {
                                     deliver(cells, q, m);
                                 }
@@ -1225,6 +1357,13 @@ impl<P: NodeProgram> Network<P> {
                             // Dense delivery hands a unicast to every parallel
                             // arc towards the target; mirror that here.
                             for q in graph.neighbor_positions(sender, *t) {
+                                if let Some((owner, bufs, s)) = shard_parts.as_mut() {
+                                    let (su, sv) = (owner[u], owner[t.index()]);
+                                    if su != sv {
+                                        ship(bufs, *s, su, sv, q, m);
+                                        continue;
+                                    }
+                                }
                                 if touch(cells, *t) {
                                     deliver(cells, q, m);
                                 }
@@ -1239,6 +1378,62 @@ impl<P: NodeProgram> Network<P> {
                 for i in 0..n {
                     touch(cells, NodeId::new(i));
                 }
+            }
+            // Boundary exchange: each nonempty ordered shard pair ships its
+            // buffered records as one length-prefixed `BoundaryDelta` frame,
+            // which is decoded defensively and structurally validated exactly
+            // as a remote peer's frame would be before delivery. Cross-shard
+            // copies land after all local ones in inbox order — harmless,
+            // because the delta-driven contract merges by `Delivery::pos`,
+            // not inbox order. Frame bytes are charged to `boundary_bits`;
+            // the per-copy `wire_bits` were already counted in phase 1,
+            // identically to unsharded execution.
+            if let Some(st) = shard.as_mut().filter(|s| s.num_shards > 1) {
+                let s = st.num_shards;
+                st.senders_scratch.clear();
+                for src in 0..s {
+                    for dst in 0..s {
+                        if src == dst || st.pair_bufs[src * s + dst].is_empty() {
+                            continue;
+                        }
+                        let delta = BoundaryDelta {
+                            src_shard: src as u32,
+                            dst_shard: dst as u32,
+                            round: round as u64,
+                            records: std::mem::take(&mut st.pair_bufs[src * s + dst]),
+                        };
+                        let frame = crate::wire::encode_frame(&delta);
+                        boundary_bits += 8 * frame.len();
+                        // A boundary frame aggregates a whole cut's frontier,
+                        // so it is not subject to the per-node-message frame
+                        // cap; both checks are infallible here because the
+                        // frame was encoded in this very loop.
+                        let decoded: BoundaryDelta<P::Message> =
+                            crate::wire::decode_frame(&frame, usize::MAX)
+                                .expect("self-encoded boundary frame decodes");
+                        decoded
+                            .validate(src as u32, dst as u32, round as u64, graph, &st.owner)
+                            .expect("self-built boundary frame validates");
+                        for rec in decoded.records {
+                            st.senders_scratch.push(rec.sender);
+                            let v = NodeId(rec.receiver);
+                            if touch(cells, v) {
+                                cells[v.index()].inbox.push(Delivery {
+                                    sender: NodeId(rec.sender),
+                                    pos: rec.pos,
+                                    msg: rec.msg,
+                                });
+                            }
+                        }
+                        // Hand the drained buffer's capacity back for reuse.
+                        let mut records = delta.records;
+                        records.clear();
+                        st.pair_bufs[src * s + dst] = records;
+                    }
+                }
+                st.senders_scratch.sort_unstable();
+                st.senders_scratch.dedup();
+                boundary_nodes = st.senders_scratch.len();
             }
         }
         self.touch_list.sort_unstable();
@@ -1307,6 +1502,8 @@ impl<P: NodeProgram> Network<P> {
             crashed_nodes: self.crashed_count(round),
             byzantine_accusations: self.accusation_count(round),
             quarantined_nodes: self.quarantined_count(round),
+            boundary_bits,
+            boundary_nodes,
         }
     }
 
@@ -1513,12 +1710,16 @@ mod tests {
     use super::*;
     use dkc_graph::generators::{complete_graph, path_graph};
 
-    const ALL_MODES: [ExecutionMode; 5] = [
+    const ALL_MODES: [ExecutionMode; 6] = [
         ExecutionMode::Sequential,
         ExecutionMode::Parallel,
         ExecutionMode::SparseSequential,
         ExecutionMode::SparseParallel,
         ExecutionMode::Mailbox,
+        // Without an explicit shard count this auto-installs a single shard,
+        // so every counter (including the boundary pair) matches the other
+        // modes exactly.
+        ExecutionMode::Sharded,
     ];
 
     /// Toy protocol: every node repeatedly broadcasts the smallest node id it
@@ -2474,36 +2675,117 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "before running")]
-    #[allow(deprecated)]
     fn fault_plan_must_be_installed_before_running() {
         let g = complete_graph(3);
         let mut net = min_id_network(&g, ExecutionMode::Sequential);
         net.run(1);
-        let _ = net.with_faults(FaultPlan::from_loss(LossModel::new(0.5, 1)));
+        net.install_faults(FaultPlan::from_loss(LossModel::new(0.5, 1)));
     }
 
-    /// The deprecated `Network::new` → `with_message_loss`/`with_faults`
-    /// chain must keep producing exactly what the builder produces.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_chain_matches_builder() {
-        let g = complete_graph(8);
-        let plan = FaultPlan::from_loss(LossModel::new(0.3, 11));
-        let mut legacy = Network::new(&g, |ctx| MinIdFlood { best: ctx.node().0 })
-            .with_mode(ExecutionMode::Sequential)
-            .with_faults(plan);
-        let mut built = min_id_faulty(&g, ExecutionMode::Sequential, plan);
-        legacy.run(5);
-        built.run(5);
-        assert_eq!(legacy.metrics().rounds(), built.metrics().rounds());
-        for v in g.nodes() {
-            assert_eq!(legacy.program(v).best, built.program(v).best);
+    #[should_panic(expected = "before running")]
+    fn shard_partition_must_be_installed_before_running() {
+        let g = complete_graph(3);
+        let mut net = min_id_network(&g, ExecutionMode::SparseSequential);
+        net.run(1);
+        net.install_sharding(2, 0);
+    }
+
+    /// Strips the counters that only sharded execution populates, so a
+    /// multi-shard run can be compared field-for-field against an unsharded
+    /// one. Everything else must be byte-identical.
+    fn strip_boundary(rounds: &[RoundStats]) -> Vec<RoundStats> {
+        rounds
+            .iter()
+            .map(|r| RoundStats {
+                boundary_bits: 0,
+                boundary_nodes: 0,
+                ..*r
+            })
+            .collect()
+    }
+
+    /// Tentpole acceptance (unit form; the cross-crate proptest pins the same
+    /// property over random graphs × fault plans): sharded execution is
+    /// byte-identical to unsharded sparse lockstep on every deterministic
+    /// counter and every node value, for any shard count, under a full fault
+    /// plan.
+    #[test]
+    fn sharded_is_byte_identical_across_shard_counts() {
+        let g = path_graph(17);
+        let plan = FaultPlan::from_loss(LossModel::new(0.25, 3))
+            .with_burst(BurstLoss::new(5, 2, 8))
+            .with_crash(CrashModel::new(0.2, 2, 9, 4))
+            .with_partition(PartitionModel::new(0.3, 3, 7, 6))
+            .with_byzantine(
+                ByzantineModel::new(0.2, ByzantineModel::ALL_BEHAVIORS, 2, 12, 7)
+                    .with_detect(0.5)
+                    .with_quarantine(3),
+            );
+        let mut reference = min_id_faulty(&g, ExecutionMode::SparseSequential, plan);
+        reference.run(25);
+        for shards in [1usize, 2, 4, 8] {
+            let mut net = NetworkBuilder::new()
+                .shards(shards)
+                .shard_seed(42)
+                .faults(plan)
+                .build(&g, |ctx| MinIdFlood { best: ctx.node().0 });
+            assert_eq!(net.shard_config(), Some((shards, 42)));
+            net.run(25);
+            assert_eq!(
+                strip_boundary(reference.metrics().rounds()),
+                strip_boundary(net.metrics().rounds()),
+                "shards={shards}"
+            );
+            for v in g.nodes() {
+                assert_eq!(
+                    reference.program(v).best,
+                    net.program(v).best,
+                    "shards={shards} node {v}"
+                );
+            }
+            if shards == 1 {
+                // Single shard: no cut, no boundary traffic, full equality.
+                assert_eq!(reference.metrics().rounds(), net.metrics().rounds());
+                assert_eq!(net.metrics().total_boundary_bits(), 0);
+            } else {
+                // A path partitioned by hash always cuts some edge, and each
+                // boundary frame costs real measured bits.
+                assert!(net.metrics().total_boundary_bits() > 0, "shards={shards}");
+                assert!(net.metrics().total_boundary_nodes() > 0, "shards={shards}");
+            }
         }
-        let mut loss_legacy = Network::new(&g, |ctx| MinIdFlood { best: ctx.node().0 })
-            .with_message_loss(LossModel::new(0.3, 11));
-        loss_legacy = loss_legacy.with_mode(ExecutionMode::Sequential);
-        loss_legacy.run(5);
-        assert_eq!(loss_legacy.metrics().rounds(), built.metrics().rounds());
+    }
+
+    /// Boundary traffic is sparse: once the frontier collapses, boundary
+    /// frames stop too (frontier ∩ boundary ⊆ frontier).
+    #[test]
+    fn boundary_traffic_follows_the_frontier() {
+        let g = path_graph(32);
+        let mut net = NetworkBuilder::new()
+            .shards(4)
+            .build(&g, |ctx| MinIdFlood { best: ctx.node().0 });
+        net.run(200);
+        let rounds = net.metrics().rounds();
+        let last_active = net.metrics().last_active_round().expect("converges");
+        for r in rounds {
+            if r.round > last_active + 1 {
+                assert_eq!(r.boundary_bits, 0, "round {}", r.round);
+                assert_eq!(r.boundary_nodes, 0, "round {}", r.round);
+            }
+            // Boundary senders are frontier members that own a cut arc.
+            assert!(r.boundary_nodes <= r.sending_nodes, "round {}", r.round);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not compose with the mailbox backend")]
+    fn sharding_rejects_the_mailbox_backend() {
+        let g = path_graph(4);
+        let _ = NetworkBuilder::new()
+            .mode(ExecutionMode::Mailbox)
+            .shards(2)
+            .build(&g, |ctx| MinIdFlood { best: ctx.node().0 });
     }
 
     /// Tentpole acceptance (unit form; the cross-crate proptest pins the
@@ -2641,6 +2923,50 @@ mod tests {
                     "{mode:?} cut at {cut}"
                 );
             }
+        }
+    }
+
+    /// Checkpoint/restore composes with multi-shard execution: the boundary
+    /// buffers are drained every round, so a round boundary carries no
+    /// sharding state beyond the (rebuilt-from-config) partition — cut at any
+    /// round and the resumed run finishes byte-identical.
+    #[test]
+    fn sharded_save_restore_is_byte_identical_at_every_round() {
+        let g = path_graph(14);
+        let plan = checkpoint_plan();
+        let total = 12usize;
+        let build = || {
+            NetworkBuilder::new()
+                .shards(4)
+                .shard_seed(9)
+                .faults(plan)
+                .build(&g, |ctx| MinIdFlood { best: ctx.node().0 })
+        };
+        let mut reference = build();
+        reference.run(total);
+        for cut in 0..=total {
+            let mut first = build();
+            first.run(cut);
+            let state = first.save_state().expect("save");
+            drop(first);
+
+            let mut resumed = build();
+            resumed.restore_state(&state).expect("restore");
+            assert_eq!(resumed.round(), cut);
+            resumed.run(total - cut);
+
+            for v in g.nodes() {
+                assert_eq!(
+                    reference.program(v).best,
+                    resumed.program(v).best,
+                    "cut at {cut}, node {v}"
+                );
+            }
+            assert_eq!(
+                reference.metrics().rounds(),
+                resumed.metrics().rounds(),
+                "cut at {cut}"
+            );
         }
     }
 

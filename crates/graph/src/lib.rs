@@ -22,6 +22,12 @@
 //!   ([`ingest::NodeIdMap`]), chunk-parallel edge-list parsing, METIS and
 //!   compact binary formats, and one-pass statistics — all in O(edges) memory.
 //! * [`properties`] — BFS, connected components, hop diameter, degree statistics.
+//! * [`idx`] — the sealed [`idx::Idx`] arc-index width trait (`u32`/`u64`)
+//!   parameterizing [`CsrGraph`] and [`ingest::NodeIdMap`], with a typed
+//!   overflow error replacing the old hard `u32::MAX` arc cap.
+//! * [`partition`] — the deterministic hash-based edge-cut
+//!   [`partition::Partitioner`] producing per-shard CSR slices and the
+//!   boundary-node tables behind `ExecutionMode::Sharded`.
 //!
 //! All weights are non-negative `f64`. The *weighted degree* of a node is the sum
 //! of the weights of all edges containing it, where a self-loop counts **once**
@@ -34,17 +40,21 @@
 pub mod builder;
 pub mod csr;
 pub mod generators;
+pub mod idx;
 pub mod ingest;
 pub mod io;
 pub mod node;
+pub mod partition;
 pub mod properties;
 pub mod quotient;
 pub mod weighted;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
+pub use idx::{Idx, IdxOverflow};
 pub use ingest::{Dataset, DatasetFormat, NodeIdMap};
 pub use node::NodeId;
+pub use partition::{Partitioner, ShardPlan, ShardSlice};
 pub use weighted::WeightedGraph;
 
 /// Absolute/relative tolerance suitable for graph-weight arithmetic

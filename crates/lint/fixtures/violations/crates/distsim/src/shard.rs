@@ -1,0 +1,6 @@
+//! Fixture: D04 in the boundary-delta codec — `shard.rs` decodes cross-shard
+//! frames from the wire, so it is scoped into [`dkc_lint::D04_DECODE_PATHS`].
+
+pub fn doctored(bytes: &[u8]) -> u32 {
+    u32::from_le_bytes(bytes[..4].try_into().expect("four bytes"))
+}

@@ -1,0 +1,10 @@
+//! Fixture: D01 in the shard partitioner — `crates/graph` is not a protocol
+//! crate, but this one file carries protocol state (the hash assignment) and
+//! is scoped into [`dkc_lint::PROTOCOL_CRATES`] by exact path.
+
+pub fn doctored() {
+    let m = std::collections::HashMap::from([(1u32, 2u32)]);
+    for (k, v) in &m {
+        let _ = (k, v);
+    }
+}

@@ -8,9 +8,9 @@
 //!
 //! | rule | scope | says |
 //! |------|-------|------|
-//! | D01  | `crates/distsim`, `crates/core` | no `HashMap`/`HashSet`: hash iteration order is nondeterministic — use `BTreeMap`/`BTreeSet` or an indexed arena (keyed-lookup-only uses carry an allow annotation) |
+//! | D01  | the protocol paths ([`PROTOCOL_CRATES`]: `crates/distsim`, `crates/core`, the shard partitioner) | no `HashMap`/`HashSet`: hash iteration order is nondeterministic — use `BTreeMap`/`BTreeSet` or an indexed arena (keyed-lookup-only uses carry an allow annotation) |
 //! | D02  | whole workspace | `Instant::now` / `SystemTime` only inside the metrics allowlist ([`D02_ALLOWLIST`]); wall clock must never feed a deterministic counter |
-//! | D03  | `crates/distsim`, `crates/core` | no direct `rand::` / `thread_rng` / `from_entropy` / `OsRng`: protocol randomness routes through the seeded splitmix64 helpers (`dkc_distsim::faults`) |
+//! | D03  | the protocol paths ([`PROTOCOL_CRATES`]) | no direct `rand::` / `thread_rng` / `from_entropy` / `OsRng`: protocol randomness routes through the seeded splitmix64 helpers (`dkc_distsim::faults`) |
 //! | D04  | the defensive decode files ([`D04_DECODE_PATHS`]) | no `panic!` family, `.unwrap()`, or `.expect()`: decode paths return typed errors, never panic |
 //! | D05  | whole workspace | every `unsafe` needs a `// SAFETY:` comment on the same or one of the two preceding lines |
 //! | D06  | every crate root (`lib.rs`, `main.rs`, `src/bin/*.rs`) | must carry `#![deny(deprecated)]` so retired APIs cannot creep back into internal call sites |
@@ -42,13 +42,21 @@ pub const D02_ALLOWLIST: &[&str] = &[
 /// typed errors, never as panics.
 pub const D04_DECODE_PATHS: &[&str] = &[
     "crates/distsim/src/wire.rs",
+    "crates/distsim/src/shard.rs",
     "crates/distsim/src/checkpoint.rs",
     "crates/core/src/checkpoint.rs",
     "crates/graph/src/ingest.rs",
 ];
 
-/// Crates whose sources are protocol paths for D01/D03.
-pub const PROTOCOL_CRATES: &[&str] = &["crates/distsim/", "crates/core/"];
+/// Crates whose sources are protocol paths for D01/D03. Matched by
+/// `contains`, so an entry may scope a whole crate (trailing slash) or a
+/// single file: the shard partitioner lives in `dkc-graph` but its hash
+/// assignment is protocol state, so it is held to the same determinism rules.
+pub const PROTOCOL_CRATES: &[&str] = &[
+    "crates/distsim/",
+    "crates/core/",
+    "crates/graph/src/partition.rs",
+];
 
 /// Diagnostic severity. Errors always fail the run; warnings fail only under
 /// `--deny-all` (the CI configuration).

@@ -7,14 +7,16 @@
 # workload, scale, rounds, total_messages, payload_bits, max_message_bits,
 # wire_bits, node_updates, dropped_loss, dropped_burst, dropped_partition,
 # dropped_byzantine, crashed_nodes, byzantine_accusations,
-# quarantined_nodes) — and fails on any drift: a changed counter, a missing
-# record, or an unexpected extra record. Timing fields (wall_clock_ms,
-# messages_per_sec) are machine-dependent and deliberately ignored.
+# quarantined_nodes, boundary_bits, boundary_nodes) — and fails on any
+# drift: a changed counter, a missing record, or an unexpected extra
+# record. Timing fields (wall_clock_ms, messages_per_sec) are
+# machine-dependent and deliberately ignored.
 #
-# Accepts schema versions 1–5; a counter a record's schema version predates
+# Accepts schema versions 1–6; a counter a record's schema version predates
 # (node_updates before v2, the fault counters before v3, the measured
-# wire_bits before v4, the byzantine counters before v5) defaults to 0 (see
-# the migration note in crates/bench/src/report.rs).
+# wire_bits before v4, the byzantine counters before v5, the sharding
+# counters before v6) defaults to 0 (see the migration note in
+# crates/bench/src/report.rs).
 #
 # To update the baseline intentionally (e.g. a protocol change that alters
 # message counts), regenerate it and commit the diff:
@@ -45,13 +47,15 @@ report_path, baseline_path = sys.argv[1], sys.argv[2]
 COUNTERS = ("rounds", "total_messages", "payload_bits", "max_message_bits",
             "wire_bits", "node_updates", "dropped_loss", "dropped_burst",
             "dropped_partition", "dropped_byzantine", "crashed_nodes",
-            "byzantine_accusations", "quarantined_nodes")
+            "byzantine_accusations", "quarantined_nodes", "boundary_bits",
+            "boundary_nodes")
 # The schema version each counter became mandatory in; below it the counter
 # defaults to 0 when absent.
 COUNTER_SINCE = {"wire_bits": 4, "node_updates": 2, "dropped_loss": 3,
                  "dropped_burst": 3, "dropped_partition": 3,
                  "crashed_nodes": 3, "dropped_byzantine": 5,
-                 "byzantine_accusations": 5, "quarantined_nodes": 5}
+                 "byzantine_accusations": 5, "quarantined_nodes": 5,
+                 "boundary_bits": 6, "boundary_nodes": 6}
 
 
 def load(path):
@@ -65,7 +69,7 @@ def load(path):
         except json.JSONDecodeError as e:
             sys.exit(f"check_bench: {path}: invalid JSON: {e}")
     version = doc.get("schema_version")
-    if version not in (1, 2, 3, 4, 5):
+    if version not in (1, 2, 3, 4, 5, 6):
         sys.exit(f"check_bench: {path}: unsupported schema_version {version!r}")
     recs = doc.get("records")
     if not isinstance(recs, list):

@@ -3,10 +3,10 @@
 # INTENTIONAL change to the deterministic counters (protocol change, new
 # experiment, new workload):
 #
-#   scripts/update_baseline.sh    # rewrites bench/baselines/{tiny,ingest-tiny,frontier-tiny,faults-tiny,byzantine-tiny}.json
+#   scripts/update_baseline.sh    # rewrites bench/baselines/{tiny,ingest-tiny,frontier-tiny,faults-tiny,byzantine-tiny,sharding-tiny}.json
 #
 # Each report is generated to a temporary file and VERIFIED to parse as the
-# current report schema (v5, with every mandatory counter present) before it
+# current report schema (v6, with every mandatory counter present) before it
 # replaces the committed baseline — a producer bug can never clobber a good
 # baseline with a malformed one. The machine-dependent timing fields
 # (wall_clock_ms, messages_per_sec) are zeroed before committing —
@@ -15,7 +15,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# verify_and_zero <report.json>: schema-v5 validation + timing zeroing in one
+# verify_and_zero <report.json>: schema-v6 validation + timing zeroing in one
 # pass; exits non-zero (leaving the committed baseline untouched) on any
 # missing mandatory counter or header field.
 verify_and_zero() {
@@ -27,15 +27,16 @@ path = sys.argv[1]
 COUNTERS = ("rounds", "total_messages", "payload_bits", "max_message_bits",
             "wire_bits", "node_updates", "dropped_loss", "dropped_burst",
             "dropped_partition", "dropped_byzantine", "crashed_nodes",
-            "byzantine_accusations", "quarantined_nodes")
+            "byzantine_accusations", "quarantined_nodes", "boundary_bits",
+            "boundary_nodes")
 with open(path) as fh:
     try:
         doc = json.load(fh)
     except json.JSONDecodeError as e:
         sys.exit(f"update_baseline: {path}: invalid JSON: {e}")
 version = doc.get("schema_version")
-if version != 5:
-    sys.exit(f"update_baseline: {path}: expected schema_version 5, "
+if version != 6:
+    sys.exit(f"update_baseline: {path}: expected schema_version 6, "
              f"got {version!r} — refusing to install as a baseline")
 for field in ("suite", "scale"):
     if not isinstance(doc.get(field), str) or not doc[field]:
@@ -60,18 +61,19 @@ if problems:
 with open(path, "w") as fh:
     json.dump(doc, fh, indent=2)
     fh.write("\n")
-print(f"update_baseline: verified schema v5 and zeroed timings in "
+print(f"update_baseline: verified schema v6 and zeroed timings in "
       f"{len(recs)} records")
 PY
 }
 
-# (producer binary, committed baseline) pairs — one loop regenerates all five.
+# (producer binary, committed baseline) pairs — one loop regenerates all six.
 pairs=(
     "exp_all       bench/baselines/tiny.json"
     "exp_ingest    bench/baselines/ingest-tiny.json"
     "exp_frontier  bench/baselines/frontier-tiny.json"
     "exp_faults    bench/baselines/faults-tiny.json"
     "exp_byzantine bench/baselines/byzantine-tiny.json"
+    "exp_sharding  bench/baselines/sharding-tiny.json"
 )
 
 for pair in "${pairs[@]}"; do
